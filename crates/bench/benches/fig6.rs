@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 6: 10-layer stack latency across message
+//! sizes (4, 24, 100, 1024 bytes) for MACH / IMP / FUNC.
+//!
+//! Only the whole-path cost per configuration is benched here (the
+//! printable per-segment series is `cargo run --bin fig6`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ensemble_bench::*;
+use ensemble_event::{DnEvent, Msg};
+use ensemble_ir::models::Case;
+use ensemble_transport::marshal;
+use ensemble_util::Time;
+use std::hint::black_box;
+
+const SIZES: [usize; 4] = [4, 24, 100, 1024];
+
+fn bench_down_by_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_down");
+    for size in SIZES {
+        let body = payload(size);
+        let mut m = mach(STACK_10, 0);
+        g.bench_with_input(BenchmarkId::new("MACH", size), &size, |b, &s| {
+            b.iter(|| black_box(m.bench_dn_stack(Case::DnCast, 1, s as i64).unwrap()))
+        });
+        for (name, kind) in [("IMP", Kind::Imp), ("FUNC", Kind::Func)] {
+            let mut e = engine(STACK_10, kind, 0);
+            g.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                b.iter(|| {
+                    // Stack + transport: the send-side critical path.
+                    let out =
+                        e.inject_dn(Time::ZERO, DnEvent::Cast(Msg::data(body.clone())));
+                    let bytes = out.wire.first().and_then(|w| w.msg()).map(marshal);
+                    black_box(bytes)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = fig6;
+    config = Criterion::default().sample_size(25);
+    targets = bench_down_by_size
+}
+criterion_main!(fig6);

@@ -1,0 +1,112 @@
+//! Criterion bench for Table 1(a): 10-layer stack code latency per
+//! segment for the MACH / IMP / FUNC configurations (4-byte casts).
+//!
+//! The printable paper-style report is `cargo run --bin table1`; this
+//! bench provides statistically grounded per-segment numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_bench::*;
+use ensemble_event::{DnEvent, Msg};
+use ensemble_ir::models::Case;
+use ensemble_transport::{marshal, unmarshal, CompressedHdr};
+use ensemble_util::Time;
+use std::hint::black_box;
+
+const PAYLOAD: usize = 4;
+
+fn bench_down_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1a_down_stack");
+    let body = payload(PAYLOAD);
+
+    let mut m = mach(STACK_10, 0);
+    g.bench_function("MACH", |b| {
+        b.iter(|| black_box(m.bench_dn_stack(Case::DnCast, 1, PAYLOAD as i64).unwrap()))
+    });
+    for (name, kind) in [("IMP", Kind::Imp), ("FUNC", Kind::Func)] {
+        let mut e = engine(STACK_10, kind, 0);
+        let mut n = 0u32;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                n += 1;
+                if n.is_multiple_of(8192) {
+                    // Stability pruning keeps the retransmission store
+                    // bounded across Criterion's long runs (in production
+                    // `collect` does this continuously).
+                    e.inject_dn(
+                        Time::ZERO,
+                        DnEvent::Stable(vec![ensemble_util::Seqno(u64::MAX / 2); 2]),
+                    );
+                }
+                black_box(e.inject_dn(Time::ZERO, DnEvent::Cast(Msg::data(body.clone()))))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1a_transport");
+    let wire = gen_wire_msgs(STACK_10, 1, PAYLOAD, false).remove(0);
+    let bytes = marshal(&wire);
+    g.bench_function("IMP_FUNC_marshal", |b| b.iter(|| black_box(marshal(&wire))));
+    g.bench_function("IMP_FUNC_unmarshal", |b| {
+        b.iter(|| black_box(unmarshal(&bytes).unwrap()))
+    });
+    let pkt = gen_mach_packets(STACK_10, 1, PAYLOAD, false).remove(0);
+    let (hdr, body) = CompressedHdr::decode(&pkt).unwrap();
+    let body = body.to_vec();
+    g.bench_function("MACH_encode", |b| b.iter(|| black_box(hdr.encode(&body))));
+    g.bench_function("MACH_decode", |b| {
+        b.iter(|| black_box(CompressedHdr::decode(&pkt).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_up_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1a_up_stack");
+    // Criterion runs an unknown number of iterations; give the receivers
+    // long in-sequence feeds and wrap around with fresh receivers.
+    const FEED: usize = 200_000;
+    let msgs = gen_wire_msgs(STACK_10, FEED, PAYLOAD, false);
+    for (name, kind) in [("IMP", Kind::Imp), ("FUNC", Kind::Func)] {
+        let mut e = engine(STACK_10, kind, 1);
+        let mut i = 0usize;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                if i == FEED {
+                    e = engine(STACK_10, kind, 1);
+                    i = 0;
+                }
+                let out = e.inject_up(Time::ZERO, up_cast_of(msgs[i].clone()));
+                i += 1;
+                black_box(out)
+            })
+        });
+    }
+    let pkts = gen_mach_packets(STACK_10, FEED, PAYLOAD, false);
+    let fields: Vec<Vec<u64>> = pkts
+        .iter()
+        .map(|p| CompressedHdr::decode(p).unwrap().0.fields)
+        .collect();
+    let mut m = mach(STACK_10, 1);
+    let mut i = 0usize;
+    g.bench_function("MACH", |b| {
+        b.iter(|| {
+            if i == FEED {
+                m = mach(STACK_10, 1);
+                i = 0;
+            }
+            let out = m.bench_up_stack(Case::UpCast, 0, PAYLOAD as i64, &fields[i]);
+            i += 1;
+            black_box(out.unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = table1a;
+    config = Criterion::default().sample_size(30);
+    targets = bench_down_stack, bench_transport, bench_up_stack
+}
+criterion_main!(table1a);

@@ -1,0 +1,127 @@
+//! Criterion bench for Table 1(b): 4-layer stack code latency for the
+//! HAND / MACH / IMP / FUNC configurations (4-byte sends).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_bench::*;
+use ensemble_event::{DnEvent, Msg};
+use ensemble_ir::models::Case;
+use ensemble_transport::CompressedHdr;
+use ensemble_util::{Rank, Time};
+use std::hint::black_box;
+
+const PAYLOAD: usize = 4;
+
+fn bench_down(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1b_down_stack");
+    let body = payload(PAYLOAD);
+
+    let mut h = hand(0);
+    g.bench_function("HAND", |b| b.iter(|| black_box(h.bench_send_state(1))));
+    let mut m = mach(STACK_4, 0);
+    g.bench_function("MACH", |b| {
+        b.iter(|| black_box(m.bench_dn_stack(Case::DnSend, 1, PAYLOAD as i64).unwrap()))
+    });
+    for (name, kind) in [("IMP", Kind::Imp), ("FUNC", Kind::Func)] {
+        let mut e = engine(STACK_4, kind, 0);
+        let mut n = 0u32;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                n += 1;
+                if n.is_multiple_of(8192) {
+                    // Bound pt2pt's unacked buffer across long runs the
+                    // way the peer's cumulative acks would.
+                    let mut ack = Msg::control();
+                    ack.push_frame(ensemble_event::Frame::Pt2Pt(
+                        ensemble_event::Pt2PtHdr::Ack {
+                            ack: ensemble_util::Seqno(u64::MAX / 2),
+                        },
+                    ));
+                    e.inject_up(
+                        Time::ZERO,
+                        ensemble_event::UpEvent::Send {
+                            origin: Rank(1),
+                            msg: {
+                                let mut m = ack;
+                                m.push_frame(ensemble_event::Frame::NoHdr);
+                                m.push_frame(ensemble_event::Frame::Bottom { view_ltime: 0 });
+                                m
+                            },
+                        },
+                    );
+                }
+                black_box(e.inject_dn(
+                    Time::ZERO,
+                    DnEvent::Send {
+                        dst: Rank(1),
+                        msg: Msg::data(body.clone()),
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_up(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1b_up_stack");
+    const FEED: usize = 200_000;
+
+    let mut h = hand(1);
+    let mut i = 0u64;
+    g.bench_function("HAND", |b| {
+        b.iter(|| {
+            let ok = h.bench_send_deliver(0, i, 0);
+            i += 1;
+            if !ok {
+                h = hand(1);
+                i = 1;
+                assert!(h.bench_send_deliver(0, 0, 0));
+            }
+            black_box(ok)
+        })
+    });
+
+    let pkts = gen_mach_packets(STACK_4, FEED, PAYLOAD, true);
+    let fields: Vec<Vec<u64>> = pkts
+        .iter()
+        .map(|p| CompressedHdr::decode(p).unwrap().0.fields)
+        .collect();
+    let mut m = mach(STACK_4, 1);
+    let mut k = 0usize;
+    g.bench_function("MACH", |b| {
+        b.iter(|| {
+            if k == FEED {
+                m = mach(STACK_4, 1);
+                k = 0;
+            }
+            let out = m.bench_up_stack(Case::UpSend, 0, PAYLOAD as i64, &fields[k]);
+            k += 1;
+            black_box(out.unwrap())
+        })
+    });
+
+    let msgs = gen_wire_msgs(STACK_4, FEED, PAYLOAD, true);
+    for (name, kind) in [("IMP", Kind::Imp), ("FUNC", Kind::Func)] {
+        let mut e = engine(STACK_4, kind, 1);
+        let mut i = 0usize;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                if i == FEED {
+                    e = engine(STACK_4, kind, 1);
+                    i = 0;
+                }
+                let out = e.inject_up(Time::ZERO, up_send_of(msgs[i].clone()));
+                i += 1;
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = table1b;
+    config = Criterion::default().sample_size(30);
+    targets = bench_down, bench_up
+}
+criterion_main!(table1b);

@@ -1,0 +1,175 @@
+//! Regenerates the §4.2 end-to-end analysis:
+//!
+//! * protocol processing as a share of one-way end-to-end latency,
+//!   before and after optimization (paper, 10-layer on Ethernet:
+//!   50 % → 29 %; 4-layer: 30 % → 19 %);
+//! * the end-to-end improvement from the optimization on Ethernet
+//!   (80 µs link) vs VIA (10 µs link) — faster links profit more
+//!   (paper: 10-layer 30 % vs 54 %; 4-layer 14 % vs 36 %);
+//! * HAND vs MACH (paper: ≈ 25 % faster, attributed to the integrated
+//!   transport);
+//! * the §1 headline: 4-layer send overhead 13 → 2 µs, delivery
+//!   10 → 4 µs.
+//!
+//! The code latencies are measured on this machine; the link latencies
+//! are the paper's models.
+
+use ensemble_bench::*;
+use ensemble_event::{DnEvent, Msg};
+use ensemble_transport::{marshal, unmarshal};
+use ensemble_util::Time;
+
+const PAYLOAD: usize = 4;
+
+/// (send-side code, receive-side code) in ns for a native configuration.
+fn native(stack: &[&'static str], kind: Kind, send_not_cast: bool) -> (f64, f64) {
+    let mut sender = engine(stack, kind, 0);
+    let body = payload(PAYLOAD);
+    let dn = time_per_op(ROUNDS, |_| {
+        let ev = if send_not_cast {
+            DnEvent::Send {
+                dst: ensemble_util::Rank(1),
+                msg: Msg::data(body.clone()),
+            }
+        } else {
+            DnEvent::Cast(Msg::data(body.clone()))
+        };
+        let b = sender.inject_dn(Time::ZERO, ev);
+        let bytes = b.wire.first().and_then(|w| w.msg()).map(marshal);
+        std::hint::black_box(bytes);
+    });
+    let msgs = gen_wire_msgs(stack, ROUNDS, PAYLOAD, send_not_cast);
+    let wire_bytes: Vec<Vec<u8>> = msgs.iter().map(marshal).collect();
+    let mut receiver = engine(stack, kind, 1);
+    let up = time_per_op(ROUNDS, |i| {
+        let m = unmarshal(&wire_bytes[i]).unwrap();
+        let ev = if send_not_cast {
+            up_send_of(m)
+        } else {
+            up_cast_of(m)
+        };
+        std::hint::black_box(receiver.inject_up(Time::ZERO, ev));
+    });
+    (dn, up)
+}
+
+/// (send-side, receive-side) in ns for the synthesized bypass, transport
+/// included (whole critical path, CCP checks included).
+fn mach_path(stack: &[&'static str], send_not_cast: bool) -> (f64, f64) {
+    let mut sender = mach(stack, 0);
+    let body = payload(PAYLOAD);
+    let dn = time_per_op(ROUNDS, |_| {
+        let out = if send_not_cast {
+            sender.dn_send(1, &body)
+        } else {
+            sender.dn_cast(&body)
+        };
+        std::hint::black_box(out);
+    });
+    sender.drain_deferred();
+    let pkts = gen_mach_packets(stack, ROUNDS, PAYLOAD, send_not_cast);
+    let mut receiver = mach(stack, 1);
+    let up = time_per_op(ROUNDS, |i| {
+        let out = if send_not_cast {
+            receiver.up_send(0, &pkts[i])
+        } else {
+            receiver.up_cast(0, &pkts[i])
+        };
+        std::hint::black_box(out);
+    });
+    receiver.drain_deferred();
+    (dn, up)
+}
+
+/// (send, receive) for the hand-optimized path, transport included.
+fn hand_path() -> (f64, f64) {
+    let mut sender = hand(0);
+    let body = payload(PAYLOAD);
+    let dn = time_per_op(ROUNDS, |_| {
+        std::hint::black_box(sender.dn_send(1, &body));
+    });
+    sender.drain_deferred();
+    let mut gen = hand(0);
+    let pkts: Vec<Vec<u8>> = (0..ROUNDS)
+        .map(|_| match gen.dn_send(1, &body) {
+            ensemble_hand::HandOutput::Wire { bytes, .. } => bytes,
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    let mut receiver = hand(1);
+    let up = time_per_op(ROUNDS, |i| {
+        std::hint::black_box(receiver.up_send(0, &pkts[i]));
+    });
+    (dn, up)
+}
+
+fn report(label: &str, code_ns: f64, link_us: f64) -> f64 {
+    let e2e = code_ns / 1000.0 + link_us;
+    println!(
+        "  {label:<22} code {:>8.2}us + link {link_us:>4.0}us = {e2e:>8.2}us  \
+         (protocol share {:4.1}%)",
+        code_ns / 1000.0,
+        100.0 * (code_ns / 1000.0) / e2e
+    );
+    e2e
+}
+
+fn main() {
+    println!("end-to-end analysis (one-way: sender code + link + receiver code)\n");
+
+    // --- 10-layer stack (casts) ---
+    let (imp_dn, imp_up) = native(STACK_10, Kind::Imp, false);
+    let (mach_dn, mach_up) = mach_path(STACK_10, false);
+    let imp10 = imp_dn + imp_up;
+    let mach10 = mach_dn + mach_up;
+    println!("10-layer stack (IMP -> MACH):");
+    for (net, link) in [("Ethernet", 80.0), ("VIA", 10.0)] {
+        let before = report(&format!("{net} original"), imp10, link);
+        let after = report(&format!("{net} optimized"), mach10, link);
+        println!(
+            "  {net}: end-to-end improvement {:.0}% (paper: {}%)\n",
+            100.0 * (before - after) / before,
+            if net == "Ethernet" { 30 } else { 54 }
+        );
+    }
+    println!(
+        "  paper's protocol share on Ethernet: 50% -> 29%; the share shape\n\
+         depends on absolute code latency, which is far lower in Rust on\n\
+         modern hardware — the *improvement direction* is what carries.\n"
+    );
+
+    // --- 4-layer stack (sends) ---
+    let (i4dn, i4up) = native(STACK_4, Kind::Imp, true);
+    let (m4dn, m4up) = mach_path(STACK_4, true);
+    let (h4dn, h4up) = hand_path();
+    println!("4-layer stack (IMP -> MACH, HAND):");
+    println!(
+        "  send overhead   IMP {:>8.2}us -> MACH {:>8.2}us (paper: 13 -> 2us)",
+        i4dn / 1000.0,
+        m4dn / 1000.0
+    );
+    println!(
+        "  deliver overhead IMP {:>8.2}us -> MACH {:>8.2}us (paper: 10 -> 4us)",
+        i4up / 1000.0,
+        m4up / 1000.0
+    );
+    for (net, link) in [("Ethernet", 80.0), ("VIA", 10.0)] {
+        let before = report(&format!("{net} original"), i4dn + i4up, link);
+        let after = report(&format!("{net} optimized"), m4dn + m4up, link);
+        println!(
+            "  {net}: end-to-end improvement {:.0}% (paper: {}%)\n",
+            100.0 * (before - after) / before,
+            if net == "Ethernet" { 14 } else { 36 }
+        );
+    }
+    let hand4 = h4dn + h4up;
+    let mach4 = m4dn + m4up;
+    println!(
+        "HAND vs MACH (4-layer totals): {:.2}us vs {:.2}us — HAND {:.0}% faster\n\
+         (paper: ~25%, attributed to the transport being integrated into the\n\
+         hand-written path)",
+        hand4 / 1000.0,
+        mach4 / 1000.0,
+        100.0 * (mach4 - hand4) / mach4
+    );
+}

@@ -1,0 +1,529 @@
+//! Multi-process deterministic simulation.
+//!
+//! Ties everything together: each simulated process runs a protocol stack
+//! under an execution engine; the bottom of every stack is connected to a
+//! simulated network ([`ensemble_net`]); timers and packet arrivals are
+//! interleaved on one virtual-time event queue. Runs are reproducible
+//! bit-for-bit from the seed.
+//!
+//! Virtual synchrony is honoured the way Ensemble does it: when a stack
+//! installs a new view ([`UpEvent::View`]), the runtime *rebuilds* the
+//! process's stack for the new membership (Ensemble likewise instantiates
+//! a fresh stack per view).
+
+use ensemble_event::{DnEvent, Msg, Payload, UpEvent, ViewState};
+use ensemble_layers::{make_stack, LayerConfig, StackError};
+use ensemble_net::{Arrival, Dest, EventQueue, LinkModel, NetStats, Network, Packet};
+use ensemble_stack::{Boundary, Engine, FuncEngine, ImpEngine};
+use ensemble_transport::{marshal, unmarshal};
+use ensemble_util::{Duration, Endpoint, Rank, Time};
+
+/// Which composition engine runs the stacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Central event scheduler (the paper's imperative configuration).
+    Imp,
+    /// Recursive functional composition.
+    Func,
+}
+
+/// One simulated process.
+struct Proc {
+    ep: Endpoint,
+    vs: ViewState,
+    engine: Box<dyn Engine>,
+    generation: u64,
+    alive: bool,
+    exited: bool,
+    /// Cast deliveries as `(origin endpoint id, payload bytes)`.
+    casts: Vec<(u32, Vec<u8>)>,
+    /// Point-to-point deliveries as `(origin endpoint id, payload bytes)`.
+    sends: Vec<(u32, Vec<u8>)>,
+    /// Views installed (in order), including the initial one.
+    views: Vec<ViewState>,
+    /// Block notifications observed.
+    blocks: u64,
+    /// The latest stability vector reported to the application.
+    stability: Vec<u64>,
+}
+
+enum SimEvent {
+    Arrival(Arrival),
+    Timer {
+        ep: Endpoint,
+        layer: usize,
+        generation: u64,
+    },
+}
+
+/// The multi-process simulation harness.
+pub struct Simulation<M> {
+    procs: Vec<Proc>,
+    net: Network<M>,
+    queue: EventQueue<SimEvent>,
+    now: Time,
+    stack: Vec<&'static str>,
+    /// A stack to switch to at the next view installation (the paper's
+    /// ref. \[25\]: Ensemble switches protocol stacks on the fly at view
+    /// boundaries; the agreement to switch is made at the application
+    /// level, the view change makes it safe).
+    next_stack: Option<Vec<&'static str>>,
+    kind: EngineKind,
+    cfg: LayerConfig,
+    /// Total events processed (observability).
+    pub steps: u64,
+}
+
+fn build_engine(
+    stack: &[&'static str],
+    vs: &ViewState,
+    cfg: &LayerConfig,
+    kind: EngineKind,
+) -> Result<Box<dyn Engine>, StackError> {
+    let layers = make_stack(stack, vs, cfg)?;
+    Ok(match kind {
+        EngineKind::Imp => Box::new(ImpEngine::new(layers)),
+        EngineKind::Func => Box::new(FuncEngine::new(layers)),
+    })
+}
+
+impl<M: LinkModel> Simulation<M> {
+    /// Builds `n` processes running `stack` over `model`.
+    pub fn new(
+        n: usize,
+        stack: &[&'static str],
+        kind: EngineKind,
+        cfg: LayerConfig,
+        model: M,
+        seed: u64,
+    ) -> Result<Self, StackError> {
+        let base = ViewState::initial(n);
+        let net = Network::new(base.members.clone(), model, seed);
+        let mut sim = Simulation {
+            procs: Vec::new(),
+            net,
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            stack: stack.to_vec(),
+            next_stack: None,
+            kind,
+            cfg,
+            steps: 0,
+        };
+        for r in 0..n {
+            let vs = base.for_rank(Rank(r as u16));
+            let mut engine = build_engine(stack, &vs, &sim.cfg, kind)?;
+            let boundary = engine.init(Time::ZERO);
+            sim.procs.push(Proc {
+                ep: vs.my_endpoint(),
+                views: vec![vs.clone()],
+                vs,
+                engine,
+                generation: 0,
+                alive: true,
+                exited: false,
+                casts: Vec::new(),
+                sends: Vec::new(),
+                blocks: 0,
+                stability: Vec::new(),
+            });
+            sim.route_boundary(r, boundary);
+        }
+        Ok(sim)
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Network statistics so far.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Mutable access to the link model (partitions, loss changes …).
+    pub fn model_mut(&mut self) -> &mut M {
+        self.net.model_mut()
+    }
+
+    /// Injects an application cast at the process with endpoint id `id`.
+    pub fn cast(&mut self, id: u32, payload: &[u8]) {
+        let ev = DnEvent::Cast(Msg::data(Payload::from_slice(payload)));
+        self.inject(id, ev);
+    }
+
+    /// Injects a point-to-point send from `id` to endpoint id `dst`.
+    pub fn send(&mut self, id: u32, dst: u32, payload: &[u8]) {
+        let Some(dst_rank) = self.procs[id as usize]
+            .vs
+            .rank_of(Endpoint::new(dst))
+        else {
+            return; // Destination not in the sender's view.
+        };
+        let ev = DnEvent::Send {
+            dst: dst_rank,
+            msg: Msg::data(Payload::from_slice(payload)),
+        };
+        self.inject(id, ev);
+    }
+
+    /// Asks process `id` to declare `suspects` (by endpoint id) failed.
+    pub fn suspect(&mut self, id: u32, suspects: &[u32]) {
+        let vs = self.procs[id as usize].vs.clone();
+        let ranks: Vec<Rank> = suspects
+            .iter()
+            .filter_map(|s| vs.rank_of(Endpoint::new(*s)))
+            .collect();
+        self.inject(id, DnEvent::Suspect { ranks });
+    }
+
+    /// Crashes the process with endpoint id `id` (it stops processing).
+    pub fn kill(&mut self, id: u32) {
+        self.procs[id as usize].alive = false;
+    }
+
+    /// Gracefully leaves the group: the stack tears down (emitting
+    /// `Exit`), and the remaining members detect the silence and exclude
+    /// the leaver exactly as for a crash (Ensemble's Leave is likewise a
+    /// self-initiated departure that the view change makes official).
+    pub fn leave(&mut self, id: u32) {
+        self.inject(id, DnEvent::Leave);
+    }
+
+    /// Whether the process's stack has exited (left or was excluded).
+    pub fn has_exited(&self, id: u32) -> bool {
+        self.procs[id as usize].exited
+    }
+
+    fn inject(&mut self, id: u32, ev: DnEvent) {
+        let idx = id as usize;
+        if !self.procs[idx].alive {
+            return;
+        }
+        let b = self.procs[idx].engine.inject_dn(self.now, ev);
+        self.route_boundary(idx, b);
+    }
+
+    /// Routes one engine boundary: wire events are marshaled and
+    /// transmitted, deliveries recorded, timers scheduled, views
+    /// installed.
+    fn route_boundary(&mut self, idx: usize, mut b: Boundary) {
+        // Timers first (cheap).
+        let generation = self.procs[idx].generation;
+        let ep = self.procs[idx].ep;
+        for (layer, deadline) in b.timers.drain(..) {
+            self.queue.push(
+                deadline.max(self.now),
+                SimEvent::Timer {
+                    ep,
+                    layer,
+                    generation,
+                },
+            );
+        }
+        // Wire-bound events.
+        for ev in b.wire.drain(..) {
+            match ev {
+                DnEvent::Cast(msg) => {
+                    let pkt = Packet::cast(ep, marshal(&msg));
+                    for a in self.net.transmit(self.now, pkt) {
+                        self.queue.push(a.at, SimEvent::Arrival(a));
+                    }
+                }
+                DnEvent::Send { dst, msg } => {
+                    let dst_ep = self.procs[idx].vs.endpoint_of(dst);
+                    let pkt = Packet::point(ep, dst_ep, marshal(&msg));
+                    for a in self.net.transmit(self.now, pkt) {
+                        self.queue.push(a.at, SimEvent::Arrival(a));
+                    }
+                }
+                // Timer requests exiting the bottom are engine artifacts;
+                // other control events are absorbed at the boundary.
+                _ => {}
+            }
+        }
+        // Application events.
+        let app: Vec<UpEvent> = b.app.drain(..).collect();
+        for ev in app {
+            match ev {
+                UpEvent::Cast { origin, msg } => {
+                    let oid = self.procs[idx].vs.endpoint_of(origin).id();
+                    self.procs[idx].casts.push((oid, msg.payload().gather()));
+                }
+                UpEvent::Send { origin, msg } => {
+                    let oid = self.procs[idx].vs.endpoint_of(origin).id();
+                    self.procs[idx].sends.push((oid, msg.payload().gather()));
+                }
+                UpEvent::View(vs) => self.install_view(idx, vs),
+                UpEvent::Block => self.procs[idx].blocks += 1,
+                UpEvent::Exit => {
+                    self.procs[idx].exited = true;
+                    self.procs[idx].alive = false;
+                }
+                UpEvent::Stable(v) => {
+                    self.procs[idx].stability = v.iter().map(|s| s.0).collect();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Schedules a protocol-stack switch: every process adopts `names`
+    /// when it installs its next view (all members install the same
+    /// view, so they switch together — no mixed-stack window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack fails the configuration check, so an unsound
+    /// switch cannot be scheduled.
+    pub fn switch_stack_on_next_view(&mut self, names: &[&'static str]) {
+        ensemble_stack::check_stack(names).expect("switch target must be sound");
+        self.next_stack = Some(names.to_vec());
+    }
+
+    /// The stack a process is currently running (top first).
+    pub fn stack_names(&self) -> &[&'static str] {
+        &self.stack
+    }
+
+    /// Installs a new view at process `idx`: fresh stack, new generation.
+    fn install_view(&mut self, idx: usize, vs: ViewState) {
+        if let Some(next) = self.next_stack.take() {
+            // The first installer flips the shared stack; later
+            // installers of the same view pick it up from `self.stack`.
+            self.stack = next;
+        }
+        self.procs[idx].generation += 1;
+        let mut engine = build_engine(&self.stack, &vs, &self.cfg, self.kind)
+            .expect("stack built once already");
+        let boundary = engine.init(self.now);
+        self.procs[idx].engine = engine;
+        self.procs[idx].vs = vs.clone();
+        self.procs[idx].views.push(vs);
+        self.route_boundary(idx, boundary);
+    }
+
+    fn proc_of(&self, ep: Endpoint) -> Option<usize> {
+        self.procs.iter().position(|p| p.ep == ep)
+    }
+
+    /// Processes a single queued event; returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(at);
+        self.steps += 1;
+        match ev {
+            SimEvent::Arrival(a) => {
+                let Some(idx) = self.proc_of(a.dst) else {
+                    return true;
+                };
+                if !self.procs[idx].alive {
+                    return true;
+                }
+                let Ok(msg) = unmarshal(&a.packet.bytes) else {
+                    return true; // Corrupt packets are dropped.
+                };
+                let Some(origin) = self.procs[idx].vs.rank_of(a.packet.src) else {
+                    return true; // Sender no longer in our view.
+                };
+                let ev = match a.packet.dst {
+                    Dest::Cast => UpEvent::Cast { origin, msg },
+                    Dest::Point(_) => UpEvent::Send { origin, msg },
+                };
+                let b = self.procs[idx].engine.inject_up(self.now, ev);
+                self.route_boundary(idx, b);
+            }
+            SimEvent::Timer {
+                ep,
+                layer,
+                generation,
+            } => {
+                let Some(idx) = self.proc_of(ep) else {
+                    return true;
+                };
+                let p = &self.procs[idx];
+                if !p.alive || p.generation != generation {
+                    return true; // Stale timer from a replaced stack.
+                }
+                let b = self.procs[idx].engine.fire_timer(self.now, layer);
+                self.route_boundary(idx, b);
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty (bounded by `max_steps`).
+    ///
+    /// Note: stacks with periodic timers (suspect, stable) never quiesce;
+    /// use [`Simulation::run_for`] for those.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        let mut n = 0;
+        while n < 1_000_000 && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until virtual time `deadline` (events after it stay queued).
+    pub fn run_until(&mut self, deadline: Time) {
+        let mut guard = 0u64;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            guard += 1;
+            assert!(guard < 10_000_000, "simulation runaway");
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Cast deliveries at process `id`, as `(origin endpoint id, bytes)`.
+    pub fn cast_deliveries(&self, id: u32) -> Vec<(u32, Vec<u8>)> {
+        self.procs[id as usize].casts.clone()
+    }
+
+    /// Point-to-point deliveries at process `id`.
+    pub fn send_deliveries(&self, id: u32) -> Vec<(u32, Vec<u8>)> {
+        self.procs[id as usize].sends.clone()
+    }
+
+    /// Views installed at process `id` (including the initial view).
+    pub fn views(&self, id: u32) -> &[ViewState] {
+        &self.procs[id as usize].views
+    }
+
+    /// The current view at process `id`.
+    pub fn current_view(&self, id: u32) -> &ViewState {
+        self.procs[id as usize].views.last().expect("has a view")
+    }
+
+    /// Whether the process is alive (not killed, not exited).
+    pub fn is_alive(&self, id: u32) -> bool {
+        self.procs[id as usize].alive
+    }
+
+    /// Block notifications seen at process `id`.
+    pub fn blocks(&self, id: u32) -> u64 {
+        self.procs[id as usize].blocks
+    }
+
+    /// The last stability vector the application saw at `id`.
+    pub fn stability(&self, id: u32) -> &[u64] {
+        &self.procs[id as usize].stability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_layers::{STACK_10, STACK_4};
+    use ensemble_net::PerfectModel;
+
+    fn sim(n: usize, stack: &[&'static str], kind: EngineKind) -> Simulation<PerfectModel> {
+        Simulation::new(
+            n,
+            stack,
+            kind,
+            LayerConfig::fast(),
+            PerfectModel::via(),
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn four_layer_cast_reaches_group() {
+        let mut s = sim(3, STACK_4, EngineKind::Imp);
+        s.cast(1, b"m");
+        s.run_to_quiescence();
+        // STACK_4 has no `local`, so only the others deliver.
+        assert_eq!(s.cast_deliveries(0), vec![(1, b"m".to_vec())]);
+        assert_eq!(s.cast_deliveries(2), vec![(1, b"m".to_vec())]);
+    }
+
+    #[test]
+    fn ten_layer_cast_includes_self_delivery() {
+        let mut s = sim(3, STACK_10, EngineKind::Imp);
+        s.cast(0, b"hello");
+        s.run_to_quiescence();
+        for r in 0..3 {
+            assert_eq!(
+                s.cast_deliveries(r),
+                vec![(0, b"hello".to_vec())],
+                "rank {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn sends_are_delivered_point_to_point() {
+        let mut s = sim(3, STACK_4, EngineKind::Func);
+        s.send(0, 2, b"direct");
+        s.run_to_quiescence();
+        assert_eq!(s.send_deliveries(2), vec![(0, b"direct".to_vec())]);
+        assert!(s.send_deliveries(1).is_empty());
+    }
+
+    #[test]
+    fn imp_and_func_agree_end_to_end() {
+        let mut a = sim(3, STACK_10, EngineKind::Imp);
+        let mut b = sim(3, STACK_10, EngineKind::Func);
+        for s in [&mut a, &mut b] {
+            s.cast(0, b"x");
+            s.cast(1, b"y");
+            s.cast(2, b"z");
+            s.run_to_quiescence();
+        }
+        for r in 0..3 {
+            assert_eq!(a.cast_deliveries(r), b.cast_deliveries(r), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn total_order_holds_across_members() {
+        let mut s = sim(3, STACK_10, EngineKind::Imp);
+        for i in 0..5u8 {
+            s.cast(1, &[10 + i]);
+            s.cast(2, &[20 + i]);
+        }
+        s.run_to_quiescence();
+        let d0 = s.cast_deliveries(0);
+        assert_eq!(d0.len(), 10);
+        for r in 1..3 {
+            assert_eq!(s.cast_deliveries(r), d0, "agreement at rank {r}");
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let run = || {
+            let mut s = sim(3, STACK_10, EngineKind::Imp);
+            s.cast(0, b"a");
+            s.cast(1, b"b");
+            s.run_to_quiescence();
+            (s.cast_deliveries(2), s.steps)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn killed_process_stops_delivering() {
+        let mut s = sim(3, STACK_4, EngineKind::Imp);
+        s.kill(2);
+        s.cast(0, b"m");
+        s.run_to_quiescence();
+        assert!(s.cast_deliveries(2).is_empty());
+        assert!(!s.is_alive(2));
+        assert_eq!(s.cast_deliveries(1).len(), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Per-layer header frames.
+//!
+//! Every micro-protocol layer pushes exactly one [`Frame`] onto a message
+//! travelling down the stack and pops exactly one on the way up. There is
+//! no fixed wire format for headers in Ensemble; `ensemble-transport`
+//! provides both a generic marshaler (walking this structure, modelling the
+//! OCaml value marshaler) and the specialized compressed form synthesized
+//! for common cases.
+
+use ensemble_util::{Endpoint, Rank, Seqno};
+
+/// The header contributed by one layer to one message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A layer that passes the message through unchanged.
+    NoHdr,
+    /// `bottom` wraps the fully-assembled message for the network.
+    Bottom { view_ltime: u64 },
+    /// `mnak` reliable-multicast header.
+    Mnak(MnakHdr),
+    /// `pt2pt` reliable point-to-point header.
+    Pt2Pt(Pt2PtHdr),
+    /// `pt2ptw` point-to-point window flow control.
+    Pt2PtW(FlowHdr),
+    /// `mflow` multicast flow control.
+    MFlow(FlowHdr),
+    /// `frag` fragmentation header.
+    Frag(FragHdr),
+    /// `collect` stability collection header.
+    Collect(CollectHdr),
+    /// `total` total-ordering header.
+    Total(TotalHdr),
+    /// `stable` stability-gossip header.
+    Stable(StableHdr),
+    /// `suspect` failure-detection header.
+    Suspect(SuspectHdr),
+    /// `sync` view-flush header.
+    Sync(SyncHdr),
+    /// `gmp` group-membership header.
+    Gmp(GmpHdr),
+    /// `sign` integrity MAC.
+    Sign { mac: u64 },
+    /// `encrypt` marker (payload bytes are transformed in place).
+    Encrypt { keyid: u32 },
+}
+
+/// Headers of the NAK-based reliable multicast layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MnakHdr {
+    /// A data cast, numbered per origin.
+    Data { seqno: Seqno },
+    /// A negative acknowledgment requesting `[lo, hi)` from `origin`.
+    Nak { origin: Rank, lo: Seqno, hi: Seqno },
+    /// A retransmission of `origin`'s cast `seqno`.
+    Retrans { origin: Rank, seqno: Seqno },
+    /// A periodic frontier announcement: the sender's next cast seqno.
+    /// Receivers compare against their delivery frontier and NAK any gap
+    /// — this is what repairs *trailing* losses, which plain NAKs can
+    /// never detect (no later data arrives to reveal the gap).
+    Heartbeat { next: Seqno },
+}
+
+/// Headers of the credit-based flow-control layers (`pt2ptw`, `mflow`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowHdr {
+    /// Data passing through under an open window.
+    Data,
+    /// A cumulative credit grant: the receiver has consumed `granted`
+    /// messages in total from the grantee.
+    Credit { granted: u64 },
+}
+
+/// Headers of the positive-ack sliding-window point-to-point layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pt2PtHdr {
+    /// In-sequence data with a piggybacked cumulative ack.
+    Data { seqno: Seqno, ack: Seqno },
+    /// An explicit cumulative acknowledgment.
+    Ack { ack: Seqno },
+}
+
+/// Headers of the fragmentation layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FragHdr {
+    /// The message was small enough to travel whole (the common case).
+    Whole,
+    /// Fragment `idx` of `total` of logical message `msg_id`.
+    Piece { msg_id: u32, idx: u16, total: u16 },
+}
+
+/// Headers of the stability-collection layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollectHdr {
+    /// Data passes through.
+    Pass,
+    /// A gossip of this member's delivered-seqno vector (one per origin).
+    Gossip { seen: Vec<u64> },
+}
+
+/// Headers of the (sequencer-based) total ordering layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TotalHdr {
+    /// A cast already carrying its global order (sent by the sequencer —
+    /// the common case the bypass specializes for).
+    Ordered { order: Seqno },
+    /// A cast awaiting an order assignment; keyed by the sender's local
+    /// sequence number.
+    Unordered { local: Seqno },
+    /// The sequencer's order announcement: global order `order` is the
+    /// cast `local` from `origin`.
+    Order {
+        origin: Rank,
+        local: Seqno,
+        order: Seqno,
+    },
+}
+
+/// Headers of the gossip-based stability layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StableHdr {
+    /// Data passes through.
+    Pass,
+    /// Gossip of the local acknowledgment matrix row.
+    Gossip { row: Vec<u64> },
+}
+
+/// Headers of the failure-detection layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuspectHdr {
+    /// Data passes through.
+    Pass,
+    /// A liveness ping for round `round`.
+    Ping { round: u32 },
+    /// A reply to `Ping { round }`.
+    Pong { round: u32 },
+}
+
+/// Headers of the virtual-synchrony flush layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncHdr {
+    /// Data passes through.
+    Pass,
+    /// Coordinator asks members to flush (stop sending, report casts
+    /// seen). Carries the suspect ranks so members exclude the dead from
+    /// the completion condition.
+    Flush { suspects: Vec<u64> },
+    /// A member reports it has flushed; `seen` is its delivered-cast vector.
+    FlushOk { seen: Vec<u64> },
+}
+
+/// Headers of the group-membership layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GmpHdr {
+    /// Data passes through.
+    Pass,
+    /// The coordinator announces the next view.
+    NewView {
+        view_id_ltime: u64,
+        coord: Endpoint,
+        members: Vec<Endpoint>,
+    },
+}
+
+impl Frame {
+    /// A short tag identifying the frame kind (used for wire encoding and
+    /// for the synthesized header-compression tables).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::NoHdr => 0,
+            Frame::Bottom { .. } => 1,
+            Frame::Mnak(MnakHdr::Data { .. }) => 2,
+            Frame::Mnak(MnakHdr::Nak { .. }) => 3,
+            Frame::Mnak(MnakHdr::Retrans { .. }) => 4,
+            Frame::Mnak(MnakHdr::Heartbeat { .. }) => 30,
+            Frame::Pt2Pt(Pt2PtHdr::Data { .. }) => 5,
+            Frame::Pt2Pt(Pt2PtHdr::Ack { .. }) => 6,
+            Frame::Pt2PtW(FlowHdr::Data) => 7,
+            Frame::MFlow(FlowHdr::Data) => 8,
+            Frame::Pt2PtW(FlowHdr::Credit { .. }) => 28,
+            Frame::MFlow(FlowHdr::Credit { .. }) => 29,
+            Frame::Frag(FragHdr::Whole) => 9,
+            Frame::Frag(FragHdr::Piece { .. }) => 10,
+            Frame::Collect(CollectHdr::Pass) => 11,
+            Frame::Collect(CollectHdr::Gossip { .. }) => 12,
+            Frame::Total(TotalHdr::Ordered { .. }) => 13,
+            Frame::Total(TotalHdr::Unordered { .. }) => 14,
+            Frame::Total(TotalHdr::Order { .. }) => 15,
+            Frame::Stable(StableHdr::Pass) => 16,
+            Frame::Stable(StableHdr::Gossip { .. }) => 17,
+            Frame::Suspect(SuspectHdr::Pass) => 18,
+            Frame::Suspect(SuspectHdr::Ping { .. }) => 19,
+            Frame::Suspect(SuspectHdr::Pong { .. }) => 20,
+            Frame::Sync(SyncHdr::Pass) => 21,
+            Frame::Sync(SyncHdr::Flush { .. }) => 22,
+            Frame::Sync(SyncHdr::FlushOk { .. }) => 23,
+            Frame::Gmp(GmpHdr::Pass) => 24,
+            Frame::Gmp(GmpHdr::NewView { .. }) => 25,
+            Frame::Sign { .. } => 26,
+            Frame::Encrypt { .. } => 27,
+        }
+    }
+
+    /// Whether the frame is a constant pass-through (carries no varying
+    /// fields). Such frames vanish entirely under header compression.
+    pub fn is_constant(&self) -> bool {
+        matches!(
+            self,
+            Frame::NoHdr
+                | Frame::Pt2PtW(FlowHdr::Data)
+                | Frame::MFlow(FlowHdr::Data)
+                | Frame::Frag(FragHdr::Whole)
+                | Frame::Collect(CollectHdr::Pass)
+                | Frame::Stable(StableHdr::Pass)
+                | Frame::Suspect(SuspectHdr::Pass)
+                | Frame::Sync(SyncHdr::Pass)
+                | Frame::Gmp(GmpHdr::Pass)
+        )
+    }
+}
+
+/// Convenience constructor used pervasively in tests.
+pub fn mnak_data(seqno: u64) -> Frame {
+    Frame::Mnak(MnakHdr::Data {
+        seqno: Seqno(seqno),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let frames = vec![
+            Frame::NoHdr,
+            Frame::Bottom { view_ltime: 0 },
+            mnak_data(0),
+            Frame::Mnak(MnakHdr::Nak {
+                origin: Rank(0),
+                lo: Seqno(0),
+                hi: Seqno(1),
+            }),
+            Frame::Mnak(MnakHdr::Retrans {
+                origin: Rank(0),
+                seqno: Seqno(0),
+            }),
+            Frame::Mnak(MnakHdr::Heartbeat { next: Seqno(0) }),
+            Frame::Pt2Pt(Pt2PtHdr::Data {
+                seqno: Seqno(0),
+                ack: Seqno(0),
+            }),
+            Frame::Pt2Pt(Pt2PtHdr::Ack { ack: Seqno(0) }),
+            Frame::Pt2PtW(FlowHdr::Data),
+            Frame::MFlow(FlowHdr::Data),
+            Frame::Pt2PtW(FlowHdr::Credit { granted: 0 }),
+            Frame::MFlow(FlowHdr::Credit { granted: 0 }),
+            Frame::Frag(FragHdr::Whole),
+            Frame::Frag(FragHdr::Piece {
+                msg_id: 0,
+                idx: 0,
+                total: 2,
+            }),
+            Frame::Collect(CollectHdr::Pass),
+            Frame::Collect(CollectHdr::Gossip { seen: vec![] }),
+            Frame::Total(TotalHdr::Ordered { order: Seqno(0) }),
+            Frame::Total(TotalHdr::Unordered { local: Seqno(0) }),
+            Frame::Total(TotalHdr::Order {
+                origin: Rank(0),
+                local: Seqno(0),
+                order: Seqno(0),
+            }),
+            Frame::Stable(StableHdr::Pass),
+            Frame::Stable(StableHdr::Gossip { row: vec![] }),
+            Frame::Suspect(SuspectHdr::Pass),
+            Frame::Suspect(SuspectHdr::Ping { round: 0 }),
+            Frame::Suspect(SuspectHdr::Pong { round: 0 }),
+            Frame::Sync(SyncHdr::Pass),
+            Frame::Sync(SyncHdr::Flush { suspects: vec![] }),
+            Frame::Sync(SyncHdr::FlushOk { seen: vec![] }),
+            Frame::Gmp(GmpHdr::Pass),
+            Frame::Gmp(GmpHdr::NewView {
+                view_id_ltime: 0,
+                coord: Endpoint::new(0),
+                members: vec![],
+            }),
+            Frame::Sign { mac: 0 },
+            Frame::Encrypt { keyid: 0 },
+        ];
+        let mut tags: Vec<u8> = frames.iter().map(Frame::tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), frames.len(), "duplicate frame tags");
+    }
+
+    #[test]
+    fn constant_frames() {
+        assert!(Frame::NoHdr.is_constant());
+        assert!(Frame::Frag(FragHdr::Whole).is_constant());
+        assert!(!mnak_data(3).is_constant());
+        assert!(!Frame::Bottom { view_ltime: 1 }.is_constant());
+    }
+}

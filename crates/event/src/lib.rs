@@ -1,0 +1,28 @@
+//! Event and message model for the Ensemble-rs protocol stacks.
+//!
+//! Ensemble's micro-protocol interface is event-driven: layers exchange
+//! *events*, some travelling down the stack (sends, casts, timers) and some
+//! travelling up (deliveries, view changes, blocks). Message-bearing events
+//! carry a [`Msg`]: an iovec-style [`Payload`] plus a stack of per-layer
+//! header [`Frame`]s — each layer pushes exactly one frame on the way down
+//! and pops exactly one on the way up.
+//!
+//! This crate defines the shared vocabulary; the layer algorithms live in
+//! `ensemble-layers`, marshaling in `ensemble-transport`.
+
+pub mod effects;
+pub mod event;
+pub mod frame;
+pub mod msg;
+pub mod payload;
+pub mod view;
+
+pub use effects::Effects;
+pub use event::{DnEvent, UpEvent};
+pub use frame::{
+    CollectHdr, FlowHdr, Frame, FragHdr, GmpHdr, MnakHdr, Pt2PtHdr, StableHdr, SuspectHdr, SyncHdr,
+    TotalHdr,
+};
+pub use msg::Msg;
+pub use payload::Payload;
+pub use view::ViewState;

@@ -1,0 +1,211 @@
+//! Zero-copy message payloads.
+//!
+//! §4.2 of the paper stresses avoiding copies on the critical path by using
+//! scatter-gather ("iovec") interfaces. [`Payload`] mirrors that: a payload
+//! is a list of reference-counted byte segments; cloning a payload or
+//! prepending a header segment never copies user data. Gathering into a
+//! contiguous buffer happens only at the wire boundary.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, reference-counted, segmented byte payload.
+///
+/// # Examples
+///
+/// ```
+/// use ensemble_event::Payload;
+/// let p = Payload::from_slice(b"hello ").appended(Payload::from_slice(b"world"));
+/// assert_eq!(p.len(), 11);
+/// assert_eq!(p.gather(), b"hello world");
+/// ```
+#[derive(Clone, Default)]
+pub struct Payload {
+    segs: Vec<Arc<[u8]>>,
+    len: usize,
+}
+
+impl Payload {
+    /// The empty payload.
+    pub fn empty() -> Self {
+        Payload::default()
+    }
+
+    /// Builds a single-segment payload by copying `bytes` once.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        if bytes.is_empty() {
+            return Payload::empty();
+        }
+        Payload {
+            len: bytes.len(),
+            segs: vec![Arc::from(bytes)],
+        }
+    }
+
+    /// Builds a single-segment payload, taking ownership without copying.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        if bytes.is_empty() {
+            return Payload::empty();
+        }
+        Payload {
+            len: bytes.len(),
+            segs: vec![Arc::from(bytes.into_boxed_slice())],
+        }
+    }
+
+    /// Builds a payload of `len` bytes filled with `byte`.
+    pub fn filled(byte: u8, len: usize) -> Self {
+        Payload::from_vec(vec![byte; len])
+    }
+
+    /// Total byte length across all segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the payload has zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments (wire writes needed under scatter-gather).
+    pub fn seg_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Iterates over the raw segments.
+    pub fn segments(&self) -> impl Iterator<Item = &[u8]> {
+        self.segs.iter().map(|s| s.as_ref())
+    }
+
+    /// Returns a new payload that is `self` followed by `tail` (no copy).
+    pub fn appended(&self, tail: Payload) -> Payload {
+        let mut segs = self.segs.clone();
+        segs.extend(tail.segs);
+        Payload {
+            len: self.len + tail.len,
+            segs,
+        }
+    }
+
+    /// Gathers all segments into one contiguous vector (copies).
+    pub fn gather(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for s in &self.segs {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// Splits the payload into `n` roughly-equal fragments (no copy for
+    /// segment-aligned cuts; copies only the straddling segment).
+    ///
+    /// Used by the `frag` layer. Fragments are returned in order and
+    /// gathering their concatenation reproduces the original bytes.
+    pub fn split_into(&self, max_frag: usize) -> Vec<Payload> {
+        assert!(max_frag > 0, "fragment size must be positive");
+        if self.len <= max_frag {
+            return vec![self.clone()];
+        }
+        let bytes = self.gather();
+        bytes
+            .chunks(max_frag)
+            .map(Payload::from_slice)
+            .collect()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        // Compare logical byte streams, ignoring segmentation.
+        self.gather() == other.gather()
+    }
+}
+
+impl Eq for Payload {}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload[{}B x{}]", self.len, self.segs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_payload() {
+        let p = Payload::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.seg_count(), 0);
+        assert_eq!(p.gather(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn from_slice_and_vec_agree() {
+        let a = Payload::from_slice(b"abc");
+        let b = Payload::from_vec(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn append_is_zero_copy_concat() {
+        let a = Payload::from_slice(b"ab");
+        let b = Payload::from_slice(b"cd");
+        let c = a.appended(b);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.seg_count(), 2);
+        assert_eq!(c.gather(), b"abcd");
+    }
+
+    #[test]
+    fn equality_ignores_segmentation() {
+        let a = Payload::from_slice(b"ab").appended(Payload::from_slice(b"cd"));
+        let b = Payload::from_slice(b"abcd");
+        assert_eq!(a, b);
+        assert_ne!(a, Payload::from_slice(b"abce"));
+        assert_ne!(a, Payload::from_slice(b"abc"));
+    }
+
+    #[test]
+    fn clone_shares_segments() {
+        let a = Payload::filled(7, 1024);
+        let b = a.clone();
+        // Both views see the same backing store.
+        assert!(Arc::ptr_eq(&a.segs[0], &b.segs[0]));
+    }
+
+    #[test]
+    fn split_reassembles() {
+        let p = Payload::from_vec((0..=255u8).collect());
+        let frags = p.split_into(100);
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[0].len(), 100);
+        assert_eq!(frags[2].len(), 56);
+        let mut whole = Payload::empty();
+        for f in &frags {
+            whole = whole.appended(f.clone());
+        }
+        assert_eq!(whole, p);
+    }
+
+    #[test]
+    fn split_small_is_identity() {
+        let p = Payload::from_slice(b"tiny");
+        let frags = p.split_into(100);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], p);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn split_zero_panics() {
+        Payload::from_slice(b"x").split_into(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Group views.
+//!
+//! A *view* is the membership agreed by the group at a point in time. Each
+//! member knows the view and its own rank within it. Virtual synchrony
+//! guarantees that members move through the same sequence of views and
+//! deliver the same messages within each view.
+
+use ensemble_util::{Endpoint, GroupId, Rank, ViewId};
+
+/// The membership state a protocol stack is instantiated with.
+///
+/// # Examples
+///
+/// ```
+/// use ensemble_event::ViewState;
+/// use ensemble_util::{Endpoint, Rank};
+/// let vs = ViewState::initial(3);
+/// assert_eq!(vs.nmembers(), 3);
+/// assert_eq!(vs.rank_of(Endpoint::new(2)), Some(Rank(2)));
+/// assert!(vs.is_coord_rank(Rank(0)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewState {
+    /// The group this view belongs to.
+    pub group: GroupId,
+    /// The view identifier (totally ordered across the group's history).
+    pub view_id: ViewId,
+    /// Members in rank order.
+    pub members: Vec<Endpoint>,
+    /// This process's rank within `members`.
+    pub rank: Rank,
+}
+
+impl ViewState {
+    /// A fresh single-group view of `n` endpoints `ep0..ep(n-1)`, seen from
+    /// rank 0. Use [`ViewState::for_rank`] to re-root it at another member.
+    pub fn initial(n: usize) -> Self {
+        let members: Vec<Endpoint> = (0..n as u32).map(Endpoint::new).collect();
+        ViewState {
+            group: GroupId(1),
+            view_id: ViewId::initial(members[0]),
+            members,
+            rank: Rank(0),
+        }
+    }
+
+    /// The same view seen from `rank`.
+    pub fn for_rank(&self, rank: Rank) -> Self {
+        assert!(rank.index() < self.members.len(), "rank out of view");
+        ViewState {
+            rank,
+            ..self.clone()
+        }
+    }
+
+    /// Number of members in the view.
+    pub fn nmembers(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The endpoint at `rank`.
+    pub fn endpoint_of(&self, rank: Rank) -> Endpoint {
+        self.members[rank.index()]
+    }
+
+    /// This process's endpoint.
+    pub fn my_endpoint(&self) -> Endpoint {
+        self.endpoint_of(self.rank)
+    }
+
+    /// The rank of `ep` in this view, if a member.
+    pub fn rank_of(&self, ep: Endpoint) -> Option<Rank> {
+        self.members
+            .iter()
+            .position(|&m| m == ep)
+            .map(|i| Rank(i as u16))
+    }
+
+    /// The coordinator's rank (lowest rank by convention).
+    pub fn coord(&self) -> Rank {
+        Rank(0)
+    }
+
+    /// Whether `rank` is the coordinator.
+    pub fn is_coord_rank(&self, rank: Rank) -> bool {
+        rank == self.coord()
+    }
+
+    /// Whether this process is the coordinator.
+    pub fn am_coord(&self) -> bool {
+        self.is_coord_rank(self.rank)
+    }
+
+    /// Builds the successor view with `failed` members removed, installed
+    /// by this process. Ranks are reassigned by position.
+    pub fn next_view(&self, failed: &[Rank]) -> ViewState {
+        let survivors: Vec<Endpoint> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !failed.iter().any(|f| f.index() == *i))
+            .map(|(_, &ep)| ep)
+            .collect();
+        assert!(!survivors.is_empty(), "view change would empty the group");
+        let me = self.my_endpoint();
+        let new_rank = survivors
+            .iter()
+            .position(|&ep| ep == me)
+            .map(|i| Rank(i as u16))
+            .unwrap_or(Rank(0));
+        ViewState {
+            group: self.group,
+            view_id: self.view_id.next(survivors[0]),
+            members: survivors,
+            rank: new_rank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_view_shape() {
+        let vs = ViewState::initial(4);
+        assert_eq!(vs.nmembers(), 4);
+        assert_eq!(vs.rank, Rank(0));
+        assert!(vs.am_coord());
+        assert_eq!(vs.my_endpoint(), Endpoint::new(0));
+    }
+
+    #[test]
+    fn for_rank_reroots() {
+        let vs = ViewState::initial(3).for_rank(Rank(2));
+        assert_eq!(vs.rank, Rank(2));
+        assert!(!vs.am_coord());
+        assert_eq!(vs.my_endpoint(), Endpoint::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of view")]
+    fn for_rank_bounds_checked() {
+        ViewState::initial(2).for_rank(Rank(5));
+    }
+
+    #[test]
+    fn rank_lookup() {
+        let vs = ViewState::initial(3);
+        assert_eq!(vs.rank_of(Endpoint::new(1)), Some(Rank(1)));
+        assert_eq!(vs.rank_of(Endpoint::new(9)), None);
+    }
+
+    #[test]
+    fn next_view_removes_failed_and_reranks() {
+        let vs = ViewState::initial(4).for_rank(Rank(2));
+        let nv = vs.next_view(&[Rank(0)]);
+        assert_eq!(nv.nmembers(), 3);
+        // ep2 had rank 2, is now rank 1 after ep0 left.
+        assert_eq!(nv.rank, Rank(1));
+        assert_eq!(nv.members[0], Endpoint::new(1));
+        assert!(nv.view_id > vs.view_id);
+    }
+
+    #[test]
+    fn next_view_new_coordinator() {
+        let vs = ViewState::initial(3).for_rank(Rank(1));
+        let nv = vs.next_view(&[Rank(0)]);
+        assert!(nv.am_coord());
+        assert_eq!(nv.view_id.coord, Endpoint::new(1));
+    }
+}

@@ -1,0 +1,14 @@
+//! The hand-optimized bypass (HAND configuration, §4.2).
+//!
+//! "For particular common protocol stacks, Ensemble provides carefully
+//! optimized bypass code for common paths through the protocol stack.
+//! These paths were created manually." This crate is that code for the
+//! 4-layer stack (`top, pt2pt, mnak, bottom`, Figure 4): a hand-written
+//! Rust fast path with the Transport module *integrated* (the paper
+//! attributes HAND's ~25 % edge over MACH to exactly this), plus the
+//! deliver-then-send optimization: after a delivery through the bypass,
+//! the next send skips the CCP re-check.
+
+pub mod fastpath;
+
+pub use fastpath::{HandBypass, HandOutput};

@@ -1,0 +1,265 @@
+//! The automaton trait, parallel composition, and hiding.
+
+use crate::value::{Action, Value};
+use ensemble_util::Intern;
+
+/// A (possibly nondeterministic) I/O automaton.
+///
+/// States and action arguments are [`Value`]s so that generic exploration
+/// and refinement checking can hash and compare them. `enabled` must
+/// return a *finite* set of enabled action instances in the given state;
+/// parameterized actions are therefore enumerated over the (finite)
+/// alphabets the automaton was constructed with.
+pub trait Automaton {
+    /// The automaton's initial states.
+    fn initial(&self) -> Vec<Value>;
+
+    /// The action instances enabled in `s`.
+    fn enabled(&self, s: &Value) -> Vec<Action>;
+
+    /// The successor states of taking `a` in `s` (empty if disabled).
+    fn step(&self, s: &Value, a: &Action) -> Vec<Value>;
+
+    /// Whether actions named `name` belong to this automaton's signature.
+    fn in_signature(&self, name: Intern) -> bool;
+
+    /// Whether `a` is externally visible (appears in traces).
+    fn is_external(&self, a: &Action) -> bool;
+}
+
+/// Parallel composition of two automata, synchronizing on every action
+/// whose name is in both signatures (the paper's "two events can be tied
+/// together by combining the conditions and actions of those events").
+pub struct Compose<A, B> {
+    /// The left component.
+    pub left: A,
+    /// The right component.
+    pub right: B,
+}
+
+impl<A: Automaton, B: Automaton> Compose<A, B> {
+    /// Composes two automata.
+    pub fn new(left: A, right: B) -> Self {
+        Compose { left, right }
+    }
+
+    fn split(s: &Value) -> (&Value, &Value) {
+        match s {
+            Value::List(v) if v.len() == 2 => (&v[0], &v[1]),
+            other => panic!("composed state must be a pair, got {other:?}"),
+        }
+    }
+}
+
+impl<A: Automaton, B: Automaton> Automaton for Compose<A, B> {
+    fn initial(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        for l in self.left.initial() {
+            for r in self.right.initial() {
+                out.push(Value::pair(l.clone(), r.clone()));
+            }
+        }
+        out
+    }
+
+    fn enabled(&self, s: &Value) -> Vec<Action> {
+        let (ls, rs) = Self::split(s);
+        let mut out = Vec::new();
+        for a in self.left.enabled(ls) {
+            if self.right.in_signature(a.name) {
+                // Synchronized: the right side must also enable it.
+                if !self.right.step(rs, &a).is_empty() {
+                    out.push(a);
+                }
+            } else {
+                out.push(a);
+            }
+        }
+        for a in self.right.enabled(rs) {
+            if self.left.in_signature(a.name) {
+                // Already considered from the left side (synchronized), or
+                // disabled there.
+                continue;
+            }
+            out.push(a);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn step(&self, s: &Value, a: &Action) -> Vec<Value> {
+        let (ls, rs) = Self::split(s);
+        let lhas = self.left.in_signature(a.name);
+        let rhas = self.right.in_signature(a.name);
+        let lsucc: Vec<Value> = if lhas {
+            self.left.step(ls, a)
+        } else {
+            vec![ls.clone()]
+        };
+        let rsucc: Vec<Value> = if rhas {
+            self.right.step(rs, a)
+        } else {
+            vec![rs.clone()]
+        };
+        if (lhas && lsucc.is_empty()) || (rhas && rsucc.is_empty()) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for l in &lsucc {
+            for r in &rsucc {
+                out.push(Value::pair(l.clone(), r.clone()));
+            }
+        }
+        out
+    }
+
+    fn in_signature(&self, name: Intern) -> bool {
+        self.left.in_signature(name) || self.right.in_signature(name)
+    }
+
+    fn is_external(&self, a: &Action) -> bool {
+        (self.left.in_signature(a.name) && self.left.is_external(a))
+            || (self.right.in_signature(a.name) && self.right.is_external(a))
+    }
+}
+
+/// Internalizes (hides) the named actions of an automaton.
+pub struct Hide<A> {
+    inner: A,
+    hidden: Vec<Intern>,
+}
+
+impl<A: Automaton> Hide<A> {
+    /// Hides `names` in `inner`.
+    pub fn new(inner: A, names: &[&str]) -> Self {
+        Hide {
+            inner,
+            hidden: names.iter().map(|n| Intern::from(n)).collect(),
+        }
+    }
+}
+
+impl<A: Automaton> Automaton for Hide<A> {
+    fn initial(&self) -> Vec<Value> {
+        self.inner.initial()
+    }
+
+    fn enabled(&self, s: &Value) -> Vec<Action> {
+        self.inner.enabled(s)
+    }
+
+    fn step(&self, s: &Value, a: &Action) -> Vec<Value> {
+        self.inner.step(s, a)
+    }
+
+    fn in_signature(&self, name: Intern) -> bool {
+        self.inner.in_signature(name)
+    }
+
+    fn is_external(&self, a: &Action) -> bool {
+        if self.hidden.contains(&a.name) {
+            return false;
+        }
+        self.inner.is_external(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy automaton: counts `tick`s up to `max`, emitting `tock` after
+    /// each.
+    struct Clock {
+        max: i64,
+        tick: Intern,
+        tock: Intern,
+    }
+
+    impl Clock {
+        fn new(max: i64) -> Self {
+            Clock {
+                max,
+                tick: Intern::from("tick"),
+                tock: Intern::from("tock"),
+            }
+        }
+    }
+
+    impl Automaton for Clock {
+        fn initial(&self) -> Vec<Value> {
+            vec![Value::pair(Value::Int(0), Value::Bool(false))]
+        }
+        fn enabled(&self, s: &Value) -> Vec<Action> {
+            let v = s.as_list().unwrap();
+            let (n, pending) = (v[0].as_int().unwrap(), v[1] == Value::Bool(true));
+            if pending {
+                vec![Action::bare("tock")]
+            } else if n < self.max {
+                vec![Action::bare("tick")]
+            } else {
+                vec![]
+            }
+        }
+        fn step(&self, s: &Value, a: &Action) -> Vec<Value> {
+            let v = s.as_list().unwrap();
+            let (n, pending) = (v[0].as_int().unwrap(), v[1] == Value::Bool(true));
+            if a.name == self.tick && !pending && n < self.max {
+                vec![Value::pair(Value::Int(n + 1), Value::Bool(true))]
+            } else if a.name == self.tock && pending {
+                vec![Value::pair(Value::Int(n), Value::Bool(false))]
+            } else {
+                vec![]
+            }
+        }
+        fn in_signature(&self, name: Intern) -> bool {
+            name == self.tick || name == self.tock
+        }
+        fn is_external(&self, _a: &Action) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn clock_alternates() {
+        let c = Clock::new(2);
+        let s0 = c.initial().remove(0);
+        let en = c.enabled(&s0);
+        assert_eq!(en, vec![Action::bare("tick")]);
+        let s1 = c.step(&s0, &en[0]).remove(0);
+        assert_eq!(c.enabled(&s1), vec![Action::bare("tock")]);
+    }
+
+    #[test]
+    fn composition_synchronizes_shared_actions() {
+        // Two clocks in lockstep: both have tick/tock in signature.
+        let c = Compose::new(Clock::new(1), Clock::new(2));
+        let s0 = c.initial().remove(0);
+        let en = c.enabled(&s0);
+        assert_eq!(en, vec![Action::bare("tick")]);
+        let s1 = c.step(&s0, &en[0]).remove(0);
+        let s2 = c.step(&s1, &Action::bare("tock")).remove(0);
+        // Left clock exhausted at 1: the pair can no longer tick.
+        assert!(c.enabled(&s2).is_empty());
+    }
+
+    #[test]
+    fn hide_makes_actions_internal() {
+        let h = Hide::new(Clock::new(1), &["tock"]);
+        assert!(h.is_external(&Action::bare("tick")));
+        assert!(!h.is_external(&Action::bare("tock")));
+        // Behaviour is otherwise unchanged.
+        let s0 = h.initial().remove(0);
+        assert_eq!(h.enabled(&s0).len(), 1);
+    }
+
+    #[test]
+    fn disabled_sync_action_blocks_composition() {
+        let c = Compose::new(Clock::new(0), Clock::new(5));
+        let s0 = c.initial().remove(0);
+        // Left clock can never tick, so neither can the composition.
+        assert!(c.enabled(&s0).is_empty());
+        assert!(c.step(&s0, &Action::bare("tick")).is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Trace properties.
+//!
+//! §3.1 distinguishes behaviour specifications from *properties* —
+//! "logical predicates on the possible executions of the system". These
+//! predicates are applied both to IOA traces and (by the integration
+//! tests) to executions of the real protocol stacks.
+
+use crate::value::{Action, Value};
+use ensemble_util::Intern;
+use std::collections::HashMap;
+
+/// Whether `a` is a prefix of `b`.
+pub fn is_prefix<T: PartialEq>(a: &[T], b: &[T]) -> bool {
+    a.len() <= b.len() && a.iter().zip(b.iter()).all(|(x, y)| x == y)
+}
+
+/// FIFO delivery: per destination, the delivered sequence is a prefix of
+/// the sent sequence (no loss *reordering*, no duplication, no creation;
+/// trailing sends may still be in flight).
+///
+/// Expects `Send(dst, msg)` / `Deliver(dst, msg)` actions; others are
+/// ignored.
+pub fn fifo_ok(trace: &[Action]) -> bool {
+    let send = Intern::from("Send");
+    let deliver = Intern::from("Deliver");
+    let mut sent: HashMap<Value, Vec<Value>> = HashMap::new();
+    let mut delivered: HashMap<Value, Vec<Value>> = HashMap::new();
+    for a in trace {
+        if a.name == send {
+            sent.entry(a.args[0].clone())
+                .or_default()
+                .push(a.args[1].clone());
+        } else if a.name == deliver {
+            delivered
+                .entry(a.args[0].clone())
+                .or_default()
+                .push(a.args[1].clone());
+        }
+    }
+    delivered.iter().all(|(dst, del)| {
+        let snt = sent.get(dst).map(Vec::as_slice).unwrap_or(&[]);
+        is_prefix(del, snt)
+    })
+}
+
+/// No creation: everything delivered was previously sent/cast (counts
+/// respected — a message may be delivered at most as many times per
+/// destination as it was sent).
+pub fn no_creation(trace: &[Action], send_name: &str, deliver_name: &str) -> bool {
+    let send = Intern::from(send_name);
+    let deliver = Intern::from(deliver_name);
+    let mut balance: HashMap<Value, i64> = HashMap::new();
+    let mut sent_total: HashMap<Value, i64> = HashMap::new();
+    for a in trace {
+        if a.name == send {
+            *sent_total.entry(a.args[1].clone()).or_default() += 1;
+        } else if a.name == deliver {
+            let e = balance.entry(a.args[1].clone()).or_default();
+            *e += 1;
+        }
+    }
+    // Per destination we cannot tell which copy is which, so the check is
+    // per message value: deliveries to any single destination must not
+    // exceed the number of times the value was sent.
+    let dests: Vec<Value> = trace
+        .iter()
+        .filter(|a| a.name == deliver)
+        .map(|a| a.args[0].clone())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    if dests.is_empty() {
+        return true;
+    }
+    let mut per_dest: HashMap<(Value, Value), i64> = HashMap::new();
+    for a in trace {
+        if a.name == deliver {
+            *per_dest
+                .entry((a.args[0].clone(), a.args[1].clone()))
+                .or_default() += 1;
+        }
+    }
+    per_dest
+        .iter()
+        .all(|((_, m), &n)| n <= sent_total.get(m).copied().unwrap_or(0))
+}
+
+/// Total-order agreement: for every pair of processes, one delivery
+/// sequence is a prefix of the other.
+///
+/// `deliveries[p]` is the ordered list of items delivered at process `p`.
+pub fn total_order_agreement<T: PartialEq>(deliveries: &[Vec<T>]) -> bool {
+    for i in 0..deliveries.len() {
+        for j in (i + 1)..deliveries.len() {
+            let (a, b) = (&deliveries[i], &deliveries[j]);
+            if !(is_prefix(a, b) || is_prefix(b, a)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Extracts per-process delivery sequences from a trace of
+/// `Deliver(p, m)` actions.
+pub fn deliveries_by_process(trace: &[Action], nprocs: usize) -> Vec<Vec<Value>> {
+    let deliver = Intern::from("Deliver");
+    let mut out = vec![Vec::new(); nprocs];
+    for a in trace {
+        if a.name == deliver {
+            let p = a.args[0].as_int().unwrap_or(0) as usize;
+            if p < nprocs {
+                out[p].push(a.args[1].clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(dst: i64, m: &str) -> Action {
+        Action::new("Send", vec![Value::Int(dst), Value::sym(m)])
+    }
+    fn deliver(dst: i64, m: &str) -> Action {
+        Action::new("Deliver", vec![Value::Int(dst), Value::sym(m)])
+    }
+
+    #[test]
+    fn prefix_relation() {
+        assert!(is_prefix(&[1, 2], &[1, 2, 3]));
+        assert!(is_prefix::<i32>(&[], &[1]));
+        assert!(!is_prefix(&[2], &[1, 2]));
+        assert!(!is_prefix(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn fifo_accepts_in_order() {
+        let t = vec![send(1, "a"), send(1, "b"), deliver(1, "a"), deliver(1, "b")];
+        assert!(fifo_ok(&t));
+        // Trailing in-flight messages are fine.
+        let t = vec![send(1, "a"), send(1, "b"), deliver(1, "a")];
+        assert!(fifo_ok(&t));
+    }
+
+    #[test]
+    fn fifo_rejects_reorder_dup_and_creation() {
+        assert!(!fifo_ok(&[send(1, "a"), send(1, "b"), deliver(1, "b")]));
+        assert!(!fifo_ok(&[send(1, "a"), deliver(1, "a"), deliver(1, "a")]));
+        assert!(!fifo_ok(&[deliver(1, "ghost")]));
+    }
+
+    #[test]
+    fn fifo_is_per_destination() {
+        let t = vec![
+            send(1, "a"),
+            send(2, "x"),
+            deliver(2, "x"),
+            deliver(1, "a"),
+        ];
+        assert!(fifo_ok(&t));
+    }
+
+    #[test]
+    fn creation_check() {
+        let t = vec![send(1, "a"), deliver(1, "a")];
+        assert!(no_creation(&t, "Send", "Deliver"));
+        let t = vec![deliver(1, "a")];
+        assert!(!no_creation(&t, "Send", "Deliver"));
+        // Duplicate delivery beyond the sent count is creation.
+        let t = vec![send(1, "a"), deliver(1, "a"), deliver(1, "a")];
+        assert!(!no_creation(&t, "Send", "Deliver"));
+    }
+
+    #[test]
+    fn agreement_check() {
+        assert!(total_order_agreement(&[vec![1, 2, 3], vec![1, 2]]));
+        assert!(total_order_agreement(&[vec![], vec![1]]));
+        assert!(!total_order_agreement(&[vec![1, 2], vec![2, 1]]));
+    }
+
+    #[test]
+    fn extraction() {
+        let t = vec![deliver(0, "a"), deliver(1, "b"), deliver(0, "c")];
+        let per = deliveries_by_process(&t, 2);
+        assert_eq!(per[0], vec![Value::sym("a"), Value::sym("c")]);
+        assert_eq!(per[1], vec![Value::sym("b")]);
+    }
+}

@@ -1,0 +1,711 @@
+//! Concrete protocol specifications.
+//!
+//! These automata model the *implementations* whose refinement against the
+//! abstract specs of [`crate::specs`] is checked by [`crate::refine`]:
+//!
+//! * [`FifoProtocol`] — the sliding-window protocol of Figure 3, composed
+//!   with its lossy channel: retransmits, removes duplicates, delivers in
+//!   order. Checked to refine [`crate::specs::FifoNetwork`].
+//! * [`TotalProtocol`] — the sequencer total-order protocol mirroring the
+//!   `total` layer, over per-source FIFO channels (what `mnak` provides),
+//!   including the loopback self-queue (what `local` provides). Its
+//!   `buggy` variant delivers a member's own casts eagerly at loopback —
+//!   the kind of subtle ordering bug the paper reports discovering by
+//!   formal analysis. Checked (and refuted) against
+//!   [`crate::specs::TotalOrderSpec`].
+
+use crate::automaton::Automaton;
+use crate::value::{Action, Value};
+use ensemble_util::Intern;
+
+/// The sliding-window FIFO protocol composed with its lossy channel.
+///
+/// Unidirectional: an application feeds `Send(1, m)`; the receiver emits
+/// `Deliver(1, m)`. Internal actions model transmission, loss, ack flow,
+/// and retransmission. State:
+/// `[pending list, base, channel_data set, channel_ack set, expected, sent_total]`.
+pub struct FifoProtocol {
+    /// Message alphabet.
+    pub msgs: Vec<Value>,
+    /// Bound on application sends.
+    pub max_sends: i64,
+    sig: Vec<Intern>,
+    send: Intern,
+    deliver: Intern,
+    transmit: Intern,
+    drop_data: Intern,
+    drop_ack: Intern,
+    re_ack: Intern,
+    recv_ack: Intern,
+}
+
+impl FifoProtocol {
+    /// Builds the protocol model.
+    pub fn new(msgs: Vec<Value>, max_sends: i64) -> Self {
+        FifoProtocol {
+            msgs,
+            max_sends,
+            sig: ["Send", "Deliver", "Transmit", "DropData", "DropAck", "ReAck", "RecvAck"]
+                .iter()
+                .map(|s| Intern::from(s))
+                .collect(),
+            send: Intern::from("Send"),
+            deliver: Intern::from("Deliver"),
+            transmit: Intern::from("Transmit"),
+            drop_data: Intern::from("DropData"),
+            drop_ack: Intern::from("DropAck"),
+            re_ack: Intern::from("ReAck"),
+            recv_ack: Intern::from("RecvAck"),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parts(s: &Value) -> (Vec<Value>, i64, Vec<Value>, Vec<i64>, i64, i64) {
+        let v = s.as_list().unwrap();
+        (
+            v[0].as_list().unwrap().to_vec(),
+            v[1].as_int().unwrap(),
+            v[2].as_list().unwrap().to_vec(),
+            v[3].as_list()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_int().unwrap())
+                .collect(),
+            v[4].as_int().unwrap(),
+            v[5].as_int().unwrap(),
+        )
+    }
+
+    fn pack(
+        pending: Vec<Value>,
+        base: i64,
+        data: Vec<Value>,
+        acks: Vec<i64>,
+        expected: i64,
+        sent: i64,
+    ) -> Value {
+        Value::list(vec![
+            Value::list(pending),
+            Value::Int(base),
+            Value::list(data),
+            Value::list(acks.into_iter().map(Value::Int).collect()),
+            Value::Int(expected),
+            Value::Int(sent),
+        ])
+    }
+}
+
+impl Automaton for FifoProtocol {
+    fn initial(&self) -> Vec<Value> {
+        vec![Self::pack(vec![], 0, vec![], vec![], 0, 0)]
+    }
+
+    fn enabled(&self, s: &Value) -> Vec<Action> {
+        let (pending, base, data, acks, expected, sent) = Self::parts(s);
+        let mut out = Vec::new();
+        if sent < self.max_sends {
+            for m in &self.msgs {
+                out.push(Action::new("Send", vec![Value::Int(1), m.clone()]));
+            }
+        }
+        if let Some(head) = pending.first() {
+            let wire = Value::pair(Value::Int(base), head.clone());
+            if !data.contains(&wire) {
+                out.push(Action::bare("Transmit"));
+            }
+        }
+        for d in &data {
+            let p = d.as_list().unwrap();
+            out.push(Action::new("DropData", vec![p[0].clone(), p[1].clone()]));
+            if p[0].as_int().unwrap() == expected {
+                out.push(Action::new("Deliver", vec![Value::Int(1), p[1].clone()]));
+            }
+        }
+        for &a in &acks {
+            out.push(Action::new("DropAck", vec![Value::Int(a)]));
+            if a > base {
+                out.push(Action::bare("RecvAck"));
+            }
+        }
+        if expected > 0 && !acks.contains(&expected) {
+            out.push(Action::bare("ReAck"));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn step(&self, s: &Value, a: &Action) -> Vec<Value> {
+        let (mut pending, mut base, mut data, mut acks, mut expected, mut sent) = Self::parts(s);
+        if a.name == self.send {
+            if sent >= self.max_sends {
+                return Vec::new();
+            }
+            pending.push(a.args[1].clone());
+            sent += 1;
+        } else if a.name == self.transmit {
+            let Some(head) = pending.first() else {
+                return Vec::new();
+            };
+            let wire = Value::pair(Value::Int(base), head.clone());
+            if data.contains(&wire) {
+                return Vec::new();
+            }
+            data.push(wire);
+            data.sort();
+        } else if a.name == self.deliver {
+            let wire = Value::pair(Value::Int(expected), a.args[1].clone());
+            if !data.contains(&wire) {
+                return Vec::new();
+            }
+            expected += 1;
+            if !acks.contains(&expected) {
+                acks.push(expected);
+                acks.sort_unstable();
+            }
+        } else if a.name == self.drop_data {
+            let wire = Value::pair(a.args[0].clone(), a.args[1].clone());
+            let Some(i) = data.iter().position(|x| *x == wire) else {
+                return Vec::new();
+            };
+            data.remove(i);
+        } else if a.name == self.drop_ack {
+            let v = a.args[0].as_int().unwrap();
+            let Some(i) = acks.iter().position(|x| *x == v) else {
+                return Vec::new();
+            };
+            acks.remove(i);
+        } else if a.name == self.re_ack {
+            if expected == 0 || acks.contains(&expected) {
+                return Vec::new();
+            }
+            acks.push(expected);
+            acks.sort_unstable();
+        } else if a.name == self.recv_ack {
+            let Some(&best) = acks.iter().filter(|&&x| x > base).max() else {
+                return Vec::new();
+            };
+            let advance = (best - base) as usize;
+            if advance > pending.len() {
+                return Vec::new();
+            }
+            pending.drain(..advance);
+            base = best;
+        } else {
+            return Vec::new();
+        }
+        vec![Self::pack(pending, base, data, acks, expected, sent)]
+    }
+
+    fn in_signature(&self, name: Intern) -> bool {
+        self.sig.contains(&name)
+    }
+
+    fn is_external(&self, a: &Action) -> bool {
+        a.name == self.send || a.name == self.deliver
+    }
+}
+
+/// Wire messages of the total-order protocol.
+fn wire_ord(order: i64, m: &Value) -> Value {
+    Value::list(vec![Value::sym("ord"), Value::Int(order), m.clone()])
+}
+fn wire_unord(origin: i64, local: i64, m: &Value) -> Value {
+    Value::list(vec![
+        Value::sym("unord"),
+        Value::Int(origin),
+        Value::Int(local),
+        m.clone(),
+    ])
+}
+fn wire_ann(origin: i64, local: i64, order: i64) -> Value {
+    Value::list(vec![
+        Value::sym("ann"),
+        Value::Int(origin),
+        Value::Int(local),
+        Value::Int(order),
+    ])
+}
+
+/// The sequencer total-order protocol over per-source FIFO channels.
+///
+/// Process 0 is the sequencer. State (for `n` processes):
+/// `[chans (n×n FIFO queues, src-major, incl. self loops), per-proc
+/// [dnext, lnext, holding, unordered, early], onext, casts]`.
+///
+/// External actions: `Cast(p, m)`, `Deliver(p, m)`; internal: `Proc(src,
+/// dst)` processes one queue head without delivering.
+pub struct TotalProtocol {
+    /// Number of processes (process 0 is the sequencer).
+    pub nprocs: i64,
+    /// Message alphabet.
+    pub msgs: Vec<Value>,
+    /// Bound on total casts.
+    pub max_casts: i64,
+    /// Whether to eagerly deliver a member's own casts (the seeded bug).
+    pub buggy: bool,
+    sig: Vec<Intern>,
+    cast: Intern,
+    deliver: Intern,
+    proc_: Intern,
+}
+
+impl TotalProtocol {
+    /// Builds the correct protocol model.
+    pub fn new(nprocs: i64, msgs: Vec<Value>, max_casts: i64) -> Self {
+        TotalProtocol {
+            nprocs,
+            msgs,
+            max_casts,
+            buggy: false,
+            sig: ["Cast", "Deliver", "Proc"]
+                .iter()
+                .map(|s| Intern::from(s))
+                .collect(),
+            cast: Intern::from("Cast"),
+            deliver: Intern::from("Deliver"),
+            proc_: Intern::from("Proc"),
+        }
+    }
+
+    /// Builds the buggy variant (eager self-delivery at loopback).
+    pub fn new_buggy(nprocs: i64, msgs: Vec<Value>, max_casts: i64) -> Self {
+        TotalProtocol {
+            buggy: true,
+            ..Self::new(nprocs, msgs, max_casts)
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.nprocs as usize
+    }
+
+    fn chan_idx(&self, src: usize, dst: usize) -> usize {
+        src * self.n() + dst
+    }
+
+    /// Unpacks `[chans, procs, onext, casts]`.
+    #[allow(clippy::type_complexity)]
+    fn parts(&self, s: &Value) -> (Vec<Vec<Value>>, Vec<ProcState>, i64, i64) {
+        let v = s.as_list().unwrap();
+        let chans = v[0]
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|c| c.as_list().unwrap().to_vec())
+            .collect();
+        let procs = v[1]
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(ProcState::unpack)
+            .collect();
+        (chans, procs, v[2].as_int().unwrap(), v[3].as_int().unwrap())
+    }
+
+    fn pack(&self, chans: Vec<Vec<Value>>, procs: Vec<ProcState>, onext: i64, casts: i64) -> Value {
+        Value::list(vec![
+            Value::list(chans.into_iter().map(Value::list).collect()),
+            Value::list(procs.into_iter().map(|p| p.pack()).collect()),
+            Value::Int(onext),
+            Value::Int(casts),
+        ])
+    }
+
+    /// Processes the head of channel `src→dst`. Returns the new state and
+    /// the delivery (if any) this processing step would perform.
+    #[allow(clippy::type_complexity)]
+    fn process_head(
+        &self,
+        chans: &mut [Vec<Value>],
+        procs: &mut [ProcState],
+        onext: &mut i64,
+        src: usize,
+        dst: usize,
+    ) -> Option<Option<Value>> {
+        let ci = self.chan_idx(src, dst);
+        if chans[ci].is_empty() {
+            return None;
+        }
+        let head = chans[ci].remove(0);
+        let h = head.as_list().unwrap().to_vec();
+        let kind = h[0].clone();
+        let p = &mut procs[dst];
+        if kind == Value::sym("ord") {
+            let (order, m) = (h[1].as_int().unwrap(), h[2].clone());
+            if order == p.dnext {
+                p.dnext += 1;
+                return Some(Some(m));
+            }
+            p.holding.push(Value::pair(Value::Int(order), m));
+            p.holding.sort();
+            Some(None)
+        } else if kind == Value::sym("unord") {
+            let (origin, local, m) = (h[1].as_int().unwrap(), h[2].as_int().unwrap(), h[3].clone());
+            if self.buggy && dst == src && origin == dst as i64 {
+                // BUG (deliberate): deliver our own cast at loopback,
+                // before the sequencer has fixed its order.
+                return Some(Some(m));
+            }
+            // Stash, or place directly if the announcement came early.
+            let key = Value::pair(Value::Int(origin), Value::Int(local));
+            if let Some(i) = p.early.iter().position(|e| {
+                let ev = e.as_list().unwrap();
+                Value::pair(ev[0].clone(), ev[1].clone()) == key
+            }) {
+                let order = p.early.remove(i).as_list().unwrap()[2].as_int().unwrap();
+                if order == p.dnext {
+                    // An early announcement cannot occur at the sequencer
+                    // itself (it is the announcer), so no announcement is
+                    // owed here.
+                    p.dnext += 1;
+                    return Some(Some(m));
+                }
+                p.holding.push(Value::pair(Value::Int(order), m));
+                p.holding.sort();
+            } else {
+                p.unordered.push(Value::list(vec![
+                    Value::Int(origin),
+                    Value::Int(local),
+                    m,
+                ]));
+                p.unordered.sort();
+            }
+            if dst == 0 {
+                // The sequencer assigns the next order and announces it to
+                // everyone (including itself, via the loopback queue).
+                let order = *onext;
+                *onext += 1;
+                for q in 0..self.n() {
+                    let qi = self.chan_idx(0, q);
+                    chans[qi].push(wire_ann(origin, local, order));
+                }
+            }
+            Some(None)
+        } else {
+            // Order announcement.
+            let (origin, local, order) = (
+                h[1].as_int().unwrap(),
+                h[2].as_int().unwrap(),
+                h[3].as_int().unwrap(),
+            );
+            let key = (origin, local);
+            if let Some(i) = p.unordered.iter().position(|u| {
+                let uv = u.as_list().unwrap();
+                (uv[0].as_int().unwrap(), uv[1].as_int().unwrap()) == key
+            }) {
+                let m = p.unordered.remove(i).as_list().unwrap()[2].clone();
+                if order == p.dnext {
+                    p.dnext += 1;
+                    return Some(Some(m));
+                }
+                p.holding.push(Value::pair(Value::Int(order), m));
+                p.holding.sort();
+            } else {
+                p.early.push(Value::list(vec![
+                    Value::Int(origin),
+                    Value::Int(local),
+                    Value::Int(order),
+                ]));
+                p.early.sort();
+            }
+            Some(None)
+        }
+    }
+}
+
+/// Per-process protocol state.
+#[derive(Clone)]
+struct ProcState {
+    dnext: i64,
+    lnext: i64,
+    holding: Vec<Value>,
+    unordered: Vec<Value>,
+    early: Vec<Value>,
+}
+
+impl ProcState {
+    fn initial() -> ProcState {
+        ProcState {
+            dnext: 0,
+            lnext: 0,
+            holding: Vec::new(),
+            unordered: Vec::new(),
+            early: Vec::new(),
+        }
+    }
+
+    fn unpack(v: &Value) -> ProcState {
+        let l = v.as_list().unwrap();
+        ProcState {
+            dnext: l[0].as_int().unwrap(),
+            lnext: l[1].as_int().unwrap(),
+            holding: l[2].as_list().unwrap().to_vec(),
+            unordered: l[3].as_list().unwrap().to_vec(),
+            early: l[4].as_list().unwrap().to_vec(),
+        }
+    }
+
+    fn pack(self) -> Value {
+        Value::list(vec![
+            Value::Int(self.dnext),
+            Value::Int(self.lnext),
+            Value::list(self.holding),
+            Value::list(self.unordered),
+            Value::list(self.early),
+        ])
+    }
+
+    /// The message deliverable from the holding buffer, if any.
+    fn holding_ready(&self) -> Option<Value> {
+        for h in &self.holding {
+            let hv = h.as_list().unwrap();
+            if hv[0].as_int() == Some(self.dnext) {
+                return Some(hv[1].clone());
+            }
+        }
+        None
+    }
+
+    fn take_holding_ready(&mut self) -> Option<Value> {
+        for (i, h) in self.holding.iter().enumerate() {
+            let hv = h.as_list().unwrap();
+            if hv[0].as_int() == Some(self.dnext) {
+                let m = hv[1].clone();
+                self.holding.remove(i);
+                self.dnext += 1;
+                return Some(m);
+            }
+        }
+        None
+    }
+}
+
+impl Automaton for TotalProtocol {
+    fn initial(&self) -> Vec<Value> {
+        let chans = vec![Vec::new(); self.n() * self.n()];
+        let procs = vec![ProcState::initial(); self.n()];
+        vec![self.pack(chans, procs, 0, 0)]
+    }
+
+    fn enabled(&self, s: &Value) -> Vec<Action> {
+        let (chans, procs, mut onext, casts) = self.parts(s);
+        let mut out = Vec::new();
+        if casts < self.max_casts {
+            for p in 0..self.nprocs {
+                for m in &self.msgs {
+                    out.push(Action::new("Cast", vec![Value::Int(p), m.clone()]));
+                }
+            }
+        }
+        for src in 0..self.n() {
+            for dst in 0..self.n() {
+                if chans[self.chan_idx(src, dst)].is_empty() {
+                    continue;
+                }
+                // Peek: does processing this head deliver?
+                let mut c2 = chans.clone();
+                let mut p2 = procs.clone();
+                match self.process_head(&mut c2, &mut p2, &mut onext, src, dst) {
+                    Some(Some(m)) => out.push(Action::new(
+                        "Deliver",
+                        vec![Value::Int(dst as i64), m],
+                    )),
+                    Some(None) => out.push(Action::new(
+                        "Proc",
+                        vec![Value::Int(src as i64), Value::Int(dst as i64)],
+                    )),
+                    None => {}
+                }
+            }
+        }
+        // Holding-buffer releases are deliveries too.
+        for (dst, p) in procs.iter().enumerate() {
+            if let Some(m) = p.holding_ready() {
+                out.push(Action::new("Deliver", vec![Value::Int(dst as i64), m]));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn step(&self, s: &Value, a: &Action) -> Vec<Value> {
+        let (mut chans, mut procs, mut onext, mut casts) = self.parts(s);
+        if a.name == self.cast {
+            if casts >= self.max_casts {
+                return Vec::new();
+            }
+            let p = a.args[0].as_int().unwrap() as usize;
+            let m = a.args[1].clone();
+            let wire = if p == 0 {
+                let o = onext;
+                onext += 1;
+                wire_ord(o, &m)
+            } else {
+                let l = procs[p].lnext;
+                procs[p].lnext += 1;
+                wire_unord(p as i64, l, &m)
+            };
+            for q in 0..self.n() {
+                chans[self.chan_idx(p, q)].push(wire.clone());
+            }
+            casts += 1;
+            return vec![self.pack(chans, procs, onext, casts)];
+        }
+        if a.name == self.proc_ {
+            let src = a.args[0].as_int().unwrap() as usize;
+            let dst = a.args[1].as_int().unwrap() as usize;
+            return match self.process_head(&mut chans, &mut procs, &mut onext, src, dst) {
+                Some(None) => vec![self.pack(chans, procs, onext, casts)],
+                // A `Proc` that would deliver is not a `Proc` step.
+                _ => Vec::new(),
+            };
+        }
+        if a.name == self.deliver {
+            let dst = a.args[0].as_int().unwrap() as usize;
+            let want = &a.args[1];
+            let mut results = Vec::new();
+            // Option A: the holding buffer releases `want`.
+            {
+                let mut p2 = procs.clone();
+                if let Some(m) = p2[dst].take_holding_ready() {
+                    if &m == want {
+                        results.push(self.pack(chans.clone(), p2, onext, casts));
+                    }
+                }
+            }
+            // Option B: processing some queue head delivers `want`.
+            for src in 0..self.n() {
+                let mut c2 = chans.clone();
+                let mut p2 = procs.clone();
+                let mut o2 = onext;
+                if let Some(Some(m)) = self.process_head(&mut c2, &mut p2, &mut o2, src, dst) {
+                    if &m == want {
+                        results.push(self.pack(c2, p2, o2, casts));
+                    }
+                }
+            }
+            results.sort();
+            results.dedup();
+            return results;
+        }
+        Vec::new()
+    }
+
+    fn in_signature(&self, name: Intern) -> bool {
+        self.sig.contains(&name)
+    }
+
+    fn is_external(&self, a: &Action) -> bool {
+        a.name == self.cast || a.name == self.deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msgs() -> Vec<Value> {
+        vec![Value::sym("a"), Value::sym("b")]
+    }
+
+    #[test]
+    fn fifo_protocol_happy_path() {
+        let p = FifoProtocol::new(msgs(), 2);
+        let mut s = p.initial().remove(0);
+        let send = Action::new("Send", vec![Value::Int(1), Value::sym("a")]);
+        s = p.step(&s, &send).remove(0);
+        s = p.step(&s, &Action::bare("Transmit")).remove(0);
+        let deliver = Action::new("Deliver", vec![Value::Int(1), Value::sym("a")]);
+        s = p.step(&s, &deliver).remove(0);
+        // The ack flows back and the sender's window advances.
+        s = p.step(&s, &Action::bare("RecvAck")).remove(0);
+        let (pending, base, ..) = FifoProtocol::parts(&s);
+        assert!(pending.is_empty());
+        assert_eq!(base, 1);
+    }
+
+    #[test]
+    fn fifo_protocol_duplicate_not_redelivered() {
+        let p = FifoProtocol::new(msgs(), 1);
+        let mut s = p.initial().remove(0);
+        s = p
+            .step(&s, &Action::new("Send", vec![Value::Int(1), Value::sym("a")]))
+            .remove(0);
+        s = p.step(&s, &Action::bare("Transmit")).remove(0);
+        let deliver = Action::new("Deliver", vec![Value::Int(1), Value::sym("a")]);
+        s = p.step(&s, &deliver).remove(0);
+        // The copy is still in the channel but expected has advanced.
+        assert!(p.step(&s, &deliver).is_empty());
+    }
+
+    #[test]
+    fn fifo_protocol_retransmits_after_drop() {
+        let p = FifoProtocol::new(msgs(), 1);
+        let mut s = p.initial().remove(0);
+        s = p
+            .step(&s, &Action::new("Send", vec![Value::Int(1), Value::sym("a")]))
+            .remove(0);
+        s = p.step(&s, &Action::bare("Transmit")).remove(0);
+        s = p
+            .step(
+                &s,
+                &Action::new("DropData", vec![Value::Int(0), Value::sym("a")]),
+            )
+            .remove(0);
+        // Transmit is enabled again (retransmission).
+        assert!(p
+            .enabled(&s)
+            .contains(&Action::bare("Transmit")));
+    }
+
+    #[test]
+    fn total_protocol_sequencer_cast_delivers_everywhere_in_order() {
+        let t = TotalProtocol::new(2, msgs(), 2);
+        let mut s = t.initial().remove(0);
+        s = t
+            .step(&s, &Action::new("Cast", vec![Value::Int(0), Value::sym("a")]))
+            .remove(0);
+        // Both processes can deliver "a" (order 0) from their queues.
+        let d0 = Action::new("Deliver", vec![Value::Int(0), Value::sym("a")]);
+        let d1 = Action::new("Deliver", vec![Value::Int(1), Value::sym("a")]);
+        assert!(!t.step(&s, &d0).is_empty());
+        s = t.step(&s, &d1).remove(0);
+        assert!(!t.step(&s, &d0).is_empty());
+    }
+
+    #[test]
+    fn total_protocol_member_cast_waits_for_announcement() {
+        let t = TotalProtocol::new(2, msgs(), 2);
+        let mut s = t.initial().remove(0);
+        s = t
+            .step(&s, &Action::new("Cast", vec![Value::Int(1), Value::sym("b")]))
+            .remove(0);
+        // Process 1 cannot deliver its own cast yet: the loopback head is
+        // unordered and the sequencer has not announced.
+        let d1 = Action::new("Deliver", vec![Value::Int(1), Value::sym("b")]);
+        assert!(t.step(&s, &d1).is_empty(), "no eager self-delivery");
+        // Process 1 processes its loopback (stash), sequencer processes
+        // the unordered cast (assigns order 0, announces).
+        s = t
+            .step(&s, &Action::new("Proc", vec![Value::Int(1), Value::Int(1)]))
+            .remove(0);
+        s = t
+            .step(&s, &Action::new("Proc", vec![Value::Int(1), Value::Int(0)]))
+            .remove(0);
+        // The announcement reaches process 1: delivery unlocks.
+        assert!(!t.step(&s, &d1).is_empty());
+    }
+
+    #[test]
+    fn buggy_total_protocol_delivers_own_cast_eagerly() {
+        let t = TotalProtocol::new_buggy(2, msgs(), 2);
+        let mut s = t.initial().remove(0);
+        s = t
+            .step(&s, &Action::new("Cast", vec![Value::Int(1), Value::sym("b")]))
+            .remove(0);
+        let d1 = Action::new("Deliver", vec![Value::Int(1), Value::sym("b")]);
+        assert!(!t.step(&s, &d1).is_empty(), "the bug: eager delivery");
+    }
+}

@@ -1,0 +1,228 @@
+//! Bounded refinement (trace-inclusion) checking.
+//!
+//! "We then have to show that any execution of this composed
+//! specification … is also an execution of FifoNetwork" (§3.1). The
+//! checker explores the implementation automaton breadth-first while
+//! tracking, for each explored implementation state, the *set* of
+//! specification states reachable over the same external trace (a forward
+//! simulation via subset construction, with τ-closure over the
+//! specification's internal actions). If the set ever empties on an
+//! external step, that step ends a trace the specification cannot
+//! produce — a refinement violation, reported with the full trace.
+
+use crate::automaton::Automaton;
+use crate::value::{Action, Value};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::fmt;
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineOptions {
+    /// Maximum number of (impl state, spec set) pairs to explore.
+    pub max_nodes: usize,
+    /// Maximum trace depth.
+    pub max_depth: usize,
+    /// Maximum size of a specification state set (τ-closure bound).
+    pub max_spec_set: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            max_nodes: 200_000,
+            max_depth: 24,
+            max_spec_set: 4_096,
+        }
+    }
+}
+
+/// Outcomes of a refinement check.
+#[derive(Clone, Debug)]
+pub enum RefineError {
+    /// A trace of the implementation that the specification cannot take.
+    Violation {
+        /// The externally visible trace, ending with the violating action.
+        trace: Vec<Action>,
+    },
+    /// A bound was hit before the search space was exhausted.
+    BoundExceeded(&'static str),
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::Violation { trace } => {
+                write!(f, "refinement violation; trace:")?;
+                for a in trace {
+                    write!(f, " {a:?}")?;
+                }
+                Ok(())
+            }
+            RefineError::BoundExceeded(which) => write!(f, "bound exceeded: {which}"),
+        }
+    }
+}
+
+/// Statistics from a successful check.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefineStats {
+    /// Nodes (impl state × spec set) explored.
+    pub nodes: usize,
+    /// Implementation transitions examined.
+    pub transitions: usize,
+    /// Deepest trace reached.
+    pub depth: usize,
+}
+
+fn tau_closure<S: Automaton>(
+    spec: &S,
+    set: BTreeSet<Value>,
+    cap: usize,
+) -> Result<BTreeSet<Value>, RefineError> {
+    let mut closure = set;
+    let mut frontier: Vec<Value> = closure.iter().cloned().collect();
+    while let Some(s) = frontier.pop() {
+        for a in spec.enabled(&s) {
+            if spec.is_external(&a) {
+                continue;
+            }
+            for t in spec.step(&s, &a) {
+                if closure.insert(t.clone()) {
+                    if closure.len() > cap {
+                        return Err(RefineError::BoundExceeded("spec set"));
+                    }
+                    frontier.push(t);
+                }
+            }
+        }
+    }
+    Ok(closure)
+}
+
+/// Checks that every (bounded) trace of `imp` is a trace of `spec`.
+///
+/// External actions are matched by name and arguments, so the two automata
+/// must agree on the naming of their shared external signature.
+pub fn check_refinement<I: Automaton, S: Automaton>(
+    imp: &I,
+    spec: &S,
+    opts: RefineOptions,
+) -> Result<RefineStats, RefineError> {
+    let mut stats = RefineStats::default();
+    let spec_init = tau_closure(
+        spec,
+        spec.initial().into_iter().collect(),
+        opts.max_spec_set,
+    )?;
+
+    type Node = (Value, BTreeSet<Value>);
+    let mut visited: HashSet<Node> = HashSet::new();
+    let mut queue: VecDeque<(Value, BTreeSet<Value>, Vec<Action>)> = VecDeque::new();
+    for s in imp.initial() {
+        let node = (s.clone(), spec_init.clone());
+        if visited.insert(node) {
+            queue.push_back((s, spec_init.clone(), Vec::new()));
+        }
+    }
+
+    while let Some((s, specs, trace)) = queue.pop_front() {
+        stats.nodes += 1;
+        stats.depth = stats.depth.max(trace.len());
+        if stats.nodes > opts.max_nodes {
+            return Err(RefineError::BoundExceeded("nodes"));
+        }
+        if trace.len() >= opts.max_depth {
+            continue;
+        }
+        for a in imp.enabled(&s) {
+            let succs = imp.step(&s, &a);
+            stats.transitions += 1;
+            let (next_specs, next_trace) = if imp.is_external(&a) {
+                // The specification must match the action.
+                let mut matched = BTreeSet::new();
+                for t in &specs {
+                    for t2 in spec.step(t, &a) {
+                        matched.insert(t2);
+                    }
+                }
+                if matched.is_empty() {
+                    let mut trace = trace.clone();
+                    trace.push(a.clone());
+                    return Err(RefineError::Violation { trace });
+                }
+                let closed = tau_closure(spec, matched, opts.max_spec_set)?;
+                let mut trace2 = trace.clone();
+                trace2.push(a.clone());
+                (closed, trace2)
+            } else {
+                (specs.clone(), trace.clone())
+            };
+            for s2 in succs {
+                let node = (s2.clone(), next_specs.clone());
+                if visited.insert(node) {
+                    queue.push_back((s2, next_specs.clone(), next_trace.clone()));
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{FifoNetwork, LossyNetwork};
+    use ensemble_util::Intern;
+
+    /// Sanity: an automaton refines itself.
+    #[test]
+    fn fifo_refines_itself() {
+        let a = FifoNetwork::new(vec![1], vec![Value::sym("a")], 2);
+        let b = FifoNetwork::new(vec![1], vec![Value::sym("a")], 2);
+        let stats = check_refinement(&a, &b, RefineOptions::default()).unwrap();
+        assert!(stats.nodes > 0);
+    }
+
+    /// FIFO behaviour is a special case of lossy behaviour… except that
+    /// the lossy spec never removes delivered messages, so a FIFO trace
+    /// (deliver exactly once, in order) is still a lossy trace.
+    #[test]
+    fn fifo_refines_lossy() {
+        let imp = FifoNetwork::new(vec![1], vec![Value::sym("a"), Value::sym("b")], 2);
+        let spec = LossyNetwork::new(vec![1], vec![Value::sym("a"), Value::sym("b")], 2);
+        check_refinement(&imp, &spec, RefineOptions::default()).unwrap();
+    }
+
+    /// The converse fails: a lossy network can duplicate a delivery,
+    /// which the FIFO network never does.
+    #[test]
+    fn lossy_does_not_refine_fifo() {
+        let imp = LossyNetwork::new(vec![1], vec![Value::sym("a")], 1);
+        let spec = FifoNetwork::new(vec![1], vec![Value::sym("a")], 1);
+        let err = check_refinement(&imp, &spec, RefineOptions::default()).unwrap_err();
+        match err {
+            RefineError::Violation { trace } => {
+                // The counterexample ends in a Deliver the spec cannot do
+                // (a duplicate or a reorder).
+                let last = trace.last().unwrap();
+                assert_eq!(last.name, Intern::from("Deliver"));
+                assert!(trace.len() >= 2);
+            }
+            other => panic!("expected violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let imp = LossyNetwork::new(vec![1, 2], vec![Value::sym("a"), Value::sym("b")], 6);
+        let spec = LossyNetwork::new(vec![1, 2], vec![Value::sym("a"), Value::sym("b")], 6);
+        let tight = RefineOptions {
+            max_nodes: 10,
+            ..RefineOptions::default()
+        };
+        match check_refinement(&imp, &spec, tight) {
+            Err(RefineError::BoundExceeded(which)) => assert_eq!(which, "nodes"),
+            other => panic!("expected bound error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Abstract behavioural specifications (Figure 2 of the paper, plus a
+//! total-order network).
+//!
+//! These are the `p.Above` automata against which protocol implementations
+//! are checked. They are nondeterministic and use global state — exactly
+//! the "abstract" style of §3.1: simple, not executable as protocols, but
+//! ideal as refinement targets.
+
+use crate::automaton::Automaton;
+use crate::value::{Action, Value};
+use ensemble_util::Intern;
+
+fn names(ss: &[&str]) -> Vec<Intern> {
+    ss.iter().map(|s| Intern::from(s)).collect()
+}
+
+/// Figure 2(a): a network delivering messages in FIFO order.
+///
+/// State: `[sent_count, queue of (dst, msg)]`. `Send(dst, msg)` appends;
+/// `Deliver(dst, msg)` is enabled only for the head pair.
+pub struct FifoNetwork {
+    /// Destination ids.
+    pub dsts: Vec<i64>,
+    /// The message alphabet.
+    pub msgs: Vec<Value>,
+    /// Bound on total sends (keeps the state space finite).
+    pub max_sends: i64,
+    sig: Vec<Intern>,
+    send: Intern,
+    deliver: Intern,
+}
+
+impl FifoNetwork {
+    /// Builds the specification.
+    pub fn new(dsts: Vec<i64>, msgs: Vec<Value>, max_sends: i64) -> Self {
+        FifoNetwork {
+            dsts,
+            msgs,
+            max_sends,
+            sig: names(&["Send", "Deliver"]),
+            send: Intern::from("Send"),
+            deliver: Intern::from("Deliver"),
+        }
+    }
+}
+
+impl Automaton for FifoNetwork {
+    fn initial(&self) -> Vec<Value> {
+        vec![Value::pair(Value::Int(0), Value::list(vec![]))]
+    }
+
+    fn enabled(&self, s: &Value) -> Vec<Action> {
+        let v = s.as_list().unwrap();
+        let sent = v[0].as_int().unwrap();
+        let queue = v[1].as_list().unwrap();
+        let mut out = Vec::new();
+        if sent < self.max_sends {
+            for &d in &self.dsts {
+                for m in &self.msgs {
+                    out.push(Action::new(
+                        "Send",
+                        vec![Value::Int(d), m.clone()],
+                    ));
+                }
+            }
+        }
+        if let Some(head) = queue.first() {
+            let h = head.as_list().unwrap();
+            out.push(Action::new("Deliver", vec![h[0].clone(), h[1].clone()]));
+        }
+        out
+    }
+
+    fn step(&self, s: &Value, a: &Action) -> Vec<Value> {
+        let v = s.as_list().unwrap();
+        let sent = v[0].as_int().unwrap();
+        let mut queue = v[1].as_list().unwrap().to_vec();
+        if a.name == self.send && sent < self.max_sends {
+            queue.push(Value::pair(a.args[0].clone(), a.args[1].clone()));
+            return vec![Value::pair(Value::Int(sent + 1), Value::list(queue))];
+        }
+        if a.name == self.deliver {
+            let want = Value::pair(a.args[0].clone(), a.args[1].clone());
+            if queue.first() == Some(&want) {
+                queue.remove(0);
+                return vec![Value::pair(Value::Int(sent), Value::list(queue))];
+            }
+        }
+        Vec::new()
+    }
+
+    fn in_signature(&self, name: Intern) -> bool {
+        self.sig.contains(&name)
+    }
+
+    fn is_external(&self, _a: &Action) -> bool {
+        true
+    }
+}
+
+/// Figure 2(b): a network that loses, duplicates, and reorders.
+///
+/// State: `[sent_count, set of (dst, msg)]`. `Deliver` does not remove
+/// (duplication); the internal `Drop` removes (loss); set membership
+/// ignores order (reordering).
+pub struct LossyNetwork {
+    /// Destination ids.
+    pub dsts: Vec<i64>,
+    /// The message alphabet.
+    pub msgs: Vec<Value>,
+    /// Bound on total sends.
+    pub max_sends: i64,
+    sig: Vec<Intern>,
+    send: Intern,
+    deliver: Intern,
+    drop: Intern,
+}
+
+impl LossyNetwork {
+    /// Builds the specification.
+    pub fn new(dsts: Vec<i64>, msgs: Vec<Value>, max_sends: i64) -> Self {
+        LossyNetwork {
+            dsts,
+            msgs,
+            max_sends,
+            sig: names(&["Send", "Deliver", "Drop"]),
+            send: Intern::from("Send"),
+            deliver: Intern::from("Deliver"),
+            drop: Intern::from("Drop"),
+        }
+    }
+}
+
+impl Automaton for LossyNetwork {
+    fn initial(&self) -> Vec<Value> {
+        vec![Value::pair(Value::Int(0), Value::list(vec![]))]
+    }
+
+    fn enabled(&self, s: &Value) -> Vec<Action> {
+        let v = s.as_list().unwrap();
+        let sent = v[0].as_int().unwrap();
+        let bag = v[1].as_list().unwrap();
+        let mut out = Vec::new();
+        if sent < self.max_sends {
+            for &d in &self.dsts {
+                for m in &self.msgs {
+                    out.push(Action::new("Send", vec![Value::Int(d), m.clone()]));
+                }
+            }
+        }
+        for p in bag {
+            let h = p.as_list().unwrap();
+            out.push(Action::new("Deliver", vec![h[0].clone(), h[1].clone()]));
+            out.push(Action::new("Drop", vec![h[0].clone(), h[1].clone()]));
+        }
+        out
+    }
+
+    fn step(&self, s: &Value, a: &Action) -> Vec<Value> {
+        let v = s.as_list().unwrap();
+        let sent = v[0].as_int().unwrap();
+        let mut bag = v[1].as_list().unwrap().to_vec();
+        let pair = || Value::pair(a.args[0].clone(), a.args[1].clone());
+        if a.name == self.send && sent < self.max_sends {
+            let p = pair();
+            if !bag.contains(&p) {
+                bag.push(p);
+                bag.sort();
+            }
+            return vec![Value::pair(Value::Int(sent + 1), Value::list(bag))];
+        }
+        if a.name == self.deliver && bag.contains(&pair()) {
+            return vec![s.clone()];
+        }
+        if a.name == self.drop {
+            if let Some(i) = bag.iter().position(|x| *x == pair()) {
+                bag.remove(i);
+                return vec![Value::pair(Value::Int(sent), Value::list(bag))];
+            }
+        }
+        Vec::new()
+    }
+
+    fn in_signature(&self, name: Intern) -> bool {
+        self.sig.contains(&name)
+    }
+
+    fn is_external(&self, a: &Action) -> bool {
+        a.name != self.drop
+    }
+}
+
+/// A totally ordered multicast network.
+///
+/// State: `[pending multiset, order list, per-process delivery index]`.
+/// `Cast(p, m)` adds `m` to the pending pool; the internal `Order(m)`
+/// nondeterministically appends a pending message to the agreed order;
+/// `Deliver(p, m)` forces every process to follow the order list. Any
+/// global order is permitted — what is specified is *agreement*.
+pub struct TotalOrderSpec {
+    /// Number of processes.
+    pub nprocs: i64,
+    /// The message alphabet.
+    pub msgs: Vec<Value>,
+    /// Bound on total casts.
+    pub max_casts: i64,
+    sig: Vec<Intern>,
+    cast: Intern,
+    order: Intern,
+    deliver: Intern,
+}
+
+impl TotalOrderSpec {
+    /// Builds the specification.
+    pub fn new(nprocs: i64, msgs: Vec<Value>, max_casts: i64) -> Self {
+        TotalOrderSpec {
+            nprocs,
+            msgs,
+            max_casts,
+            sig: names(&["Cast", "Order", "Deliver"]),
+            cast: Intern::from("Cast"),
+            order: Intern::from("Order"),
+            deliver: Intern::from("Deliver"),
+        }
+    }
+
+    fn parts(s: &Value) -> (Vec<Value>, Vec<Value>, Vec<Value>) {
+        let v = s.as_list().unwrap();
+        (
+            v[0].as_list().unwrap().to_vec(),
+            v[1].as_list().unwrap().to_vec(),
+            v[2].as_list().unwrap().to_vec(),
+        )
+    }
+}
+
+impl Automaton for TotalOrderSpec {
+    fn initial(&self) -> Vec<Value> {
+        let ptrs = vec![Value::Int(0); self.nprocs as usize];
+        vec![Value::list(vec![
+            Value::list(vec![]),
+            Value::list(vec![]),
+            Value::list(ptrs),
+        ])]
+    }
+
+    fn enabled(&self, s: &Value) -> Vec<Action> {
+        let (pending, order, ptrs) = Self::parts(s);
+        let mut out = Vec::new();
+        let casts_so_far = (pending.len() + order.len()) as i64;
+        if casts_so_far < self.max_casts {
+            for p in 0..self.nprocs {
+                for m in &self.msgs {
+                    out.push(Action::new("Cast", vec![Value::Int(p), m.clone()]));
+                }
+            }
+        }
+        for m in &pending {
+            out.push(Action::new("Order", vec![m.clone()]));
+        }
+        for (p, ptr) in ptrs.iter().enumerate() {
+            let i = ptr.as_int().unwrap() as usize;
+            if let Some(m) = order.get(i) {
+                out.push(Action::new(
+                    "Deliver",
+                    vec![Value::Int(p as i64), m.clone()],
+                ));
+            }
+        }
+        out
+    }
+
+    fn step(&self, s: &Value, a: &Action) -> Vec<Value> {
+        let (mut pending, mut order, mut ptrs) = Self::parts(s);
+        if a.name == self.cast {
+            if (pending.len() + order.len()) as i64 >= self.max_casts {
+                return Vec::new();
+            }
+            pending.push(a.args[1].clone());
+            pending.sort();
+        } else if a.name == self.order {
+            match pending.iter().position(|m| *m == a.args[0]) {
+                Some(i) => {
+                    pending.remove(i);
+                    order.push(a.args[0].clone());
+                }
+                None => return Vec::new(),
+            }
+        } else if a.name == self.deliver {
+            let p = a.args[0].as_int().unwrap() as usize;
+            let i = ptrs[p].as_int().unwrap() as usize;
+            if order.get(i) != Some(&a.args[1]) {
+                return Vec::new();
+            }
+            ptrs[p] = Value::Int(i as i64 + 1);
+        } else {
+            return Vec::new();
+        }
+        vec![Value::list(vec![
+            Value::list(pending),
+            Value::list(order),
+            Value::list(ptrs),
+        ])]
+    }
+
+    fn in_signature(&self, name: Intern) -> bool {
+        self.sig.contains(&name)
+    }
+
+    fn is_external(&self, a: &Action) -> bool {
+        a.name != self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msgs() -> Vec<Value> {
+        vec![Value::sym("a"), Value::sym("b")]
+    }
+
+    #[test]
+    fn fifo_network_delivers_in_order() {
+        let net = FifoNetwork::new(vec![1], msgs(), 2);
+        let s0 = net.initial().remove(0);
+        let send_a = Action::new("Send", vec![Value::Int(1), Value::sym("a")]);
+        let send_b = Action::new("Send", vec![Value::Int(1), Value::sym("b")]);
+        let s1 = net.step(&s0, &send_a).remove(0);
+        let s2 = net.step(&s1, &send_b).remove(0);
+        // Only "a" (the head) can be delivered.
+        let deliver_b = Action::new("Deliver", vec![Value::Int(1), Value::sym("b")]);
+        assert!(net.step(&s2, &deliver_b).is_empty());
+        let deliver_a = Action::new("Deliver", vec![Value::Int(1), Value::sym("a")]);
+        let s3 = net.step(&s2, &deliver_a).remove(0);
+        assert!(!net.step(&s3, &deliver_b).is_empty());
+    }
+
+    #[test]
+    fn fifo_network_bounds_sends() {
+        let net = FifoNetwork::new(vec![1], msgs(), 1);
+        let s0 = net.initial().remove(0);
+        let send = Action::new("Send", vec![Value::Int(1), Value::sym("a")]);
+        let s1 = net.step(&s0, &send).remove(0);
+        assert!(net.step(&s1, &send).is_empty());
+        assert!(net.enabled(&s1).iter().all(|a| a.name != Intern::from("Send")));
+    }
+
+    #[test]
+    fn lossy_network_duplicates_and_drops() {
+        let net = LossyNetwork::new(vec![1], msgs(), 2);
+        let s0 = net.initial().remove(0);
+        let send = Action::new("Send", vec![Value::Int(1), Value::sym("a")]);
+        let s1 = net.step(&s0, &send).remove(0);
+        let deliver = Action::new("Deliver", vec![Value::Int(1), Value::sym("a")]);
+        // Deliver twice: duplication.
+        let s2 = net.step(&s1, &deliver).remove(0);
+        assert!(!net.step(&s2, &deliver).is_empty());
+        // Drop removes it.
+        let drop = Action::new("Drop", vec![Value::Int(1), Value::sym("a")]);
+        let s3 = net.step(&s2, &drop).remove(0);
+        assert!(net.step(&s3, &deliver).is_empty());
+        assert!(!net.is_external(&drop));
+        assert!(net.is_external(&deliver));
+    }
+
+    #[test]
+    fn total_order_spec_enforces_agreement() {
+        let spec = TotalOrderSpec::new(2, msgs(), 2);
+        let s0 = spec.initial().remove(0);
+        let cast_a = Action::new("Cast", vec![Value::Int(0), Value::sym("a")]);
+        let cast_b = Action::new("Cast", vec![Value::Int(1), Value::sym("b")]);
+        let s = spec.step(&s0, &cast_a).remove(0);
+        let s = spec.step(&s, &cast_b).remove(0);
+        // No delivery before ordering.
+        let d0a = Action::new("Deliver", vec![Value::Int(0), Value::sym("a")]);
+        assert!(spec.step(&s, &d0a).is_empty());
+        // Order b first: both processes must deliver b before a.
+        let s = spec
+            .step(&s, &Action::new("Order", vec![Value::sym("b")]))
+            .remove(0);
+        assert!(spec.step(&s, &d0a).is_empty());
+        let d0b = Action::new("Deliver", vec![Value::Int(0), Value::sym("b")]);
+        let s = spec.step(&s, &d0b).remove(0);
+        // Now a can be ordered and delivered after.
+        let s = spec
+            .step(&s, &Action::new("Order", vec![Value::sym("a")]))
+            .remove(0);
+        assert!(!spec.step(&s, &d0a).is_empty());
+        // Process 1 must still deliver b first.
+        let d1a = Action::new("Deliver", vec![Value::Int(1), Value::sym("a")]);
+        assert!(spec.step(&s, &d1a).is_empty());
+    }
+
+    #[test]
+    fn total_order_spec_order_is_internal() {
+        let spec = TotalOrderSpec::new(2, msgs(), 2);
+        assert!(!spec.is_external(&Action::new("Order", vec![Value::sym("a")])));
+        assert!(spec.is_external(&Action::new("Cast", vec![Value::Int(0), Value::sym("a")])));
+    }
+}

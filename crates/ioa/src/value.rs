@@ -1,0 +1,153 @@
+//! Values and actions of the IOA framework.
+
+use ensemble_util::Intern;
+use std::fmt;
+
+/// A structured value used for automaton states and action arguments.
+///
+/// Values are ordered and hashable so they can key state sets during
+/// exploration.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// An interned symbol.
+    Sym(Intern),
+    /// An ordered list (also used as a tuple).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a symbol value.
+    pub fn sym(s: &str) -> Value {
+        Value::Sym(Intern::from(s))
+    }
+
+    /// Builds a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(items)
+    }
+
+    /// Builds a pair.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::List(vec![a, b])
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The items inside, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::List(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x:?}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// An automaton action: an interned name plus argument values.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Action {
+    /// The action name (e.g. `"Send"`).
+    pub name: Intern,
+    /// The action arguments.
+    pub args: Vec<Value>,
+}
+
+impl Action {
+    /// Builds an action.
+    pub fn new(name: &str, args: Vec<Value>) -> Action {
+        Action {
+            name: Intern::from(name),
+            args,
+        }
+    }
+
+    /// Builds an argument-less action.
+    pub fn bare(name: &str) -> Action {
+        Action::new(name, Vec::new())
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.args.is_empty() {
+            write!(f, "{:?}", Value::List(self.args.clone()))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_equality_and_ordering() {
+        assert_eq!(Value::sym("a"), Value::sym("a"));
+        assert_ne!(Value::sym("a"), Value::sym("b"));
+        assert!(Value::Int(1) < Value::Int(2));
+        assert_eq!(
+            Value::pair(Value::Int(1), Value::sym("m")),
+            Value::list(vec![Value::Int(1), Value::sym("m")])
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Unit.as_int(), None);
+        let l = Value::list(vec![Value::Bool(true)]);
+        assert_eq!(l.as_list().unwrap().len(), 1);
+        assert!(Value::Int(0).as_list().is_none());
+    }
+
+    #[test]
+    fn action_identity() {
+        let a = Action::new("Send", vec![Value::Int(0)]);
+        let b = Action::new("Send", vec![Value::Int(0)]);
+        let c = Action::new("Send", vec![Value::Int(1)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, Action::bare("Send"));
+    }
+
+    #[test]
+    fn debug_formats() {
+        let a = Action::new("Deliver", vec![Value::Int(1), Value::sym("m")]);
+        let s = format!("{a:?}");
+        assert!(s.contains("Deliver"));
+        assert!(s.contains('m'));
+    }
+}

@@ -1,0 +1,415 @@
+//! The concrete big-step evaluator with cost accounting.
+//!
+//! Costs are charged per evaluation step: each node executed is an
+//! *instruction*; variable, field, and vector accesses are *data
+//! references*; constructor/record/vector builds are *allocations*;
+//! if/match decisions are *branches*. The Table 2(a) experiment runs the
+//! full layer models and the synthesized residual through this evaluator
+//! and compares the counter totals.
+
+use crate::term::{FnDefs, Pattern, Prim, Term};
+use crate::val::Val;
+use ensemble_util::{Counters, Intern};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Evaluation failures (the models are typed by convention, not checker).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no binding.
+    Unbound(Intern),
+    /// A primitive was applied to values of the wrong shape.
+    BadPrim(&'static str),
+    /// No match arm applied.
+    MatchFailure,
+    /// A record field was missing.
+    NoField(Intern),
+    /// An unknown function was called.
+    UnknownFn(Intern),
+    /// Recursion depth exceeded (guards against model bugs).
+    TooDeep,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(v) => write!(f, "unbound variable {v}"),
+            EvalError::BadPrim(p) => write!(f, "bad primitive application: {p}"),
+            EvalError::MatchFailure => write!(f, "no match arm applied"),
+            EvalError::NoField(n) => write!(f, "missing record field {n}"),
+            EvalError::UnknownFn(n) => write!(f, "unknown function {n}"),
+            EvalError::TooDeep => write!(f, "evaluation too deep"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// An evaluator bound to a function-definition table.
+pub struct Evaluator<'a> {
+    defs: &'a FnDefs,
+    /// Accumulated model costs.
+    pub costs: Counters,
+    depth: usize,
+}
+
+type Env = HashMap<Intern, Val>;
+
+impl<'a> Evaluator<'a> {
+    /// Builds an evaluator.
+    pub fn new(defs: &'a FnDefs) -> Self {
+        Evaluator {
+            defs,
+            costs: Counters::zero(),
+            depth: 0,
+        }
+    }
+
+    /// Evaluates `t` under `env`.
+    pub fn eval(&mut self, t: &Term, env: &mut Env) -> Result<Val, EvalError> {
+        self.depth += 1;
+        if self.depth > 4096 {
+            self.depth -= 1;
+            return Err(EvalError::TooDeep);
+        }
+        self.costs.instructions += 1;
+        let r = self.eval_inner(t, env);
+        self.depth -= 1;
+        r
+    }
+
+    fn eval_inner(&mut self, t: &Term, env: &mut Env) -> Result<Val, EvalError> {
+        match t {
+            Term::Unit => Ok(Val::Unit),
+            Term::Bool(b) => Ok(Val::Bool(*b)),
+            Term::Int(i) => Ok(Val::Int(*i)),
+            Term::Var(v) => {
+                self.costs.data_refs += 1;
+                env.get(v).cloned().ok_or(EvalError::Unbound(*v))
+            }
+            Term::Let(x, a, b) => {
+                let va = self.eval(a, env)?;
+                self.costs.data_refs += 1;
+                let old = env.insert(*x, va);
+                let r = self.eval(b, env);
+                match old {
+                    Some(o) => {
+                        env.insert(*x, o);
+                    }
+                    None => {
+                        env.remove(x);
+                    }
+                }
+                r
+            }
+            Term::If(c, th, el) => {
+                self.costs.branches += 1;
+                match self.eval(c, env)? {
+                    Val::Bool(true) => self.eval(th, env),
+                    Val::Bool(false) => self.eval(el, env),
+                    _ => Err(EvalError::BadPrim("if on non-bool")),
+                }
+            }
+            Term::Con(n, args) => {
+                self.costs.allocations += 1;
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Val::Con(*n, vals))
+            }
+            Term::Match(s, arms) => {
+                let v = self.eval(s, env)?;
+                self.costs.branches += 1;
+                for (p, body) in arms {
+                    match p {
+                        Pattern::Wild => return self.eval(body, env),
+                        Pattern::Con(n, binds) => {
+                            if let Val::Con(vn, vargs) = &v {
+                                if vn == n && vargs.len() == binds.len() {
+                                    let olds: Vec<(Intern, Option<Val>)> = binds
+                                        .iter()
+                                        .zip(vargs.iter())
+                                        .map(|(b, a)| {
+                                            self.costs.data_refs += 1;
+                                            (*b, env.insert(*b, a.clone()))
+                                        })
+                                        .collect();
+                                    let r = self.eval(body, env);
+                                    for (b, o) in olds.into_iter().rev() {
+                                        match o {
+                                            Some(o) => {
+                                                env.insert(b, o);
+                                            }
+                                            None => {
+                                                env.remove(&b);
+                                            }
+                                        }
+                                    }
+                                    return r;
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(EvalError::MatchFailure)
+            }
+            Term::Prim(p, args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.prim(*p, vals)
+            }
+            Term::GetF(e, f) => {
+                let v = self.eval(e, env)?;
+                self.costs.data_refs += 1;
+                match v {
+                    Val::Record(m) => m.get(f).cloned().ok_or(EvalError::NoField(*f)),
+                    _ => Err(EvalError::BadPrim("field read on non-record")),
+                }
+            }
+            Term::SetF(e, f, nv) => {
+                let v = self.eval(e, env)?;
+                let nv = self.eval(nv, env)?;
+                self.costs.data_refs += 1;
+                self.costs.allocations += 1;
+                match v {
+                    Val::Record(mut m) => {
+                        m.insert(*f, nv);
+                        Ok(Val::Record(m))
+                    }
+                    _ => Err(EvalError::BadPrim("field write on non-record")),
+                }
+            }
+            Term::App(fname, args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let (params, body) = self
+                    .defs
+                    .get(*fname)
+                    .ok_or(EvalError::UnknownFn(*fname))?;
+                if params.len() != vals.len() {
+                    return Err(EvalError::BadPrim("arity mismatch"));
+                }
+                let params: Vec<Intern> = params.to_vec();
+                let body = body.clone();
+                self.costs.dispatches += 1;
+                let mut inner: Env = params.into_iter().zip(vals).collect();
+                self.eval(&body, &mut inner)
+            }
+        }
+    }
+
+    fn prim(&mut self, p: Prim, vals: Vec<Val>) -> Result<Val, EvalError> {
+        self.costs.data_refs += vals.len() as u64;
+        let int = |v: &Val| v.as_int().ok_or(EvalError::BadPrim("expected int"));
+        let boolean = |v: &Val| v.as_bool().ok_or(EvalError::BadPrim("expected bool"));
+        Ok(match p {
+            Prim::Add => Val::Int(int(&vals[0])? + int(&vals[1])?),
+            Prim::Sub => Val::Int(int(&vals[0])? - int(&vals[1])?),
+            Prim::Eq => Val::Bool(vals[0] == vals[1]),
+            Prim::Lt => Val::Bool(int(&vals[0])? < int(&vals[1])?),
+            Prim::And => Val::Bool(boolean(&vals[0])? && boolean(&vals[1])?),
+            Prim::Or => Val::Bool(boolean(&vals[0])? || boolean(&vals[1])?),
+            Prim::Not => Val::Bool(!boolean(&vals[0])?),
+            Prim::VecGet => {
+                let i = int(&vals[1])? as usize;
+                match &vals[0] {
+                    Val::Vector(v) => v
+                        .get(i)
+                        .cloned()
+                        .ok_or(EvalError::BadPrim("vector index out of range"))?,
+                    _ => return Err(EvalError::BadPrim("VecGet on non-vector")),
+                }
+            }
+            Prim::MinVecSkip => {
+                let skip = int(&vals[1])? as usize;
+                match &vals[0] {
+                    Val::Vector(v) => {
+                        let m = v
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != skip)
+                            .map(|(_, x)| x.as_int().unwrap_or(i64::MAX))
+                            .min()
+                            .unwrap_or(i64::MAX);
+                        Val::Int(m)
+                    }
+                    _ => return Err(EvalError::BadPrim("MinVecSkip on non-vector")),
+                }
+            }
+            Prim::VecSet => {
+                self.costs.allocations += 1;
+                let i = int(&vals[1])? as usize;
+                match &vals[0] {
+                    Val::Vector(v) => {
+                        if i >= v.len() {
+                            return Err(EvalError::BadPrim("vector index out of range"));
+                        }
+                        let mut v2 = v.clone();
+                        v2[i] = vals[2].clone();
+                        Val::Vector(v2)
+                    }
+                    _ => return Err(EvalError::BadPrim("VecSet on non-vector")),
+                }
+            }
+        })
+    }
+}
+
+/// Evaluates a closed term (convenience).
+pub fn eval(t: &Term, defs: &FnDefs) -> Result<Val, EvalError> {
+    Evaluator::new(defs).eval(t, &mut HashMap::new())
+}
+
+/// Evaluates a term under the given bindings, returning value and costs.
+pub fn eval_with(
+    t: &Term,
+    defs: &FnDefs,
+    bindings: &[(&str, Val)],
+) -> Result<(Val, Counters), EvalError> {
+    let mut ev = Evaluator::new(defs);
+    let mut env: Env = bindings
+        .iter()
+        .map(|(k, v)| (Intern::from(k), v.clone()))
+        .collect();
+    let v = ev.eval(t, &mut env)?;
+    Ok((v, ev.costs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{add, app, con, eq, getf, if_, let_, list, match_, pat, prim, setf, var};
+
+    fn defs() -> FnDefs {
+        let mut d = FnDefs::new();
+        d.define("inc", &["x"], add(var("x"), Term::Int(1)));
+        d
+    }
+
+    #[test]
+    fn arithmetic_and_let() {
+        let t = let_("x", Term::Int(2), add(var("x"), Term::Int(3)));
+        assert_eq!(eval(&t, &FnDefs::new()).unwrap(), Val::Int(5));
+    }
+
+    #[test]
+    fn if_branches() {
+        let t = if_(eq(Term::Int(1), Term::Int(1)), Term::Int(10), Term::Int(20));
+        assert_eq!(eval(&t, &FnDefs::new()).unwrap(), Val::Int(10));
+    }
+
+    #[test]
+    fn match_selects_arm_and_binds() {
+        let t = match_(
+            con("Data", vec![Term::Int(7)]),
+            vec![
+                (pat("Ack", &["a"]), var("a")),
+                (pat("Data", &["s"]), add(var("s"), Term::Int(1))),
+            ],
+        );
+        assert_eq!(eval(&t, &FnDefs::new()).unwrap(), Val::Int(8));
+    }
+
+    #[test]
+    fn match_failure_reported() {
+        let t = match_(con("Other", vec![]), vec![(pat("Data", &["s"]), var("s"))]);
+        assert_eq!(eval(&t, &FnDefs::new()), Err(EvalError::MatchFailure));
+    }
+
+    #[test]
+    fn records() {
+        let t = let_(
+            "s",
+            setf(var("s0"), "n", Term::Int(5)),
+            getf(var("s"), "n"),
+        );
+        let (v, costs) = eval_with(
+            &t,
+            &FnDefs::new(),
+            &[("s0", Val::record(&[("n", Val::Int(0))]))],
+        )
+        .unwrap();
+        assert_eq!(v, Val::Int(5));
+        assert!(costs.instructions > 0);
+        assert!(costs.allocations >= 1);
+    }
+
+    #[test]
+    fn vectors() {
+        let t = prim(
+            Prim::VecGet,
+            vec![
+                prim(
+                    Prim::VecSet,
+                    vec![var("v"), Term::Int(1), Term::Int(9)],
+                ),
+                Term::Int(1),
+            ],
+        );
+        let (v, _) = eval_with(
+            &t,
+            &FnDefs::new(),
+            &[("v", Val::Vector(vec![Val::Int(0), Val::Int(0)]))],
+        )
+        .unwrap();
+        assert_eq!(v, Val::Int(9));
+    }
+
+    #[test]
+    fn vector_bounds_checked() {
+        let t = prim(Prim::VecGet, vec![var("v"), Term::Int(5)]);
+        let r = eval_with(&t, &FnDefs::new(), &[("v", Val::Vector(vec![]))]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn function_application() {
+        let t = app("inc", vec![Term::Int(41)]);
+        assert_eq!(eval(&t, &defs()).unwrap(), Val::Int(42));
+        let t = app("nope", vec![]);
+        assert!(matches!(eval(&t, &defs()), Err(EvalError::UnknownFn(_))));
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let t = app("inc", vec![app("inc", vec![Term::Int(0)])]);
+        let d = defs();
+        let mut ev = Evaluator::new(&d);
+        ev.eval(&t, &mut HashMap::new()).unwrap();
+        assert_eq!(ev.costs.dispatches, 2);
+        assert!(ev.costs.instructions >= 6);
+    }
+
+    #[test]
+    fn shadowing_restored_after_let() {
+        let t = let_(
+            "x",
+            Term::Int(1),
+            add(
+                let_("x", Term::Int(10), var("x")),
+                var("x"),
+            ),
+        );
+        assert_eq!(eval(&t, &FnDefs::new()).unwrap(), Val::Int(11));
+    }
+
+    #[test]
+    fn list_literal_evaluates() {
+        let t = list(vec![Term::Int(1), Term::Int(2)]);
+        let v = eval(&t, &FnDefs::new()).unwrap();
+        assert_eq!(v.un_list().unwrap(), vec![Val::Int(1), Val::Int(2)]);
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        assert_eq!(
+            eval(&var("ghost"), &FnDefs::new()),
+            Err(EvalError::Unbound(Intern::from("ghost")))
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! A small term language with formal semantics, modelling layer handlers.
+//!
+//! The paper's optimization pipeline rests on importing Ensemble's OCaml
+//! code into Nuprl as terms with a defined semantics (ref. \[14\] of the paper), which the
+//! prover can then evaluate symbolically and rewrite. This crate is that
+//! layer of the reproduction:
+//!
+//! * [`term`] — the term language (a mini-ML: let/if/match, constructors,
+//!   records, vectors, primitives) with a pretty printer;
+//! * [`val`] — the value domain;
+//! * [`mod@eval`] — the concrete big-step evaluator, instrumented with cost
+//!   counters (instructions, data references, allocations, branches) that
+//!   drive the Table 2(a) cost-model experiment;
+//! * [`models`] — the "imported code": IR models of the benchmarked
+//!   layers' four fundamental cases (down/up × send/cast), with their
+//!   per-layer common-case predicates. The `ensemble-synth` crate
+//!   partially evaluates these models to synthesize bypass code, and its
+//!   test-suite checks them against the native Rust layers.
+
+pub mod eval;
+pub mod models;
+pub mod term;
+pub mod val;
+
+pub use eval::{eval, EvalError, Evaluator};
+// NOTE: `eval` names both the module and the convenience function; the
+// re-export above is the function.
+pub use term::{FnDefs, Pattern, Term};
+pub use val::Val;

@@ -1,0 +1,1189 @@
+//! IR models of the benchmarked protocol layers.
+//!
+//! These terms are the reproduction's analogue of importing Ensemble's
+//! OCaml into Nuprl (§4.1.2): each layer contributes one handler term per
+//! fundamental case (down/up × cast/send), a state initializer, its
+//! common-case predicates (CCPs), and the set of state fields that are
+//! *constant for a given stack instance* (rank, view stamp, windows…) —
+//! exactly the values the dynamic optimization phase folds away.
+//!
+//! # Conventions
+//!
+//! A handler is a term whose free variables are `state` plus, per case:
+//! `msg` (down-cast), `origin`/`msg` (up-cast), `dst`/`msg` (down-send),
+//! `origin`/`msg` (up-send). Messages are `Msg(hdrs, payload, len)` where
+//! `hdrs` is a cons-list of header constructors, `payload` is opaque, and
+//! `len` is the payload length. A handler returns
+//!
+//! ```text
+//! Out(state', events)
+//! ```
+//!
+//! where `events` is a cons-list of `UpCast(origin, msg)`,
+//! `UpSend(origin, msg)`, `DnCast(msg)`, `DnSend(dst, msg)`, or
+//! `Defer(work)` — the last marking *non-critical* processing (buffering,
+//! acknowledgment, stability recomputation) that the synthesized bypass
+//! moves off the critical path (§4 optimization 3). Branches the CCPs
+//! exclude call `slow(state, …)`, the model's stand-in for falling back
+//! to the full stack.
+
+use crate::term::{
+    add, app, con, eq, getf, if_, let_, list, match_, pat, prim, setf, var, FnDefs, Prim, Term,
+};
+use crate::val::Val;
+
+/// Stack-instance parameters the models are instantiated with.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelCtx {
+    /// Number of members in the view.
+    pub nmembers: i64,
+    /// This process's rank.
+    pub rank: i64,
+    /// The view's logical time (the `bottom` stamp).
+    pub view_ltime: i64,
+    /// `pt2ptw` window.
+    pub pt2pt_window: i64,
+    /// `mflow` window.
+    pub mflow_window: i64,
+    /// `frag` maximum fragment size.
+    pub frag_max: i64,
+    /// `collect` gossip threshold.
+    pub collect_every: i64,
+}
+
+impl ModelCtx {
+    /// A context matching `LayerConfig::default()` for `n` members.
+    pub fn new(nmembers: i64, rank: i64) -> Self {
+        ModelCtx {
+            nmembers,
+            rank,
+            view_ltime: 0,
+            pt2pt_window: 64,
+            mflow_window: 64,
+            frag_max: 1400,
+            collect_every: 16,
+        }
+    }
+}
+
+/// One layer's model: handlers, CCPs, state.
+pub struct LayerModel {
+    /// Registry name.
+    pub name: &'static str,
+    /// Handler for application casts travelling down.
+    pub dn_cast: Term,
+    /// Handler for casts arriving from below.
+    pub up_cast: Term,
+    /// Handler for sends travelling down.
+    pub dn_send: Term,
+    /// Handler for sends arriving from below.
+    pub up_send: Term,
+    /// CCP conjuncts per case (same order as the handlers above).
+    pub ccp_dn_cast: Vec<Term>,
+    /// CCP conjuncts for up-casts.
+    pub ccp_up_cast: Vec<Term>,
+    /// CCP conjuncts for down-sends.
+    pub ccp_dn_send: Vec<Term>,
+    /// CCP conjuncts for up-sends.
+    pub ccp_up_send: Vec<Term>,
+    /// Initial state for a stack instance.
+    pub init: Val,
+    /// State fields that are constant for the instance (folded by the
+    /// dynamic optimization).
+    pub const_fields: Vec<&'static str>,
+}
+
+/// The four fundamental cases (§4.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Case {
+    /// Point-to-point send, going down.
+    DnSend,
+    /// Broadcast, going down.
+    DnCast,
+    /// Point-to-point receive, going up.
+    UpSend,
+    /// Broadcast receive, going up.
+    UpCast,
+}
+
+impl Case {
+    /// All four cases.
+    pub const ALL: [Case; 4] = [Case::DnCast, Case::UpCast, Case::DnSend, Case::UpSend];
+}
+
+impl LayerModel {
+    /// The handler term for `case`.
+    pub fn handler(&self, case: Case) -> &Term {
+        match case {
+            Case::DnCast => &self.dn_cast,
+            Case::UpCast => &self.up_cast,
+            Case::DnSend => &self.dn_send,
+            Case::UpSend => &self.up_send,
+        }
+    }
+
+    /// The CCP conjuncts for `case`.
+    pub fn ccp(&self, case: Case) -> &[Term] {
+        match case {
+            Case::DnCast => &self.ccp_dn_cast,
+            Case::UpCast => &self.ccp_up_cast,
+            Case::DnSend => &self.ccp_dn_send,
+            Case::UpSend => &self.ccp_up_send,
+        }
+    }
+}
+
+/// Shared helper functions (the "few specific Ensemble modules" the
+/// automated strategy is allowed to inline, §4.1.2).
+pub fn shared_defs() -> FnDefs {
+    let mut d = FnDefs::new();
+    // Message accessors.
+    d.define(
+        "hdrs",
+        &["m"],
+        match_(var("m"), vec![(pat("Msg", &["h", "p", "l"]), var("h"))]),
+    );
+    d.define(
+        "payload",
+        &["m"],
+        match_(var("m"), vec![(pat("Msg", &["h", "p", "l"]), var("p"))]),
+    );
+    d.define(
+        "paylen",
+        &["m"],
+        match_(var("m"), vec![(pat("Msg", &["h", "p", "l"]), var("l"))]),
+    );
+    // Push a header.
+    d.define(
+        "push",
+        &["m", "hd"],
+        match_(
+            var("m"),
+            vec![(
+                pat("Msg", &["h", "p", "l"]),
+                con("Msg", vec![con("cons", vec![var("hd"), var("h")]), var("p"), var("l")]),
+            )],
+        ),
+    );
+    // Pop the outermost header, returning the inner message.
+    d.define(
+        "pop",
+        &["m"],
+        match_(
+            var("m"),
+            vec![(
+                pat("Msg", &["h", "p", "l"]),
+                match_(
+                    var("h"),
+                    vec![(
+                        pat("cons", &["h0", "hrest"]),
+                        con("Msg", vec![var("hrest"), var("p"), var("l")]),
+                    )],
+                ),
+            )],
+        ),
+    );
+    // The outermost header.
+    d.define(
+        "top_hdr",
+        &["m"],
+        match_(
+            app("hdrs", vec![var("m")]),
+            vec![(pat("cons", &["h0", "hrest"]), var("h0"))],
+        ),
+    );
+    // Single-event output.
+    d.define(
+        "out1",
+        &["s", "e"],
+        con("Out", vec![var("s"), list(vec![var("e")])]),
+    );
+    // Two-event output.
+    d.define(
+        "out2",
+        &["s", "e1", "e2"],
+        con("Out", vec![var("s"), list(vec![var("e1"), var("e2")])]),
+    );
+    // Fallback to the full stack (never taken under the CCP).
+    d.define(
+        "slow",
+        &["s", "tag"],
+        con("Slow", vec![var("s"), var("tag")]),
+    );
+    d
+}
+
+fn out1(s: Term, e: Term) -> Term {
+    app("out1", vec![s, e])
+}
+
+fn out2(s: Term, e1: Term, e2: Term) -> Term {
+    app("out2", vec![s, e1, e2])
+}
+
+fn slow(s: Term, tag: &str) -> Term {
+    app("slow", vec![s, con(tag, vec![])])
+}
+
+fn push(m: Term, hd: Term) -> Term {
+    app("push", vec![m, hd])
+}
+
+fn pop(m: Term) -> Term {
+    app("pop", vec![m])
+}
+
+fn dn_cast_ev(m: Term) -> Term {
+    con("DnCast", vec![m])
+}
+
+fn dn_send_ev(dst: Term, m: Term) -> Term {
+    con("DnSend", vec![dst, m])
+}
+
+fn up_cast_ev(o: Term, m: Term) -> Term {
+    con("UpCast", vec![o, m])
+}
+
+fn up_send_ev(o: Term, m: Term) -> Term {
+    con("UpSend", vec![o, m])
+}
+
+fn defer(work: Term) -> Term {
+    con("Defer", vec![work])
+}
+
+fn vget(v: Term, i: Term) -> Term {
+    prim(Prim::VecGet, vec![v, i])
+}
+
+fn vset(v: Term, i: Term, x: Term) -> Term {
+    prim(Prim::VecSet, vec![v, i, x])
+}
+
+fn lt(a: Term, b: Term) -> Term {
+    prim(Prim::Lt, vec![a, b])
+}
+
+fn state() -> Term {
+    var("state")
+}
+
+fn msg() -> Term {
+    var("msg")
+}
+
+/// A pass-through handler that pushes `NoHdr` down.
+fn pass_dn_cast() -> Term {
+    out1(state(), dn_cast_ev(push(msg(), con("NoHdr", vec![]))))
+}
+
+fn pass_dn_send() -> Term {
+    out1(
+        state(),
+        dn_send_ev(var("dst"), push(msg(), con("NoHdr", vec![]))),
+    )
+}
+
+/// A pass-through handler that pops the outermost header going up.
+fn pass_up_cast() -> Term {
+    out1(state(), up_cast_ev(var("origin"), pop(msg())))
+}
+
+fn pass_up_send() -> Term {
+    out1(state(), up_send_ev(var("origin"), pop(msg())))
+}
+
+fn zero_vec(n: i64) -> Val {
+    Val::Vector(vec![Val::Int(0); n as usize])
+}
+
+/// Builds the model for `name`, or `None` if the layer has no model.
+pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
+    Some(match name {
+        "top" => LayerModel {
+            name: "top",
+            // `top` adds no header in either direction.
+            dn_cast: out1(state(), dn_cast_ev(msg())),
+            up_cast: out1(state(), up_cast_ev(var("origin"), msg())),
+            dn_send: out1(state(), dn_send_ev(var("dst"), msg())),
+            up_send: out1(state(), up_send_ev(var("origin"), msg())),
+            ccp_dn_cast: vec![],
+            ccp_up_cast: vec![],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![],
+            init: Val::record(&[]),
+            const_fields: vec![],
+        },
+        "partial_appl" => LayerModel {
+            name: "partial_appl",
+            dn_cast: if_(
+                eq(getf(state(), "blocked"), Term::Bool(false)),
+                pass_dn_cast(),
+                slow(state(), "QueueBlockedCast"),
+            ),
+            up_cast: pass_up_cast(),
+            dn_send: if_(
+                eq(getf(state(), "blocked"), Term::Bool(false)),
+                pass_dn_send(),
+                slow(state(), "QueueBlockedSend"),
+            ),
+            up_send: pass_up_send(),
+            ccp_dn_cast: vec![eq(getf(state(), "blocked"), Term::Bool(false))],
+            ccp_up_cast: vec![],
+            ccp_dn_send: vec![eq(getf(state(), "blocked"), Term::Bool(false))],
+            ccp_up_send: vec![],
+            init: Val::record(&[("blocked", Val::Bool(false))]),
+            const_fields: vec![],
+        },
+        "total" => LayerModel {
+            name: "total",
+            dn_cast: if_(
+                eq(getf(state(), "rank"), getf(state(), "sequencer")),
+                let_(
+                    "o",
+                    getf(state(), "order_next"),
+                    let_(
+                        "s1",
+                        setf(state(), "order_next", add(var("o"), Term::Int(1))),
+                        out1(
+                            var("s1"),
+                            dn_cast_ev(push(msg(), con("TotalOrdered", vec![var("o")]))),
+                        ),
+                    ),
+                ),
+                slow(state(), "CastUnordered"),
+            ),
+            up_cast: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("TotalOrdered", &["o"]),
+                        if_(
+                            eq(var("o"), getf(state(), "deliver_next")),
+                            let_(
+                                "s1",
+                                setf(state(), "deliver_next", add(var("o"), Term::Int(1))),
+                                out1(var("s1"), up_cast_ev(var("origin"), pop(msg()))),
+                            ),
+                            slow(state(), "BufferOutOfOrder"),
+                        ),
+                    ),
+                    (pat("TotalUnordered", &["lcl"]), slow(state(), "Unordered")),
+                    (
+                        pat("TotalOrder", &["po", "pl", "pd"]),
+                        slow(state(), "OrderAnnouncement"),
+                    ),
+                ],
+            ),
+            dn_send: pass_dn_send(),
+            up_send: pass_up_send(),
+            ccp_dn_cast: vec![eq(getf(state(), "rank"), getf(state(), "sequencer"))],
+            ccp_up_cast: vec![
+                eq(
+                    app("top_hdr", vec![msg()]),
+                    con("TotalOrdered", vec![getf(state(), "deliver_next")]),
+                ),
+            ],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![],
+            init: Val::record(&[
+                ("rank", Val::Int(ctx.rank)),
+                ("sequencer", Val::Int(0)),
+                ("order_next", Val::Int(0)),
+                ("local_next", Val::Int(0)),
+                ("deliver_next", Val::Int(0)),
+            ]),
+            const_fields: vec!["rank", "sequencer"],
+        },
+        "local" => LayerModel {
+            name: "local",
+            // The bouncing/splitting path of the composition theorems: a
+            // down-going cast both loops back up and continues down.
+            dn_cast: out2(
+                state(),
+                up_cast_ev(getf(state(), "rank"), msg()),
+                dn_cast_ev(push(msg(), con("NoHdr", vec![]))),
+            ),
+            up_cast: pass_up_cast(),
+            dn_send: if_(
+                eq(var("dst"), getf(state(), "rank")),
+                out1(state(), up_send_ev(getf(state(), "rank"), msg())),
+                pass_dn_send(),
+            ),
+            up_send: pass_up_send(),
+            ccp_dn_cast: vec![],
+            ccp_up_cast: vec![],
+            ccp_dn_send: vec![prim(
+                Prim::Not,
+                vec![eq(var("dst"), getf(state(), "rank"))],
+            )],
+            ccp_up_send: vec![],
+            init: Val::record(&[("rank", Val::Int(ctx.rank))]),
+            const_fields: vec!["rank"],
+        },
+        "frag" => LayerModel {
+            name: "frag",
+            dn_cast: if_(
+                prim(
+                    Prim::Not,
+                    vec![lt(getf(state(), "frag_max"), app("paylen", vec![msg()]))],
+                ),
+                out1(
+                    state(),
+                    dn_cast_ev(push(msg(), con("FragWhole", vec![]))),
+                ),
+                slow(state(), "Fragment"),
+            ),
+            up_cast: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("FragWhole", &[]),
+                        out1(state(), up_cast_ev(var("origin"), pop(msg()))),
+                    ),
+                    (
+                        pat("FragPiece", &["mid", "idx", "tot"]),
+                        slow(state(), "Reassemble"),
+                    ),
+                ],
+            ),
+            dn_send: if_(
+                prim(
+                    Prim::Not,
+                    vec![lt(getf(state(), "frag_max"), app("paylen", vec![msg()]))],
+                ),
+                out1(
+                    state(),
+                    dn_send_ev(var("dst"), push(msg(), con("FragWhole", vec![]))),
+                ),
+                slow(state(), "Fragment"),
+            ),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("FragWhole", &[]),
+                        out1(state(), up_send_ev(var("origin"), pop(msg()))),
+                    ),
+                    (
+                        pat("FragPiece", &["mid", "idx", "tot"]),
+                        slow(state(), "Reassemble"),
+                    ),
+                ],
+            ),
+            ccp_dn_cast: vec![prim(
+                Prim::Not,
+                vec![lt(getf(state(), "frag_max"), app("paylen", vec![msg()]))],
+            )],
+            ccp_up_cast: vec![eq(app("top_hdr", vec![msg()]), con("FragWhole", vec![]))],
+            ccp_dn_send: vec![prim(
+                Prim::Not,
+                vec![lt(getf(state(), "frag_max"), app("paylen", vec![msg()]))],
+            )],
+            ccp_up_send: vec![eq(app("top_hdr", vec![msg()]), con("FragWhole", vec![]))],
+            init: Val::record(&[
+                ("frag_max", Val::Int(ctx.frag_max)),
+                ("next_msg_id", Val::Int(0)),
+            ]),
+            const_fields: vec!["frag_max"],
+        },
+        "collect" => LayerModel {
+            name: "collect",
+            dn_cast: if_(
+                lt(
+                    add(getf(state(), "since_gossip"), Term::Int(1)),
+                    getf(state(), "every"),
+                ),
+                let_(
+                    "mine",
+                    vget(getf(state(), "seen"), getf(state(), "rank")),
+                    let_(
+                        "s1",
+                        setf(
+                            setf(
+                                state(),
+                                "seen",
+                                vset(
+                                    getf(state(), "seen"),
+                                    getf(state(), "rank"),
+                                    add(var("mine"), Term::Int(1)),
+                                ),
+                            ),
+                            "since_gossip",
+                            add(getf(state(), "since_gossip"), Term::Int(1)),
+                        ),
+                        out1(
+                            var("s1"),
+                            dn_cast_ev(push(msg(), con("CollectPass", vec![]))),
+                        ),
+                    ),
+                ),
+                slow(state(), "Gossip"),
+            ),
+            up_cast: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("CollectPass", &[]),
+                        let_(
+                            "cnt",
+                            add(vget(getf(state(), "seen"), var("origin")), Term::Int(1)),
+                            let_(
+                                "s1",
+                                setf(
+                                    state(),
+                                    "seen",
+                                    vset(getf(state(), "seen"), var("origin"), var("cnt")),
+                                ),
+                                if_(
+                                    lt(
+                                        add(getf(state(), "since_gossip"), Term::Int(1)),
+                                        getf(state(), "every"),
+                                    ),
+                                    let_(
+                                        "s2",
+                                        setf(
+                                            var("s1"),
+                                            "since_gossip",
+                                            add(getf(state(), "since_gossip"), Term::Int(1)),
+                                        ),
+                                        out2(
+                                            var("s2"),
+                                            up_cast_ev(var("origin"), pop(msg())),
+                                            defer(con("RecomputeStability", vec![])),
+                                        ),
+                                    ),
+                                    slow(state(), "Gossip"),
+                                ),
+                            ),
+                        ),
+                    ),
+                    (pat("CollectGossip", &["row"]), slow(state(), "GossipRow")),
+                ],
+            ),
+            dn_send: pass_dn_send(),
+            up_send: pass_up_send(),
+            ccp_dn_cast: vec![lt(
+                add(getf(state(), "since_gossip"), Term::Int(1)),
+                getf(state(), "every"),
+            )],
+            ccp_up_cast: vec![
+                eq(
+                    app("top_hdr", vec![msg()]),
+                    con("CollectPass", vec![]),
+                ),
+                lt(
+                    add(getf(state(), "since_gossip"), Term::Int(1)),
+                    getf(state(), "every"),
+                ),
+            ],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![],
+            init: Val::record(&[
+                ("rank", Val::Int(ctx.rank)),
+                ("every", Val::Int(ctx.collect_every)),
+                ("seen", zero_vec(ctx.nmembers)),
+                ("since_gossip", Val::Int(0)),
+            ]),
+            const_fields: vec!["rank", "every"],
+        },
+        "pt2ptw" => LayerModel {
+            name: "pt2ptw",
+            dn_cast: pass_dn_cast(),
+            up_cast: pass_up_cast(),
+            dn_send: if_(
+                lt(
+                    prim(
+                        Prim::Sub,
+                        vec![
+                            vget(getf(state(), "sent"), var("dst")),
+                            vget(getf(state(), "granted"), var("dst")),
+                        ],
+                    ),
+                    getf(state(), "window"),
+                ),
+                let_(
+                    "s1",
+                    setf(
+                        state(),
+                        "sent",
+                        vset(
+                            getf(state(), "sent"),
+                            var("dst"),
+                            add(vget(getf(state(), "sent"), var("dst")), Term::Int(1)),
+                        ),
+                    ),
+                    out1(
+                        var("s1"),
+                        dn_send_ev(var("dst"), push(msg(), con("PtwData", vec![]))),
+                    ),
+                ),
+                slow(state(), "QueueNoCredit"),
+            ),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("PtwData", &[]),
+                        if_(
+                            lt(
+                                add(
+                                    vget(getf(state(), "consumed"), var("origin")),
+                                    Term::Int(1),
+                                ),
+                                getf(state(), "half_window"),
+                            ),
+                            let_(
+                                "s1",
+                                setf(
+                                    state(),
+                                    "consumed",
+                                    vset(
+                                        getf(state(), "consumed"),
+                                        var("origin"),
+                                        add(
+                                            vget(getf(state(), "consumed"), var("origin")),
+                                            Term::Int(1),
+                                        ),
+                                    ),
+                                ),
+                                out1(var("s1"), up_send_ev(var("origin"), pop(msg()))),
+                            ),
+                            slow(state(), "GrantCredit"),
+                        ),
+                    ),
+                    (pat("PtwCredit", &["g"]), slow(state(), "CreditArrived")),
+                ],
+            ),
+            ccp_dn_cast: vec![],
+            ccp_up_cast: vec![],
+            ccp_dn_send: vec![lt(
+                prim(
+                    Prim::Sub,
+                    vec![
+                        vget(getf(state(), "sent"), var("dst")),
+                        vget(getf(state(), "granted"), var("dst")),
+                    ],
+                ),
+                getf(state(), "window"),
+            )],
+            ccp_up_send: vec![
+                eq(app("top_hdr", vec![msg()]), con("PtwData", vec![])),
+                lt(
+                    add(vget(getf(state(), "consumed"), var("origin")), Term::Int(1)),
+                    getf(state(), "half_window"),
+                ),
+            ],
+            init: Val::record(&[
+                ("window", Val::Int(ctx.pt2pt_window)),
+                ("half_window", Val::Int(ctx.pt2pt_window / 2)),
+                ("sent", zero_vec(ctx.nmembers)),
+                ("granted", zero_vec(ctx.nmembers)),
+                ("consumed", zero_vec(ctx.nmembers)),
+            ]),
+            const_fields: vec!["window", "half_window"],
+        },
+        "mflow" => LayerModel {
+            name: "mflow",
+            dn_cast: if_(
+                lt(
+                    prim(
+                        Prim::Sub,
+                        vec![
+                            getf(state(), "sent"),
+                            prim(
+                                Prim::MinVecSkip,
+                                vec![getf(state(), "granted"), getf(state(), "rank")],
+                            ),
+                        ],
+                    ),
+                    getf(state(), "window"),
+                ),
+                let_(
+                    "s1",
+                    setf(state(), "sent", add(getf(state(), "sent"), Term::Int(1))),
+                    out1(
+                        var("s1"),
+                        dn_cast_ev(push(msg(), con("MFlowData", vec![]))),
+                    ),
+                ),
+                slow(state(), "QueueNoCredit"),
+            ),
+            up_cast: let_(
+                "cnt",
+                add(vget(getf(state(), "consumed"), var("origin")), Term::Int(1)),
+                if_(
+                    lt(var("cnt"), getf(state(), "half_window")),
+                    let_(
+                        "s1",
+                        setf(
+                            state(),
+                            "consumed",
+                            vset(getf(state(), "consumed"), var("origin"), var("cnt")),
+                        ),
+                        out1(var("s1"), up_cast_ev(var("origin"), pop(msg()))),
+                    ),
+                    slow(state(), "GrantCredit"),
+                ),
+            ),
+            dn_send: pass_dn_send(),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (pat("NoHdr", &[]), pass_up_send()),
+                    (pat("MFlowCredit", &["g"]), slow(state(), "CreditArrived")),
+                ],
+            ),
+            ccp_dn_cast: vec![lt(
+                prim(
+                    Prim::Sub,
+                    vec![
+                        getf(state(), "sent"),
+                        prim(
+                                Prim::MinVecSkip,
+                                vec![getf(state(), "granted"), getf(state(), "rank")],
+                            ),
+                    ],
+                ),
+                getf(state(), "window"),
+            )],
+            ccp_up_cast: vec![lt(
+                add(vget(getf(state(), "consumed"), var("origin")), Term::Int(1)),
+                getf(state(), "half_window"),
+            )],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![eq(app("top_hdr", vec![msg()]), con("NoHdr", vec![]))],
+            init: Val::record(&[
+                ("rank", Val::Int(ctx.rank)),
+                ("window", Val::Int(ctx.mflow_window)),
+                ("half_window", Val::Int(ctx.mflow_window / 2)),
+                ("sent", Val::Int(0)),
+                ("granted", zero_vec(ctx.nmembers)),
+                ("consumed", zero_vec(ctx.nmembers)),
+            ]),
+            const_fields: vec!["rank", "window", "half_window"],
+        },
+        "pt2pt" => LayerModel {
+            name: "pt2pt",
+            dn_cast: pass_dn_cast(),
+            up_cast: pass_up_cast(),
+            dn_send: let_(
+                "seq",
+                vget(getf(state(), "send_next"), var("dst")),
+                let_(
+                    "s1",
+                    setf(
+                        state(),
+                        "send_next",
+                        vset(
+                            getf(state(), "send_next"),
+                            var("dst"),
+                            add(var("seq"), Term::Int(1)),
+                        ),
+                    ),
+                    out2(
+                        var("s1"),
+                        dn_send_ev(
+                            var("dst"),
+                            push(
+                                msg(),
+                                con(
+                                    "Pt2PtData",
+                                    vec![
+                                        var("seq"),
+                                        vget(getf(state(), "recv_next"), var("dst")),
+                                    ],
+                                ),
+                            ),
+                        ),
+                        defer(con("BufferUnacked", vec![var("dst"), var("seq")])),
+                    ),
+                ),
+            ),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("Pt2PtData", &["seq", "ack"]),
+                        if_(
+                            eq(var("seq"), vget(getf(state(), "recv_next"), var("origin"))),
+                            let_(
+                                "s1",
+                                setf(
+                                    state(),
+                                    "recv_next",
+                                    vset(
+                                        getf(state(), "recv_next"),
+                                        var("origin"),
+                                        add(var("seq"), Term::Int(1)),
+                                    ),
+                                ),
+                                out2(
+                                    var("s1"),
+                                    up_send_ev(var("origin"), pop(msg())),
+                                    defer(con(
+                                        "AckAndPrune",
+                                        vec![var("origin"), var("ack")],
+                                    )),
+                                ),
+                            ),
+                            slow(state(), "BufferOutOfOrder"),
+                        ),
+                    ),
+                    (pat("Pt2PtAck", &["ack"]), slow(state(), "ProcessAck")),
+                ],
+            ),
+            ccp_dn_cast: vec![],
+            ccp_up_cast: vec![],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![
+                // "the low end of the receiver's sliding window is equal
+                // to the sequence number in the event" (§4.1).
+                eq(
+                    app("top_hdr", vec![msg()]),
+                    con(
+                        "Pt2PtData",
+                        vec![
+                            vget(getf(state(), "recv_next"), var("origin")),
+                            var("any_ack"),
+                        ],
+                    ),
+                ),
+            ],
+            init: Val::record(&[
+                ("send_next", zero_vec(ctx.nmembers)),
+                ("recv_next", zero_vec(ctx.nmembers)),
+            ]),
+            const_fields: vec![],
+        },
+        "mnak" => LayerModel {
+            name: "mnak",
+            dn_cast: let_(
+                "seq",
+                getf(state(), "cast_next"),
+                let_(
+                    "s1",
+                    setf(state(), "cast_next", add(var("seq"), Term::Int(1))),
+                    out2(
+                        var("s1"),
+                        dn_cast_ev(push(msg(), con("MnakData", vec![var("seq")]))),
+                        defer(con("StoreOwn", vec![var("seq")])),
+                    ),
+                ),
+            ),
+            up_cast: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("MnakData", &["seq"]),
+                        if_(
+                            eq(var("seq"), vget(getf(state(), "next"), var("origin"))),
+                            let_(
+                                "s1",
+                                setf(
+                                    state(),
+                                    "next",
+                                    vset(
+                                        getf(state(), "next"),
+                                        var("origin"),
+                                        add(var("seq"), Term::Int(1)),
+                                    ),
+                                ),
+                                out2(
+                                    var("s1"),
+                                    up_cast_ev(var("origin"), pop(msg())),
+                                    defer(con("Store", vec![var("origin"), var("seq")])),
+                                ),
+                            ),
+                            slow(state(), "GapOrDuplicate"),
+                        ),
+                    ),
+                ],
+            ),
+            dn_send: pass_dn_send(),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (pat("NoHdr", &[]), pass_up_send()),
+                    (pat("MnakNak", &["o", "lo", "hi"]), slow(state(), "AnswerNak")),
+                    (
+                        pat("MnakRetrans", &["o", "seq"]),
+                        slow(state(), "IngestRetrans"),
+                    ),
+                ],
+            ),
+            ccp_dn_cast: vec![],
+            ccp_up_cast: vec![eq(
+                app("top_hdr", vec![msg()]),
+                con(
+                    "MnakData",
+                    vec![vget(getf(state(), "next"), var("origin"))],
+                ),
+            )],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![eq(app("top_hdr", vec![msg()]), con("NoHdr", vec![]))],
+            init: Val::record(&[
+                ("cast_next", Val::Int(0)),
+                ("next", zero_vec(ctx.nmembers)),
+            ]),
+            const_fields: vec![],
+        },
+        "bottom" => LayerModel {
+            name: "bottom",
+            dn_cast: out1(
+                state(),
+                dn_cast_ev(push(
+                    msg(),
+                    con("BottomHdr", vec![getf(state(), "view_ltime")]),
+                )),
+            ),
+            up_cast: match_(
+                app("top_hdr", vec![msg()]),
+                vec![(
+                    pat("BottomHdr", &["vl"]),
+                    if_(
+                        eq(var("vl"), getf(state(), "view_ltime")),
+                        out1(state(), up_cast_ev(var("origin"), pop(msg()))),
+                        slow(state(), "StaleView"),
+                    ),
+                )],
+            ),
+            dn_send: out1(
+                state(),
+                dn_send_ev(
+                    var("dst"),
+                    push(msg(), con("BottomHdr", vec![getf(state(), "view_ltime")])),
+                ),
+            ),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![(
+                    pat("BottomHdr", &["vl"]),
+                    if_(
+                        eq(var("vl"), getf(state(), "view_ltime")),
+                        out1(state(), up_send_ev(var("origin"), pop(msg()))),
+                        slow(state(), "StaleView"),
+                    ),
+                )],
+            ),
+            ccp_dn_cast: vec![],
+            ccp_up_cast: vec![eq(
+                app("top_hdr", vec![msg()]),
+                con("BottomHdr", vec![getf(state(), "view_ltime")]),
+            )],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![eq(
+                app("top_hdr", vec![msg()]),
+                con("BottomHdr", vec![getf(state(), "view_ltime")]),
+            )],
+            init: Val::record(&[("view_ltime", Val::Int(ctx.view_ltime))]),
+            const_fields: vec!["view_ltime"],
+        },
+        _ => return None,
+    })
+}
+
+/// The full inlinable definition table used by the layer models.
+pub fn layer_defs() -> FnDefs {
+    shared_defs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_with;
+
+    /// Builds a message value with the given header stack (outermost
+    /// first) and payload length.
+    pub fn msg_val(hdrs: Vec<Val>, len: i64) -> Val {
+        Val::con("Msg", vec![Val::list(hdrs), Val::Opaque(1), Val::Int(len)])
+    }
+
+    fn run(
+        t: &Term,
+        bindings: &[(&str, Val)],
+    ) -> (Val, Vec<Val>) {
+        let defs = layer_defs();
+        let (v, _) = eval_with(t, &defs, bindings).unwrap();
+        match v {
+            Val::Con(n, args) if n.as_str() == "Out" => {
+                let evs = args[1].un_list().unwrap();
+                (args[0].clone(), evs)
+            }
+            other => panic!("expected Out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mnak_dn_cast_numbers_and_defers_store() {
+        let m = model("mnak", &ModelCtx::new(3, 0)).unwrap();
+        let (s1, evs) = run(
+            &m.dn_cast,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 4))],
+        );
+        assert_eq!(s1.field("cast_next"), Some(&Val::Int(1)));
+        assert_eq!(evs.len(), 2);
+        // First event: the framed cast.
+        match &evs[0] {
+            Val::Con(n, args) if n.as_str() == "DnCast" => {
+                let hdrs = args[0].field("ignore");
+                assert!(hdrs.is_none()); // Msg is a Con, not a record.
+            }
+            other => panic!("{other:?}"),
+        }
+        // Second: the deferred buffering.
+        assert_eq!(evs[1], Val::con("Defer", vec![Val::con("StoreOwn", vec![Val::Int(0)])]));
+    }
+
+    #[test]
+    fn mnak_up_cast_in_sequence_delivers() {
+        let m = model("mnak", &ModelCtx::new(3, 0)).unwrap();
+        let incoming = msg_val(vec![Val::con("MnakData", vec![Val::Int(0)])], 4);
+        let (s1, evs) = run(
+            &m.up_cast,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(1)),
+                ("msg", incoming),
+            ],
+        );
+        match s1.field("next") {
+            Some(Val::Vector(v)) => assert_eq!(v[1], Val::Int(1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&evs[0], Val::Con(n, _) if n.as_str() == "UpCast"));
+    }
+
+    #[test]
+    fn mnak_up_cast_gap_goes_slow() {
+        let m = model("mnak", &ModelCtx::new(3, 0)).unwrap();
+        let incoming = msg_val(vec![Val::con("MnakData", vec![Val::Int(5)])], 4);
+        let defs = layer_defs();
+        let (v, _) = eval_with(
+            &m.up_cast,
+            &defs,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(1)),
+                ("msg", incoming),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(v, Val::Con(n, _) if n.as_str() == "Slow"));
+    }
+
+    #[test]
+    fn total_sequencer_stamps_order() {
+        let m = model("total", &ModelCtx::new(3, 0)).unwrap();
+        let (s1, evs) = run(
+            &m.dn_cast,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 4))],
+        );
+        assert_eq!(s1.field("order_next"), Some(&Val::Int(1)));
+        assert_eq!(evs.len(), 1);
+    }
+
+    #[test]
+    fn total_non_sequencer_goes_slow() {
+        let m = model("total", &ModelCtx::new(3, 2)).unwrap();
+        let defs = layer_defs();
+        let (v, _) = eval_with(
+            &m.dn_cast,
+            &defs,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 4))],
+        )
+        .unwrap();
+        assert!(matches!(v, Val::Con(n, _) if n.as_str() == "Slow"));
+    }
+
+    #[test]
+    fn local_dn_cast_splits() {
+        let m = model("local", &ModelCtx::new(3, 1)).unwrap();
+        let (_, evs) = run(
+            &m.dn_cast,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 4))],
+        );
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(&evs[0], Val::Con(n, _) if n.as_str() == "UpCast"));
+        assert!(matches!(&evs[1], Val::Con(n, _) if n.as_str() == "DnCast"));
+    }
+
+    #[test]
+    fn frag_small_passes_whole() {
+        let m = model("frag", &ModelCtx::new(3, 0)).unwrap();
+        let (_, evs) = run(
+            &m.dn_cast,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 100))],
+        );
+        assert_eq!(evs.len(), 1);
+    }
+
+    #[test]
+    fn frag_large_goes_slow() {
+        let m = model("frag", &ModelCtx::new(3, 0)).unwrap();
+        let defs = layer_defs();
+        let (v, _) = eval_with(
+            &m.dn_cast,
+            &defs,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 5000))],
+        )
+        .unwrap();
+        assert!(matches!(v, Val::Con(n, _) if n.as_str() == "Slow"));
+    }
+
+    #[test]
+    fn bottom_stamps_and_checks_view() {
+        let m = model("bottom", &ModelCtx::new(3, 0)).unwrap();
+        let (_, evs) = run(
+            &m.dn_cast,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 4))],
+        );
+        assert_eq!(evs.len(), 1);
+        // Round-trip: what went down comes back up intact.
+        let framed = match &evs[0] {
+            Val::Con(_, args) => args[0].clone(),
+            other => panic!("{other:?}"),
+        };
+        let (_, evs) = run(
+            &m.up_cast,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(1)),
+                ("msg", framed),
+            ],
+        );
+        assert!(matches!(&evs[0], Val::Con(n, _) if n.as_str() == "UpCast"));
+    }
+
+    #[test]
+    fn all_stack10_layers_have_models() {
+        let ctx = ModelCtx::new(3, 0);
+        for name in [
+            "partial_appl",
+            "total",
+            "local",
+            "frag",
+            "collect",
+            "pt2ptw",
+            "mflow",
+            "pt2pt",
+            "mnak",
+            "bottom",
+            "top",
+        ] {
+            let m = model(name, &ctx).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(m.name, name);
+            assert!(m.dn_cast.size() > 0);
+        }
+        assert!(model("nope", &ctx).is_none());
+    }
+
+    #[test]
+    fn handler_and_ccp_accessors() {
+        let m = model("mnak", &ModelCtx::new(2, 0)).unwrap();
+        assert_eq!(m.handler(Case::DnCast), &m.dn_cast);
+        assert_eq!(m.ccp(Case::UpCast).len(), 1);
+        assert_eq!(Case::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,465 @@
+//! The term language.
+//!
+//! A purely functional mini-ML, sufficient to express the event-handler
+//! bodies of the protocol layers: state records, header constructors,
+//! per-origin vectors, and the control flow between them. Terms are
+//! compared structurally (the rewriter relies on syntactic equality after
+//! normalization).
+
+use ensemble_util::Intern;
+use std::fmt;
+
+/// Primitive operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Prim {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Equality on values.
+    Eq,
+    /// Integer less-than.
+    Lt,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean negation.
+    Not,
+    /// `VecGet(vec, idx)`.
+    VecGet,
+    /// `VecSet(vec, idx, val)` (functional update).
+    VecSet,
+    /// `MinVecSkip(vec, skip)`: minimum element, ignoring index `skip`
+    /// (the flow-control "slowest receiver" fold; a loop in the native
+    /// code, a primitive here so it stays opaque to inlining).
+    MinVecSkip,
+}
+
+impl Prim {
+    /// Number of arguments the primitive takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Prim::Not => 1,
+            Prim::VecSet => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// A term of the language.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// The unit constant.
+    Unit,
+    /// A boolean constant.
+    Bool(bool),
+    /// An integer constant.
+    Int(i64),
+    /// A variable reference.
+    Var(Intern),
+    /// `let x = e1 in e2`.
+    Let(Intern, Box<Term>, Box<Term>),
+    /// `if c then t else e`.
+    If(Box<Term>, Box<Term>, Box<Term>),
+    /// A data constructor application (also used for tuples and lists).
+    Con(Intern, Vec<Term>),
+    /// Pattern match on a constructor value.
+    Match(Box<Term>, Vec<(Pattern, Term)>),
+    /// A primitive application.
+    Prim(Prim, Vec<Term>),
+    /// Record field read.
+    GetF(Box<Term>, Intern),
+    /// Functional record update: `e with { f = v }`.
+    SetF(Box<Term>, Intern, Box<Term>),
+    /// A call to a named (inlinable) function.
+    App(Intern, Vec<Term>),
+}
+
+/// A match pattern: a constructor name binding its argument variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// `Name(x, y, …)` — binds the constructor arguments.
+    Con(Intern, Vec<Intern>),
+    /// `_` — matches anything, binds nothing.
+    Wild,
+}
+
+/// Named function definitions available for inlining.
+#[derive(Clone, Default)]
+pub struct FnDefs {
+    defs: Vec<(Intern, Vec<Intern>, Term)>,
+}
+
+impl FnDefs {
+    /// An empty definition table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name(params) = body`.
+    pub fn define(&mut self, name: &str, params: &[&str], body: Term) {
+        self.defs.push((
+            Intern::from(name),
+            params.iter().map(|p| Intern::from(p)).collect(),
+            body,
+        ));
+    }
+
+    /// Looks up a definition.
+    pub fn get(&self, name: Intern) -> Option<(&[Intern], &Term)> {
+        self.defs
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, p, b)| (p.as_slice(), b))
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+// Convenience constructors, used heavily by the layer models.
+
+/// A variable term.
+pub fn var(n: &str) -> Term {
+    Term::Var(Intern::from(n))
+}
+
+/// A `let`.
+pub fn let_(n: &str, v: Term, body: Term) -> Term {
+    Term::Let(Intern::from(n), Box::new(v), Box::new(body))
+}
+
+/// An `if`.
+pub fn if_(c: Term, t: Term, e: Term) -> Term {
+    Term::If(Box::new(c), Box::new(t), Box::new(e))
+}
+
+/// A constructor application.
+pub fn con(n: &str, args: Vec<Term>) -> Term {
+    Term::Con(Intern::from(n), args)
+}
+
+/// A record field read.
+pub fn getf(e: Term, f: &str) -> Term {
+    Term::GetF(Box::new(e), Intern::from(f))
+}
+
+/// A record field update.
+pub fn setf(e: Term, f: &str, v: Term) -> Term {
+    Term::SetF(Box::new(e), Intern::from(f), Box::new(v))
+}
+
+/// A primitive application.
+pub fn prim(p: Prim, args: Vec<Term>) -> Term {
+    Term::Prim(p, args)
+}
+
+/// `a == b`.
+pub fn eq(a: Term, b: Term) -> Term {
+    prim(Prim::Eq, vec![a, b])
+}
+
+/// `a + b`.
+pub fn add(a: Term, b: Term) -> Term {
+    prim(Prim::Add, vec![a, b])
+}
+
+/// A list literal as nested cons cells.
+pub fn list(items: Vec<Term>) -> Term {
+    let mut t = con("nil", vec![]);
+    for item in items.into_iter().rev() {
+        t = con("cons", vec![item, t]);
+    }
+    t
+}
+
+/// A match arm pattern.
+pub fn pat(name: &str, binds: &[&str]) -> Pattern {
+    Pattern::Con(
+        Intern::from(name),
+        binds.iter().map(|b| Intern::from(b)).collect(),
+    )
+}
+
+/// A match term.
+pub fn match_(scrutinee: Term, arms: Vec<(Pattern, Term)>) -> Term {
+    Term::Match(Box::new(scrutinee), arms)
+}
+
+/// A named-function call.
+pub fn app(name: &str, args: Vec<Term>) -> Term {
+    Term::App(Intern::from(name), args)
+}
+
+impl Term {
+    /// Counts the nodes of the term (a code-size proxy for Table 2(b)).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Var(_) => 0,
+            Term::Let(_, a, b) => a.size() + b.size(),
+            Term::If(c, t, e) => c.size() + t.size() + e.size(),
+            Term::Con(_, args) | Term::Prim(_, args) | Term::App(_, args) => {
+                args.iter().map(Term::size).sum()
+            }
+            Term::Match(s, arms) => {
+                s.size() + arms.iter().map(|(_, t)| 1 + t.size()).sum::<usize>()
+            }
+            Term::GetF(e, _) => e.size(),
+            Term::SetF(e, _, v) => e.size() + v.size(),
+        }
+    }
+
+    /// Capture-avoiding-enough substitution of `name` by `val` (the layer
+    /// models use globally unique binder names, so shadowing checks
+    /// suffice).
+    pub fn subst(&self, name: Intern, val: &Term) -> Term {
+        match self {
+            Term::Var(v) if *v == name => val.clone(),
+            Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Var(_) => self.clone(),
+            Term::Let(x, a, b) => {
+                let a2 = a.subst(name, val);
+                let b2 = if *x == name {
+                    (**b).clone()
+                } else {
+                    b.subst(name, val)
+                };
+                Term::Let(*x, Box::new(a2), Box::new(b2))
+            }
+            Term::If(c, t, e) => if_(
+                c.subst(name, val),
+                t.subst(name, val),
+                e.subst(name, val),
+            ),
+            Term::Con(n, args) => {
+                Term::Con(*n, args.iter().map(|a| a.subst(name, val)).collect())
+            }
+            Term::Prim(p, args) => {
+                Term::Prim(*p, args.iter().map(|a| a.subst(name, val)).collect())
+            }
+            Term::App(f, args) => {
+                Term::App(*f, args.iter().map(|a| a.subst(name, val)).collect())
+            }
+            Term::Match(s, arms) => {
+                let s2 = s.subst(name, val);
+                let arms2 = arms
+                    .iter()
+                    .map(|(p, t)| {
+                        let shadowed = match p {
+                            Pattern::Con(_, binds) => binds.contains(&name),
+                            Pattern::Wild => false,
+                        };
+                        if shadowed {
+                            (p.clone(), t.clone())
+                        } else {
+                            (p.clone(), t.subst(name, val))
+                        }
+                    })
+                    .collect();
+                Term::Match(Box::new(s2), arms2)
+            }
+            Term::GetF(e, f) => Term::GetF(Box::new(e.subst(name, val)), *f),
+            Term::SetF(e, f, v) => Term::SetF(
+                Box::new(e.subst(name, val)),
+                *f,
+                Box::new(v.subst(name, val)),
+            ),
+        }
+    }
+
+    /// The free variables of the term, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<Intern> {
+        fn go(t: &Term, bound: &mut Vec<Intern>, out: &mut Vec<Intern>) {
+            match t {
+                Term::Var(v) => {
+                    if !bound.contains(v) && !out.contains(v) {
+                        out.push(*v);
+                    }
+                }
+                Term::Unit | Term::Bool(_) | Term::Int(_) => {}
+                Term::Let(x, a, b) => {
+                    go(a, bound, out);
+                    bound.push(*x);
+                    go(b, bound, out);
+                    bound.pop();
+                }
+                Term::If(c, t1, e) => {
+                    go(c, bound, out);
+                    go(t1, bound, out);
+                    go(e, bound, out);
+                }
+                Term::Con(_, args) | Term::Prim(_, args) | Term::App(_, args) => {
+                    for a in args {
+                        go(a, bound, out);
+                    }
+                }
+                Term::Match(s, arms) => {
+                    go(s, bound, out);
+                    for (p, body) in arms {
+                        let n0 = bound.len();
+                        if let Pattern::Con(_, binds) = p {
+                            bound.extend(binds.iter().copied());
+                        }
+                        go(body, bound, out);
+                        bound.truncate(n0);
+                    }
+                }
+                Term::GetF(e, _) => go(e, bound, out),
+                Term::SetF(e, _, v) => {
+                    go(e, bound, out);
+                    go(v, bound, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Unit => write!(f, "()"),
+            Term::Bool(b) => write!(f, "{b}"),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Let(x, a, b) => write!(f, "let {x} = {a:?} in\n{b:?}"),
+            Term::If(c, t, e) => write!(f, "if {c:?} then {t:?} else {e:?}"),
+            Term::Con(n, args) if args.is_empty() => write!(f, "{n}"),
+            Term::Con(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a:?}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Match(s, arms) => {
+                write!(f, "match {s:?} with")?;
+                for (p, t) in arms {
+                    write!(f, " | {p:?} -> {t:?}")?;
+                }
+                Ok(())
+            }
+            Term::Prim(p, args) => write!(f, "{p:?}{args:?}"),
+            Term::GetF(e, field) => write!(f, "{e:?}.{field}"),
+            Term::SetF(e, field, v) => write!(f, "{{{e:?} with {field} = {v:?}}}"),
+            Term::App(n, args) => write!(f, "{n}{args:?}"),
+        }
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Con(n, binds) if binds.is_empty() => write!(f, "{n}"),
+            Pattern::Con(n, binds) => {
+                write!(f, "{n}(")?;
+                for (i, b) in binds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            Pattern::Wild => write!(f, "_"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Term::Int(1).size(), 1);
+        assert_eq!(add(var("x"), Term::Int(1)).size(), 3);
+        let t = let_("x", Term::Int(1), add(var("x"), var("x")));
+        assert_eq!(t.size(), 5);
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        // let x = 1 in x  — substituting x leaves the body alone.
+        let t = let_("x", var("y"), var("x"));
+        let s = t.subst(Intern::from("x"), &Term::Int(9));
+        assert_eq!(s, let_("x", var("y"), var("x")));
+        // But the bound value is substituted.
+        let s = t.subst(Intern::from("y"), &Term::Int(9));
+        assert_eq!(s, let_("x", Term::Int(9), var("x")));
+    }
+
+    #[test]
+    fn substitution_in_match_respects_binders() {
+        let t = match_(
+            var("e"),
+            vec![
+                (pat("Data", &["s"]), add(var("s"), var("k"))),
+                (Pattern::Wild, var("k")),
+            ],
+        );
+        let s = t.subst(Intern::from("s"), &Term::Int(5));
+        // `s` is bound by the pattern; only the scrutinee/others change.
+        assert_eq!(
+            s,
+            match_(
+                var("e"),
+                vec![
+                    (pat("Data", &["s"]), add(var("s"), var("k"))),
+                    (Pattern::Wild, var("k")),
+                ],
+            )
+        );
+        let s = t.subst(Intern::from("k"), &Term::Int(5));
+        match s {
+            Term::Match(_, arms) => {
+                assert_eq!(arms[0].1, add(var("s"), Term::Int(5)));
+                assert_eq!(arms[1].1, Term::Int(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_ordered() {
+        let t = let_("x", var("a"), add(var("x"), add(var("b"), var("a"))));
+        let fv: Vec<String> = t.free_vars().iter().map(|v| v.as_str()).collect();
+        assert_eq!(fv, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn list_builds_cons_cells() {
+        let l = list(vec![Term::Int(1), Term::Int(2)]);
+        assert_eq!(
+            l,
+            con(
+                "cons",
+                vec![Term::Int(1), con("cons", vec![Term::Int(2), con("nil", vec![])])]
+            )
+        );
+    }
+
+    #[test]
+    fn fndefs_lookup() {
+        let mut d = FnDefs::new();
+        d.define("inc", &["x"], add(var("x"), Term::Int(1)));
+        let (params, body) = d.get(Intern::from("inc")).unwrap();
+        assert_eq!(params.len(), 1);
+        assert_eq!(*body, add(var("x"), Term::Int(1)));
+        assert!(d.get(Intern::from("missing")).is_none());
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! The value domain of the term language.
+
+use ensemble_util::Intern;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Val {
+    /// Unit.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// A constructor value (also tuples and cons lists).
+    Con(Intern, Vec<Val>),
+    /// A record (layer state).
+    Record(BTreeMap<Intern, Val>),
+    /// A vector (per-origin tables).
+    Vector(Vec<Val>),
+    /// An opaque payload handle (the evaluator never inspects it).
+    Opaque(u64),
+}
+
+impl Val {
+    /// Builds a constructor value.
+    pub fn con(name: &str, args: Vec<Val>) -> Val {
+        Val::Con(Intern::from(name), args)
+    }
+
+    /// Builds a record from field/value pairs.
+    pub fn record(fields: &[(&str, Val)]) -> Val {
+        Val::Record(
+            fields
+                .iter()
+                .map(|(k, v)| (Intern::from(k), v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Builds a cons-list value.
+    pub fn list(items: Vec<Val>) -> Val {
+        let mut v = Val::con("nil", vec![]);
+        for item in items.into_iter().rev() {
+            v = Val::con("cons", vec![item, v]);
+        }
+        v
+    }
+
+    /// Collects a cons-list value back into a vector.
+    pub fn un_list(&self) -> Option<Vec<Val>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Val::Con(n, args) if n.as_str() == "nil" && args.is_empty() => return Some(out),
+                Val::Con(n, args) if n.as_str() == "cons" && args.len() == 2 => {
+                    out.push(args[0].clone());
+                    cur = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The integer inside, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Reads a record field.
+    pub fn field(&self, name: &str) -> Option<&Val> {
+        match self {
+            Val::Record(m) => m.get(&Intern::from(name)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Unit => write!(f, "()"),
+            Val::Bool(b) => write!(f, "{b}"),
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Con(n, args) if args.is_empty() => write!(f, "{n}"),
+            Val::Con(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a:?}")?;
+                }
+                write!(f, ")")
+            }
+            Val::Record(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{k} = {v:?}")?;
+                }
+                write!(f, "}}")
+            }
+            Val::Vector(v) => write!(f, "{v:?}"),
+            Val::Opaque(id) => write!(f, "<payload#{id}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_roundtrip() {
+        let v = Val::list(vec![Val::Int(1), Val::Int(2), Val::Int(3)]);
+        assert_eq!(
+            v.un_list().unwrap(),
+            vec![Val::Int(1), Val::Int(2), Val::Int(3)]
+        );
+        assert_eq!(Val::con("nil", vec![]).un_list().unwrap(), vec![]);
+        assert!(Val::Int(0).un_list().is_none());
+    }
+
+    #[test]
+    fn record_fields() {
+        let r = Val::record(&[("a", Val::Int(1)), ("b", Val::Bool(true))]);
+        assert_eq!(r.field("a"), Some(&Val::Int(1)));
+        assert_eq!(r.field("missing"), None);
+        assert_eq!(Val::Unit.field("a"), None);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Val::Int(4).as_int(), Some(4));
+        assert_eq!(Val::Bool(true).as_bool(), Some(true));
+        assert_eq!(Val::Unit.as_int(), None);
+    }
+}

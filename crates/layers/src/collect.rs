@@ -1,0 +1,254 @@
+//! `collect` — acknowledgment collection for stability.
+//!
+//! Counts the casts delivered per origin (at this level every cast that
+//! passed `mnak` exactly once, so counts are in `mnak` seqno units) and
+//! periodically casts its delivered-vector. Rows from all members form a
+//! matrix whose column-wise minimum is the *stability vector*: casts below
+//! it have been delivered by everyone and can be reclaimed. The vector is
+//! emitted both downward (pruning `mnak`'s store) and upward (to the
+//! application as [`UpEvent::Stable`]).
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{CollectHdr, DnEvent, Effects, Frame, Msg, UpEvent, ViewState};
+use ensemble_util::{Rank, Seqno, Time};
+
+/// The stability-collection layer.
+pub struct Collect {
+    my_rank: Rank,
+    every: u64,
+    /// Casts seen from each origin (my row of the matrix). The entry for
+    /// my own rank counts my own casts sent.
+    seen: Vec<u64>,
+    /// The full matrix: one row per member.
+    matrix: Vec<Vec<u64>>,
+    /// The last stability vector announced.
+    last_min: Vec<u64>,
+    /// Deliveries since the last gossip.
+    since_gossip: u64,
+}
+
+impl Collect {
+    /// Builds the layer for a view.
+    pub fn new(vs: &ViewState, cfg: &LayerConfig) -> Self {
+        let n = vs.nmembers();
+        Collect {
+            my_rank: vs.rank,
+            every: cfg.collect_every.max(1),
+            seen: vec![0; n],
+            matrix: vec![vec![0; n]; n],
+            last_min: vec![0; n],
+            since_gossip: 0,
+        }
+    }
+
+    /// The current stability floor per origin.
+    pub fn stability(&self) -> Vec<Seqno> {
+        self.last_min.iter().map(|&v| Seqno(v)).collect()
+    }
+
+    fn recompute(&mut self, out: &mut Effects) {
+        self.matrix[self.my_rank.index()] = self.seen.clone();
+        let n = self.seen.len();
+        let min: Vec<u64> = (0..n)
+            .map(|col| self.matrix.iter().map(|row| row[col]).min().unwrap_or(0))
+            .collect();
+        if min != self.last_min {
+            self.last_min = min;
+            let vec: Vec<Seqno> = self.last_min.iter().map(|&v| Seqno(v)).collect();
+            out.dn(DnEvent::Stable(vec.clone()));
+            out.up(UpEvent::Stable(vec));
+        }
+    }
+
+    fn maybe_gossip(&mut self, out: &mut Effects) {
+        self.since_gossip += 1;
+        if self.since_gossip < self.every {
+            return;
+        }
+        self.since_gossip = 0;
+        let mut gossip = Msg::control();
+        gossip.push_frame(Frame::Collect(CollectHdr::Gossip {
+            seen: self.seen.clone(),
+        }));
+        // The gossip cast itself consumes an mnak seqno; count it so our
+        // row stays aligned with mnak's numbering.
+        self.seen[self.my_rank.index()] += 1;
+        out.dn(DnEvent::Cast(gossip));
+    }
+}
+
+impl Layer for Collect {
+    fn name(&self) -> &'static str {
+        "collect"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { origin, msg } => {
+                let origin = *origin;
+                let frame = msg.pop_frame();
+                self.seen[origin.index()] += 1;
+                match frame {
+                    Frame::Collect(CollectHdr::Pass) => {
+                        out.up(ev);
+                        self.maybe_gossip(out);
+                        self.recompute(out);
+                    }
+                    Frame::Collect(CollectHdr::Gossip { seen }) => {
+                        let row = &mut self.matrix[origin.index()];
+                        for (slot, v) in row.iter_mut().zip(seen.iter()) {
+                            *slot = (*slot).max(*v);
+                        }
+                        self.recompute(out);
+                    }
+                    other => panic!("collect: expected Collect frame, got {other:?}"),
+                }
+            }
+            UpEvent::Send { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "collect pushes NoHdr on sends");
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                msg.push_frame(Frame::Collect(CollectHdr::Pass));
+                self.seen[self.my_rank.index()] += 1;
+                out.dn(ev);
+                // Sending also counts towards the gossip trigger: a pure
+                // sender must still announce its frontier or nobody's
+                // stability (and mnak's buffers) would ever advance.
+                self.maybe_gossip(out);
+            }
+            DnEvent::Send { msg, .. } => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cast, up_cast, Harness};
+    use ensemble_event::Payload;
+
+    fn h(every: u64, n: usize) -> Harness<Collect> {
+        let cfg = LayerConfig {
+            collect_every: every,
+            ..LayerConfig::default()
+        };
+        Harness::new(Collect::new(&ViewState::initial(n), &cfg))
+    }
+
+    fn data() -> Msg {
+        let mut m = Msg::data(Payload::from_slice(b"d"));
+        m.push_frame(Frame::Collect(CollectHdr::Pass));
+        m
+    }
+
+    fn gossip(seen: Vec<u64>) -> Msg {
+        let mut m = Msg::control();
+        m.push_frame(Frame::Collect(CollectHdr::Gossip { seen }));
+        m
+    }
+
+    #[test]
+    fn counts_and_passes_data() {
+        let mut h = h(100, 2);
+        let out = h.up(up_cast(1, data()));
+        assert_eq!(out.up.len(), 1);
+        assert_eq!(h.layer.seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn gossips_after_threshold() {
+        let mut h = h(2, 2);
+        h.up(up_cast(1, data()));
+        let out = h.up(up_cast(1, data()));
+        let casts: Vec<&DnEvent> = out
+            .dn
+            .iter()
+            .filter(|e| matches!(e, DnEvent::Cast(_)))
+            .collect();
+        assert_eq!(casts.len(), 1, "gossip cast emitted");
+        match casts[0] {
+            DnEvent::Cast(m) => {
+                assert_eq!(
+                    m.peek_frame(),
+                    Some(&Frame::Collect(CollectHdr::Gossip { seen: vec![0, 2] }))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // The gossip consumed one of our own mnak seqnos.
+        assert_eq!(h.layer.seen[0], 1);
+    }
+
+    #[test]
+    fn stability_advances_with_full_matrix() {
+        let mut h = h(100, 2);
+        // I delivered 3 casts from origin 1.
+        for _ in 0..3 {
+            h.up(up_cast(1, data()));
+        }
+        // Origin 1 reports having seen 2 of its own casts (everyone counts
+        // their own sends), and 0 of mine.
+        let out = h.up(up_cast(1, gossip(vec![0, 2])));
+        let stables: Vec<&DnEvent> = out
+            .dn
+            .iter()
+            .filter(|e| matches!(e, DnEvent::Stable(_)))
+            .collect();
+        assert_eq!(stables.len(), 1);
+        match stables[0] {
+            DnEvent::Stable(v) => assert_eq!(v, &vec![Seqno(0), Seqno(2)]),
+            other => panic!("{other:?}"),
+        }
+        // Matching up event too.
+        assert!(out.up.iter().any(|e| matches!(e, UpEvent::Stable(_))));
+    }
+
+    #[test]
+    fn stability_never_regresses() {
+        let mut h = h(100, 2);
+        for _ in 0..3 {
+            h.up(up_cast(1, data()));
+        }
+        h.up(up_cast(1, gossip(vec![0, 3])));
+        assert_eq!(h.layer.stability()[1], Seqno(3));
+        // A stale (lower) gossip row must not pull stability back.
+        let out = h.up(up_cast(1, gossip(vec![0, 1])));
+        assert!(
+            !out.dn.iter().any(|e| matches!(e, DnEvent::Stable(_))),
+            "no regression announcement"
+        );
+        assert_eq!(h.layer.stability()[1], Seqno(3));
+    }
+
+    #[test]
+    fn own_casts_counted() {
+        let mut h = h(100, 2);
+        h.dn(cast(b"mine"));
+        assert_eq!(h.layer.seen[0], 1);
+    }
+
+    #[test]
+    fn pure_sender_still_gossips() {
+        let mut h = h(3, 2);
+        h.dn(cast(b"a")).sole_dn();
+        h.dn(cast(b"b")).sole_dn();
+        // The third own cast crosses the threshold: data + gossip go down.
+        let out = h.dn(cast(b"c"));
+        assert_eq!(out.dn.len(), 2, "{:?}", out.dn);
+        assert!(matches!(&out.dn[1], DnEvent::Cast(m)
+            if matches!(m.peek_frame(), Some(Frame::Collect(CollectHdr::Gossip { .. })))));
+    }
+}

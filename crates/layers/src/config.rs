@@ -1,0 +1,94 @@
+//! Per-stack protocol parameters.
+//!
+//! §1 of the paper notes that configuring a component system includes "the
+//! parameterization of the individual components". All tunables live here
+//! so a stack is fully described by (layer names, `LayerConfig`).
+
+use ensemble_util::Duration;
+
+/// Tunable parameters shared by all layers of one stack instance.
+#[derive(Clone, Debug)]
+pub struct LayerConfig {
+    /// `pt2ptw`: initial per-destination send credits (messages).
+    pub pt2pt_window: u64,
+    /// `mflow`: multicast send window (messages outstanding beyond the
+    /// slowest receiver's cumulative grant).
+    pub mflow_window: u64,
+    /// `frag`: maximum fragment payload size in bytes.
+    pub frag_max: usize,
+    /// `collect`: gossip the delivered-vector after this many casts.
+    pub collect_every: u64,
+    /// `pt2pt`: retransmission timeout.
+    pub retrans_timeout: Duration,
+    /// `mnak`: interval between NAK re-sends for outstanding gaps.
+    pub nak_timeout: Duration,
+    /// `suspect`: ping interval.
+    pub suspect_interval: Duration,
+    /// `suspect`: rounds without contact before a member is suspected.
+    pub suspect_misses: u32,
+    /// `stable`: gossip interval.
+    pub stable_interval: Duration,
+    /// `sign`: MAC key.
+    pub sign_key: u64,
+    /// `encrypt`: key identifier.
+    pub encrypt_key: u32,
+    /// `top`: automatically answer `Block` with `BlockOk` (most
+    /// applications want this; interactive apps may take over).
+    pub auto_block_ok: bool,
+}
+
+impl Default for LayerConfig {
+    fn default() -> Self {
+        LayerConfig {
+            pt2pt_window: 64,
+            mflow_window: 64,
+            frag_max: 1400,
+            collect_every: 16,
+            retrans_timeout: Duration::from_millis(10),
+            nak_timeout: Duration::from_millis(5),
+            suspect_interval: Duration::from_millis(50),
+            suspect_misses: 4,
+            stable_interval: Duration::from_millis(20),
+            sign_key: 0x5EED_5EED_5EED_5EED,
+            encrypt_key: 1,
+            auto_block_ok: true,
+        }
+    }
+}
+
+impl LayerConfig {
+    /// A configuration with aggressive timers, for fast-converging tests.
+    pub fn fast() -> Self {
+        LayerConfig {
+            retrans_timeout: Duration::from_micros(500),
+            nak_timeout: Duration::from_micros(300),
+            suspect_interval: Duration::from_millis(5),
+            suspect_misses: 3,
+            stable_interval: Duration::from_millis(2),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = LayerConfig::default();
+        assert!(c.pt2pt_window > 0);
+        assert!(c.frag_max > 0);
+        assert!(c.retrans_timeout > Duration::ZERO);
+        assert!(c.auto_block_ok);
+    }
+
+    #[test]
+    fn fast_shrinks_timers() {
+        let f = LayerConfig::fast();
+        let d = LayerConfig::default();
+        assert!(f.retrans_timeout < d.retrans_timeout);
+        assert!(f.suspect_interval < d.suspect_interval);
+        assert_eq!(f.pt2pt_window, d.pt2pt_window);
+    }
+}

@@ -1,0 +1,133 @@
+//! `elect` — coordinator election.
+//!
+//! Tracks the suspicion set reported by [`crate::suspect`] below and
+//! forwards it upward only on the process that is the *acting coordinator*
+//! (the lowest unsuspected rank). The membership layer above therefore
+//! acts exactly once per view change, and leadership fails over
+//! automatically when the coordinator itself is suspected.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, UpEvent, ViewState};
+use ensemble_util::{Rank, Time};
+
+/// The election layer.
+pub struct Elect {
+    my_rank: Rank,
+    n: usize,
+    suspected: Vec<bool>,
+}
+
+impl Elect {
+    /// Builds the layer.
+    pub fn new(vs: &ViewState, _cfg: &LayerConfig) -> Self {
+        Elect {
+            my_rank: vs.rank,
+            n: vs.nmembers(),
+            suspected: vec![false; vs.nmembers()],
+        }
+    }
+
+    /// The acting coordinator under the current suspicion set.
+    pub fn coordinator(&self) -> Rank {
+        for i in 0..self.n {
+            if !self.suspected[i] {
+                return Rank(i as u16);
+            }
+        }
+        // Everyone suspected (cannot include ourselves in practice):
+        // fall back to self.
+        self.my_rank
+    }
+
+    /// Whether this process is the acting coordinator.
+    pub fn am_coordinator(&self) -> bool {
+        self.coordinator() == self.my_rank
+    }
+}
+
+impl Layer for Elect {
+    fn name(&self) -> &'static str {
+        "elect"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Suspect(ranks) => {
+                for r in ranks.iter() {
+                    if r.index() < self.n {
+                        self.suspected[r.index()] = true;
+                    }
+                }
+                if self.am_coordinator() {
+                    out.up(UpEvent::Suspect(ranks.clone()));
+                }
+            }
+            UpEvent::Cast { msg, .. } | UpEvent::Send { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "elect pushes NoHdr");
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) | DnEvent::Send { msg, .. } => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Harness;
+
+    fn h(rank: u16, n: usize) -> Harness<Elect> {
+        Harness::new(Elect::new(
+            &ViewState::initial(n).for_rank(Rank(rank)),
+            &LayerConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn coordinator_forwards_suspicion() {
+        let mut h = h(0, 3);
+        let out = h.up(UpEvent::Suspect(vec![Rank(2)]));
+        assert_eq!(out.up, vec![UpEvent::Suspect(vec![Rank(2)])]);
+    }
+
+    #[test]
+    fn member_swallows_suspicion() {
+        let mut h = h(1, 3);
+        h.up(UpEvent::Suspect(vec![Rank(2)])).assert_silent();
+    }
+
+    #[test]
+    fn failover_when_coordinator_suspected() {
+        let mut h = h(1, 3);
+        // Rank 0 suspected: rank 1 becomes acting coordinator and forwards.
+        let out = h.up(UpEvent::Suspect(vec![Rank(0)]));
+        assert!(h.layer.am_coordinator());
+        assert_eq!(out.up, vec![UpEvent::Suspect(vec![Rank(0)])]);
+    }
+
+    #[test]
+    fn non_successor_stays_quiet_on_failover() {
+        let mut h = h(2, 3);
+        h.up(UpEvent::Suspect(vec![Rank(0)])).assert_silent();
+        assert_eq!(h.layer.coordinator(), Rank(1));
+    }
+
+    #[test]
+    fn data_passes_with_nohdr() {
+        let mut h = h(0, 2);
+        let ev = h.dn(crate::harness::cast(b"m")).sole_dn();
+        assert_eq!(ev.msg().unwrap().peek_frame(), Some(&Frame::NoHdr));
+    }
+}

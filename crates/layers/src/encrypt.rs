@@ -1,0 +1,131 @@
+//! `encrypt` — payload confidentiality.
+//!
+//! XORs the payload with a keystream derived from the key id and the
+//! payload length. Like [`crate::sign`], this is a structural stand-in for
+//! the real encryption micro-protocols in Ensemble's library: it exercises
+//! a layer that must touch (and therefore copy) every payload byte, the
+//! worst case for layering overhead.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, Payload, UpEvent, ViewState};
+use ensemble_util::{DetRng, Time};
+
+/// The encryption layer.
+pub struct Encrypt {
+    keyid: u32,
+}
+
+impl Encrypt {
+    /// Builds an encryption layer with the configured key id.
+    pub fn new(_vs: &ViewState, cfg: &LayerConfig) -> Self {
+        Encrypt {
+            keyid: cfg.encrypt_key,
+        }
+    }
+
+    fn transform(&self, keyid: u32, p: &Payload) -> Payload {
+        // Keystream from a deterministic RNG seeded by (keyid, len): XOR is
+        // its own inverse, so the same transform decrypts.
+        let mut bytes = p.gather();
+        let mut ks = DetRng::new(((keyid as u64) << 32) ^ bytes.len() as u64);
+        for b in bytes.iter_mut() {
+            *b ^= ks.next_u64() as u8;
+        }
+        Payload::from_vec(bytes)
+    }
+}
+
+impl Layer for Encrypt {
+    fn name(&self) -> &'static str {
+        "encrypt"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { msg, .. } | UpEvent::Send { msg, .. } => {
+                match msg.pop_frame() {
+                    Frame::Encrypt { keyid } => {
+                        let clear = self.transform(keyid, msg.payload());
+                        msg.set_payload(clear);
+                        out.up(ev);
+                    }
+                    other => panic!("encrypt: expected Encrypt frame, got {other:?}"),
+                }
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) | DnEvent::Send { msg, .. } => {
+                let cipher = self.transform(self.keyid, msg.payload());
+                msg.set_payload(cipher);
+                msg.push_frame(Frame::Encrypt { keyid: self.keyid });
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cast, up_cast, Harness};
+
+    fn h() -> Harness<Encrypt> {
+        Harness::new(Encrypt::new(
+            &ViewState::initial(2),
+            &LayerConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut h = h();
+        let ev = h.dn(cast(b"secret message")).sole_dn();
+        let msg = match ev {
+            DnEvent::Cast(m) => m,
+            other => panic!("{other:?}"),
+        };
+        // The ciphertext differs from the plaintext.
+        assert_ne!(msg.payload().gather(), b"secret message");
+        let up = h.up(up_cast(1, msg)).sole_up();
+        assert_eq!(up.msg().unwrap().payload().gather(), b"secret message");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut h = h();
+        let ev = h.dn(cast(b"")).sole_dn();
+        let msg = match ev {
+            DnEvent::Cast(m) => m,
+            other => panic!("{other:?}"),
+        };
+        let up = h.up(up_cast(1, msg)).sole_up();
+        assert!(up.msg().unwrap().payload().is_empty());
+    }
+
+    #[test]
+    fn keyid_travels_in_frame() {
+        let cfg = LayerConfig {
+            encrypt_key: 9,
+            ..LayerConfig::default()
+        };
+        let mut h = Harness::new(Encrypt::new(&ViewState::initial(2), &cfg));
+        let ev = h.dn(cast(b"x")).sole_dn();
+        assert_eq!(
+            ev.msg().unwrap().peek_frame(),
+            Some(&Frame::Encrypt { keyid: 9 })
+        );
+    }
+
+    #[test]
+    fn control_events_pass() {
+        let mut h = h();
+        h.up(UpEvent::FlushDone).sole_up();
+        h.dn(DnEvent::Leave).sole_dn();
+    }
+}

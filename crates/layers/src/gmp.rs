@@ -1,0 +1,237 @@
+//! `gmp` — group membership.
+//!
+//! The coordinator reacts to suspicion (filtered by `elect` so exactly one
+//! process acts) by blocking the group, waiting for the flush protocol
+//! below ([`crate::sync`]) to complete, and then announcing the successor
+//! view with the suspected members removed. Every member installs the view
+//! by emitting [`UpEvent::View`]; the runtime responds by building fresh
+//! stacks for the new view (Ensemble likewise instantiates a new stack per
+//! view).
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, GmpHdr, Msg, UpEvent, ViewState};
+use ensemble_util::{Rank, Time};
+
+/// The membership layer.
+pub struct Gmp {
+    view: ViewState,
+    suspects: Vec<Rank>,
+    in_progress: bool,
+}
+
+impl Gmp {
+    /// Builds the layer.
+    pub fn new(vs: &ViewState, _cfg: &LayerConfig) -> Self {
+        Gmp {
+            view: vs.clone(),
+            suspects: Vec::new(),
+            in_progress: false,
+        }
+    }
+
+    /// Whether a view change is under way.
+    pub fn changing(&self) -> bool {
+        self.in_progress
+    }
+}
+
+impl Layer for Gmp {
+    fn name(&self) -> &'static str {
+        "gmp"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Suspect(ranks) => {
+                // Reached us ⇒ `elect` decided we are the acting
+                // coordinator.
+                for r in ranks.iter() {
+                    if !self.suspects.contains(r) {
+                        self.suspects.push(*r);
+                    }
+                }
+                out.up(UpEvent::Suspect(ranks.clone()));
+                if !self.in_progress && !self.suspects.is_empty() {
+                    self.in_progress = true;
+                    // Inform the flush layer of the suspect set before
+                    // starting it.
+                    out.dn(DnEvent::Suspect {
+                        ranks: self.suspects.clone(),
+                    });
+                    out.dn(DnEvent::Block);
+                }
+            }
+            UpEvent::FlushDone => {
+                // The flush is complete: announce the successor view and
+                // install it locally (there is no loopback below us).
+                let next = self.view.next_view(&self.suspects);
+                let mut ann = Msg::control();
+                ann.push_frame(Frame::Gmp(GmpHdr::NewView {
+                    view_id_ltime: next.view_id.ltime,
+                    coord: next.view_id.coord,
+                    members: next.members.clone(),
+                }));
+                out.dn(DnEvent::Cast(ann));
+                self.in_progress = false;
+                out.up(UpEvent::View(next));
+            }
+            UpEvent::Cast { msg, .. } => {
+                let frame = msg.pop_frame();
+                match frame {
+                    Frame::Gmp(GmpHdr::Pass) => out.up(ev),
+                    Frame::Gmp(GmpHdr::NewView {
+                        view_id_ltime,
+                        coord,
+                        members,
+                    }) => {
+                        let me = self.view.my_endpoint();
+                        match members.iter().position(|&ep| ep == me) {
+                            Some(idx) => {
+                                let vs = ViewState {
+                                    group: self.view.group,
+                                    view_id: ensemble_util::ViewId {
+                                        ltime: view_id_ltime,
+                                        coord,
+                                    },
+                                    members: members.clone(),
+                                    rank: Rank(idx as u16),
+                                };
+                                self.in_progress = false;
+                                out.up(UpEvent::View(vs));
+                            }
+                            None => {
+                                // We were excluded: the group goes on
+                                // without us.
+                                out.up(UpEvent::Exit);
+                            }
+                        }
+                    }
+                    other => panic!("gmp: expected Gmp frame, got {other:?}"),
+                }
+            }
+            UpEvent::Send { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "gmp pushes NoHdr on sends");
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                // Own announcements are framed in `up`; everything from
+                // above is data.
+                if !matches!(msg.peek_frame(), Some(Frame::Gmp(_))) {
+                    msg.push_frame(Frame::Gmp(GmpHdr::Pass));
+                }
+                out.dn(ev);
+            }
+            DnEvent::Send { msg, .. } => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            DnEvent::Suspect { .. } => out.dn(ev),
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{up_cast, Harness};
+    use ensemble_util::Endpoint;
+
+    fn h(rank: u16, n: usize) -> Harness<Gmp> {
+        Harness::new(Gmp::new(
+            &ViewState::initial(n).for_rank(Rank(rank)),
+            &LayerConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn suspicion_starts_block() {
+        let mut h = h(0, 3);
+        let out = h.up(UpEvent::Suspect(vec![Rank(2)]));
+        assert!(out.dn.contains(&DnEvent::Block));
+        assert!(out
+            .dn
+            .contains(&DnEvent::Suspect { ranks: vec![Rank(2)] }));
+        assert!(h.layer.changing());
+        // Further suspicion does not restart.
+        let out = h.up(UpEvent::Suspect(vec![Rank(2)]));
+        assert!(!out.dn.contains(&DnEvent::Block));
+    }
+
+    #[test]
+    fn flush_done_announces_new_view() {
+        let mut h = h(0, 3);
+        h.up(UpEvent::Suspect(vec![Rank(2)]));
+        let out = h.up(UpEvent::FlushDone);
+        assert_eq!(out.dn.len(), 1);
+        // The coordinator installs the view locally as well.
+        assert!(out.up.iter().any(|e| matches!(e, UpEvent::View(v)
+            if v.nmembers() == 2)));
+        match &out.dn[0] {
+            DnEvent::Cast(m) => match m.peek_frame() {
+                Some(Frame::Gmp(GmpHdr::NewView {
+                    members,
+                    view_id_ltime,
+                    ..
+                })) => {
+                    assert_eq!(*view_id_ltime, 1);
+                    assert_eq!(members.len(), 2);
+                    assert!(!members.contains(&Endpoint::new(2)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_installs_announced_view() {
+        let mut h = h(1, 3);
+        let mut ann = Msg::control();
+        ann.push_frame(Frame::Gmp(GmpHdr::NewView {
+            view_id_ltime: 1,
+            coord: Endpoint::new(0),
+            members: vec![Endpoint::new(0), Endpoint::new(1)],
+        }));
+        let ev = h.up(up_cast(0, ann)).sole_up();
+        match ev {
+            UpEvent::View(vs) => {
+                assert_eq!(vs.nmembers(), 2);
+                assert_eq!(vs.rank, Rank(1));
+                assert_eq!(vs.view_id.ltime, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn excluded_member_exits() {
+        let mut h = h(2, 3);
+        let mut ann = Msg::control();
+        ann.push_frame(Frame::Gmp(GmpHdr::NewView {
+            view_id_ltime: 1,
+            coord: Endpoint::new(0),
+            members: vec![Endpoint::new(0), Endpoint::new(1)],
+        }));
+        let ev = h.up(up_cast(0, ann)).sole_up();
+        assert_eq!(ev, UpEvent::Exit);
+    }
+
+    #[test]
+    fn data_passes_with_pass_frame() {
+        let mut h = h(0, 2);
+        let ev = h.dn(crate::harness::cast(b"m")).sole_dn();
+        assert_eq!(
+            ev.msg().unwrap().peek_frame(),
+            Some(&Frame::Gmp(GmpHdr::Pass))
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! A single-layer test driver.
+//!
+//! Unit tests for each layer drive events through one layer instance in
+//! isolation and assert on the emitted effects. The harness also tracks
+//! requested timers so tests can fire them deterministically.
+
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Msg, Payload, UpEvent};
+use ensemble_util::{Rank, Time};
+
+/// Drives one layer instance and records its outputs.
+pub struct Harness<L> {
+    /// The layer under test.
+    pub layer: L,
+    /// Current virtual time supplied to handlers.
+    pub now: Time,
+    /// Timer deadlines the layer has requested (sorted, pending).
+    pub timers: Vec<Time>,
+}
+
+/// The effects of one handler invocation, split by direction.
+#[derive(Debug, Default)]
+pub struct Out {
+    /// Events emitted towards the application.
+    pub up: Vec<UpEvent>,
+    /// Events emitted towards the network.
+    pub dn: Vec<DnEvent>,
+}
+
+impl<L: Layer> Harness<L> {
+    /// Wraps `layer`, invoking its `init` hook.
+    pub fn new(mut layer: L) -> Self {
+        let mut fx = Effects::new();
+        layer.init(Time::ZERO, &mut fx);
+        let mut h = Harness {
+            layer,
+            now: Time::ZERO,
+            timers: Vec::new(),
+        };
+        h.absorb_timers(&mut fx);
+        assert!(
+            fx.peek_up().is_empty() && fx.peek_dn().is_empty(),
+            "init must not emit events"
+        );
+        h
+    }
+
+    fn absorb_timers(&mut self, fx: &mut Effects) {
+        self.timers.extend(fx.take_timers());
+        self.timers.sort_unstable();
+    }
+
+    fn split(&mut self, mut fx: Effects) -> Out {
+        self.absorb_timers(&mut fx);
+        Out {
+            up: fx.take_up(),
+            dn: fx.take_dn(),
+        }
+    }
+
+    /// Sends an event down into the layer (from the layer above).
+    pub fn dn(&mut self, ev: DnEvent) -> Out {
+        let mut fx = Effects::new();
+        self.layer.dn(self.now, ev, &mut fx);
+        self.split(fx)
+    }
+
+    /// Sends an event up into the layer (from the layer below).
+    pub fn up(&mut self, ev: UpEvent) -> Out {
+        let mut fx = Effects::new();
+        self.layer.up(self.now, ev, &mut fx);
+        self.split(fx)
+    }
+
+    /// Advances time to `t` and fires every timer due by then.
+    pub fn advance(&mut self, t: Time) -> Out {
+        self.now = t;
+        let mut all = Out::default();
+        while let Some(&d) = self.timers.first() {
+            if d > t {
+                break;
+            }
+            self.timers.remove(0);
+            let mut fx = Effects::new();
+            self.layer.timer(self.now, &mut fx);
+            let out = self.split(fx);
+            all.up.extend(out.up);
+            all.dn.extend(out.dn);
+        }
+        all
+    }
+}
+
+/// Builds a data-cast down event with the given payload bytes.
+pub fn cast(bytes: &[u8]) -> DnEvent {
+    DnEvent::Cast(Msg::data(Payload::from_slice(bytes)))
+}
+
+/// Builds a point-to-point send down event.
+pub fn send(dst: u16, bytes: &[u8]) -> DnEvent {
+    DnEvent::Send {
+        dst: Rank(dst),
+        msg: Msg::data(Payload::from_slice(bytes)),
+    }
+}
+
+/// Builds an up-going cast delivery carrying `msg` from `origin`.
+pub fn up_cast(origin: u16, msg: Msg) -> UpEvent {
+    UpEvent::Cast {
+        origin: Rank(origin),
+        msg,
+    }
+}
+
+/// Builds an up-going send delivery carrying `msg` from `origin`.
+pub fn up_send(origin: u16, msg: Msg) -> UpEvent {
+    UpEvent::Send {
+        origin: Rank(origin),
+        msg,
+    }
+}
+
+impl Out {
+    /// Asserts exactly one down event was emitted and returns it.
+    pub fn sole_dn(mut self) -> DnEvent {
+        assert_eq!(self.dn.len(), 1, "expected 1 dn event, got {:?}", self.dn);
+        assert!(self.up.is_empty(), "unexpected up events: {:?}", self.up);
+        self.dn.remove(0)
+    }
+
+    /// Asserts exactly one up event was emitted and returns it.
+    pub fn sole_up(mut self) -> UpEvent {
+        assert_eq!(self.up.len(), 1, "expected 1 up event, got {:?}", self.up);
+        assert!(self.dn.is_empty(), "unexpected dn events: {:?}", self.dn);
+        self.up.remove(0)
+    }
+
+    /// Asserts nothing was emitted.
+    pub fn assert_silent(&self) {
+        assert!(
+            self.up.is_empty() && self.dn.is_empty(),
+            "expected silence, got up={:?} dn={:?}",
+            self.up,
+            self.dn
+        );
+    }
+}

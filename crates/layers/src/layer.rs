@@ -1,0 +1,73 @@
+//! The common micro-protocol interface.
+
+use ensemble_event::{DnEvent, Effects, UpEvent};
+use ensemble_util::Time;
+
+/// One micro-protocol component.
+///
+/// A layer communicates exclusively through events: the engine invokes
+/// [`Layer::up`] for events arriving from the layer below, [`Layer::dn`]
+/// for events from the layer above, and [`Layer::timer`] when a deadline
+/// the layer requested (via [`Effects::timer`]) expires. Handlers append
+/// their output events to the supplied [`Effects`].
+///
+/// Layers are single-threaded and owned by their stack; no interior
+/// locking is needed (the paper's configurations deliberately do not
+/// leverage concurrency, §4.2).
+pub trait Layer {
+    /// The layer's registry name (e.g. `"mnak"`).
+    fn name(&self) -> &'static str;
+
+    /// Called once after construction; may schedule initial timers.
+    fn init(&mut self, now: Time, out: &mut Effects) {
+        let _ = (now, out);
+    }
+
+    /// Handles an event arriving from the layer below.
+    fn up(&mut self, now: Time, ev: UpEvent, out: &mut Effects);
+
+    /// Handles an event arriving from the layer above.
+    fn dn(&mut self, now: Time, ev: DnEvent, out: &mut Effects);
+
+    /// Handles an expired timer previously requested by this layer.
+    fn timer(&mut self, now: Time, out: &mut Effects) {
+        let _ = (now, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl Layer for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn up(&mut self, _now: Time, ev: UpEvent, out: &mut Effects) {
+            out.up(ev);
+        }
+        fn dn(&mut self, _now: Time, ev: DnEvent, out: &mut Effects) {
+            out.dn(ev);
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        let mut e = Echo;
+        let mut fx = Effects::new();
+        e.init(Time::ZERO, &mut fx);
+        e.timer(Time::ZERO, &mut fx);
+        assert!(fx.is_empty());
+        assert_eq!(e.name(), "echo");
+    }
+
+    #[test]
+    fn echo_passes_through() {
+        let mut e = Echo;
+        let mut fx = Effects::new();
+        e.dn(Time::ZERO, DnEvent::Leave, &mut fx);
+        assert_eq!(fx.take_dn(), vec![DnEvent::Leave]);
+    }
+}

@@ -1,0 +1,44 @@
+//! The Ensemble micro-protocol layer library.
+//!
+//! Each module implements one micro-protocol: a small, single-purpose
+//! component that adheres to the common event-driven layer interface
+//! ([`Layer`]). Layers are stacked by `ensemble-stack` to form complete
+//! protocols — reliable FIFO multicast, total ordering, flow control,
+//! fragmentation, failure detection, and virtually synchronous membership.
+//!
+//! Conventions (checked by the test harness and debug assertions):
+//!
+//! * a layer pushes exactly one [`ensemble_event::Frame`] onto every
+//!   message it passes down, and pops exactly one from every message it
+//!   receives from below;
+//! * messages a layer *originates* (NAKs, acks, credit grants, gossip)
+//!   carry that layer's distinctive frame and are consumed by the peer
+//!   layer on the way up — layers above never see them;
+//! * non-message events pass through unless the layer is their consumer.
+
+pub mod bottom;
+pub mod collect;
+pub mod config;
+pub mod elect;
+pub mod encrypt;
+pub mod frag;
+pub mod gmp;
+pub mod harness;
+pub mod layer;
+pub mod local;
+pub mod mflow;
+pub mod mnak;
+pub mod partial_appl;
+pub mod pt2pt;
+pub mod pt2ptw;
+pub mod registry;
+pub mod sign;
+pub mod stable;
+pub mod suspect;
+pub mod sync;
+pub mod top;
+pub mod total;
+
+pub use config::LayerConfig;
+pub use layer::Layer;
+pub use registry::{make_layer, make_stack, StackError, LAYER_NAMES, STACK_10, STACK_4, STACK_VSYNC};

@@ -1,0 +1,136 @@
+//! `local` — local delivery of a member's own traffic.
+//!
+//! The network never echoes a cast back to its sender, so someone must
+//! deliver a member's own casts to itself. `local` bounces a copy of every
+//! down-going cast back up (this is the canonical *bouncing* bypass path
+//! of the composition theorems, §4.1.3) and likewise short-circuits sends
+//! addressed to the sender's own rank.
+//!
+//! `local` sits *below* the ordering layer so that a member's own casts
+//! are subject to the same total order as everyone else's.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, UpEvent, ViewState};
+use ensemble_util::{Rank, Time};
+
+/// The loopback layer.
+pub struct Local {
+    my_rank: Rank,
+}
+
+impl Local {
+    /// Builds a loopback layer for this process's rank.
+    pub fn new(vs: &ViewState, _cfg: &LayerConfig) -> Self {
+        Local { my_rank: vs.rank }
+    }
+}
+
+impl Layer for Local {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { msg, .. } | UpEvent::Send { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "local pushes NoHdr");
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                // Bounce a copy up before framing: the loopback copy must
+                // look exactly like a network delivery to the layers above.
+                out.up(UpEvent::Cast {
+                    origin: self.my_rank,
+                    msg: msg.clone(),
+                });
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            DnEvent::Send { dst, msg } if *dst == self.my_rank => {
+                // A self-send never touches the network.
+                out.up(UpEvent::Send {
+                    origin: self.my_rank,
+                    msg: msg.clone(),
+                });
+            }
+            DnEvent::Send { msg, .. } => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cast, send, up_cast, Harness};
+    use ensemble_event::{Msg, Payload};
+
+    fn h(rank: u16) -> Harness<Local> {
+        Harness::new(Local::new(
+            &ViewState::initial(3).for_rank(Rank(rank)),
+            &LayerConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn casts_bounce_and_continue() {
+        let mut h = h(1);
+        let out = h.dn(cast(b"m"));
+        assert_eq!(out.up.len(), 1);
+        assert_eq!(out.dn.len(), 1);
+        // The bounced copy has no extra frame and carries my rank.
+        match &out.up[0] {
+            UpEvent::Cast { origin, msg } => {
+                assert_eq!(*origin, Rank(1));
+                assert_eq!(msg.depth(), 0);
+            }
+            other => panic!("expected cast, got {other:?}"),
+        }
+        // The network copy is framed.
+        assert_eq!(
+            out.dn[0].msg().unwrap().peek_frame(),
+            Some(&Frame::NoHdr)
+        );
+    }
+
+    #[test]
+    fn self_send_short_circuits() {
+        let mut h = h(2);
+        let ev = h.dn(send(2, b"me")).sole_up();
+        assert_eq!(ev.origin(), Some(Rank(2)));
+    }
+
+    #[test]
+    fn other_send_passes_down() {
+        let mut h = h(2);
+        let ev = h.dn(send(0, b"you")).sole_dn();
+        assert!(matches!(ev, DnEvent::Send { dst: Rank(0), .. }));
+    }
+
+    #[test]
+    fn up_pops_frame() {
+        let mut h = h(0);
+        let mut m = Msg::data(Payload::from_slice(b"r"));
+        m.push_frame(Frame::NoHdr);
+        let ev = h.up(up_cast(1, m)).sole_up();
+        assert_eq!(ev.msg().unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn control_events_pass() {
+        let mut h = h(0);
+        h.dn(DnEvent::Block).sole_dn();
+        h.up(UpEvent::Block).sole_up();
+    }
+}

@@ -1,0 +1,143 @@
+//! `partial_appl` — application interface adaptation.
+//!
+//! Sits directly under `top` and enforces the blocking contract of the
+//! membership protocol on behalf of the application: once the application
+//! has acknowledged a `Block` (the `BlockOk` passes through this layer),
+//! newly submitted casts and sends are queued rather than transmitted, and
+//! are flushed into the next view. Deliveries are never blocked.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, UpEvent, ViewState};
+use ensemble_util::Time;
+
+/// The application-adapter layer.
+pub struct PartialAppl {
+    blocked: bool,
+    queued: Vec<DnEvent>,
+}
+
+impl PartialAppl {
+    /// Builds the adapter.
+    pub fn new(_vs: &ViewState, _cfg: &LayerConfig) -> Self {
+        PartialAppl {
+            blocked: false,
+            queued: Vec::new(),
+        }
+    }
+
+    /// Number of sends/casts queued behind a block.
+    pub fn queued_len(&self) -> usize {
+        self.queued.len()
+    }
+}
+
+impl Layer for PartialAppl {
+    fn name(&self) -> &'static str {
+        "partial_appl"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { msg, .. } | UpEvent::Send { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "partial_appl pushes NoHdr");
+                out.up(ev);
+            }
+            UpEvent::View(_) => {
+                self.blocked = false;
+                out.up(ev);
+                // The queued traffic belongs to the next view; it is
+                // re-submitted once the new stack is up. The runtime
+                // collects it via `take_queued` — here we just release it
+                // downward in the (rare) case the same stack continues.
+                for q in std::mem::take(&mut self.queued) {
+                    out.dn(q);
+                }
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                if self.blocked {
+                    self.queued.push(ev);
+                    return;
+                }
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            DnEvent::Send { msg, .. } => {
+                if self.blocked {
+                    self.queued.push(ev);
+                    return;
+                }
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            DnEvent::BlockOk => {
+                self.blocked = true;
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cast, send, up_cast, Harness};
+    use ensemble_event::{Msg, Payload};
+
+    fn h() -> Harness<PartialAppl> {
+        Harness::new(PartialAppl::new(
+            &ViewState::initial(2),
+            &LayerConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn passes_and_frames_data() {
+        let mut h = h();
+        let ev = h.dn(cast(b"m")).sole_dn();
+        assert_eq!(ev.msg().unwrap().peek_frame(), Some(&Frame::NoHdr));
+        let mut m = Msg::data(Payload::from_slice(b"r"));
+        m.push_frame(Frame::NoHdr);
+        let up = h.up(up_cast(1, m)).sole_up();
+        assert_eq!(up.msg().unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn queues_after_block_ok() {
+        let mut h = h();
+        h.dn(DnEvent::BlockOk).sole_dn();
+        h.dn(cast(b"late")).assert_silent();
+        h.dn(send(1, b"late2")).assert_silent();
+        assert_eq!(h.layer.queued_len(), 2);
+    }
+
+    #[test]
+    fn view_releases_queue() {
+        let mut h = h();
+        h.dn(DnEvent::BlockOk);
+        h.dn(cast(b"late"));
+        let out = h.up(UpEvent::View(ViewState::initial(2)));
+        assert_eq!(out.up.len(), 1);
+        assert_eq!(out.dn.len(), 1);
+        assert_eq!(h.layer.queued_len(), 0);
+        // Unblocked again.
+        h.dn(cast(b"new")).sole_dn();
+    }
+
+    #[test]
+    fn deliveries_never_blocked() {
+        let mut h = h();
+        h.dn(DnEvent::BlockOk);
+        let mut m = Msg::data(Payload::from_slice(b"r"));
+        m.push_frame(Frame::NoHdr);
+        h.up(up_cast(1, m)).sole_up();
+    }
+}

@@ -1,0 +1,317 @@
+//! `pt2pt` — reliable, FIFO point-to-point delivery.
+//!
+//! A positive-acknowledgment sliding-window protocol, per peer: data
+//! messages carry `(seqno, piggybacked cumulative ack)`; receivers buffer
+//! out-of-order arrivals, deliver contiguously, and acknowledge; senders
+//! retransmit unacknowledged messages on a timer. This is the protocol
+//! whose concrete IOA specification (`FifoProtocol`) appears in Figure 3
+//! of the paper; `ensemble-ioa` checks that it refines `FifoNetwork` over
+//! `LossyNetwork`.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, Msg, Pt2PtHdr, UpEvent, ViewState};
+use ensemble_util::{Duration, Rank, Seqno, Time};
+use std::collections::BTreeMap;
+
+/// Per-peer connection state.
+#[derive(Default)]
+struct Conn {
+    /// Next seqno to assign to an outgoing message.
+    send_next: u64,
+    /// Sent but unacknowledged messages, keyed by seqno.
+    unacked: BTreeMap<u64, Msg>,
+    /// Next seqno expected from the peer.
+    recv_next: u64,
+    /// Out-of-order arrivals buffered for later delivery.
+    recv_buf: BTreeMap<u64, Msg>,
+}
+
+/// The reliable point-to-point layer.
+pub struct Pt2Pt {
+    conns: Vec<Conn>,
+    rto: Duration,
+    timer_armed: bool,
+    /// Retransmissions performed (observability for tests/benches).
+    pub retransmissions: u64,
+}
+
+impl Pt2Pt {
+    /// Builds a pt2pt layer for a view of `n` members.
+    pub fn new(vs: &ViewState, cfg: &LayerConfig) -> Self {
+        Pt2Pt {
+            conns: (0..vs.nmembers()).map(|_| Conn::default()).collect(),
+            rto: cfg.retrans_timeout,
+            timer_armed: false,
+            retransmissions: 0,
+        }
+    }
+
+    /// Outstanding (sent, unacknowledged) message count across peers.
+    pub fn unacked_count(&self) -> usize {
+        self.conns.iter().map(|c| c.unacked.len()).sum()
+    }
+
+    fn arm_timer(&mut self, now: Time, out: &mut Effects) {
+        if !self.timer_armed {
+            self.timer_armed = true;
+            out.timer(now + self.rto);
+        }
+    }
+
+    fn deliver_ready(conn: &mut Conn, origin: Rank, out: &mut Effects) {
+        while let Some(msg) = conn.recv_buf.remove(&conn.recv_next) {
+            conn.recv_next += 1;
+            out.up(UpEvent::Send { origin, msg });
+        }
+    }
+
+    fn process_ack(conn: &mut Conn, ack: Seqno) {
+        // Cumulative: everything below `ack` is delivered at the peer.
+        conn.unacked = conn.unacked.split_off(&ack.0);
+    }
+}
+
+impl Layer for Pt2Pt {
+    fn name(&self) -> &'static str {
+        "pt2pt"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Send { origin, msg } => {
+                let origin = *origin;
+                let frame = msg.pop_frame();
+                let conn = &mut self.conns[origin.index()];
+                match frame {
+                    Frame::Pt2Pt(Pt2PtHdr::Data { seqno, ack }) => {
+                        Self::process_ack(conn, ack);
+                        if seqno.0 < conn.recv_next {
+                            // Duplicate of an already delivered message:
+                            // re-ack so the sender can prune.
+                            let mut reply = Msg::control();
+                            reply.push_frame(Frame::Pt2Pt(Pt2PtHdr::Ack {
+                                ack: Seqno(conn.recv_next),
+                            }));
+                            out.dn(DnEvent::Send {
+                                dst: origin,
+                                msg: reply,
+                            });
+                            return;
+                        }
+                        let msg = std::mem::take(msg);
+                        conn.recv_buf.insert(seqno.0, msg);
+                        Self::deliver_ready(conn, origin, out);
+                        // Acknowledge the new contiguous frontier.
+                        let mut reply = Msg::control();
+                        reply.push_frame(Frame::Pt2Pt(Pt2PtHdr::Ack {
+                            ack: Seqno(conn.recv_next),
+                        }));
+                        out.dn(DnEvent::Send {
+                            dst: origin,
+                            msg: reply,
+                        });
+                    }
+                    Frame::Pt2Pt(Pt2PtHdr::Ack { ack }) => {
+                        Self::process_ack(conn, ack);
+                        // Consumed: acks never reach the layer above.
+                    }
+                    other => panic!("pt2pt: expected Pt2Pt frame, got {other:?}"),
+                }
+            }
+            UpEvent::Cast { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "pt2pt pushes NoHdr on casts");
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Send { dst, msg } => {
+                let conn = &mut self.conns[dst.index()];
+                let seqno = Seqno(conn.send_next);
+                conn.send_next += 1;
+                msg.push_frame(Frame::Pt2Pt(Pt2PtHdr::Data {
+                    seqno,
+                    ack: Seqno(conn.recv_next),
+                }));
+                conn.unacked.insert(seqno.0, msg.clone());
+                out.dn(ev);
+                self.arm_timer(now, out);
+            }
+            DnEvent::Cast(msg) => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+
+    fn timer(&mut self, now: Time, out: &mut Effects) {
+        self.timer_armed = false;
+        let mut any_outstanding = false;
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            for msg in conn.unacked.values() {
+                self.retransmissions += 1;
+                out.dn(DnEvent::Send {
+                    dst: Rank(i as u16),
+                    msg: msg.clone(),
+                });
+            }
+            any_outstanding |= !conn.unacked.is_empty();
+        }
+        if any_outstanding {
+            self.arm_timer(now, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{send, up_send, Harness};
+    use ensemble_event::Payload;
+
+    fn h() -> Harness<Pt2Pt> {
+        Harness::new(Pt2Pt::new(&ViewState::initial(3), &LayerConfig::default()))
+    }
+
+    fn data_msg(h: &mut Harness<Pt2Pt>, dst: u16, body: &[u8]) -> Msg {
+        let out = h.dn(send(dst, body));
+        match out.dn.into_iter().next().unwrap() {
+            DnEvent::Send { msg, .. } => msg,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_outgoing_sends_per_peer() {
+        let mut h = h();
+        let m1 = data_msg(&mut h, 1, b"a");
+        let m2 = data_msg(&mut h, 1, b"b");
+        let m3 = data_msg(&mut h, 2, b"c");
+        let seq = |m: &Msg| match m.peek_frame() {
+            Some(Frame::Pt2Pt(Pt2PtHdr::Data { seqno, .. })) => seqno.0,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(seq(&m1), 0);
+        assert_eq!(seq(&m2), 1);
+        assert_eq!(seq(&m3), 0, "per-peer numbering");
+    }
+
+    #[test]
+    fn in_order_delivery_with_ack() {
+        let mut h = h();
+        let mut m = Msg::data(Payload::from_slice(b"x"));
+        m.push_frame(Frame::Pt2Pt(Pt2PtHdr::Data {
+            seqno: Seqno(0),
+            ack: Seqno(0),
+        }));
+        let out = h.up(up_send(1, m));
+        assert_eq!(out.up.len(), 1, "delivered");
+        assert_eq!(out.dn.len(), 1, "acked");
+        match &out.dn[0] {
+            DnEvent::Send { dst, msg } => {
+                assert_eq!(*dst, Rank(1));
+                assert_eq!(
+                    msg.peek_frame(),
+                    Some(&Frame::Pt2Pt(Pt2PtHdr::Ack { ack: Seqno(1) }))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_buffered_then_delivered() {
+        let mut h = h();
+        let mk = |s: u64| {
+            let mut m = Msg::data(Payload::from_slice(&[s as u8]));
+            m.push_frame(Frame::Pt2Pt(Pt2PtHdr::Data {
+                seqno: Seqno(s),
+                ack: Seqno(0),
+            }));
+            m
+        };
+        let out = h.up(up_send(1, mk(1)));
+        assert!(out.up.is_empty(), "gap: buffered");
+        let out = h.up(up_send(1, mk(0)));
+        assert_eq!(out.up.len(), 2, "gap filled: both delivered in order");
+        let bodies: Vec<Vec<u8>> = out
+            .up
+            .iter()
+            .map(|e| e.msg().unwrap().payload().gather())
+            .collect();
+        assert_eq!(bodies, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn duplicate_reacked_not_redelivered() {
+        let mut h = h();
+        let mut m = Msg::data(Payload::from_slice(b"x"));
+        m.push_frame(Frame::Pt2Pt(Pt2PtHdr::Data {
+            seqno: Seqno(0),
+            ack: Seqno(0),
+        }));
+        h.up(up_send(1, m.clone()));
+        let out = h.up(up_send(1, m));
+        assert!(out.up.is_empty(), "no duplicate delivery");
+        assert_eq!(out.dn.len(), 1, "but re-acked");
+    }
+
+    #[test]
+    fn ack_prunes_unacked() {
+        let mut h = h();
+        data_msg(&mut h, 1, b"a");
+        data_msg(&mut h, 1, b"b");
+        assert_eq!(h.layer.unacked_count(), 2);
+        let mut ack = Msg::control();
+        ack.push_frame(Frame::Pt2Pt(Pt2PtHdr::Ack { ack: Seqno(2) }));
+        h.up(up_send(1, ack)).assert_silent();
+        assert_eq!(h.layer.unacked_count(), 0);
+    }
+
+    #[test]
+    fn retransmits_until_acked() {
+        let mut h = h();
+        data_msg(&mut h, 1, b"a");
+        let out = h.advance(Time(0) + LayerConfig::default().retrans_timeout);
+        assert_eq!(out.dn.len(), 1, "retransmitted");
+        assert_eq!(h.layer.retransmissions, 1);
+        assert!(!h.timers.is_empty(), "timer re-armed while outstanding");
+        // Ack arrives; next timer fires nothing and disarms.
+        let mut ack = Msg::control();
+        ack.push_frame(Frame::Pt2Pt(Pt2PtHdr::Ack { ack: Seqno(1) }));
+        h.up(up_send(1, ack));
+        let t2 = h.timers[0];
+        let out = h.advance(t2);
+        assert!(out.dn.is_empty());
+        assert!(h.timers.is_empty());
+    }
+
+    #[test]
+    fn piggybacked_ack_processed() {
+        let mut h = h();
+        data_msg(&mut h, 1, b"a");
+        assert_eq!(h.layer.unacked_count(), 1);
+        // Peer's data carries ack=1, acknowledging our message.
+        let mut m = Msg::data(Payload::from_slice(b"y"));
+        m.push_frame(Frame::Pt2Pt(Pt2PtHdr::Data {
+            seqno: Seqno(0),
+            ack: Seqno(1),
+        }));
+        h.up(up_send(1, m));
+        assert_eq!(h.layer.unacked_count(), 0);
+    }
+
+    #[test]
+    fn casts_pass_through_with_nohdr() {
+        let mut h = h();
+        let out = h.dn(crate::harness::cast(b"c"));
+        let ev = out.sole_dn();
+        assert_eq!(ev.msg().unwrap().peek_frame(), Some(&Frame::NoHdr));
+    }
+}

@@ -1,0 +1,240 @@
+//! `pt2ptw` — window-based flow control for point-to-point sends.
+//!
+//! Each destination starts with [`LayerConfig::pt2pt_window`] send credits.
+//! A send consumes one credit; when the receiver has consumed half a
+//! window it grants the cumulative count back, replenishing the sender.
+//! Sends without credit queue until a grant arrives.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, FlowHdr, Frame, Msg, UpEvent, ViewState};
+use ensemble_util::{Rank, Time};
+use std::collections::VecDeque;
+
+/// Per-destination flow state.
+#[derive(Default)]
+struct Flow {
+    /// Messages sent so far.
+    sent: u64,
+    /// Cumulative messages the peer has granted (acknowledged consuming).
+    granted: u64,
+    /// Messages received from the peer since the last grant we issued.
+    consumed_since_grant: u64,
+    /// Cumulative messages we have consumed from the peer.
+    consumed_total: u64,
+    /// Sends waiting for credit.
+    queue: VecDeque<Msg>,
+}
+
+/// The point-to-point flow-control layer.
+pub struct Pt2PtW {
+    window: u64,
+    flows: Vec<Flow>,
+}
+
+impl Pt2PtW {
+    /// Builds the layer for a view of `n` members.
+    pub fn new(vs: &ViewState, cfg: &LayerConfig) -> Self {
+        Pt2PtW {
+            window: cfg.pt2pt_window,
+            flows: (0..vs.nmembers()).map(|_| Flow::default()).collect(),
+        }
+    }
+
+    /// Total queued (credit-starved) sends.
+    pub fn queued_count(&self) -> usize {
+        self.flows.iter().map(|f| f.queue.len()).sum()
+    }
+
+    fn may_send(&self, dst: Rank) -> bool {
+        let f = &self.flows[dst.index()];
+        f.sent - f.granted < self.window
+    }
+
+    fn transmit(flow: &mut Flow, dst: Rank, mut msg: Msg, out: &mut Effects) {
+        flow.sent += 1;
+        msg.push_frame(Frame::Pt2PtW(FlowHdr::Data));
+        out.dn(DnEvent::Send { dst, msg });
+    }
+}
+
+impl Layer for Pt2PtW {
+    fn name(&self) -> &'static str {
+        "pt2ptw"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Send { origin, msg } => {
+                let origin = *origin;
+                let frame = msg.pop_frame();
+                let window = self.window;
+                let flow = &mut self.flows[origin.index()];
+                match frame {
+                    Frame::Pt2PtW(FlowHdr::Data) => {
+                        flow.consumed_since_grant += 1;
+                        flow.consumed_total += 1;
+                        if flow.consumed_since_grant >= window / 2 {
+                            flow.consumed_since_grant = 0;
+                            let mut grant = Msg::control();
+                            grant.push_frame(Frame::Pt2PtW(FlowHdr::Credit {
+                                granted: flow.consumed_total,
+                            }));
+                            out.dn(DnEvent::Send {
+                                dst: origin,
+                                msg: grant,
+                            });
+                        }
+                        out.up(ev);
+                    }
+                    Frame::Pt2PtW(FlowHdr::Credit { granted }) => {
+                        flow.granted = flow.granted.max(granted);
+                        // Drain whatever the new credit allows.
+                        while !self.flows[origin.index()].queue.is_empty()
+                            && self.may_send(origin)
+                        {
+                            let flow = &mut self.flows[origin.index()];
+                            let msg = flow.queue.pop_front().expect("checked non-empty");
+                            Self::transmit(flow, origin, msg, out);
+                        }
+                    }
+                    other => panic!("pt2ptw: expected Pt2PtW frame, got {other:?}"),
+                }
+            }
+            UpEvent::Cast { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "pt2ptw pushes NoHdr on casts");
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Send { dst, msg } => {
+                let dst = *dst;
+                if self.may_send(dst) {
+                    let msg = std::mem::take(msg);
+                    Self::transmit(&mut self.flows[dst.index()], dst, msg, out);
+                } else {
+                    self.flows[dst.index()].queue.push_back(std::mem::take(msg));
+                }
+            }
+            DnEvent::Cast(msg) => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{send, up_send, Harness};
+    use ensemble_event::Payload;
+
+    fn h(window: u64) -> Harness<Pt2PtW> {
+        let cfg = LayerConfig {
+            pt2pt_window: window,
+            ..LayerConfig::default()
+        };
+        Harness::new(Pt2PtW::new(&ViewState::initial(3), &cfg))
+    }
+
+    #[test]
+    fn sends_within_window_pass() {
+        let mut h = h(4);
+        for i in 0..4 {
+            let ev = h.dn(send(1, &[i])).sole_dn();
+            assert_eq!(
+                ev.msg().unwrap().peek_frame(),
+                Some(&Frame::Pt2PtW(FlowHdr::Data))
+            );
+        }
+    }
+
+    #[test]
+    fn sends_beyond_window_queue() {
+        let mut h = h(2);
+        h.dn(send(1, b"a")).sole_dn();
+        h.dn(send(1, b"b")).sole_dn();
+        h.dn(send(1, b"c")).assert_silent();
+        assert_eq!(h.layer.queued_count(), 1);
+    }
+
+    #[test]
+    fn credit_releases_queue() {
+        let mut h = h(2);
+        h.dn(send(1, b"a"));
+        h.dn(send(1, b"b"));
+        h.dn(send(1, b"c"));
+        let mut grant = Msg::control();
+        grant.push_frame(Frame::Pt2PtW(FlowHdr::Credit { granted: 2 }));
+        let out = h.up(up_send(1, grant));
+        assert_eq!(out.dn.len(), 1, "queued send released");
+        assert!(out.up.is_empty(), "credit consumed silently");
+        assert_eq!(h.layer.queued_count(), 0);
+    }
+
+    #[test]
+    fn receiver_grants_after_half_window() {
+        let mut h = h(4);
+        let mk = || {
+            let mut m = Msg::data(Payload::from_slice(b"d"));
+            m.push_frame(Frame::Pt2PtW(FlowHdr::Data));
+            m
+        };
+        let out = h.up(up_send(2, mk()));
+        assert_eq!(out.up.len(), 1);
+        assert!(out.dn.is_empty(), "no grant after 1 of 4");
+        let out = h.up(up_send(2, mk()));
+        assert_eq!(out.dn.len(), 1, "grant after half window");
+        match &out.dn[0] {
+            DnEvent::Send { dst, msg } => {
+                assert_eq!(*dst, Rank(2));
+                assert_eq!(
+                    msg.peek_frame(),
+                    Some(&Frame::Pt2PtW(FlowHdr::Credit { granted: 2 }))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_credit_is_idempotent() {
+        let mut h = h(2);
+        for _ in 0..4 {
+            h.dn(send(1, b"x"));
+        }
+        assert_eq!(h.layer.queued_count(), 2);
+        let mut g1 = Msg::control();
+        g1.push_frame(Frame::Pt2PtW(FlowHdr::Credit { granted: 2 }));
+        h.up(up_send(1, g1.clone()));
+        assert_eq!(h.layer.queued_count(), 0);
+        // Replay of the same cumulative grant releases nothing extra.
+        let before = h.layer.flows[1].sent;
+        h.up(up_send(1, g1));
+        assert_eq!(h.layer.flows[1].sent, before);
+    }
+
+    #[test]
+    fn per_destination_windows_independent() {
+        let mut h = h(1);
+        h.dn(send(1, b"a")).sole_dn();
+        h.dn(send(2, b"b")).sole_dn();
+        h.dn(send(1, b"c")).assert_silent();
+        assert_eq!(h.layer.queued_count(), 1);
+    }
+
+    #[test]
+    fn casts_unaffected() {
+        let mut h = h(1);
+        h.dn(send(1, b"consume-window"));
+        let out = h.dn(crate::harness::cast(b"c"));
+        out.sole_dn();
+    }
+}

@@ -1,0 +1,223 @@
+//! Layer registry and stack presets.
+//!
+//! Stacks are described by lists of layer names, mirroring the paper's
+//! dynamic optimization input ("requires only the names of the protocol
+//! layers that occur in the application stack", §4.1.1). The two presets
+//! are the stacks benchmarked in §4.2:
+//!
+//! * [`STACK_4`] — the 4-layer virtually synchronous reliable multicast
+//!   stack of Figure 4: `top, pt2pt, mnak, bottom`;
+//! * [`STACK_10`] — the 10-layer stack of Tables 1(a)/2(b), additionally
+//!   providing total order, flow control, and fragmentation.
+//!
+//! (The 10-layer preset orders `frag` above the flow-control layers and
+//! `collect` directly above them so that stability counts stay in `mnak`
+//! sequence units; Table 2(b) lists the same layer *set*.)
+
+use crate::bottom::Bottom;
+use crate::collect::Collect;
+use crate::config::LayerConfig;
+use crate::elect::Elect;
+use crate::encrypt::Encrypt;
+use crate::frag::Frag;
+use crate::gmp::Gmp;
+use crate::layer::Layer;
+use crate::local::Local;
+use crate::mflow::MFlow;
+use crate::mnak::Mnak;
+use crate::partial_appl::PartialAppl;
+use crate::pt2pt::Pt2Pt;
+use crate::pt2ptw::Pt2PtW;
+use crate::sign::Sign;
+use crate::stable::Stable;
+use crate::suspect::Suspect;
+use crate::sync::Sync;
+use crate::top::Top;
+use crate::total::Total;
+use ensemble_event::ViewState;
+use std::fmt;
+
+/// Every registered layer name.
+pub const LAYER_NAMES: &[&str] = &[
+    "top",
+    "gmp",
+    "sync",
+    "elect",
+    "suspect",
+    "partial_appl",
+    "total",
+    "total_buggy",
+    "local",
+    "frag",
+    "collect",
+    "stable",
+    "pt2ptw",
+    "mflow",
+    "pt2pt",
+    "mnak",
+    "sign",
+    "encrypt",
+    "bottom",
+];
+
+/// The paper's 4-layer stack (Figure 4), top first.
+pub const STACK_4: &[&str] = &["top", "pt2pt", "mnak", "bottom"];
+
+/// The paper's 10-layer stack (Tables 1(a), 2(b)), top first: exactly the
+/// ten layers Table 2(b) lists sizes for (`partial_appl` is the topmost —
+/// the application adapter — and `bottom` the lowest).
+pub const STACK_10: &[&str] = &[
+    "partial_appl",
+    "total",
+    "local",
+    "frag",
+    "collect",
+    "pt2ptw",
+    "mflow",
+    "pt2pt",
+    "mnak",
+    "bottom",
+];
+
+/// The full virtually-synchronous membership stack used by the examples.
+///
+/// The membership layers sit *below* `total`/`local`: their control casts
+/// must not depend on the total-order sequencer (which may be the very
+/// member that died), only on the reliable FIFO layers beneath.
+pub const STACK_VSYNC: &[&str] = &[
+    "top",
+    "partial_appl",
+    "total",
+    "local",
+    "gmp",
+    "sync",
+    "elect",
+    "suspect",
+    "frag",
+    "collect",
+    "pt2ptw",
+    "mflow",
+    "pt2pt",
+    "mnak",
+    "bottom",
+];
+
+/// Errors from stack construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StackError {
+    /// A layer name is not registered.
+    UnknownLayer(String),
+    /// The stack is empty.
+    Empty,
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::UnknownLayer(n) => write!(f, "unknown layer {n:?}"),
+            StackError::Empty => write!(f, "empty stack"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// Instantiates one layer by name.
+pub fn make_layer(
+    name: &str,
+    vs: &ViewState,
+    cfg: &LayerConfig,
+) -> Result<Box<dyn Layer>, StackError> {
+    Ok(match name {
+        "top" => Box::new(Top::new(vs, cfg)),
+        "gmp" => Box::new(Gmp::new(vs, cfg)),
+        "sync" => Box::new(Sync::new(vs, cfg)),
+        "elect" => Box::new(Elect::new(vs, cfg)),
+        "suspect" => Box::new(Suspect::new(vs, cfg)),
+        "partial_appl" => Box::new(PartialAppl::new(vs, cfg)),
+        "total" => Box::new(Total::new(vs, cfg)),
+        "total_buggy" => Box::new(Total::new_buggy(vs, cfg)),
+        "local" => Box::new(Local::new(vs, cfg)),
+        "frag" => Box::new(Frag::new(vs, cfg)),
+        "collect" => Box::new(Collect::new(vs, cfg)),
+        "stable" => Box::new(Stable::new(vs, cfg)),
+        "pt2ptw" => Box::new(Pt2PtW::new(vs, cfg)),
+        "mflow" => Box::new(MFlow::new(vs, cfg)),
+        "pt2pt" => Box::new(Pt2Pt::new(vs, cfg)),
+        "mnak" => Box::new(Mnak::new(vs, cfg)),
+        "sign" => Box::new(Sign::new(vs, cfg)),
+        "encrypt" => Box::new(Encrypt::new(vs, cfg)),
+        "bottom" => Box::new(Bottom::new(vs, cfg)),
+        other => return Err(StackError::UnknownLayer(other.to_owned())),
+    })
+}
+
+/// Instantiates a whole stack, top first, appending `bottom` if absent.
+///
+/// # Examples
+///
+/// ```
+/// use ensemble_event::ViewState;
+/// use ensemble_layers::{make_stack, LayerConfig, STACK_4};
+/// let stack = make_stack(STACK_4, &ViewState::initial(2), &LayerConfig::default()).unwrap();
+/// assert_eq!(stack.len(), 4);
+/// ```
+pub fn make_stack(
+    names: &[&str],
+    vs: &ViewState,
+    cfg: &LayerConfig,
+) -> Result<Vec<Box<dyn Layer>>, StackError> {
+    if names.is_empty() {
+        return Err(StackError::Empty);
+    }
+    let mut layers: Vec<Box<dyn Layer>> = names
+        .iter()
+        .map(|n| make_layer(n, vs, cfg))
+        .collect::<Result<_, _>>()?;
+    if names.last() != Some(&"bottom") {
+        layers.push(make_layer("bottom", vs, cfg)?);
+    }
+    Ok(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_construct() {
+        let vs = ViewState::initial(3);
+        let cfg = LayerConfig::default();
+        for name in LAYER_NAMES {
+            let l = make_layer(name, &vs, &cfg).unwrap();
+            assert_eq!(&l.name(), if *name == "total_buggy" { &"total" } else { name });
+        }
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let vs = ViewState::initial(2);
+        match make_layer("nope", &vs, &LayerConfig::default()) {
+            Err(e) => assert_eq!(e, StackError::UnknownLayer("nope".into())),
+            Ok(_) => panic!("unknown layer accepted"),
+        }
+    }
+
+    #[test]
+    fn presets_build() {
+        let vs = ViewState::initial(3);
+        let cfg = LayerConfig::default();
+        assert_eq!(make_stack(STACK_4, &vs, &cfg).unwrap().len(), 4);
+        assert_eq!(make_stack(STACK_10, &vs, &cfg).unwrap().len(), 10);
+        assert_eq!(make_stack(STACK_VSYNC, &vs, &cfg).unwrap().len(), 15);
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        let vs = ViewState::initial(2);
+        match make_stack(&[], &vs, &LayerConfig::default()) {
+            Err(e) => assert_eq!(e, StackError::Empty),
+            Ok(_) => panic!("empty stack accepted"),
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! `sign` — per-message integrity MACs.
+//!
+//! Ensemble's library includes signing micro-protocols; this layer appends
+//! a keyed FNV-1a MAC over the payload to down-going messages and verifies
+//! (and strips) it on the way up, dropping forgeries.
+//!
+//! The MAC is a *stand-in* for a real HMAC: the goal is to exercise a
+//! data-touching layer (cf. the Integrated Layer Processing discussion in
+//! §5), not to provide cryptographic security.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, Msg, UpEvent, ViewState};
+use ensemble_util::Time;
+
+/// The signing layer.
+pub struct Sign {
+    key: u64,
+    /// Messages dropped due to MAC mismatch.
+    pub rejected: u64,
+}
+
+impl Sign {
+    /// Builds a signing layer with the configured key.
+    pub fn new(_vs: &ViewState, cfg: &LayerConfig) -> Self {
+        Sign {
+            key: cfg.sign_key,
+            rejected: 0,
+        }
+    }
+
+    fn mac(&self, msg: &Msg) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325 ^ self.key;
+        for seg in msg.payload().segments() {
+            for &b in seg {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        // Fold in the header depth so a frame-stripping attack is caught.
+        h ^= msg.depth() as u64;
+        h.wrapping_mul(0x0000_0100_0000_01B3)
+    }
+}
+
+impl Layer for Sign {
+    fn name(&self) -> &'static str {
+        "sign"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { msg, .. } | UpEvent::Send { msg, .. } => {
+                let frame = msg.pop_frame();
+                let expect = self.mac(msg);
+                match frame {
+                    Frame::Sign { mac } if mac == expect => out.up(ev),
+                    Frame::Sign { .. } => self.rejected += 1,
+                    other => panic!("sign: expected Sign frame, got {other:?}"),
+                }
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                let mac = self.mac(msg);
+                msg.push_frame(Frame::Sign { mac });
+                out.dn(ev);
+            }
+            DnEvent::Send { msg, .. } => {
+                let mac = self.mac(msg);
+                msg.push_frame(Frame::Sign { mac });
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cast, up_cast, Harness};
+    use ensemble_event::Payload;
+
+    fn h() -> Harness<Sign> {
+        Harness::new(Sign::new(&ViewState::initial(2), &LayerConfig::default()))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut h = h();
+        let ev = h.dn(cast(b"payload")).sole_dn();
+        let msg = match ev {
+            DnEvent::Cast(m) => m,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(msg.peek_frame(), Some(Frame::Sign { .. })));
+        let up = h.up(up_cast(1, msg)).sole_up();
+        assert_eq!(up.msg().unwrap().payload().gather(), b"payload");
+        assert_eq!(h.layer.rejected, 0);
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let mut h = h();
+        let ev = h.dn(cast(b"payload")).sole_dn();
+        let mut msg = match ev {
+            DnEvent::Cast(m) => m,
+            other => panic!("{other:?}"),
+        };
+        msg.set_payload(Payload::from_slice(b"PAYLOAD"));
+        h.up(up_cast(1, msg)).assert_silent();
+        assert_eq!(h.layer.rejected, 1);
+    }
+
+    #[test]
+    fn different_keys_disagree() {
+        let cfg_a = LayerConfig::default();
+        let cfg_b = LayerConfig {
+            sign_key: 42,
+            ..LayerConfig::default()
+        };
+        let vs = ViewState::initial(2);
+        let mut ha = Harness::new(Sign::new(&vs, &cfg_a));
+        let mut hb = Harness::new(Sign::new(&vs, &cfg_b));
+        let ev = ha.dn(cast(b"m")).sole_dn();
+        let msg = match ev {
+            DnEvent::Cast(m) => m,
+            other => panic!("{other:?}"),
+        };
+        hb.up(up_cast(1, msg)).assert_silent();
+        assert_eq!(hb.layer.rejected, 1);
+    }
+
+    #[test]
+    fn control_events_pass() {
+        let mut h = h();
+        h.up(UpEvent::Block).sole_up();
+        h.dn(DnEvent::BlockOk).sole_dn();
+    }
+}

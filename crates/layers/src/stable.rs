@@ -1,0 +1,165 @@
+//! `stable` — timer-driven stability gossip.
+//!
+//! An alternative to [`crate::collect`]: instead of gossiping after every
+//! k-th delivery, `stable` gossips its delivered-vector on a fixed timer.
+//! Useful in stacks with bursty traffic where delivery-count triggers
+//! would starve (the paper's library offers several stability protocols
+//! precisely because different environments favour different triggers).
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, Msg, StableHdr, UpEvent, ViewState};
+use ensemble_util::{Duration, Rank, Seqno, Time};
+
+/// The timer-gossip stability layer.
+pub struct Stable {
+    my_rank: Rank,
+    interval: Duration,
+    seen: Vec<u64>,
+    matrix: Vec<Vec<u64>>,
+    last_min: Vec<u64>,
+}
+
+impl Stable {
+    /// Builds the layer.
+    pub fn new(vs: &ViewState, cfg: &LayerConfig) -> Self {
+        let n = vs.nmembers();
+        Stable {
+            my_rank: vs.rank,
+            interval: cfg.stable_interval,
+            seen: vec![0; n],
+            matrix: vec![vec![0; n]; n],
+            last_min: vec![0; n],
+        }
+    }
+
+    /// The current stability floor.
+    pub fn stability(&self) -> Vec<Seqno> {
+        self.last_min.iter().map(|&v| Seqno(v)).collect()
+    }
+
+    fn recompute(&mut self, out: &mut Effects) {
+        self.matrix[self.my_rank.index()] = self.seen.clone();
+        let n = self.seen.len();
+        let min: Vec<u64> = (0..n)
+            .map(|col| self.matrix.iter().map(|row| row[col]).min().unwrap_or(0))
+            .collect();
+        if min != self.last_min {
+            self.last_min = min;
+            let vec: Vec<Seqno> = self.last_min.iter().map(|&v| Seqno(v)).collect();
+            out.dn(DnEvent::Stable(vec.clone()));
+            out.up(UpEvent::Stable(vec));
+        }
+    }
+}
+
+impl Layer for Stable {
+    fn name(&self) -> &'static str {
+        "stable"
+    }
+
+    fn init(&mut self, now: Time, out: &mut Effects) {
+        out.timer(now + self.interval);
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { origin, msg } => {
+                let origin = *origin;
+                let frame = msg.pop_frame();
+                self.seen[origin.index()] += 1;
+                match frame {
+                    Frame::Stable(StableHdr::Pass) => out.up(ev),
+                    Frame::Stable(StableHdr::Gossip { row }) => {
+                        let mine = &mut self.matrix[origin.index()];
+                        for (slot, v) in mine.iter_mut().zip(row.iter()) {
+                            *slot = (*slot).max(*v);
+                        }
+                        self.recompute(out);
+                    }
+                    other => panic!("stable: expected Stable frame, got {other:?}"),
+                }
+            }
+            UpEvent::Send { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "stable pushes NoHdr on sends");
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                msg.push_frame(Frame::Stable(StableHdr::Pass));
+                self.seen[self.my_rank.index()] += 1;
+                out.dn(ev);
+            }
+            DnEvent::Send { msg, .. } => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+
+    fn timer(&mut self, now: Time, out: &mut Effects) {
+        let mut gossip = Msg::control();
+        gossip.push_frame(Frame::Stable(StableHdr::Gossip {
+            row: self.seen.clone(),
+        }));
+        self.seen[self.my_rank.index()] += 1;
+        out.dn(DnEvent::Cast(gossip));
+        out.timer(now + self.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cast, up_cast, Harness};
+    use ensemble_event::Payload;
+
+    fn h(n: usize) -> Harness<Stable> {
+        Harness::new(Stable::new(&ViewState::initial(n), &LayerConfig::default()))
+    }
+
+    #[test]
+    fn gossips_on_timer_and_rearms() {
+        let mut h = h(2);
+        assert_eq!(h.timers.len(), 1);
+        let t = h.timers[0];
+        let out = h.advance(t);
+        assert_eq!(out.dn.len(), 1);
+        assert!(matches!(&out.dn[0], DnEvent::Cast(m)
+            if matches!(m.peek_frame(), Some(Frame::Stable(StableHdr::Gossip { .. })))));
+        assert_eq!(h.timers.len(), 1, "re-armed");
+    }
+
+    #[test]
+    fn stability_from_gossip_rows() {
+        let mut h = h(2);
+        let mk = |row: Vec<u64>| {
+            let mut m = Msg::control();
+            m.push_frame(Frame::Stable(StableHdr::Gossip { row }));
+            m
+        };
+        // I have seen 2 casts from rank 1.
+        let mut d = Msg::data(Payload::from_slice(b"d"));
+        d.push_frame(Frame::Stable(StableHdr::Pass));
+        h.up(up_cast(1, d.clone()));
+        h.up(up_cast(1, d));
+        // Rank 1 says it has seen 2 of its own.
+        let out = h.up(up_cast(1, mk(vec![0, 2])));
+        assert!(out.dn.iter().any(|e| matches!(e, DnEvent::Stable(v)
+            if v == &vec![Seqno(0), Seqno(2)])));
+    }
+
+    #[test]
+    fn own_casts_counted() {
+        let mut h = h(2);
+        h.dn(cast(b"m"));
+        assert_eq!(h.layer.seen[0], 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! `suspect` — heartbeat-based failure detection.
+//!
+//! Casts a liveness ping every [`LayerConfig::suspect_interval`]; any
+//! traffic from a peer (data, pings, pongs) refreshes its liveness. A peer
+//! silent for [`LayerConfig::suspect_misses`] consecutive rounds is
+//! *suspected*, announced upward so the membership layers can run a view
+//! change. Suspicion is sticky within a view (a suspected member stays
+//! suspected until the view changes, matching virtual synchrony practice).
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, Msg, SuspectHdr, UpEvent, ViewState};
+use ensemble_util::{Duration, Rank, Time};
+
+/// The failure-detection layer.
+pub struct Suspect {
+    my_rank: Rank,
+    interval: Duration,
+    misses_allowed: u32,
+    round: u32,
+    last_heard: Vec<Time>,
+    suspected: Vec<bool>,
+}
+
+impl Suspect {
+    /// Builds the detector.
+    pub fn new(vs: &ViewState, cfg: &LayerConfig) -> Self {
+        let n = vs.nmembers();
+        Suspect {
+            my_rank: vs.rank,
+            interval: cfg.suspect_interval,
+            misses_allowed: cfg.suspect_misses,
+            round: 0,
+            last_heard: vec![Time::ZERO; n],
+            suspected: vec![false; n],
+        }
+    }
+
+    /// Currently suspected ranks.
+    pub fn suspects(&self) -> Vec<Rank> {
+        self.suspected
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| Rank(i as u16))
+            .collect()
+    }
+
+    fn heard(&mut self, origin: Rank, now: Time) {
+        self.last_heard[origin.index()] = now;
+    }
+}
+
+impl Layer for Suspect {
+    fn name(&self) -> &'static str {
+        "suspect"
+    }
+
+    fn init(&mut self, now: Time, out: &mut Effects) {
+        // Everyone gets the benefit of the doubt from stack start — the
+        // stack may be (re)built mid-simulation after a view change.
+        for heard in self.last_heard.iter_mut() {
+            *heard = now;
+        }
+        out.timer(now + self.interval);
+    }
+
+    fn up(&mut self, now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { origin, msg } => {
+                let origin = *origin;
+                self.heard(origin, now);
+                let frame = msg.pop_frame();
+                match frame {
+                    Frame::Suspect(SuspectHdr::Pass) => out.up(ev),
+                    Frame::Suspect(SuspectHdr::Ping { round }) => {
+                        if origin != self.my_rank {
+                            let mut pong = Msg::control();
+                            pong.push_frame(Frame::Suspect(SuspectHdr::Pong { round }));
+                            out.dn(DnEvent::Send {
+                                dst: origin,
+                                msg: pong,
+                            });
+                        }
+                    }
+                    other => panic!("suspect: unexpected cast frame {other:?}"),
+                }
+            }
+            UpEvent::Send { origin, msg } => {
+                let origin = *origin;
+                self.heard(origin, now);
+                let frame = msg.pop_frame();
+                match frame {
+                    Frame::NoHdr => out.up(ev),
+                    Frame::Suspect(SuspectHdr::Pong { .. }) => {}
+                    other => panic!("suspect: unexpected send frame {other:?}"),
+                }
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                msg.push_frame(Frame::Suspect(SuspectHdr::Pass));
+                out.dn(ev);
+            }
+            DnEvent::Send { msg, .. } => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            // The application can declare suspicion directly.
+            DnEvent::Suspect { ranks } => {
+                let mut newly = Vec::new();
+                for r in ranks.iter() {
+                    if !self.suspected[r.index()] && *r != self.my_rank {
+                        self.suspected[r.index()] = true;
+                        newly.push(*r);
+                    }
+                }
+                if !newly.is_empty() {
+                    out.up(UpEvent::Suspect(self.suspects()));
+                }
+            }
+            _ => out.dn(ev),
+        }
+    }
+
+    fn timer(&mut self, now: Time, out: &mut Effects) {
+        self.round += 1;
+        let mut ping = Msg::control();
+        ping.push_frame(Frame::Suspect(SuspectHdr::Ping { round: self.round }));
+        out.dn(DnEvent::Cast(ping));
+        // Check for silence.
+        let deadline = self.interval.scaled(self.misses_allowed as u64);
+        let mut newly = false;
+        for (i, &heard) in self.last_heard.iter().enumerate() {
+            if i == self.my_rank.index() || self.suspected[i] {
+                continue;
+            }
+            if now.since(heard) > deadline {
+                self.suspected[i] = true;
+                newly = true;
+            }
+        }
+        if newly {
+            out.up(UpEvent::Suspect(self.suspects()));
+        }
+        out.timer(now + self.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{up_cast, Harness};
+
+    fn cfg() -> LayerConfig {
+        LayerConfig {
+            suspect_interval: Duration::from_millis(10),
+            suspect_misses: 3,
+            ..LayerConfig::default()
+        }
+    }
+
+    fn h(rank: u16, n: usize) -> Harness<Suspect> {
+        Harness::new(Suspect::new(
+            &ViewState::initial(n).for_rank(Rank(rank)),
+            &cfg(),
+        ))
+    }
+
+    fn ping(round: u32) -> Msg {
+        let mut m = Msg::control();
+        m.push_frame(Frame::Suspect(SuspectHdr::Ping { round }));
+        m
+    }
+
+    #[test]
+    fn pings_on_timer() {
+        let mut h = h(0, 3);
+        let t = h.timers[0];
+        let out = h.advance(t);
+        assert!(out.dn.iter().any(|e| matches!(e, DnEvent::Cast(m)
+            if matches!(m.peek_frame(), Some(Frame::Suspect(SuspectHdr::Ping { .. }))))));
+        assert_eq!(h.timers.len(), 1, "re-armed");
+    }
+
+    #[test]
+    fn ping_answered_with_pong() {
+        let mut h = h(0, 3);
+        let out = h.up(up_cast(1, ping(5)));
+        assert_eq!(out.dn.len(), 1);
+        match &out.dn[0] {
+            DnEvent::Send { dst, msg } => {
+                assert_eq!(*dst, Rank(1));
+                assert_eq!(
+                    msg.peek_frame(),
+                    Some(&Frame::Suspect(SuspectHdr::Pong { round: 5 }))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn own_loopback_ping_not_answered() {
+        let mut h = h(1, 3);
+        let out = h.up(up_cast(1, ping(5)));
+        out.assert_silent();
+    }
+
+    #[test]
+    fn silent_peer_suspected_after_misses() {
+        let mut h = h(0, 3);
+        // Peer 1 talks each round; peer 2 never does.
+        let mut suspected = Vec::new();
+        for round in 0..6 {
+            let t = h.timers[0];
+            let out = h.advance(t);
+            h.up(up_cast(1, ping(round)));
+            for e in out.up {
+                if let UpEvent::Suspect(r) = e {
+                    suspected = r;
+                }
+            }
+        }
+        assert_eq!(suspected, vec![Rank(2)]);
+    }
+
+    #[test]
+    fn traffic_prevents_suspicion() {
+        let mut h = h(0, 2);
+        for round in 0..8 {
+            let t = h.timers[0];
+            let out = h.advance(t);
+            assert!(!out.up.iter().any(|e| matches!(e, UpEvent::Suspect(_))));
+            h.up(up_cast(1, ping(round)));
+        }
+        assert!(h.layer.suspects().is_empty());
+    }
+
+    #[test]
+    fn application_declared_suspicion() {
+        let mut h = h(0, 3);
+        let out = h.dn(DnEvent::Suspect {
+            ranks: vec![Rank(2)],
+        });
+        assert_eq!(out.up, vec![UpEvent::Suspect(vec![Rank(2)])]);
+        // Repeats are silent.
+        let out = h.dn(DnEvent::Suspect {
+            ranks: vec![Rank(2)],
+        });
+        out.assert_silent();
+    }
+}

@@ -1,0 +1,381 @@
+//! `sync` — the virtual-synchrony flush protocol.
+//!
+//! Before a view change, all surviving members must agree on the set of
+//! messages delivered in the closing view. The coordinator's `Block`
+//! (from `gmp` above) triggers:
+//!
+//! 1. coordinator casts `Flush{suspects}` (and blocks itself);
+//! 2. every member, on delivering `Flush`, surfaces `Block` to the
+//!    application and, once `BlockOk` comes back down, casts
+//!    `FlushOk{seen}` where `seen` is its per-origin delivered-cast vector;
+//! 3. each member holds the coordinator's `NewView` announcement until it
+//!    has collected the `FlushOk` rows of every *unsuspected* member
+//!    *and* its own delivered vector has caught up to the element-wise
+//!    maximum of those rows over the unsuspected columns (the reliable
+//!    layers below repair remaining gaps — every `FlushOk` cast advances
+//!    `mnak`'s per-origin frontier, exposing trailing losses);
+//! 4. the coordinator additionally reports `FlushDone` upward so `gmp`
+//!    can announce the view.
+//!
+//! Simplifications relative to Ensemble, by design: gaps in a *dead*
+//! member's stream cannot be repaired (our `mnak` NAKs only the origin),
+//! so suspected columns are excluded from the completion condition; and
+//! this layer sits below `local`, so its own control casts are handled
+//! locally rather than via loopback.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, GmpHdr, Msg, SyncHdr, UpEvent, ViewState};
+use ensemble_util::{Rank, Time};
+
+/// Flush progress within the current view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Normal operation.
+    Idle,
+    /// `Flush` delivered; waiting for the application's `BlockOk`.
+    Blocking,
+    /// `FlushOk` sent; collecting rows and catching up.
+    Collecting,
+    /// Flush complete (coordinator has reported `FlushDone`).
+    Done,
+}
+
+/// The flush layer.
+pub struct Sync {
+    my_rank: Rank,
+    phase: Phase,
+    /// Per-origin data casts delivered at this level.
+    seen: Vec<u64>,
+    /// FlushOk rows collected (None until a member reports).
+    rows: Vec<Option<Vec<u64>>>,
+    /// Ranks excluded from the completion condition.
+    suspects: Vec<usize>,
+    /// A NewView announcement held until the flush condition is met.
+    held_view: Option<UpEvent>,
+    flush_cast_sent: bool,
+}
+
+impl Sync {
+    /// Builds the layer.
+    pub fn new(vs: &ViewState, _cfg: &LayerConfig) -> Self {
+        let n = vs.nmembers();
+        Sync {
+            my_rank: vs.rank,
+            phase: Phase::Idle,
+            seen: vec![0; n],
+            rows: vec![None; n],
+            suspects: Vec::new(),
+            held_view: None,
+            flush_cast_sent: false,
+        }
+    }
+
+    /// The current flush phase name (observability).
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Idle => "idle",
+            Phase::Blocking => "blocking",
+            Phase::Collecting => "collecting",
+            Phase::Done => "done",
+        }
+    }
+
+    fn note_suspects(&mut self, ranks: &[usize]) {
+        for r in ranks {
+            if !self.suspects.contains(r) {
+                self.suspects.push(*r);
+            }
+        }
+    }
+
+    fn counted(&self, idx: usize) -> bool {
+        !self.suspects.contains(&idx)
+    }
+
+    /// Whether this process is the acting coordinator: the lowest
+    /// unsuspected rank (the original coordinator may be the one that
+    /// died — leadership follows `elect`'s rule).
+    fn am_acting_coord(&self) -> bool {
+        (0..self.seen.len())
+            .find(|i| self.counted(*i))
+            == Some(self.my_rank.index())
+    }
+
+    fn all_rows_in(&self) -> bool {
+        self.rows
+            .iter()
+            .enumerate()
+            .all(|(i, r)| !self.counted(i) || r.is_some())
+    }
+
+    fn caught_up(&self) -> bool {
+        if !self.all_rows_in() {
+            return false;
+        }
+        let n = self.seen.len();
+        (0..n).filter(|c| self.counted(*c)).all(|col| {
+            let max = self
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.counted(*i))
+                .filter_map(|(_, r)| r.as_ref().map(|v| v.get(col).copied().unwrap_or(0)))
+                .max()
+                .unwrap_or(0);
+            self.seen[col] >= max
+        })
+    }
+
+    /// Re-evaluates completion after any delivery or row arrival.
+    fn check_complete(&mut self, out: &mut Effects) {
+        if self.phase != Phase::Collecting || !self.caught_up() {
+            return;
+        }
+        self.phase = Phase::Done;
+        if self.am_acting_coord() {
+            out.up(UpEvent::FlushDone);
+        }
+        if let Some(view_ev) = self.held_view.take() {
+            out.up(view_ev);
+        }
+    }
+
+    /// Enters the blocking phase (both via a received `Flush` and, at the
+    /// coordinator, directly when it initiates the flush).
+    fn enter_blocking(&mut self, out: &mut Effects) {
+        if self.phase == Phase::Idle {
+            self.phase = Phase::Blocking;
+            out.up(UpEvent::Block);
+        }
+    }
+
+    fn begin_flush(&mut self, out: &mut Effects) {
+        if self.flush_cast_sent {
+            return;
+        }
+        self.flush_cast_sent = true;
+        let mut flush = Msg::control();
+        flush.push_frame(Frame::Sync(SyncHdr::Flush {
+            suspects: self.suspects.iter().map(|s| *s as u64).collect(),
+        }));
+        out.dn(DnEvent::Cast(flush));
+        // No loopback below this layer: handle our own flush directly.
+        self.enter_blocking(out);
+    }
+}
+
+impl Layer for Sync {
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { origin, msg } => {
+                let origin = *origin;
+                let frame = msg.pop_frame();
+                match frame {
+                    Frame::Sync(SyncHdr::Pass) => {
+                        self.seen[origin.index()] += 1;
+                        // A NewView from `gmp` above is held until the
+                        // flush condition is met. Peeking at the next
+                        // frame is the layer-coordination point Ensemble
+                        // expresses through shared event fields.
+                        let is_new_view =
+                            matches!(msg.peek_frame(), Some(Frame::Gmp(GmpHdr::NewView { .. })));
+                        if is_new_view && self.phase != Phase::Done {
+                            self.held_view = Some(ev);
+                            self.check_complete(out);
+                        } else {
+                            out.up(ev);
+                            self.check_complete(out);
+                        }
+                    }
+                    Frame::Sync(SyncHdr::Flush { suspects }) => {
+                        let s: Vec<usize> = suspects.iter().map(|s| *s as usize).collect();
+                        self.note_suspects(&s);
+                        self.enter_blocking(out);
+                    }
+                    Frame::Sync(SyncHdr::FlushOk { seen }) => {
+                        self.rows[origin.index()] = Some(seen);
+                        self.check_complete(out);
+                    }
+                    other => panic!("sync: expected Sync frame, got {other:?}"),
+                }
+            }
+            UpEvent::Send { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "sync pushes NoHdr on sends");
+                out.up(ev);
+            }
+            UpEvent::Suspect(ranks) => {
+                let s: Vec<usize> = ranks.iter().map(|r| r.index()).collect();
+                self.note_suspects(&s);
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                msg.push_frame(Frame::Sync(SyncHdr::Pass));
+                self.seen[self.my_rank.index()] += 1;
+                out.dn(ev);
+            }
+            DnEvent::Send { msg, .. } => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            DnEvent::Suspect { ranks } => {
+                let s: Vec<usize> = ranks.iter().map(|r| r.index()).collect();
+                self.note_suspects(&s);
+                out.dn(ev);
+            }
+            DnEvent::Block => {
+                // The coordinator's gmp starts the flush.
+                self.begin_flush(out);
+            }
+            DnEvent::BlockOk => {
+                if self.phase == Phase::Blocking {
+                    self.phase = Phase::Collecting;
+                    let mut ok = Msg::control();
+                    ok.push_frame(Frame::Sync(SyncHdr::FlushOk {
+                        seen: self.seen.clone(),
+                    }));
+                    out.dn(DnEvent::Cast(ok));
+                    // Record our own row directly (no loopback below us).
+                    self.rows[self.my_rank.index()] = Some(self.seen.clone());
+                    self.check_complete(out);
+                } else {
+                    out.dn(ev);
+                }
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{up_cast, Harness};
+    use ensemble_event::Payload;
+
+    fn h(rank: u16, n: usize) -> Harness<Sync> {
+        Harness::new(Sync::new(
+            &ViewState::initial(n).for_rank(Rank(rank)),
+            &LayerConfig::default(),
+        ))
+    }
+
+    fn flush(suspects: Vec<u64>) -> Msg {
+        let mut m = Msg::control();
+        m.push_frame(Frame::Sync(SyncHdr::Flush { suspects }));
+        m
+    }
+
+    fn flush_ok(seen: Vec<u64>) -> Msg {
+        let mut m = Msg::control();
+        m.push_frame(Frame::Sync(SyncHdr::FlushOk { seen }));
+        m
+    }
+
+    fn data() -> Msg {
+        let mut m = Msg::data(Payload::from_slice(b"d"));
+        m.push_frame(Frame::Sync(SyncHdr::Pass));
+        m
+    }
+
+    #[test]
+    fn block_starts_flush_and_blocks_locally() {
+        let mut h = h(0, 2);
+        let out = h.dn(DnEvent::Block);
+        assert!(out.dn.iter().any(|e| matches!(e, DnEvent::Cast(m)
+            if matches!(m.peek_frame(), Some(Frame::Sync(SyncHdr::Flush { .. }))))));
+        assert!(out.up.contains(&UpEvent::Block), "coordinator blocks too");
+        assert_eq!(h.layer.phase_name(), "blocking");
+        // Idempotent.
+        h.dn(DnEvent::Block).assert_silent();
+    }
+
+    #[test]
+    fn flush_blocks_application_and_records_suspects() {
+        let mut h = h(1, 3);
+        let out = h.up(up_cast(0, flush(vec![2])));
+        assert_eq!(out.up, vec![UpEvent::Block]);
+        assert_eq!(h.layer.phase_name(), "blocking");
+        assert_eq!(h.layer.suspects, vec![2]);
+    }
+
+    #[test]
+    fn block_ok_casts_flush_ok_and_records_own_row() {
+        let mut h = h(1, 2);
+        h.up(up_cast(0, flush(vec![])));
+        let out = h.dn(DnEvent::BlockOk);
+        assert!(out.dn.iter().any(|e| matches!(e, DnEvent::Cast(m)
+            if matches!(m.peek_frame(), Some(Frame::Sync(SyncHdr::FlushOk { .. }))))));
+        assert_eq!(h.layer.phase_name(), "collecting");
+        assert!(h.layer.rows[1].is_some(), "own row recorded directly");
+    }
+
+    #[test]
+    fn coordinator_reports_flush_done_when_rows_complete() {
+        let mut h = h(0, 2);
+        h.dn(DnEvent::Block);
+        h.dn(DnEvent::BlockOk);
+        // Peer's row arrives.
+        let out = h.up(up_cast(1, flush_ok(vec![0, 0])));
+        assert!(out.up.contains(&UpEvent::FlushDone));
+        assert_eq!(h.layer.phase_name(), "done");
+    }
+
+    #[test]
+    fn suspected_members_are_not_waited_for() {
+        let mut h = h(0, 3);
+        h.dn(DnEvent::Suspect {
+            ranks: vec![Rank(2)],
+        });
+        h.dn(DnEvent::Block);
+        h.dn(DnEvent::BlockOk);
+        // Only rank 1's row is needed.
+        let out = h.up(up_cast(1, flush_ok(vec![0, 0, 0])));
+        assert!(out.up.contains(&UpEvent::FlushDone), "dead member skipped");
+    }
+
+    #[test]
+    fn holds_completion_until_caught_up() {
+        let mut h = h(0, 2);
+        h.dn(DnEvent::Block);
+        h.dn(DnEvent::BlockOk);
+        // Peer claims it saw 2 casts from origin 1; we have seen none.
+        let out = h.up(up_cast(1, flush_ok(vec![0, 2])));
+        assert!(!out.up.contains(&UpEvent::FlushDone), "must catch up");
+        // Repairs arrive (2 data casts from origin 1): completion fires.
+        h.up(up_cast(1, data()));
+        let out = h.up(up_cast(1, data()));
+        assert!(out.up.contains(&UpEvent::FlushDone));
+    }
+
+    #[test]
+    fn member_does_not_report_flush_done() {
+        let mut h = h(1, 2);
+        h.up(up_cast(0, flush(vec![])));
+        h.dn(DnEvent::BlockOk);
+        let out = h.up(up_cast(0, flush_ok(vec![0, 0])));
+        assert!(!out.up.contains(&UpEvent::FlushDone));
+        assert_eq!(h.layer.phase_name(), "done");
+    }
+
+    #[test]
+    fn data_counted_and_passed() {
+        let mut h = h(0, 2);
+        let out = h.up(up_cast(1, data()));
+        assert_eq!(out.up.len(), 1);
+        assert_eq!(h.layer.seen, vec![0, 1]);
+        h.dn(crate::harness::cast(b"mine"));
+        assert_eq!(h.layer.seen, vec![1, 1]);
+    }
+}

@@ -1,0 +1,108 @@
+//! `top` — the highest layer, interfacing the stack to the application.
+//!
+//! Routes deliveries to the application boundary and, by default, answers
+//! membership `Block` requests on the application's behalf (configurable
+//! via [`LayerConfig::auto_block_ok`]).
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, UpEvent, ViewState};
+use ensemble_util::Time;
+
+/// The top layer.
+pub struct Top {
+    auto_block_ok: bool,
+    blocked: bool,
+}
+
+impl Top {
+    /// Builds a top layer.
+    pub fn new(_vs: &ViewState, cfg: &LayerConfig) -> Self {
+        Top {
+            auto_block_ok: cfg.auto_block_ok,
+            blocked: false,
+        }
+    }
+
+    /// Whether a `Block` has been seen and not yet resolved by a view.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
+    }
+}
+
+impl Layer for Top {
+    fn name(&self) -> &'static str {
+        "top"
+    }
+
+    fn up(&mut self, _now: Time, ev: UpEvent, out: &mut Effects) {
+        match ev {
+            UpEvent::Block => {
+                self.blocked = true;
+                // Surface the block to the application regardless, so it
+                // can quiesce; answer for it if configured to.
+                out.up(UpEvent::Block);
+                if self.auto_block_ok {
+                    out.dn(DnEvent::BlockOk);
+                }
+            }
+            UpEvent::View(vs) => {
+                self.blocked = false;
+                out.up(UpEvent::View(vs));
+            }
+            other => out.up(other),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, ev: DnEvent, out: &mut Effects) {
+        out.dn(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cast, up_cast, Harness};
+    use ensemble_event::Msg;
+
+    fn h(auto: bool) -> Harness<Top> {
+        let cfg = LayerConfig {
+            auto_block_ok: auto,
+            ..LayerConfig::default()
+        };
+        Harness::new(Top::new(&ViewState::initial(2), &cfg))
+    }
+
+    #[test]
+    fn passes_data_both_ways() {
+        let mut h = h(true);
+        h.dn(cast(b"m")).sole_dn();
+        h.up(up_cast(1, Msg::control())).sole_up();
+    }
+
+    #[test]
+    fn auto_block_ok_answers() {
+        let mut h = h(true);
+        let out = h.up(UpEvent::Block);
+        assert_eq!(out.up, vec![UpEvent::Block]);
+        assert_eq!(out.dn, vec![DnEvent::BlockOk]);
+        assert!(h.layer.is_blocked());
+    }
+
+    #[test]
+    fn manual_block_defers_to_app() {
+        let mut h = h(false);
+        let out = h.up(UpEvent::Block);
+        assert_eq!(out.up, vec![UpEvent::Block]);
+        assert!(out.dn.is_empty());
+    }
+
+    #[test]
+    fn view_clears_block() {
+        let mut h = h(true);
+        h.up(UpEvent::Block);
+        assert!(h.layer.is_blocked());
+        h.up(UpEvent::View(ViewState::initial(2))).sole_up();
+        assert!(!h.layer.is_blocked());
+    }
+}

@@ -1,0 +1,322 @@
+//! `total` — totally ordered multicast (sequencer-based).
+//!
+//! All members deliver all casts in one global order. The view coordinator
+//! acts as the *sequencer*:
+//!
+//! * the sequencer stamps its own casts with the next global order — the
+//!   common case the bypass specializes for;
+//! * other members cast with a local sequence number; the sequencer, upon
+//!   receiving such an unordered cast, casts an `Order` announcement
+//!   binding `(origin, local)` to the next global order;
+//! * everybody (sequencer included, via the `local` loopback below this
+//!   layer) buffers and delivers strictly in global order.
+//!
+//! A deliberately buggy variant ([`Total::new_buggy`]) reproduces the
+//! paper's account of a subtle total-ordering bug found by formal
+//! verification (§1, ref. \[11\] of the paper): it optimistically delivers a member's own
+//! casts at send time, which violates the agreed order whenever another
+//! member's cast is sequenced in between. The `ensemble-ioa` refinement
+//! checker exhibits exactly this interleaving.
+
+use crate::config::LayerConfig;
+use crate::layer::Layer;
+use ensemble_event::{DnEvent, Effects, Frame, Msg, TotalHdr, UpEvent, ViewState};
+use ensemble_util::{Rank, Seqno, Time};
+use std::collections::{BTreeMap, HashMap};
+
+/// The total-ordering layer.
+pub struct Total {
+    my_rank: Rank,
+    sequencer: Rank,
+    /// Sequencer: next global order to assign.
+    order_next: u64,
+    /// My next local (pre-order) cast number.
+    local_next: u64,
+    /// Next global order to deliver.
+    deliver_next: u64,
+    /// Casts with a known order, awaiting their turn.
+    holding: BTreeMap<u64, (Rank, Msg)>,
+    /// Casts without an order yet, keyed by (origin, local).
+    unordered: HashMap<(Rank, u64), Msg>,
+    /// Order announcements that arrived before their cast.
+    order_early: HashMap<(Rank, u64), u64>,
+    /// If set, deliver own casts immediately at send time (the seeded bug).
+    buggy_eager_self_delivery: bool,
+}
+
+impl Total {
+    /// Builds the correct total-order layer.
+    pub fn new(vs: &ViewState, _cfg: &LayerConfig) -> Self {
+        Total {
+            my_rank: vs.rank,
+            sequencer: vs.coord(),
+            order_next: 0,
+            local_next: 0,
+            deliver_next: 0,
+            holding: BTreeMap::new(),
+            unordered: HashMap::new(),
+            order_early: HashMap::new(),
+            buggy_eager_self_delivery: false,
+        }
+    }
+
+    /// Builds the buggy variant used by the verification experiments.
+    pub fn new_buggy(vs: &ViewState, cfg: &LayerConfig) -> Self {
+        Total {
+            buggy_eager_self_delivery: true,
+            ..Self::new(vs, cfg)
+        }
+    }
+
+    fn am_sequencer(&self) -> bool {
+        self.my_rank == self.sequencer
+    }
+
+    /// Number of casts buffered awaiting order or turn.
+    pub fn buffered(&self) -> usize {
+        self.holding.len() + self.unordered.len()
+    }
+
+    fn deliver_ready(&mut self, out: &mut Effects) {
+        while let Some((origin, msg)) = self.holding.remove(&self.deliver_next) {
+            self.deliver_next += 1;
+            out.up(UpEvent::Cast { origin, msg });
+        }
+    }
+
+    fn place(&mut self, order: u64, origin: Rank, msg: Msg, out: &mut Effects) {
+        self.holding.insert(order, (origin, msg));
+        self.deliver_ready(out);
+    }
+}
+
+impl Layer for Total {
+    fn name(&self) -> &'static str {
+        "total"
+    }
+
+    fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
+        match &mut ev {
+            UpEvent::Cast { origin, msg } => {
+                let origin = *origin;
+                let frame = msg.pop_frame();
+                match frame {
+                    Frame::Total(TotalHdr::Ordered { order }) => {
+                        let msg = std::mem::take(msg);
+                        self.place(order.0, origin, msg, out);
+                    }
+                    Frame::Total(TotalHdr::Unordered { local }) => {
+                        let msg = std::mem::take(msg);
+                        if let Some(order) = self.order_early.remove(&(origin, local.0)) {
+                            self.place(order, origin, msg, out);
+                        } else {
+                            self.unordered.insert((origin, local.0), msg);
+                        }
+                        if self.am_sequencer() {
+                            let order = Seqno(self.order_next);
+                            self.order_next += 1;
+                            let mut ann = Msg::control();
+                            ann.push_frame(Frame::Total(TotalHdr::Order {
+                                origin,
+                                local,
+                                order,
+                            }));
+                            out.dn(DnEvent::Cast(ann));
+                        }
+                    }
+                    Frame::Total(TotalHdr::Order {
+                        origin: o,
+                        local,
+                        order,
+                    }) => {
+                        // Announcements are consumed here, never delivered.
+                        if let Some(msg) = self.unordered.remove(&(o, local.0)) {
+                            self.place(order.0, o, msg, out);
+                        } else {
+                            self.order_early.insert((o, local.0), order.0);
+                        }
+                    }
+                    other => panic!("total: expected Total frame, got {other:?}"),
+                }
+            }
+            UpEvent::Send { msg, .. } => {
+                let f = msg.pop_frame();
+                debug_assert_eq!(f, Frame::NoHdr, "total pushes NoHdr on sends");
+                out.up(ev);
+            }
+            _ => out.up(ev),
+        }
+    }
+
+    fn dn(&mut self, _now: Time, mut ev: DnEvent, out: &mut Effects) {
+        match &mut ev {
+            DnEvent::Cast(msg) => {
+                if self.buggy_eager_self_delivery {
+                    // BUG (deliberate): deliver our own cast right now,
+                    // outside the global order. Caught by the refinement
+                    // checker; see crate docs.
+                    out.up(UpEvent::Cast {
+                        origin: self.my_rank,
+                        msg: msg.clone(),
+                    });
+                }
+                if self.am_sequencer() {
+                    let order = Seqno(self.order_next);
+                    self.order_next += 1;
+                    msg.push_frame(Frame::Total(TotalHdr::Ordered { order }));
+                } else {
+                    let local = Seqno(self.local_next);
+                    self.local_next += 1;
+                    msg.push_frame(Frame::Total(TotalHdr::Unordered { local }));
+                }
+                out.dn(ev);
+            }
+            DnEvent::Send { msg, .. } => {
+                msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            _ => out.dn(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cast, up_cast, Harness};
+    use ensemble_event::Payload;
+
+    fn h(rank: u16) -> Harness<Total> {
+        Harness::new(Total::new(
+            &ViewState::initial(3).for_rank(Rank(rank)),
+            &LayerConfig::default(),
+        ))
+    }
+
+    fn ordered(order: u64, body: &[u8]) -> Msg {
+        let mut m = Msg::data(Payload::from_slice(body));
+        m.push_frame(Frame::Total(TotalHdr::Ordered {
+            order: Seqno(order),
+        }));
+        m
+    }
+
+    fn unordered(local: u64, body: &[u8]) -> Msg {
+        let mut m = Msg::data(Payload::from_slice(body));
+        m.push_frame(Frame::Total(TotalHdr::Unordered {
+            local: Seqno(local),
+        }));
+        m
+    }
+
+    fn order_ann(origin: u16, local: u64, order: u64) -> Msg {
+        let mut m = Msg::control();
+        m.push_frame(Frame::Total(TotalHdr::Order {
+            origin: Rank(origin),
+            local: Seqno(local),
+            order: Seqno(order),
+        }));
+        m
+    }
+
+    #[test]
+    fn sequencer_stamps_own_casts() {
+        let mut h = h(0);
+        let e = h.dn(cast(b"a")).sole_dn();
+        assert_eq!(
+            e.msg().unwrap().peek_frame(),
+            Some(&Frame::Total(TotalHdr::Ordered { order: Seqno(0) }))
+        );
+        let e = h.dn(cast(b"b")).sole_dn();
+        assert_eq!(
+            e.msg().unwrap().peek_frame(),
+            Some(&Frame::Total(TotalHdr::Ordered { order: Seqno(1) }))
+        );
+    }
+
+    #[test]
+    fn member_casts_unordered() {
+        let mut h = h(1);
+        let e = h.dn(cast(b"a")).sole_dn();
+        assert_eq!(
+            e.msg().unwrap().peek_frame(),
+            Some(&Frame::Total(TotalHdr::Unordered { local: Seqno(0) }))
+        );
+    }
+
+    #[test]
+    fn delivers_in_global_order() {
+        let mut h = h(1);
+        // Order 1 arrives first: held.
+        let out = h.up(up_cast(0, ordered(1, b"second")));
+        assert!(out.up.is_empty());
+        // Order 0 arrives: both deliver, in order.
+        let out = h.up(up_cast(0, ordered(0, b"first")));
+        assert_eq!(out.up.len(), 2);
+        assert_eq!(out.up[0].msg().unwrap().payload().gather(), b"first");
+        assert_eq!(out.up[1].msg().unwrap().payload().gather(), b"second");
+    }
+
+    #[test]
+    fn sequencer_orders_unordered_casts() {
+        let mut h = h(0);
+        let out = h.up(up_cast(2, unordered(0, b"x")));
+        assert!(out.up.is_empty(), "held until the announcement loops back");
+        assert_eq!(out.dn.len(), 1);
+        match &out.dn[0] {
+            DnEvent::Cast(m) => assert_eq!(
+                m.peek_frame(),
+                Some(&Frame::Total(TotalHdr::Order {
+                    origin: Rank(2),
+                    local: Seqno(0),
+                    order: Seqno(0),
+                }))
+            ),
+            other => panic!("{other:?}"),
+        }
+        // The announcement loops back (via `local` below) and releases it.
+        let out = h.up(up_cast(0, order_ann(2, 0, 0)));
+        assert_eq!(out.up.len(), 1);
+        assert_eq!(out.up[0].origin(), Some(Rank(2)));
+    }
+
+    #[test]
+    fn announcement_before_data_is_handled() {
+        let mut h = h(1);
+        let out = h.up(up_cast(0, order_ann(2, 0, 0)));
+        assert!(out.up.is_empty());
+        let out = h.up(up_cast(2, unordered(0, b"x")));
+        assert_eq!(out.up.len(), 1, "early order applied on arrival");
+    }
+
+    #[test]
+    fn interleaves_orders_across_origins() {
+        let mut h = h(1);
+        // Global order: 0 from rank 0, 1 from rank 2, 2 from rank 0.
+        let out = h.up(up_cast(0, ordered(0, b"a")));
+        assert_eq!(out.up.len(), 1);
+        h.up(up_cast(2, unordered(0, b"b")));
+        let out = h.up(up_cast(0, order_ann(2, 0, 1)));
+        assert_eq!(out.up.len(), 1);
+        let out = h.up(up_cast(0, ordered(2, b"c")));
+        assert_eq!(out.up.len(), 1);
+    }
+
+    #[test]
+    fn buggy_variant_delivers_early() {
+        let vs = ViewState::initial(3).for_rank(Rank(1));
+        let mut h = Harness::new(Total::new_buggy(&vs, &LayerConfig::default()));
+        let out = h.dn(cast(b"mine"));
+        // The bug: an immediate self-delivery alongside the network cast.
+        assert_eq!(out.up.len(), 1);
+        assert_eq!(out.dn.len(), 1);
+    }
+
+    #[test]
+    fn buffered_counts() {
+        let mut h = h(1);
+        h.up(up_cast(0, ordered(5, b"far")));
+        h.up(up_cast(2, unordered(0, b"no-order")));
+        assert_eq!(h.layer.buffered(), 2);
+    }
+}

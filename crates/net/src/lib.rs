@@ -1,0 +1,18 @@
+//! Deterministic network simulation substrate.
+//!
+//! The paper's measurements run on two UltraSparcs over 100 Mbit Ethernet
+//! (and extrapolate to VIA). We replace the physical network with a
+//! deterministic simulator: a virtual-time event queue, a packet model, and
+//! pluggable fault/latency models (perfect FIFO, lossy with drops,
+//! duplicates and reordering, partitions). Every run is reproducible from
+//! its seed, which the protocol test-suite exploits heavily.
+
+pub mod model;
+pub mod net;
+pub mod packet;
+pub mod queue;
+
+pub use model::{LinkModel, LossyModel, PartitionModel, PerfectModel};
+pub use net::{Arrival, NetStats, Network};
+pub use packet::{Dest, Packet};
+pub use queue::EventQueue;

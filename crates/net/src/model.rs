@@ -1,0 +1,244 @@
+//! Link fault and latency models.
+//!
+//! A [`LinkModel`] decides, per (source, destination) transmission, whether
+//! the copy is delivered and with what latency; duplication is modelled by
+//! returning several delays. The abstract behavioural specifications of
+//! these models live in `ensemble-ioa` (`FifoNetwork`, `LossyNetwork`); the
+//! refinement tests check that the protocol layers mask exactly the faults
+//! these models inject.
+
+use ensemble_util::{DetRng, Duration, Endpoint};
+
+/// Decides the fate of one packet copy on one link.
+pub trait LinkModel {
+    /// Returns the delivery delays for this transmission: an empty vector
+    /// means the copy is dropped; more than one entry means duplication.
+    fn fate(&mut self, src: Endpoint, dst: Endpoint, rng: &mut DetRng) -> Vec<Duration>;
+
+    /// The nominal one-way link latency (used by the end-to-end analysis).
+    fn nominal_latency(&self) -> Duration;
+}
+
+/// A perfectly reliable, constant-latency (hence per-link FIFO) network.
+#[derive(Clone, Debug)]
+pub struct PerfectModel {
+    /// One-way latency applied to every packet.
+    pub latency: Duration,
+}
+
+impl PerfectModel {
+    /// 100 Mbit Ethernet as measured in the paper: ≈ 80 µs one-way.
+    pub fn ethernet() -> Self {
+        PerfectModel {
+            latency: Duration::from_micros(80),
+        }
+    }
+
+    /// VIA / Giganet: ≈ 10 µs one-way (§4, ref. \[27\] of the paper).
+    pub fn via() -> Self {
+        PerfectModel {
+            latency: Duration::from_micros(10),
+        }
+    }
+}
+
+impl LinkModel for PerfectModel {
+    fn fate(&mut self, _src: Endpoint, _dst: Endpoint, _rng: &mut DetRng) -> Vec<Duration> {
+        vec![self.latency]
+    }
+
+    fn nominal_latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+/// A network that drops, duplicates, and reorders (via latency jitter).
+///
+/// This realizes the paper's `LossyNetwork` abstract specification
+/// (Figure 2(b)): messages may be lost, duplicated, and delivered out of
+/// order. The reliable layers (`mnak`, `pt2pt`) must mask all of it.
+#[derive(Clone, Debug)]
+pub struct LossyModel {
+    /// Base one-way latency.
+    pub latency: Duration,
+    /// Maximum extra random delay (uniform), causing reordering.
+    pub jitter: Duration,
+    /// Probability a copy is dropped.
+    pub drop_p: f64,
+    /// Probability a delivered copy is duplicated.
+    pub dup_p: f64,
+}
+
+impl LossyModel {
+    /// A moderately hostile default: Ethernet latency, 50 µs jitter,
+    /// 5 % loss, 2 % duplication.
+    pub fn default_hostile() -> Self {
+        LossyModel {
+            latency: Duration::from_micros(80),
+            jitter: Duration::from_micros(50),
+            drop_p: 0.05,
+            dup_p: 0.02,
+        }
+    }
+
+    /// A given loss rate with otherwise Ethernet-like behaviour.
+    pub fn with_loss(drop_p: f64) -> Self {
+        LossyModel {
+            drop_p,
+            ..Self::default_hostile()
+        }
+    }
+}
+
+impl LinkModel for LossyModel {
+    fn fate(&mut self, _src: Endpoint, _dst: Endpoint, rng: &mut DetRng) -> Vec<Duration> {
+        if rng.chance(self.drop_p) {
+            return Vec::new();
+        }
+        let delay = |rng: &mut DetRng, base: Duration, jitter: Duration| {
+            base + Duration(rng.below(jitter.nanos().max(1)))
+        };
+        let mut fates = vec![delay(rng, self.latency, self.jitter)];
+        if rng.chance(self.dup_p) {
+            fates.push(delay(rng, self.latency, self.jitter));
+        }
+        fates
+    }
+
+    fn nominal_latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+/// Wraps an inner model and severs links that cross a partition boundary.
+///
+/// Endpoints whose ids appear in `isolated` cannot exchange packets with
+/// the rest of the group (in either direction). Used by the
+/// `partition_recovery` example and the membership tests.
+pub struct PartitionModel<M> {
+    inner: M,
+    isolated: Vec<Endpoint>,
+    active: bool,
+}
+
+impl<M: LinkModel> PartitionModel<M> {
+    /// Builds a healed (inactive) partition around `inner`.
+    pub fn new(inner: M) -> Self {
+        PartitionModel {
+            inner,
+            isolated: Vec::new(),
+            active: false,
+        }
+    }
+
+    /// Isolates `eps` from everyone else.
+    pub fn isolate(&mut self, eps: &[Endpoint]) {
+        self.isolated = eps.to_vec();
+        self.active = true;
+    }
+
+    /// Heals the partition.
+    pub fn heal(&mut self) {
+        self.active = false;
+        self.isolated.clear();
+    }
+
+    fn severed(&self, a: Endpoint, b: Endpoint) -> bool {
+        if !self.active {
+            return false;
+        }
+        let ia = self.isolated.contains(&a);
+        let ib = self.isolated.contains(&b);
+        ia != ib
+    }
+}
+
+impl<M: LinkModel> LinkModel for PartitionModel<M> {
+    fn fate(&mut self, src: Endpoint, dst: Endpoint, rng: &mut DetRng) -> Vec<Duration> {
+        if self.severed(src, dst) {
+            return Vec::new();
+        }
+        self.inner.fate(src, dst, rng)
+    }
+
+    fn nominal_latency(&self) -> Duration {
+        self.inner.nominal_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: u32) -> Endpoint {
+        Endpoint::new(i)
+    }
+
+    #[test]
+    fn perfect_always_delivers_once() {
+        let mut m = PerfectModel::ethernet();
+        let mut rng = DetRng::new(1);
+        for _ in 0..100 {
+            let f = m.fate(ep(0), ep(1), &mut rng);
+            assert_eq!(f, vec![Duration::from_micros(80)]);
+        }
+    }
+
+    #[test]
+    fn via_latency() {
+        assert_eq!(PerfectModel::via().nominal_latency().micros(), 10);
+    }
+
+    #[test]
+    fn lossy_drops_at_configured_rate() {
+        let mut m = LossyModel::with_loss(0.5);
+        let mut rng = DetRng::new(2);
+        let dropped = (0..10_000)
+            .filter(|_| m.fate(ep(0), ep(1), &mut rng).is_empty())
+            .count();
+        assert!((4_000..6_000).contains(&dropped), "dropped = {dropped}");
+    }
+
+    #[test]
+    fn lossy_duplicates_sometimes() {
+        let mut m = LossyModel {
+            latency: Duration::from_micros(10),
+            jitter: Duration::ZERO,
+            drop_p: 0.0,
+            dup_p: 1.0,
+        };
+        let mut rng = DetRng::new(3);
+        assert_eq!(m.fate(ep(0), ep(1), &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn lossy_jitter_varies_delay() {
+        let mut m = LossyModel {
+            latency: Duration::from_micros(10),
+            jitter: Duration::from_micros(100),
+            drop_p: 0.0,
+            dup_p: 0.0,
+        };
+        let mut rng = DetRng::new(4);
+        let delays: Vec<Duration> = (0..50)
+            .map(|_| m.fate(ep(0), ep(1), &mut rng)[0])
+            .collect();
+        assert!(delays.iter().any(|&d| d != delays[0]));
+        assert!(delays.iter().all(|&d| d >= Duration::from_micros(10)));
+    }
+
+    #[test]
+    fn partition_severs_and_heals() {
+        let mut m = PartitionModel::new(PerfectModel::via());
+        let mut rng = DetRng::new(5);
+        assert!(!m.fate(ep(0), ep(2), &mut rng).is_empty());
+        m.isolate(&[ep(2)]);
+        assert!(m.fate(ep(0), ep(2), &mut rng).is_empty());
+        assert!(m.fate(ep(2), ep(0), &mut rng).is_empty());
+        // Within the isolated side, traffic still flows.
+        m.isolate(&[ep(2), ep(3)]);
+        assert!(!m.fate(ep(2), ep(3), &mut rng).is_empty());
+        m.heal();
+        assert!(!m.fate(ep(0), ep(2), &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! The network: membership registry + link model + arrival scheduling.
+
+use crate::model::LinkModel;
+use crate::packet::{Dest, Packet};
+use ensemble_util::{DetRng, Endpoint, Time};
+
+/// A scheduled packet arrival.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the packet reaches `dst`.
+    pub at: Time,
+    /// The receiving endpoint.
+    pub dst: Endpoint,
+    /// The packet (shared bytes).
+    pub packet: Packet,
+}
+
+/// Aggregate traffic statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Packets handed to the network.
+    pub sent: u64,
+    /// Point-to-point or per-recipient copies attempted.
+    pub copies: u64,
+    /// Copies dropped by the model.
+    pub dropped: u64,
+    /// Copies duplicated by the model (extra deliveries).
+    pub duplicated: u64,
+    /// Copies scheduled for delivery.
+    pub delivered: u64,
+    /// Total bytes scheduled for delivery.
+    pub bytes: u64,
+}
+
+/// The simulated network fabric.
+///
+/// Owns the member registry (so casts can be expanded), the link model and
+/// the fault RNG. [`Network::transmit`] converts one send into a set of
+/// scheduled [`Arrival`]s which the caller feeds into its event queue.
+pub struct Network<M> {
+    members: Vec<Endpoint>,
+    model: M,
+    rng: DetRng,
+    stats: NetStats,
+}
+
+impl<M: LinkModel> Network<M> {
+    /// Builds a network over `members` with the given model and fault seed.
+    pub fn new(members: Vec<Endpoint>, model: M, seed: u64) -> Self {
+        Network {
+            members,
+            model,
+            rng: DetRng::new(seed),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current members (cast targets).
+    pub fn members(&self) -> &[Endpoint] {
+        &self.members
+    }
+
+    /// Replaces the membership (after a view change or a join).
+    pub fn set_members(&mut self, members: Vec<Endpoint>) {
+        self.members = members;
+    }
+
+    /// Mutable access to the link model (e.g. to trigger a partition).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The nominal one-way latency of the underlying link model.
+    pub fn nominal_latency(&self) -> ensemble_util::Duration {
+        self.model.nominal_latency()
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Transmits `packet` at time `now`, returning the scheduled arrivals.
+    pub fn transmit(&mut self, now: Time, packet: Packet) -> Vec<Arrival> {
+        self.stats.sent += 1;
+        let targets: Vec<Endpoint> = match packet.dst {
+            Dest::Point(ep) => vec![ep],
+            Dest::Cast => self
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| m != packet.src)
+                .collect(),
+        };
+        let mut arrivals = Vec::with_capacity(targets.len());
+        for dst in targets {
+            self.stats.copies += 1;
+            let fates = self.model.fate(packet.src, dst, &mut self.rng);
+            if fates.is_empty() {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if fates.len() > 1 {
+                self.stats.duplicated += (fates.len() - 1) as u64;
+            }
+            for delay in fates {
+                self.stats.delivered += 1;
+                self.stats.bytes += packet.size() as u64;
+                arrivals.push(Arrival {
+                    at: now + delay,
+                    dst,
+                    packet: packet.clone(),
+                });
+            }
+        }
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LossyModel, PerfectModel};
+    use ensemble_util::Duration;
+
+    fn eps(n: u32) -> Vec<Endpoint> {
+        (0..n).map(Endpoint::new).collect()
+    }
+
+    #[test]
+    fn cast_reaches_everyone_but_sender() {
+        let mut net = Network::new(eps(4), PerfectModel::via(), 1);
+        let arr = net.transmit(Time(0), Packet::cast(Endpoint::new(1), vec![9]));
+        let mut dsts: Vec<u32> = arr.iter().map(|a| a.dst.id()).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![0, 2, 3]);
+        assert!(arr.iter().all(|a| a.at == Time(0) + Duration::from_micros(10)));
+    }
+
+    #[test]
+    fn point_reaches_only_target() {
+        let mut net = Network::new(eps(3), PerfectModel::ethernet(), 1);
+        let arr = net.transmit(
+            Time(100),
+            Packet::point(Endpoint::new(0), Endpoint::new(2), vec![1, 2]),
+        );
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].dst, Endpoint::new(2));
+        assert_eq!(arr[0].at, Time(100) + Duration::from_micros(80));
+    }
+
+    #[test]
+    fn stats_track_drops() {
+        let mut net = Network::new(eps(2), LossyModel::with_loss(1.0), 2);
+        let arr = net.transmit(Time(0), Packet::cast(Endpoint::new(0), vec![]));
+        assert!(arr.is_empty());
+        let s = net.stats();
+        assert_eq!(s.sent, 1);
+        assert_eq!(s.copies, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.delivered, 0);
+    }
+
+    #[test]
+    fn membership_update_changes_cast_fanout() {
+        let mut net = Network::new(eps(3), PerfectModel::via(), 3);
+        net.set_members(eps(2));
+        let arr = net.transmit(Time(0), Packet::cast(Endpoint::new(0), vec![]));
+        assert_eq!(arr.len(), 1);
+        assert_eq!(net.members().len(), 2);
+    }
+
+    #[test]
+    fn per_link_fifo_under_constant_latency() {
+        let mut net = Network::new(eps(2), PerfectModel::ethernet(), 4);
+        let a = net.transmit(Time(0), Packet::point(Endpoint::new(0), Endpoint::new(1), vec![1]));
+        let b = net.transmit(Time(5), Packet::point(Endpoint::new(0), Endpoint::new(1), vec![2]));
+        assert!(a[0].at < b[0].at, "constant latency preserves send order");
+    }
+}

@@ -1,0 +1,158 @@
+//! A deterministic virtual-time event queue.
+//!
+//! The heart of the simulator: a priority queue keyed by [`Time`] with a
+//! monotone tie-breaker, so that events scheduled for the same instant pop
+//! in scheduling order. Determinism here is what makes whole-system runs
+//! replayable from a seed.
+
+use ensemble_util::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: Time,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first,
+        // with the lowest sequence number breaking ties (FIFO at an instant).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of `(Time, T)` with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use ensemble_net::EventQueue;
+/// use ensemble_util::Time;
+/// let mut q = EventQueue::new();
+/// q.push(Time(5), "b");
+/// q.push(Time(3), "a");
+/// q.push(Time(5), "c");
+/// assert_eq!(q.pop(), Some((Time(3), "a")));
+/// assert_eq!(q.pop(), Some((Time(5), "b")));
+/// assert_eq!(q.pop(), Some((Time(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `item` at virtual time `at`.
+    pub fn push(&mut self, at: Time, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, item });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|e| (e.at, e.item))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Time(10), 1);
+        q.push(Time(2), 2);
+        q.push(Time(7), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn fifo_at_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time(1), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(4), ());
+        q.push(Time(3), ());
+        assert_eq!(q.peek_time(), Some(Time(3)));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time(5), 'a');
+        q.push(Time(1), 'b');
+        assert_eq!(q.pop(), Some((Time(1), 'b')));
+        q.push(Time(3), 'c');
+        q.push(Time(5), 'd');
+        assert_eq!(q.pop(), Some((Time(3), 'c')));
+        assert_eq!(q.pop(), Some((Time(5), 'a')));
+        assert_eq!(q.pop(), Some((Time(5), 'd')));
+    }
+}

@@ -1,0 +1,316 @@
+//! Above/Below interface compatibility checking.
+//!
+//! §3.2: "For each micro-protocol p, we present two abstract
+//! specifications, p.Above and p.Below. … When proving the correctness of
+//! a stack … we can limit ourselves to showing that, for each pair p and q
+//! of adjacent protocol layers (p below q), every execution of p.Above is
+//! also an execution of q.Below and vice versa."
+//!
+//! Here each layer declares, for each traffic kind (casts and sends
+//! separately — a layer like `pt2pt` strengthens one without touching the
+//! other), the abstract behaviour it *requires* from below and the
+//! behaviour it *adds* above, as points in a refinement lattice. A stack
+//! type-checks when, walking bottom-up, the behaviour provided so far
+//! satisfies each layer's requirement. The executable counterparts of
+//! these specifications (and the bounded refinement checker relating
+//! them) live in `ensemble-ioa`.
+
+use std::fmt;
+
+/// Abstract per-kind network behaviours, ordered by strength.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpecId {
+    /// Messages may be lost, duplicated, and reordered (Figure 2(b)).
+    LossyNet,
+    /// No loss or duplication; per-source FIFO (Figure 2(a), per source).
+    ReliableFifo,
+    /// ReliableFifo + a member's own casts are delivered locally.
+    ReliableFifoLocal,
+    /// One agreed total order on casts across all members.
+    TotalOrderNet,
+    /// TotalOrderNet-compatible + virtually synchronous views.
+    VirtualSynchrony,
+}
+
+impl SpecId {
+    /// Refinement: every execution of `self` is one of `weaker`.
+    pub fn satisfies(self, weaker: SpecId) -> bool {
+        self >= weaker
+    }
+}
+
+impl fmt::Display for SpecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One layer's interface declaration.
+#[derive(Clone, Copy, Debug)]
+pub struct Iface {
+    /// Behaviour required of casts arriving from below.
+    pub req_casts: SpecId,
+    /// Behaviour required of sends arriving from below.
+    pub req_sends: SpecId,
+    /// Behaviour this layer upgrades casts to (if any).
+    pub adds_casts: Option<SpecId>,
+    /// Behaviour this layer upgrades sends to (if any).
+    pub adds_sends: Option<SpecId>,
+}
+
+const fn transparent(req_casts: SpecId, req_sends: SpecId) -> Iface {
+    Iface {
+        req_casts,
+        req_sends,
+        adds_casts: None,
+        adds_sends: None,
+    }
+}
+
+/// The `(Below, Above)` declaration of one layer, or `None` if unknown.
+pub fn interface(layer: &str) -> Option<Iface> {
+    use SpecId::*;
+    Some(match layer {
+        "bottom" => Iface {
+            req_casts: LossyNet,
+            req_sends: LossyNet,
+            adds_casts: Some(LossyNet),
+            adds_sends: Some(LossyNet),
+        },
+        // The retransmission protocols tolerate a lossy substrate — that
+        // is their whole point — and upgrade their own traffic kind.
+        "mnak" => Iface {
+            req_casts: LossyNet,
+            req_sends: LossyNet,
+            adds_casts: Some(ReliableFifo),
+            adds_sends: None,
+        },
+        "pt2pt" => Iface {
+            req_casts: LossyNet,
+            req_sends: LossyNet,
+            adds_casts: None,
+            adds_sends: Some(ReliableFifo),
+        },
+        // Flow control assumes its traffic kind is reliable (credits must
+        // not be silently lost forever; cumulative grants ride sends).
+        "pt2ptw" => transparent(LossyNet, ReliableFifo),
+        "mflow" => transparent(ReliableFifo, ReliableFifo),
+        // Fragmentation cannot tolerate lost pieces.
+        "frag" => transparent(ReliableFifo, ReliableFifo),
+        // Stability counts must be gap-free.
+        "collect" | "stable" => transparent(ReliableFifo, LossyNet),
+        "local" => Iface {
+            req_casts: ReliableFifo,
+            req_sends: LossyNet,
+            adds_casts: Some(ReliableFifoLocal),
+            adds_sends: None,
+        },
+        "total" | "total_buggy" => Iface {
+            req_casts: ReliableFifoLocal,
+            req_sends: LossyNet,
+            adds_casts: Some(TotalOrderNet),
+            adds_sends: None,
+        },
+        // Membership: view agreement rides reliable casts.
+        "gmp" => Iface {
+            req_casts: ReliableFifo,
+            req_sends: LossyNet,
+            adds_casts: Some(VirtualSynchrony),
+            adds_sends: None,
+        },
+        "sync" => transparent(ReliableFifo, LossyNet),
+        // Security layers and adapters work over anything.
+        "sign" | "encrypt" | "partial_appl" | "suspect" | "elect" | "top" => {
+            transparent(LossyNet, LossyNet)
+        }
+        _ => return None,
+    })
+}
+
+/// A configuration error found by the interface check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompatError {
+    /// A layer has no registered interface.
+    Unknown(String),
+    /// Layer `upper` requires more than the layers below provide.
+    Mismatch {
+        /// The layer on top.
+        upper: String,
+        /// Which traffic kind is under-provided.
+        kind: &'static str,
+        /// What it requires from below.
+        requires: SpecId,
+        /// What the layers underneath provide.
+        provides: SpecId,
+    },
+    /// The stack does not end in `bottom`.
+    NoBottom,
+}
+
+impl fmt::Display for CompatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompatError::Unknown(n) => write!(f, "layer {n:?} has no interface declaration"),
+            CompatError::Mismatch {
+                upper,
+                kind,
+                requires,
+                provides,
+            } => write!(
+                f,
+                "{upper} requires {requires} {kind} below, but only {provides} is provided"
+            ),
+            CompatError::NoBottom => write!(f, "stack must terminate in `bottom`"),
+        }
+    }
+}
+
+impl std::error::Error for CompatError {}
+
+/// Checks every adjacent pair of the stack (top first) for interface
+/// compatibility.
+///
+/// # Examples
+///
+/// ```
+/// use ensemble_stack::check_stack;
+/// assert!(check_stack(&["top", "pt2pt", "mnak", "bottom"]).is_ok());
+/// // `total` above plain `mnak` lacks local delivery:
+/// assert!(check_stack(&["top", "total", "mnak", "bottom"]).is_err());
+/// ```
+pub fn check_stack(names: &[&str]) -> Result<(), CompatError> {
+    if names.last() != Some(&"bottom") {
+        return Err(CompatError::NoBottom);
+    }
+    // Walk bottom-up, tracking the strongest behaviour provided per kind.
+    let mut casts = SpecId::LossyNet;
+    let mut sends = SpecId::LossyNet;
+    for (i, name) in names.iter().enumerate().rev() {
+        let iface = interface(name).ok_or_else(|| CompatError::Unknown((*name).to_owned()))?;
+        let is_bottom = i == names.len() - 1;
+        if !is_bottom {
+            if !casts.satisfies(iface.req_casts) {
+                return Err(CompatError::Mismatch {
+                    upper: (*name).to_owned(),
+                    kind: "casts",
+                    requires: iface.req_casts,
+                    provides: casts,
+                });
+            }
+            if !sends.satisfies(iface.req_sends) {
+                return Err(CompatError::Mismatch {
+                    upper: (*name).to_owned(),
+                    kind: "sends",
+                    requires: iface.req_sends,
+                    provides: sends,
+                });
+            }
+        }
+        if let Some(a) = iface.adds_casts {
+            casts = casts.max(a);
+        }
+        if let Some(a) = iface.adds_sends {
+            sends = sends.max(a);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{select_stack, Property};
+    use ensemble_layers::{STACK_10, STACK_4, STACK_VSYNC};
+
+    #[test]
+    fn lattice_orientation() {
+        assert!(SpecId::ReliableFifo.satisfies(SpecId::LossyNet));
+        assert!(!SpecId::LossyNet.satisfies(SpecId::ReliableFifo));
+        assert!(SpecId::TotalOrderNet.satisfies(SpecId::ReliableFifoLocal));
+        assert!(SpecId::VirtualSynchrony.satisfies(SpecId::ReliableFifo));
+    }
+
+    #[test]
+    fn presets_type_check() {
+        check_stack(STACK_4).unwrap();
+        check_stack(STACK_10).unwrap();
+        check_stack(STACK_VSYNC).unwrap();
+    }
+
+    #[test]
+    fn selected_stacks_type_check() {
+        for props in [
+            vec![],
+            vec![Property::TotalOrder],
+            vec![Property::Membership],
+            vec![Property::SendFlowControl],
+            vec![Property::TotalOrder, Property::BigMessages, Property::Privacy],
+        ] {
+            let s = select_stack(&props);
+            check_stack(&s).unwrap_or_else(|e| panic!("{props:?} → {s:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn total_without_local_rejected() {
+        let err = check_stack(&["top", "total", "mnak", "bottom"]).unwrap_err();
+        match err {
+            CompatError::Mismatch { upper, kind, .. } => {
+                assert_eq!(upper, "total");
+                assert_eq!(kind, "casts");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_above_lossy_rejected() {
+        // No mnak at all: total over a lossy network is unsound.
+        assert!(check_stack(&["top", "total", "local", "bottom"]).is_err());
+    }
+
+    #[test]
+    fn frag_needs_reliability_for_its_kind() {
+        // frag over raw bottom: pieces could vanish.
+        assert!(check_stack(&["top", "frag", "bottom"]).is_err());
+        // With both reliable layers underneath it is fine.
+        check_stack(&["top", "frag", "pt2pt", "mnak", "bottom"]).unwrap();
+    }
+
+    #[test]
+    fn pt2ptw_needs_reliable_sends_only() {
+        check_stack(&["top", "pt2ptw", "pt2pt", "bottom"]).unwrap();
+        assert!(check_stack(&["top", "pt2ptw", "mnak", "bottom"]).is_err());
+    }
+
+    #[test]
+    fn missing_bottom_rejected() {
+        assert_eq!(check_stack(&["top", "mnak"]).unwrap_err(), CompatError::NoBottom);
+    }
+
+    #[test]
+    fn unknown_layer_rejected() {
+        assert!(matches!(
+            check_stack(&["top", "mystery", "bottom"]).unwrap_err(),
+            CompatError::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn strengthening_is_preserved_through_transparent_layers() {
+        check_stack(&[
+            "top",
+            "partial_appl",
+            "total",
+            "local",
+            "frag",
+            "collect",
+            "pt2ptw",
+            "mflow",
+            "pt2pt",
+            "mnak",
+            "bottom",
+        ])
+        .unwrap();
+    }
+}

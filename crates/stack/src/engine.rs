@@ -1,0 +1,52 @@
+//! The execution-engine interface shared by the IMP and FUNC compositions.
+
+use ensemble_event::{DnEvent, UpEvent};
+use ensemble_util::Time;
+
+/// Events that crossed the stack boundary during processing.
+#[derive(Debug, Default)]
+pub struct Boundary {
+    /// Events that exited the top of the stack (application deliveries,
+    /// views, blocks, …).
+    pub app: Vec<UpEvent>,
+    /// Message events that exited the bottom (bound for the transport).
+    pub wire: Vec<DnEvent>,
+    /// Timer requests: `(layer index, deadline)`.
+    pub timers: Vec<(usize, Time)>,
+}
+
+impl Boundary {
+    /// Merges another boundary's events into this one, preserving order.
+    pub fn merge(&mut self, other: Boundary) {
+        self.app.extend(other.app);
+        self.wire.extend(other.wire);
+        self.timers.extend(other.timers);
+    }
+
+    /// Whether nothing crossed the boundary.
+    pub fn is_empty(&self) -> bool {
+        self.app.is_empty() && self.wire.is_empty() && self.timers.is_empty()
+    }
+}
+
+/// A protocol stack bound to an execution strategy.
+///
+/// Both engines run events to quiescence: an `inject_*` call returns only
+/// when every internally generated event has been consumed or has crossed
+/// a boundary.
+pub trait Engine {
+    /// Number of layers in the stack.
+    fn layer_count(&self) -> usize;
+
+    /// Injects an application event at the top (e.g. a cast).
+    fn inject_dn(&mut self, now: Time, ev: DnEvent) -> Boundary;
+
+    /// Injects a network event at the bottom (an unmarshaled delivery).
+    fn inject_up(&mut self, now: Time, ev: UpEvent) -> Boundary;
+
+    /// Fires a previously requested timer of `layer`.
+    fn fire_timer(&mut self, now: Time, layer: usize) -> Boundary;
+
+    /// Runs every layer's `init` hook, collecting initial timers.
+    fn init(&mut self, now: Time) -> Boundary;
+}

@@ -1,0 +1,204 @@
+//! The functional (FUNC) engine: recursive layer composition.
+//!
+//! §4.2: "When two protocols are stacked on top of each other, the result
+//! is a new protocol. When stacking p on top of q, one applies events
+//! going down to p, and up events going up to q. The down events that come
+//! out of p are applied to q, and the up events that come out of q are
+//! applied to p, recursively."
+//!
+//! The implementation is a direct transcription: feeding an event into the
+//! composition at layer `i` recursively routes each output through the
+//! adjacent sub-composition. Every handler invocation allocates a fresh
+//! [`Effects`] and the routing allocates intermediate vectors — the
+//! composition cost the paper measures as the slowest of the three
+//! configurations.
+
+use crate::engine::{Boundary, Engine};
+use ensemble_event::{DnEvent, Effects, UpEvent};
+use ensemble_layers::Layer;
+use ensemble_util::Time;
+
+/// The recursive-composition engine.
+pub struct FuncEngine {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl FuncEngine {
+    /// Wraps a stack (top first).
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "cannot run an empty stack");
+        FuncEngine { layers }
+    }
+
+    /// The layer names, top first.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Feeds a down event into the sub-composition rooted at layer `i`.
+    fn dn_into(&mut self, i: usize, now: Time, ev: DnEvent) -> Boundary {
+        if i >= self.layers.len() {
+            return Boundary {
+                wire: vec![ev],
+                ..Boundary::default()
+            };
+        }
+        // A fresh collector per invocation: the functional style.
+        let mut fx = Effects::new();
+        self.layers[i].dn(now, ev, &mut fx);
+        self.absorb(i, now, fx)
+    }
+
+    /// Feeds an up event into the sub-composition rooted at layer `i`
+    /// (entering from below).
+    fn up_into(&mut self, i: usize, now: Time, ev: UpEvent) -> Boundary {
+        let mut fx = Effects::new();
+        self.layers[i].up(now, ev, &mut fx);
+        self.absorb(i, now, fx)
+    }
+
+    /// Routes layer `i`'s outputs through the adjacent compositions.
+    fn absorb(&mut self, i: usize, now: Time, mut fx: Effects) -> Boundary {
+        let mut out = Boundary::default();
+        for t in fx.take_timers() {
+            out.timers.push((i, t));
+        }
+        let ups = fx.take_up();
+        let dns = fx.take_dn();
+        for ev in ups {
+            if i == 0 {
+                out.app.push(ev);
+            } else {
+                out.merge(self.up_into(i - 1, now, ev));
+            }
+        }
+        for ev in dns {
+            out.merge(self.dn_into(i + 1, now, ev));
+        }
+        out
+    }
+}
+
+impl Engine for FuncEngine {
+    fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn inject_dn(&mut self, now: Time, ev: DnEvent) -> Boundary {
+        self.dn_into(0, now, ev)
+    }
+
+    fn inject_up(&mut self, now: Time, ev: UpEvent) -> Boundary {
+        let last = self.layers.len() - 1;
+        self.up_into(last, now, ev)
+    }
+
+    fn fire_timer(&mut self, now: Time, layer: usize) -> Boundary {
+        let mut fx = Effects::new();
+        self.layers[layer].timer(now, &mut fx);
+        self.absorb(layer, now, fx)
+    }
+
+    fn init(&mut self, now: Time) -> Boundary {
+        let mut out = Boundary::default();
+        for i in 0..self.layers.len() {
+            let mut fx = Effects::new();
+            self.layers[i].init(now, &mut fx);
+            out.merge(self.absorb(i, now, fx));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_event::{Msg, Payload, ViewState};
+    use ensemble_layers::{make_stack, LayerConfig, STACK_10, STACK_4};
+    use ensemble_util::Rank;
+
+    fn engine(names: &[&str], rank: u16) -> FuncEngine {
+        let vs = ViewState::initial(3).for_rank(Rank(rank));
+        let layers = make_stack(names, &vs, &LayerConfig::default()).unwrap();
+        let mut e = FuncEngine::new(layers);
+        e.init(Time::ZERO);
+        e
+    }
+
+    #[test]
+    fn cast_exits_framed() {
+        let mut e = engine(STACK_4, 0);
+        let out = e.inject_dn(
+            Time::ZERO,
+            DnEvent::Cast(Msg::data(Payload::from_slice(b"f"))),
+        );
+        assert_eq!(out.wire.len(), 1);
+        assert_eq!(out.wire[0].msg().unwrap().depth(), 3);
+    }
+
+    #[test]
+    fn ten_layer_cast_bounces_local_delivery() {
+        let mut e = engine(STACK_10, 0);
+        let out = e.inject_dn(
+            Time::ZERO,
+            DnEvent::Cast(Msg::data(Payload::from_slice(b"self"))),
+        );
+        // `local` bounced a copy that travelled back to the app through
+        // total ordering (rank 0 is the sequencer, so it orders its own
+        // cast immediately).
+        assert_eq!(out.app.len(), 1, "self delivery: {:?}", out.app);
+        assert_eq!(out.app[0].msg().unwrap().payload().gather(), b"self");
+        assert_eq!(out.wire.len(), 1, "network copy: {:?}", out.wire);
+        assert_eq!(out.wire[0].msg().unwrap().depth(), 10);
+    }
+
+    #[test]
+    fn func_and_imp_agree_on_wire_output() {
+        use crate::imp::ImpEngine;
+        let vs = ViewState::initial(3);
+        let cfg = LayerConfig::default();
+        let mut f = FuncEngine::new(make_stack(STACK_4, &vs, &cfg).unwrap());
+        let mut i = ImpEngine::new(make_stack(STACK_4, &vs, &cfg).unwrap());
+        f.init(Time::ZERO);
+        i.init(Time::ZERO);
+        for k in 0..20u8 {
+            let ev = DnEvent::Cast(Msg::data(Payload::from_slice(&[k])));
+            let bf = f.inject_dn(Time::ZERO, ev.clone());
+            let bi = i.inject_dn(Time::ZERO, ev);
+            assert_eq!(bf.wire, bi.wire, "configurations must be equivalent");
+            assert_eq!(bf.app, bi.app);
+        }
+    }
+
+    #[test]
+    fn func_and_imp_agree_on_delivery() {
+        use crate::imp::ImpEngine;
+        let vs = ViewState::initial(3);
+        let cfg = LayerConfig::default();
+        // A sender produces real wire messages to feed both receivers.
+        let mut sender = FuncEngine::new(
+            make_stack(STACK_4, &vs.for_rank(Rank(1)), &cfg).unwrap(),
+        );
+        sender.init(Time::ZERO);
+        let mut f = FuncEngine::new(make_stack(STACK_4, &vs, &cfg).unwrap());
+        let mut i = ImpEngine::new(make_stack(STACK_4, &vs, &cfg).unwrap());
+        f.init(Time::ZERO);
+        i.init(Time::ZERO);
+        for k in 0..20u8 {
+            let out = sender.inject_dn(
+                Time::ZERO,
+                DnEvent::Cast(Msg::data(Payload::from_slice(&[k]))),
+            );
+            let msg = out.wire[0].msg().unwrap().clone();
+            let up = |m: Msg| UpEvent::Cast {
+                origin: Rank(1),
+                msg: m,
+            };
+            let bf = f.inject_up(Time::ZERO, up(msg.clone()));
+            let bi = i.inject_up(Time::ZERO, up(msg));
+            assert_eq!(bf.app, bi.app);
+            assert_eq!(bf.wire, bi.wire);
+            assert_eq!(bf.app.len(), 1);
+        }
+    }
+}

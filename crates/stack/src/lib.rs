@@ -1,0 +1,30 @@
+//! Stack composition and execution.
+//!
+//! The paper benchmarks the same layer stacks under different composition
+//! mechanisms (§4.2). This crate provides:
+//!
+//! * [`ImpEngine`] — the *imperative* configuration: a central event
+//!   scheduler owning one queue, dispatching events to layers in place
+//!   with reused buffers;
+//! * [`FuncEngine`] — the *functional* configuration: layers composed
+//!   recursively, each boundary crossing allocating fresh event vectors
+//!   (stacking `p` on `q` yields a new protocol whose up/down events are
+//!   routed through both, exactly as described in §4.2);
+//! * [`select_stack`] — the property-driven stack selection heuristic
+//!   ("the Ensemble system contains an algorithm for calculating stacks
+//!   given the set of properties that an application requires", §3.2);
+//! * [`check_stack`] — the Above/Below interface compatibility check of
+//!   §3.2: for each adjacent pair `p` below `q`, the behaviour `p`
+//!   provides must satisfy the behaviour `q` requires.
+
+pub mod compat;
+pub mod engine;
+pub mod func;
+pub mod imp;
+pub mod select;
+
+pub use compat::{check_stack, CompatError, SpecId};
+pub use engine::{Boundary, Engine};
+pub use func::FuncEngine;
+pub use imp::ImpEngine;
+pub use select::{select_stack, Property};

@@ -1,0 +1,226 @@
+//! Property-driven stack selection.
+//!
+//! §3.2: "the Ensemble system contains an algorithm for calculating stacks
+//! given the set of properties that an application requires. This
+//! algorithm encodes knowledge of the protocol designers." This module is
+//! that algorithm for our layer library: each requested [`Property`] pulls
+//! in the layers that implement it plus their prerequisites, and the
+//! result is ordered by the canonical layer ordering.
+
+use std::collections::BTreeSet;
+
+/// Application-visible protocol properties (the heuristic "knows about
+/// approximately two dozen different properties"; these are ours).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Property {
+    /// Reliable multicast (no loss, no duplication).
+    ReliableCast,
+    /// Reliable FIFO point-to-point messages.
+    ReliableSend,
+    /// Per-source FIFO ordering of casts.
+    Fifo,
+    /// A single agreed total order on casts.
+    TotalOrder,
+    /// Delivery of a member's own casts back to itself.
+    LocalDelivery,
+    /// Arbitrary-size messages (fragmentation/reassembly).
+    BigMessages,
+    /// Sender-side multicast flow control.
+    CastFlowControl,
+    /// Sender-side point-to-point flow control.
+    SendFlowControl,
+    /// Buffer reclamation via stability tracking.
+    Stability,
+    /// Heartbeat failure detection.
+    FailureDetection,
+    /// Automatic view changes on failure (implies virtual synchrony).
+    Membership,
+    /// All members deliver the same casts in a closing view.
+    VirtualSynchrony,
+    /// Per-message integrity MACs.
+    Integrity,
+    /// Payload confidentiality.
+    Privacy,
+}
+
+/// The canonical top-to-bottom ordering of every layer the selector can
+/// emit. Correctness constraints are encoded positionally — e.g. `total`
+/// must sit above `local` (so a member's own casts are ordered) and
+/// `frag` above the flow-control layers (windows count fragments).
+const CANONICAL: &[&str] = &[
+    "top",
+    "gmp",
+    "sync",
+    "elect",
+    "suspect",
+    "partial_appl",
+    "total",
+    "local",
+    "sign",
+    "encrypt",
+    "frag",
+    "collect",
+    "pt2ptw",
+    "mflow",
+    "pt2pt",
+    "mnak",
+    "bottom",
+];
+
+/// Computes the stack (top first) providing the requested properties.
+///
+/// # Examples
+///
+/// ```
+/// use ensemble_stack::{select_stack, Property};
+/// let names = select_stack(&[Property::TotalOrder]);
+/// let t = names.iter().position(|n| *n == "total").unwrap();
+/// let l = names.iter().position(|n| *n == "local").unwrap();
+/// assert!(t < l, "total must order the loopback deliveries");
+/// ```
+pub fn select_stack(props: &[Property]) -> Vec<&'static str> {
+    let mut want: BTreeSet<Property> = props.iter().copied().collect();
+
+    // Property implications, applied to a fixed point.
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<Property> = want.iter().copied().collect();
+        for p in snapshot {
+            let implied: &[Property] = match p {
+                Property::TotalOrder => &[
+                    Property::ReliableCast,
+                    Property::Fifo,
+                    Property::LocalDelivery,
+                ],
+                Property::Fifo => &[Property::ReliableCast],
+                Property::LocalDelivery => &[Property::ReliableCast],
+                Property::Integrity | Property::Privacy => &[Property::ReliableCast],
+                Property::BigMessages => &[Property::ReliableCast],
+                Property::VirtualSynchrony => &[
+                    Property::Membership,
+                    Property::ReliableCast,
+                    Property::ReliableSend,
+                ],
+                Property::Membership => &[
+                    Property::FailureDetection,
+                    Property::VirtualSynchrony,
+                    Property::ReliableSend,
+                ],
+                Property::ReliableCast => &[Property::Stability, Property::ReliableSend],
+                Property::Stability => &[Property::ReliableCast],
+                Property::CastFlowControl => &[Property::ReliableCast],
+                Property::SendFlowControl => &[Property::ReliableSend],
+                _ => &[],
+            };
+            for &i in implied {
+                grew |= want.insert(i);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut names: BTreeSet<&'static str> = ["top", "bottom", "partial_appl"]
+        .into_iter()
+        .collect();
+    for p in &want {
+        let layers: &[&'static str] = match p {
+            Property::ReliableCast | Property::Fifo => &["mnak"],
+            Property::ReliableSend => &["pt2pt"],
+            Property::TotalOrder => &["total"],
+            Property::LocalDelivery => &["local"],
+            Property::BigMessages => &["frag"],
+            Property::CastFlowControl => &["mflow"],
+            Property::SendFlowControl => &["pt2ptw"],
+            Property::Stability => &["collect"],
+            Property::FailureDetection => &["suspect"],
+            Property::Membership => &["gmp", "elect"],
+            Property::VirtualSynchrony => &["sync"],
+            Property::Integrity => &["sign"],
+            Property::Privacy => &["encrypt"],
+        };
+        names.extend(layers);
+    }
+
+    CANONICAL
+        .iter()
+        .copied()
+        .filter(|n| names.contains(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(stack: &[&str], name: &str) -> usize {
+        stack
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("{name} missing from {stack:?}"))
+    }
+
+    #[test]
+    fn minimal_request_yields_minimal_stack() {
+        let s = select_stack(&[]);
+        assert_eq!(s, vec!["top", "partial_appl", "bottom"]);
+    }
+
+    #[test]
+    fn reliable_cast_pulls_stability() {
+        let s = select_stack(&[Property::ReliableCast]);
+        assert!(s.contains(&"mnak"));
+        assert!(s.contains(&"collect"), "stability implied: {s:?}");
+        assert!(s.contains(&"pt2pt"), "NAK repairs travel pt2pt: {s:?}");
+    }
+
+    #[test]
+    fn total_order_stack_is_well_ordered() {
+        let s = select_stack(&[Property::TotalOrder, Property::BigMessages]);
+        assert!(pos(&s, "total") < pos(&s, "local"));
+        assert!(pos(&s, "local") < pos(&s, "frag"));
+        assert!(pos(&s, "frag") < pos(&s, "mnak"));
+        assert!(pos(&s, "collect") < pos(&s, "mnak"));
+        assert_eq!(*s.last().unwrap(), "bottom");
+        assert_eq!(s[0], "top");
+    }
+
+    #[test]
+    fn membership_closure() {
+        let s = select_stack(&[Property::Membership]);
+        for needed in ["gmp", "sync", "elect", "suspect", "mnak", "pt2pt"] {
+            assert!(s.contains(&needed), "{needed} missing from {s:?}");
+        }
+        assert!(pos(&s, "gmp") < pos(&s, "sync"));
+        assert!(pos(&s, "sync") < pos(&s, "elect"));
+        assert!(pos(&s, "elect") < pos(&s, "suspect"));
+    }
+
+    #[test]
+    fn security_layers_sit_between_local_and_frag() {
+        let s = select_stack(&[
+            Property::TotalOrder,
+            Property::Integrity,
+            Property::Privacy,
+            Property::BigMessages,
+        ]);
+        assert!(pos(&s, "local") < pos(&s, "sign"));
+        assert!(pos(&s, "sign") < pos(&s, "encrypt"));
+        assert!(pos(&s, "encrypt") < pos(&s, "frag"));
+    }
+
+    #[test]
+    fn flow_control_selection() {
+        let s = select_stack(&[Property::CastFlowControl, Property::SendFlowControl]);
+        assert!(pos(&s, "pt2ptw") < pos(&s, "mflow"));
+        assert!(pos(&s, "mflow") < pos(&s, "pt2pt"));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let a = select_stack(&[Property::Membership, Property::TotalOrder]);
+        let b = select_stack(&[Property::TotalOrder, Property::Membership]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,666 @@
+//! The dynamic phase: composing layer theorems into stack theorems
+//! (§4.1.3).
+//!
+//! Given only the layer names, the composer instantiates each layer's
+//! optimization theorems and routes a symbolic event through the stack,
+//! threading every layer's (symbolic) state. Each routing step applies
+//! one *composition theorem*:
+//!
+//! * **linear** — the event passes straight through a layer;
+//! * **bounce** — a layer emits an event in the opposite direction
+//!   (`local`'s loopback), which is then routed through the layers on the
+//!   other side;
+//! * **split** — a layer emits several events, each routed independently.
+//!
+//! Conditions a layer theorem could not discharge locally (e.g. `total`'s
+//! "the loopback order equals my delivery cursor", which holds only in
+//! the quiescent common case) are *lifted* into the stack CCP, exactly as
+//! the paper allows the programmer (or the composer) to extend the
+//! automatically generated CCPs.
+//!
+//! The up-path theorems are generated against the *exact wire message* the
+//! down-path theorem produces (abstracted over its varying fields by the
+//! compression template), realizing "the optimization theorems … tell us
+//! exactly which headers are added to a typical data message by the
+//! sender's stack and how the receiver's stack processes these headers".
+
+use crate::compress::{templatize, CompressError, HeaderTemplate};
+use crate::rewrite::{simplify, RewriteCtx};
+use crate::theorem::{destructure_out, optimize_layer, OptTheorem};
+use ensemble_ir::models::{layer_defs, model, Case, LayerModel, ModelCtx};
+use ensemble_ir::term::{con, list, var, Term};
+use ensemble_ir::FnDefs;
+use ensemble_transport::stack_id;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Composition-step statistics (which composition theorems fired).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ComposeStats {
+    /// Straight-through applications.
+    pub linear: usize,
+    /// Direction-reversing applications.
+    pub bounce: usize,
+    /// Multi-event applications.
+    pub split: usize,
+}
+
+/// A composed, stack-level optimization theorem for one fundamental case.
+#[derive(Clone)]
+pub struct StackTheorem {
+    /// The fundamental case.
+    pub case: Case,
+    /// Instantiated CCP conjuncts: `(layer index, condition)`.
+    pub ccp: Vec<(usize, Term)>,
+    /// Message events exiting the bottom (wire-bound), in order.
+    pub wire_events: Vec<Term>,
+    /// Events exiting the top (application deliveries), in order.
+    pub app_events: Vec<Term>,
+    /// Deferred non-critical work: `(layer index, work term)`.
+    pub defers: Vec<(usize, Term)>,
+    /// Final symbolic state per layer (only layers whose state changed).
+    pub state_updates: Vec<(usize, Term)>,
+    /// Which composition theorems were applied.
+    pub stats: ComposeStats,
+}
+
+/// A fully synthesized stack: per-layer theorems, the composed cases
+/// (a case may be absent when this rank has no fast path for it — e.g.
+/// a non-sequencer has no down-cast bypass, exactly as in Ensemble where
+/// only some paths are optimized), and the compression templates.
+pub struct StackSynthesis {
+    /// Layer names, top first.
+    pub names: Vec<String>,
+    /// Per-layer models (instantiated).
+    pub models: Vec<LayerModel>,
+    /// Per-layer optimization theorems, one per case.
+    pub layer_theorems: Vec<HashMap<Case, OptTheorem>>,
+    /// The composed stack theorems for the cases that have a fast path.
+    pub cases: HashMap<Case, StackTheorem>,
+    /// Compression template for casts.
+    pub cast_template: HeaderTemplate,
+    /// Compression template for sends.
+    pub send_template: HeaderTemplate,
+    /// The stack identifier folded into compressed headers.
+    pub stack_id: u32,
+    /// The definition table used throughout.
+    pub defs: FnDefs,
+}
+
+/// Errors from synthesis.
+#[derive(Clone, Debug)]
+pub enum SynthError {
+    /// A layer has no IR model.
+    NoModel(String),
+    /// A residual could not be reduced to output form.
+    NotComposable {
+        /// The layer that got stuck.
+        layer: String,
+        /// The case being composed.
+        case: Case,
+        /// The stuck residual (for diagnosis).
+        residual: String,
+    },
+    /// Header-compression extraction failed.
+    Compress(CompressError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::NoModel(n) => write!(f, "layer {n:?} has no IR model"),
+            SynthError::NotComposable {
+                layer,
+                case,
+                residual,
+            } => write!(f, "{layer}/{case:?} not composable: {residual}"),
+            SynthError::Compress(e) => write!(f, "compression: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// A symbolic event in flight during composition.
+#[derive(Clone, Debug)]
+enum Flight {
+    Dn { layer: usize, ev: Term },
+    Up { layer: usize, ev: Term },
+}
+
+fn state_var(name: &str, idx: usize) -> Term {
+    var(&format!("s_{idx}_{name}"))
+}
+
+/// Whether a term mentions the `Slow` fallback constructor.
+fn mentions_slow(t: &Term) -> bool {
+    match t {
+        Term::Con(n, args) => n.as_str() == "Slow" || args.iter().any(mentions_slow),
+        Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Var(_) => false,
+        Term::Let(_, a, b) => mentions_slow(a) || mentions_slow(b),
+        Term::If(c, a, b) => mentions_slow(c) || mentions_slow(a) || mentions_slow(b),
+        Term::Match(s, arms) => {
+            mentions_slow(s) || arms.iter().any(|(_, b)| mentions_slow(b))
+        }
+        Term::Prim(_, args) | Term::App(_, args) => args.iter().any(mentions_slow),
+        Term::GetF(e, _) => mentions_slow(e),
+        Term::SetF(e, _, v) => mentions_slow(e) || mentions_slow(v),
+    }
+}
+
+/// Lifts undischarged guards of slow paths into extra CCP conjuncts.
+fn lift_conditions(
+    mut t: Term,
+    lifted: &mut Vec<Term>,
+    defs: &FnDefs,
+) -> Term {
+    loop {
+        match t {
+            Term::If(c, a, b) => {
+                if mentions_slow(&b) && !mentions_slow(&a) {
+                    lifted.push((*c).clone());
+                    let mut ctx = RewriteCtx::new(defs);
+                    ctx.assume((*c).clone());
+                    t = simplify(&ctx, &a);
+                } else if mentions_slow(&a) && !mentions_slow(&b) {
+                    let neg = Term::Prim(
+                        ensemble_ir::term::Prim::Not,
+                        vec![(*c).clone()],
+                    );
+                    lifted.push(neg.clone());
+                    let mut ctx = RewriteCtx::new(defs);
+                    ctx.assume(neg);
+                    t = simplify(&ctx, &b);
+                } else {
+                    return Term::If(c, a, b);
+                }
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Composes one fundamental case through the stack.
+#[allow(clippy::too_many_arguments)]
+fn compose_case(
+    case: Case,
+    names: &[String],
+    theorems: &[HashMap<Case, OptTheorem>],
+    defs: &FnDefs,
+    entry_msg: Term,
+) -> Result<StackTheorem, SynthError> {
+    let n = names.len();
+    let mut cur_state: Vec<Term> = names
+        .iter()
+        .enumerate()
+        .map(|(i, nm)| state_var(nm, i))
+        .collect();
+    let mut ccp: Vec<(usize, Term)> = Vec::new();
+    let mut wire_events = Vec::new();
+    let mut app_events = Vec::new();
+    let mut defers = Vec::new();
+    let mut stats = ComposeStats::default();
+
+    // Entry event.
+    let mut queue: Vec<Flight> = vec![match case {
+        Case::DnCast => Flight::Dn {
+            layer: 0,
+            ev: con("DnCast", vec![entry_msg]),
+        },
+        Case::DnSend => Flight::Dn {
+            layer: 0,
+            ev: con("DnSend", vec![var("dst"), entry_msg]),
+        },
+        Case::UpCast => Flight::Up {
+            layer: n - 1,
+            ev: con("UpCast", vec![var("origin"), entry_msg]),
+        },
+        Case::UpSend => Flight::Up {
+            layer: n - 1,
+            ev: con("UpSend", vec![var("origin"), entry_msg]),
+        },
+    }];
+
+    let mut guard = 0usize;
+    while !queue.is_empty() {
+        guard += 1;
+        assert!(guard < 10_000, "composition diverged");
+        let flight = queue.remove(0);
+        let (layer, dir_up, ev) = match flight {
+            Flight::Dn { layer, ev } => (layer, false, ev),
+            Flight::Up { layer, ev } => (layer, true, ev),
+        };
+        // Decode the event constructor.
+        let (kind, args) = match &ev {
+            Term::Con(k, a) => (k.as_str(), a.clone()),
+            other => panic!("non-constructor event in flight: {other:?}"),
+        };
+        let this_case = match (dir_up, kind.as_str()) {
+            (false, "DnCast") => Case::DnCast,
+            (false, "DnSend") => Case::DnSend,
+            (true, "UpCast") => Case::UpCast,
+            (true, "UpSend") => Case::UpSend,
+            other => panic!("unroutable event {other:?}"),
+        };
+        let th = &theorems[layer][&this_case];
+        // Instantiate the residual and the CCP with the event bindings.
+        let bind = |t: &Term| -> Term {
+            let mut t = t.subst(ensemble_util::Intern::from("state"), &cur_state[layer]);
+            match this_case {
+                Case::DnCast => {
+                    t = t.subst(ensemble_util::Intern::from("msg"), &args[0]);
+                }
+                Case::DnSend => {
+                    t = t.subst(ensemble_util::Intern::from("dst"), &args[0]);
+                    t = t.subst(ensemble_util::Intern::from("msg"), &args[1]);
+                }
+                Case::UpCast | Case::UpSend => {
+                    t = t.subst(ensemble_util::Intern::from("origin"), &args[0]);
+                    t = t.subst(ensemble_util::Intern::from("msg"), &args[1]);
+                }
+            }
+            t
+        };
+        let plain = RewriteCtx::new(defs);
+        // Instantiate the layer CCP, flattening conjunctions and resolving
+        // existential pattern variables (`any_*`) by unification with the
+        // received field they equate to.
+        let mut existentials: Vec<(ensemble_util::Intern, Term)> = Vec::new();
+        for conj in &th.ccp {
+            let inst = simplify(&plain, &bind(conj));
+            for c in flatten_and(inst) {
+                if let Some((v, def)) = existential_of(&c) {
+                    existentials.push((v, def));
+                    continue;
+                }
+                if c != Term::Bool(true) && !ccp.iter().any(|(_, cc)| *cc == c) {
+                    ccp.push((layer, c));
+                }
+            }
+        }
+        // Simplify the instantiated residual under the collected facts.
+        let mut ctx = RewriteCtx::new(defs);
+        for (_, c) in &ccp {
+            ctx.assume(c.clone());
+        }
+        let mut bound_residual = bind(&th.residual);
+        for (v, def) in &existentials {
+            bound_residual = bound_residual.subst(*v, def);
+        }
+        let mut residual = simplify(&ctx, &bound_residual);
+        // Lift any remaining slow-guards into the CCP.
+        let mut lifted = Vec::new();
+        residual = lift_conditions(residual, &mut lifted, defs);
+        for c in lifted {
+            let mut ctx2 = RewriteCtx::new(defs);
+            for (_, cc) in &ccp {
+                ctx2.assume(cc.clone());
+            }
+            let norm = simplify(&ctx2, &c);
+            if norm != Term::Bool(true) {
+                ccp.push((layer, norm));
+            }
+        }
+        // Re-simplify under the enlarged fact set.
+        let mut ctx3 = RewriteCtx::new(defs);
+        for (_, c) in &ccp {
+            ctx3.assume(c.clone());
+        }
+        residual = simplify(&ctx3, &residual);
+        let Some((state2, events)) = destructure_out(&residual) else {
+            return Err(SynthError::NotComposable {
+                layer: names[layer].clone(),
+                case: this_case,
+                residual: format!("{residual:?}"),
+            });
+        };
+        cur_state[layer] = state2;
+        // Classify for composition-theorem accounting.
+        let non_defer = events
+            .iter()
+            .filter(|e| !matches!(e, Term::Con(n, _) if n.as_str() == "Defer"))
+            .count();
+        let reversing = events.iter().any(|e| match e {
+            Term::Con(n, _) => {
+                let up = n.as_str().starts_with("Up");
+                up != dir_up
+            }
+            _ => false,
+        });
+        if non_defer > 1 {
+            stats.split += 1;
+        } else if reversing {
+            stats.bounce += 1;
+        } else {
+            stats.linear += 1;
+        }
+        // Route.
+        for e in events {
+            match &e {
+                Term::Con(k, _) => match k.as_str().as_str() {
+                    "Defer" => defers.push((layer, e)),
+                    "DnCast" | "DnSend" => {
+                        if layer + 1 == n {
+                            wire_events.push(e);
+                        } else {
+                            queue.push(Flight::Dn {
+                                layer: layer + 1,
+                                ev: e,
+                            });
+                        }
+                    }
+                    "UpCast" | "UpSend" => {
+                        if layer == 0 {
+                            app_events.push(e);
+                        } else {
+                            queue.push(Flight::Up {
+                                layer: layer - 1,
+                                ev: e,
+                            });
+                        }
+                    }
+                    other => panic!("unknown event constructor {other}"),
+                },
+                other => panic!("non-constructor event {other:?}"),
+            }
+        }
+    }
+
+    let state_updates = cur_state
+        .into_iter()
+        .enumerate()
+        .filter(|(i, s)| *s != state_var(&names[*i], *i))
+        .collect();
+    Ok(StackTheorem {
+        case,
+        ccp,
+        wire_events,
+        app_events,
+        defers,
+        state_updates,
+        stats,
+    })
+}
+
+/// Splits nested conjunctions into their conjuncts.
+fn flatten_and(t: Term) -> Vec<Term> {
+    match t {
+        Term::Prim(ensemble_ir::term::Prim::And, args) => {
+            let mut v = Vec::new();
+            for a in args {
+                v.extend(flatten_and(a));
+            }
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Recognizes an existential binding `any_x = def` (or symmetric) in an
+/// instantiated CCP conjunct.
+fn existential_of(t: &Term) -> Option<(ensemble_util::Intern, Term)> {
+    if let Term::Prim(ensemble_ir::term::Prim::Eq, args) = t {
+        if let Term::Var(v) = &args[0] {
+            if v.as_str().starts_with("any_") {
+                return Some((*v, args[1].clone()));
+            }
+        }
+        if let Term::Var(v) = &args[1] {
+            if v.as_str().starts_with("any_") {
+                return Some((*v, args[0].clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Extracts the message term from a wire event.
+fn wire_msg_of(ev: &Term) -> &Term {
+    match ev {
+        Term::Con(n, args) if n.as_str() == "DnCast" => &args[0],
+        Term::Con(n, args) if n.as_str() == "DnSend" => &args[1],
+        other => panic!("not a wire event: {other:?}"),
+    }
+}
+
+/// Per-layer theorem tables, one map per layer.
+type TheoremTables = Vec<HashMap<Case, OptTheorem>>;
+
+fn theorems_for(
+    names: &[&str],
+    ctx: &ModelCtx,
+    defs: &FnDefs,
+) -> Result<(Vec<LayerModel>, TheoremTables), SynthError> {
+    let mut models = Vec::new();
+    for n in names {
+        models.push(model(n, ctx).ok_or_else(|| SynthError::NoModel((*n).to_owned()))?);
+    }
+    let theorems = models
+        .iter()
+        .map(|m| {
+            Case::ALL
+                .iter()
+                .map(|c| (*c, optimize_layer(m, *c, defs, true)))
+                .collect()
+        })
+        .collect();
+    Ok((models, theorems))
+}
+
+/// Runs the full dynamic optimization for a stack given by layer names.
+///
+/// The wire format (compression templates) is always derived from the
+/// *coordinator's* down paths, because that is what the common-case
+/// traffic looks like on the wire; this rank's own cases are composed
+/// separately and may lack a fast path (e.g. a non-sequencer's down-cast
+/// always takes the full stack).
+pub fn synthesize(names: &[&str], ctx: &ModelCtx) -> Result<StackSynthesis, SynthError> {
+    let defs = layer_defs();
+    let (models, layer_theorems) = theorems_for(names, ctx, &defs)?;
+    let owned_names: Vec<String> = names.iter().map(|s| (*s).to_owned()).collect();
+
+    let entry = con(
+        "Msg",
+        vec![list(vec![]), var("payload"), var("len")],
+    );
+
+    // Coordinator-side down paths define the wire format.
+    let coord_ctx = ModelCtx { rank: 0, ..*ctx };
+    let (_, coord_theorems) = theorems_for(names, &coord_ctx, &defs)?;
+    let coord_dn_cast = compose_case(
+        Case::DnCast,
+        &owned_names,
+        &coord_theorems,
+        &defs,
+        entry.clone(),
+    )?;
+    let coord_dn_send = compose_case(
+        Case::DnSend,
+        &owned_names,
+        &coord_theorems,
+        &defs,
+        entry.clone(),
+    )?;
+    let cast_template =
+        templatize(wire_msg_of(&coord_dn_cast.wire_events[0])).map_err(SynthError::Compress)?;
+    let send_template =
+        templatize(wire_msg_of(&coord_dn_send.wire_events[0])).map_err(SynthError::Compress)?;
+
+    let mut cases = HashMap::new();
+    if ctx.rank == 0 {
+        cases.insert(Case::DnCast, coord_dn_cast);
+        cases.insert(Case::DnSend, coord_dn_send);
+    } else {
+        for (case, entry_msg) in [(Case::DnCast, entry.clone()), (Case::DnSend, entry)] {
+            if let Ok(th) =
+                compose_case(case, &owned_names, &layer_theorems, &defs, entry_msg)
+            {
+                cases.insert(case, th);
+            }
+        }
+    }
+    for (case, tpl) in [
+        (Case::UpCast, &cast_template),
+        (Case::UpSend, &send_template),
+    ] {
+        if let Ok(th) = compose_case(
+            case,
+            &owned_names,
+            &layer_theorems,
+            &defs,
+            tpl.abstract_msg.clone(),
+        ) {
+            cases.insert(case, th);
+        }
+    }
+
+    Ok(StackSynthesis {
+        stack_id: stack_id(names),
+        names: owned_names,
+        models,
+        layer_theorems,
+        cases,
+        cast_template,
+        send_template,
+        defs,
+    })
+}
+
+impl fmt::Display for StackTheorem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "STACK THEOREM {:?}", self.case)?;
+        write!(f, "ASSUMING      ")?;
+        if self.ccp.is_empty() {
+            write!(f, "true")?;
+        }
+        for (i, (l, c)) in self.ccp.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "[{l}]{c:?}")?;
+        }
+        writeln!(f)?;
+        for e in &self.wire_events {
+            writeln!(f, "WIRE          {e:?}")?;
+        }
+        for e in &self.app_events {
+            writeln!(f, "DELIVER       {e:?}")?;
+        }
+        for (l, d) in &self.defers {
+            writeln!(f, "DEFER [{l}]    {d:?}")?;
+        }
+        for (l, s) in &self.state_updates {
+            writeln!(f, "STATE [{l}]    {s:?}")?;
+        }
+        writeln!(
+            f,
+            "  (composition: {} linear, {} bounce, {} split)",
+            self.stats.linear, self.stats.bounce, self.stats.split
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STACK_10: &[&str] = &[
+        "partial_appl",
+        "total",
+        "local",
+        "frag",
+        "collect",
+        "pt2ptw",
+        "mflow",
+        "pt2pt",
+        "mnak",
+        "bottom",
+    ];
+    const STACK_4: &[&str] = &["top", "pt2pt", "mnak", "bottom"];
+
+    #[test]
+    fn four_layer_stack_synthesizes() {
+        let s = synthesize(STACK_4, &ModelCtx::new(2, 0)).unwrap();
+        assert_eq!(s.names.len(), 4);
+        let dn = &s.cases[&Case::DnSend];
+        assert_eq!(dn.wire_events.len(), 1, "one wire message");
+        assert!(dn.app_events.is_empty());
+        let up = &s.cases[&Case::UpSend];
+        assert_eq!(up.app_events.len(), 1, "one delivery");
+    }
+
+    #[test]
+    fn ten_layer_dn_cast_bounces_self_delivery() {
+        let s = synthesize(STACK_10, &ModelCtx::new(3, 0)).unwrap();
+        let dn = &s.cases[&Case::DnCast];
+        assert_eq!(dn.wire_events.len(), 1, "{:?}", dn.wire_events);
+        assert_eq!(
+            dn.app_events.len(),
+            1,
+            "local loopback ordered and delivered: {:?}",
+            dn.app_events
+        );
+        assert!(dn.stats.split >= 1, "local split fired: {:?}", dn.stats);
+        assert!(!dn.defers.is_empty(), "buffering deferred");
+    }
+
+    #[test]
+    fn ten_layer_cast_header_compresses_small() {
+        let s = synthesize(STACK_10, &ModelCtx::new(3, 0)).unwrap();
+        // Paper: headers compress "typically to just 16 bytes". Our cast
+        // header carries the mnak seqno and the total order.
+        assert!(
+            s.cast_template.wire_bytes() <= 24,
+            "{}",
+            s.cast_template
+        );
+        assert!(s.cast_template.nconsts() >= 8, "{}", s.cast_template);
+    }
+
+    #[test]
+    fn ten_layer_up_cast_delivers_with_ccp() {
+        let s = synthesize(STACK_10, &ModelCtx::new(3, 0)).unwrap();
+        let up = &s.cases[&Case::UpCast];
+        assert_eq!(up.app_events.len(), 1, "{:?}", up.app_events);
+        assert!(up.wire_events.is_empty(), "{:?}", up.wire_events);
+        // The CCP includes the mnak in-sequence check against a field var.
+        let ccp_txt: Vec<String> = up.ccp.iter().map(|(_, c)| format!("{c:?}")).collect();
+        assert!(
+            ccp_txt.iter().any(|c| c.contains("f0") || c.contains("f1")),
+            "{ccp_txt:?}"
+        );
+    }
+
+    #[test]
+    fn state_updates_are_increments() {
+        let s = synthesize(STACK_10, &ModelCtx::new(3, 0)).unwrap();
+        let dn = &s.cases[&Case::DnCast];
+        // mnak bumps cast_next, total bumps order_next (and deliver_next
+        // via the bounce), collect bumps seen, mflow bumps sent.
+        assert!(dn.state_updates.len() >= 4, "{:?}", dn.state_updates.len());
+    }
+
+    #[test]
+    fn stack_ids_differ_by_composition() {
+        let a = synthesize(STACK_4, &ModelCtx::new(2, 0)).unwrap();
+        let b = synthesize(STACK_10, &ModelCtx::new(2, 0)).unwrap();
+        assert_ne!(a.stack_id, b.stack_id);
+    }
+
+    #[test]
+    fn unknown_layer_is_an_error() {
+        assert!(matches!(
+            synthesize(&["top", "mystery", "bottom"], &ModelCtx::new(2, 0)),
+            Err(SynthError::NoModel(_))
+        ));
+    }
+
+    #[test]
+    fn theorem_display_renders() {
+        let s = synthesize(STACK_4, &ModelCtx::new(2, 0)).unwrap();
+        let txt = s.cases[&Case::DnSend].to_string();
+        assert!(txt.contains("STACK THEOREM"));
+        assert!(txt.contains("WIRE"));
+        assert!(txt.contains("composition:"));
+    }
+}

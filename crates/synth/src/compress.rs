@@ -1,0 +1,271 @@
+//! Header compression (§4.1.3).
+//!
+//! The composed down-path theorem exhibits the exact header structure the
+//! sender's stack adds to a common-case message. Most of its fields are
+//! constants of the stack instance; only the rest need to travel. This
+//! module extracts a [`HeaderTemplate`] from the symbolic wire message:
+//! constant fields are folded into the (stack id, case) pair of the
+//! compressed wire format (`ensemble-transport::CompressedHdr`), and each
+//! varying field records the *sender-side source term* that computes it —
+//! which the code generator compiles into the bypass.
+
+use ensemble_ir::term::Term;
+use std::fmt;
+
+/// One header field in the template.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldSpec {
+    /// A constant, folded into the stack identifier.
+    Const(i64),
+    /// The k-th varying field carried on the wire.
+    Var(usize),
+}
+
+/// The compressed-header layout of one case of one stack.
+#[derive(Clone, Debug)]
+pub struct HeaderTemplate {
+    /// Frames outermost-first: `(constructor name, fields)`.
+    pub frames: Vec<(String, Vec<FieldSpec>)>,
+    /// Sender-side source terms, one per varying field.
+    pub sources: Vec<Term>,
+    /// The message term with varying fields replaced by `f0, f1, …`
+    /// (the receiver's view of the wire message).
+    pub abstract_msg: Term,
+}
+
+impl HeaderTemplate {
+    /// Number of varying fields (8 bytes each on the wire).
+    pub fn nfields(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The wire size of the compressed header in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        ensemble_transport::COMPRESSED_BASE_LEN + 8 * self.nfields()
+    }
+
+    /// A stable hash of the folded constants (frame names, field shapes,
+    /// constant values). Folded into the wire identifier so that two
+    /// instances differing only in constants — e.g. successive views —
+    /// reject each other's compressed traffic (§4.1.3: the constants are
+    /// "combined into a single, short identifier").
+    pub fn const_hash(&self) -> u32 {
+        let mut h: u32 = 0x811C_9DC5;
+        let mut eat = |b: u8| {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        };
+        for (name, fields) in &self.frames {
+            for b in name.bytes() {
+                eat(b);
+            }
+            eat(0xFF);
+            for f in fields {
+                match f {
+                    FieldSpec::Var(_) => eat(0xFE),
+                    FieldSpec::Const(c) => {
+                        for b in c.to_le_bytes() {
+                            eat(b);
+                        }
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// Total constant fields folded away.
+    pub fn nconsts(&self) -> usize {
+        self.frames
+            .iter()
+            .map(|(_, fs)| {
+                fs.iter()
+                    .filter(|f| matches!(f, FieldSpec::Const(_)))
+                    .count()
+            })
+            .sum::<usize>()
+            // Every frame's constructor tag is itself a folded constant.
+            + self.frames.len()
+    }
+}
+
+impl fmt::Display for HeaderTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compressed header [{} bytes]:", self.wire_bytes())?;
+        for (name, fields) in &self.frames {
+            write!(f, " {name}(")?;
+            for (i, fs) in fields.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                match fs {
+                    FieldSpec::Const(c) => write!(f, "{c}")?,
+                    FieldSpec::Var(k) => write!(f, "f{k}")?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from template extraction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompressError {
+    /// The wire message was not an explicit `Msg(hdrs, payload, len)`.
+    NotExplicit(String),
+    /// The payload was transformed by some layer (unsupported for
+    /// compression-based bypasses; such stacks fall back to the full
+    /// path).
+    PayloadTransformed,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::NotExplicit(what) => {
+                write!(f, "wire message not fully explicit: {what}")
+            }
+            CompressError::PayloadTransformed => {
+                write!(f, "payload-transforming layers are not compressible")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Extracts the compression template from a symbolic wire message.
+pub fn templatize(msg: &Term) -> Result<HeaderTemplate, CompressError> {
+    let (hdrs, payload, len) = match msg {
+        Term::Con(n, args) if n.as_str() == "Msg" && args.len() == 3 => {
+            (&args[0], &args[1], &args[2])
+        }
+        other => return Err(CompressError::NotExplicit(format!("{other:?}"))),
+    };
+    match payload {
+        Term::Var(v) if v.as_str() == "payload" => {}
+        _ => return Err(CompressError::PayloadTransformed),
+    }
+    let mut frames = Vec::new();
+    let mut sources = Vec::new();
+    let mut abstract_frames = Vec::new();
+    let mut cur = hdrs;
+    loop {
+        match cur {
+            Term::Con(n, args) if n.as_str() == "nil" && args.is_empty() => break,
+            Term::Con(n, args) if n.as_str() == "cons" && args.len() == 2 => {
+                let frame = &args[0];
+                match frame {
+                    Term::Con(fname, fargs) => {
+                        let mut fields = Vec::new();
+                        let mut abs_args = Vec::new();
+                        for a in fargs {
+                            match a {
+                                Term::Int(c) => {
+                                    fields.push(FieldSpec::Const(*c));
+                                    abs_args.push(Term::Int(*c));
+                                }
+                                varying => {
+                                    let k = sources.len();
+                                    fields.push(FieldSpec::Var(k));
+                                    sources.push(varying.clone());
+                                    abs_args.push(ensemble_ir::term::var(&format!("f{k}")));
+                                }
+                            }
+                        }
+                        frames.push((fname.as_str(), fields));
+                        abstract_frames.push(Term::Con(*fname, abs_args));
+                    }
+                    other => {
+                        return Err(CompressError::NotExplicit(format!("{other:?}")))
+                    }
+                }
+                cur = &args[1];
+            }
+            other => return Err(CompressError::NotExplicit(format!("{other:?}"))),
+        }
+    }
+    let abstract_msg = Term::Con(
+        ensemble_util::Intern::from("Msg"),
+        vec![
+            ensemble_ir::term::list(abstract_frames),
+            payload.clone(),
+            len.clone(),
+        ],
+    );
+    Ok(HeaderTemplate {
+        frames,
+        sources,
+        abstract_msg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_ir::term::{con, getf, list, var};
+
+    fn wire_msg() -> Term {
+        // Msg([MnakData(s_mnak.cast_next), BottomHdr(0)], payload, len)
+        con(
+            "Msg",
+            vec![
+                list(vec![
+                    con("MnakData", vec![getf(var("s_mnak"), "cast_next")]),
+                    con("BottomHdr", vec![Term::Int(0)]),
+                ]),
+                var("payload"),
+                var("len"),
+            ],
+        )
+    }
+
+    #[test]
+    fn extracts_constants_and_fields() {
+        let t = templatize(&wire_msg()).unwrap();
+        assert_eq!(t.nfields(), 1, "only the seqno varies");
+        assert_eq!(t.sources[0], getf(var("s_mnak"), "cast_next"));
+        assert_eq!(t.frames.len(), 2);
+        assert_eq!(t.frames[1].1, vec![FieldSpec::Const(0)]);
+        // One varying u64 → the paper's 16-byte compressed header.
+        assert_eq!(t.wire_bytes(), 16);
+        assert_eq!(t.nconsts(), 3, "two frame tags + one constant field");
+    }
+
+    #[test]
+    fn abstract_msg_uses_field_vars() {
+        let t = templatize(&wire_msg()).unwrap();
+        let txt = format!("{:?}", t.abstract_msg);
+        assert!(txt.contains("MnakData(f0)"), "{txt}");
+        assert!(txt.contains("BottomHdr(0)"), "{txt}");
+    }
+
+    #[test]
+    fn display_renders_layout() {
+        let t = templatize(&wire_msg()).unwrap();
+        let txt = t.to_string();
+        assert!(txt.contains("16 bytes"), "{txt}");
+        assert!(txt.contains("MnakData(f0)"), "{txt}");
+    }
+
+    #[test]
+    fn rejects_transformed_payload() {
+        let m = con(
+            "Msg",
+            vec![list(vec![]), con("Cipher", vec![var("payload")]), var("len")],
+        );
+        assert!(matches!(
+            templatize(&m),
+            Err(CompressError::PayloadTransformed)
+        ));
+    }
+
+    #[test]
+    fn rejects_symbolic_structure() {
+        assert!(matches!(
+            templatize(&var("mystery")),
+            Err(CompressError::NotExplicit(_))
+        ));
+    }
+}

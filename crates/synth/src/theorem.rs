@@ -1,0 +1,289 @@
+//! Per-layer optimization theorems (the static phase, §4.1.2).
+//!
+//! An optimization theorem records that, under its CCP, a layer's handler
+//! for one fundamental case is semantically equal to its residual — in
+//! most cases "a single update of the layer's state and a single event to
+//! be passed to the next layer". The `Display` implementation renders the
+//! paper's presentation:
+//!
+//! ```text
+//! OPTIMIZING LAYER Bottom
+//! FOR EVENT DnM(ev, hdr)
+//! AND STATE s_bottom
+//! ASSUMING getType ev = ESend ∧ s_bottom.enabled
+//! YIELDS EVENTS [:DnM(ev, Full_nohdr(hdr)):]
+//! AND STATE s_bottom
+//! ```
+
+use crate::rewrite::{simplify, RewriteCtx};
+use ensemble_ir::models::{Case, LayerModel};
+use ensemble_ir::term::Term;
+use ensemble_ir::{FnDefs, Val};
+use std::fmt;
+
+/// A proven(-by-checking) layer optimization.
+#[derive(Clone)]
+pub struct OptTheorem {
+    /// The layer name.
+    pub layer: String,
+    /// Which fundamental case this theorem covers.
+    pub case: Case,
+    /// The CCP conjuncts assumed.
+    pub ccp: Vec<Term>,
+    /// The residual handler (same free variables as the original).
+    pub residual: Term,
+    /// Node count of the original handler (Table 2(b) input).
+    pub original_size: usize,
+}
+
+impl OptTheorem {
+    /// Size reduction factor achieved by the optimization.
+    pub fn reduction(&self) -> f64 {
+        self.original_size as f64 / self.residual.size().max(1) as f64
+    }
+}
+
+/// Destructures a residual of shape `Out(state', events)` (possibly under
+/// `Let`s, which are floated outward by re-binding) into its parts.
+///
+/// Returns `None` when the residual is not in output form (e.g. the CCP
+/// did not eliminate a `Slow` fallback).
+pub fn destructure_out(t: &Term) -> Option<(Term, Vec<Term>)> {
+    match t {
+        Term::Con(n, args) if n.as_str() == "Out" && args.len() == 2 => {
+            let events = un_cons(&args[1])?;
+            Some((args[0].clone(), events))
+        }
+        Term::Let(x, v, body) => {
+            // Substitute the binding into the parts (residuals are small,
+            // duplication is acceptable and keeps parts self-contained).
+            let (s, evs) = destructure_out(body)?;
+            Some((
+                s.subst(*x, v),
+                evs.into_iter().map(|e| e.subst(*x, v)).collect(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn un_cons(t: &Term) -> Option<Vec<Term>> {
+    let mut out = Vec::new();
+    let mut cur = t;
+    loop {
+        match cur {
+            Term::Con(n, args) if n.as_str() == "nil" && args.is_empty() => return Some(out),
+            Term::Con(n, args) if n.as_str() == "cons" && args.len() == 2 => {
+                out.push(args[0].clone());
+                cur = &args[1];
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Runs the static optimization of one layer case: assume the CCP, fold
+/// the instance constants, simplify to the residual, and state the
+/// theorem.
+pub fn optimize_layer(
+    model: &LayerModel,
+    case: Case,
+    defs: &FnDefs,
+    fold_instance_consts: bool,
+) -> OptTheorem {
+    let mut ctx = RewriteCtx::new(defs);
+    // Instance constants first: CCP conjuncts must normalize under the
+    // same constant folding as the handler body, or the syntactic
+    // context-dependent simplification would miss them.
+    if fold_instance_consts {
+        if let Val::Record(fields) = &model.init {
+            for f in &model.const_fields {
+                let key = ensemble_util::Intern::from(f);
+                if let Some(v) = fields.get(&key) {
+                    if let Some(i) = v.as_int() {
+                        ctx.declare_const("state", f, Term::Int(i));
+                    } else if let Some(b) = v.as_bool() {
+                        ctx.declare_const("state", f, Term::Bool(b));
+                    }
+                }
+            }
+        }
+    }
+    let handler = model.handler(case);
+    // The pre-CCP baseline: same inlining and constant folding, but no
+    // common-case assumptions. Comparing residuals against this (rather
+    // than the un-inlined source) measures what the CCP alone buys.
+    let baseline = simplify(&ctx, handler);
+    for conj in model.ccp(case) {
+        ctx.assume(conj.clone());
+    }
+    let residual = simplify(&ctx, handler);
+    OptTheorem {
+        layer: model.name.to_owned(),
+        case,
+        ccp: ctx.facts.clone(),
+        residual,
+        original_size: baseline.size(),
+    }
+}
+
+impl fmt::Display for OptTheorem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ev = match self.case {
+            Case::DnCast => "DnM(Cast, msg)",
+            Case::DnSend => "DnM(Send dst, msg)",
+            Case::UpCast => "UpM(Cast origin, msg)",
+            Case::UpSend => "UpM(Send origin, msg)",
+        };
+        writeln!(f, "OPTIMIZING LAYER {}", self.layer)?;
+        writeln!(f, "FOR EVENT     {ev}")?;
+        writeln!(f, "AND STATE     s_{}", self.layer)?;
+        if self.ccp.is_empty() {
+            writeln!(f, "ASSUMING      true")?;
+        } else {
+            write!(f, "ASSUMING      ")?;
+            for (i, c) in self.ccp.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ∧ ")?;
+                }
+                write!(f, "{c:?}")?;
+            }
+            writeln!(f)?;
+        }
+        match destructure_out(&self.residual) {
+            Some((state, events)) => {
+                write!(f, "YIELDS EVENTS [:")?;
+                for (i, e) in events.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e:?}")?;
+                }
+                writeln!(f, ":]")?;
+                writeln!(f, "AND STATE     {state:?}")?;
+            }
+            None => {
+                writeln!(f, "YIELDS        {:?}", self.residual)?;
+            }
+        }
+        writeln!(
+            f,
+            "  ({} -> {} nodes, {:.1}x)",
+            self.original_size,
+            self.residual.size(),
+            self.reduction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_ir::models::{layer_defs, model, ModelCtx};
+
+    fn theorem(name: &str, case: Case) -> OptTheorem {
+        let defs = layer_defs();
+        let m = model(name, &ModelCtx::new(3, 0)).unwrap();
+        optimize_layer(&m, case, &defs, true)
+    }
+
+    #[test]
+    fn bottom_theorem_matches_paper_shape() {
+        let th = theorem("bottom", Case::DnSend);
+        let (state, events) = destructure_out(&th.residual).expect("output form");
+        // State unchanged, one event, header extended with the stamp.
+        assert_eq!(state, ensemble_ir::term::var("state"));
+        assert_eq!(events.len(), 1);
+        let txt = th.to_string();
+        assert!(txt.contains("OPTIMIZING LAYER bottom"));
+        assert!(txt.contains("YIELDS EVENTS"));
+        assert!(txt.contains("BottomHdr(0)"), "{txt}");
+    }
+
+    #[test]
+    fn mnak_up_theorem_is_single_update_single_event() {
+        let th = theorem("mnak", Case::UpCast);
+        let (state, events) = destructure_out(&th.residual).expect("output form");
+        // One SetF on the state, delivery plus deferred store.
+        assert!(matches!(state, Term::SetF(..)));
+        assert_eq!(events.len(), 2);
+        // The model's slow paths are stubs (`Slow(state, tag)`), so the
+        // measured reduction is a conservative floor of the paper's
+        // "100-300 lines to a single update".
+        assert!(th.reduction() > 1.3, "reduction {}", th.reduction());
+    }
+
+    #[test]
+    fn local_dn_cast_is_a_split() {
+        let th = theorem("local", Case::DnCast);
+        let (_, events) = destructure_out(&th.residual).expect("output form");
+        assert_eq!(events.len(), 2, "bounce + continue");
+    }
+
+    #[test]
+    fn total_dn_cast_folds_sequencer_check() {
+        let th = theorem("total", Case::DnCast);
+        let txt = format!("{:?}", th.residual);
+        assert!(
+            !txt.contains("sequencer"),
+            "rank==sequencer folded away: {txt}"
+        );
+        destructure_out(&th.residual).expect("fast path only");
+    }
+
+    #[test]
+    fn every_stack10_case_destructures() {
+        for name in [
+            "partial_appl",
+            "total",
+            "local",
+            "frag",
+            "collect",
+            "pt2ptw",
+            "mflow",
+            "pt2pt",
+            "mnak",
+            "bottom",
+        ] {
+            for case in Case::ALL {
+                let th = theorem(name, case);
+                assert!(
+                    destructure_out(&th.residual).is_some(),
+                    "{name}/{case:?} residual not in output form:\n{:?}",
+                    th.residual
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_are_substantial_on_branchy_paths() {
+        // §4.1.2: "about 100-300 lines of code … reduced to a single
+        // update of the layer's state and a single event". The receive
+        // paths carry the interesting branches; our slow paths are stubs,
+        // so these reductions are conservative floors.
+        let mut total_orig = 0usize;
+        let mut total_res = 0usize;
+        for name in ["total", "collect", "pt2ptw", "mflow", "pt2pt", "mnak"] {
+            for case in [Case::UpCast, Case::UpSend] {
+                let th = theorem(name, case);
+                total_orig += th.original_size;
+                total_res += th.residual.size();
+            }
+        }
+        assert!(
+            total_res * 13 < total_orig * 10,
+            "expected ≥1.3x reduction on receive paths: {total_orig} -> {total_res}"
+        );
+        // And no residual retains a slow path.
+        for name in ["total", "collect", "pt2ptw", "mflow", "pt2pt", "mnak"] {
+            for case in Case::ALL {
+                let th = theorem(name, case);
+                assert!(
+                    !format!("{:?}", th.residual).contains("Slow"),
+                    "{name}/{case:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The compressed header format emitted by the synthesis pipeline.
+//!
+//! §4.1.3: "most information in headers seldom changes, allowing for
+//! significant compression of headers, typically to just 16 bytes". The
+//! synthesized bypass knows, from the optimization theorems, exactly which
+//! header fields are constant for a given (stack, case); the constants are
+//! folded into a single identifier and only the varying fields travel.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! +---------+---------+---------+----------------+----------------+
+//! | u32     | u8      | u8      | u16            | n × u64        |
+//! | stackid | case    | nfields | payload seghint| varying fields |
+//! +---------+---------+---------+----------------+----------------+
+//! ```
+//!
+//! With one varying field (the common data seqno) the header is exactly
+//! 16 bytes, matching the paper.
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Size of the fixed part of a compressed header.
+pub const COMPRESSED_BASE_LEN: usize = 8;
+
+/// A compressed header: the constant parts of an entire header stack
+/// reduced to `(stack_id, case)`, plus the varying fields in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedHdr {
+    /// Identifies the sending stack's layer composition (a hash of the
+    /// layer names, computed by the synthesis pipeline).
+    pub stack_id: u32,
+    /// Which of the four fundamental cases (and which bypass path) this is.
+    pub case: u8,
+    /// The varying header fields, in the order the theorems list them.
+    pub fields: Vec<u64>,
+}
+
+impl CompressedHdr {
+    /// Builds a compressed header.
+    pub fn new(stack_id: u32, case: u8, fields: Vec<u64>) -> Self {
+        CompressedHdr {
+            stack_id,
+            case,
+            fields,
+        }
+    }
+
+    /// The encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        COMPRESSED_BASE_LEN + 8 * self.fields.len()
+    }
+
+    /// Encodes the header followed by the raw payload bytes.
+    pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.encoded_len() + payload.len());
+        w.u32(self.stack_id);
+        w.u8(self.case);
+        w.u8(self.fields.len() as u8);
+        w.u16(0);
+        for &f in &self.fields {
+            w.u64(f);
+        }
+        w.raw(payload);
+        w.finish()
+    }
+
+    /// Decodes a compressed header, returning it and the payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<(CompressedHdr, &[u8]), WireError> {
+        let mut r = WireReader::new(bytes);
+        let stack_id = r.u32()?;
+        let case = r.u8()?;
+        let nfields = r.u8()? as usize;
+        let _seghint = r.u16()?;
+        let mut fields = Vec::with_capacity(nfields);
+        for _ in 0..nfields {
+            fields.push(r.u64()?);
+        }
+        let consumed = COMPRESSED_BASE_LEN + 8 * nfields;
+        Ok((
+            CompressedHdr {
+                stack_id,
+                case,
+                fields,
+            },
+            &bytes[consumed..],
+        ))
+    }
+}
+
+/// Computes the stack identifier for a list of layer names.
+///
+/// FNV-1a over the concatenated names; stable across runs so sender and
+/// receiver bypasses generated from the same stack agree.
+pub fn stack_id(layer_names: &[&str]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for name in layer_names {
+        for b in name.bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_byte_common_case() {
+        let h = CompressedHdr::new(0xABCD, 1, vec![42]);
+        assert_eq!(h.encoded_len(), 16);
+        let bytes = h.encode(b"data");
+        assert_eq!(bytes.len(), 16 + 4);
+    }
+
+    #[test]
+    fn roundtrip_with_payload() {
+        let h = CompressedHdr::new(7, 3, vec![1, 2, 3]);
+        let bytes = h.encode(b"xyz");
+        let (back, payload) = CompressedHdr::decode(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(payload, b"xyz");
+    }
+
+    #[test]
+    fn roundtrip_no_fields_no_payload() {
+        let h = CompressedHdr::new(1, 0, vec![]);
+        assert_eq!(h.encoded_len(), COMPRESSED_BASE_LEN);
+        let bytes = h.encode(b"");
+        let (back, payload) = CompressedHdr::decode(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let h = CompressedHdr::new(7, 3, vec![9]);
+        let bytes = h.encode(b"");
+        assert!(CompressedHdr::decode(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn stack_id_stable_and_order_sensitive() {
+        let a = stack_id(&["mnak", "pt2pt", "bottom"]);
+        let b = stack_id(&["mnak", "pt2pt", "bottom"]);
+        let c = stack_id(&["pt2pt", "mnak", "bottom"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Name-boundary separator prevents ["ab","c"] == ["a","bc"].
+        assert_ne!(stack_id(&["ab", "c"]), stack_id(&["a", "bc"]));
+    }
+}

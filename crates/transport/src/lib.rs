@@ -1,0 +1,21 @@
+//! Marshaling and wire formats.
+//!
+//! Ensemble has no fixed wire format for headers: the sender's stack
+//! determines the header structure and the OCaml value marshaler serializes
+//! it generically. This crate provides:
+//!
+//! * [`wire`] — a small byte reader/writer with explicit error handling;
+//! * [`generic`] — the general marshaler that walks the header structure
+//!   recursively (modelling the OCaml marshaler the paper replaces), used
+//!   by the IMP and FUNC configurations;
+//! * [`compressed`] — the 16-byte compressed header format produced by the
+//!   synthesis pipeline (§4.1.3 "header compression"), used by the HAND and
+//!   MACH bypasses.
+
+pub mod compressed;
+pub mod generic;
+pub mod wire;
+
+pub use compressed::{stack_id, CompressedHdr, COMPRESSED_BASE_LEN};
+pub use generic::{marshal, unmarshal};
+pub use wire::{WireError, WireReader, WireWriter};

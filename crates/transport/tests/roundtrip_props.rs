@@ -1,0 +1,118 @@
+//! Property-based wire-format tests: arbitrary header stacks and
+//! payloads survive marshal → unmarshal, and the compressed format
+//! round-trips arbitrary field vectors.
+
+use ensemble_event::{
+    CollectHdr, FlowHdr, Frame, FragHdr, Msg, MnakHdr, Payload, Pt2PtHdr, StableHdr,
+    SuspectHdr, SyncHdr, TotalHdr,
+};
+use ensemble_transport::{marshal, unmarshal, CompressedHdr};
+use ensemble_util::{Rank, Seqno};
+use proptest::prelude::*;
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        Just(Frame::NoHdr),
+        any::<u64>().prop_map(|v| Frame::Bottom { view_ltime: v }),
+        any::<u64>().prop_map(|s| Frame::Mnak(MnakHdr::Data { seqno: Seqno(s) })),
+        (any::<u16>(), any::<u64>(), any::<u64>()).prop_map(|(o, lo, hi)| {
+            Frame::Mnak(MnakHdr::Nak {
+                origin: Rank(o),
+                lo: Seqno(lo),
+                hi: Seqno(hi),
+            })
+        }),
+        any::<u64>().prop_map(|n| Frame::Mnak(MnakHdr::Heartbeat { next: Seqno(n) })),
+        (any::<u64>(), any::<u64>()).prop_map(|(s, a)| {
+            Frame::Pt2Pt(Pt2PtHdr::Data {
+                seqno: Seqno(s),
+                ack: Seqno(a),
+            })
+        }),
+        any::<u64>().prop_map(|a| Frame::Pt2Pt(Pt2PtHdr::Ack { ack: Seqno(a) })),
+        Just(Frame::Pt2PtW(FlowHdr::Data)),
+        any::<u64>().prop_map(|g| Frame::MFlow(FlowHdr::Credit { granted: g })),
+        Just(Frame::Frag(FragHdr::Whole)),
+        (any::<u32>(), any::<u16>(), 1u16..100).prop_map(|(m, i, t)| {
+            Frame::Frag(FragHdr::Piece {
+                msg_id: m,
+                idx: i,
+                total: t,
+            })
+        }),
+        prop::collection::vec(any::<u64>(), 0..8)
+            .prop_map(|seen| Frame::Collect(CollectHdr::Gossip { seen })),
+        any::<u64>().prop_map(|o| Frame::Total(TotalHdr::Ordered { order: Seqno(o) })),
+        (any::<u16>(), any::<u64>(), any::<u64>()).prop_map(|(o, l, ord)| {
+            Frame::Total(TotalHdr::Order {
+                origin: Rank(o),
+                local: Seqno(l),
+                order: Seqno(ord),
+            })
+        }),
+        prop::collection::vec(any::<u64>(), 0..8)
+            .prop_map(|row| Frame::Stable(StableHdr::Gossip { row })),
+        any::<u32>().prop_map(|r| Frame::Suspect(SuspectHdr::Ping { round: r })),
+        prop::collection::vec(any::<u64>(), 0..4)
+            .prop_map(|s| Frame::Sync(SyncHdr::Flush { suspects: s })),
+        prop::collection::vec(any::<u64>(), 0..8)
+            .prop_map(|seen| Frame::Sync(SyncHdr::FlushOk { seen })),
+        any::<u64>().prop_map(|m| Frame::Sign { mac: m }),
+        any::<u32>().prop_map(|k| Frame::Encrypt { keyid: k }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generic_marshal_roundtrips(
+        frames in prop::collection::vec(frame_strategy(), 0..12),
+        body in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let msg = Msg::from_parts(frames, Payload::from_slice(&body));
+        let bytes = marshal(&msg);
+        prop_assert_eq!(unmarshal(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn unmarshal_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = unmarshal(&bytes); // Must return Err, not panic.
+    }
+
+    #[test]
+    fn truncation_never_roundtrips_silently(
+        frames in prop::collection::vec(frame_strategy(), 1..6),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+        cut in 1usize..32,
+    ) {
+        let msg = Msg::from_parts(frames, Payload::from_slice(&body));
+        let bytes = marshal(&msg);
+        let cut = cut.min(bytes.len());
+        let truncated = &bytes[..bytes.len() - cut];
+        // Either an error, or (never) the identical message.
+        if let Ok(m) = unmarshal(truncated) {
+            prop_assert_ne!(m, msg);
+        }
+    }
+
+    #[test]
+    fn compressed_roundtrips(
+        stack_id in any::<u32>(),
+        case in any::<u8>(),
+        fields in prop::collection::vec(any::<u64>(), 0..8),
+        body in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let h = CompressedHdr::new(stack_id, case, fields);
+        let bytes = h.encode(&body);
+        prop_assert_eq!(bytes.len(), h.encoded_len() + body.len());
+        let (back, payload) = CompressedHdr::decode(&bytes).unwrap();
+        prop_assert_eq!(back, h);
+        prop_assert_eq!(payload, &body[..]);
+    }
+
+    #[test]
+    fn compressed_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = CompressedHdr::decode(&bytes);
+    }
+}

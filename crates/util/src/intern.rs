@@ -1,0 +1,131 @@
+//! A tiny string interner used by the formal crates (IOA and IR).
+//!
+//! Specification actions, IR variables, and header constructor names are
+//! compared constantly during model checking and partial evaluation, so we
+//! intern them once and compare 32-bit handles thereafter.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A handle to an interned string.
+///
+/// Equality and hashing are O(1); the text is recovered with
+/// [`Intern::as_str`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Intern(u32);
+
+/// The interner backing store.
+///
+/// Most users go through the global interner via [`Intern::from`]; an owned
+/// `Interner` exists for tests that need isolation.
+#[derive(Default)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its handle.
+    pub fn intern(&mut self, s: &str) -> Intern {
+        if let Some(&id) = self.map.get(s) {
+            return Intern(id);
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), id);
+        Intern(id)
+    }
+
+    /// Recovers the text for a handle created by this interner.
+    pub fn resolve(&self, i: Intern) -> &str {
+        &self.strings[i.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+fn global() -> &'static Mutex<Interner> {
+    static GLOBAL: OnceLock<Mutex<Interner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Interner::new()))
+}
+
+impl Intern {
+    /// Interns `s` in the global interner.
+    pub fn from(s: &str) -> Intern {
+        global().lock().expect("interner poisoned").intern(s)
+    }
+
+    /// Returns the interned text (owned, since the store is behind a lock).
+    pub fn as_str(&self) -> String {
+        global()
+            .lock()
+            .expect("interner poisoned")
+            .resolve(*self)
+            .to_owned()
+    }
+}
+
+impl fmt::Debug for Intern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Intern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_string_same_handle() {
+        assert_eq!(Intern::from("send"), Intern::from("send"));
+        assert_ne!(Intern::from("send"), Intern::from("deliver"));
+    }
+
+    #[test]
+    fn resolves_text() {
+        let h = Intern::from("fifo-network");
+        assert_eq!(h.as_str(), "fifo-network");
+        assert_eq!(h.to_string(), "fifo-network");
+    }
+
+    #[test]
+    fn owned_interner_isolated() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        let ha = a.intern("x");
+        let hb = b.intern("y");
+        assert_eq!(a.resolve(ha), "x");
+        assert_eq!(b.resolve(hb), "y");
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn owned_interner_dedups() {
+        let mut a = Interner::new();
+        let h1 = a.intern("z");
+        let h2 = a.intern("z");
+        assert_eq!(h1, h2);
+        assert_eq!(a.len(), 1);
+    }
+}

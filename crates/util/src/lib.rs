@@ -1,0 +1,19 @@
+//! Common foundation types for the `ensemble-rs` workspace.
+//!
+//! This crate hosts the small, dependency-free vocabulary shared by every
+//! other crate: endpoint and group identities, ranks, sequence numbers,
+//! virtual time, a deterministic random-number generator for reproducible
+//! simulations, a string interner used by the formal (IOA / IR) crates, and
+//! lightweight metrics counters used by the cost-model experiments.
+
+pub mod id;
+pub mod intern;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use id::{Endpoint, GroupId, Rank, Seqno, ViewId};
+pub use intern::{Intern, Interner};
+pub use metrics::Counters;
+pub use rng::DetRng;
+pub use time::{Duration, Time};

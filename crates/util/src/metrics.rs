@@ -1,0 +1,130 @@
+//! Cost-model counters for the Table 2(a) experiment.
+//!
+//! The paper reports Pentium II performance-monitoring counters for the
+//! original vs. synthesized stack. We do not have the authors' hardware, so
+//! the reproduction counts *model-level* events: instructions executed by
+//! the IR evaluator, data references (variable/field/queue accesses),
+//! allocations, and dispatches (layer-boundary crossings). The ratios
+//! between original and optimized stacks are the quantity of interest.
+
+use std::fmt;
+
+/// An accumulating set of cost counters.
+///
+/// # Examples
+///
+/// ```
+/// use ensemble_util::Counters;
+/// let mut c = Counters::default();
+/// c.instructions += 10;
+/// c.data_refs += 4;
+/// let mut d = Counters::default();
+/// d.instructions = 5;
+/// c.merge(&d);
+/// assert_eq!(c.instructions, 15);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Model instructions executed (IR evaluator steps).
+    pub instructions: u64,
+    /// Data memory references (variable reads/writes, field and queue ops).
+    pub data_refs: u64,
+    /// Heap allocations performed.
+    pub allocations: u64,
+    /// Layer-boundary crossings (event dispatches).
+    pub dispatches: u64,
+    /// Branches evaluated (if/match decisions).
+    pub branches: u64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub const fn zero() -> Self {
+        Counters {
+            instructions: 0,
+            data_refs: 0,
+            allocations: 0,
+            dispatches: 0,
+            branches: 0,
+        }
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.data_refs += other.data_refs;
+        self.allocations += other.allocations;
+        self.dispatches += other.dispatches;
+        self.branches += other.branches;
+    }
+
+    /// Multiplies every counter by `n` (e.g. to scale one round to 10 000).
+    pub fn scaled(&self, n: u64) -> Counters {
+        Counters {
+            instructions: self.instructions * n,
+            data_refs: self.data_refs * n,
+            allocations: self.allocations * n,
+            dispatches: self.dispatches * n,
+            branches: self.branches * n,
+        }
+    }
+
+    /// The ratio of this counter set's instructions to `other`'s.
+    pub fn speedup_vs(&self, other: &Counters) -> f64 {
+        if self.instructions == 0 {
+            return f64::INFINITY;
+        }
+        other.instructions as f64 / self.instructions as f64
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instr={} refs={} alloc={} dispatch={} branch={}",
+            self.instructions, self.data_refs, self.allocations, self.dispatches, self.branches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters::zero();
+        a.instructions = 3;
+        a.branches = 1;
+        let mut b = Counters::zero();
+        b.instructions = 4;
+        b.data_refs = 2;
+        a.merge(&b);
+        assert_eq!(a.instructions, 7);
+        assert_eq!(a.data_refs, 2);
+        assert_eq!(a.branches, 1);
+    }
+
+    #[test]
+    fn scaled_multiplies_all() {
+        let mut a = Counters::zero();
+        a.instructions = 2;
+        a.allocations = 1;
+        a.dispatches = 3;
+        let s = a.scaled(10);
+        assert_eq!(s.instructions, 20);
+        assert_eq!(s.allocations, 10);
+        assert_eq!(s.dispatches, 30);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mut fast = Counters::zero();
+        fast.instructions = 50;
+        let mut slow = Counters::zero();
+        slow.instructions = 100;
+        assert!((fast.speedup_vs(&slow) - 2.0).abs() < 1e-12);
+        assert!(Counters::zero().speedup_vs(&slow).is_infinite());
+    }
+}

@@ -1,0 +1,144 @@
+//! Virtual time for deterministic simulation.
+//!
+//! All protocol timers and network latencies are expressed against a virtual
+//! clock advanced by the simulator, never against the wall clock. This makes
+//! every multi-process run reproducible bit-for-bit from its seed.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Time(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// Nanoseconds since the epoch.
+    pub const fn nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch (truncated).
+    pub const fn micros(&self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Elapsed duration since `earlier` (saturating at zero).
+    pub const fn since(&self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// The duration in nanoseconds.
+    pub const fn nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (truncated) microseconds.
+    pub const fn micros(&self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Scales the duration by an integer factor.
+    pub const fn scaled(&self, factor: u64) -> Duration {
+        Duration(self.0 * factor)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, d: Duration) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, other: Time) -> Duration {
+        self.since(other)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, d: Duration) -> Duration {
+        Duration(self.0 + d.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}us", self.micros())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_subtract() {
+        let t = Time::ZERO + Duration::from_micros(5);
+        assert_eq!(t.nanos(), 5_000);
+        assert_eq!((t - Time::ZERO).micros(), 5);
+        // Saturating subtraction.
+        assert_eq!((Time::ZERO - t).nanos(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_millis(2).micros(), 2_000);
+        assert_eq!(Duration::from_micros(80).nanos(), 80_000);
+        assert_eq!(Duration::from_micros(10).scaled(3).micros(), 30);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Duration::from_micros(80).to_string(), "80.000us");
+        assert_eq!(Duration::from_millis(2).to_string(), "2.000ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(1) < Time(2));
+        let mut t = Time(1);
+        t += Duration(4);
+        assert_eq!(t, Time(5));
+    }
+}
