@@ -25,10 +25,7 @@ const ROUNDS: u64 = 10_000;
 
 /// Builds a 4-byte message value with no headers.
 fn bare_msg() -> Val {
-    Val::con(
-        "Msg",
-        vec![Val::list(vec![]), Val::Opaque(1), Val::Int(4)],
-    )
+    Val::con("Msg", vec![Val::list(vec![]), Val::Opaque(1), Val::Int(4)])
 }
 
 /// Evaluates one term, returning its value and adding costs to `total`.
@@ -48,11 +45,7 @@ fn eval_costed(
 /// One full round through the *original* layer models: sender dn-cast at
 /// the sequencer (including the local bounce back up) and receiver
 /// up-cast, threading state and message values exactly as the engines do.
-fn original_round(
-    ctx: &ModelCtx,
-    sender_states: &mut [Val],
-    recv_states: &mut [Val],
-) -> Counters {
+fn original_round(ctx: &ModelCtx, sender_states: &mut [Val], recv_states: &mut [Val]) -> Counters {
     let defs = layer_defs();
     let mut costs = Counters::zero();
     let state_var = Intern::from("state");
@@ -206,16 +199,48 @@ fn main() {
     let opt = per_round_opt.scaled(ROUNDS);
 
     println!("Table 2(a): formal cost model, {ROUNDS} send/recv rounds\n");
-    println!("{:>22} | {:>14} | {:>14} | ratio", "counter", "original", "optimized");
+    println!(
+        "{:>22} | {:>14} | {:>14} | ratio",
+        "counter", "original", "optimized"
+    );
     let rows: [(&str, u64, u64, &str); 5] = [
-        ("instructions", orig.instructions, opt.instructions, "inst_decoder 182.7M -> 98.0M (1.86x)"),
-        ("data refs", orig.data_refs, opt.data_refs, "data_mem_refs 86.3M -> 50.9M (1.70x)"),
-        ("allocations", orig.allocations, opt.allocations, "(GC pressure; no direct counter)"),
-        ("branches", orig.branches, opt.branches, "ifu_ifetch 172.3M -> 100.1M (1.72x)"),
-        ("dispatches", orig.dispatches, opt.dispatches, "(layer boundaries crossed)"),
+        (
+            "instructions",
+            orig.instructions,
+            opt.instructions,
+            "inst_decoder 182.7M -> 98.0M (1.86x)",
+        ),
+        (
+            "data refs",
+            orig.data_refs,
+            opt.data_refs,
+            "data_mem_refs 86.3M -> 50.9M (1.70x)",
+        ),
+        (
+            "allocations",
+            orig.allocations,
+            opt.allocations,
+            "(GC pressure; no direct counter)",
+        ),
+        (
+            "branches",
+            orig.branches,
+            opt.branches,
+            "ifu_ifetch 172.3M -> 100.1M (1.72x)",
+        ),
+        (
+            "dispatches",
+            orig.dispatches,
+            opt.dispatches,
+            "(layer boundaries crossed)",
+        ),
     ];
     for (name, o, p, paper) in rows {
-        let ratio = if p == 0 { f64::INFINITY } else { o as f64 / p as f64 };
+        let ratio = if p == 0 {
+            f64::INFINITY
+        } else {
+            o as f64 / p as f64
+        };
         println!("{name:>22} | {o:>14} | {p:>14} | {ratio:5.2}x   paper: {paper}");
     }
     println!(

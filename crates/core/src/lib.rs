@@ -45,21 +45,16 @@
 //! | the term language and layer models | [`ensemble_ir`] |
 //! | the synthesis pipeline (MACH) | [`ensemble_synth`] |
 //! | the hand-optimized fast path (HAND) | [`ensemble_hand`] |
+//! | real-socket, thread-pooled execution | [`ensemble_runtime`] |
 
 pub mod sim;
 
-pub use ensemble_event::{
-    DnEvent, Effects, Frame, Msg, Payload, UpEvent, ViewState,
-};
+pub use ensemble_event::{DnEvent, Effects, Frame, Msg, Payload, UpEvent, ViewState};
 pub use ensemble_hand::{HandBypass, HandOutput};
 pub use ensemble_ioa::{check_refinement, RefineError, RefineOptions};
-pub use ensemble_layers::{
-    make_layer, make_stack, LayerConfig, STACK_10, STACK_4, STACK_VSYNC,
-};
+pub use ensemble_layers::{make_layer, make_stack, LayerConfig, STACK_10, STACK_4, STACK_VSYNC};
 pub use ensemble_net::{LossyModel, PartitionModel, PerfectModel};
-pub use ensemble_stack::{
-    check_stack, select_stack, Engine, FuncEngine, ImpEngine, Property,
-};
+pub use ensemble_stack::{check_stack, select_stack, Engine, FuncEngine, ImpEngine, Property};
 pub use ensemble_synth::{synthesize, StackBypass};
 pub use ensemble_util::{Duration, Endpoint, Rank, Seqno, Time};
 
@@ -70,6 +65,7 @@ pub use ensemble_ioa as ioa;
 pub use ensemble_ir as ir;
 pub use ensemble_layers as layers;
 pub use ensemble_net as net;
+pub use ensemble_runtime as runtime;
 pub use ensemble_stack as stack;
 pub use ensemble_synth as synth;
 pub use ensemble_transport as transport;

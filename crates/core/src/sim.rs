@@ -14,18 +14,11 @@
 use ensemble_event::{DnEvent, Msg, Payload, UpEvent, ViewState};
 use ensemble_layers::{make_stack, LayerConfig, StackError};
 use ensemble_net::{Arrival, Dest, EventQueue, LinkModel, NetStats, Network, Packet};
-use ensemble_stack::{Boundary, Engine, FuncEngine, ImpEngine};
+use ensemble_stack::{Boundary, Engine};
 use ensemble_transport::{marshal, unmarshal};
 use ensemble_util::{Duration, Endpoint, Rank, Time};
 
-/// Which composition engine runs the stacks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum EngineKind {
-    /// Central event scheduler (the paper's imperative configuration).
-    Imp,
-    /// Recursive functional composition.
-    Func,
-}
+pub use ensemble_stack::EngineKind;
 
 /// One simulated process.
 struct Proc {
@@ -80,11 +73,7 @@ fn build_engine(
     cfg: &LayerConfig,
     kind: EngineKind,
 ) -> Result<Box<dyn Engine>, StackError> {
-    let layers = make_stack(stack, vs, cfg)?;
-    Ok(match kind {
-        EngineKind::Imp => Box::new(ImpEngine::new(layers)),
-        EngineKind::Func => Box::new(FuncEngine::new(layers)),
-    })
+    Ok(kind.build(make_stack(stack, vs, cfg)?))
 }
 
 impl<M: LinkModel> Simulation<M> {
@@ -155,10 +144,7 @@ impl<M: LinkModel> Simulation<M> {
 
     /// Injects a point-to-point send from `id` to endpoint id `dst`.
     pub fn send(&mut self, id: u32, dst: u32, payload: &[u8]) {
-        let Some(dst_rank) = self.procs[id as usize]
-            .vs
-            .rank_of(Endpoint::new(dst))
-        else {
+        let Some(dst_rank) = self.procs[id as usize].vs.rank_of(Endpoint::new(dst)) else {
             return; // Destination not in the sender's view.
         };
         let ev = DnEvent::Send {
@@ -295,8 +281,8 @@ impl<M: LinkModel> Simulation<M> {
             self.stack = next;
         }
         self.procs[idx].generation += 1;
-        let mut engine = build_engine(&self.stack, &vs, &self.cfg, self.kind)
-            .expect("stack built once already");
+        let mut engine =
+            build_engine(&self.stack, &vs, &self.cfg, self.kind).expect("stack built once already");
         let boundary = engine.init(self.now);
         self.procs[idx].engine = engine;
         self.procs[idx].vs = vs.clone();
@@ -430,15 +416,7 @@ mod tests {
     use ensemble_net::PerfectModel;
 
     fn sim(n: usize, stack: &[&'static str], kind: EngineKind) -> Simulation<PerfectModel> {
-        Simulation::new(
-            n,
-            stack,
-            kind,
-            LayerConfig::fast(),
-            PerfectModel::via(),
-            7,
-        )
-        .unwrap()
+        Simulation::new(n, stack, kind, LayerConfig::fast(), PerfectModel::via(), 7).unwrap()
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod view;
 pub use effects::Effects;
 pub use event::{DnEvent, UpEvent};
 pub use frame::{
-    CollectHdr, FlowHdr, Frame, FragHdr, GmpHdr, MnakHdr, Pt2PtHdr, StableHdr, SuspectHdr, SyncHdr,
+    CollectHdr, FlowHdr, FragHdr, Frame, GmpHdr, MnakHdr, Pt2PtHdr, StableHdr, SuspectHdr, SyncHdr,
     TotalHdr,
 };
 pub use msg::Msg;

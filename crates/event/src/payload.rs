@@ -108,10 +108,7 @@ impl Payload {
             return vec![self.clone()];
         }
         let bytes = self.gather();
-        bytes
-            .chunks(max_frag)
-            .map(Payload::from_slice)
-            .collect()
+        bytes.chunks(max_frag).map(Payload::from_slice).collect()
     }
 }
 

@@ -321,7 +321,10 @@ mod tests {
     #[test]
     fn self_send_falls_back() {
         let mut a = HandBypass::new(2, 0);
-        assert_eq!(a.dn_send(0, &Payload::from_slice(b"me")), HandOutput::Fallback);
+        assert_eq!(
+            a.dn_send(0, &Payload::from_slice(b"me")),
+            HandOutput::Fallback
+        );
     }
 
     #[test]

@@ -154,12 +154,7 @@ mod tests {
 
     #[test]
     fn fifo_is_per_destination() {
-        let t = vec![
-            send(1, "a"),
-            send(2, "x"),
-            deliver(2, "x"),
-            deliver(1, "a"),
-        ];
+        let t = vec![send(1, "a"), send(2, "x"), deliver(2, "x"), deliver(1, "a")];
         assert!(fifo_ok(&t));
     }
 

@@ -45,10 +45,12 @@ impl FifoProtocol {
         FifoProtocol {
             msgs,
             max_sends,
-            sig: ["Send", "Deliver", "Transmit", "DropData", "DropAck", "ReAck", "RecvAck"]
-                .iter()
-                .map(|s| Intern::from(s))
-                .collect(),
+            sig: [
+                "Send", "Deliver", "Transmit", "DropData", "DropAck", "ReAck", "RecvAck",
+            ]
+            .iter()
+            .map(|s| Intern::from(s))
+            .collect(),
             send: Intern::from("Send"),
             deliver: Intern::from("Deliver"),
             transmit: Intern::from("Transmit"),
@@ -364,11 +366,8 @@ impl TotalProtocol {
                 p.holding.push(Value::pair(Value::Int(order), m));
                 p.holding.sort();
             } else {
-                p.unordered.push(Value::list(vec![
-                    Value::Int(origin),
-                    Value::Int(local),
-                    m,
-                ]));
+                p.unordered
+                    .push(Value::list(vec![Value::Int(origin), Value::Int(local), m]));
                 p.unordered.sort();
             }
             if dst == 0 {
@@ -507,10 +506,9 @@ impl Automaton for TotalProtocol {
                 let mut c2 = chans.clone();
                 let mut p2 = procs.clone();
                 match self.process_head(&mut c2, &mut p2, &mut onext, src, dst) {
-                    Some(Some(m)) => out.push(Action::new(
-                        "Deliver",
-                        vec![Value::Int(dst as i64), m],
-                    )),
+                    Some(Some(m)) => {
+                        out.push(Action::new("Deliver", vec![Value::Int(dst as i64), m]))
+                    }
                     Some(None) => out.push(Action::new(
                         "Proc",
                         vec![Value::Int(src as i64), Value::Int(dst as i64)],
@@ -631,7 +629,10 @@ mod tests {
         let p = FifoProtocol::new(msgs(), 1);
         let mut s = p.initial().remove(0);
         s = p
-            .step(&s, &Action::new("Send", vec![Value::Int(1), Value::sym("a")]))
+            .step(
+                &s,
+                &Action::new("Send", vec![Value::Int(1), Value::sym("a")]),
+            )
             .remove(0);
         s = p.step(&s, &Action::bare("Transmit")).remove(0);
         let deliver = Action::new("Deliver", vec![Value::Int(1), Value::sym("a")]);
@@ -645,7 +646,10 @@ mod tests {
         let p = FifoProtocol::new(msgs(), 1);
         let mut s = p.initial().remove(0);
         s = p
-            .step(&s, &Action::new("Send", vec![Value::Int(1), Value::sym("a")]))
+            .step(
+                &s,
+                &Action::new("Send", vec![Value::Int(1), Value::sym("a")]),
+            )
             .remove(0);
         s = p.step(&s, &Action::bare("Transmit")).remove(0);
         s = p
@@ -655,9 +659,7 @@ mod tests {
             )
             .remove(0);
         // Transmit is enabled again (retransmission).
-        assert!(p
-            .enabled(&s)
-            .contains(&Action::bare("Transmit")));
+        assert!(p.enabled(&s).contains(&Action::bare("Transmit")));
     }
 
     #[test]
@@ -665,7 +667,10 @@ mod tests {
         let t = TotalProtocol::new(2, msgs(), 2);
         let mut s = t.initial().remove(0);
         s = t
-            .step(&s, &Action::new("Cast", vec![Value::Int(0), Value::sym("a")]))
+            .step(
+                &s,
+                &Action::new("Cast", vec![Value::Int(0), Value::sym("a")]),
+            )
             .remove(0);
         // Both processes can deliver "a" (order 0) from their queues.
         let d0 = Action::new("Deliver", vec![Value::Int(0), Value::sym("a")]);
@@ -680,7 +685,10 @@ mod tests {
         let t = TotalProtocol::new(2, msgs(), 2);
         let mut s = t.initial().remove(0);
         s = t
-            .step(&s, &Action::new("Cast", vec![Value::Int(1), Value::sym("b")]))
+            .step(
+                &s,
+                &Action::new("Cast", vec![Value::Int(1), Value::sym("b")]),
+            )
             .remove(0);
         // Process 1 cannot deliver its own cast yet: the loopback head is
         // unordered and the sequencer has not announced.
@@ -703,7 +711,10 @@ mod tests {
         let t = TotalProtocol::new_buggy(2, msgs(), 2);
         let mut s = t.initial().remove(0);
         s = t
-            .step(&s, &Action::new("Cast", vec![Value::Int(1), Value::sym("b")]))
+            .step(
+                &s,
+                &Action::new("Cast", vec![Value::Int(1), Value::sym("b")]),
+            )
             .remove(0);
         let d1 = Action::new("Deliver", vec![Value::Int(1), Value::sym("b")]);
         assert!(!t.step(&s, &d1).is_empty(), "the bug: eager delivery");

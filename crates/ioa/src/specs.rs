@@ -57,10 +57,7 @@ impl Automaton for FifoNetwork {
         if sent < self.max_sends {
             for &d in &self.dsts {
                 for m in &self.msgs {
-                    out.push(Action::new(
-                        "Send",
-                        vec![Value::Int(d), m.clone()],
-                    ));
+                    out.push(Action::new("Send", vec![Value::Int(d), m.clone()]));
                 }
             }
         }
@@ -343,7 +340,10 @@ mod tests {
         let send = Action::new("Send", vec![Value::Int(1), Value::sym("a")]);
         let s1 = net.step(&s0, &send).remove(0);
         assert!(net.step(&s1, &send).is_empty());
-        assert!(net.enabled(&s1).iter().all(|a| a.name != Intern::from("Send")));
+        assert!(net
+            .enabled(&s1)
+            .iter()
+            .all(|a| a.name != Intern::from("Send")));
     }
 
     #[test]

@@ -187,10 +187,7 @@ impl<'a> Evaluator<'a> {
                     .iter()
                     .map(|a| self.eval(a, env))
                     .collect::<Result<Vec<_>, _>>()?;
-                let (params, body) = self
-                    .defs
-                    .get(*fname)
-                    .ok_or(EvalError::UnknownFn(*fname))?;
+                let (params, body) = self.defs.get(*fname).ok_or(EvalError::UnknownFn(*fname))?;
                 if params.len() != vals.len() {
                     return Err(EvalError::BadPrim("arity mismatch"));
                 }
@@ -323,11 +320,7 @@ mod tests {
 
     #[test]
     fn records() {
-        let t = let_(
-            "s",
-            setf(var("s0"), "n", Term::Int(5)),
-            getf(var("s"), "n"),
-        );
+        let t = let_("s", setf(var("s0"), "n", Term::Int(5)), getf(var("s"), "n"));
         let (v, costs) = eval_with(
             &t,
             &FnDefs::new(),
@@ -344,10 +337,7 @@ mod tests {
         let t = prim(
             Prim::VecGet,
             vec![
-                prim(
-                    Prim::VecSet,
-                    vec![var("v"), Term::Int(1), Term::Int(9)],
-                ),
+                prim(Prim::VecSet, vec![var("v"), Term::Int(1), Term::Int(9)]),
                 Term::Int(1),
             ],
         );
@@ -390,10 +380,7 @@ mod tests {
         let t = let_(
             "x",
             Term::Int(1),
-            add(
-                let_("x", Term::Int(10), var("x")),
-                var("x"),
-            ),
+            add(let_("x", Term::Int(10), var("x")), var("x")),
         );
         assert_eq!(eval(&t, &FnDefs::new()).unwrap(), Val::Int(11));
     }

@@ -161,7 +161,10 @@ pub fn shared_defs() -> FnDefs {
             var("m"),
             vec![(
                 pat("Msg", &["h", "p", "l"]),
-                con("Msg", vec![con("cons", vec![var("hd"), var("h")]), var("p"), var("l")]),
+                con(
+                    "Msg",
+                    vec![con("cons", vec![var("hd"), var("h")]), var("p"), var("l")],
+                ),
             )],
         ),
     );
@@ -379,12 +382,10 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             dn_send: pass_dn_send(),
             up_send: pass_up_send(),
             ccp_dn_cast: vec![eq(getf(state(), "rank"), getf(state(), "sequencer"))],
-            ccp_up_cast: vec![
-                eq(
-                    app("top_hdr", vec![msg()]),
-                    con("TotalOrdered", vec![getf(state(), "deliver_next")]),
-                ),
-            ],
+            ccp_up_cast: vec![eq(
+                app("top_hdr", vec![msg()]),
+                con("TotalOrdered", vec![getf(state(), "deliver_next")]),
+            )],
             ccp_dn_send: vec![],
             ccp_up_send: vec![],
             init: Val::record(&[
@@ -414,10 +415,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             up_send: pass_up_send(),
             ccp_dn_cast: vec![],
             ccp_up_cast: vec![],
-            ccp_dn_send: vec![prim(
-                Prim::Not,
-                vec![eq(var("dst"), getf(state(), "rank"))],
-            )],
+            ccp_dn_send: vec![prim(Prim::Not, vec![eq(var("dst"), getf(state(), "rank"))])],
             ccp_up_send: vec![],
             init: Val::record(&[("rank", Val::Int(ctx.rank))]),
             const_fields: vec!["rank"],
@@ -429,10 +427,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                     Prim::Not,
                     vec![lt(getf(state(), "frag_max"), app("paylen", vec![msg()]))],
                 ),
-                out1(
-                    state(),
-                    dn_cast_ev(push(msg(), con("FragWhole", vec![]))),
-                ),
+                out1(state(), dn_cast_ev(push(msg(), con("FragWhole", vec![])))),
                 slow(state(), "Fragment"),
             ),
             up_cast: match_(
@@ -569,10 +564,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                 getf(state(), "every"),
             )],
             ccp_up_cast: vec![
-                eq(
-                    app("top_hdr", vec![msg()]),
-                    con("CollectPass", vec![]),
-                ),
+                eq(app("top_hdr", vec![msg()]), con("CollectPass", vec![])),
                 lt(
                     add(getf(state(), "since_gossip"), Term::Int(1)),
                     getf(state(), "every"),
@@ -628,10 +620,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                         pat("PtwData", &[]),
                         if_(
                             lt(
-                                add(
-                                    vget(getf(state(), "consumed"), var("origin")),
-                                    Term::Int(1),
-                                ),
+                                add(vget(getf(state(), "consumed"), var("origin")), Term::Int(1)),
                                 getf(state(), "half_window"),
                             ),
                             let_(
@@ -703,10 +692,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                 let_(
                     "s1",
                     setf(state(), "sent", add(getf(state(), "sent"), Term::Int(1))),
-                    out1(
-                        var("s1"),
-                        dn_cast_ev(push(msg(), con("MFlowData", vec![]))),
-                    ),
+                    out1(var("s1"), dn_cast_ev(push(msg(), con("MFlowData", vec![])))),
                 ),
                 slow(state(), "QueueNoCredit"),
             ),
@@ -741,9 +727,9 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                     vec![
                         getf(state(), "sent"),
                         prim(
-                                Prim::MinVecSkip,
-                                vec![getf(state(), "granted"), getf(state(), "rank")],
-                            ),
+                            Prim::MinVecSkip,
+                            vec![getf(state(), "granted"), getf(state(), "rank")],
+                        ),
                     ],
                 ),
                 getf(state(), "window"),
@@ -790,10 +776,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                                 msg(),
                                 con(
                                     "Pt2PtData",
-                                    vec![
-                                        var("seq"),
-                                        vget(getf(state(), "recv_next"), var("dst")),
-                                    ],
+                                    vec![var("seq"), vget(getf(state(), "recv_next"), var("dst"))],
                                 ),
                             ),
                         ),
@@ -822,10 +805,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                                 out2(
                                     var("s1"),
                                     up_send_ev(var("origin"), pop(msg())),
-                                    defer(con(
-                                        "AckAndPrune",
-                                        vec![var("origin"), var("ack")],
-                                    )),
+                                    defer(con("AckAndPrune", vec![var("origin"), var("ack")])),
                                 ),
                             ),
                             slow(state(), "BufferOutOfOrder"),
@@ -874,39 +854,40 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             ),
             up_cast: match_(
                 app("top_hdr", vec![msg()]),
-                vec![
-                    (
-                        pat("MnakData", &["seq"]),
-                        if_(
-                            eq(var("seq"), vget(getf(state(), "next"), var("origin"))),
-                            let_(
-                                "s1",
-                                setf(
-                                    state(),
-                                    "next",
-                                    vset(
-                                        getf(state(), "next"),
-                                        var("origin"),
-                                        add(var("seq"), Term::Int(1)),
-                                    ),
-                                ),
-                                out2(
-                                    var("s1"),
-                                    up_cast_ev(var("origin"), pop(msg())),
-                                    defer(con("Store", vec![var("origin"), var("seq")])),
+                vec![(
+                    pat("MnakData", &["seq"]),
+                    if_(
+                        eq(var("seq"), vget(getf(state(), "next"), var("origin"))),
+                        let_(
+                            "s1",
+                            setf(
+                                state(),
+                                "next",
+                                vset(
+                                    getf(state(), "next"),
+                                    var("origin"),
+                                    add(var("seq"), Term::Int(1)),
                                 ),
                             ),
-                            slow(state(), "GapOrDuplicate"),
+                            out2(
+                                var("s1"),
+                                up_cast_ev(var("origin"), pop(msg())),
+                                defer(con("Store", vec![var("origin"), var("seq")])),
+                            ),
                         ),
+                        slow(state(), "GapOrDuplicate"),
                     ),
-                ],
+                )],
             ),
             dn_send: pass_dn_send(),
             up_send: match_(
                 app("top_hdr", vec![msg()]),
                 vec![
                     (pat("NoHdr", &[]), pass_up_send()),
-                    (pat("MnakNak", &["o", "lo", "hi"]), slow(state(), "AnswerNak")),
+                    (
+                        pat("MnakNak", &["o", "lo", "hi"]),
+                        slow(state(), "AnswerNak"),
+                    ),
                     (
                         pat("MnakRetrans", &["o", "seq"]),
                         slow(state(), "IngestRetrans"),
@@ -916,17 +897,11 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             ccp_dn_cast: vec![],
             ccp_up_cast: vec![eq(
                 app("top_hdr", vec![msg()]),
-                con(
-                    "MnakData",
-                    vec![vget(getf(state(), "next"), var("origin"))],
-                ),
+                con("MnakData", vec![vget(getf(state(), "next"), var("origin"))]),
             )],
             ccp_dn_send: vec![],
             ccp_up_send: vec![eq(app("top_hdr", vec![msg()]), con("NoHdr", vec![]))],
-            init: Val::record(&[
-                ("cast_next", Val::Int(0)),
-                ("next", zero_vec(ctx.nmembers)),
-            ]),
+            init: Val::record(&[("cast_next", Val::Int(0)), ("next", zero_vec(ctx.nmembers))]),
             const_fields: vec![],
         },
         "bottom" => LayerModel {
@@ -1000,10 +975,7 @@ mod tests {
         Val::con("Msg", vec![Val::list(hdrs), Val::Opaque(1), Val::Int(len)])
     }
 
-    fn run(
-        t: &Term,
-        bindings: &[(&str, Val)],
-    ) -> (Val, Vec<Val>) {
+    fn run(t: &Term, bindings: &[(&str, Val)]) -> (Val, Vec<Val>) {
         let defs = layer_defs();
         let (v, _) = eval_with(t, &defs, bindings).unwrap();
         match v {
@@ -1033,7 +1005,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Second: the deferred buffering.
-        assert_eq!(evs[1], Val::con("Defer", vec![Val::con("StoreOwn", vec![Val::Int(0)])]));
+        assert_eq!(
+            evs[1],
+            Val::con("Defer", vec![Val::con("StoreOwn", vec![Val::Int(0)])])
+        );
     }
 
     #[test]

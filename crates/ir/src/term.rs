@@ -233,20 +233,12 @@ impl Term {
                 };
                 Term::Let(*x, Box::new(a2), Box::new(b2))
             }
-            Term::If(c, t, e) => if_(
-                c.subst(name, val),
-                t.subst(name, val),
-                e.subst(name, val),
-            ),
-            Term::Con(n, args) => {
-                Term::Con(*n, args.iter().map(|a| a.subst(name, val)).collect())
-            }
+            Term::If(c, t, e) => if_(c.subst(name, val), t.subst(name, val), e.subst(name, val)),
+            Term::Con(n, args) => Term::Con(*n, args.iter().map(|a| a.subst(name, val)).collect()),
             Term::Prim(p, args) => {
                 Term::Prim(*p, args.iter().map(|a| a.subst(name, val)).collect())
             }
-            Term::App(f, args) => {
-                Term::App(*f, args.iter().map(|a| a.subst(name, val)).collect())
-            }
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.subst(name, val)).collect()),
             Term::Match(s, arms) => {
                 let s2 = s.subst(name, val);
                 let arms2 = arms
@@ -446,7 +438,10 @@ mod tests {
             l,
             con(
                 "cons",
-                vec![Term::Int(1), con("cons", vec![Term::Int(2), con("nil", vec![])])]
+                vec![
+                    Term::Int(1),
+                    con("cons", vec![Term::Int(2), con("nil", vec![])])
+                ]
             )
         );
     }

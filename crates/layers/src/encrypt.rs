@@ -43,16 +43,14 @@ impl Layer for Encrypt {
 
     fn up(&mut self, _now: Time, mut ev: UpEvent, out: &mut Effects) {
         match &mut ev {
-            UpEvent::Cast { msg, .. } | UpEvent::Send { msg, .. } => {
-                match msg.pop_frame() {
-                    Frame::Encrypt { keyid } => {
-                        let clear = self.transform(keyid, msg.payload());
-                        msg.set_payload(clear);
-                        out.up(ev);
-                    }
-                    other => panic!("encrypt: expected Encrypt frame, got {other:?}"),
+            UpEvent::Cast { msg, .. } | UpEvent::Send { msg, .. } => match msg.pop_frame() {
+                Frame::Encrypt { keyid } => {
+                    let clear = self.transform(keyid, msg.payload());
+                    msg.set_payload(clear);
+                    out.up(ev);
                 }
-            }
+                other => panic!("encrypt: expected Encrypt frame, got {other:?}"),
+            },
             _ => out.up(ev),
         }
     }

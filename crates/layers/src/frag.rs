@@ -8,7 +8,7 @@
 
 use crate::config::LayerConfig;
 use crate::layer::Layer;
-use ensemble_event::{DnEvent, Effects, Frame, FragHdr, Msg, Payload, UpEvent, ViewState};
+use ensemble_event::{DnEvent, Effects, FragHdr, Frame, Msg, Payload, UpEvent, ViewState};
 use ensemble_util::{Rank, Time};
 use std::collections::HashMap;
 

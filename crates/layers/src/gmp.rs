@@ -157,9 +157,9 @@ mod tests {
         let mut h = h(0, 3);
         let out = h.up(UpEvent::Suspect(vec![Rank(2)]));
         assert!(out.dn.contains(&DnEvent::Block));
-        assert!(out
-            .dn
-            .contains(&DnEvent::Suspect { ranks: vec![Rank(2)] }));
+        assert!(out.dn.contains(&DnEvent::Suspect {
+            ranks: vec![Rank(2)]
+        }));
         assert!(h.layer.changing());
         // Further suspicion does not restart.
         let out = h.up(UpEvent::Suspect(vec![Rank(2)]));

@@ -41,4 +41,6 @@ pub mod total;
 
 pub use config::LayerConfig;
 pub use layer::Layer;
-pub use registry::{make_layer, make_stack, StackError, LAYER_NAMES, STACK_10, STACK_4, STACK_VSYNC};
+pub use registry::{
+    make_layer, make_stack, StackError, LAYER_NAMES, STACK_10, STACK_4, STACK_VSYNC,
+};

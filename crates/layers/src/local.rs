@@ -98,10 +98,7 @@ mod tests {
             other => panic!("expected cast, got {other:?}"),
         }
         // The network copy is framed.
-        assert_eq!(
-            out.dn[0].msg().unwrap().peek_frame(),
-            Some(&Frame::NoHdr)
-        );
+        assert_eq!(out.dn[0].msg().unwrap().peek_frame(), Some(&Frame::NoHdr));
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
             mflow_window: window,
             ..LayerConfig::default()
         };
-        Harness::new(MFlow::new(&ViewState::initial(n).for_rank(Rank(rank)), &cfg))
+        Harness::new(MFlow::new(
+            &ViewState::initial(n).for_rank(Rank(rank)),
+            &cfg,
+        ))
     }
 
     #[test]

@@ -465,8 +465,10 @@ mod tests {
             beats += out
                 .dn
                 .iter()
-                .filter(|e| matches!(e, DnEvent::Cast(m)
-                    if matches!(m.peek_frame(), Some(Frame::Mnak(MnakHdr::Heartbeat { .. })))))
+                .filter(|e| {
+                    matches!(e, DnEvent::Cast(m)
+                    if matches!(m.peek_frame(), Some(Frame::Mnak(MnakHdr::Heartbeat { .. }))))
+                })
                 .count();
         }
         assert_eq!(beats as u32, Mnak::HEARTBEAT_BUDGET);

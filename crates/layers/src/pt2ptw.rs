@@ -90,8 +90,7 @@ impl Layer for Pt2PtW {
                     Frame::Pt2PtW(FlowHdr::Credit { granted }) => {
                         flow.granted = flow.granted.max(granted);
                         // Drain whatever the new credit allows.
-                        while !self.flows[origin.index()].queue.is_empty()
-                            && self.may_send(origin)
+                        while !self.flows[origin.index()].queue.is_empty() && self.may_send(origin)
                         {
                             let flow = &mut self.flows[origin.index()];
                             let msg = flow.queue.pop_front().expect("checked non-empty");

@@ -190,7 +190,14 @@ mod tests {
         let cfg = LayerConfig::default();
         for name in LAYER_NAMES {
             let l = make_layer(name, &vs, &cfg).unwrap();
-            assert_eq!(&l.name(), if *name == "total_buggy" { &"total" } else { name });
+            assert_eq!(
+                &l.name(),
+                if *name == "total_buggy" {
+                    &"total"
+                } else {
+                    name
+                }
+            );
         }
     }
 

@@ -97,9 +97,7 @@ impl Sync {
     /// unsuspected rank (the original coordinator may be the one that
     /// died — leadership follows `elect`'s rule).
     fn am_acting_coord(&self) -> bool {
-        (0..self.seen.len())
-            .find(|i| self.counted(*i))
-            == Some(self.my_rank.index())
+        (0..self.seen.len()).find(|i| self.counted(*i)) == Some(self.my_rank.index())
     }
 
     fn all_rows_in(&self) -> bool {

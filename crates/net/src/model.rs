@@ -220,9 +220,7 @@ mod tests {
             dup_p: 0.0,
         };
         let mut rng = DetRng::new(4);
-        let delays: Vec<Duration> = (0..50)
-            .map(|_| m.fate(ep(0), ep(1), &mut rng)[0])
-            .collect();
+        let delays: Vec<Duration> = (0..50).map(|_| m.fate(ep(0), ep(1), &mut rng)[0]).collect();
         assert!(delays.iter().any(|&d| d != delays[0]));
         assert!(delays.iter().all(|&d| d >= Duration::from_micros(10)));
     }

@@ -134,7 +134,9 @@ mod tests {
         let mut dsts: Vec<u32> = arr.iter().map(|a| a.dst.id()).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, vec![0, 2, 3]);
-        assert!(arr.iter().all(|a| a.at == Time(0) + Duration::from_micros(10)));
+        assert!(arr
+            .iter()
+            .all(|a| a.at == Time(0) + Duration::from_micros(10)));
     }
 
     #[test]
@@ -173,8 +175,14 @@ mod tests {
     #[test]
     fn per_link_fifo_under_constant_latency() {
         let mut net = Network::new(eps(2), PerfectModel::ethernet(), 4);
-        let a = net.transmit(Time(0), Packet::point(Endpoint::new(0), Endpoint::new(1), vec![1]));
-        let b = net.transmit(Time(5), Packet::point(Endpoint::new(0), Endpoint::new(1), vec![2]));
+        let a = net.transmit(
+            Time(0),
+            Packet::point(Endpoint::new(0), Endpoint::new(1), vec![1]),
+        );
+        let b = net.transmit(
+            Time(5),
+            Packet::point(Endpoint::new(0), Endpoint::new(1), vec![2]),
+        );
         assert!(a[0].at < b[0].at, "constant latency preserves send order");
     }
 }

@@ -1,0 +1,62 @@
+//! A real-socket, thread-pooled runtime for the ensemble layer stacks.
+//!
+//! The deterministic simulator (`ensemble::sim`) executes stacks over a
+//! modeled network in virtual time. This crate executes the *same* stacks
+//! — same layers, same engines, same marshaling, same synthesized
+//! bypasses — over real transports in wall-clock time:
+//!
+//! * [`Transport`] is the seam: datagrams in, datagrams out, loss allowed.
+//!   [`LoopbackHub`] provides an in-process hub with deterministic,
+//!   seedable fault injection; [`UdpTransport`] provides real UDP sockets
+//!   on 127.0.0.1.
+//! * [`Node`] runs M shard workers; each joined group is pinned to one
+//!   shard, so protocol state is single-threaded and lock-free while
+//!   distinct groups run in parallel.
+//! * A hierarchical [`TimerWheel`] per shard feeds `Layer::timer`
+//!   deadlines (retransmission, NAK, suspicion, stability).
+//! * [`GroupHandle`] is the application API: `cast`, `send`, `recv`,
+//!   `install_bypass` — mirroring the simulator's surface so tests can be
+//!   ported between the two with mechanical changes.
+//! * [`Node::stats`] snapshots per-shard counters ([`RuntimeStats`]),
+//!   including the model-cost vocabulary of the paper's Table 2(a).
+//!
+//! ```no_run
+//! use ensemble_runtime::{LoopbackHub, Node, RuntimeConfig};
+//! use ensemble_layers::{LayerConfig, STACK_4};
+//! use ensemble_stack::EngineKind;
+//! use ensemble_event::ViewState;
+//! use ensemble_util::Rank;
+//!
+//! let hub = LoopbackHub::new(7);
+//! let mut node = Node::new(RuntimeConfig::default());
+//! let vs = ViewState::initial(2);
+//! let a = node
+//!     .join(STACK_4, vs.for_rank(Rank(0)), EngineKind::Imp,
+//!           LayerConfig::default(),
+//!           Box::new(hub.attach(vs.members[0])))
+//!     .unwrap();
+//! let b = node
+//!     .join(STACK_4, vs.for_rank(Rank(1)), EngineKind::Imp,
+//!           LayerConfig::default(),
+//!           Box::new(hub.attach(vs.members[1])))
+//!     .unwrap();
+//! a.cast(b"hello").unwrap();
+//! let d = b.recv_timeout(std::time::Duration::from_secs(1));
+//! println!("{d:?}\n{}", node.stats());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod metrics;
+pub mod node;
+pub mod timer;
+pub mod transport;
+pub mod udp;
+
+pub use group::{Action, BypassError, Delivery, GroupCore};
+pub use metrics::{RuntimeStats, ShardMetrics, ShardSnapshot};
+pub use node::{GroupHandle, Node, RuntimeConfig, RuntimeError};
+pub use timer::TimerWheel;
+pub use transport::{FaultCounts, FaultPlan, LoopbackHub, LoopbackTransport, Transport};
+pub use udp::UdpTransport;

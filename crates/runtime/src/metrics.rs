@@ -1,0 +1,226 @@
+//! Per-shard runtime counters and their immutable snapshot.
+//!
+//! Each worker owns one [`ShardMetrics`] (lock-free atomics, updated on the
+//! hot path) and [`crate::Node::stats`] folds every shard into a
+//! [`RuntimeStats`] snapshot. The model-cost [`Counters`] from
+//! `ensemble-util` ride along so the runtime reports the same cost
+//! vocabulary as the Table 2(a) experiments: bypass hits add the compiled
+//! program's instruction count, generic-path events add one dispatch per
+//! layer crossed.
+
+use ensemble_util::Counters;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one shard (one worker thread).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Groups currently assigned to this shard.
+    pub groups: AtomicU64,
+    /// Packets ingested from the transports.
+    pub msgs_in: AtomicU64,
+    /// Packets handed to the transports.
+    pub msgs_out: AtomicU64,
+    /// Bypass invocations whose CCP held (fast path taken).
+    pub bypass_hits: AtomicU64,
+    /// Bypass invocations that fell back (CCP failed or foreign format).
+    pub bypass_misses: AtomicU64,
+    /// Timer-wheel entries fired into `Layer::timer` handlers.
+    pub timers_fired: AtomicU64,
+    /// Transmissions triggered by timer events (mnak/pt2pt recovery).
+    pub retransmits: AtomicU64,
+    /// Commands queued by application handles, not yet drained.
+    pub cmd_depth: AtomicU64,
+    /// Deliveries queued for applications, not yet consumed.
+    pub delivery_depth: AtomicU64,
+    /// Modeled instruction cost of bypass hits (compiled program sizes).
+    pub cost_instructions: AtomicU64,
+    /// Layer-boundary crossings taken by generic-path events.
+    pub cost_dispatches: AtomicU64,
+    /// Marshal/unmarshal buffer allocations on the generic path.
+    pub cost_allocations: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// Reads every counter into an immutable snapshot.
+    pub fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ShardSnapshot {
+            shard,
+            groups: ld(&self.groups),
+            msgs_in: ld(&self.msgs_in),
+            msgs_out: ld(&self.msgs_out),
+            bypass_hits: ld(&self.bypass_hits),
+            bypass_misses: ld(&self.bypass_misses),
+            timers_fired: ld(&self.timers_fired),
+            retransmits: ld(&self.retransmits),
+            cmd_depth: ld(&self.cmd_depth),
+            delivery_depth: ld(&self.delivery_depth),
+            model_cost: Counters {
+                instructions: ld(&self.cost_instructions),
+                data_refs: 0,
+                allocations: ld(&self.cost_allocations),
+                dispatches: ld(&self.cost_dispatches),
+                branches: 0,
+            },
+        }
+    }
+
+    /// Adds a group's model-cost delta into the shard totals.
+    pub fn add_cost(&self, c: &Counters) {
+        self.cost_instructions
+            .fetch_add(c.instructions, Ordering::Relaxed);
+        self.cost_dispatches
+            .fetch_add(c.dispatches, Ordering::Relaxed);
+        self.cost_allocations
+            .fetch_add(c.allocations, Ordering::Relaxed);
+    }
+}
+
+/// One shard's counters at a point in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index (== worker index).
+    pub shard: usize,
+    /// Groups assigned.
+    pub groups: u64,
+    /// Packets in from transports.
+    pub msgs_in: u64,
+    /// Packets out to transports.
+    pub msgs_out: u64,
+    /// Fast-path invocations that held.
+    pub bypass_hits: u64,
+    /// Fast-path invocations that fell back.
+    pub bypass_misses: u64,
+    /// Timer handlers fired.
+    pub timers_fired: u64,
+    /// Timer-triggered transmissions.
+    pub retransmits: u64,
+    /// Pending application commands.
+    pub cmd_depth: u64,
+    /// Pending application deliveries.
+    pub delivery_depth: u64,
+    /// Model-level cost counters (same vocabulary as Table 2(a)).
+    pub model_cost: Counters,
+}
+
+impl ShardSnapshot {
+    /// Fraction of bypass invocations that took the fast path.
+    pub fn bypass_hit_ratio(&self) -> f64 {
+        let total = self.bypass_hits + self.bypass_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.bypass_hits as f64 / total as f64
+    }
+}
+
+/// A whole-node snapshot: one entry per shard.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStats {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl RuntimeStats {
+    /// Sums every shard into one aggregate row (`shard` is meaningless
+    /// there and set to `usize::MAX`).
+    pub fn totals(&self) -> ShardSnapshot {
+        let mut t = ShardSnapshot {
+            shard: usize::MAX,
+            ..ShardSnapshot::default()
+        };
+        for s in &self.shards {
+            t.groups += s.groups;
+            t.msgs_in += s.msgs_in;
+            t.msgs_out += s.msgs_out;
+            t.bypass_hits += s.bypass_hits;
+            t.bypass_misses += s.bypass_misses;
+            t.timers_fired += s.timers_fired;
+            t.retransmits += s.retransmits;
+            t.cmd_depth += s.cmd_depth;
+            t.delivery_depth += s.delivery_depth;
+            t.model_cost.merge(&s.model_cost);
+        }
+        t
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.shards {
+            writeln!(
+                f,
+                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth={}/{}",
+                s.shard,
+                s.groups,
+                s.msgs_in,
+                s.msgs_out,
+                s.bypass_hits,
+                s.bypass_hits + s.bypass_misses,
+                100.0 * s.bypass_hit_ratio(),
+                s.timers_fired,
+                s.retransmits,
+                s.cmd_depth,
+                s.delivery_depth,
+            )?;
+        }
+        let t = self.totals();
+        write!(
+            f,
+            "total: in={} out={} cost: {}",
+            t.msgs_in, t.msgs_out, t.model_cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let m = ShardMetrics::default();
+        m.msgs_in.fetch_add(3, Ordering::Relaxed);
+        m.bypass_hits.fetch_add(2, Ordering::Relaxed);
+        m.bypass_misses.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot(1);
+        assert_eq!(s.shard, 1);
+        assert_eq!(s.msgs_in, 3);
+        assert!((s.bypass_hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_aggregate_shards() {
+        let a = ShardSnapshot {
+            shard: 0,
+            msgs_in: 5,
+            bypass_hits: 1,
+            ..ShardSnapshot::default()
+        };
+        let b = ShardSnapshot {
+            shard: 1,
+            msgs_in: 7,
+            retransmits: 2,
+            ..ShardSnapshot::default()
+        };
+        let stats = RuntimeStats { shards: vec![a, b] };
+        let t = stats.totals();
+        assert_eq!(t.msgs_in, 12);
+        assert_eq!(t.retransmits, 2);
+        assert_eq!(t.bypass_hits, 1);
+    }
+
+    #[test]
+    fn cost_merges_into_snapshot() {
+        let m = ShardMetrics::default();
+        let mut c = Counters::zero();
+        c.instructions = 10;
+        c.dispatches = 4;
+        m.add_cost(&c);
+        m.add_cost(&c);
+        let s = m.snapshot(0);
+        assert_eq!(s.model_cost.instructions, 20);
+        assert_eq!(s.model_cost.dispatches, 8);
+    }
+}

@@ -1,0 +1,487 @@
+//! The thread-pooled executor: [`Node`], shards, and [`GroupHandle`].
+//!
+//! A node owns M worker threads (shards). Each group a process joins is
+//! assigned to one shard (round-robin), and the shard's worker drives
+//! every group it owns through one poll loop:
+//!
+//! 1. accept newly joined groups;
+//! 2. drain a bounded batch of application commands per group;
+//! 3. drain a bounded batch of transport ingress per group;
+//! 4. advance the shard's timer wheel and fire due layer timers;
+//! 5. if nothing happened, sleep briefly (~50 µs) to yield the CPU.
+//!
+//! Sharding gives groups-to-cores parallelism without any locking on the
+//! protocol path: a group's stack is only ever touched by its shard's
+//! thread. The channels at both edges are bounded; see the backpressure
+//! notes on [`GroupHandle`].
+
+use crate::group::{Action, Delivery, GroupCore};
+use crate::metrics::{RuntimeStats, ShardMetrics};
+use crate::timer::TimerWheel;
+use crate::transport::Transport;
+use ensemble_layers::LayerConfig;
+use ensemble_stack::EngineKind;
+use ensemble_util::{Endpoint, Rank, Time};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for a [`Node`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads (= shards). Default: 2.
+    pub workers: usize,
+    /// Application command queue capacity per group.
+    pub cmd_capacity: usize,
+    /// Application delivery queue capacity per group.
+    pub delivery_capacity: usize,
+    /// Commands / packets drained per group per loop iteration.
+    pub batch: usize,
+    /// Sleep when a loop iteration did no work.
+    pub idle_sleep: std::time::Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 2,
+            cmd_capacity: 1024,
+            delivery_capacity: 4096,
+            batch: 64,
+            idle_sleep: std::time::Duration::from_micros(50),
+        }
+    }
+}
+
+/// Why a handle operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The node (or this group's worker) has shut down.
+    Closed,
+    /// The group failed to build or install a bypass; details were
+    /// reported on the join/install result channel.
+    Rejected,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Closed => write!(f, "runtime has shut down"),
+            RuntimeError::Rejected => write!(f, "request rejected by the worker"),
+        }
+    }
+}
+
+enum Command {
+    Cast(Vec<u8>),
+    Send(Rank, Vec<u8>),
+    Suspect(Vec<Rank>),
+    Leave,
+    /// Synthesize + compile the MACH bypass; the result goes back on the
+    /// provided channel.
+    InstallBypass(Sender<Result<(), String>>),
+    DropBypass,
+}
+
+struct JoinSpec {
+    names: Vec<&'static str>,
+    vs: ensemble_event::ViewState,
+    kind: EngineKind,
+    cfg: LayerConfig,
+    transport: Box<dyn Transport>,
+    cmd_rx: Receiver<Command>,
+    delivery_tx: SyncSender<Delivery>,
+    /// Reports stack-build success/failure back to `join`.
+    built: Sender<Result<(), String>>,
+}
+
+struct GroupSlot {
+    core: GroupCore,
+    transport: Box<dyn Transport>,
+    cmd_rx: Receiver<Command>,
+    delivery_tx: SyncSender<Delivery>,
+}
+
+/// A handle to one joined group.
+///
+/// ## Backpressure
+///
+/// Both queues are bounded. A full *command* queue blocks the caller in
+/// [`GroupHandle::cast`]/[`GroupHandle::send`] until the shard catches up
+/// — the application feels the stack's pace. A full *delivery* queue
+/// blocks the shard worker: the runtime never drops an application
+/// delivery, so a consumer that stops reading eventually stalls its whole
+/// shard (every group on it). Drain deliveries promptly or size
+/// `delivery_capacity` for the burst.
+pub struct GroupHandle {
+    ep: Endpoint,
+    rank: Rank,
+    cmd_tx: SyncSender<Command>,
+    delivery_rx: Receiver<Delivery>,
+    metrics: Arc<ShardMetrics>,
+}
+
+impl GroupHandle {
+    /// This member's endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.ep
+    }
+
+    /// This member's rank in the initial view.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn command(&self, c: Command) -> Result<(), RuntimeError> {
+        self.metrics.cmd_depth.fetch_add(1, Ordering::Relaxed);
+        self.cmd_tx.send(c).map_err(|_| {
+            self.metrics.cmd_depth.fetch_sub(1, Ordering::Relaxed);
+            RuntimeError::Closed
+        })
+    }
+
+    /// Multicasts `payload` to the group (blocks on a full queue).
+    pub fn cast(&self, payload: &[u8]) -> Result<(), RuntimeError> {
+        self.command(Command::Cast(payload.to_vec()))
+    }
+
+    /// Sends `payload` point-to-point to `dst` (blocks on a full queue).
+    pub fn send(&self, dst: Rank, payload: &[u8]) -> Result<(), RuntimeError> {
+        self.command(Command::Send(dst, payload.to_vec()))
+    }
+
+    /// Asks the stack to suspect `ranks`.
+    pub fn suspect(&self, ranks: Vec<Rank>) -> Result<(), RuntimeError> {
+        self.command(Command::Suspect(ranks))
+    }
+
+    /// Gracefully leaves the group.
+    pub fn leave(&self) -> Result<(), RuntimeError> {
+        self.command(Command::Leave)
+    }
+
+    /// Synthesizes and installs the MACH bypass for the current view,
+    /// waiting for the worker to compile it.
+    pub fn install_bypass(&self) -> Result<(), RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        self.command(Command::InstallBypass(tx))?;
+        match rx.recv() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(_)) => Err(RuntimeError::Rejected),
+            Err(_) => Err(RuntimeError::Closed),
+        }
+    }
+
+    /// Removes the bypass.
+    pub fn drop_bypass(&self) -> Result<(), RuntimeError> {
+        self.command(Command::DropBypass)
+    }
+
+    /// Blocks up to `timeout` for the next delivery.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Delivery> {
+        match self.delivery_rx.recv_timeout(timeout) {
+            Ok(d) => {
+                self.metrics.delivery_depth.fetch_sub(1, Ordering::Relaxed);
+                Some(d)
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking poll for the next delivery.
+    pub fn try_recv(&self) -> Option<Delivery> {
+        match self.delivery_rx.try_recv() {
+            Ok(d) => {
+                self.metrics.delivery_depth.fetch_sub(1, Ordering::Relaxed);
+                Some(d)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+struct Shard {
+    join_tx: Sender<JoinSpec>,
+    metrics: Arc<ShardMetrics>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A runtime node: M shard workers executing any number of groups.
+pub struct Node {
+    shards: Vec<Shard>,
+    stop: Arc<AtomicBool>,
+    next_shard: usize,
+    cfg: RuntimeConfig,
+    epoch: Instant,
+}
+
+impl Node {
+    /// Starts the worker pool.
+    pub fn new(cfg: RuntimeConfig) -> Node {
+        let stop = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+        let workers = cfg.workers.max(1);
+        let mut shards = Vec::with_capacity(workers);
+        for shard_id in 0..workers {
+            let (join_tx, join_rx) = mpsc::channel::<JoinSpec>();
+            let metrics = Arc::new(ShardMetrics::default());
+            let m = Arc::clone(&metrics);
+            let s = Arc::clone(&stop);
+            let c = cfg.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("ensemble-shard-{shard_id}"))
+                .spawn(move || worker_loop(epoch, join_rx, m, s, c))
+                .expect("spawn shard worker");
+            shards.push(Shard {
+                join_tx,
+                metrics,
+                worker: Some(worker),
+            });
+        }
+        Node {
+            shards,
+            stop,
+            next_shard: 0,
+            cfg,
+            epoch,
+        }
+    }
+
+    /// A node with default tuning.
+    pub fn with_defaults() -> Node {
+        Node::new(RuntimeConfig::default())
+    }
+
+    /// The node's monotonic clock, as stack [`Time`].
+    pub fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Joins a group: builds the stack for `vs` on the next shard and
+    /// connects it to `transport`.
+    pub fn join(
+        &mut self,
+        names: &[&'static str],
+        vs: ensemble_event::ViewState,
+        kind: EngineKind,
+        cfg: LayerConfig,
+        transport: Box<dyn Transport>,
+    ) -> Result<GroupHandle, RuntimeError> {
+        let shard = self.next_shard % self.shards.len();
+        self.next_shard += 1;
+        let (cmd_tx, cmd_rx) = sync_channel(self.cfg.cmd_capacity);
+        let (delivery_tx, delivery_rx) = sync_channel(self.cfg.delivery_capacity);
+        let (built_tx, built_rx) = mpsc::channel();
+        let ep = vs.my_endpoint();
+        let rank = vs.rank;
+        let spec = JoinSpec {
+            names: names.to_vec(),
+            vs,
+            kind,
+            cfg,
+            transport,
+            cmd_rx,
+            delivery_tx,
+            built: built_tx,
+        };
+        self.shards[shard]
+            .join_tx
+            .send(spec)
+            .map_err(|_| RuntimeError::Closed)?;
+        match built_rx.recv() {
+            Ok(Ok(())) => Ok(GroupHandle {
+                ep,
+                rank,
+                cmd_tx,
+                delivery_rx,
+                metrics: Arc::clone(&self.shards[shard].metrics),
+            }),
+            Ok(Err(_)) | Err(_) => Err(RuntimeError::Rejected),
+        }
+    }
+
+    /// Snapshots every shard's counters.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.metrics.snapshot(i))
+                .collect(),
+        }
+    }
+
+    /// Stops the workers and joins them.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for s in &mut self.shards {
+            if let Some(w) = s.worker.take() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One shard's event loop. Owns its groups exclusively.
+fn worker_loop(
+    epoch: Instant,
+    join_rx: Receiver<JoinSpec>,
+    metrics: Arc<ShardMetrics>,
+    stop: Arc<AtomicBool>,
+    cfg: RuntimeConfig,
+) {
+    let mut groups: Vec<GroupSlot> = Vec::new();
+    let mut wheel: TimerWheel<(usize, usize, u64)> =
+        TimerWheel::new(Time(epoch.elapsed().as_nanos() as u64));
+    let mut fired: Vec<(Time, (usize, usize, u64))> = Vec::new();
+    let mut actions: Vec<Action> = Vec::new();
+
+    while !stop.load(Ordering::Relaxed) {
+        let mut busy = false;
+        let now = Time(epoch.elapsed().as_nanos() as u64);
+
+        // 1. Accept new groups.
+        while let Ok(spec) = join_rx.try_recv() {
+            busy = true;
+            match GroupCore::new(&spec.names, spec.vs, spec.kind, spec.cfg, now) {
+                Ok((core, init_actions)) => {
+                    let gidx = groups.len();
+                    groups.push(GroupSlot {
+                        core,
+                        transport: spec.transport,
+                        cmd_rx: spec.cmd_rx,
+                        delivery_tx: spec.delivery_tx,
+                    });
+                    metrics.groups.fetch_add(1, Ordering::Relaxed);
+                    let _ = spec.built.send(Ok(()));
+                    route_actions(&mut groups, gidx, init_actions, &mut wheel, &metrics, false);
+                }
+                Err(e) => {
+                    let _ = spec.built.send(Err(format!("{e:?}")));
+                }
+            }
+        }
+
+        for gidx in 0..groups.len() {
+            // 2. Application commands.
+            for _ in 0..cfg.batch {
+                let cmd = match groups[gidx].cmd_rx.try_recv() {
+                    Ok(c) => c,
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                };
+                metrics.cmd_depth.fetch_sub(1, Ordering::Relaxed);
+                busy = true;
+                let now = Time(epoch.elapsed().as_nanos() as u64);
+                actions.clear();
+                match cmd {
+                    Command::Cast(p) => actions = groups[gidx].core.cast(now, &p),
+                    Command::Send(dst, p) => actions = groups[gidx].core.send(now, dst, &p),
+                    Command::Suspect(ranks) => actions = groups[gidx].core.suspect(now, ranks),
+                    Command::Leave => actions = groups[gidx].core.leave(now),
+                    Command::InstallBypass(reply) => {
+                        let r = groups[gidx]
+                            .core
+                            .install_bypass()
+                            .map_err(|e| e.to_string());
+                        let _ = reply.send(r);
+                    }
+                    Command::DropBypass => groups[gidx].core.drop_bypass(),
+                }
+                let acts = std::mem::take(&mut actions);
+                route_actions(&mut groups, gidx, acts, &mut wheel, &metrics, false);
+            }
+
+            // 3. Transport ingress.
+            for _ in 0..cfg.batch {
+                let pkt = match groups[gidx].transport.try_recv() {
+                    Ok(Some(p)) => p,
+                    Ok(None) => break,
+                    Err(_) => break,
+                };
+                busy = true;
+                metrics.msgs_in.fetch_add(1, Ordering::Relaxed);
+                let now = Time(epoch.elapsed().as_nanos() as u64);
+                let acts = groups[gidx].core.deliver_packet(now, pkt);
+                route_actions(&mut groups, gidx, acts, &mut wheel, &metrics, false);
+            }
+        }
+
+        // 4. Timers.
+        let now = Time(epoch.elapsed().as_nanos() as u64);
+        fired.clear();
+        wheel.advance(now, &mut fired);
+        for (_, (gidx, layer, generation)) in fired.drain(..) {
+            busy = true;
+            metrics.timers_fired.fetch_add(1, Ordering::Relaxed);
+            let acts = groups[gidx].core.fire_timer(now, layer, generation);
+            route_actions(&mut groups, gidx, acts, &mut wheel, &metrics, true);
+        }
+
+        // Fold the groups' counter deltas into the shard metrics.
+        for g in &mut groups {
+            let (hits, misses) = g.core.take_bypass_delta();
+            if hits > 0 {
+                metrics.bypass_hits.fetch_add(hits, Ordering::Relaxed);
+            }
+            if misses > 0 {
+                metrics.bypass_misses.fetch_add(misses, Ordering::Relaxed);
+            }
+            let cost = g.core.take_cost_delta();
+            if cost != ensemble_util::Counters::zero() {
+                metrics.add_cost(&cost);
+            }
+        }
+
+        // 5. Idle.
+        if !busy {
+            std::thread::sleep(cfg.idle_sleep);
+        }
+    }
+}
+
+/// Applies one batch of actions for group `gidx`.
+fn route_actions(
+    groups: &mut [GroupSlot],
+    gidx: usize,
+    actions: Vec<Action>,
+    wheel: &mut TimerWheel<(usize, usize, u64)>,
+    metrics: &ShardMetrics,
+    from_timer: bool,
+) {
+    let g = &mut groups[gidx];
+    for a in actions {
+        match a {
+            Action::Transmit(pkt) => {
+                metrics.msgs_out.fetch_add(1, Ordering::Relaxed);
+                if from_timer {
+                    metrics.retransmits.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = g.transport.send(&pkt);
+            }
+            Action::Timer {
+                layer,
+                deadline,
+                generation,
+            } => {
+                wheel.schedule(deadline, (gidx, layer, generation));
+            }
+            Action::Deliver(d) => {
+                metrics.delivery_depth.fetch_add(1, Ordering::Relaxed);
+                // Blocking: lossless backpressure onto this shard (see
+                // GroupHandle docs). A dropped handle discards instead.
+                if g.delivery_tx.send(d).is_err() {
+                    metrics.delivery_depth.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}

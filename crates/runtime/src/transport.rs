@@ -1,0 +1,365 @@
+//! The runtime's transport seam.
+//!
+//! A [`Transport`] moves [`Packet`]-shaped datagrams between endpoints.
+//! It is deliberately the same seam the simulator's `Network` models —
+//! unreliable, unordered, datagram-oriented — so a stack that survives the
+//! simulator's fault models runs unchanged over a real socket. Two drivers
+//! are provided:
+//!
+//! * [`LoopbackHub`] — an in-process hub over bounded channels, with a
+//!   deterministic, seedable [`FaultPlan`] (drop / duplicate / reorder) for
+//!   integration tests;
+//! * [`crate::UdpTransport`] — real UDP sockets on 127.0.0.1.
+//!
+//! Both are polled (`try_recv`) rather than callback-driven: the shard
+//! worker owns the poll loop, so a transport never needs its own thread.
+
+use ensemble_transport::{decode_datagram, encode_datagram, Packet};
+use ensemble_util::{DetRng, Endpoint};
+use std::collections::HashMap;
+use std::io;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+
+/// A datagram driver bound to one local endpoint.
+///
+/// Implementations must be `Send` (the shard worker owns them) and
+/// non-blocking on both paths. Loss is allowed at any point — the layer
+/// stacks (mnak, pt2pt) recover — but a delivered datagram must arrive
+/// intact and at the right endpoint.
+pub trait Transport: Send {
+    /// The endpoint this transport receives for.
+    fn local_ep(&self) -> Endpoint;
+
+    /// Enqueues one packet (cast fan-out is the driver's job). A full
+    /// egress queue may drop — like a UDP socket buffer — never block.
+    fn send(&mut self, pkt: &Packet) -> io::Result<()>;
+
+    /// Polls one packet; `Ok(None)` when nothing is pending.
+    fn try_recv(&mut self) -> io::Result<Option<Packet>>;
+
+    /// Largest datagram the driver accepts.
+    fn max_datagram(&self) -> usize {
+        60_000
+    }
+}
+
+/// Fault probabilities applied per (packet, recipient) on the loopback hub.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a datagram is silently dropped.
+    pub drop_p: f64,
+    /// Probability a datagram is delivered twice.
+    pub dup_p: f64,
+    /// Probability a datagram is held back and swapped behind the next
+    /// datagram to the same recipient (adjacent reordering).
+    pub reorder_p: f64,
+}
+
+impl FaultPlan {
+    /// No faults: every datagram delivered exactly once, in order.
+    pub fn clean() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A lossy, reordering link for stress tests.
+    pub fn lossy(drop_p: f64, dup_p: f64, reorder_p: f64) -> FaultPlan {
+        FaultPlan {
+            drop_p,
+            dup_p,
+            reorder_p,
+        }
+    }
+}
+
+/// Counts of faults the hub actually injected (plus backpressure drops).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Datagrams dropped by the plan.
+    pub dropped: u64,
+    /// Datagrams duplicated by the plan.
+    pub duplicated: u64,
+    /// Datagrams held back for reordering.
+    pub reordered: u64,
+    /// Datagrams dropped because a recipient's ingress queue was full.
+    pub backpressure_drops: u64,
+}
+
+struct HubPeer {
+    tx: SyncSender<Vec<u8>>,
+}
+
+struct HubInner {
+    peers: HashMap<u64, HubPeer>,
+    rng: DetRng,
+    plan: FaultPlan,
+    /// Held-back datagrams per recipient, delivered after the next
+    /// datagram to the same recipient (or flushed by an idle receiver).
+    holdback: HashMap<u64, Vec<Vec<u8>>>,
+    counts: FaultCounts,
+}
+
+impl HubInner {
+    fn push(&mut self, dst: u64, frame: Vec<u8>) {
+        let Some(peer) = self.peers.get(&dst) else {
+            return;
+        };
+        if peer.tx.try_send(frame).is_err() {
+            self.counts.backpressure_drops += 1;
+        }
+    }
+
+    /// Applies the fault plan to one datagram bound for `dst`.
+    fn deliver(&mut self, dst: u64, frame: &[u8]) {
+        if !self.peers.contains_key(&dst) {
+            return;
+        }
+        if self.rng.chance(self.plan.drop_p) {
+            self.counts.dropped += 1;
+            return;
+        }
+        if self.rng.chance(self.plan.reorder_p) {
+            self.counts.reordered += 1;
+            self.holdback.entry(dst).or_default().push(frame.to_vec());
+            return;
+        }
+        let copies = if self.rng.chance(self.plan.dup_p) {
+            self.counts.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            self.push(dst, frame.to_vec());
+        }
+        self.flush_holdback(dst);
+    }
+
+    fn flush_holdback(&mut self, dst: u64) {
+        let Some(held) = self.holdback.remove(&dst) else {
+            return;
+        };
+        for frame in held {
+            self.push(dst, frame);
+        }
+    }
+}
+
+/// An in-process datagram hub connecting [`LoopbackTransport`] endpoints.
+///
+/// Cloning the hub handle is cheap; all clones share one registry. The
+/// fault plan is driven by a seeded [`DetRng`], so a failing integration
+/// test replays bit-for-bit.
+#[derive(Clone)]
+pub struct LoopbackHub {
+    inner: Arc<Mutex<HubInner>>,
+    capacity: usize,
+}
+
+impl LoopbackHub {
+    /// A fault-free hub (still seedable: the plan can be swapped later).
+    pub fn new(seed: u64) -> LoopbackHub {
+        LoopbackHub::with_faults(seed, FaultPlan::clean())
+    }
+
+    /// A hub injecting `plan` faults, deterministically from `seed`.
+    pub fn with_faults(seed: u64, plan: FaultPlan) -> LoopbackHub {
+        LoopbackHub {
+            inner: Arc::new(Mutex::new(HubInner {
+                peers: HashMap::new(),
+                rng: DetRng::new(seed),
+                plan,
+                holdback: HashMap::new(),
+                counts: FaultCounts::default(),
+            })),
+            capacity: 4096,
+        }
+    }
+
+    /// Ingress queue capacity (datagrams) for transports attached later.
+    pub fn with_capacity(mut self, capacity: usize) -> LoopbackHub {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Registers `ep` and returns its transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ep` is already attached — two receivers for one
+    /// endpoint is a wiring bug, not a runtime condition.
+    pub fn attach(&self, ep: Endpoint) -> LoopbackTransport {
+        let (tx, rx) = sync_channel(self.capacity);
+        let mut inner = self.inner.lock().expect("hub poisoned");
+        let prev = inner.peers.insert(ep.to_wire(), HubPeer { tx });
+        assert!(prev.is_none(), "endpoint attached twice: {ep:?}");
+        LoopbackTransport {
+            ep,
+            hub: Arc::clone(&self.inner),
+            rx,
+        }
+    }
+
+    /// Replaces the fault plan (e.g. to stop faults for a drain phase).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.inner.lock().expect("hub poisoned").plan = plan;
+    }
+
+    /// Faults injected so far.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.inner.lock().expect("hub poisoned").counts
+    }
+}
+
+/// One endpoint's view of a [`LoopbackHub`].
+pub struct LoopbackTransport {
+    ep: Endpoint,
+    hub: Arc<Mutex<HubInner>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl Transport for LoopbackTransport {
+    fn local_ep(&self) -> Endpoint {
+        self.ep
+    }
+
+    fn send(&mut self, pkt: &Packet) -> io::Result<()> {
+        let frame = encode_datagram(pkt);
+        let mut inner = self.hub.lock().expect("hub poisoned");
+        match pkt.dst {
+            ensemble_transport::Dest::Cast => {
+                let peers: Vec<u64> = inner.peers.keys().copied().collect();
+                let me = self.ep.to_wire();
+                for dst in peers {
+                    if dst != me {
+                        inner.deliver(dst, &frame);
+                    }
+                }
+            }
+            ensemble_transport::Dest::Point(dst) => {
+                inner.deliver(dst.to_wire(), &frame);
+            }
+        }
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> io::Result<Option<Packet>> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(frame) => match decode_datagram(&frame) {
+                    Ok(pkt) => return Ok(Some(pkt)),
+                    Err(_) => continue, // foreign datagram: drop, keep polling
+                },
+                Err(TryRecvError::Empty) => {
+                    // Idle: release anything held back for us so a
+                    // reordered datagram cannot be starved forever.
+                    let me = self.ep.to_wire();
+                    self.hub.lock().expect("hub poisoned").flush_holdback(me);
+                    return match self.rx.try_recv() {
+                        Ok(frame) => Ok(decode_datagram(&frame).ok()),
+                        Err(_) => Ok(None),
+                    };
+                }
+                Err(TryRecvError::Disconnected) => return Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cast(src: u32, body: &[u8]) -> Packet {
+        Packet::cast(Endpoint::new(src), body.to_vec())
+    }
+
+    #[test]
+    fn clean_hub_delivers_casts_to_everyone_else() {
+        let hub = LoopbackHub::new(1);
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        let mut c = hub.attach(Endpoint::new(2));
+        a.send(&cast(0, b"hi")).unwrap();
+        assert!(a.try_recv().unwrap().is_none(), "no self-delivery");
+        let pb = b.try_recv().unwrap().expect("b receives");
+        let pc = c.try_recv().unwrap().expect("c receives");
+        assert_eq!(pb.bytes, b"hi");
+        assert_eq!(pc.src, Endpoint::new(0));
+    }
+
+    #[test]
+    fn point_reaches_only_the_target() {
+        let hub = LoopbackHub::new(1);
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        let mut c = hub.attach(Endpoint::new(2));
+        let pkt = Packet::point(Endpoint::new(0), Endpoint::new(2), b"x".to_vec());
+        a.send(&pkt).unwrap();
+        assert!(b.try_recv().unwrap().is_none());
+        assert_eq!(c.try_recv().unwrap().unwrap().bytes, b"x");
+    }
+
+    #[test]
+    fn drop_plan_loses_packets_deterministically() {
+        let run = |seed| {
+            let hub = LoopbackHub::with_faults(seed, FaultPlan::lossy(0.5, 0.0, 0.0));
+            let a = hub.attach(Endpoint::new(0));
+            let mut b = hub.attach(Endpoint::new(1));
+            let mut a = a;
+            for i in 0..100u8 {
+                a.send(&cast(0, &[i])).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Some(p) = b.try_recv().unwrap() {
+                got.push(p.bytes[0]);
+            }
+            got
+        };
+        let first = run(7);
+        assert!(first.len() < 100, "some packets must drop");
+        assert!(!first.is_empty(), "some packets must survive");
+        assert_eq!(first, run(7), "same seed, same faults");
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_packets() {
+        let hub = LoopbackHub::with_faults(3, FaultPlan::lossy(0.0, 0.0, 0.4));
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        for i in 0..200u8 {
+            a.send(&cast(0, &[i])).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(p) = b.try_recv().unwrap() {
+            got.push(p.bytes[0]);
+        }
+        assert_eq!(got.len(), 200, "reordering must not lose packets");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_ne!(got, sorted, "some packets must arrive out of order");
+        assert_eq!(sorted, (0..200u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let hub = LoopbackHub::with_faults(9, FaultPlan::lossy(0.0, 1.0, 0.0));
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        a.send(&cast(0, b"dup")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"dup");
+        assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"dup");
+        assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn full_ingress_queue_drops_not_blocks() {
+        let hub = LoopbackHub::new(5).with_capacity(4);
+        let mut a = hub.attach(Endpoint::new(0));
+        let _b = hub.attach(Endpoint::new(1));
+        for i in 0..10u8 {
+            a.send(&cast(0, &[i])).unwrap(); // must not block
+        }
+        assert_eq!(hub.fault_counts().backpressure_drops, 6);
+    }
+}

@@ -1,0 +1,196 @@
+//! A UDP driver for the transport seam.
+//!
+//! One non-blocking `UdpSocket` per endpoint, bound to 127.0.0.1 on an
+//! ephemeral port. Group membership is static wiring here: after binding
+//! every node, exchange `(endpoint, local_addr)` pairs out of band and
+//! call [`UdpTransport::add_peer`] for each — the same two-phase setup a
+//! deployment would do through a membership service. Casts fan out as one
+//! `send_to` per peer (no multicast: loopback IGMP support varies and the
+//! stacks don't need it).
+//!
+//! Loss semantics match the seam contract: a full socket buffer drops
+//! (`WouldBlock` on send is counted, not retried) and the stacks' own
+//! retransmission recovers.
+
+use crate::transport::Transport;
+use ensemble_transport::{decode_datagram, encode_datagram, Dest, Packet};
+use ensemble_util::Endpoint;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// A [`Transport`] over a real UDP socket on 127.0.0.1.
+pub struct UdpTransport {
+    ep: Endpoint,
+    sock: UdpSocket,
+    peers: HashMap<u64, SocketAddr>,
+    buf: Vec<u8>,
+    /// Datagrams the socket refused to queue (kernel buffer full).
+    pub egress_drops: u64,
+    /// Datagrams that failed the envelope check (foreign traffic).
+    pub foreign_drops: u64,
+}
+
+impl UdpTransport {
+    /// Binds `ep` to an ephemeral loopback port.
+    pub fn bind(ep: Endpoint) -> io::Result<UdpTransport> {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        sock.set_nonblocking(true)?;
+        Ok(UdpTransport {
+            ep,
+            sock,
+            peers: HashMap::new(),
+            buf: vec![0u8; 65_536],
+            egress_drops: 0,
+            foreign_drops: 0,
+        })
+    }
+
+    /// The bound socket address (to hand to the other nodes' `add_peer`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+
+    /// Wires a remote endpoint to its socket address.
+    pub fn add_peer(&mut self, ep: Endpoint, addr: SocketAddr) {
+        self.peers.insert(ep.to_wire(), addr);
+    }
+
+    fn send_to(&mut self, frame: &[u8], addr: SocketAddr) {
+        match self.sock.send_to(frame, addr) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.egress_drops += 1,
+            // Transient ICMP-driven errors (e.g. a peer not yet bound)
+            // are indistinguishable from loss at this seam.
+            Err(_) => self.egress_drops += 1,
+        }
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_ep(&self) -> Endpoint {
+        self.ep
+    }
+
+    fn send(&mut self, pkt: &Packet) -> io::Result<()> {
+        let frame = encode_datagram(pkt);
+        if frame.len() > self.max_datagram() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "datagram exceeds max size; fragment above the transport",
+            ));
+        }
+        match pkt.dst {
+            Dest::Cast => {
+                let me = self.ep.to_wire();
+                let targets: Vec<SocketAddr> = self
+                    .peers
+                    .iter()
+                    .filter(|(ep, _)| **ep != me)
+                    .map(|(_, a)| *a)
+                    .collect();
+                for addr in targets {
+                    self.send_to(&frame, addr);
+                }
+            }
+            Dest::Point(dst) => {
+                if let Some(addr) = self.peers.get(&dst.to_wire()).copied() {
+                    self.send_to(&frame, addr);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> io::Result<Option<Packet>> {
+        loop {
+            match self.sock.recv_from(&mut self.buf) {
+                Ok((n, _from)) => match decode_datagram(&self.buf[..n]) {
+                    Ok(pkt) => return Ok(Some(pkt)),
+                    Err(_) => {
+                        self.foreign_drops += 1;
+                        continue;
+                    }
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Connection-refused style errors surface asynchronously
+                // on unconnected UDP sockets; treat as an empty poll.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Binds a pair of wired-up transports, or `None` when the sandbox
+    /// denies loopback sockets (tests then skip rather than fail).
+    fn pair() -> Option<(UdpTransport, UdpTransport)> {
+        let mut a = UdpTransport::bind(Endpoint::new(0)).ok()?;
+        let mut b = UdpTransport::bind(Endpoint::new(1)).ok()?;
+        let (aa, ba) = (a.local_addr().ok()?, b.local_addr().ok()?);
+        a.add_peer(Endpoint::new(1), ba);
+        b.add_peer(Endpoint::new(0), aa);
+        Some((a, b))
+    }
+
+    fn recv_spin(t: &mut UdpTransport) -> Option<Packet> {
+        for _ in 0..2000 {
+            if let Some(p) = t.try_recv().unwrap() {
+                return Some(p);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        None
+    }
+
+    #[test]
+    fn udp_roundtrip_on_loopback() {
+        let Some((mut a, mut b)) = pair() else {
+            eprintln!("skipping: UDP bind on 127.0.0.1 denied");
+            return;
+        };
+        a.send(&Packet::cast(Endpoint::new(0), b"ping".to_vec()))
+            .unwrap();
+        let p = recv_spin(&mut b).expect("datagram arrives on loopback");
+        assert_eq!(p.bytes, b"ping");
+        assert_eq!(p.src, Endpoint::new(0));
+        b.send(&Packet::point(
+            Endpoint::new(1),
+            Endpoint::new(0),
+            b"pong".to_vec(),
+        ))
+        .unwrap();
+        let p = recv_spin(&mut a).expect("reply arrives");
+        assert_eq!(p.bytes, b"pong");
+    }
+
+    #[test]
+    fn foreign_datagrams_are_dropped() {
+        let Some((a, mut b)) = pair() else {
+            eprintln!("skipping: UDP bind on 127.0.0.1 denied");
+            return;
+        };
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        raw.send_to(b"not an ensemble frame", b.local_addr().unwrap())
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(b.try_recv().unwrap().is_none());
+        assert_eq!(b.foreign_drops, 1);
+        drop(a);
+    }
+
+    #[test]
+    fn oversized_datagram_is_refused() {
+        let Some((mut a, _b)) = pair() else {
+            eprintln!("skipping: UDP bind on 127.0.0.1 denied");
+            return;
+        };
+        let big = Packet::cast(Endpoint::new(0), vec![0u8; 70_000]);
+        assert!(a.send(&big).is_err());
+    }
+}

@@ -244,7 +244,11 @@ mod tests {
             vec![Property::TotalOrder],
             vec![Property::Membership],
             vec![Property::SendFlowControl],
-            vec![Property::TotalOrder, Property::BigMessages, Property::Privacy],
+            vec![
+                Property::TotalOrder,
+                Property::BigMessages,
+                Property::Privacy,
+            ],
         ] {
             let s = select_stack(&props);
             check_stack(&s).unwrap_or_else(|e| panic!("{props:?} → {s:?}: {e}"));
@@ -285,7 +289,10 @@ mod tests {
 
     #[test]
     fn missing_bottom_rejected() {
-        assert_eq!(check_stack(&["top", "mnak"]).unwrap_err(), CompatError::NoBottom);
+        assert_eq!(
+            check_stack(&["top", "mnak"]).unwrap_err(),
+            CompatError::NoBottom
+        );
     }
 
     #[test]

@@ -1,7 +1,32 @@
 //! The execution-engine interface shared by the IMP and FUNC compositions.
 
 use ensemble_event::{DnEvent, UpEvent};
+use ensemble_layers::Layer;
 use ensemble_util::Time;
+
+/// Which composition engine runs a stack.
+///
+/// Shared by every harness that executes stacks — the deterministic
+/// simulator (`ensemble::sim`) and the real-socket runtime
+/// (`ensemble-runtime`) — so the two can be swapped without touching
+/// application code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Central event scheduler (the paper's imperative configuration).
+    Imp,
+    /// Recursive functional composition.
+    Func,
+}
+
+impl EngineKind {
+    /// Binds `layers` to this execution strategy.
+    pub fn build(self, layers: Vec<Box<dyn Layer>>) -> Box<dyn Engine> {
+        match self {
+            EngineKind::Imp => Box::new(crate::ImpEngine::new(layers)),
+            EngineKind::Func => Box::new(crate::FuncEngine::new(layers)),
+        }
+    }
+}
 
 /// Events that crossed the stack boundary during processing.
 #[derive(Debug, Default)]

@@ -176,9 +176,7 @@ mod tests {
         let vs = ViewState::initial(3);
         let cfg = LayerConfig::default();
         // A sender produces real wire messages to feed both receivers.
-        let mut sender = FuncEngine::new(
-            make_stack(STACK_4, &vs.for_rank(Rank(1)), &cfg).unwrap(),
-        );
+        let mut sender = FuncEngine::new(make_stack(STACK_4, &vs.for_rank(Rank(1)), &cfg).unwrap());
         sender.init(Time::ZERO);
         let mut f = FuncEngine::new(make_stack(STACK_4, &vs, &cfg).unwrap());
         let mut i = ImpEngine::new(make_stack(STACK_4, &vs, &cfg).unwrap());

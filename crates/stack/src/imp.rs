@@ -163,8 +163,12 @@ mod tests {
         let vs = ViewState::initial(3);
         // Build a sender at rank 1 and a receiver at rank 0.
         let mut sender = ImpEngine::new(
-            make_stack(STACK_4, &vs.for_rank(ensemble_util::Rank(1)), &LayerConfig::default())
-                .unwrap(),
+            make_stack(
+                STACK_4,
+                &vs.for_rank(ensemble_util::Rank(1)),
+                &LayerConfig::default(),
+            )
+            .unwrap(),
         );
         sender.init(Time::ZERO);
         let mut receiver = engine();
@@ -189,8 +193,12 @@ mod tests {
         let vs = ViewState::initial(3);
         let mut a = engine();
         let mut b = ImpEngine::new(
-            make_stack(STACK_4, &vs.for_rank(ensemble_util::Rank(1)), &LayerConfig::default())
-                .unwrap(),
+            make_stack(
+                STACK_4,
+                &vs.for_rank(ensemble_util::Rank(1)),
+                &LayerConfig::default(),
+            )
+            .unwrap(),
         );
         b.init(Time::ZERO);
         let out = a.inject_dn(

@@ -24,7 +24,7 @@ pub mod imp;
 pub mod select;
 
 pub use compat::{check_stack, CompatError, SpecId};
-pub use engine::{Boundary, Engine};
+pub use engine::{Boundary, Engine, EngineKind};
 pub use func::FuncEngine;
 pub use imp::ImpEngine;
 pub use select::{select_stack, Property};

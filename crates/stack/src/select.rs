@@ -121,9 +121,7 @@ pub fn select_stack(props: &[Property]) -> Vec<&'static str> {
         }
     }
 
-    let mut names: BTreeSet<&'static str> = ["top", "bottom", "partial_appl"]
-        .into_iter()
-        .collect();
+    let mut names: BTreeSet<&'static str> = ["top", "bottom", "partial_appl"].into_iter().collect();
     for p in &want {
         let layers: &[&'static str] = match p {
             Property::ReliableCast | Property::Fifo => &["mnak"],

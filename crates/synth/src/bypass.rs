@@ -337,9 +337,7 @@ impl<'a> Compiler<'a> {
                         .ok_or_else(|| CodegenError::UnknownField(format!("{v}.{f}")))?;
                     ops.push(Op::Field(*slot));
                 }
-                other => {
-                    return Err(CodegenError::Unsupported(format!("GetF on {other:?}")))
-                }
+                other => return Err(CodegenError::Unsupported(format!("GetF on {other:?}"))),
             },
             Term::Prim(Prim::VecGet, args) => {
                 let slot = self.vec_slot(&args[0])?;
@@ -370,9 +368,7 @@ impl<'a> Compiler<'a> {
                     Prim::And => Op::And,
                     Prim::Or => Op::Or,
                     Prim::Not => Op::Not,
-                    other => {
-                        return Err(CodegenError::Unsupported(format!("{other:?}")))
-                    }
+                    other => return Err(CodegenError::Unsupported(format!("{other:?}"))),
                 });
             }
             other => return Err(CodegenError::Unsupported(format!("{other:?}"))),
@@ -511,7 +507,8 @@ fn compile_case(
             // args = [origin, msg]; the delivered message must be bare.
             if let Term::Con(mn, margs) = &args[1] {
                 if mn.as_str() == "Msg" {
-                    let empty = matches!(&margs[0], Term::Con(h, a) if h.as_str() == "nil" && a.is_empty());
+                    let empty =
+                        matches!(&margs[0], Term::Con(h, a) if h.as_str() == "nil" && a.is_empty());
                     if !empty {
                         return Err(CodegenError::ResidualHeaders(format!("{:?}", margs[0])));
                     }
@@ -929,7 +926,10 @@ mod tests {
         assert!(matches!(receiver.up_cast(0, &b2), BypassOutput::Fallback));
         assert_eq!(receiver.fallbacks, 1);
         // In-order still works.
-        assert!(matches!(receiver.up_cast(0, &b1), BypassOutput::Done { .. }));
+        assert!(matches!(
+            receiver.up_cast(0, &b1),
+            BypassOutput::Done { .. }
+        ));
     }
 
     #[test]

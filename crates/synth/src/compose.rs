@@ -139,9 +139,7 @@ fn mentions_slow(t: &Term) -> bool {
         Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Var(_) => false,
         Term::Let(_, a, b) => mentions_slow(a) || mentions_slow(b),
         Term::If(c, a, b) => mentions_slow(c) || mentions_slow(a) || mentions_slow(b),
-        Term::Match(s, arms) => {
-            mentions_slow(s) || arms.iter().any(|(_, b)| mentions_slow(b))
-        }
+        Term::Match(s, arms) => mentions_slow(s) || arms.iter().any(|(_, b)| mentions_slow(b)),
         Term::Prim(_, args) | Term::App(_, args) => args.iter().any(mentions_slow),
         Term::GetF(e, _) => mentions_slow(e),
         Term::SetF(e, _, v) => mentions_slow(e) || mentions_slow(v),
@@ -149,11 +147,7 @@ fn mentions_slow(t: &Term) -> bool {
 }
 
 /// Lifts undischarged guards of slow paths into extra CCP conjuncts.
-fn lift_conditions(
-    mut t: Term,
-    lifted: &mut Vec<Term>,
-    defs: &FnDefs,
-) -> Term {
+fn lift_conditions(mut t: Term, lifted: &mut Vec<Term>, defs: &FnDefs) -> Term {
     loop {
         match t {
             Term::If(c, a, b) => {
@@ -163,10 +157,7 @@ fn lift_conditions(
                     ctx.assume((*c).clone());
                     t = simplify(&ctx, &a);
                 } else if mentions_slow(&a) && !mentions_slow(&b) {
-                    let neg = Term::Prim(
-                        ensemble_ir::term::Prim::Not,
-                        vec![(*c).clone()],
-                    );
+                    let neg = Term::Prim(ensemble_ir::term::Prim::Not, vec![(*c).clone()]);
                     lifted.push(neg.clone());
                     let mut ctx = RewriteCtx::new(defs);
                     ctx.assume(neg);
@@ -459,10 +450,7 @@ pub fn synthesize(names: &[&str], ctx: &ModelCtx) -> Result<StackSynthesis, Synt
     let (models, layer_theorems) = theorems_for(names, ctx, &defs)?;
     let owned_names: Vec<String> = names.iter().map(|s| (*s).to_owned()).collect();
 
-    let entry = con(
-        "Msg",
-        vec![list(vec![]), var("payload"), var("len")],
-    );
+    let entry = con("Msg", vec![list(vec![]), var("payload"), var("len")]);
 
     // Coordinator-side down paths define the wire format.
     let coord_ctx = ModelCtx { rank: 0, ..*ctx };
@@ -492,9 +480,7 @@ pub fn synthesize(names: &[&str], ctx: &ModelCtx) -> Result<StackSynthesis, Synt
         cases.insert(Case::DnSend, coord_dn_send);
     } else {
         for (case, entry_msg) in [(Case::DnCast, entry.clone()), (Case::DnSend, entry)] {
-            if let Ok(th) =
-                compose_case(case, &owned_names, &layer_theorems, &defs, entry_msg)
-            {
+            if let Ok(th) = compose_case(case, &owned_names, &layer_theorems, &defs, entry_msg) {
                 cases.insert(case, th);
             }
         }
@@ -609,11 +595,7 @@ mod tests {
         let s = synthesize(STACK_10, &ModelCtx::new(3, 0)).unwrap();
         // Paper: headers compress "typically to just 16 bytes". Our cast
         // header carries the mnak seqno and the total order.
-        assert!(
-            s.cast_template.wire_bytes() <= 24,
-            "{}",
-            s.cast_template
-        );
+        assert!(s.cast_template.wire_bytes() <= 24, "{}", s.cast_template);
         assert!(s.cast_template.nconsts() >= 8, "{}", s.cast_template);
     }
 

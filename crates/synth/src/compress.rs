@@ -177,9 +177,7 @@ pub fn templatize(msg: &Term) -> Result<HeaderTemplate, CompressError> {
                         frames.push((fname.as_str(), fields));
                         abstract_frames.push(Term::Con(*fname, abs_args));
                     }
-                    other => {
-                        return Err(CompressError::NotExplicit(format!("{other:?}")))
-                    }
+                    other => return Err(CompressError::NotExplicit(format!("{other:?}"))),
                 }
                 cur = &args[1];
             }
@@ -253,7 +251,11 @@ mod tests {
     fn rejects_transformed_payload() {
         let m = con(
             "Msg",
-            vec![list(vec![]), con("Cipher", vec![var("payload")]), var("len")],
+            vec![
+                list(vec![]),
+                con("Cipher", vec![var("payload")]),
+                var("len"),
+            ],
         );
         assert!(matches!(
             templatize(&m),

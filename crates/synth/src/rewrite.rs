@@ -84,8 +84,7 @@ impl<'a> RewriteCtx<'a> {
         if let Term::Prim(Prim::Not, args) = t {
             return self.implied(&args[0]);
         }
-        self.facts
-            .contains(&Term::Prim(Prim::Not, vec![t.clone()]))
+        self.facts.contains(&Term::Prim(Prim::Not, vec![t.clone()]))
     }
 
     /// Looks up a constructor equated with `t` by the CCP.
@@ -124,9 +123,7 @@ fn count_var(t: &Term, v: Intern) -> usize {
     match t {
         Term::Var(x) => usize::from(*x == v),
         Term::Unit | Term::Bool(_) | Term::Int(_) => 0,
-        Term::Let(x, a, b) => {
-            count_var(a, v) + if *x == v { 0 } else { count_var(b, v) }
-        }
+        Term::Let(x, a, b) => count_var(a, v) + if *x == v { 0 } else { count_var(b, v) },
         Term::If(c, t1, e) => count_var(c, v) + count_var(t1, v) + count_var(e, v),
         Term::Con(_, args) | Term::Prim(_, args) | Term::App(_, args) => {
             args.iter().map(|a| count_var(a, v)).sum()
@@ -172,15 +169,9 @@ fn freshen(ctx: &RewriteCtx<'_>, t: &Term) -> Term {
                 Box::new(go(ctx, t1, ren)),
                 Box::new(go(ctx, e, ren)),
             ),
-            Term::Con(n, args) => {
-                Term::Con(*n, args.iter().map(|a| go(ctx, a, ren)).collect())
-            }
-            Term::Prim(p, args) => {
-                Term::Prim(*p, args.iter().map(|a| go(ctx, a, ren)).collect())
-            }
-            Term::App(f, args) => {
-                Term::App(*f, args.iter().map(|a| go(ctx, a, ren)).collect())
-            }
+            Term::Con(n, args) => Term::Con(*n, args.iter().map(|a| go(ctx, a, ren)).collect()),
+            Term::Prim(p, args) => Term::Prim(*p, args.iter().map(|a| go(ctx, a, ren)).collect()),
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| go(ctx, a, ren)).collect()),
             Term::Match(s, arms) => {
                 let s2 = go(ctx, s, ren);
                 let arms2 = arms
@@ -206,11 +197,9 @@ fn freshen(ctx: &RewriteCtx<'_>, t: &Term) -> Term {
                 Term::Match(Box::new(s2), arms2)
             }
             Term::GetF(e, f) => Term::GetF(Box::new(go(ctx, e, ren)), *f),
-            Term::SetF(e, f, v) => Term::SetF(
-                Box::new(go(ctx, e, ren)),
-                *f,
-                Box::new(go(ctx, v, ren)),
-            ),
+            Term::SetF(e, f, v) => {
+                Term::SetF(Box::new(go(ctx, e, ren)), *f, Box::new(go(ctx, v, ren)))
+            }
         }
     }
     fn restore(ren: &mut HashMap<Intern, Intern>, k: Intern, old: Option<Intern>) {
@@ -256,7 +245,11 @@ fn pass(ctx: &RewriteCtx<'_>, t: &Term) -> Term {
             if ctx.refuted(&c2) {
                 return pass(ctx, el);
             }
-            Term::If(Box::new(c2), Box::new(pass(ctx, th)), Box::new(pass(ctx, el)))
+            Term::If(
+                Box::new(c2),
+                Box::new(pass(ctx, th)),
+                Box::new(pass(ctx, el)),
+            )
         }
         Term::Con(n, args) => Term::Con(*n, args.iter().map(|a| pass(ctx, a)).collect()),
         Term::Match(s, arms) => {
@@ -285,7 +278,9 @@ fn pass(ctx: &RewriteCtx<'_>, t: &Term) -> Term {
             }
             Term::Match(
                 Box::new(s2),
-                arms.iter().map(|(p, b)| (p.clone(), pass(ctx, b))).collect(),
+                arms.iter()
+                    .map(|(p, b)| (p.clone(), pass(ctx, b)))
+                    .collect(),
             )
         }
         Term::Prim(p, args) => {
@@ -361,9 +356,7 @@ fn fold_prim(ctx: &RewriteCtx<'_>, p: Prim, args: Vec<Term>) -> Term {
         // Constructor-equality decomposition: `C(a…) = C(b…)` becomes the
         // conjunction of the argument equalities (injectivity of data
         // constructors).
-        (Prim::Eq, [Term::Con(n1, a1), Term::Con(n2, a2)])
-            if n1 == n2 && a1.len() == a2.len() =>
-        {
+        (Prim::Eq, [Term::Con(n1, a1), Term::Con(n2, a2)]) if n1 == n2 && a1.len() == a2.len() => {
             let mut acc = Bool(true);
             for (x, y) in a1.iter().zip(a2.iter()) {
                 let e = fold_prim(ctx, Prim::Eq, vec![x.clone(), y.clone()]);
@@ -415,11 +408,11 @@ mod tests {
     fn constant_folding() {
         let d = defs();
         let ctx = RewriteCtx::new(&d);
-        assert_eq!(simplify(&ctx, &add(Term::Int(2), Term::Int(3))), Term::Int(5));
         assert_eq!(
-            simplify(&ctx, &add(var("x"), Term::Int(0))),
-            var("x")
+            simplify(&ctx, &add(Term::Int(2), Term::Int(3))),
+            Term::Int(5)
         );
+        assert_eq!(simplify(&ctx, &add(var("x"), Term::Int(0))), var("x"));
     }
 
     #[test]
@@ -487,10 +480,7 @@ mod tests {
         let d = defs();
         let ctx = RewriteCtx::new(&d);
         let t = let_("x", getf(var("s"), "n"), add(var("x"), Term::Int(1)));
-        assert_eq!(
-            simplify(&ctx, &t),
-            add(getf(var("s"), "n"), Term::Int(1))
-        );
+        assert_eq!(simplify(&ctx, &t), add(getf(var("s"), "n"), Term::Int(1)));
     }
 
     /// The paper's Bottom example: under the CCP the down-send residual is

@@ -9,7 +9,7 @@
 
 use crate::wire::{WireError, WireReader, WireWriter};
 use ensemble_event::{
-    CollectHdr, FlowHdr, Frame, FragHdr, GmpHdr, MnakHdr, Msg, Payload, Pt2PtHdr, StableHdr,
+    CollectHdr, FlowHdr, FragHdr, Frame, GmpHdr, MnakHdr, Msg, Payload, Pt2PtHdr, StableHdr,
     SuspectHdr, SyncHdr, TotalHdr,
 };
 use ensemble_util::{Endpoint, Rank, Seqno};
@@ -164,9 +164,7 @@ fn unmarshal_frame(r: &mut WireReader<'_>) -> Result<Frame, WireError> {
             total: r.u16()?,
         }),
         11 => Frame::Collect(CollectHdr::Pass),
-        12 => Frame::Collect(CollectHdr::Gossip {
-            seen: r.u64_vec()?,
-        }),
+        12 => Frame::Collect(CollectHdr::Gossip { seen: r.u64_vec()? }),
         13 => Frame::Total(TotalHdr::Ordered {
             order: Seqno(r.u64()?),
         }),
@@ -187,18 +185,12 @@ fn unmarshal_frame(r: &mut WireReader<'_>) -> Result<Frame, WireError> {
         22 => Frame::Sync(SyncHdr::Flush {
             suspects: r.u64_vec()?,
         }),
-        23 => Frame::Sync(SyncHdr::FlushOk {
-            seen: r.u64_vec()?,
-        }),
+        23 => Frame::Sync(SyncHdr::FlushOk { seen: r.u64_vec()? }),
         24 => Frame::Gmp(GmpHdr::Pass),
         25 => Frame::Gmp(GmpHdr::NewView {
             view_id_ltime: r.u64()?,
             coord: Endpoint::from_wire(r.u64()?),
-            members: r
-                .u64_vec()?
-                .into_iter()
-                .map(Endpoint::from_wire)
-                .collect(),
+            members: r.u64_vec()?.into_iter().map(Endpoint::from_wire).collect(),
         }),
         26 => Frame::Sign { mac: r.u64()? },
         27 => Frame::Encrypt { keyid: r.u32()? },

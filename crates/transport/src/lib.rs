@@ -10,12 +10,20 @@
 //!   by the IMP and FUNC configurations;
 //! * [`compressed`] — the 16-byte compressed header format produced by the
 //!   synthesis pipeline (§4.1.3 "header compression"), used by the HAND and
-//!   MACH bypasses.
+//!   MACH bypasses;
+//! * [`packet`] — the transport-seam packet type shared by the simulator
+//!   and the real-socket runtime;
+//! * [`datagram`] — the envelope framing packets over real datagram
+//!   sockets (magic/version/src/dst + marshaled bytes).
 
 pub mod compressed;
+pub mod datagram;
 pub mod generic;
+pub mod packet;
 pub mod wire;
 
 pub use compressed::{stack_id, CompressedHdr, COMPRESSED_BASE_LEN};
+pub use datagram::{decode_datagram, encode_datagram, DATAGRAM_OVERHEAD};
 pub use generic::{marshal, unmarshal};
+pub use packet::{Dest, Packet};
 pub use wire::{WireError, WireReader, WireWriter};

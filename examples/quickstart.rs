@@ -27,15 +27,8 @@ fn main() {
         drop_p: 0.10,
         dup_p: 0.02,
     };
-    let mut sim = Simulation::new(
-        3,
-        STACK_10,
-        EngineKind::Imp,
-        LayerConfig::fast(),
-        model,
-        42,
-    )
-    .expect("stack builds");
+    let mut sim = Simulation::new(3, STACK_10, EngineKind::Imp, LayerConfig::fast(), model, 42)
+        .expect("stack builds");
 
     // 4. Everybody talks.
     for i in 0..5u8 {
@@ -61,5 +54,8 @@ fn main() {
         "\nnetwork: {} packets sent, {} copies dropped, {} duplicated — all masked",
         stats.sent, stats.dropped, stats.duplicated
     );
-    println!("quickstart ok: {} messages, total order preserved", reference.len());
+    println!(
+        "quickstart ok: {} messages, total order preserved",
+        reference.len()
+    );
 }

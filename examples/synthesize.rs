@@ -9,9 +9,7 @@
 
 use ensemble::Payload;
 use ensemble_ir::models::{layer_defs, model, Case, ModelCtx};
-use ensemble_synth::{
-    check_layer_theorem, optimize_layer, synthesize, BypassOutput, StackBypass,
-};
+use ensemble_synth::{check_layer_theorem, optimize_layer, synthesize, BypassOutput, StackBypass};
 use std::time::Instant;
 
 fn main() {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Everything here runs offline (no crates.io access).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> runtime integration tests (release)"
+cargo test --release -p ensemble-runtime --test loopback_stack
+cargo test --release -p ensemble-runtime --test udp_smoke
+
+echo "CI OK"

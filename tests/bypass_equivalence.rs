@@ -123,12 +123,11 @@ fn fallback_inputs_are_handled_by_the_native_stack() {
     let mut nat_sender = native_engine(0, 2);
 
     // Produce two wire messages (both native and MACH encodings).
-    let mk = |sender: &mut StackBypass, body: &[u8]| match sender
-        .dn_cast(&Payload::from_slice(body))
-    {
-        BypassOutput::Done { wire, .. } => wire.unwrap().1,
-        other => panic!("{other:?}"),
-    };
+    let mk =
+        |sender: &mut StackBypass, body: &[u8]| match sender.dn_cast(&Payload::from_slice(body)) {
+            BypassOutput::Done { wire, .. } => wire.unwrap().1,
+            other => panic!("{other:?}"),
+        };
     let _m1 = mk(&mut mach_sender, b"first");
     let m2 = mk(&mut mach_sender, b"second");
 
@@ -204,7 +203,10 @@ fn hand_and_mach_reject_each_other_safely() {
         mach_b.up_send(0, &mach_bytes),
         BypassOutput::Done { .. }
     ));
-    assert!(matches!(hand_b.up_send(0, &hand_bytes), HandOutput::Deliver(..)));
+    assert!(matches!(
+        hand_b.up_send(0, &hand_bytes),
+        HandOutput::Deliver(..)
+    ));
 }
 
 /// A bypass synthesized for a later view rejects traffic from the old
@@ -222,7 +224,10 @@ fn stale_view_bypass_traffic_is_rejected() {
         BypassOutput::Done { wire, .. } => wire.unwrap().1,
         other => panic!("{other:?}"),
     };
-    assert!(matches!(new_recv.up_send(0, &bytes), BypassOutput::Fallback));
+    assert!(matches!(
+        new_recv.up_send(0, &bytes),
+        BypassOutput::Fallback
+    ));
 }
 
 /// Every layer theorem used by the 10-layer synthesis is checked against
@@ -237,8 +242,7 @@ fn all_theorems_hold_on_randomized_inputs() {
         let m = model(name, &ctx).unwrap();
         for case in Case::ALL {
             let th = optimize_layer(&m, case, &defs, true);
-            check_layer_theorem(&m, &th, &defs, 100, 0x7E57)
-                .unwrap_or_else(|e| panic!("{e}"));
+            check_layer_theorem(&m, &th, &defs, 100, 0x7E57).unwrap_or_else(|e| panic!("{e}"));
         }
     }
 }

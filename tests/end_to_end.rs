@@ -217,15 +217,8 @@ fn timer_driven_stability_variant_works() {
 #[test]
 fn engines_agree_under_identical_fault_schedules() {
     let run = |kind: EngineKind| {
-        let mut sim = Simulation::new(
-            3,
-            STACK_10,
-            kind,
-            LayerConfig::fast(),
-            lossy(0.12),
-            0xA9,
-        )
-        .unwrap();
+        let mut sim =
+            Simulation::new(3, STACK_10, kind, LayerConfig::fast(), lossy(0.12), 0xA9).unwrap();
         for i in 0..15u8 {
             sim.cast(2, &[i]);
             sim.run_for(Duration::from_micros(250));

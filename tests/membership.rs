@@ -104,8 +104,7 @@ fn group_continues_after_view_change() {
     }
     sim.run_for(Duration::from_millis(100));
     let d1 = sim.cast_deliveries(1);
-    let new_view_msgs: Vec<&(u32, Vec<u8>)> =
-        d1.iter().filter(|(_, b)| b[0] >= 50).collect();
+    let new_view_msgs: Vec<&(u32, Vec<u8>)> = d1.iter().filter(|(_, b)| b[0] >= 50).collect();
     assert_eq!(new_view_msgs.len(), 5, "traffic in the new view: {d1:?}");
 }
 

@@ -113,11 +113,8 @@ fn real_stack_executions_satisfy_fifo_property() {
         }
         sim.run_for(Duration::from_millis(50));
         for r in [0u32, 2] {
-            let delivered: Vec<Vec<u8>> = sim
-                .cast_deliveries(r)
-                .into_iter()
-                .map(|(_, b)| b)
-                .collect();
+            let delivered: Vec<Vec<u8>> =
+                sim.cast_deliveries(r).into_iter().map(|(_, b)| b).collect();
             assert!(
                 is_prefix(&delivered, &sent),
                 "seed {seed} rank {r}: {delivered:?}"
