@@ -1,0 +1,91 @@
+//! Offline validator for `BENCH_table2a.json`.
+//!
+//! CI runs the `table2a` binary and then this one: it re-reads the JSON
+//! with the dependency-free parser from `ensemble-obs` and checks the
+//! schema the dashboards consume — every engine present, every model
+//! counter present and sane. Exits nonzero (with a message) on any
+//! violation, so a malformed emit fails the pipeline without python or
+//! jq in the image.
+//!
+//! ```text
+//! cargo run -p ensemble-bench --bin obs_check [path/to/BENCH_table2a.json]
+//! ```
+
+use ensemble_obs::Json;
+
+const ENGINES: [&str; 4] = ["IMP", "FUNC", "HAND", "MACH"];
+const COUNTERS: [&str; 5] = [
+    "instructions",
+    "data_refs",
+    "allocations",
+    "dispatches",
+    "branches",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_check: {msg}");
+    std::process::exit(1);
+}
+
+fn int_field(obj: &Json, key: &str, ctx: &str) -> i64 {
+    match obj.get(key).and_then(Json::as_int) {
+        Some(v) => v,
+        None => fail(&format!("{ctx}: missing integer field {key:?}")),
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_table2a.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path} is not valid JSON: {e:?}")),
+    };
+
+    if doc.get("table").and_then(Json::as_str) != Some("2a") {
+        fail("field \"table\" must be \"2a\"");
+    }
+    let rounds = int_field(&doc, "rounds", "document");
+    if rounds <= 0 {
+        fail("rounds must be positive");
+    }
+    let Some(engines) = doc.get("engines") else {
+        fail("missing \"engines\" object");
+    };
+
+    for engine in ENGINES {
+        let Some(e) = engines.get(engine) else {
+            fail(&format!("missing engine {engine:?}"));
+        };
+        for counter in COUNTERS {
+            let v = int_field(e, counter, engine);
+            if v < 0 {
+                fail(&format!("{engine}.{counter} is negative"));
+            }
+        }
+        // Every engine does real work each round.
+        if int_field(e, "instructions", engine) == 0 {
+            fail(&format!("{engine}.instructions is zero"));
+        }
+    }
+
+    // The point of the paper: the optimized engines beat the layered ones.
+    let insns = |e: &str| int_field(engines.get(e).unwrap(), "instructions", e);
+    if insns("MACH") >= insns("IMP") {
+        fail("MACH must execute fewer model instructions than IMP");
+    }
+    if insns("HAND") != insns("MACH") {
+        fail("cost model assigns HAND the same instruction count as MACH");
+    }
+
+    println!(
+        "obs_check: {path} ok ({} engines x {} counters, {rounds} rounds)",
+        ENGINES.len(),
+        COUNTERS.len()
+    );
+}

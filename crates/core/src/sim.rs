@@ -14,11 +14,84 @@
 use ensemble_event::{DnEvent, Msg, Payload, UpEvent, ViewState};
 use ensemble_layers::{make_stack, LayerConfig, StackError};
 use ensemble_net::{Arrival, Dest, EventQueue, LinkModel, NetStats, Network, Packet};
+use ensemble_obs::{CcpFailure, Direction, Event, EventKind, Histogram, Recorder, Summary, Tag};
 use ensemble_stack::{Boundary, Engine};
 use ensemble_transport::{marshal, unmarshal};
 use ensemble_util::{Duration, Endpoint, Rank, Time};
+use std::collections::HashMap;
 
+pub use ensemble_obs::TraceEvent;
 pub use ensemble_stack::EngineKind;
+
+/// Virtual-time observability for a simulation run.
+///
+/// Every trace event is stamped with the simulator's *virtual* clock
+/// (`t_ns` is virtual nanoseconds since simulation start), so traces are
+/// as reproducible as the run itself. The `group` field carries the
+/// endpoint id of the process the event happened at.
+struct SimObs {
+    recorder: Recorder,
+    /// Virtual cast→deliver latency: injection at the origin to delivery
+    /// at each receiver, in virtual nanoseconds.
+    cast_latency: Histogram,
+    tags: HashMap<&'static str, Tag>,
+    /// Injection times per origin endpoint id, in cast order.
+    cast_times: HashMap<u32, Vec<Time>>,
+    /// Casts delivered so far, per `(deliverer, origin)` pair. FIFO
+    /// delivery per origin makes this the index into `cast_times`.
+    delivered: HashMap<(u32, u32), usize>,
+    seq: u64,
+}
+
+impl SimObs {
+    fn new(capacity: usize) -> SimObs {
+        SimObs {
+            recorder: Recorder::new(1, capacity),
+            cast_latency: Histogram::new(),
+            tags: HashMap::new(),
+            cast_times: HashMap::new(),
+            delivered: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    fn tag(&mut self, name: &'static str) -> Tag {
+        match self.tags.get(name) {
+            Some(t) => *t,
+            None => {
+                let t = self.recorder.register(name);
+                self.tags.insert(name, t);
+                t
+            }
+        }
+    }
+
+    fn trace(
+        &mut self,
+        t: Time,
+        layer: &'static str,
+        kind: EventKind,
+        dir: Direction,
+        ep: u32,
+        aux: u64,
+    ) {
+        let tag = self.tag(layer);
+        self.seq += 1;
+        self.recorder.record(
+            0,
+            &Event {
+                t_ns: t.nanos(),
+                layer: tag,
+                kind,
+                dir,
+                group: ep,
+                seqno: self.seq,
+                ccp: CcpFailure::None,
+                aux,
+            },
+        );
+    }
+}
 
 /// One simulated process.
 struct Proc {
@@ -65,6 +138,7 @@ pub struct Simulation<M> {
     cfg: LayerConfig,
     /// Total events processed (observability).
     pub steps: u64,
+    obs: Option<SimObs>,
 }
 
 fn build_engine(
@@ -98,6 +172,7 @@ impl<M: LinkModel> Simulation<M> {
             kind,
             cfg,
             steps: 0,
+            obs: None,
         };
         for r in 0..n {
             let vs = base.for_rank(Rank(r as u16));
@@ -126,6 +201,31 @@ impl<M: LinkModel> Simulation<M> {
         self.now
     }
 
+    /// Turns on the flight recorder with a ring of `capacity` events.
+    ///
+    /// Subsequent casts, sends, packets, timers, deliveries, and view
+    /// changes are traced with virtual-time stamps and drained via
+    /// [`Simulation::drain_trace`]; cast→deliver virtual latency
+    /// accumulates into [`Simulation::cast_latency`].
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.obs = Some(SimObs::new(capacity));
+    }
+
+    /// Drains all trace events recorded since the last drain (empty when
+    /// observability is off).
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        self.obs
+            .as_ref()
+            .map_or_else(Vec::new, |o| o.recorder.drain())
+    }
+
+    /// Virtual cast→deliver latency so far (all zero when off).
+    pub fn cast_latency(&self) -> Summary {
+        self.obs
+            .as_ref()
+            .map_or_else(|| Histogram::new().summary(), |o| o.cast_latency.summary())
+    }
+
     /// Network statistics so far.
     pub fn net_stats(&self) -> NetStats {
         self.net.stats()
@@ -138,6 +238,13 @@ impl<M: LinkModel> Simulation<M> {
 
     /// Injects an application cast at the process with endpoint id `id`.
     pub fn cast(&mut self, id: u32, payload: &[u8]) {
+        if self.procs[id as usize].alive {
+            if let Some(o) = &mut self.obs {
+                let (now, len) = (self.now, payload.len() as u64);
+                o.trace(now, "app", EventKind::Cast, Direction::Dn, id, len);
+                o.cast_times.entry(id).or_default().push(now);
+            }
+        }
         let ev = DnEvent::Cast(Msg::data(Payload::from_slice(payload)));
         self.inject(id, ev);
     }
@@ -147,6 +254,12 @@ impl<M: LinkModel> Simulation<M> {
         let Some(dst_rank) = self.procs[id as usize].vs.rank_of(Endpoint::new(dst)) else {
             return; // Destination not in the sender's view.
         };
+        if self.procs[id as usize].alive {
+            if let Some(o) = &mut self.obs {
+                let (now, len) = (self.now, payload.len() as u64);
+                o.trace(now, "app", EventKind::Send, Direction::Dn, id, len);
+            }
+        }
         let ev = DnEvent::Send {
             dst: dst_rank,
             msg: Msg::data(Payload::from_slice(payload)),
@@ -161,6 +274,10 @@ impl<M: LinkModel> Simulation<M> {
             .iter()
             .filter_map(|s| vs.rank_of(Endpoint::new(*s)))
             .collect();
+        if let Some(o) = &mut self.obs {
+            let (now, n) = (self.now, ranks.len() as u64);
+            o.trace(now, "app", EventKind::Suspect, Direction::Dn, id, n);
+        }
         self.inject(id, DnEvent::Suspect { ranks });
     }
 
@@ -174,6 +291,9 @@ impl<M: LinkModel> Simulation<M> {
     /// the leaver exactly as for a crash (Ensemble's Leave is likewise a
     /// self-initiated departure that the view change makes official).
     pub fn leave(&mut self, id: u32) {
+        if let Some(o) = &mut self.obs {
+            o.trace(self.now, "app", EventKind::Leave, Direction::Dn, id, 0);
+        }
         self.inject(id, DnEvent::Leave);
     }
 
@@ -212,14 +332,38 @@ impl<M: LinkModel> Simulation<M> {
         for ev in b.wire.drain(..) {
             match ev {
                 DnEvent::Cast(msg) => {
-                    let pkt = Packet::cast(ep, marshal(&msg));
+                    let bytes = marshal(&msg);
+                    if let Some(o) = &mut self.obs {
+                        let (now, len) = (self.now, bytes.len() as u64);
+                        o.trace(
+                            now,
+                            "wire",
+                            EventKind::PacketOut,
+                            Direction::Dn,
+                            ep.id(),
+                            len,
+                        );
+                    }
+                    let pkt = Packet::cast(ep, bytes);
                     for a in self.net.transmit(self.now, pkt) {
                         self.queue.push(a.at, SimEvent::Arrival(a));
                     }
                 }
                 DnEvent::Send { dst, msg } => {
                     let dst_ep = self.procs[idx].vs.endpoint_of(dst);
-                    let pkt = Packet::point(ep, dst_ep, marshal(&msg));
+                    let bytes = marshal(&msg);
+                    if let Some(o) = &mut self.obs {
+                        let (now, len) = (self.now, bytes.len() as u64);
+                        o.trace(
+                            now,
+                            "wire",
+                            EventKind::PacketOut,
+                            Direction::Dn,
+                            ep.id(),
+                            len,
+                        );
+                    }
+                    let pkt = Packet::point(ep, dst_ep, bytes);
                     for a in self.net.transmit(self.now, pkt) {
                         self.queue.push(a.at, SimEvent::Arrival(a));
                     }
@@ -230,20 +374,48 @@ impl<M: LinkModel> Simulation<M> {
             }
         }
         // Application events.
+        let my_id = ep.id();
         let app: Vec<UpEvent> = b.app.drain(..).collect();
         for ev in app {
             match ev {
                 UpEvent::Cast { origin, msg } => {
                     let oid = self.procs[idx].vs.endpoint_of(origin).id();
-                    self.procs[idx].casts.push((oid, msg.payload().gather()));
+                    let bytes = msg.payload().gather();
+                    if let Some(o) = &mut self.obs {
+                        let now = self.now;
+                        let len = bytes.len() as u64;
+                        o.trace(now, "app", EventKind::Deliver, Direction::Up, my_id, len);
+                        // The k-th cast delivered here from `oid` is the
+                        // k-th cast `oid` injected (FIFO per origin).
+                        let k = o.delivered.entry((my_id, oid)).or_insert(0);
+                        let at = o.cast_times.get(&oid).and_then(|v| v.get(*k)).copied();
+                        *k += 1;
+                        if let Some(at) = at {
+                            o.cast_latency.record(now.since(at).nanos());
+                        }
+                    }
+                    self.procs[idx].casts.push((oid, bytes));
                 }
                 UpEvent::Send { origin, msg } => {
                     let oid = self.procs[idx].vs.endpoint_of(origin).id();
-                    self.procs[idx].sends.push((oid, msg.payload().gather()));
+                    let bytes = msg.payload().gather();
+                    if let Some(o) = &mut self.obs {
+                        let (now, len) = (self.now, bytes.len() as u64);
+                        o.trace(now, "app", EventKind::Deliver, Direction::Up, my_id, len);
+                    }
+                    self.procs[idx].sends.push((oid, bytes));
                 }
                 UpEvent::View(vs) => self.install_view(idx, vs),
-                UpEvent::Block => self.procs[idx].blocks += 1,
+                UpEvent::Block => {
+                    if let Some(o) = &mut self.obs {
+                        o.trace(self.now, "app", EventKind::Block, Direction::Up, my_id, 0);
+                    }
+                    self.procs[idx].blocks += 1;
+                }
                 UpEvent::Exit => {
+                    if let Some(o) = &mut self.obs {
+                        o.trace(self.now, "app", EventKind::Exit, Direction::Up, my_id, 0);
+                    }
                     self.procs[idx].exited = true;
                     self.procs[idx].alive = false;
                 }
@@ -281,6 +453,11 @@ impl<M: LinkModel> Simulation<M> {
             self.stack = next;
         }
         self.procs[idx].generation += 1;
+        if let Some(o) = &mut self.obs {
+            let (now, ep) = (self.now, self.procs[idx].ep.id());
+            let n = vs.members.len() as u64;
+            o.trace(now, "app", EventKind::ViewInstall, Direction::Up, ep, n);
+        }
         let mut engine =
             build_engine(&self.stack, &vs, &self.cfg, self.kind).expect("stack built once already");
         let boundary = engine.init(self.now);
@@ -315,6 +492,11 @@ impl<M: LinkModel> Simulation<M> {
                 let Some(origin) = self.procs[idx].vs.rank_of(a.packet.src) else {
                     return true; // Sender no longer in our view.
                 };
+                if let Some(o) = &mut self.obs {
+                    let now = self.now;
+                    let (ep, len) = (a.dst.id(), a.packet.bytes.len() as u64);
+                    o.trace(now, "wire", EventKind::PacketIn, Direction::Up, ep, len);
+                }
                 let ev = match a.packet.dst {
                     Dest::Cast => UpEvent::Cast { origin, msg },
                     Dest::Point(_) => UpEvent::Send { origin, msg },
@@ -333,6 +515,13 @@ impl<M: LinkModel> Simulation<M> {
                 let p = &self.procs[idx];
                 if !p.alive || p.generation != generation {
                     return true; // Stale timer from a replaced stack.
+                }
+                if let Some(o) = &mut self.obs {
+                    // Attribute the fire to the layer's name in the
+                    // running stack (top first, as built).
+                    let name = self.stack.get(layer).copied().unwrap_or("engine");
+                    let now = self.now;
+                    o.trace(now, name, EventKind::TimerFire, Direction::None, ep.id(), 0);
                 }
                 let b = self.procs[idx].engine.fire_timer(self.now, layer);
                 self.route_boundary(idx, b);
@@ -492,6 +681,68 @@ mod tests {
             (s.cast_deliveries(2), s.steps)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn obs_traces_virtual_time_and_cast_latency() {
+        let mut s = sim(3, STACK_4, EngineKind::Imp);
+        s.enable_obs(4096);
+        s.cast(1, b"m");
+        s.cast(2, b"nn");
+        s.run_to_quiescence();
+
+        let events = s.drain_trace();
+        assert!(!events.is_empty());
+        // Stamps are virtual: monotone within the drain and bounded by
+        // the simulation clock.
+        assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert!(events.iter().all(|e| e.t_ns <= s.now().nanos()));
+        let count = |k| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(ensemble_obs::EventKind::Cast), 2);
+        // Each cast reaches the other two members (STACK_4: no local).
+        assert_eq!(count(ensemble_obs::EventKind::Deliver), 4);
+        assert!(count(ensemble_obs::EventKind::PacketOut) >= 2);
+        assert!(count(ensemble_obs::EventKind::PacketIn) >= 4);
+        // Layer names resolve (wire/app pseudo-layers at least).
+        assert!(events.iter().any(|e| e.layer == "app"));
+        assert!(events.iter().any(|e| e.layer == "wire"));
+
+        // Four deliveries → four virtual latency samples, all nonzero
+        // (the link model imposes real virtual delay).
+        let lat = s.cast_latency();
+        assert_eq!(lat.count, 4);
+        assert!(lat.p99 > 0, "virtual latency must be nonzero: {lat:?}");
+
+        // The drain is destructive; a quiet sim drains nothing new.
+        assert!(s.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn obs_attributes_timer_fires_to_stack_layers() {
+        let mut s = sim(2, STACK_10, EngineKind::Imp);
+        s.enable_obs(8192);
+        s.cast(0, b"x");
+        s.run_for(ensemble_util::Duration::from_millis(50));
+        let events = s.drain_trace();
+        let fired: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == ensemble_obs::EventKind::TimerFire)
+            .map(|e| e.layer)
+            .collect();
+        assert!(!fired.is_empty(), "periodic layers must fire timers");
+        assert!(
+            fired.iter().all(|l| STACK_10.contains(l)),
+            "timer fires carry stack layer names, got {fired:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_obs_traces_nothing() {
+        let mut s = sim(3, STACK_4, EngineKind::Imp);
+        s.cast(0, b"m");
+        s.run_to_quiescence();
+        assert!(s.drain_trace().is_empty());
+        assert_eq!(s.cast_latency().count, 0);
     }
 
     #[test]

@@ -3,10 +3,18 @@
 //! Unit tests for each layer drive events through one layer instance in
 //! isolation and assert on the emitted effects. The harness also tracks
 //! requested timers so tests can fire them deterministically.
+//!
+//! With [`Harness::trace_into`], every handler invocation additionally
+//! records a [`ensemble_obs::EventKind::HandlerRun`] span into a shared
+//! flight recorder: the event is stamped with the harness's *virtual*
+//! time, attributed to the layer by its [`Layer::name`], and carries the
+//! wall-clock handler duration in `aux` (nanoseconds).
 
 use crate::layer::Layer;
 use ensemble_event::{DnEvent, Effects, Msg, Payload, UpEvent};
+use ensemble_obs::{now_ns, Direction, Event, EventKind, Recorder, Tag};
 use ensemble_util::{Rank, Time};
+use std::sync::Arc;
 
 /// Drives one layer instance and records its outputs.
 pub struct Harness<L> {
@@ -16,6 +24,8 @@ pub struct Harness<L> {
     pub now: Time,
     /// Timer deadlines the layer has requested (sorted, pending).
     pub timers: Vec<Time>,
+    /// When set, handler invocations record spans here.
+    obs: Option<(Arc<Recorder>, Tag)>,
 }
 
 /// The effects of one handler invocation, split by direction.
@@ -36,6 +46,7 @@ impl<L: Layer> Harness<L> {
             layer,
             now: Time::ZERO,
             timers: Vec::new(),
+            obs: None,
         };
         h.absorb_timers(&mut fx);
         assert!(
@@ -58,17 +69,46 @@ impl<L: Layer> Harness<L> {
         }
     }
 
+    /// Starts recording one [`EventKind::HandlerRun`] span per handler
+    /// invocation into shard 0 of `rec`, attributed to the layer's name.
+    pub fn trace_into(&mut self, rec: Arc<Recorder>) {
+        let tag = rec.register(self.layer.name());
+        self.obs = Some((rec, tag));
+    }
+
+    fn span(&self, dir: Direction, started_ns: u64) {
+        if let Some((rec, tag)) = &self.obs {
+            rec.record(
+                0,
+                &Event {
+                    t_ns: self.now.0,
+                    layer: *tag,
+                    kind: EventKind::HandlerRun,
+                    dir,
+                    group: 0,
+                    seqno: 0,
+                    ccp: ensemble_obs::CcpFailure::None,
+                    aux: now_ns().saturating_sub(started_ns),
+                },
+            );
+        }
+    }
+
     /// Sends an event down into the layer (from the layer above).
     pub fn dn(&mut self, ev: DnEvent) -> Out {
+        let started = now_ns();
         let mut fx = Effects::new();
         self.layer.dn(self.now, ev, &mut fx);
+        self.span(Direction::Dn, started);
         self.split(fx)
     }
 
     /// Sends an event up into the layer (from the layer below).
     pub fn up(&mut self, ev: UpEvent) -> Out {
+        let started = now_ns();
         let mut fx = Effects::new();
         self.layer.up(self.now, ev, &mut fx);
+        self.span(Direction::Up, started);
         self.split(fx)
     }
 
@@ -81,8 +121,10 @@ impl<L: Layer> Harness<L> {
                 break;
             }
             self.timers.remove(0);
+            let started = now_ns();
             let mut fx = Effects::new();
             self.layer.timer(self.now, &mut fx);
+            self.span(Direction::None, started);
             let out = self.split(fx);
             all.up.extend(out.up);
             all.dn.extend(out.dn);
@@ -143,5 +185,41 @@ impl Out {
             self.up,
             self.dn
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom::Bottom;
+    use crate::LayerConfig;
+    use ensemble_event::ViewState;
+
+    #[test]
+    fn traced_harness_records_named_handler_spans() {
+        let rec = Arc::new(Recorder::new(1, 64));
+        let mut h = Harness::new(Bottom::new(&ViewState::initial(3), &LayerConfig::default()));
+        h.trace_into(Arc::clone(&rec));
+        h.now = Time(5);
+        let _ = h.dn(cast(b"m"));
+        let _ = h.dn(send(2, b"m"));
+        let spans = rec.drain();
+        assert_eq!(spans.len(), 2);
+        for s in &spans {
+            assert_eq!(s.layer, "bottom", "span carries the layer's name");
+            assert_eq!(s.kind, EventKind::HandlerRun);
+            assert_eq!(s.t_ns, 5, "stamped with harness virtual time");
+        }
+        assert!(
+            spans.iter().all(|s| s.dir == Direction::Dn),
+            "direction follows the handler"
+        );
+    }
+
+    #[test]
+    fn untraced_harness_records_nothing() {
+        let mut h = Harness::new(Bottom::new(&ViewState::initial(3), &LayerConfig::default()));
+        let _ = h.dn(cast(b"x"));
+        assert!(h.obs.is_none());
     }
 }

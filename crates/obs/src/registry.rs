@@ -1,0 +1,149 @@
+//! Metrics snapshot rendered in Prometheus text exposition format.
+//!
+//! A [`Registry`] is a build-then-render snapshot, not a live store: the
+//! caller walks its atomic counters / histograms, pushes samples in, and
+//! renders `name{label="v"} value` lines. Samples keep insertion order so
+//! the exposition is deterministic and diff-friendly.
+
+use std::fmt::Write as _;
+
+use crate::hist::Summary;
+
+/// One exposition sample: metric name, labels, value.
+#[derive(Clone, Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// A metrics snapshot in Prometheus text exposition format.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    samples: Vec<Sample>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds a sample with labels: `name{k1="v1",k2="v2"} value`.
+    pub fn set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.samples.push(Sample {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+    }
+
+    /// Adds an integer-valued sample.
+    pub fn set_int(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.set(name, labels, value as f64);
+    }
+
+    /// Adds a histogram digest as quantile-labelled samples plus
+    /// `_count` and `_sum` companions, the Prometheus summary idiom.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], s: &Summary) {
+        for (q, v) in [
+            ("0.5", s.p50),
+            ("0.9", s.p90),
+            ("0.99", s.p99),
+            ("1", s.max),
+        ] {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", q));
+            self.set_int(name, &with_q, v);
+        }
+        self.set_int(&format!("{name}_count"), labels, s.count);
+        self.set_int(&format!("{name}_sum"), labels, s.sum);
+    }
+
+    /// Renders the exposition text: one sample per line, insertion order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&s.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+                }
+                out.push('}');
+            }
+            if s.value.fract() == 0.0 && s.value.abs() < 1e15 {
+                let _ = writeln!(out, " {}", s.value as i64);
+            } else {
+                let _ = writeln!(out, " {}", s.value);
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn renders_labelled_lines_in_insertion_order() {
+        let mut r = Registry::new();
+        r.set_int(
+            "ensemble_msgs_total",
+            &[("shard", "0"), ("dir", "cast")],
+            42,
+        );
+        r.set_int("ensemble_msgs_total", &[("shard", "1"), ("dir", "cast")], 7);
+        r.set("ensemble_bypass_ratio", &[], 0.97);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "ensemble_msgs_total{shard=\"0\",dir=\"cast\"} 42");
+        assert_eq!(lines[1], "ensemble_msgs_total{shard=\"1\",dir=\"cast\"} 7");
+        assert_eq!(lines[2], "ensemble_bypass_ratio 0.97");
+    }
+
+    #[test]
+    fn histogram_expands_to_quantiles_count_sum() {
+        let h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let mut r = Registry::new();
+        r.histogram("ensemble_cast_to_deliver_ns", &[], &h.summary());
+        let text = r.render();
+        assert!(text.contains("ensemble_cast_to_deliver_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("ensemble_cast_to_deliver_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("ensemble_cast_to_deliver_ns_count 3"));
+        assert!(text.contains("ensemble_cast_to_deliver_ns_sum 60"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = Registry::new();
+        r.set_int("m", &[("k", "a\"b\\c\nd")], 1);
+        assert_eq!(r.render(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

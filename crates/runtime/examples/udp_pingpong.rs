@@ -8,6 +8,10 @@
 //! ```text
 //! cargo run --release -p ensemble-runtime --example udp_pingpong
 //! ```
+//!
+//! Pass `--metrics` to print the Prometheus text exposition for both
+//! nodes, and `--jsonl PATH` to dump every drained trace event to PATH
+//! as one JSON object per line.
 
 use ensemble_event::ViewState;
 use ensemble_layers::{LayerConfig, STACK_4};
@@ -19,6 +23,19 @@ use std::time::{Duration, Instant};
 const ROUNDS: u32 = 200;
 
 fn main() {
+    let mut metrics = false;
+    let mut jsonl: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--metrics" => metrics = true,
+            "--jsonl" => jsonl = Some(argv.next().expect("--jsonl needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; usage: udp_pingpong [--metrics] [--jsonl PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
     let vs = ViewState::initial(2);
 
     // Phase 1: bind both sockets (ephemeral loopback ports).
@@ -109,4 +126,19 @@ fn main() {
 
     let hits = node_a.stats().totals().bypass_hits + node_b.stats().totals().bypass_hits;
     println!("combined bypass hits: {hits}");
+
+    if metrics {
+        println!("--- node 0 metrics exposition ---");
+        print!("{}", node_a.metrics_text());
+        println!("--- node 1 metrics exposition ---");
+        print!("{}", node_b.metrics_text());
+    }
+    if let Some(path) = jsonl {
+        let mut events = node_a.obs().drain();
+        events.extend(node_b.obs().drain());
+        events.sort_by_key(|e| e.t_ns);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create jsonl"));
+        ensemble_obs::write_jsonl(&mut f, &events).expect("write jsonl");
+        println!("wrote {} trace events to {path}", events.len());
+    }
 }

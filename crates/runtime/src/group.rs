@@ -34,6 +34,7 @@
 use ensemble_event::{DnEvent, Msg, Payload, UpEvent, ViewState};
 use ensemble_ir::models::{Case, ModelCtx};
 use ensemble_layers::{make_stack, LayerConfig, StackError};
+use ensemble_obs::{CcpFailure, Direction, EventKind};
 use ensemble_stack::{Boundary, Engine, EngineKind};
 use ensemble_synth::{synthesize, BypassOutput, StackBypass};
 use ensemble_transport::{marshal, unmarshal, CompressedHdr, Dest, Packet};
@@ -41,6 +42,47 @@ use ensemble_util::{Counters, Endpoint, Rank, Time};
 
 /// Most out-of-order compressed packets parked awaiting their gap fill.
 const STASH_LIMIT: usize = 128;
+
+/// Where in the group a trace event originated. The core knows layers by
+/// index only; the worker resolves indices to names (and pseudo-layers to
+/// the `app` / `bypass` / `engine` tags) when folding events into the
+/// node's recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreLayer {
+    /// The application boundary (casts in, deliveries out).
+    App,
+    /// The synthesized fast path.
+    Bypass,
+    /// The full layer-stack engine.
+    Engine,
+    /// A specific stack layer, by index from the top.
+    Layer(usize),
+}
+
+/// One structured trace event buffered by a [`GroupCore`].
+///
+/// The core performs no I/O and reads no clock, so it stamps events with
+/// the [`Time`] its caller passed in and parks them in a buffer; the
+/// shard worker drains the buffer ([`GroupCore::take_events`]) into the
+/// node-wide flight recorder after every call. When tracing is off
+/// ([`GroupCore::set_tracing`]) nothing is buffered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreEvent {
+    /// The caller's clock at the event.
+    pub t: Time,
+    /// Originating (pseudo-)layer.
+    pub layer: CoreLayer,
+    /// What happened.
+    pub kind: EventKind,
+    /// Which way the event was travelling.
+    pub dir: Direction,
+    /// Per-group event ordinal (monotonic across the group's lifetime).
+    pub seqno: u64,
+    /// CCP-failure reason for bypass outcomes.
+    pub ccp: CcpFailure,
+    /// Event-specific extra (payload length, stash depth, …).
+    pub aux: u64,
+}
 
 /// An application-visible event from the group.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -121,6 +163,9 @@ pub struct GroupCore {
     bypass_hits: u64,
     bypass_misses: u64,
     cost: Counters,
+    tracing: bool,
+    events: Vec<CoreEvent>,
+    event_ord: u64,
 }
 
 impl GroupCore {
@@ -149,6 +194,9 @@ impl GroupCore {
             bypass_hits: 0,
             bypass_misses: 0,
             cost: Counters::zero(),
+            tracing: false,
+            events: Vec::new(),
+            event_ord: 0,
         };
         let mut out = Vec::new();
         core.route(now, boundary, &mut out);
@@ -193,6 +241,49 @@ impl GroupCore {
         std::mem::take(&mut self.cost)
     }
 
+    /// Turns structured event buffering on or off (off by default; the
+    /// shard worker enables it when the node's observability is on).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// The stack's layer names, top first (resolves [`CoreLayer::Layer`]).
+    pub fn layer_names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Takes the buffered trace events (empty when tracing is off).
+    pub fn take_events(&mut self, out: &mut Vec<CoreEvent>) {
+        out.append(&mut self.events);
+    }
+
+    fn trace(
+        &mut self,
+        t: Time,
+        layer: CoreLayer,
+        kind: EventKind,
+        dir: Direction,
+        ccp: CcpFailure,
+        aux: u64,
+    ) {
+        if !self.tracing {
+            return;
+        }
+        self.event_ord += 1;
+        self.events.push(CoreEvent {
+            t,
+            layer,
+            kind,
+            dir,
+            seqno: self.event_ord,
+            ccp,
+            aux,
+        });
+    }
+
     /// Synthesizes and installs the MACH bypass for the current view and
     /// layer configuration. Idempotent per view (reinstall recompiles).
     pub fn install_bypass(&mut self) -> Result<(), BypassError> {
@@ -222,14 +313,32 @@ impl GroupCore {
         if !self.alive {
             return out;
         }
+        self.trace(
+            now,
+            CoreLayer::App,
+            EventKind::Cast,
+            Direction::Dn,
+            CcpFailure::None,
+            payload.len() as u64,
+        );
         if self.bypass.is_some() {
             let p = Payload::from_slice(payload);
             let result = self.bypass.as_mut().expect("checked").dn_cast(&p);
-            if self.apply_bypass(Case::DnCast, result, &mut out) {
+            if self.apply_bypass(now, Case::DnCast, result, &mut out) {
                 return out;
             }
             // CCP failed: this message takes the engine (see module docs
-            // for the ordering caveat between the two streams).
+            // for the ordering caveat between the two streams). The
+            // EngineFallback event is the observable edge of that
+            // cross-stream reordering window.
+            self.trace(
+                now,
+                CoreLayer::Engine,
+                EventKind::EngineFallback,
+                Direction::Dn,
+                CcpFailure::SenderCcp,
+                0,
+            );
         }
         let ev = DnEvent::Cast(Msg::data(Payload::from_slice(payload)));
         let b = self.inject_dn(now, ev);
@@ -243,12 +352,28 @@ impl GroupCore {
         if !self.alive || dst.index() >= self.vs.nmembers() {
             return out;
         }
+        self.trace(
+            now,
+            CoreLayer::App,
+            EventKind::Send,
+            Direction::Dn,
+            CcpFailure::None,
+            payload.len() as u64,
+        );
         if self.bypass.is_some() {
             let p = Payload::from_slice(payload);
             let result = self.bypass.as_mut().expect("checked").dn_send(dst.0, &p);
-            if self.apply_bypass(Case::DnSend, result, &mut out) {
+            if self.apply_bypass(now, Case::DnSend, result, &mut out) {
                 return out;
             }
+            self.trace(
+                now,
+                CoreLayer::Engine,
+                EventKind::EngineFallback,
+                Direction::Dn,
+                CcpFailure::SenderCcp,
+                0,
+            );
         }
         let ev = DnEvent::Send {
             dst,
@@ -263,6 +388,14 @@ impl GroupCore {
     pub fn suspect(&mut self, now: Time, ranks: Vec<Rank>) -> Vec<Action> {
         let mut out = Vec::new();
         if self.alive {
+            self.trace(
+                now,
+                CoreLayer::App,
+                EventKind::Suspect,
+                Direction::Dn,
+                CcpFailure::None,
+                ranks.len() as u64,
+            );
             let b = self.inject_dn(now, DnEvent::Suspect { ranks });
             self.route(now, b, &mut out);
         }
@@ -273,6 +406,14 @@ impl GroupCore {
     pub fn leave(&mut self, now: Time) -> Vec<Action> {
         let mut out = Vec::new();
         if self.alive {
+            self.trace(
+                now,
+                CoreLayer::App,
+                EventKind::Leave,
+                Direction::Dn,
+                CcpFailure::None,
+                0,
+            );
             let b = self.inject_dn(now, DnEvent::Leave);
             self.route(now, b, &mut out);
         }
@@ -301,8 +442,8 @@ impl GroupCore {
             let case = if is_cast { Case::UpCast } else { Case::UpSend };
             match result {
                 BypassOutput::Done { .. } => {
-                    self.apply_bypass(case, result, &mut out);
-                    self.retry_stash(&mut out);
+                    self.apply_bypass(now, case, result, &mut out);
+                    self.retry_stash(now, &mut out);
                     return out;
                 }
                 BypassOutput::Fallback => {
@@ -312,11 +453,35 @@ impl GroupCore {
                         self.bypass_misses += 1;
                         if self.stash.len() >= STASH_LIMIT {
                             self.stash.remove(0);
+                            self.trace(
+                                now,
+                                CoreLayer::Bypass,
+                                EventKind::StashPark,
+                                Direction::Up,
+                                CcpFailure::StashOverflow,
+                                STASH_LIMIT as u64,
+                            );
                         }
                         self.stash.push((origin.0, pkt.bytes, is_cast));
+                        self.trace(
+                            now,
+                            CoreLayer::Bypass,
+                            EventKind::StashPark,
+                            Direction::Up,
+                            CcpFailure::OutOfOrder,
+                            self.stash.len() as u64,
+                        );
                         return out;
                     }
                     // Not compressed at all: a generic-path packet.
+                    self.trace(
+                        now,
+                        CoreLayer::Bypass,
+                        EventKind::BypassMiss,
+                        Direction::Up,
+                        CcpFailure::ForeignFormat,
+                        0,
+                    );
                 }
             }
         }
@@ -324,6 +489,7 @@ impl GroupCore {
             return out; // Corrupt or foreign: drop.
         };
         self.cost.allocations += 1;
+        self.cost.data_refs += 1;
         let ev = if is_cast {
             UpEvent::Cast { origin, msg }
         } else {
@@ -340,6 +506,14 @@ impl GroupCore {
         if !self.alive || generation != self.generation {
             return out; // Stale timer from a replaced stack.
         }
+        self.trace(
+            now,
+            CoreLayer::Layer(layer),
+            EventKind::TimerFire,
+            Direction::None,
+            CcpFailure::None,
+            0,
+        );
         let b = self.engine.fire_timer(now, layer);
         self.cost.dispatches += 1;
         self.route(now, b, &mut out);
@@ -357,10 +531,30 @@ impl GroupCore {
     }
 
     /// Applies a bypass result; `true` when the fast path handled it.
-    fn apply_bypass(&mut self, case: Case, result: BypassOutput, out: &mut Vec<Action>) -> bool {
+    fn apply_bypass(
+        &mut self,
+        now: Time,
+        case: Case,
+        result: BypassOutput,
+        out: &mut Vec<Action>,
+    ) -> bool {
+        let dir = match case {
+            Case::DnCast | Case::DnSend => Direction::Dn,
+            Case::UpCast | Case::UpSend => Direction::Up,
+        };
         match result {
             BypassOutput::Fallback => {
                 self.bypass_misses += 1;
+                // Fallback only reaches here on the sender side; the
+                // receiver side triages fallbacks in `deliver_packet`.
+                self.trace(
+                    now,
+                    CoreLayer::Bypass,
+                    EventKind::BypassMiss,
+                    dir,
+                    CcpFailure::SenderCcp,
+                    0,
+                );
                 false
             }
             BypassOutput::Done { wire, deliver } => {
@@ -368,6 +562,18 @@ impl GroupCore {
                 let b = self.bypass.as_ref().expect("bypass ran");
                 let (ccp, wire_ops, update) = b.program_sizes(case);
                 self.cost.instructions += (ccp + wire_ops + update) as u64;
+                // The CCP is all conditionals; the wire and update
+                // programs move header fields and state words.
+                self.cost.branches += ccp as u64;
+                self.cost.data_refs += (wire_ops + update) as u64;
+                self.trace(
+                    now,
+                    CoreLayer::Bypass,
+                    EventKind::BypassHit,
+                    dir,
+                    CcpFailure::None,
+                    (ccp + wire_ops + update) as u64,
+                );
                 if let Some((dst, bytes)) = wire {
                     let pkt = match dst {
                         None => Packet::cast(self.ep, bytes),
@@ -379,15 +585,18 @@ impl GroupCore {
                 }
                 if let Some((origin, payload)) = deliver {
                     let oid = self.vs.endpoint_of(Rank(origin)).id();
+                    let bytes = payload.gather();
+                    self.trace(
+                        now,
+                        CoreLayer::Bypass,
+                        EventKind::Deliver,
+                        Direction::Up,
+                        CcpFailure::None,
+                        bytes.len() as u64,
+                    );
                     let d = match case {
-                        Case::DnCast | Case::UpCast => Delivery::Cast {
-                            origin: oid,
-                            bytes: payload.gather(),
-                        },
-                        Case::DnSend | Case::UpSend => Delivery::Send {
-                            origin: oid,
-                            bytes: payload.gather(),
-                        },
+                        Case::DnCast | Case::UpCast => Delivery::Cast { origin: oid, bytes },
+                        Case::DnSend | Case::UpSend => Delivery::Send { origin: oid, bytes },
                     };
                     out.push(Action::Deliver(d));
                 }
@@ -397,7 +606,7 @@ impl GroupCore {
     }
 
     /// Retries parked out-of-order packets until no further progress.
-    fn retry_stash(&mut self, out: &mut Vec<Action>) {
+    fn retry_stash(&mut self, now: Time, out: &mut Vec<Action>) {
         loop {
             let mut progressed = false;
             let mut i = 0;
@@ -414,8 +623,16 @@ impl GroupCore {
                 match result {
                     BypassOutput::Done { .. } => {
                         let case = if is_cast { Case::UpCast } else { Case::UpSend };
-                        self.apply_bypass(case, result, out);
                         self.stash.remove(i);
+                        self.trace(
+                            now,
+                            CoreLayer::Bypass,
+                            EventKind::StashReplay,
+                            Direction::Up,
+                            CcpFailure::None,
+                            self.stash.len() as u64,
+                        );
+                        self.apply_bypass(now, case, result, out);
                         progressed = true;
                     }
                     BypassOutput::Fallback => i += 1,
@@ -441,10 +658,12 @@ impl GroupCore {
             match ev {
                 DnEvent::Cast(msg) => {
                     self.cost.allocations += 1;
+                    self.cost.data_refs += 1;
                     out.push(Action::Transmit(Packet::cast(self.ep, marshal(&msg))));
                 }
                 DnEvent::Send { dst, msg } => {
                     self.cost.allocations += 1;
+                    self.cost.data_refs += 1;
                     let dst_ep = self.vs.endpoint_of(dst);
                     out.push(Action::Transmit(Packet::point(
                         self.ep,
@@ -462,22 +681,52 @@ impl GroupCore {
             match ev {
                 UpEvent::Cast { origin, msg } => {
                     let oid = self.vs.endpoint_of(origin).id();
-                    out.push(Action::Deliver(Delivery::Cast {
-                        origin: oid,
-                        bytes: msg.payload().gather(),
-                    }));
+                    let bytes = msg.payload().gather();
+                    self.trace(
+                        now,
+                        CoreLayer::Engine,
+                        EventKind::Deliver,
+                        Direction::Up,
+                        CcpFailure::None,
+                        bytes.len() as u64,
+                    );
+                    out.push(Action::Deliver(Delivery::Cast { origin: oid, bytes }));
                 }
                 UpEvent::Send { origin, msg } => {
                     let oid = self.vs.endpoint_of(origin).id();
-                    out.push(Action::Deliver(Delivery::Send {
-                        origin: oid,
-                        bytes: msg.payload().gather(),
-                    }));
+                    let bytes = msg.payload().gather();
+                    self.trace(
+                        now,
+                        CoreLayer::Engine,
+                        EventKind::Deliver,
+                        Direction::Up,
+                        CcpFailure::None,
+                        bytes.len() as u64,
+                    );
+                    out.push(Action::Deliver(Delivery::Send { origin: oid, bytes }));
                 }
                 UpEvent::View(vs) => self.install_view(now, vs, out),
-                UpEvent::Block => out.push(Action::Deliver(Delivery::Block)),
+                UpEvent::Block => {
+                    self.trace(
+                        now,
+                        CoreLayer::Engine,
+                        EventKind::Block,
+                        Direction::Up,
+                        CcpFailure::None,
+                        0,
+                    );
+                    out.push(Action::Deliver(Delivery::Block));
+                }
                 UpEvent::Exit => {
                     self.alive = false;
+                    self.trace(
+                        now,
+                        CoreLayer::Engine,
+                        EventKind::Exit,
+                        Direction::Up,
+                        CcpFailure::None,
+                        0,
+                    );
                     out.push(Action::Deliver(Delivery::Exit));
                 }
                 UpEvent::Stable(v) => {
@@ -492,6 +741,14 @@ impl GroupCore {
 
     /// Installs a new view: fresh stack, new generation, bypass dropped.
     fn install_view(&mut self, now: Time, vs: ViewState, out: &mut Vec<Action>) {
+        self.trace(
+            now,
+            CoreLayer::Engine,
+            EventKind::ViewInstall,
+            Direction::Up,
+            CcpFailure::None,
+            vs.nmembers() as u64,
+        );
         self.generation += 1;
         self.bypass = None;
         self.stash.clear();

@@ -50,13 +50,15 @@
 pub mod group;
 pub mod metrics;
 pub mod node;
+pub mod obs;
 pub mod timer;
 pub mod transport;
 pub mod udp;
 
-pub use group::{Action, BypassError, Delivery, GroupCore};
+pub use group::{Action, BypassError, CoreEvent, CoreLayer, Delivery, GroupCore};
 pub use metrics::{RuntimeStats, ShardMetrics, ShardSnapshot};
 pub use node::{GroupHandle, Node, RuntimeConfig, RuntimeError};
+pub use obs::NodeObs;
 pub use timer::TimerWheel;
 pub use transport::{FaultCounts, FaultPlan, LoopbackHub, LoopbackTransport, Transport};
 pub use udp::UdpTransport;

@@ -39,6 +39,11 @@ pub struct ShardMetrics {
     pub cost_dispatches: AtomicU64,
     /// Marshal/unmarshal buffer allocations on the generic path.
     pub cost_allocations: AtomicU64,
+    /// Header-field and state-word moves (bypass wire/update programs,
+    /// marshal/unmarshal buffer walks).
+    pub cost_data_refs: AtomicU64,
+    /// CCP conjuncts evaluated on bypass invocations.
+    pub cost_branches: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -58,10 +63,10 @@ impl ShardMetrics {
             delivery_depth: ld(&self.delivery_depth),
             model_cost: Counters {
                 instructions: ld(&self.cost_instructions),
-                data_refs: 0,
+                data_refs: ld(&self.cost_data_refs),
                 allocations: ld(&self.cost_allocations),
                 dispatches: ld(&self.cost_dispatches),
-                branches: 0,
+                branches: ld(&self.cost_branches),
             },
         }
     }
@@ -74,6 +79,9 @@ impl ShardMetrics {
             .fetch_add(c.dispatches, Ordering::Relaxed);
         self.cost_allocations
             .fetch_add(c.allocations, Ordering::Relaxed);
+        self.cost_data_refs
+            .fetch_add(c.data_refs, Ordering::Relaxed);
+        self.cost_branches.fetch_add(c.branches, Ordering::Relaxed);
     }
 }
 
@@ -151,7 +159,7 @@ impl fmt::Display for RuntimeStats {
         for s in &self.shards {
             writeln!(
                 f,
-                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth={}/{}",
+                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={}",
                 s.shard,
                 s.groups,
                 s.msgs_in,
@@ -168,8 +176,18 @@ impl fmt::Display for RuntimeStats {
         let t = self.totals();
         write!(
             f,
-            "total: in={} out={} cost: {}",
-            t.msgs_in, t.msgs_out, t.model_cost
+            "total: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} cost: {}",
+            t.groups,
+            t.msgs_in,
+            t.msgs_out,
+            t.bypass_hits,
+            t.bypass_hits + t.bypass_misses,
+            100.0 * t.bypass_hit_ratio(),
+            t.timers_fired,
+            t.retransmits,
+            t.cmd_depth,
+            t.delivery_depth,
+            t.model_cost
         )
     }
 }
@@ -217,10 +235,40 @@ mod tests {
         let mut c = Counters::zero();
         c.instructions = 10;
         c.dispatches = 4;
+        c.data_refs = 3;
+        c.branches = 2;
         m.add_cost(&c);
         m.add_cost(&c);
         let s = m.snapshot(0);
         assert_eq!(s.model_cost.instructions, 20);
         assert_eq!(s.model_cost.dispatches, 8);
+        assert_eq!(s.model_cost.data_refs, 6, "data_refs must not be dropped");
+        assert_eq!(s.model_cost.branches, 4, "branches must not be dropped");
+    }
+
+    #[test]
+    fn display_labels_queue_depths_and_completes_totals() {
+        let stats = RuntimeStats {
+            shards: vec![ShardSnapshot {
+                shard: 0,
+                groups: 1,
+                msgs_in: 2,
+                msgs_out: 3,
+                bypass_hits: 4,
+                timers_fired: 5,
+                cmd_depth: 6,
+                delivery_depth: 7,
+                ..ShardSnapshot::default()
+            }],
+        };
+        let text = format!("{stats}");
+        assert!(text.contains("qdepth cmd=6 dlv=7"), "got: {text}");
+        let total = text.lines().last().unwrap();
+        for needle in ["groups=1", "bypass=4/4", "timers=5", "qdepth cmd=6 dlv=7"] {
+            assert!(
+                total.contains(needle),
+                "totals line missing {needle}: {total}"
+            );
+        }
     }
 }

@@ -15,18 +15,19 @@
 //! thread. The channels at both edges are bounded; see the backpressure
 //! notes on [`GroupHandle`].
 
-use crate::group::{Action, Delivery, GroupCore};
+use crate::group::{Action, CoreEvent, CoreLayer, Delivery, GroupCore};
 use crate::metrics::{RuntimeStats, ShardMetrics};
+use crate::obs::NodeObs;
 use crate::timer::TimerWheel;
 use crate::transport::Transport;
 use ensemble_layers::LayerConfig;
+use ensemble_obs::{now_ns, Event, EventKind, Histogram, Tag};
 use ensemble_stack::EngineKind;
 use ensemble_util::{Endpoint, Rank, Time};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Tuning knobs for a [`Node`].
 #[derive(Clone, Debug)]
@@ -41,6 +42,12 @@ pub struct RuntimeConfig {
     pub batch: usize,
     /// Sleep when a loop iteration did no work.
     pub idle_sleep: std::time::Duration,
+    /// Structured tracing + latency histograms ([`Node::obs`]). The cost
+    /// when off is one branch per event; when on, a handful of relaxed
+    /// atomic stores. Default: on.
+    pub obs: bool,
+    /// Flight-recorder capacity (events) per shard ring.
+    pub obs_ring_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -51,6 +58,8 @@ impl Default for RuntimeConfig {
             delivery_capacity: 4096,
             batch: 64,
             idle_sleep: std::time::Duration::from_micros(50),
+            obs: true,
+            obs_ring_capacity: 8192,
         }
     }
 }
@@ -102,6 +111,43 @@ struct GroupSlot {
     transport: Box<dyn Transport>,
     cmd_rx: Receiver<Command>,
     delivery_tx: SyncSender<Delivery>,
+    tags: SlotTags,
+}
+
+/// Pre-resolved recorder tags and histogram handles for one group, built
+/// once at join so the event loop never touches a string or a lock.
+struct SlotTags {
+    group: u32,
+    app: Tag,
+    bypass: Tag,
+    engine: Tag,
+    wire: Tag,
+    layers: Vec<Tag>,
+    layer_hists: Vec<Arc<Histogram>>,
+}
+
+impl SlotTags {
+    fn new(core: &GroupCore, obs: &NodeObs) -> SlotTags {
+        let names = core.layer_names();
+        SlotTags {
+            group: core.endpoint().id(),
+            app: obs.recorder.register("app"),
+            bypass: obs.recorder.register("bypass"),
+            engine: obs.recorder.register("engine"),
+            wire: obs.recorder.register("wire"),
+            layers: names.iter().map(|n| obs.recorder.register(n)).collect(),
+            layer_hists: names.iter().map(|n| obs.layer_handler_ns.get(n)).collect(),
+        }
+    }
+
+    fn resolve(&self, layer: CoreLayer) -> Tag {
+        match layer {
+            CoreLayer::App => self.app,
+            CoreLayer::Bypass => self.bypass,
+            CoreLayer::Engine => self.engine,
+            CoreLayer::Layer(i) => self.layers.get(i).copied().unwrap_or(self.engine),
+        }
+    }
 }
 
 /// A handle to one joined group.
@@ -214,15 +260,15 @@ pub struct Node {
     stop: Arc<AtomicBool>,
     next_shard: usize,
     cfg: RuntimeConfig,
-    epoch: Instant,
+    obs: Arc<NodeObs>,
 }
 
 impl Node {
     /// Starts the worker pool.
     pub fn new(cfg: RuntimeConfig) -> Node {
         let stop = Arc::new(AtomicBool::new(false));
-        let epoch = Instant::now();
         let workers = cfg.workers.max(1);
+        let obs = Arc::new(NodeObs::new(cfg.obs, workers, cfg.obs_ring_capacity));
         let mut shards = Vec::with_capacity(workers);
         for shard_id in 0..workers {
             let (join_tx, join_rx) = mpsc::channel::<JoinSpec>();
@@ -230,9 +276,10 @@ impl Node {
             let m = Arc::clone(&metrics);
             let s = Arc::clone(&stop);
             let c = cfg.clone();
+            let o = Arc::clone(&obs);
             let worker = std::thread::Builder::new()
                 .name(format!("ensemble-shard-{shard_id}"))
-                .spawn(move || worker_loop(epoch, join_rx, m, s, c))
+                .spawn(move || worker_loop(shard_id, join_rx, m, s, c, o))
                 .expect("spawn shard worker");
             shards.push(Shard {
                 join_tx,
@@ -245,7 +292,7 @@ impl Node {
             stop,
             next_shard: 0,
             cfg,
-            epoch,
+            obs,
         }
     }
 
@@ -254,9 +301,21 @@ impl Node {
         Node::new(RuntimeConfig::default())
     }
 
-    /// The node's monotonic clock, as stack [`Time`].
+    /// The node's monotonic clock, as stack [`Time`]. This is the
+    /// process-global obs clock, so every node in the process (and every
+    /// trace event) shares one timeline.
     pub fn now(&self) -> Time {
-        Time(self.epoch.elapsed().as_nanos() as u64)
+        Time(now_ns())
+    }
+
+    /// The node's observability surface: flight recorder + histograms.
+    pub fn obs(&self) -> &NodeObs {
+        &self.obs
+    }
+
+    /// Renders current metrics in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.obs.metrics_text(&self.stats())
     }
 
     /// Joins a group: builds the stack for `vs` on the next shard and
@@ -333,37 +392,50 @@ impl Drop for Node {
 
 /// One shard's event loop. Owns its groups exclusively.
 fn worker_loop(
-    epoch: Instant,
+    shard: usize,
     join_rx: Receiver<JoinSpec>,
     metrics: Arc<ShardMetrics>,
     stop: Arc<AtomicBool>,
     cfg: RuntimeConfig,
+    obs: Arc<NodeObs>,
 ) {
     let mut groups: Vec<GroupSlot> = Vec::new();
-    let mut wheel: TimerWheel<(usize, usize, u64)> =
-        TimerWheel::new(Time(epoch.elapsed().as_nanos() as u64));
+    let mut wheel: TimerWheel<(usize, usize, u64)> = TimerWheel::new(Time(now_ns()));
     let mut fired: Vec<(Time, (usize, usize, u64))> = Vec::new();
     let mut actions: Vec<Action> = Vec::new();
+    let mut events: Vec<CoreEvent> = Vec::new();
+    let obs_on = obs.enabled();
 
     while !stop.load(Ordering::Relaxed) {
         let mut busy = false;
-        let now = Time(epoch.elapsed().as_nanos() as u64);
+        let now = Time(now_ns());
 
         // 1. Accept new groups.
         while let Ok(spec) = join_rx.try_recv() {
             busy = true;
             match GroupCore::new(&spec.names, spec.vs, spec.kind, spec.cfg, now) {
-                Ok((core, init_actions)) => {
+                Ok((mut core, init_actions)) => {
+                    core.set_tracing(obs_on);
+                    let tags = SlotTags::new(&core, &obs);
                     let gidx = groups.len();
                     groups.push(GroupSlot {
                         core,
                         transport: spec.transport,
                         cmd_rx: spec.cmd_rx,
                         delivery_tx: spec.delivery_tx,
+                        tags,
                     });
                     metrics.groups.fetch_add(1, Ordering::Relaxed);
                     let _ = spec.built.send(Ok(()));
-                    route_actions(&mut groups, gidx, init_actions, &mut wheel, &metrics, false);
+                    let mut ctx = RouteCtx {
+                        wheel: &mut wheel,
+                        metrics: &metrics,
+                        obs: &obs,
+                        shard,
+                        from_timer: false,
+                        origin_ns: now.0,
+                    };
+                    route_actions(&mut groups, gidx, init_actions, &mut ctx);
                 }
                 Err(e) => {
                     let _ = spec.built.send(Err(format!("{e:?}")));
@@ -380,7 +452,7 @@ fn worker_loop(
                 };
                 metrics.cmd_depth.fetch_sub(1, Ordering::Relaxed);
                 busy = true;
-                let now = Time(epoch.elapsed().as_nanos() as u64);
+                let now = Time(now_ns());
                 actions.clear();
                 match cmd {
                     Command::Cast(p) => actions = groups[gidx].core.cast(now, &p),
@@ -397,33 +469,116 @@ fn worker_loop(
                     Command::DropBypass => groups[gidx].core.drop_bypass(),
                 }
                 let acts = std::mem::take(&mut actions);
-                route_actions(&mut groups, gidx, acts, &mut wheel, &metrics, false);
+                let mut ctx = RouteCtx {
+                    wheel: &mut wheel,
+                    metrics: &metrics,
+                    obs: &obs,
+                    shard,
+                    from_timer: false,
+                    // Outbound packets inherit the command-drain stamp, so
+                    // a receiver's cast→deliver latency covers the full
+                    // path: sender stack, wire, receiver stack.
+                    origin_ns: now.0,
+                };
+                route_actions(&mut groups, gidx, acts, &mut ctx);
+                if obs_on {
+                    obs.handler_ns.record(now_ns().saturating_sub(now.0));
+                    fold_events(&mut groups[gidx], shard, &obs, &mut events);
+                }
             }
 
             // 3. Transport ingress.
             for _ in 0..cfg.batch {
-                let pkt = match groups[gidx].transport.try_recv() {
+                let (pkt, stamp) = match groups[gidx].transport.try_recv_stamped() {
                     Ok(Some(p)) => p,
                     Ok(None) => break,
                     Err(_) => break,
                 };
                 busy = true;
                 metrics.msgs_in.fetch_add(1, Ordering::Relaxed);
-                let now = Time(epoch.elapsed().as_nanos() as u64);
+                let now = Time(now_ns());
+                if obs_on {
+                    let t = &groups[gidx].tags;
+                    obs.recorder.record(
+                        shard,
+                        &Event {
+                            t_ns: now.0,
+                            layer: t.wire,
+                            kind: EventKind::PacketIn,
+                            dir: ensemble_obs::Direction::Up,
+                            group: t.group,
+                            seqno: 0,
+                            ccp: ensemble_obs::CcpFailure::None,
+                            aux: pkt.bytes.len() as u64,
+                        },
+                    );
+                }
                 let acts = groups[gidx].core.deliver_packet(now, pkt);
-                route_actions(&mut groups, gidx, acts, &mut wheel, &metrics, false);
+                if obs_on {
+                    if let Some(origin) = stamp {
+                        // One sample per application payload delivered by
+                        // this packet (a packet can release stashed ones).
+                        let delivered = acts
+                            .iter()
+                            .filter(|a| {
+                                matches!(
+                                    a,
+                                    Action::Deliver(Delivery::Cast { .. })
+                                        | Action::Deliver(Delivery::Send { .. })
+                                )
+                            })
+                            .count();
+                        for _ in 0..delivered {
+                            obs.cast_to_deliver_ns.record(now.0.saturating_sub(origin));
+                        }
+                    }
+                }
+                let mut ctx = RouteCtx {
+                    wheel: &mut wheel,
+                    metrics: &metrics,
+                    obs: &obs,
+                    shard,
+                    from_timer: false,
+                    origin_ns: now.0,
+                };
+                route_actions(&mut groups, gidx, acts, &mut ctx);
+                if obs_on {
+                    obs.handler_ns.record(now_ns().saturating_sub(now.0));
+                    fold_events(&mut groups[gidx], shard, &obs, &mut events);
+                }
             }
         }
 
         // 4. Timers.
-        let now = Time(epoch.elapsed().as_nanos() as u64);
+        let now = Time(now_ns());
         fired.clear();
         wheel.advance(now, &mut fired);
-        for (_, (gidx, layer, generation)) in fired.drain(..) {
+        for (deadline, (gidx, layer, generation)) in fired.drain(..) {
             busy = true;
             metrics.timers_fired.fetch_add(1, Ordering::Relaxed);
+            if obs_on {
+                obs.timer_lateness_ns
+                    .record(now.0.saturating_sub(deadline.0));
+            }
+            let t0 = now_ns();
             let acts = groups[gidx].core.fire_timer(now, layer, generation);
-            route_actions(&mut groups, gidx, acts, &mut wheel, &metrics, true);
+            let mut ctx = RouteCtx {
+                wheel: &mut wheel,
+                metrics: &metrics,
+                obs: &obs,
+                shard,
+                from_timer: true,
+                origin_ns: now.0,
+            };
+            route_actions(&mut groups, gidx, acts, &mut ctx);
+            if obs_on {
+                let dt = now_ns().saturating_sub(t0);
+                obs.handler_ns.record(dt);
+                if let Some(h) = groups[gidx].tags.layer_hists.get(layer) {
+                    h.record(dt);
+                }
+                fold_events(&mut groups[gidx], shard, &obs, &mut events);
+            }
         }
 
         // Fold the groups' counter deltas into the shard metrics.
@@ -448,38 +603,77 @@ fn worker_loop(
     }
 }
 
-/// Applies one batch of actions for group `gidx`.
-fn route_actions(
-    groups: &mut [GroupSlot],
-    gidx: usize,
-    actions: Vec<Action>,
-    wheel: &mut TimerWheel<(usize, usize, u64)>,
-    metrics: &ShardMetrics,
+/// Drains a group's buffered trace events into the shard's ring.
+fn fold_events(slot: &mut GroupSlot, shard: usize, obs: &NodeObs, buf: &mut Vec<CoreEvent>) {
+    slot.core.take_events(buf);
+    for e in buf.drain(..) {
+        obs.recorder.record(
+            shard,
+            &Event {
+                t_ns: e.t.0,
+                layer: slot.tags.resolve(e.layer),
+                kind: e.kind,
+                dir: e.dir,
+                group: slot.tags.group,
+                seqno: e.seqno,
+                ccp: e.ccp,
+                aux: e.aux,
+            },
+        );
+    }
+}
+
+/// Everything [`route_actions`] needs besides the groups themselves.
+struct RouteCtx<'a> {
+    wheel: &'a mut TimerWheel<(usize, usize, u64)>,
+    metrics: &'a ShardMetrics,
+    obs: &'a NodeObs,
+    shard: usize,
     from_timer: bool,
-) {
+    /// Origin stamp handed to the transport with each transmission.
+    origin_ns: u64,
+}
+
+/// Applies one batch of actions for group `gidx`.
+fn route_actions(groups: &mut [GroupSlot], gidx: usize, actions: Vec<Action>, ctx: &mut RouteCtx) {
     let g = &mut groups[gidx];
     for a in actions {
         match a {
             Action::Transmit(pkt) => {
-                metrics.msgs_out.fetch_add(1, Ordering::Relaxed);
-                if from_timer {
-                    metrics.retransmits.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.msgs_out.fetch_add(1, Ordering::Relaxed);
+                if ctx.from_timer {
+                    ctx.metrics.retransmits.fetch_add(1, Ordering::Relaxed);
                 }
-                let _ = g.transport.send(&pkt);
+                if ctx.obs.enabled() {
+                    ctx.obs.recorder.record(
+                        ctx.shard,
+                        &Event {
+                            t_ns: now_ns(),
+                            layer: g.tags.wire,
+                            kind: EventKind::PacketOut,
+                            dir: ensemble_obs::Direction::Dn,
+                            group: g.tags.group,
+                            seqno: 0,
+                            ccp: ensemble_obs::CcpFailure::None,
+                            aux: pkt.bytes.len() as u64,
+                        },
+                    );
+                }
+                let _ = g.transport.send_at(&pkt, ctx.origin_ns);
             }
             Action::Timer {
                 layer,
                 deadline,
                 generation,
             } => {
-                wheel.schedule(deadline, (gidx, layer, generation));
+                ctx.wheel.schedule(deadline, (gidx, layer, generation));
             }
             Action::Deliver(d) => {
-                metrics.delivery_depth.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.delivery_depth.fetch_add(1, Ordering::Relaxed);
                 // Blocking: lossless backpressure onto this shard (see
                 // GroupHandle docs). A dropped handle discards instead.
                 if g.delivery_tx.send(d).is_err() {
-                    metrics.delivery_depth.fetch_sub(1, Ordering::Relaxed);
+                    ctx.metrics.delivery_depth.fetch_sub(1, Ordering::Relaxed);
                 }
             }
         }

@@ -38,6 +38,23 @@ pub trait Transport: Send {
     /// Polls one packet; `Ok(None)` when nothing is pending.
     fn try_recv(&mut self) -> io::Result<Option<Packet>>;
 
+    /// Like [`Transport::send`], carrying the sender-side origin
+    /// timestamp (nanoseconds on the obs clock) alongside the packet.
+    /// Drivers that can propagate it in-band (the loopback hub) let the
+    /// receiver measure true cast→deliver latency; the default discards
+    /// the stamp, which is all a wire protocol without a timestamp field
+    /// (UDP here) can do.
+    fn send_at(&mut self, pkt: &Packet, origin_ns: u64) -> io::Result<()> {
+        let _ = origin_ns;
+        self.send(pkt)
+    }
+
+    /// Polls one packet with its origin stamp, when the driver carries
+    /// one. The default adapts [`Transport::try_recv`] with no stamp.
+    fn try_recv_stamped(&mut self) -> io::Result<Option<(Packet, Option<u64>)>> {
+        Ok(self.try_recv()?.map(|p| (p, None)))
+    }
+
     /// Largest datagram the driver accepts.
     fn max_datagram(&self) -> usize {
         60_000
@@ -86,7 +103,9 @@ pub struct FaultCounts {
 }
 
 struct HubPeer {
-    tx: SyncSender<Vec<u8>>,
+    /// Frames carry the sender's origin stamp (obs-clock ns) in-band so
+    /// receivers can measure cast→deliver latency.
+    tx: SyncSender<(u64, Vec<u8>)>,
 }
 
 struct HubInner {
@@ -95,22 +114,22 @@ struct HubInner {
     plan: FaultPlan,
     /// Held-back datagrams per recipient, delivered after the next
     /// datagram to the same recipient (or flushed by an idle receiver).
-    holdback: HashMap<u64, Vec<Vec<u8>>>,
+    holdback: HashMap<u64, Vec<(u64, Vec<u8>)>>,
     counts: FaultCounts,
 }
 
 impl HubInner {
-    fn push(&mut self, dst: u64, frame: Vec<u8>) {
+    fn push(&mut self, dst: u64, stamp: u64, frame: Vec<u8>) {
         let Some(peer) = self.peers.get(&dst) else {
             return;
         };
-        if peer.tx.try_send(frame).is_err() {
+        if peer.tx.try_send((stamp, frame)).is_err() {
             self.counts.backpressure_drops += 1;
         }
     }
 
     /// Applies the fault plan to one datagram bound for `dst`.
-    fn deliver(&mut self, dst: u64, frame: &[u8]) {
+    fn deliver(&mut self, dst: u64, stamp: u64, frame: &[u8]) {
         if !self.peers.contains_key(&dst) {
             return;
         }
@@ -120,7 +139,10 @@ impl HubInner {
         }
         if self.rng.chance(self.plan.reorder_p) {
             self.counts.reordered += 1;
-            self.holdback.entry(dst).or_default().push(frame.to_vec());
+            self.holdback
+                .entry(dst)
+                .or_default()
+                .push((stamp, frame.to_vec()));
             return;
         }
         let copies = if self.rng.chance(self.plan.dup_p) {
@@ -130,7 +152,7 @@ impl HubInner {
             1
         };
         for _ in 0..copies {
-            self.push(dst, frame.to_vec());
+            self.push(dst, stamp, frame.to_vec());
         }
         self.flush_holdback(dst);
     }
@@ -139,8 +161,8 @@ impl HubInner {
         let Some(held) = self.holdback.remove(&dst) else {
             return;
         };
-        for frame in held {
-            self.push(dst, frame);
+        for (stamp, frame) in held {
+            self.push(dst, stamp, frame);
         }
     }
 }
@@ -215,7 +237,7 @@ impl LoopbackHub {
 pub struct LoopbackTransport {
     ep: Endpoint,
     hub: Arc<Mutex<HubInner>>,
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<(u64, Vec<u8>)>,
 }
 
 impl Transport for LoopbackTransport {
@@ -224,6 +246,10 @@ impl Transport for LoopbackTransport {
     }
 
     fn send(&mut self, pkt: &Packet) -> io::Result<()> {
+        self.send_at(pkt, ensemble_obs::now_ns())
+    }
+
+    fn send_at(&mut self, pkt: &Packet, origin_ns: u64) -> io::Result<()> {
         let frame = encode_datagram(pkt);
         let mut inner = self.hub.lock().expect("hub poisoned");
         match pkt.dst {
@@ -232,22 +258,26 @@ impl Transport for LoopbackTransport {
                 let me = self.ep.to_wire();
                 for dst in peers {
                     if dst != me {
-                        inner.deliver(dst, &frame);
+                        inner.deliver(dst, origin_ns, &frame);
                     }
                 }
             }
             ensemble_transport::Dest::Point(dst) => {
-                inner.deliver(dst.to_wire(), &frame);
+                inner.deliver(dst.to_wire(), origin_ns, &frame);
             }
         }
         Ok(())
     }
 
     fn try_recv(&mut self) -> io::Result<Option<Packet>> {
+        Ok(self.try_recv_stamped()?.map(|(p, _)| p))
+    }
+
+    fn try_recv_stamped(&mut self) -> io::Result<Option<(Packet, Option<u64>)>> {
         loop {
             match self.rx.try_recv() {
-                Ok(frame) => match decode_datagram(&frame) {
-                    Ok(pkt) => return Ok(Some(pkt)),
+                Ok((stamp, frame)) => match decode_datagram(&frame) {
+                    Ok(pkt) => return Ok(Some((pkt, Some(stamp)))),
                     Err(_) => continue, // foreign datagram: drop, keep polling
                 },
                 Err(TryRecvError::Empty) => {
@@ -256,7 +286,9 @@ impl Transport for LoopbackTransport {
                     let me = self.ep.to_wire();
                     self.hub.lock().expect("hub poisoned").flush_holdback(me);
                     return match self.rx.try_recv() {
-                        Ok(frame) => Ok(decode_datagram(&frame).ok()),
+                        Ok((stamp, frame)) => {
+                            Ok(decode_datagram(&frame).ok().map(|p| (p, Some(stamp))))
+                        }
                         Err(_) => Ok(None),
                     };
                 }

@@ -6,9 +6,40 @@
 //! cargo run --example partition_recovery
 //! ```
 
-use ensemble::sim::{EngineKind, Simulation};
+use ensemble::sim::{EngineKind, Simulation, TraceEvent};
 use ensemble::{LayerConfig, PartitionModel, PerfectModel, STACK_VSYNC};
 use ensemble_util::{Duration, Endpoint};
+
+/// Prints one span line per layer seen in `events`: when the layer was
+/// first and last active (virtual µs) and what it did.
+fn print_layer_spans(title: &str, events: &[TraceEvent]) {
+    println!("{title} ({} trace events):", events.len());
+    let mut layers: Vec<&str> = Vec::new();
+    for e in events {
+        if !layers.contains(&e.layer) {
+            layers.push(e.layer);
+        }
+    }
+    for layer in layers {
+        let of: Vec<&TraceEvent> = events.iter().filter(|e| e.layer == layer).collect();
+        let first = of.first().expect("non-empty").t_ns;
+        let last = of.last().expect("non-empty").t_ns;
+        let mut kinds: Vec<(&str, usize)> = Vec::new();
+        for e in &of {
+            match kinds.iter_mut().find(|(k, _)| *k == e.kind.name()) {
+                Some((_, n)) => *n += 1,
+                None => kinds.push((e.kind.name(), 1)),
+            }
+        }
+        let detail: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}×{n}")).collect();
+        println!(
+            "  {layer:<10} [{:>9.1}us .. {:>9.1}us]  {}",
+            first as f64 / 1e3,
+            last as f64 / 1e3,
+            detail.join(" ")
+        );
+    }
+}
 
 fn main() {
     let mut sim = Simulation::new(
@@ -20,6 +51,7 @@ fn main() {
         11,
     )
     .expect("stack builds");
+    sim.enable_obs(1 << 16);
 
     // Normal operation: traffic flows, the failure detector pings away.
     for i in 0..6u8 {
@@ -32,10 +64,21 @@ fn main() {
         sim.cast_deliveries(0).len()
     );
 
+    // Drop the steady-state trace so the next drain isolates the
+    // failure-detection and membership-change window.
+    sim.drain_trace();
+
     // The network partitions ep3 away.
     println!("\n*** partitioning ep3 away ***");
     sim.model_mut().isolate(&[Endpoint::new(3)]);
     sim.run_for(Duration::from_millis(400));
+
+    let recovery = sim.drain_trace();
+    print_layer_spans("\nper-layer activity during suspect/elect", &recovery);
+    assert!(
+        recovery.iter().any(|e| e.kind.name() == "view_install"),
+        "the recovery window must install a view"
+    );
 
     let v = sim.current_view(0).clone();
     println!(

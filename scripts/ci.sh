@@ -18,5 +18,23 @@ cargo test -q
 echo "==> runtime integration tests (release)"
 cargo test --release -p ensemble-runtime --test loopback_stack
 cargo test --release -p ensemble-runtime --test udp_smoke
+cargo test --release -p ensemble-runtime --test obs_trace
+
+echo "==> bench: table2a emits and validates BENCH_table2a.json"
+TABLE2A_OUT=$(cargo run --release -p ensemble-bench --bin table2a)
+test -s BENCH_table2a.json
+cargo run --release -p ensemble-bench --bin obs_check -- BENCH_table2a.json
+
+echo "==> bench: metrics exposition carries the required series"
+for series in \
+  'ensemble_model_cost_total{engine="IMP",counter="instructions"}' \
+  'ensemble_model_cost_total{engine="FUNC",counter="data_refs"}' \
+  'ensemble_model_cost_total{engine="HAND",counter="dispatches"}' \
+  'ensemble_model_cost_total{engine="MACH",counter="branches"}'; do
+  grep -qF "$series" <<<"$TABLE2A_OUT" || {
+    echo "missing series: $series" >&2
+    exit 1
+  }
+done
 
 echo "CI OK"
