@@ -1,0 +1,101 @@
+//! `stack_lint` — static analysis of every registered stack.
+//!
+//! Runs the header-space, CCP/residual-soundness, and configuration-lint
+//! passes over every stack the repository ships and the four execution
+//! engines, then prints a human report (default) or a JSON document
+//! (`--json`). Exits nonzero when any deny-level finding is present.
+//!
+//! ```text
+//! stack_lint [--json] [--out FILE] [--inject-collision] [--quiet]
+//! ```
+//!
+//! `--inject-collision` seeds a deliberately header-colliding stack so
+//! CI can confirm the analysis fires (the run then exits nonzero by
+//! design).
+
+use ensemble_analyze::{analyze_all, Severity, ENGINES};
+
+fn usage() -> ! {
+    eprintln!("usage: stack_lint [--json] [--out FILE] [--inject-collision] [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json = false;
+    let mut quiet = false;
+    let mut inject = false;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--inject-collision" => inject = true,
+            "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let analysis = analyze_all(inject);
+    let rendered = if json {
+        analysis.to_json().render()
+    } else {
+        let mut s = String::new();
+        for stack in &analysis.stacks {
+            s.push_str(&format!(
+                "stack {:<18} layers={:<2} {} {}\n",
+                stack.spec.name,
+                stack.spec.layers.len(),
+                if stack.header_disjoint {
+                    "headers-disjoint"
+                } else {
+                    "HEADER-COLLISION"
+                },
+                if stack.synthesizable {
+                    "synthesized"
+                } else {
+                    "lint-only"
+                },
+            ));
+        }
+        for engine in ENGINES {
+            let verdicts: Vec<String> = analysis
+                .engines
+                .iter()
+                .filter(|v| v.engine == engine)
+                .map(|v| {
+                    format!(
+                        "{}:{}",
+                        v.stack,
+                        if v.verified { "verified" } else { "FAILED" }
+                    )
+                })
+                .collect();
+            s.push_str(&format!("engine {engine:<5} {}\n", verdicts.join(" ")));
+        }
+        s.push_str(&analysis.report.to_string());
+        s.push('\n');
+        s
+    };
+
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("stack_lint: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if !quiet && out.is_none() {
+        print!("{rendered}");
+    }
+
+    let denies = analysis.report.count(Severity::Deny);
+    if denies > 0 {
+        eprintln!("stack_lint: {denies} deny-level finding(s)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Structured diagnostics.
+//!
+//! Every analysis pass reports through a [`Report`]: a flat list of
+//! [`Diag`]s carrying a stable rule identifier, a severity, a span-like
+//! location (stack / layer / case), the finding, and — where the fix is
+//! mechanical — a hint. The human rendering is one line per finding;
+//! the JSON rendering (via `ensemble-obs`) is what CI consumes.
+
+use ensemble_obs::Json;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: expected gaps (stubbed slow paths, rank-dependent
+    /// fast paths).
+    Info,
+    /// Suspicious but not provably wrong.
+    Warn,
+    /// A configuration or soundness violation; fails CI.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Diag {
+    /// Stable rule identifier (`HS001`, `CC002`, `SL004`, …).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// The stack being analyzed.
+    pub stack: String,
+    /// The layer the finding anchors to, if any.
+    pub layer: Option<String>,
+    /// The fundamental case, if the finding is per-case.
+    pub case: Option<String>,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the fix is mechanical.
+    pub hint: Option<String>,
+}
+
+impl Diag {
+    fn location(&self) -> String {
+        let mut loc = self.stack.clone();
+        if let Some(l) = &self.layer {
+            loc.push('/');
+            loc.push_str(l);
+        }
+        if let Some(c) = &self.case {
+            loc.push('/');
+            loc.push_str(c);
+        }
+        loc
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rule", Json::str(self.rule)),
+            ("severity", Json::str(self.severity.to_string())),
+            ("stack", Json::str(&*self.stack)),
+            ("layer", self.layer.as_deref().map_or(Json::Null, Json::str)),
+            ("case", self.case.as_deref().map_or(Json::Null, Json::str)),
+            ("message", Json::str(&*self.message)),
+            ("hint", self.hint.as_deref().map_or(Json::Null, Json::str)),
+        ])
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity,
+            self.rule,
+            self.location(),
+            self.message
+        )?;
+        if let Some(h) = &self.hint {
+            write!(f, " (hint: {h})")?;
+        }
+        Ok(())
+    }
+}
+
+/// An accumulating finding list.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The findings, in discovery order.
+    pub diags: Vec<Diag>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, diag: Diag) {
+        self.diags.push(diag);
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Whether any finding is deny-level.
+    pub fn has_deny(&self) -> bool {
+        self.count(Severity::Deny) > 0
+    }
+
+    /// Findings sorted most-severe first (stable within a severity).
+    pub fn sorted(&self) -> Vec<&Diag> {
+        let mut v: Vec<&Diag> = self.diags.iter().collect();
+        v.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        v
+    }
+
+    /// The findings as a JSON array (most-severe first).
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.sorted().into_iter().map(Diag::to_json).collect())
+    }
+
+    /// The severity tallies as a JSON object.
+    pub fn summary_json(&self) -> Json {
+        Json::obj(vec![
+            ("deny", Json::Int(self.count(Severity::Deny) as i64)),
+            ("warn", Json::Int(self.count(Severity::Warn) as i64)),
+            ("info", Json::Int(self.count(Severity::Info) as i64)),
+        ])
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in self.sorted() {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} deny, {} warn, {} info",
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, sev: Severity) -> Diag {
+        Diag {
+            rule,
+            severity: sev,
+            stack: "s".into(),
+            layer: Some("mnak".into()),
+            case: Some("UpCast".into()),
+            message: "m".into(),
+            hint: Some("h".into()),
+        }
+    }
+
+    #[test]
+    fn counts_and_deny_flag() {
+        let mut r = Report::new();
+        assert!(!r.has_deny());
+        r.push(diag("X1", Severity::Info));
+        r.push(diag("X2", Severity::Deny));
+        r.push(diag("X3", Severity::Warn));
+        assert_eq!(r.count(Severity::Deny), 1);
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert_eq!(r.count(Severity::Info), 1);
+        assert!(r.has_deny());
+    }
+
+    #[test]
+    fn sorted_is_most_severe_first() {
+        let mut r = Report::new();
+        r.push(diag("A", Severity::Info));
+        r.push(diag("B", Severity::Deny));
+        r.push(diag("C", Severity::Warn));
+        let rules: Vec<&str> = r.sorted().iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["B", "C", "A"]);
+    }
+
+    #[test]
+    fn display_carries_location_and_hint() {
+        let txt = diag("HS001", Severity::Deny).to_string();
+        assert!(txt.contains("deny[HS001]"), "{txt}");
+        assert!(txt.contains("s/mnak/UpCast"), "{txt}");
+        assert!(txt.contains("hint: h"), "{txt}");
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = Report::new();
+        r.push(diag("HS001", Severity::Deny));
+        let arr = r.to_json();
+        let d = &arr.as_arr().unwrap()[0];
+        assert_eq!(d.get("rule").and_then(Json::as_str), Some("HS001"));
+        assert_eq!(d.get("severity").and_then(Json::as_str), Some("deny"));
+        assert_eq!(d.get("layer").and_then(Json::as_str), Some("mnak"));
+        let s = r.summary_json();
+        assert_eq!(s.get("deny").and_then(Json::as_int), Some(1));
+    }
+}

@@ -1,0 +1,494 @@
+//! Header-space analysis.
+//!
+//! An abstract interpretation over the IR term language that infers, per
+//! layer and fundamental case, which header constructors each handler
+//! *pushes*, how many frames it *pops*, and which constructors it *reads*
+//! off the top of the message — split into fast reads (a read with a
+//! non-`Slow` continuation, i.e. one the synthesized bypass must be able
+//! to decide) and slow reads (reads whose every continuation falls back
+//! to the full stack).
+//!
+//! The inference is purely syntactic over the handler terms — no
+//! evaluation — which is what makes it a *static* guarantee: it holds
+//! for every execution, not just the tested ones. Checks:
+//!
+//! * **HS001** — two layers claim the same non-`NoHdr` constructor
+//!   (header collision: `synth::compress` folds frame tags into the
+//!   stack identifier, so a collision would silently alias two layers'
+//!   wire traffic);
+//! * **HS002** — a fast read of a constructor the mirror down-path never
+//!   pushes (the bypass would wait for a header that cannot occur);
+//! * **HS003** — a down-path push with no mirror up-path pop, or vice
+//!   versa (frame imbalance: headers would accumulate or underflow);
+//! * **HS004** — inferred usage outside the layer's declared
+//!   [`HeaderManifest`](ensemble_layers::HeaderManifest) (the manifest
+//!   is the contract the native Rust
+//!   layer implements; the IR model must stay inside it).
+
+use crate::diag::{Diag, Report, Severity};
+use ensemble_ir::models::{model, Case, LayerModel, ModelCtx};
+use ensemble_ir::term::{Pattern, Prim, Term};
+use ensemble_ir::visit::{walk, Walk};
+use ensemble_layers::manifest::manifest;
+
+/// The pass-through marker frame; shared by every transparent layer and
+/// excluded from ownership checks.
+pub const NO_HDR: &str = "NoHdr";
+
+/// Inferred header usage of one handler.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CaseHeaderUse {
+    /// Constructors pushed (one entry per distinct constructor).
+    pub pushes: Vec<String>,
+    /// Number of `pop` call sites.
+    pub pops: usize,
+    /// Constructors read off the message top with a fast continuation.
+    pub fast_reads: Vec<String>,
+    /// Constructors read whose every continuation is `Slow`.
+    pub slow_reads: Vec<String>,
+}
+
+/// Inferred header usage of one layer, all four cases.
+#[derive(Clone, Debug)]
+pub struct LayerHeaderUse {
+    /// The layer name.
+    pub layer: String,
+    /// Per-case usage, in `Case::ALL` order.
+    pub cases: Vec<(Case, CaseHeaderUse)>,
+}
+
+impl LayerHeaderUse {
+    /// The usage for `case`.
+    pub fn case(&self, case: Case) -> &CaseHeaderUse {
+        &self
+            .cases
+            .iter()
+            .find(|(c, _)| *c == case)
+            .expect("all four cases inferred")
+            .1
+    }
+}
+
+/// Everything the checks know about one layer in a stack: the declared
+/// manifest and (for modeled layers) the inferred usage.
+#[derive(Clone, Debug)]
+pub struct LayerHeaderInfo {
+    /// The layer name.
+    pub layer: String,
+    /// Declared header constructors (from the manifest).
+    pub declared: Vec<String>,
+    /// Whether the layer rewrites payload bytes.
+    pub transforms_payload: bool,
+    /// Inferred usage, `None` when the layer has no IR model.
+    pub inferred: Option<LayerHeaderUse>,
+}
+
+/// Builds the header info for a registered layer: manifest plus, when an
+/// IR model exists, the inferred usage. `None` for unknown layers.
+pub fn layer_info(name: &str, ctx: &ModelCtx) -> Option<LayerHeaderInfo> {
+    let mf = manifest(name)?;
+    Some(LayerHeaderInfo {
+        layer: name.to_owned(),
+        declared: mf.pushes.iter().map(|s| (*s).to_owned()).collect(),
+        transforms_payload: mf.transforms_payload,
+        inferred: model(name, ctx).map(|m| infer_layer(&m)),
+    })
+}
+
+/// Whether every execution path of `t` ends in the `Slow` fallback (the
+/// model's stand-in for leaving the bypass).
+fn only_slow(t: &Term) -> bool {
+    match t {
+        Term::App(n, _) => n.as_str() == "slow",
+        Term::Con(n, _) => n.as_str() == "Slow",
+        Term::Let(_, _, b) => only_slow(b),
+        Term::If(_, a, b) => only_slow(a) && only_slow(b),
+        Term::Match(_, arms) => arms.iter().all(|(_, b)| only_slow(b)),
+        _ => false,
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, s: String) {
+    if !v.contains(&s) {
+        v.push(s);
+    }
+}
+
+/// Whether `t` is a read of the top header of a message
+/// (`top_hdr(m)`).
+fn is_top_hdr(t: &Term) -> bool {
+    matches!(t, Term::App(n, _) if n.as_str() == "top_hdr")
+}
+
+/// Infers the header usage of one handler term.
+pub fn infer_case(handler: &Term, ccp: &[Term]) -> CaseHeaderUse {
+    let mut u = CaseHeaderUse::default();
+    walk(handler, &mut |t| {
+        match t {
+            // push(m, Con(...)) — a header push. Non-constructor second
+            // arguments do not occur in the models; a variable there
+            // would defeat the analysis, so it is surfaced by HS004
+            // (nothing inferred ⊂ nothing declared fails the mirror
+            // checks instead).
+            Term::App(n, args) if n.as_str() == "push" && args.len() == 2 => {
+                if let Term::Con(h, _) = &args[1] {
+                    push_unique(&mut u.pushes, h.as_str());
+                }
+            }
+            Term::App(n, _) if n.as_str() == "pop" => {
+                u.pops += 1;
+            }
+            // match top_hdr(m) { Con(..) => body, ... } — header reads,
+            // fast or slow depending on the continuation.
+            Term::Match(s, arms) if is_top_hdr(s) => {
+                for (p, body) in arms {
+                    if let Pattern::Con(h, _) = p {
+                        if only_slow(body) {
+                            push_unique(&mut u.slow_reads, h.as_str());
+                        } else {
+                            push_unique(&mut u.fast_reads, h.as_str());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        Walk::Continue
+    });
+    // CCP conjuncts of shape `top_hdr(m) == Con(...)` are fast reads: the
+    // bypass decides them before touching the handler.
+    for conj in ccp {
+        walk(conj, &mut |t| {
+            if let Term::Prim(Prim::Eq, args) = t {
+                let pair = [(&args[0], &args[1]), (&args[1], &args[0])];
+                for (a, b) in pair {
+                    if is_top_hdr(a) {
+                        if let Term::Con(h, _) = b {
+                            push_unique(&mut u.fast_reads, h.as_str());
+                        }
+                    }
+                }
+            }
+            Walk::Continue
+        });
+    }
+    u
+}
+
+/// Infers all four cases of a layer model.
+pub fn infer_layer(m: &LayerModel) -> LayerHeaderUse {
+    LayerHeaderUse {
+        layer: m.name.to_owned(),
+        cases: Case::ALL
+            .iter()
+            .map(|c| (*c, infer_case(m.handler(*c), m.ccp(*c))))
+            .collect(),
+    }
+}
+
+/// The mirror case on the opposite path: what a layer pushes going down
+/// it must recognize coming up.
+fn mirror(case: Case) -> Case {
+    match case {
+        Case::DnCast => Case::UpCast,
+        Case::UpCast => Case::DnCast,
+        Case::DnSend => Case::UpSend,
+        Case::UpSend => Case::DnSend,
+    }
+}
+
+fn case_name(c: Case) -> String {
+    format!("{c:?}")
+}
+
+/// Runs the header-space checks over a stack's layers.
+pub fn check_headers(stack: &str, infos: &[LayerHeaderInfo], report: &mut Report) {
+    // HS001: non-NoHdr constructors must have a unique owner. Ownership
+    // is the union of declared and inferred pushes.
+    let mut owners: Vec<(String, String)> = Vec::new(); // (header, layer)
+    for info in infos {
+        let mut claimed: Vec<String> = info.declared.clone();
+        if let Some(inf) = &info.inferred {
+            for (_, u) in &inf.cases {
+                for p in &u.pushes {
+                    if !claimed.contains(p) {
+                        claimed.push(p.clone());
+                    }
+                }
+            }
+        }
+        for h in claimed.into_iter().filter(|h| h != NO_HDR) {
+            match owners.iter().find(|(hh, _)| *hh == h) {
+                Some((_, prev)) if *prev != info.layer => {
+                    report.push(Diag {
+                        rule: "HS001",
+                        severity: Severity::Deny,
+                        stack: stack.to_owned(),
+                        layer: Some(info.layer.clone()),
+                        case: None,
+                        message: format!(
+                            "header constructor {h:?} is claimed by both {prev:?} and {:?}; \
+                             compressed traffic of the two layers would alias",
+                            info.layer
+                        ),
+                        hint: Some(format!(
+                            "rename {h:?} in one layer's manifest/model so every frame has \
+                             one owner"
+                        )),
+                    });
+                }
+                Some(_) => {}
+                None => owners.push((h, info.layer.clone())),
+            }
+        }
+    }
+
+    // Per-layer mirror checks (modeled layers only).
+    for info in infos {
+        let Some(inf) = &info.inferred else { continue };
+        for (case, u) in &inf.cases {
+            let mir = inf.case(mirror(*case));
+            // HS002: fast reads must be pushable by the mirror down path.
+            if matches!(case, Case::UpCast | Case::UpSend) {
+                for r in &u.fast_reads {
+                    if r != NO_HDR && !mir.pushes.contains(r) {
+                        report.push(Diag {
+                            rule: "HS002",
+                            severity: Severity::Deny,
+                            stack: stack.to_owned(),
+                            layer: Some(info.layer.clone()),
+                            case: Some(case_name(*case)),
+                            message: format!(
+                                "fast path reads header {r:?} which the layer's \
+                                 {:?} handler never pushes; the bypass would wait for a \
+                                 frame that cannot occur",
+                                mirror(*case)
+                            ),
+                            hint: Some(
+                                "push the header on the mirror down path or demote the \
+                                 read to a slow path"
+                                    .to_owned(),
+                            ),
+                        });
+                    }
+                }
+            }
+            // HS003: pushes must be popped by the mirror up path.
+            if matches!(case, Case::DnCast | Case::DnSend) && !u.pushes.is_empty() && mir.pops == 0
+            {
+                report.push(Diag {
+                    rule: "HS003",
+                    severity: Severity::Deny,
+                    stack: stack.to_owned(),
+                    layer: Some(info.layer.clone()),
+                    case: Some(case_name(*case)),
+                    message: format!(
+                        "{:?} pushes {:?} but the mirror {:?} handler never pops; \
+                         frames would accumulate",
+                        case,
+                        u.pushes,
+                        mirror(*case)
+                    ),
+                    hint: Some("pop exactly one frame on the way up".to_owned()),
+                });
+            }
+            if matches!(case, Case::UpCast | Case::UpSend) && u.pops > 0 && mir.pushes.is_empty() {
+                report.push(Diag {
+                    rule: "HS003",
+                    severity: Severity::Deny,
+                    stack: stack.to_owned(),
+                    layer: Some(info.layer.clone()),
+                    case: Some(case_name(*case)),
+                    message: format!(
+                        "{:?} pops a frame but the mirror {:?} handler never pushes; \
+                         the layer would consume a neighbour's header",
+                        case,
+                        mirror(*case)
+                    ),
+                    hint: Some("push a frame on the way down".to_owned()),
+                });
+            }
+            // HS004: inferred usage must stay inside the declared
+            // manifest.
+            for h in u.pushes.iter().chain(&u.fast_reads).chain(&u.slow_reads) {
+                if !info.declared.contains(h) {
+                    report.push(Diag {
+                        rule: "HS004",
+                        severity: Severity::Deny,
+                        stack: stack.to_owned(),
+                        layer: Some(info.layer.clone()),
+                        case: Some(case_name(*case)),
+                        message: format!(
+                            "model uses header {h:?} which the layer manifest does not \
+                             declare"
+                        ),
+                        hint: Some(format!(
+                            "add {h:?} to the manifest in ensemble-layers or fix the model"
+                        )),
+                    });
+                }
+            }
+        }
+        // HS004 (informational converse): declared headers the model never
+        // touches — expected for slow-path-only control frames, surfaced
+        // so the gap is visible.
+        let mut touched: Vec<&String> = Vec::new();
+        for (_, u) in &inf.cases {
+            touched.extend(u.pushes.iter());
+            touched.extend(u.fast_reads.iter());
+            touched.extend(u.slow_reads.iter());
+        }
+        for h in info.declared.iter().filter(|h| *h != NO_HDR) {
+            if !touched.contains(&h) {
+                report.push(Diag {
+                    rule: "HS004",
+                    severity: Severity::Info,
+                    stack: stack.to_owned(),
+                    layer: Some(info.layer.clone()),
+                    case: None,
+                    message: format!(
+                        "declared header {h:?} is not used by the IR model (slow-path-only \
+                         control frame)"
+                    ),
+                    hint: None,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_ir::models::ModelCtx;
+
+    fn ctx() -> ModelCtx {
+        ModelCtx::new(3, 0)
+    }
+
+    #[test]
+    fn mnak_inference_matches_model() {
+        let m = model("mnak", &ctx()).unwrap();
+        let inf = infer_layer(&m);
+        let dn = inf.case(Case::DnCast);
+        assert_eq!(dn.pushes, vec!["MnakData"]);
+        assert_eq!(dn.pops, 0);
+        let up = inf.case(Case::UpCast);
+        assert_eq!(up.fast_reads, vec!["MnakData"]);
+        assert_eq!(up.pops, 1);
+        let ups = inf.case(Case::UpSend);
+        assert!(ups.fast_reads.contains(&"NoHdr".to_owned()));
+        assert!(ups.slow_reads.contains(&"MnakNak".to_owned()));
+        assert!(ups.slow_reads.contains(&"MnakRetrans".to_owned()));
+    }
+
+    #[test]
+    fn total_up_cast_ccp_read_is_fast() {
+        let m = model("total", &ctx()).unwrap();
+        let inf = infer_layer(&m);
+        let up = inf.case(Case::UpCast);
+        assert!(up.fast_reads.contains(&"TotalOrdered".to_owned()));
+        assert!(up.slow_reads.contains(&"TotalUnordered".to_owned()));
+        assert!(up.slow_reads.contains(&"TotalOrder".to_owned()));
+    }
+
+    #[test]
+    fn top_pushes_nothing() {
+        let m = model("top", &ctx()).unwrap();
+        let inf = infer_layer(&m);
+        for (_, u) in &inf.cases {
+            assert!(u.pushes.is_empty());
+            assert_eq!(u.pops, 0);
+        }
+    }
+
+    #[test]
+    fn stack10_headers_are_clean() {
+        let mut report = Report::new();
+        let infos: Vec<LayerHeaderInfo> = ensemble_layers::STACK_10
+            .iter()
+            .map(|n| layer_info(n, &ctx()).unwrap())
+            .collect();
+        check_headers("stack10", &infos, &mut report);
+        assert!(!report.has_deny(), "{report}");
+    }
+
+    #[test]
+    fn vsync_headers_are_clean_via_manifests() {
+        let mut report = Report::new();
+        let infos: Vec<LayerHeaderInfo> = ensemble_layers::STACK_VSYNC
+            .iter()
+            .map(|n| layer_info(n, &ctx()).unwrap())
+            .collect();
+        // Unmodeled membership layers participate through their
+        // manifests alone.
+        assert!(infos.iter().any(|i| i.inferred.is_none()));
+        check_headers("vsync", &infos, &mut report);
+        assert!(!report.has_deny(), "{report}");
+    }
+
+    #[test]
+    fn collision_is_denied() {
+        let mut a = layer_info("mnak", &ctx()).unwrap();
+        let b = layer_info("pt2pt", &ctx()).unwrap();
+        // Make mnak claim pt2pt's data header.
+        a.declared.push("Pt2PtData".to_owned());
+        let mut report = Report::new();
+        check_headers("bad", &[a, b], &mut report);
+        assert!(report.has_deny(), "{report}");
+        assert!(report.diags.iter().any(|d| d.rule == "HS001"));
+        let msg = report.to_json().render();
+        assert!(msg.contains("Pt2PtData"), "{msg}");
+    }
+
+    #[test]
+    fn nohdr_is_shared_without_collision() {
+        let infos: Vec<LayerHeaderInfo> = ["top", "partial_appl", "local"]
+            .iter()
+            .map(|n| layer_info(n, &ctx()).unwrap())
+            .collect();
+        let mut report = Report::new();
+        check_headers("pass", &infos, &mut report);
+        assert!(!report.has_deny(), "{report}");
+    }
+
+    #[test]
+    fn fast_read_without_push_is_denied() {
+        use ensemble_ir::term::{app, con, match_, pat, var};
+        // A layer whose up path fast-reads "Ghost" but whose down path
+        // pushes nothing.
+        let ghost_up = match_(
+            app("top_hdr", vec![var("msg")]),
+            vec![(
+                pat("Ghost", &[]),
+                app(
+                    "out1",
+                    vec![
+                        var("state"),
+                        con("UpCast", vec![var("origin"), app("pop", vec![var("msg")])]),
+                    ],
+                ),
+            )],
+        );
+        let passthrough = app("out1", vec![var("state"), con("DnCast", vec![var("msg")])]);
+        let info = LayerHeaderInfo {
+            layer: "ghost".to_owned(),
+            declared: vec!["Ghost".to_owned()],
+            transforms_payload: false,
+            inferred: Some(LayerHeaderUse {
+                layer: "ghost".to_owned(),
+                cases: vec![
+                    (Case::DnCast, infer_case(&passthrough, &[])),
+                    (Case::UpCast, infer_case(&ghost_up, &[])),
+                    (Case::DnSend, infer_case(&passthrough, &[])),
+                    (Case::UpSend, infer_case(&passthrough, &[])),
+                ],
+            }),
+        };
+        let mut report = Report::new();
+        check_headers("ghost", &[info], &mut report);
+        assert!(report.diags.iter().any(|d| d.rule == "HS002"), "{report}");
+        // The unpopped-pushes direction: pops without mirror pushes.
+        assert!(report.diags.iter().any(|d| d.rule == "HS003"), "{report}");
+    }
+}

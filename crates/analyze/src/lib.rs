@@ -1,0 +1,38 @@
+//! Static analysis over IR layer models and stack configurations
+//! (Nuprl's *checking* role, §3.2).
+//!
+//! The paper's Nuprl deployment has two jobs: proving the optimization
+//! theorems (`ensemble-synth`) and *statically checking* stack
+//! configurations against their specifications before anything runs.
+//! This crate is the second job, three pass families deep:
+//!
+//! * [`headerspace`] — abstract interpretation over handler terms
+//!   inferring which header constructors each layer pushes/pops/reads,
+//!   and proving the disjointness `synth::compress` relies on;
+//! * [`soundness`] — syntactic proofs over synthesized bypass artifacts:
+//!   no slow path survives in any residual, the CCP is decidable from
+//!   the compressed header alone, and every wire frame is owned by
+//!   exactly the layer that pushed it;
+//! * [`lints`] — a rule registry over stack configurations covering
+//!   what the `stack::compat` refinement lattice cannot express
+//!   (duplicates, termination, payload-transformer ordering, membership
+//!   placement).
+//!
+//! All passes report through [`diag`]'s structured diagnostics; the
+//! `stack_lint` binary (and [`report::analyze_all`]) runs everything
+//! over every registered stack and the four execution engines, with
+//! human and JSON output.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod headerspace;
+pub mod lints;
+pub mod report;
+pub mod soundness;
+
+pub use diag::{Diag, Report, Severity};
+pub use headerspace::{check_headers, infer_case, infer_layer, layer_info, LayerHeaderInfo};
+pub use lints::{lint_stack, registered_stacks, registry, Rule, StackSpec};
+pub use report::{analyze_all, analyze_stack, Analysis, EngineVerdict, StackResult, ENGINES};
+pub use soundness::{check_soundness, SoundnessVerdict};

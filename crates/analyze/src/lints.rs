@@ -1,0 +1,461 @@
+//! Configuration lints over stack specifications.
+//!
+//! The refinement lattice in `ensemble_stack::compat` catches
+//! under-provision (a layer requiring more than the layers below
+//! deliver), but several well-formedness and ordering constraints are
+//! not expressible as lattice points — a duplicated layer provides
+//! nothing new yet breaks the one-frame-per-layer discipline; `encrypt`
+//! below `frag` type-checks but pads fragments past `frag_max`. Those
+//! constraints live here, as a registry of [`Rule`]s over [`StackSpec`]s
+//! with stable identifiers:
+//!
+//! | rule  | severity | constraint |
+//! |-------|----------|------------|
+//! | SL001 | deny     | no duplicate layers |
+//! | SL002 | deny     | exactly one `bottom`, last |
+//! | SL003 | deny     | every layer is registered |
+//! | SL004 | deny     | compat interfaces hold (`check_stack`) |
+//! | SL005 | deny     | payload transformers sit above `frag` |
+//! | SL006 | deny     | membership layers sit below `total`/`local` |
+//! | SL007 | warn     | an application adapter sits on top |
+//! | SL008 | deny     | ordering layers sit above the reliability layer they order |
+
+use crate::diag::{Diag, Report, Severity};
+use ensemble_layers::manifest::manifest;
+use ensemble_layers::{LAYER_NAMES, STACK_10, STACK_4, STACK_VSYNC};
+use ensemble_stack::check_stack;
+use ensemble_stack::compat::CompatError;
+
+/// A named stack configuration under analysis.
+#[derive(Clone, Debug)]
+pub struct StackSpec {
+    /// Display name (`stack4`, `stack10`, `vsync`, …).
+    pub name: String,
+    /// Layer names, top first.
+    pub layers: Vec<String>,
+}
+
+impl StackSpec {
+    /// Builds a spec from a name and a top-first layer list.
+    pub fn new(name: &str, layers: &[&str]) -> Self {
+        StackSpec {
+            name: name.to_owned(),
+            layers: layers.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    fn index_of(&self, layer: &str) -> Option<usize> {
+        self.layers.iter().position(|l| l == layer)
+    }
+}
+
+/// Every stack the repository ships.
+pub fn registered_stacks() -> Vec<StackSpec> {
+    vec![
+        StackSpec::new("stack4", STACK_4),
+        StackSpec::new("stack10", STACK_10),
+        StackSpec::new("vsync", STACK_VSYNC),
+    ]
+}
+
+/// One configuration lint.
+pub trait Rule {
+    /// Stable identifier (`SL001`, …).
+    fn id(&self) -> &'static str;
+    /// One-line description of the constraint.
+    fn describe(&self) -> &'static str;
+    /// Checks `spec`, appending findings to `report`.
+    fn check(&self, spec: &StackSpec, report: &mut Report);
+}
+
+fn deny(
+    rule: &'static str,
+    spec: &StackSpec,
+    layer: Option<&str>,
+    msg: String,
+    hint: &str,
+) -> Diag {
+    Diag {
+        rule,
+        severity: Severity::Deny,
+        stack: spec.name.clone(),
+        layer: layer.map(str::to_owned),
+        case: None,
+        message: msg,
+        hint: if hint.is_empty() {
+            None
+        } else {
+            Some(hint.to_owned())
+        },
+    }
+}
+
+struct NoDuplicates;
+impl Rule for NoDuplicates {
+    fn id(&self) -> &'static str {
+        "SL001"
+    }
+    fn describe(&self) -> &'static str {
+        "a layer may appear at most once in a stack"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        for (i, l) in spec.layers.iter().enumerate() {
+            if spec.layers[..i].contains(l) {
+                report.push(deny(
+                    self.id(),
+                    spec,
+                    Some(l),
+                    format!("layer {l:?} appears more than once"),
+                    "duplicated layers double-push their frame and break the \
+                     one-frame-per-layer discipline",
+                ));
+            }
+        }
+    }
+}
+
+struct BottomTerminates;
+impl Rule for BottomTerminates {
+    fn id(&self) -> &'static str {
+        "SL002"
+    }
+    fn describe(&self) -> &'static str {
+        "the stack ends in exactly one bottom layer"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        if spec.layers.last().map(String::as_str) != Some("bottom") {
+            report.push(deny(
+                self.id(),
+                spec,
+                None,
+                "stack does not terminate in `bottom`".to_owned(),
+                "append `bottom`; it stamps the view and talks to the transport",
+            ));
+        }
+        let n = spec.layers.iter().filter(|l| *l == "bottom").count();
+        if n > 1 {
+            report.push(deny(
+                self.id(),
+                spec,
+                Some("bottom"),
+                format!("`bottom` appears {n} times"),
+                "",
+            ));
+        }
+    }
+}
+
+struct KnownLayers;
+impl Rule for KnownLayers {
+    fn id(&self) -> &'static str {
+        "SL003"
+    }
+    fn describe(&self) -> &'static str {
+        "every layer is registered and carries a header manifest"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        for l in &spec.layers {
+            if !LAYER_NAMES.contains(&l.as_str()) {
+                report.push(deny(
+                    self.id(),
+                    spec,
+                    Some(l),
+                    format!("unknown layer {l:?}"),
+                    "see ensemble_layers::LAYER_NAMES for the registry",
+                ));
+            } else if manifest(l).is_none() {
+                report.push(deny(
+                    self.id(),
+                    spec,
+                    Some(l),
+                    format!("layer {l:?} has no header manifest"),
+                    "declare its headers in ensemble_layers::manifest",
+                ));
+            }
+        }
+    }
+}
+
+struct CompatHolds;
+impl Rule for CompatHolds {
+    fn id(&self) -> &'static str {
+        "SL004"
+    }
+    fn describe(&self) -> &'static str {
+        "Above/Below interface requirements are satisfied (§3.2)"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        let names: Vec<&str> = spec.layers.iter().map(String::as_str).collect();
+        match check_stack(&names) {
+            Ok(()) => {}
+            Err(CompatError::Mismatch {
+                upper,
+                kind,
+                requires,
+                provides,
+                below,
+            }) => {
+                report.push(deny(
+                    self.id(),
+                    spec,
+                    Some(&upper),
+                    format!(
+                        "{upper} requires {requires} {kind} below, but {below} provides \
+                         only {provides}"
+                    ),
+                    "insert a layer that provides the required behaviour between them",
+                ));
+            }
+            Err(e) => {
+                report.push(deny(self.id(), spec, None, e.to_string(), ""));
+            }
+        }
+    }
+}
+
+struct TransformersAboveFrag;
+impl Rule for TransformersAboveFrag {
+    fn id(&self) -> &'static str {
+        "SL005"
+    }
+    fn describe(&self) -> &'static str {
+        "payload-transforming layers sit above frag"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        let Some(frag_at) = spec.index_of("frag") else {
+            return;
+        };
+        for (i, l) in spec.layers.iter().enumerate() {
+            let transforms = manifest(l).map(|m| m.transforms_payload).unwrap_or(false);
+            if transforms && i > frag_at {
+                report.push(deny(
+                    self.id(),
+                    spec,
+                    Some(l),
+                    format!(
+                        "{l} transforms the payload below `frag`; transforming a \
+                         fragment can grow it past frag_max"
+                    ),
+                    "move the transforming layer above `frag` so whole messages are \
+                     transformed, then fragmented",
+                ));
+            }
+        }
+    }
+}
+
+struct MembershipBelowOrdering;
+impl Rule for MembershipBelowOrdering {
+    fn id(&self) -> &'static str {
+        "SL006"
+    }
+    fn describe(&self) -> &'static str {
+        "membership layers sit below total/local"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        const MEMBERSHIP: [&str; 4] = ["gmp", "sync", "elect", "suspect"];
+        for upper in ["total", "local"] {
+            let Some(u) = spec.index_of(upper) else {
+                continue;
+            };
+            for m in MEMBERSHIP {
+                if let Some(i) = spec.index_of(m) {
+                    if i < u {
+                        report.push(deny(
+                            self.id(),
+                            spec,
+                            Some(m),
+                            format!(
+                                "membership layer {m} sits above {upper}; its control \
+                                 casts must not depend on the total-order sequencer \
+                                 (which may be the member that died)"
+                            ),
+                            "place the membership suite below total/local, above the \
+                             reliable FIFO layers",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct AdapterOnTop;
+impl Rule for AdapterOnTop {
+    fn id(&self) -> &'static str {
+        "SL007"
+    }
+    fn describe(&self) -> &'static str {
+        "an application adapter (top/partial_appl) heads the stack"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        match spec.layers.first().map(String::as_str) {
+            Some("top") | Some("partial_appl") => {}
+            first => report.push(Diag {
+                rule: self.id(),
+                severity: Severity::Warn,
+                stack: spec.name.clone(),
+                layer: first.map(str::to_owned),
+                case: None,
+                message: format!(
+                    "stack head is {first:?}, not an application adapter; application \
+                     events enter the stack unadapted"
+                ),
+                hint: Some("start the stack with `top` or `partial_appl`".to_owned()),
+            }),
+        }
+    }
+}
+
+struct OrderingAboveReliability;
+impl Rule for OrderingAboveReliability {
+    fn id(&self) -> &'static str {
+        "SL008"
+    }
+    fn describe(&self) -> &'static str {
+        "ordering layers sit above the reliability layer they order"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        // total orders the reliable cast stream mnak produces. The
+        // lattice cannot reject mnak-above-total (mnak tolerates a lossy
+        // substrate by design), but the configuration is still wrong:
+        // total would order raw, unretransmitted casts.
+        let pairs = [("total", "mnak"), ("total_buggy", "mnak")];
+        for (ordering, reliability) in pairs {
+            if let (Some(o), Some(r)) = (spec.index_of(ordering), spec.index_of(reliability)) {
+                if r < o {
+                    report.push(deny(
+                        self.id(),
+                        spec,
+                        Some(reliability),
+                        format!(
+                            "{reliability} sits above {ordering}; the ordered stream \
+                             below it would be re-numbered after ordering"
+                        ),
+                        "place the reliability layer below the ordering layer",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The full rule registry, in identifier order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoDuplicates),
+        Box::new(BottomTerminates),
+        Box::new(KnownLayers),
+        Box::new(CompatHolds),
+        Box::new(TransformersAboveFrag),
+        Box::new(MembershipBelowOrdering),
+        Box::new(AdapterOnTop),
+        Box::new(OrderingAboveReliability),
+    ]
+}
+
+/// Runs every registered rule over `spec`.
+pub fn lint_stack(spec: &StackSpec, report: &mut Report) {
+    for rule in registry() {
+        rule.check(spec, report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(name: &str, layers: &[&str]) -> Report {
+        let mut r = Report::new();
+        lint_stack(&StackSpec::new(name, layers), &mut r);
+        r
+    }
+
+    #[test]
+    fn shipped_stacks_are_clean() {
+        for spec in registered_stacks() {
+            let mut r = Report::new();
+            lint_stack(&spec, &mut r);
+            assert!(!r.has_deny(), "{}: {r}", spec.name);
+            assert_eq!(r.count(Severity::Warn), 0, "{}: {r}", spec.name);
+        }
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_described() {
+        let rules = registry();
+        let mut ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+        assert!(rules.iter().all(|r| !r.describe().is_empty()));
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), rules.len());
+    }
+
+    #[test]
+    fn duplicate_layer_denied() {
+        let r = lint("dup", &["top", "mnak", "mnak", "bottom"]);
+        assert!(r.diags.iter().any(|d| d.rule == "SL001"), "{r}");
+    }
+
+    #[test]
+    fn missing_bottom_denied() {
+        let r = lint("nobottom", &["top", "mnak"]);
+        assert!(r.diags.iter().any(|d| d.rule == "SL002"), "{r}");
+    }
+
+    #[test]
+    fn unknown_layer_denied() {
+        let r = lint("unknown", &["top", "mystery", "bottom"]);
+        assert!(r.diags.iter().any(|d| d.rule == "SL003"), "{r}");
+    }
+
+    #[test]
+    fn compat_violation_names_both_layers() {
+        let r = lint("badcompat", &["top", "total", "mnak", "bottom"]);
+        let d = r.diags.iter().find(|d| d.rule == "SL004").expect("SL004");
+        assert!(d.message.contains("total"), "{}", d.message);
+        assert!(d.message.contains("mnak"), "{}", d.message);
+        assert!(d.message.contains("ReliableFifoLocal"), "{}", d.message);
+    }
+
+    #[test]
+    fn encrypt_below_frag_denied() {
+        // Type-checks in the lattice (encrypt is transparent over
+        // anything) but breaks fragment sizing.
+        let r = lint(
+            "enc",
+            &["top", "frag", "encrypt", "pt2pt", "mnak", "bottom"],
+        );
+        assert!(r.diags.iter().any(|d| d.rule == "SL005"), "{r}");
+        // Above frag it is fine.
+        let r = lint(
+            "enc2",
+            &["top", "encrypt", "frag", "pt2pt", "mnak", "bottom"],
+        );
+        assert!(!r.diags.iter().any(|d| d.rule == "SL005"), "{r}");
+    }
+
+    #[test]
+    fn membership_above_total_denied() {
+        let r = lint("mem", &["top", "gmp", "total", "local", "mnak", "bottom"]);
+        assert!(r.diags.iter().any(|d| d.rule == "SL006"), "{r}");
+    }
+
+    #[test]
+    fn mnak_above_total_denied_by_ordering_rule() {
+        // The lattice accepts this (mnak tolerates anything below); the
+        // ordering lint is what rejects it.
+        let names = ["top", "mnak", "total", "local", "bottom"];
+        let r = lint("order", &names);
+        assert!(r.diags.iter().any(|d| d.rule == "SL008"), "{r}");
+    }
+
+    #[test]
+    fn headless_stack_warns() {
+        let r = lint("headless", &["mnak", "bottom"]);
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| d.rule == "SL007" && d.severity == Severity::Warn));
+    }
+}

@@ -1,0 +1,384 @@
+//! Whole-repository analysis: every registered stack, every engine.
+//!
+//! [`analyze_all`] runs the three pass families — configuration lints,
+//! header-space analysis, CCP/residual soundness — over every stack the
+//! repository ships, then derives a per-engine verdict table: for each
+//! execution engine (IMP, FUNC, HAND, MACH) and each synthesizable
+//! stack, whether the statically verified properties hold for the code
+//! that engine would run. The bypass theorems themselves are engine
+//! independent (all four configurations execute code the same theorems
+//! describe); what differs per engine is the precondition — MACH must
+//! additionally *compile* the residual to its register program, which
+//! [`analyze_all`] attempts and reports as **EN001** on failure.
+
+use crate::diag::{Diag, Report, Severity};
+use crate::headerspace::{check_headers, layer_info, LayerHeaderInfo};
+use crate::lints::{lint_stack, registered_stacks, StackSpec};
+use crate::soundness::{check_soundness, elidable_frames, SoundnessVerdict};
+use ensemble_ir::models::{model, ModelCtx};
+use ensemble_obs::Json;
+use ensemble_synth::{synthesize, BypassArtifact, StackBypass};
+
+/// The four execution configurations of §4.2.
+pub const ENGINES: [&str; 4] = ["IMP", "FUNC", "HAND", "MACH"];
+
+/// Group size used for synthesis during analysis.
+const NMEMBERS: i64 = 3;
+
+/// Ranks analyzed per stack: the coordinator (whose templates define the
+/// wire format) and one ordinary member.
+const RANKS: [i64; 2] = [0, 1];
+
+/// Statically verified properties of one stack under one engine.
+#[derive(Clone, Debug)]
+pub struct EngineVerdict {
+    /// Engine name (`IMP`, `FUNC`, `HAND`, `MACH`).
+    pub engine: &'static str,
+    /// Stack name (`stack4`, `stack10`).
+    pub stack: String,
+    /// How this engine executes the common path of this stack.
+    pub mode: &'static str,
+    /// HS001 holds: every wire frame has a unique owning layer.
+    pub header_disjoint: bool,
+    /// CC002 holds: the CCP is decidable from the compressed header.
+    pub ccp_from_compressed_header: bool,
+    /// CC001 holds: no `Slow`/`Stash` reachable in the residual.
+    pub residual_slow_free: bool,
+    /// CC004 holds: wire frames are the layers' pushes in stack order.
+    pub wire_layout_stack_ordered: bool,
+    /// All properties hold and the engine-specific precondition (MACH:
+    /// codegen succeeds) is met.
+    pub verified: bool,
+}
+
+impl EngineVerdict {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("engine", Json::str(self.engine)),
+            ("stack", Json::str(&*self.stack)),
+            ("mode", Json::str(self.mode)),
+            ("header_disjoint", Json::Bool(self.header_disjoint)),
+            (
+                "ccp_from_compressed_header",
+                Json::Bool(self.ccp_from_compressed_header),
+            ),
+            ("residual_slow_free", Json::Bool(self.residual_slow_free)),
+            (
+                "wire_layout_stack_ordered",
+                Json::Bool(self.wire_layout_stack_ordered),
+            ),
+            ("verified", Json::Bool(self.verified)),
+        ])
+    }
+}
+
+/// Per-stack analysis results.
+#[derive(Clone, Debug)]
+pub struct StackResult {
+    /// The stack analyzed.
+    pub spec: StackSpec,
+    /// Whether every layer has an IR model (i.e. the stack is
+    /// synthesizable and gets soundness + engine verdicts).
+    pub synthesizable: bool,
+    /// HS001 held.
+    pub header_disjoint: bool,
+    /// Rank-0 soundness verdict, when synthesizable.
+    pub soundness: Option<SoundnessVerdict>,
+    /// Cast-template frames header compression elides outright.
+    pub elidable_cast_frames: usize,
+}
+
+impl StackResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&*self.spec.name)),
+            (
+                "layers",
+                Json::Arr(self.spec.layers.iter().map(|l| Json::str(&**l)).collect()),
+            ),
+            ("synthesizable", Json::Bool(self.synthesizable)),
+            ("header_disjoint", Json::Bool(self.header_disjoint)),
+            (
+                "elidable_cast_frames",
+                Json::Int(self.elidable_cast_frames as i64),
+            ),
+        ])
+    }
+}
+
+/// The complete analysis of the repository's stacks.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Every finding from every pass.
+    pub report: Report,
+    /// Per-stack results.
+    pub stacks: Vec<StackResult>,
+    /// Engine × stack verdicts.
+    pub engines: Vec<EngineVerdict>,
+}
+
+impl Analysis {
+    /// Whether the analysis found any deny-level violation.
+    pub fn has_deny(&self) -> bool {
+        self.report.has_deny()
+    }
+
+    /// The machine-readable document CI consumes.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tool", Json::str("stack_lint")),
+            ("version", Json::Int(1)),
+            (
+                "stacks",
+                Json::Arr(self.stacks.iter().map(StackResult::to_json).collect()),
+            ),
+            (
+                "engines",
+                Json::Arr(self.engines.iter().map(EngineVerdict::to_json).collect()),
+            ),
+            ("findings", self.report.to_json()),
+            ("summary", self.report.summary_json()),
+        ])
+    }
+}
+
+fn build_infos(spec: &StackSpec, ctx: &ModelCtx) -> Vec<LayerHeaderInfo> {
+    spec.layers
+        .iter()
+        .filter_map(|l| layer_info(l, ctx))
+        .collect()
+}
+
+fn engine_mode(engine: &str, stack: &str) -> &'static str {
+    match engine {
+        // IMP and FUNC execute the full layer stack; the theorems prove
+        // what their common path computes.
+        "IMP" => "full-stack/scheduler",
+        "FUNC" => "full-stack/recursive",
+        // HAND ships a hand-written bypass only for the 4-layer stack.
+        "HAND" if stack == "stack4" => "hand-written bypass",
+        "HAND" => "full-stack fallback",
+        _ => "compiled bypass",
+    }
+}
+
+/// Analyzes one stack end to end, returning its result, its engine
+/// verdicts (empty for non-synthesizable stacks), and its findings.
+pub fn analyze_stack(spec: &StackSpec, report: &mut Report) -> (StackResult, Vec<EngineVerdict>) {
+    let ctx = ModelCtx::new(NMEMBERS, 0);
+
+    let mut local = Report::new();
+    lint_stack(spec, &mut local);
+    let lints_clean = !local.has_deny();
+
+    let infos = build_infos(spec, &ctx);
+    let before = local.diags.len();
+    check_headers(&spec.name, &infos, &mut local);
+    let header_disjoint = !local.diags[before..]
+        .iter()
+        .any(|d| d.rule == "HS001" && d.severity == Severity::Deny);
+
+    let synthesizable = spec
+        .layers
+        .iter()
+        .all(|l| model(l, &ctx).is_some() || l == "top");
+
+    let mut soundness = None;
+    let mut elidable = 0;
+    let mut mach_compiles = false;
+    if synthesizable {
+        let names: Vec<&str> = spec.layers.iter().map(String::as_str).collect();
+        for rank in RANKS {
+            match synthesize(&names, &ModelCtx::new(NMEMBERS, rank)) {
+                Ok(synth) => {
+                    let art = BypassArtifact::of(&synth, rank);
+                    let v = check_soundness(&spec.name, &art, &infos, &mut local);
+                    if rank == 0 {
+                        soundness = Some(v);
+                        elidable = elidable_frames(&art.cast_template);
+                        mach_compiles = match StackBypass::compile(&synth, rank as u16) {
+                            Ok(_) => true,
+                            Err(e) => {
+                                local.push(Diag {
+                                    rule: "EN001",
+                                    severity: Severity::Deny,
+                                    stack: spec.name.clone(),
+                                    layer: None,
+                                    case: None,
+                                    message: format!("MACH codegen rejected the residual: {e:?}"),
+                                    hint: None,
+                                });
+                                false
+                            }
+                        };
+                    }
+                }
+                Err(e) => {
+                    local.push(Diag {
+                        rule: "EN001",
+                        severity: Severity::Deny,
+                        stack: spec.name.clone(),
+                        layer: None,
+                        case: None,
+                        message: format!("synthesis failed at rank {rank}: {e:?}"),
+                        hint: None,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut verdicts = Vec::new();
+    if let Some(v) = soundness {
+        for engine in ENGINES {
+            let precondition = match engine {
+                "MACH" => mach_compiles,
+                // IMP/FUNC/HAND run layer code directly; their
+                // precondition is a well-formed configuration.
+                _ => lints_clean,
+            };
+            verdicts.push(EngineVerdict {
+                engine,
+                stack: spec.name.clone(),
+                mode: engine_mode(engine, &spec.name),
+                header_disjoint,
+                ccp_from_compressed_header: v.ccp_from_compressed_header,
+                residual_slow_free: v.residual_slow_free,
+                wire_layout_stack_ordered: v.wire_layout_stack_ordered,
+                verified: precondition
+                    && header_disjoint
+                    && v.ccp_from_compressed_header
+                    && v.residual_slow_free
+                    && v.wire_layout_stack_ordered,
+            });
+        }
+    }
+
+    let result = StackResult {
+        spec: spec.clone(),
+        synthesizable,
+        header_disjoint,
+        soundness,
+        elidable_cast_frames: elidable,
+    };
+    report.merge(local);
+    (result, verdicts)
+}
+
+/// Runs every pass over every registered stack.
+///
+/// `inject_collision` seeds a deliberately bad configuration — a copy of
+/// the 4-layer stack where `mnak` also claims `pt2pt`'s data header — so
+/// CI and tests can confirm the analysis actually fires.
+pub fn analyze_all(inject_collision: bool) -> Analysis {
+    let mut report = Report::new();
+    let mut stacks = Vec::new();
+    let mut engines = Vec::new();
+
+    for spec in registered_stacks() {
+        let (result, verdicts) = analyze_stack(&spec, &mut report);
+        stacks.push(result);
+        engines.extend(verdicts);
+    }
+
+    if inject_collision {
+        let spec = StackSpec::new("injected-collision", ensemble_layers::STACK_4);
+        let ctx = ModelCtx::new(NMEMBERS, 0);
+        let mut infos = build_infos(&spec, &ctx);
+        if let Some(mnak) = infos.iter_mut().find(|i| i.layer == "mnak") {
+            mnak.declared.push("Pt2PtData".to_owned());
+        }
+        check_headers(&spec.name, &infos, &mut report);
+    }
+
+    Analysis {
+        report,
+        stacks,
+        engines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_stacks_have_no_deny_findings() {
+        let a = analyze_all(false);
+        assert!(!a.has_deny(), "{}", a.report);
+        assert_eq!(a.report.count(Severity::Warn), 0, "{}", a.report);
+    }
+
+    #[test]
+    fn all_four_engines_verified_on_both_synthesizable_stacks() {
+        let a = analyze_all(false);
+        for engine in ENGINES {
+            for stack in ["stack4", "stack10"] {
+                let v = a
+                    .engines
+                    .iter()
+                    .find(|v| v.engine == engine && v.stack == stack)
+                    .unwrap_or_else(|| panic!("missing verdict {engine}/{stack}"));
+                assert!(v.verified, "{engine}/{stack} not verified: {}", a.report);
+                assert!(v.header_disjoint);
+                assert!(v.ccp_from_compressed_header);
+            }
+        }
+    }
+
+    #[test]
+    fn vsync_is_linted_but_not_synthesized() {
+        let a = analyze_all(false);
+        let vsync = a.stacks.iter().find(|s| s.spec.name == "vsync").unwrap();
+        assert!(!vsync.synthesizable);
+        assert!(vsync.header_disjoint);
+        assert!(vsync.soundness.is_none());
+        assert!(!a.engines.iter().any(|v| v.stack == "vsync"));
+    }
+
+    #[test]
+    fn injected_collision_denies() {
+        let a = analyze_all(true);
+        assert!(a.has_deny());
+        assert!(a
+            .report
+            .diags
+            .iter()
+            .any(|d| d.rule == "HS001" && d.stack == "injected-collision"));
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let a = analyze_all(false);
+        let doc = a.to_json();
+        assert_eq!(doc.get("tool").and_then(Json::as_str), Some("stack_lint"));
+        assert_eq!(doc.get("version").and_then(Json::as_int), Some(1));
+        let stacks = doc.get("stacks").and_then(Json::as_arr).unwrap();
+        assert_eq!(stacks.len(), 3);
+        let engines = doc.get("engines").and_then(Json::as_arr).unwrap();
+        assert_eq!(engines.len(), 8); // 4 engines × 2 synthesizable stacks
+        assert_eq!(
+            doc.get("summary")
+                .and_then(|s| s.get("deny"))
+                .and_then(Json::as_int),
+            Some(0)
+        );
+        // Round-trips through the parser.
+        let txt = doc.render();
+        let back = Json::parse(&txt).unwrap();
+        assert_eq!(back.get("version").and_then(Json::as_int), Some(1));
+    }
+
+    #[test]
+    fn compression_elides_passthrough_frames() {
+        let a = analyze_all(false);
+        let s10 = a.stacks.iter().find(|s| s.spec.name == "stack10").unwrap();
+        // The 10-layer stack has several pure pass-through layers whose
+        // NoHdr frames compression drops.
+        assert!(
+            s10.elidable_cast_frames >= 3,
+            "{}",
+            s10.elidable_cast_frames
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! CCP / residual soundness over synthesized bypass theorems.
+//!
+//! Consumes the plain-data [`BypassArtifact`] snapshot of a synthesis
+//! and proves, by syntactic analysis (no evaluation, no sampling):
+//!
+//! * **CC001** — no slow-path construct (`Slow` fallback, `Stash`
+//!   buffering) survives in any composed case: not in the CCP, not in
+//!   the emitted events, not in the state updates, and not in any
+//!   per-layer residual. The bypass genuinely has no slow path.
+//! * **CC002** — every CCP conjunct of an up case is *decidable from the
+//!   compressed header alone*: its free variables are layer state,
+//!   the origin rank, the template field variables `f0, f1, …`, and the
+//!   payload length. Nothing else arrives with a compressed message, so
+//!   any other free variable would make the guard undecidable at
+//!   receive time. Down cases may additionally see `dst`/`payload`.
+//! * **CC003** — case coverage: a rank-0 synthesis must cover all four
+//!   fundamental cases; other ranks may legitimately lack down-path
+//!   fast paths (e.g. a non-sequencer's casts), reported as info.
+//! * **CC004** — wire-layout provenance: the compressed-header frames
+//!   (outermost first) are exactly the per-layer down-path pushes in
+//!   bottom-to-top stack order, tying every wire frame to the one layer
+//!   that owns it.
+
+use crate::diag::{Diag, Report, Severity};
+use crate::headerspace::{LayerHeaderInfo, NO_HDR};
+use ensemble_ir::models::Case;
+use ensemble_ir::term::Term;
+use ensemble_ir::visit::mentions_con;
+use ensemble_synth::artifact::{BypassArtifact, TemplateArtifact};
+
+/// Constructors that mark a fall-back to the full stack.
+const SLOW_CONS: [&str; 2] = ["Slow", "Stash"];
+
+fn case_name(c: Case) -> String {
+    format!("{c:?}")
+}
+
+/// Whether `v` is admissible in a CCP decided at the compressed-header
+/// boundary of an up case.
+fn up_var_ok(v: &str) -> bool {
+    v.starts_with("s_")
+        || v == "origin"
+        || v == "len"
+        || v == "payload"
+        || (v.len() >= 2 && v.starts_with('f') && v[1..].chars().all(|c| c.is_ascii_digit()))
+}
+
+/// Whether `v` is admissible in a down-case CCP (decided at the send
+/// call site, where the destination and payload are in hand).
+fn dn_var_ok(v: &str) -> bool {
+    up_var_ok(v) || v == "dst"
+}
+
+fn check_slow_free(stack: &str, art: &BypassArtifact, report: &mut Report) -> bool {
+    let mut clean = true;
+    let mut check = |terms: Vec<(&Term, Option<Case>, &str)>| {
+        for (t, case, what) in terms {
+            for slow in SLOW_CONS {
+                if mentions_con(t, slow) {
+                    clean = false;
+                    report.push(Diag {
+                        rule: "CC001",
+                        severity: Severity::Deny,
+                        stack: stack.to_owned(),
+                        layer: None,
+                        case: case.map(case_name),
+                        message: format!(
+                            "{what} still mentions the {slow:?} fallback; the bypass is \
+                             not slow-path-free"
+                        ),
+                        hint: Some(
+                            "strengthen the CCP until the slow branch is provably dead".to_owned(),
+                        ),
+                    });
+                }
+            }
+        }
+    };
+    for th in &art.cases {
+        let mut terms: Vec<(&Term, Option<Case>, &str)> = Vec::new();
+        for (_, c) in &th.ccp {
+            terms.push((c, Some(th.case), "a CCP conjunct"));
+        }
+        for e in th.wire_events.iter().chain(&th.app_events) {
+            terms.push((e, Some(th.case), "an emitted event"));
+        }
+        for (_, d) in &th.defers {
+            terms.push((d, Some(th.case), "a deferred work item"));
+        }
+        for (_, s) in &th.state_updates {
+            terms.push((s, Some(th.case), "a state update"));
+        }
+        check(terms);
+    }
+    for (i, per_layer) in art.layer_residuals.iter().enumerate() {
+        for (case, residual) in per_layer {
+            // A layer residual only feeds the bypass when its case
+            // actually composed; a rank with no fast path for the case
+            // (CC003) legitimately keeps the Slow fallback there.
+            if art.case(*case).is_none() {
+                continue;
+            }
+            for slow in SLOW_CONS {
+                if mentions_con(residual, slow) {
+                    clean = false;
+                    report.push(Diag {
+                        rule: "CC001",
+                        severity: Severity::Deny,
+                        stack: stack.to_owned(),
+                        layer: Some(art.names[i].clone()),
+                        case: Some(case_name(*case)),
+                        message: format!("layer residual still mentions the {slow:?} fallback"),
+                        hint: None,
+                    });
+                }
+            }
+        }
+    }
+    clean
+}
+
+fn check_ccp_decidable(stack: &str, art: &BypassArtifact, report: &mut Report) -> bool {
+    let mut clean = true;
+    for th in &art.cases {
+        let admissible: fn(&str) -> bool = match th.case {
+            Case::UpCast | Case::UpSend => up_var_ok,
+            Case::DnCast | Case::DnSend => dn_var_ok,
+        };
+        for (layer_idx, conj) in &th.ccp {
+            for v in conj.free_vars() {
+                let name = v.as_str();
+                if !admissible(&name) {
+                    clean = false;
+                    report.push(Diag {
+                        rule: "CC002",
+                        severity: Severity::Deny,
+                        stack: stack.to_owned(),
+                        layer: art.names.get(*layer_idx).cloned(),
+                        case: Some(case_name(th.case)),
+                        message: format!(
+                            "CCP conjunct {conj:?} depends on {name:?}, which is not \
+                             available at the compressed-header boundary"
+                        ),
+                        hint: Some(
+                            "only layer state, origin/dst, payload length, and template \
+                             fields f0.. are decidable there"
+                                .to_owned(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    clean
+}
+
+fn check_coverage(stack: &str, art: &BypassArtifact, report: &mut Report) {
+    for case in Case::ALL {
+        if art.case(case).is_some() {
+            continue;
+        }
+        let (severity, why) = if art.rank == 0 {
+            (
+                Severity::Warn,
+                "the coordinator is expected to have a fast path for every case",
+            )
+        } else {
+            (
+                Severity::Info,
+                "this rank falls back to the full stack for the case (e.g. a \
+                 non-sequencer's down-casts)",
+            )
+        };
+        report.push(Diag {
+            rule: "CC003",
+            severity,
+            stack: stack.to_owned(),
+            layer: None,
+            case: Some(case_name(case)),
+            message: format!("no composed fast path at rank {}; {why}", art.rank),
+            hint: None,
+        });
+    }
+}
+
+/// The per-layer down-path push for the wire template of `case`,
+/// top-first; `None` entries are layers that push nothing (e.g. `top`).
+fn expected_pushes(infos: &[LayerHeaderInfo], case: Case) -> Option<Vec<Option<String>>> {
+    let mut out = Vec::new();
+    for info in infos {
+        let inf = info.inferred.as_ref()?;
+        let pushes = &inf.case(case).pushes;
+        match pushes.len() {
+            0 => out.push(None),
+            1 => out.push(Some(pushes[0].clone())),
+            // Multiple distinct pushes in one down handler: the layout
+            // check cannot attribute frames uniquely; skip.
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn check_wire_layout(
+    stack: &str,
+    art: &BypassArtifact,
+    infos: &[LayerHeaderInfo],
+    report: &mut Report,
+) -> bool {
+    let mut clean = true;
+    for (case, tpl) in [
+        (Case::DnCast, &art.cast_template),
+        (Case::DnSend, &art.send_template),
+    ] {
+        let Some(expected) = expected_pushes(infos, case) else {
+            report.push(Diag {
+                rule: "CC004",
+                severity: Severity::Info,
+                stack: stack.to_owned(),
+                layer: None,
+                case: Some(case_name(case)),
+                message: "wire-layout provenance skipped (unmodeled layer or \
+                          multi-push handler)"
+                    .to_owned(),
+                hint: None,
+            });
+            continue;
+        };
+        clean &= check_one_layout(stack, case, tpl, &expected, &art.names, report);
+    }
+    clean
+}
+
+fn check_one_layout(
+    stack: &str,
+    case: Case,
+    tpl: &TemplateArtifact,
+    expected: &[Option<String>],
+    names: &[String],
+    report: &mut Report,
+) -> bool {
+    // Frames are outermost-first = pushed by the bottom-most layer first;
+    // walk layers bottom-to-top alongside the frame list.
+    let mut frames = tpl.frames.iter();
+    let mut clean = true;
+    for (idx, exp) in expected.iter().enumerate().rev() {
+        let Some(exp) = exp else { continue };
+        match frames.next() {
+            Some((fname, _)) if fname == exp => {}
+            got => {
+                clean = false;
+                report.push(Diag {
+                    rule: "CC004",
+                    severity: Severity::Deny,
+                    stack: stack.to_owned(),
+                    layer: Some(names[idx].clone()),
+                    case: Some(case_name(case)),
+                    message: format!(
+                        "wire frame mismatch: layer pushes {exp:?} but the template \
+                         carries {:?} at this depth",
+                        got.map(|(n, _)| n.as_str())
+                    ),
+                    hint: None,
+                });
+            }
+        }
+    }
+    if let Some((extra, _)) = frames.next() {
+        clean = false;
+        report.push(Diag {
+            rule: "CC004",
+            severity: Severity::Deny,
+            stack: stack.to_owned(),
+            layer: None,
+            case: Some(case_name(case)),
+            message: format!("template carries frame {extra:?} no layer accounts for"),
+            hint: None,
+        });
+    }
+    clean
+}
+
+/// The verified properties of one artifact (used for the per-engine
+/// summary in the report).
+#[derive(Clone, Copy, Debug)]
+pub struct SoundnessVerdict {
+    /// CC001 passed.
+    pub residual_slow_free: bool,
+    /// CC002 passed.
+    pub ccp_from_compressed_header: bool,
+    /// CC004 passed.
+    pub wire_layout_stack_ordered: bool,
+}
+
+/// Runs all soundness checks for one artifact, appending findings to
+/// `report` and returning the verified flags.
+pub fn check_soundness(
+    stack: &str,
+    art: &BypassArtifact,
+    infos: &[LayerHeaderInfo],
+    report: &mut Report,
+) -> SoundnessVerdict {
+    let residual_slow_free = check_slow_free(stack, art, report);
+    let ccp_from_compressed_header = check_ccp_decidable(stack, art, report);
+    check_coverage(stack, art, report);
+    let wire_layout_stack_ordered = check_wire_layout(stack, art, infos, report);
+    SoundnessVerdict {
+        residual_slow_free,
+        ccp_from_compressed_header,
+        wire_layout_stack_ordered,
+    }
+}
+
+/// Frames of a template that are pure pass-through (`NoHdr` with no
+/// fields) — the ones header compression elides entirely.
+pub fn elidable_frames(tpl: &TemplateArtifact) -> usize {
+    tpl.frames
+        .iter()
+        .filter(|(n, fields)| n == NO_HDR && fields.is_empty())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headerspace::layer_info;
+    use ensemble_ir::models::ModelCtx;
+    use ensemble_ir::term::{con, var};
+    use ensemble_synth::synthesize;
+
+    const STACK_4: &[&str] = &["top", "pt2pt", "mnak", "bottom"];
+
+    fn artifact(names: &[&str], rank: i64) -> BypassArtifact {
+        let s = synthesize(names, &ModelCtx::new(3, rank)).unwrap();
+        BypassArtifact::of(&s, rank)
+    }
+
+    fn infos(names: &[&str]) -> Vec<LayerHeaderInfo> {
+        names
+            .iter()
+            .map(|n| layer_info(n, &ModelCtx::new(3, 0)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn stack4_is_sound() {
+        let art = artifact(STACK_4, 0);
+        let mut report = Report::new();
+        let v = check_soundness("stack4", &art, &infos(STACK_4), &mut report);
+        assert!(v.residual_slow_free, "{report}");
+        assert!(v.ccp_from_compressed_header, "{report}");
+        assert!(v.wire_layout_stack_ordered, "{report}");
+        assert!(!report.has_deny(), "{report}");
+    }
+
+    #[test]
+    fn nonzero_rank_missing_case_is_info_not_deny() {
+        let art = artifact(ensemble_layers::STACK_10, 1);
+        let mut report = Report::new();
+        check_soundness(
+            "stack10",
+            &art,
+            &infos(ensemble_layers::STACK_10),
+            &mut report,
+        );
+        assert!(!report.has_deny(), "{report}");
+    }
+
+    #[test]
+    fn seeded_slow_term_is_denied() {
+        let mut art = artifact(STACK_4, 0);
+        // Corrupt one state update with a reachable Slow constructor.
+        art.cases[0]
+            .state_updates
+            .push((0, con("Slow", vec![var("state")])));
+        let mut report = Report::new();
+        let v = check_soundness("bad", &art, &infos(STACK_4), &mut report);
+        assert!(!v.residual_slow_free);
+        assert!(report.has_deny());
+        assert!(report.diags.iter().any(|d| d.rule == "CC001"));
+    }
+
+    #[test]
+    fn undecidable_ccp_var_is_denied() {
+        let mut art = artifact(STACK_4, 0);
+        let up_idx = art
+            .cases
+            .iter()
+            .position(|c| matches!(c.case, Case::UpSend))
+            .unwrap();
+        art.cases[up_idx]
+            .ccp
+            .push((0, ensemble_ir::term::eq(var("wallclock"), Term::Int(0))));
+        let mut report = Report::new();
+        let v = check_soundness("bad", &art, &infos(STACK_4), &mut report);
+        assert!(!v.ccp_from_compressed_header);
+        assert!(report.diags.iter().any(|d| d.rule == "CC002"));
+    }
+
+    #[test]
+    fn wire_layout_mismatch_is_denied() {
+        let mut art = artifact(STACK_4, 0);
+        // Claim an extra frame the layers cannot account for.
+        art.cast_template
+            .frames
+            .push(("GhostHdr".to_owned(), vec![]));
+        let mut report = Report::new();
+        let v = check_soundness("bad", &art, &infos(STACK_4), &mut report);
+        assert!(!v.wire_layout_stack_ordered);
+        assert!(report.diags.iter().any(|d| d.rule == "CC004"));
+    }
+}

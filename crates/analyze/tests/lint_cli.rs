@@ -1,0 +1,79 @@
+//! End-to-end checks of the `stack_lint` binary: exit codes, human
+//! output, and the JSON document CI consumes.
+
+use ensemble_obs::Json;
+use std::process::Command;
+
+fn stack_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_stack_lint"))
+        .args(args)
+        .output()
+        .expect("spawn stack_lint")
+}
+
+#[test]
+fn clean_run_exits_zero_with_verified_engines() {
+    let out = stack_lint(&[]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for engine in ["IMP", "FUNC", "HAND", "MACH"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(&format!("engine {engine}")))
+            .unwrap_or_else(|| panic!("no line for {engine} in:\n{stdout}"));
+        assert!(line.contains("stack4:verified"), "{line}");
+        assert!(line.contains("stack10:verified"), "{line}");
+    }
+    assert!(stdout.contains("0 deny"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_parseable_and_deny_free() {
+    let out = stack_lint(&["--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let doc = Json::parse(&String::from_utf8(out.stdout).unwrap()).expect("valid json");
+    assert_eq!(doc.get("tool").and_then(Json::as_str), Some("stack_lint"));
+    assert_eq!(
+        doc.get("summary")
+            .and_then(|s| s.get("deny"))
+            .and_then(Json::as_int),
+        Some(0)
+    );
+    let engines = doc.get("engines").and_then(Json::as_arr).unwrap();
+    assert_eq!(engines.len(), 8);
+    assert!(engines
+        .iter()
+        .all(|e| e.get("verified").map(|v| matches!(v, Json::Bool(true))) == Some(true)));
+}
+
+#[test]
+fn injected_collision_exits_nonzero() {
+    let out = stack_lint(&["--inject-collision", "--json"]);
+    assert!(!out.status.success(), "collision run must fail");
+    assert_eq!(out.status.code(), Some(1));
+    let doc = Json::parse(&String::from_utf8(out.stdout).unwrap()).expect("valid json");
+    let findings = doc.get("findings").and_then(Json::as_arr).unwrap();
+    assert!(findings
+        .iter()
+        .any(|f| f.get("rule").and_then(Json::as_str) == Some("HS001")
+            && f.get("severity").and_then(Json::as_str) == Some("deny")));
+}
+
+#[test]
+fn out_flag_writes_the_document() {
+    let path = std::env::temp_dir().join("stack_lint_cli_test.json");
+    let path_s = path.to_str().unwrap();
+    let out = stack_lint(&["--json", "--out", path_s]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(out.stdout.is_empty(), "--out suppresses stdout");
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(doc.get("version").and_then(Json::as_int), Some(1));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_flag_exits_with_usage() {
+    let out = stack_lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+}

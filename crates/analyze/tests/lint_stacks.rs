@@ -1,0 +1,101 @@
+//! Acceptance-level checks for the static analysis: the shipped stacks
+//! verify cleanly for every engine, and a seeded bad configuration is
+//! caught.
+
+use ensemble_analyze::{
+    analyze_all, check_headers, layer_info, lint_stack, Report, Severity, StackSpec, ENGINES,
+};
+use ensemble_ir::models::ModelCtx;
+
+#[test]
+fn header_disjointness_and_ccp_decidability_for_all_engines() {
+    let analysis = analyze_all(false);
+    assert!(!analysis.has_deny(), "{}", analysis.report);
+    for engine in ENGINES {
+        for stack in ["stack4", "stack10"] {
+            let v = analysis
+                .engines
+                .iter()
+                .find(|v| v.engine == engine && v.stack == stack)
+                .unwrap_or_else(|| panic!("no verdict for {engine}/{stack}"));
+            assert!(v.header_disjoint, "{engine}/{stack}");
+            assert!(v.ccp_from_compressed_header, "{engine}/{stack}");
+            assert!(v.residual_slow_free, "{engine}/{stack}");
+            assert!(v.wire_layout_stack_ordered, "{engine}/{stack}");
+            assert!(v.verified, "{engine}/{stack}");
+        }
+    }
+}
+
+#[test]
+fn seeded_header_collision_fires_the_lint() {
+    // Regression: a layer pair claiming the same header constructor must
+    // produce a deny-level HS001 finding.
+    let ctx = ModelCtx::new(3, 0);
+    let mut infos: Vec<_> = ensemble_layers::STACK_4
+        .iter()
+        .map(|n| layer_info(n, &ctx).expect("registered layer"))
+        .collect();
+    let mnak = infos
+        .iter_mut()
+        .find(|i| i.layer == "mnak")
+        .expect("mnak in stack4");
+    mnak.declared.push("Pt2PtData".to_owned());
+
+    let mut report = Report::new();
+    check_headers("seeded", &infos, &mut report);
+    let hs001 = report
+        .diags
+        .iter()
+        .find(|d| d.rule == "HS001")
+        .unwrap_or_else(|| panic!("HS001 did not fire: {report}"));
+    assert_eq!(hs001.severity, Severity::Deny);
+    assert!(hs001.message.contains("Pt2PtData"), "{}", hs001.message);
+    assert!(report.has_deny());
+
+    // And through the top-level entry point.
+    let analysis = analyze_all(true);
+    assert!(analysis.has_deny());
+    assert!(analysis
+        .report
+        .diags
+        .iter()
+        .any(|d| d.rule == "HS001" && d.stack == "injected-collision"));
+}
+
+#[test]
+fn every_registered_stack_passes_every_lint_rule() {
+    for spec in ensemble_analyze::registered_stacks() {
+        let mut report = Report::new();
+        lint_stack(&spec, &mut report);
+        assert!(
+            report.diags.is_empty(),
+            "{}: unexpected findings: {report}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn bad_configurations_are_rejected_with_located_diagnostics() {
+    let cases: [(&[&str], &str); 4] = [
+        (&["top", "mnak", "mnak", "bottom"], "SL001"),
+        (&["top", "pt2pt", "mnak"], "SL002"),
+        (
+            &["top", "frag", "encrypt", "pt2pt", "mnak", "bottom"],
+            "SL005",
+        ),
+        (&["top", "mnak", "total", "local", "bottom"], "SL008"),
+    ];
+    for (layers, rule) in cases {
+        let mut report = Report::new();
+        lint_stack(&StackSpec::new("bad", layers), &mut report);
+        let d = report
+            .diags
+            .iter()
+            .find(|d| d.rule == rule)
+            .unwrap_or_else(|| panic!("{rule} did not fire for {layers:?}: {report}"));
+        assert_eq!(d.severity, Severity::Deny);
+        assert_eq!(d.stack, "bad");
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline validator for `LINT_stacks.json`.
+//!
+//! CI runs `stack_lint --json --out LINT_stacks.json` and then this
+//! binary: it re-reads the document with the dependency-free parser from
+//! `ensemble-obs` and checks the contract the pipeline relies on — zero
+//! deny-level findings, every registered stack analyzed with disjoint
+//! headers, and all four engines verified on both synthesizable stacks.
+//! Exits nonzero (with a message) on any violation.
+//!
+//! ```text
+//! cargo run -p ensemble-bench --bin lint_check [path/to/LINT_stacks.json]
+//! ```
+
+use ensemble_obs::Json;
+
+const ENGINES: [&str; 4] = ["IMP", "FUNC", "HAND", "MACH"];
+const STACKS: [&str; 3] = ["stack4", "stack10", "vsync"];
+const SYNTHESIZED: [&str; 2] = ["stack4", "stack10"];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("lint_check: {msg}");
+    std::process::exit(1);
+}
+
+fn bool_field(obj: &Json, key: &str, ctx: &str) -> bool {
+    match obj.get(key) {
+        Some(Json::Bool(b)) => *b,
+        _ => fail(&format!("{ctx}: missing boolean field {key:?}")),
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "LINT_stacks.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path} is not valid JSON: {e:?}")),
+    };
+
+    if doc.get("tool").and_then(Json::as_str) != Some("stack_lint") {
+        fail("field \"tool\" must be \"stack_lint\"");
+    }
+    if doc.get("version").and_then(Json::as_int) != Some(1) {
+        fail("unsupported document version");
+    }
+
+    let Some(summary) = doc.get("summary") else {
+        fail("missing \"summary\" object");
+    };
+    match summary.get("deny").and_then(Json::as_int) {
+        Some(0) => {}
+        Some(n) => fail(&format!("{n} deny-level finding(s) in shipped stacks")),
+        None => fail("summary missing integer \"deny\""),
+    }
+
+    let Some(stacks) = doc.get("stacks").and_then(Json::as_arr) else {
+        fail("missing \"stacks\" array");
+    };
+    for name in STACKS {
+        let s = stacks
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| fail(&format!("stack {name:?} not analyzed")));
+        if !bool_field(s, "header_disjoint", name) {
+            fail(&format!("{name}: header constructors are not disjoint"));
+        }
+    }
+
+    let Some(engines) = doc.get("engines").and_then(Json::as_arr) else {
+        fail("missing \"engines\" array");
+    };
+    for engine in ENGINES {
+        for stack in SYNTHESIZED {
+            let v = engines
+                .iter()
+                .find(|v| {
+                    v.get("engine").and_then(Json::as_str) == Some(engine)
+                        && v.get("stack").and_then(Json::as_str) == Some(stack)
+                })
+                .unwrap_or_else(|| fail(&format!("no verdict for {engine}/{stack}")));
+            let ctx = format!("{engine}/{stack}");
+            for flag in [
+                "header_disjoint",
+                "ccp_from_compressed_header",
+                "residual_slow_free",
+                "wire_layout_stack_ordered",
+                "verified",
+            ] {
+                if !bool_field(v, flag, &ctx) {
+                    fail(&format!("{ctx}: {flag} is false"));
+                }
+            }
+        }
+    }
+
+    println!(
+        "lint_check: {path} ok ({} stacks, {} engines verified, 0 deny)",
+        STACKS.len(),
+        ENGINES.len()
+    );
+}

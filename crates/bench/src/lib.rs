@@ -10,6 +10,8 @@
 //! wire-message generators, and a simple high-resolution measurement
 //! loop ("we ran each test 10,000 times and calculated the average").
 
+#![forbid(unsafe_code)]
+
 use ensemble_event::{DnEvent, Msg, Payload, UpEvent, ViewState};
 use ensemble_hand::HandBypass;
 use ensemble_ir::models::ModelCtx;

@@ -47,6 +47,8 @@
 //! | the hand-optimized fast path (HAND) | [`ensemble_hand`] |
 //! | real-socket, thread-pooled execution | [`ensemble_runtime`] |
 
+#![forbid(unsafe_code)]
+
 pub mod sim;
 
 pub use ensemble_event::{DnEvent, Effects, Frame, Msg, Payload, UpEvent, ViewState};

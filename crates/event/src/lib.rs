@@ -10,6 +10,8 @@
 //! This crate defines the shared vocabulary; the layer algorithms live in
 //! `ensemble-layers`, marshaling in `ensemble-transport`.
 
+#![forbid(unsafe_code)]
+
 pub mod effects;
 pub mod event;
 pub mod frame;

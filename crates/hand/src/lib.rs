@@ -9,6 +9,8 @@
 //! deliver-then-send optimization: after a delivery through the bypass,
 //! the next send skips the CCP re-check.
 
+#![forbid(unsafe_code)]
+
 pub mod fastpath;
 
 pub use fastpath::{HandBypass, HandOutput};

@@ -30,6 +30,8 @@
 //! specify abstractly, implement concretely, relate by refinement — is the
 //! paper's.
 
+#![forbid(unsafe_code)]
+
 pub mod automaton;
 pub mod explore;
 pub mod props;

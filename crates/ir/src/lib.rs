@@ -17,13 +17,17 @@
 //!   partially evaluates these models to synthesize bypass code, and its
 //!   test-suite checks them against the native Rust layers.
 
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod models;
 pub mod term;
 pub mod val;
+pub mod visit;
 
 pub use eval::{eval, EvalError, Evaluator};
 // NOTE: `eval` names both the module and the convenience function; the
 // re-export above is the function.
 pub use term::{FnDefs, Pattern, Term};
 pub use val::Val;
+pub use visit::{collect_apps, collect_cons, collect_match_cons, mentions_con, walk, Walk};

@@ -1,0 +1,204 @@
+//! Analysis-facing term visitors.
+//!
+//! The static-analysis passes in `ensemble-analyze` (and the composer in
+//! `ensemble-synth`) need to answer purely syntactic questions about
+//! handler terms — "does this residual still mention the `Slow`
+//! fallback?", "which header constructors does this handler build?" —
+//! without duplicating the `Term` recursion at every call site. This
+//! module centralizes that recursion:
+//!
+//! * [`walk`] — pre-order traversal calling a visitor on every subterm
+//!   (the visitor can prune by returning [`Walk::Skip`]);
+//! * [`mentions_con`] — does the term contain a constructor application
+//!   of a given name anywhere?
+//! * [`collect_cons`] — every constructor name built by the term, in
+//!   first-occurrence order;
+//! * [`collect_apps`] — every named-function application, with its
+//!   argument lists, in pre-order.
+
+use crate::term::{Pattern, Term};
+use ensemble_util::Intern;
+
+/// Visitor control: continue into children or prune this subtree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Walk {
+    /// Recurse into the subterm's children.
+    Continue,
+    /// Do not descend into this subterm.
+    Skip,
+}
+
+/// Pre-order traversal of `t`, visiting every subterm (including `t`
+/// itself). The visitor decides per node whether to descend.
+pub fn walk(t: &Term, f: &mut impl FnMut(&Term) -> Walk) {
+    if f(t) == Walk::Skip {
+        return;
+    }
+    match t {
+        Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Var(_) => {}
+        Term::Let(_, a, b) => {
+            walk(a, f);
+            walk(b, f);
+        }
+        Term::If(c, a, b) => {
+            walk(c, f);
+            walk(a, f);
+            walk(b, f);
+        }
+        Term::Con(_, args) | Term::Prim(_, args) | Term::App(_, args) => {
+            for a in args {
+                walk(a, f);
+            }
+        }
+        Term::Match(s, arms) => {
+            walk(s, f);
+            for (_, body) in arms {
+                walk(body, f);
+            }
+        }
+        Term::GetF(e, _) => walk(e, f),
+        Term::SetF(e, _, v) => {
+            walk(e, f);
+            walk(v, f);
+        }
+    }
+}
+
+/// Whether `t` contains a constructor application named `name` anywhere
+/// (in any position, including match scrutinees and event payloads).
+pub fn mentions_con(t: &Term, name: &str) -> bool {
+    let target = Intern::from(name);
+    let mut found = false;
+    walk(t, &mut |sub| {
+        if found {
+            return Walk::Skip;
+        }
+        if let Term::Con(n, _) = sub {
+            if *n == target {
+                found = true;
+                return Walk::Skip;
+            }
+        }
+        Walk::Continue
+    });
+    found
+}
+
+/// Every constructor name the term builds, in first-occurrence
+/// (pre-order) order, without duplicates.
+pub fn collect_cons(t: &Term) -> Vec<Intern> {
+    let mut out = Vec::new();
+    walk(t, &mut |sub| {
+        if let Term::Con(n, _) = sub {
+            if !out.contains(n) {
+                out.push(*n);
+            }
+        }
+        Walk::Continue
+    });
+    out
+}
+
+/// Every named-function application `(name, args)` in pre-order (with
+/// duplicates — one entry per call site).
+pub fn collect_apps(t: &Term) -> Vec<(Intern, Vec<Term>)> {
+    let mut out = Vec::new();
+    walk(t, &mut |sub| {
+        if let Term::App(n, args) = sub {
+            out.push((*n, args.clone()));
+        }
+        Walk::Continue
+    });
+    out
+}
+
+/// The constructor names matched against in the patterns of `t`'s
+/// `match` arms, in first-occurrence order (wildcards excluded).
+pub fn collect_match_cons(t: &Term) -> Vec<Intern> {
+    let mut out = Vec::new();
+    walk(t, &mut |sub| {
+        if let Term::Match(_, arms) = sub {
+            for (p, _) in arms {
+                if let Pattern::Con(n, _) = p {
+                    if !out.contains(n) {
+                        out.push(*n);
+                    }
+                }
+            }
+        }
+        Walk::Continue
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{add, app, con, if_, let_, match_, pat, var, Term};
+
+    #[test]
+    fn walk_visits_every_node() {
+        let t = let_("x", Term::Int(1), if_(var("x"), con("A", vec![]), var("y")));
+        let mut n = 0;
+        walk(&t, &mut |_| {
+            n += 1;
+            Walk::Continue
+        });
+        assert_eq!(n, t.size());
+    }
+
+    #[test]
+    fn walk_skip_prunes() {
+        let t = if_(var("c"), con("A", vec![con("B", vec![])]), var("y"));
+        let mut seen = Vec::new();
+        walk(&t, &mut |sub| {
+            if let Term::Con(n, _) = sub {
+                seen.push(n.as_str());
+                return Walk::Skip; // do not descend into B
+            }
+            Walk::Continue
+        });
+        assert_eq!(seen, vec!["A"]);
+    }
+
+    #[test]
+    fn mentions_con_finds_nested() {
+        let t = match_(
+            var("e"),
+            vec![(pat("X", &["a"]), con("Slow", vec![var("a")]))],
+        );
+        assert!(mentions_con(&t, "Slow"));
+        assert!(!mentions_con(&t, "Fast"));
+        // Pattern names are not constructor *applications*.
+        assert!(!mentions_con(&t, "X"));
+    }
+
+    #[test]
+    fn collect_cons_is_ordered_and_deduped() {
+        let t = con("A", vec![con("B", vec![]), con("A", vec![])]);
+        let names: Vec<String> = collect_cons(&t).iter().map(|n| n.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn collect_apps_keeps_call_sites() {
+        let t = add(app("f", vec![var("x")]), app("f", vec![var("y")]));
+        let apps = collect_apps(&t);
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[0].0.as_str(), "f");
+    }
+
+    #[test]
+    fn collect_match_cons_reads_patterns() {
+        let t = match_(
+            var("e"),
+            vec![
+                (pat("Data", &["s"]), var("s")),
+                (pat("Ack", &[]), var("z")),
+                (crate::term::Pattern::Wild, var("z")),
+            ],
+        );
+        let names: Vec<String> = collect_match_cons(&t).iter().map(|n| n.as_str()).collect();
+        assert_eq!(names, vec!["Data", "Ack"]);
+    }
+}

@@ -16,6 +16,8 @@
 //!   layer on the way up — layers above never see them;
 //! * non-message events pass through unless the layer is their consumer.
 
+#![forbid(unsafe_code)]
+
 pub mod bottom;
 pub mod collect;
 pub mod config;
@@ -26,6 +28,7 @@ pub mod gmp;
 pub mod harness;
 pub mod layer;
 pub mod local;
+pub mod manifest;
 pub mod mflow;
 pub mod mnak;
 pub mod partial_appl;
@@ -41,6 +44,7 @@ pub mod total;
 
 pub use config::LayerConfig;
 pub use layer::Layer;
+pub use manifest::{manifest, HeaderManifest};
 pub use registry::{
     make_layer, make_stack, StackError, LAYER_NAMES, STACK_10, STACK_4, STACK_VSYNC,
 };

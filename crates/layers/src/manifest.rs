@@ -1,0 +1,133 @@
+//! Per-layer header manifests.
+//!
+//! Each layer declares, as data, the set of header constructors it may
+//! put on a message — the layer's slice of the header namespace. The
+//! names follow the IR models in `ensemble_ir::models` (for layers that
+//! have models) and the [`ensemble_event::Frame`] variants otherwise, so
+//! the static header-space analysis in `ensemble-analyze` can check its
+//! *inferred* header usage against this declared ground truth, and check
+//! disjointness across a whole stack (including layers the IR cannot
+//! model yet, such as the membership suite).
+//!
+//! `NoHdr` is the shared pass-through marker every transparent layer may
+//! push; it deliberately belongs to no layer and is excluded from
+//! disjointness checking.
+
+/// The declared header namespace of one layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeaderManifest {
+    /// Registry name of the layer.
+    pub layer: &'static str,
+    /// Header constructors the layer may push (IR naming; `"NoHdr"` for
+    /// transparent paths).
+    pub pushes: &'static [&'static str],
+    /// Whether the layer rewrites payload bytes (e.g. `encrypt`). Such
+    /// layers must sit *above* `frag`: transforming each fragment can
+    /// grow it past `frag_max`, and compression-based bypasses cannot
+    /// cross them.
+    pub transforms_payload: bool,
+}
+
+const fn m(
+    layer: &'static str,
+    pushes: &'static [&'static str],
+    transforms_payload: bool,
+) -> HeaderManifest {
+    HeaderManifest {
+        layer,
+        pushes,
+        transforms_payload,
+    }
+}
+
+/// The manifest for `layer`, or `None` for unregistered names.
+pub fn manifest(layer: &str) -> Option<HeaderManifest> {
+    Some(match layer {
+        "top" => m("top", &["NoHdr"], false),
+        "partial_appl" => m("partial_appl", &["NoHdr"], false),
+        "local" => m("local", &["NoHdr"], false),
+        "elect" => m("elect", &["NoHdr"], false),
+        "total" => m(
+            "total",
+            &["TotalOrdered", "TotalUnordered", "TotalOrder", "NoHdr"],
+            false,
+        ),
+        "total_buggy" => m(
+            "total_buggy",
+            &["TotalOrdered", "TotalUnordered", "TotalOrder", "NoHdr"],
+            false,
+        ),
+        "frag" => m("frag", &["FragWhole", "FragPiece"], false),
+        "collect" => m("collect", &["CollectPass", "CollectGossip", "NoHdr"], false),
+        "stable" => m("stable", &["StablePass", "StableGossip", "NoHdr"], false),
+        "pt2ptw" => m("pt2ptw", &["PtwData", "PtwCredit", "NoHdr"], false),
+        "mflow" => m("mflow", &["MFlowData", "MFlowCredit", "NoHdr"], false),
+        "pt2pt" => m("pt2pt", &["Pt2PtData", "Pt2PtAck", "NoHdr"], false),
+        "mnak" => m(
+            "mnak",
+            &[
+                "MnakData",
+                "MnakNak",
+                "MnakRetrans",
+                "MnakHeartbeat",
+                "NoHdr",
+            ],
+            false,
+        ),
+        "suspect" => m(
+            "suspect",
+            &["SuspectPass", "SuspectPing", "SuspectPong", "NoHdr"],
+            false,
+        ),
+        "sync" => m(
+            "sync",
+            &["SyncPass", "SyncFlush", "SyncFlushOk", "NoHdr"],
+            false,
+        ),
+        "gmp" => m("gmp", &["GmpPass", "GmpNewView", "NoHdr"], false),
+        "sign" => m("sign", &["SignHdr"], false),
+        "encrypt" => m("encrypt", &["EncryptHdr"], true),
+        "bottom" => m("bottom", &["BottomHdr"], false),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::LAYER_NAMES;
+    use std::collections::HashMap;
+
+    #[test]
+    fn every_registered_layer_has_a_manifest() {
+        for name in LAYER_NAMES {
+            let mf = manifest(name).unwrap_or_else(|| panic!("{name} has no manifest"));
+            assert_eq!(mf.layer, *name);
+            assert!(!mf.pushes.is_empty(), "{name} declares no headers");
+        }
+        assert!(manifest("mystery").is_none());
+    }
+
+    #[test]
+    fn non_nohdr_headers_are_disjoint_across_layers() {
+        // total_buggy is a variant implementation of total; it shares
+        // total's namespace by design and is excluded here.
+        let mut owner: HashMap<&str, &str> = HashMap::new();
+        for name in LAYER_NAMES.iter().filter(|n| **n != "total_buggy") {
+            let mf = manifest(name).unwrap();
+            for h in mf.pushes.iter().filter(|h| **h != "NoHdr") {
+                if let Some(prev) = owner.insert(h, name) {
+                    panic!("header {h} claimed by both {prev} and {name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_encrypt_transforms_payload() {
+        for name in LAYER_NAMES {
+            let mf = manifest(name).unwrap();
+            assert_eq!(mf.transforms_payload, *name == "encrypt", "{name}");
+        }
+    }
+}

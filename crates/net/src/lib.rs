@@ -7,6 +7,8 @@
 //! duplicates and reordering, partitions). Every run is reproducible from
 //! its seed, which the protocol test-suite exploits heavily.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod net;
 pub mod packet;

@@ -23,6 +23,15 @@ use std::time::{Duration, Instant};
 const ROUNDS: u32 = 200;
 
 fn main() {
+    // Shard workers run on their own threads; a panic there (lost ping
+    // assertions, bypass divergence) must take the process exit code
+    // with it so CI can trust a zero exit.
+    let default_panic = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        default_panic(info);
+        std::process::exit(101);
+    }));
+
     let mut metrics = false;
     let mut jsonl: Option<String> = None;
     let mut argv = std::env::args().skip(1);

@@ -323,7 +323,11 @@ impl GroupCore {
         );
         if self.bypass.is_some() {
             let p = Payload::from_slice(payload);
-            let result = self.bypass.as_mut().expect("checked").dn_cast(&p);
+            let result = self
+                .bypass
+                .as_mut()
+                .expect("bypass installed: guarded by bypass.is_some() in the caller")
+                .dn_cast(&p);
             if self.apply_bypass(now, Case::DnCast, result, &mut out) {
                 return out;
             }
@@ -362,7 +366,11 @@ impl GroupCore {
         );
         if self.bypass.is_some() {
             let p = Payload::from_slice(payload);
-            let result = self.bypass.as_mut().expect("checked").dn_send(dst.0, &p);
+            let result = self
+                .bypass
+                .as_mut()
+                .expect("bypass installed: guarded by bypass.is_some() in the caller")
+                .dn_send(dst.0, &p);
             if self.apply_bypass(now, Case::DnSend, result, &mut out) {
                 return out;
             }
@@ -432,7 +440,10 @@ impl GroupCore {
         let is_cast = matches!(pkt.dst, Dest::Cast);
         if self.bypass.is_some() {
             let result = {
-                let b = self.bypass.as_mut().expect("checked");
+                let b = self
+                    .bypass
+                    .as_mut()
+                    .expect("bypass installed: guarded by bypass.is_some() in the caller");
                 if is_cast {
                     b.up_cast(origin.0, &pkt.bytes)
                 } else {

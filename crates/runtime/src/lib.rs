@@ -45,6 +45,7 @@
 //! println!("{d:?}\n{}", node.stats());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod group;

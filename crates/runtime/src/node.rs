@@ -280,7 +280,7 @@ impl Node {
             let worker = std::thread::Builder::new()
                 .name(format!("ensemble-shard-{shard_id}"))
                 .spawn(move || worker_loop(shard_id, join_rx, m, s, c, o))
-                .expect("spawn shard worker");
+                .expect("failed to spawn shard worker OS thread (resource limit?)");
             shards.push(Shard {
                 join_tx,
                 metrics,

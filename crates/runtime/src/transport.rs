@@ -212,7 +212,10 @@ impl LoopbackHub {
     /// endpoint is a wiring bug, not a runtime condition.
     pub fn attach(&self, ep: Endpoint) -> LoopbackTransport {
         let (tx, rx) = sync_channel(self.capacity);
-        let mut inner = self.inner.lock().expect("hub poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation");
         let prev = inner.peers.insert(ep.to_wire(), HubPeer { tx });
         assert!(prev.is_none(), "endpoint attached twice: {ep:?}");
         LoopbackTransport {
@@ -224,12 +227,18 @@ impl LoopbackHub {
 
     /// Replaces the fault plan (e.g. to stop faults for a drain phase).
     pub fn set_plan(&self, plan: FaultPlan) {
-        self.inner.lock().expect("hub poisoned").plan = plan;
+        self.inner
+            .lock()
+            .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation")
+            .plan = plan;
     }
 
     /// Faults injected so far.
     pub fn fault_counts(&self) -> FaultCounts {
-        self.inner.lock().expect("hub poisoned").counts
+        self.inner
+            .lock()
+            .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation")
+            .counts
     }
 }
 
@@ -251,7 +260,10 @@ impl Transport for LoopbackTransport {
 
     fn send_at(&mut self, pkt: &Packet, origin_ns: u64) -> io::Result<()> {
         let frame = encode_datagram(pkt);
-        let mut inner = self.hub.lock().expect("hub poisoned");
+        let mut inner = self
+            .hub
+            .lock()
+            .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation");
         match pkt.dst {
             ensemble_transport::Dest::Cast => {
                 let peers: Vec<u64> = inner.peers.keys().copied().collect();
@@ -284,7 +296,7 @@ impl Transport for LoopbackTransport {
                     // Idle: release anything held back for us so a
                     // reordered datagram cannot be starved forever.
                     let me = self.ep.to_wire();
-                    self.hub.lock().expect("hub poisoned").flush_holdback(me);
+                    self.hub.lock().expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation").flush_holdback(me);
                     return match self.rx.try_recv() {
                         Ok((stamp, frame)) => {
                             Ok(decode_datagram(&frame).ok().map(|p| (p, Some(stamp))))

@@ -142,6 +142,9 @@ pub enum CompatError {
         requires: SpecId,
         /// What the layers underneath provide.
         provides: SpecId,
+        /// The layer that last strengthened this kind (the strongest
+        /// provider underneath `upper`).
+        below: String,
     },
     /// The stack does not end in `bottom`.
     NoBottom,
@@ -156,9 +159,10 @@ impl fmt::Display for CompatError {
                 kind,
                 requires,
                 provides,
+                below,
             } => write!(
                 f,
-                "{upper} requires {requires} {kind} below, but only {provides} is provided"
+                "{upper} requires {requires} {kind} below, but {below} provides only {provides}"
             ),
             CompatError::NoBottom => write!(f, "stack must terminate in `bottom`"),
         }
@@ -182,9 +186,12 @@ pub fn check_stack(names: &[&str]) -> Result<(), CompatError> {
     if names.last() != Some(&"bottom") {
         return Err(CompatError::NoBottom);
     }
-    // Walk bottom-up, tracking the strongest behaviour provided per kind.
+    // Walk bottom-up, tracking the strongest behaviour provided per kind
+    // and which layer last strengthened it (for diagnostics).
     let mut casts = SpecId::LossyNet;
     let mut sends = SpecId::LossyNet;
+    let mut casts_by = "bottom";
+    let mut sends_by = "bottom";
     for (i, name) in names.iter().enumerate().rev() {
         let iface = interface(name).ok_or_else(|| CompatError::Unknown((*name).to_owned()))?;
         let is_bottom = i == names.len() - 1;
@@ -195,6 +202,7 @@ pub fn check_stack(names: &[&str]) -> Result<(), CompatError> {
                     kind: "casts",
                     requires: iface.req_casts,
                     provides: casts,
+                    below: casts_by.to_owned(),
                 });
             }
             if !sends.satisfies(iface.req_sends) {
@@ -203,14 +211,21 @@ pub fn check_stack(names: &[&str]) -> Result<(), CompatError> {
                     kind: "sends",
                     requires: iface.req_sends,
                     provides: sends,
+                    below: sends_by.to_owned(),
                 });
             }
         }
         if let Some(a) = iface.adds_casts {
-            casts = casts.max(a);
+            if a > casts {
+                casts = a;
+                casts_by = name;
+            }
         }
         if let Some(a) = iface.adds_sends {
-            sends = sends.max(a);
+            if a > sends {
+                sends = a;
+                sends_by = name;
+            }
         }
     }
     Ok(())
@@ -258,19 +273,92 @@ mod tests {
     #[test]
     fn total_without_local_rejected() {
         let err = check_stack(&["top", "total", "mnak", "bottom"]).unwrap_err();
-        match err {
-            CompatError::Mismatch { upper, kind, .. } => {
+        match &err {
+            CompatError::Mismatch {
+                upper,
+                kind,
+                requires,
+                provides,
+                below,
+            } => {
                 assert_eq!(upper, "total");
-                assert_eq!(kind, "casts");
+                assert_eq!(kind, &"casts");
+                assert_eq!(*requires, SpecId::ReliableFifoLocal);
+                assert_eq!(*provides, SpecId::ReliableFifo);
+                assert_eq!(below, "mnak");
             }
             other => panic!("{other:?}"),
         }
+        // The message names both layers and the unmet SpecId.
+        let msg = err.to_string();
+        assert!(msg.contains("total"), "{msg}");
+        assert!(msg.contains("mnak"), "{msg}");
+        assert!(msg.contains("ReliableFifoLocal"), "{msg}");
     }
 
     #[test]
     fn total_above_lossy_rejected() {
-        // No mnak at all: total over a lossy network is unsound.
-        assert!(check_stack(&["top", "total", "local", "bottom"]).is_err());
+        // No mnak at all: total over a lossy network is unsound. The
+        // strongest cast provider is bare `bottom`.
+        let err = check_stack(&["top", "total", "local", "bottom"]).unwrap_err();
+        match &err {
+            CompatError::Mismatch {
+                upper,
+                requires,
+                provides,
+                below,
+                ..
+            } => {
+                // `local` is the first layer (bottom-up) whose requirement
+                // fails: it needs ReliableFifo casts over bare bottom.
+                assert_eq!(upper, "local");
+                assert_eq!(*requires, SpecId::ReliableFifo);
+                assert_eq!(*provides, SpecId::LossyNet);
+                assert_eq!(below, "bottom");
+            }
+            other => panic!("{other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("local") && msg.contains("bottom"), "{msg}");
+        assert!(msg.contains("ReliableFifo"), "{msg}");
+    }
+
+    #[test]
+    fn pt2ptw_over_mnak_names_the_send_provider() {
+        // pt2ptw needs reliable *sends*; mnak only upgrades casts, so the
+        // strongest send provider is still `bottom`.
+        let err = check_stack(&["top", "pt2ptw", "mnak", "bottom"]).unwrap_err();
+        match &err {
+            CompatError::Mismatch {
+                upper, kind, below, ..
+            } => {
+                assert_eq!(upper, "pt2ptw");
+                assert_eq!(kind, &"sends");
+                assert_eq!(below, "bottom");
+            }
+            other => panic!("{other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("pt2ptw") && msg.contains("bottom") && msg.contains("ReliableFifo"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn frag_over_pt2pt_only_names_pt2pt_for_casts() {
+        // frag needs reliable casts too; pt2pt upgrades only sends.
+        let err = check_stack(&["top", "frag", "pt2pt", "bottom"]).unwrap_err();
+        match &err {
+            CompatError::Mismatch {
+                upper, kind, below, ..
+            } => {
+                assert_eq!(upper, "frag");
+                assert_eq!(kind, &"casts");
+                assert_eq!(below, "bottom");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   §3.2: for each adjacent pair `p` below `q`, the behaviour `p`
 //!   provides must satisfy the behaviour `q` requires.
 
+#![forbid(unsafe_code)]
+
 pub mod compat;
 pub mod engine;
 pub mod func;

@@ -1,0 +1,133 @@
+//! Analyzable theorem artifacts.
+//!
+//! [`synthesize`](crate::synthesize) produces a [`StackSynthesis`] whose
+//! parts (rewrite contexts, definition tables, models) are geared toward
+//! *executing* the bypass. Static analysis wants the opposite: a plain
+//! data snapshot of what was proved — the CCP conjuncts, the residual
+//! events, the per-layer residual terms, and the compressed-header
+//! layout — with no machinery attached. [`BypassArtifact`] is that
+//! snapshot; `ensemble-analyze` consumes it to prove residual soundness
+//! and CCP decidability without reaching into synthesis internals.
+
+use crate::compose::StackSynthesis;
+use crate::compress::FieldSpec;
+use ensemble_ir::models::Case;
+use ensemble_ir::term::Term;
+
+/// One composed case's theorem, as plain data.
+#[derive(Clone, Debug)]
+pub struct CaseTheorem {
+    /// The fundamental case.
+    pub case: Case,
+    /// CCP conjuncts: `(layer index, condition)`.
+    pub ccp: Vec<(usize, Term)>,
+    /// Wire-bound events, in order.
+    pub wire_events: Vec<Term>,
+    /// Application deliveries, in order.
+    pub app_events: Vec<Term>,
+    /// Deferred non-critical work: `(layer index, work)`.
+    pub defers: Vec<(usize, Term)>,
+    /// Final symbolic state per changed layer.
+    pub state_updates: Vec<(usize, Term)>,
+}
+
+/// A compressed-header layout, as plain data.
+#[derive(Clone, Debug)]
+pub struct TemplateArtifact {
+    /// Frames outermost-first: `(constructor name, field specs)`.
+    pub frames: Vec<(String, Vec<FieldSpec>)>,
+    /// The receiver's abstract view of the wire message (`f0, f1, …`).
+    pub abstract_msg: Term,
+    /// Wire size in bytes.
+    pub wire_bytes: usize,
+}
+
+/// The full analyzable snapshot of one synthesized stack at one rank.
+#[derive(Clone, Debug)]
+pub struct BypassArtifact {
+    /// Layer names, top first.
+    pub names: Vec<String>,
+    /// The wire identifier of the stack.
+    pub stack_id: u32,
+    /// The rank the stack was synthesized for.
+    pub rank: i64,
+    /// Composed case theorems (a case may be absent when this rank has
+    /// no fast path for it).
+    pub cases: Vec<CaseTheorem>,
+    /// Cast-side compressed-header layout.
+    pub cast_template: TemplateArtifact,
+    /// Send-side compressed-header layout.
+    pub send_template: TemplateArtifact,
+    /// Per-layer residual terms, one `(case, residual)` entry per case,
+    /// in `Case::ALL` order.
+    pub layer_residuals: Vec<Vec<(Case, Term)>>,
+}
+
+impl BypassArtifact {
+    /// Snapshots a synthesis. `rank` is the rank the `ModelCtx` carried.
+    pub fn of(s: &StackSynthesis, rank: i64) -> Self {
+        let cases = Case::ALL
+            .iter()
+            .filter_map(|c| s.cases.get(c))
+            .map(|th| CaseTheorem {
+                case: th.case,
+                ccp: th.ccp.clone(),
+                wire_events: th.wire_events.clone(),
+                app_events: th.app_events.clone(),
+                defers: th.defers.clone(),
+                state_updates: th.state_updates.clone(),
+            })
+            .collect();
+        let tpl = |t: &crate::compress::HeaderTemplate| TemplateArtifact {
+            frames: t.frames.clone(),
+            abstract_msg: t.abstract_msg.clone(),
+            wire_bytes: t.wire_bytes(),
+        };
+        let layer_residuals = s
+            .layer_theorems
+            .iter()
+            .map(|tbl| {
+                Case::ALL
+                    .iter()
+                    .filter_map(|c| tbl.get(c).map(|th| (*c, th.residual.clone())))
+                    .collect()
+            })
+            .collect();
+        BypassArtifact {
+            names: s.names.clone(),
+            stack_id: s.stack_id,
+            rank,
+            cases,
+            cast_template: tpl(&s.cast_template),
+            send_template: tpl(&s.send_template),
+            layer_residuals,
+        }
+    }
+
+    /// The composed theorem for `case`, if this rank has a fast path.
+    pub fn case(&self, case: Case) -> Option<&CaseTheorem> {
+        self.cases.iter().find(|t| t.case == case)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::synthesize;
+    use ensemble_ir::models::ModelCtx;
+
+    #[test]
+    fn artifact_snapshots_all_cases() {
+        let s = synthesize(&["top", "pt2pt", "mnak", "bottom"], &ModelCtx::new(2, 0)).unwrap();
+        let a = BypassArtifact::of(&s, 0);
+        assert_eq!(a.names.len(), 4);
+        assert_eq!(a.stack_id, s.stack_id);
+        assert_eq!(a.cases.len(), s.cases.len());
+        assert!(a.case(Case::DnSend).is_some());
+        assert_eq!(a.layer_residuals.len(), 4);
+        for per_layer in &a.layer_residuals {
+            assert_eq!(per_layer.len(), 4, "one residual per fundamental case");
+        }
+        assert_eq!(a.cast_template.wire_bytes, s.cast_template.wire_bytes());
+    }
+}

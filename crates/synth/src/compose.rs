@@ -134,16 +134,7 @@ fn state_var(name: &str, idx: usize) -> Term {
 
 /// Whether a term mentions the `Slow` fallback constructor.
 fn mentions_slow(t: &Term) -> bool {
-    match t {
-        Term::Con(n, args) => n.as_str() == "Slow" || args.iter().any(mentions_slow),
-        Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Var(_) => false,
-        Term::Let(_, a, b) => mentions_slow(a) || mentions_slow(b),
-        Term::If(c, a, b) => mentions_slow(c) || mentions_slow(a) || mentions_slow(b),
-        Term::Match(s, arms) => mentions_slow(s) || arms.iter().any(|(_, b)| mentions_slow(b)),
-        Term::Prim(_, args) | Term::App(_, args) => args.iter().any(mentions_slow),
-        Term::GetF(e, _) => mentions_slow(e),
-        Term::SetF(e, _, v) => mentions_slow(e) || mentions_slow(v),
-    }
+    ensemble_ir::visit::mentions_con(t, "Slow")
 }
 
 /// Lifts undischarged guards of slow paths into extra CCP conjuncts.

@@ -16,6 +16,8 @@
 //! * [`datagram`] — the envelope framing packets over real datagram
 //!   sockets (magic/version/src/dst + marshaled bytes).
 
+#![forbid(unsafe_code)]
+
 pub mod compressed;
 pub mod datagram;
 pub mod generic;

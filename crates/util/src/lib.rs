@@ -6,6 +6,8 @@
 //! simulations, a string interner used by the formal (IOA / IR) crates, and
 //! lightweight metrics counters used by the cost-model experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod id;
 pub mod intern;
 pub mod metrics;

@@ -42,6 +42,14 @@ fn print_layer_spans(title: &str, events: &[TraceEvent]) {
 }
 
 fn main() {
+    // A failed assertion on a worker thread must fail the process, not
+    // just print: CI runs this example and trusts the exit code.
+    let default_panic = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        default_panic(info);
+        std::process::exit(101);
+    }));
+
     let mut sim = Simulation::new(
         4,
         STACK_VSYNC,

@@ -9,6 +9,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -19,6 +22,18 @@ echo "==> runtime integration tests (release)"
 cargo test --release -p ensemble-runtime --test loopback_stack
 cargo test --release -p ensemble-runtime --test udp_smoke
 cargo test --release -p ensemble-runtime --test obs_trace
+
+echo "==> analyze: stack_lint over every registered stack"
+cargo run --release -p ensemble-analyze --bin stack_lint
+cargo run --release -p ensemble-analyze --bin stack_lint -- --json --out LINT_stacks.json
+test -s LINT_stacks.json
+cargo run --release -p ensemble-bench --bin lint_check -- LINT_stacks.json
+
+echo "==> analyze: seeded collision must be caught"
+if cargo run --release -p ensemble-analyze --bin stack_lint -- --inject-collision --quiet; then
+  echo "stack_lint failed to reject the seeded header collision" >&2
+  exit 1
+fi
 
 echo "==> bench: table2a emits and validates BENCH_table2a.json"
 TABLE2A_OUT=$(cargo run --release -p ensemble-bench --bin table2a)
