@@ -19,6 +19,7 @@
 //! | SL006 | deny     | membership layers sit below `total`/`local` |
 //! | SL007 | warn     | an application adapter sits on top |
 //! | SL008 | deny     | ordering layers sit above the reliability layer they order |
+//! | SL009 | deny     | a gmp stack carries `suspect` below it to source suspicion |
 
 use crate::diag::{Diag, Report, Severity};
 use ensemble_layers::manifest::manifest;
@@ -340,6 +341,48 @@ impl Rule for OrderingAboveReliability {
     }
 }
 
+struct SuspicionReachesGmp;
+impl Rule for SuspicionReachesGmp {
+    fn id(&self) -> &'static str {
+        "SL009"
+    }
+    fn describe(&self) -> &'static str {
+        "a gmp stack carries suspect below it to source suspicion"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        // A stack that runs the membership protocol consumes Suspect
+        // events — from its own ping rounds or injected by an external
+        // detector (ensemble-cluster's heartbeats). Both arrive as a
+        // down-going Suspect that only the suspect layer turns into the
+        // up-going suspicion gmp acts on. Without suspect below gmp a
+        // crashed peer is never expelled: a silent hang, not an error.
+        let Some(g) = spec.index_of("gmp") else {
+            return;
+        };
+        match spec.index_of("suspect") {
+            None => report.push(deny(
+                self.id(),
+                spec,
+                Some("gmp"),
+                "gmp has no suspect layer to source suspicion; a crashed member \
+                 would never be expelled"
+                    .to_owned(),
+                "add `suspect` below gmp (larger index; stacks are written top-first)",
+            )),
+            Some(s) if s < g => report.push(deny(
+                self.id(),
+                spec,
+                Some("suspect"),
+                "suspect sits above gmp; its suspicion events travel up, away from \
+                 the membership protocol"
+                    .to_owned(),
+                "move `suspect` below gmp so suspicion reaches it",
+            )),
+            Some(_) => {}
+        }
+    }
+}
+
 /// The full rule registry, in identifier order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
@@ -351,6 +394,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(MembershipBelowOrdering),
         Box::new(AdapterOnTop),
         Box::new(OrderingAboveReliability),
+        Box::new(SuspicionReachesGmp),
     ]
 }
 
@@ -448,6 +492,30 @@ mod tests {
         let names = ["top", "mnak", "total", "local", "bottom"];
         let r = lint("order", &names);
         assert!(r.diags.iter().any(|d| d.rule == "SL008"), "{r}");
+    }
+
+    #[test]
+    fn gmp_without_suspect_denied() {
+        let r = lint(
+            "nosuspect",
+            &["top", "gmp", "sync", "elect", "mnak", "bottom"],
+        );
+        assert!(r.diags.iter().any(|d| d.rule == "SL009"), "{r}");
+    }
+
+    #[test]
+    fn suspect_above_gmp_denied() {
+        let r = lint(
+            "inverted",
+            &["top", "suspect", "gmp", "sync", "elect", "mnak", "bottom"],
+        );
+        assert!(r.diags.iter().any(|d| d.rule == "SL009"), "{r}");
+        // The canonical shape — suspect below gmp — is clean.
+        let r = lint(
+            "canonical",
+            &["top", "gmp", "sync", "elect", "suspect", "mnak", "bottom"],
+        );
+        assert!(!r.diags.iter().any(|d| d.rule == "SL009"), "{r}");
     }
 
     #[test]

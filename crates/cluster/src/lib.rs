@@ -1,0 +1,70 @@
+//! # ensemble-cluster
+//!
+//! Self-assembling group membership over the Ensemble runtime: nodes
+//! rendezvous through one seed address, heartbeat each other, and let
+//! the protocol stack's suspect/elect/gmp/sync layers run real view
+//! changes when a member dies.
+//!
+//! Where `ensemble-runtime` executes a stack for a *pre-agreed* view,
+//! this crate answers the question that precedes it: *how do the
+//! members find each other, and who decides when one is gone?* The
+//! pieces:
+//!
+//! * **Rendezvous** ([`rendezvous`]) — joiners send MAC-signed `Hello`
+//!   frames to a seed endpoint; once the expected membership is present
+//!   the seed `Welcome`s everyone with the sorted member list (rank 0 =
+//!   lowest endpoint = initial coordinator) and an optional application
+//!   snapshot ([`StateProvider`]).
+//! * **Failure detection** ([`detector`]) — each member heartbeats its
+//!   peers every `heartbeat_period` off the runtime timer wheel; a peer
+//!   silent for `miss_limit` periods is suspected once (sticky until
+//!   the next view) and fed into the stack as a real `Suspect` event.
+//!   The stack — not this crate — then runs the flush and installs the
+//!   new view on every survivor.
+//! * **Epoch fencing** ([`wire`]) — every control frame carries the
+//!   sender's view ltime. Heartbeats from an older epoch are answered
+//!   with a `Fence`, so an expelled member stops disturbing the group
+//!   and learns it has been passed by.
+//! * **State transfer** — the seed's snapshot rides the `Welcome`;
+//!   joiners surface it as [`ClusterEvent::Snapshot`] before `Formed`.
+//!
+//! ```no_run
+//! use ensemble_cluster::{ClusterConfig, ClusterNode};
+//! use ensemble_runtime::LoopbackHub;
+//! use ensemble_util::Endpoint;
+//!
+//! let control = LoopbackHub::new(1);
+//! let data = LoopbackHub::new(2);
+//! let (me, seed) = (Endpoint::new(0), Endpoint::new(0));
+//! let node = ClusterNode::form(
+//!     me,
+//!     seed,
+//!     ClusterConfig::new(3),
+//!     Box::new(control.attach(me)),
+//!     Box::new(data.attach(me)),
+//!     None,
+//! )
+//! .unwrap();
+//! println!("{}", node.metrics_text());
+//! ```
+//!
+//! `examples/cluster_demo.rs` runs the full lifecycle: three nodes
+//! rendezvous, one is killed, and the survivors install the new view
+//! within a bounded number of heartbeat periods.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod detector;
+pub mod member;
+pub mod metrics;
+pub mod rendezvous;
+pub mod wire;
+
+pub use config::{ClusterConfig, ClusterError};
+pub use detector::Detector;
+pub use member::{ClusterEvent, ClusterNode, StateProvider};
+pub use metrics::ClusterMetrics;
+pub use rendezvous::{JoinerRendezvous, SeedRendezvous};
+pub use wire::{decode, encode, Envelope, Frame, WireError};

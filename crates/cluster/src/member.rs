@@ -1,0 +1,641 @@
+//! [`ClusterNode`]: one self-assembling group member.
+//!
+//! `form` runs rendezvous synchronously on the caller's thread, joins
+//! the agreed view on a private [`Node`], then hands the control
+//! transport and the group handle to a *driver* thread that:
+//!
+//! * heartbeats every peer each period and sweeps the [`Detector`], both
+//!   off the runtime [`ensemble_runtime::TimerWheel`];
+//! * feeds real `Suspect` events into the stack (suspect/elect/gmp run
+//!   the actual view change — the driver never invents views);
+//! * fences stale-epoch frames, so an expelled member cannot disturb the
+//!   survivors and learns it has been passed by;
+//! * drains stack deliveries into an unbounded [`ClusterEvent`] channel
+//!   (the application reads at its own pace without stalling a shard).
+
+use crate::config::{ClusterConfig, ClusterError};
+use crate::detector::Detector;
+use crate::metrics::ClusterMetrics;
+use crate::rendezvous::{JoinerRendezvous, SeedRendezvous};
+use crate::wire::{decode, encode, Envelope, Frame};
+use ensemble_event::ViewState;
+use ensemble_obs::{now_ns, CcpFailure, Direction, Event, EventKind, Tag};
+use ensemble_runtime::{Delivery, GroupHandle, GroupSender, Node, NodeObs, Transport};
+use ensemble_transport::Packet;
+use ensemble_util::{Endpoint, GroupId, Rank, Time, ViewId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Supplies the application snapshot shipped to joiners in the Welcome.
+///
+/// Implemented for any `FnMut() -> Vec<u8> + Send` closure.
+pub trait StateProvider: Send {
+    /// Serializes the current application state.
+    fn snapshot(&mut self) -> Vec<u8>;
+}
+
+impl<F: FnMut() -> Vec<u8> + Send> StateProvider for F {
+    fn snapshot(&mut self) -> Vec<u8> {
+        self()
+    }
+}
+
+/// What a cluster member reports to its application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// Rendezvous completed; the group stack runs in this view.
+    Formed(ViewState),
+    /// The seed's state snapshot (joiners only, before `Formed`).
+    Snapshot(Vec<u8>),
+    /// A delivery from the group stack (casts, sends, new views, …).
+    Delivery(Delivery),
+    /// We told a stale-epoch peer the group has moved on.
+    FencedPeer {
+        /// The stale member.
+        peer: Endpoint,
+        /// The epoch it was still in.
+        epoch: u64,
+    },
+    /// A newer-epoch member fenced *us*: we were expelled by a view
+    /// change we never saw. The driver stops heartbeating.
+    FencedBy {
+        /// The member that fenced us.
+        peer: Endpoint,
+        /// Its (newer) epoch.
+        epoch: u64,
+    },
+}
+
+/// One member of a self-assembling cluster.
+///
+/// See the crate docs for the protocol; see `examples/cluster_demo.rs`
+/// for the three-node lifecycle.
+pub struct ClusterNode {
+    ep: Endpoint,
+    node: Node,
+    sender: GroupSender,
+    events: Receiver<ClusterEvent>,
+    metrics: Arc<ClusterMetrics>,
+    view: Arc<Mutex<ViewState>>,
+    stop: Arc<AtomicBool>,
+    driver: Option<JoinHandle<()>>,
+}
+
+impl ClusterNode {
+    /// Rendezvous via `seed` and start this member.
+    ///
+    /// Blocks until the initial membership forms (or `cfg.form_timeout`
+    /// passes). `control` carries the cluster's Hello/Welcome/Heartbeat
+    /// frames; `data` carries the group stack's traffic — two transport
+    /// instances for the same endpoint identity. When `ep == seed`,
+    /// this node *is* the seed and `state` (if any) supplies the
+    /// snapshot shipped to every joiner.
+    pub fn form(
+        ep: Endpoint,
+        seed: Endpoint,
+        cfg: ClusterConfig,
+        mut control: Box<dyn Transport>,
+        data: Box<dyn Transport>,
+        state: Option<Box<dyn StateProvider>>,
+    ) -> Result<ClusterNode, ClusterError> {
+        cfg.validate()?;
+        let metrics = Arc::new(ClusterMetrics::default());
+        let deadline = std::time::Instant::now() + cfg.form_timeout;
+        let poll_pause = (cfg.hello_retry / 4).max(std::time::Duration::from_micros(200));
+
+        // --- Rendezvous (caller's thread, blocking) -------------------
+        let am_seed = ep == seed;
+        let mut snapshot_out = Vec::new();
+        let mut welcome_cache: Option<SeedRendezvous> = None;
+        let (members, snapshot_in) = if am_seed {
+            let snap = state.map(|mut s| s.snapshot()).unwrap_or_default();
+            let mut rdv = SeedRendezvous::new(ep, cfg.expected, cfg.key, snap.clone());
+            let members = loop {
+                if let Some(m) = rdv.poll(control.as_mut()) {
+                    break m;
+                }
+                if std::time::Instant::now() >= deadline {
+                    metrics
+                        .bad_frames
+                        .fetch_add(rdv.bad_frames, Ordering::Relaxed);
+                    return Err(ClusterError::Timeout);
+                }
+                std::thread::sleep(poll_pause);
+            };
+            metrics
+                .bad_frames
+                .fetch_add(rdv.bad_frames, Ordering::Relaxed);
+            if !snap.is_empty() {
+                metrics
+                    .state_transfers
+                    .fetch_add((members.len() - 1) as u64, Ordering::Relaxed);
+            }
+            snapshot_out = snap;
+            welcome_cache = Some(rdv);
+            (members, Vec::new())
+        } else {
+            let mut rdv =
+                JoinerRendezvous::new(ep, seed, cfg.key, cfg.hello_retry.as_nanos() as u64);
+            let got = loop {
+                if let Some(got) = rdv.poll(control.as_mut(), Time(now_ns())) {
+                    break got;
+                }
+                if std::time::Instant::now() >= deadline {
+                    metrics
+                        .bad_frames
+                        .fetch_add(rdv.bad_frames, Ordering::Relaxed);
+                    return Err(ClusterError::Timeout);
+                }
+                std::thread::sleep(poll_pause);
+            };
+            metrics
+                .bad_frames
+                .fetch_add(rdv.bad_frames, Ordering::Relaxed);
+            got
+        };
+
+        // --- Join the agreed view on a private runtime node -----------
+        let rank = members
+            .iter()
+            .position(|&m| m == ep)
+            .map(|i| Rank(i as u16))
+            .expect("rendezvous produced a membership excluding this node");
+        let vs = ViewState {
+            group: GroupId(1),
+            view_id: ViewId::initial(members[0]),
+            members: members.clone(),
+            rank,
+        };
+        let mut node = Node::new(cfg.runtime.clone());
+        let handle: GroupHandle = node
+            .join(cfg.stack, vs.clone(), cfg.engine, cfg.layers.clone(), data)
+            .map_err(|e| ClusterError::Runtime(e.to_string()))?;
+        let sender = handle.sender();
+
+        // --- Start the driver -----------------------------------------
+        let obs = node.obs_arc();
+        let obs_shard = node.aux_obs_shard();
+        let tag = obs.recorder.register("cluster");
+        let (events_tx, events_rx) = channel();
+        if !am_seed && !snapshot_in.is_empty() {
+            metrics.state_transfers.fetch_add(1, Ordering::Relaxed);
+            record(
+                &obs,
+                obs_shard,
+                tag,
+                ep,
+                EventKind::StateTransfer,
+                Direction::Up,
+                snapshot_in.len() as u64,
+            );
+            let _ = events_tx.send(ClusterEvent::Snapshot(snapshot_in));
+        } else if am_seed && !snapshot_out.is_empty() {
+            record(
+                &obs,
+                obs_shard,
+                tag,
+                ep,
+                EventKind::StateTransfer,
+                Direction::Dn,
+                snapshot_out.len() as u64,
+            );
+        }
+        let _ = events_tx.send(ClusterEvent::Formed(vs.clone()));
+
+        let view = Arc::new(Mutex::new(vs.clone()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let driver = Driver {
+            me: ep,
+            key: cfg.key,
+            period_ns: cfg.heartbeat_period.as_nanos() as u64,
+            control,
+            handle,
+            welcome: welcome_cache.map(|r| (r, members)),
+            detector: Detector::new(cfg.heartbeat_period.as_nanos() as u64, cfg.miss_limit),
+            view: Arc::clone(&view),
+            metrics: Arc::clone(&metrics),
+            events: events_tx,
+            stop: Arc::clone(&stop),
+            obs,
+            obs_shard,
+            tag,
+            epoch: 0,
+            hb_seq: 0,
+            fenced: false,
+            suspicion_at: None,
+        };
+        let worker = std::thread::Builder::new()
+            .name(format!("ensemble-cluster-{}", ep.id()))
+            .spawn(move || driver.run())
+            .map_err(|e| ClusterError::Runtime(format!("spawn driver: {e}")))?;
+
+        Ok(ClusterNode {
+            ep,
+            node,
+            sender,
+            events: events_rx,
+            metrics,
+            view,
+            stop,
+            driver: Some(worker),
+        })
+    }
+
+    /// This member's endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.ep
+    }
+
+    /// The most recently installed view.
+    pub fn view(&self) -> ViewState {
+        self.view
+            .lock()
+            .expect("cluster view mutex poisoned: the driver thread panicked")
+            .clone()
+    }
+
+    /// Multicasts `payload` to the group.
+    pub fn cast(&self, payload: &[u8]) -> Result<(), ClusterError> {
+        self.sender
+            .cast(payload)
+            .map_err(|e| ClusterError::Runtime(e.to_string()))
+    }
+
+    /// Sends `payload` point-to-point to `dst` (a rank in the current view).
+    pub fn send(&self, dst: Rank, payload: &[u8]) -> Result<(), ClusterError> {
+        self.sender
+            .send(dst, payload)
+            .map_err(|e| ClusterError::Runtime(e.to_string()))
+    }
+
+    /// A cloneable send-only handle usable from other threads.
+    pub fn sender(&self) -> GroupSender {
+        self.sender.clone()
+    }
+
+    /// Blocks up to `timeout` for the next cluster event.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<ClusterEvent> {
+        match self.events.recv_timeout(timeout) {
+            Ok(e) => Some(e),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking poll for the next cluster event.
+    pub fn try_recv(&self) -> Option<ClusterEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// This member's cluster counters.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Runtime + cluster metrics in Prometheus text exposition format
+    /// (includes the `ensemble_view_change_ns` histogram and every
+    /// `ensemble_cluster_*` counter).
+    pub fn metrics_text(&self) -> String {
+        let mut text = self.node.metrics_text();
+        text.push_str(&self.metrics.render());
+        text
+    }
+
+    /// Gracefully leaves the group, then stops this member.
+    pub fn leave(mut self) {
+        let _ = self.sender.leave();
+        // Give the stack a moment to emit Exit before tearing down.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+        while std::time::Instant::now() < deadline {
+            match self
+                .events
+                .recv_timeout(std::time::Duration::from_millis(50))
+            {
+                Ok(ClusterEvent::Delivery(Delivery::Exit)) => break,
+                Ok(_) | Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.halt();
+    }
+
+    /// Stops this member abruptly — no Leave, no flush — simulating a
+    /// crash. Survivors must detect it and install a new view.
+    pub fn kill(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(d) = self.driver.take() {
+            let _ = d.join();
+        }
+        self.node.shutdown();
+    }
+}
+
+impl Drop for ClusterNode {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn record(
+    obs: &NodeObs,
+    shard: usize,
+    tag: Tag,
+    ep: Endpoint,
+    kind: EventKind,
+    dir: Direction,
+    aux: u64,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.recorder.record(
+        shard,
+        &Event {
+            t_ns: now_ns(),
+            layer: tag,
+            kind,
+            dir,
+            group: ep.id(),
+            seqno: 0,
+            ccp: CcpFailure::None,
+            aux,
+        },
+    );
+}
+
+/// What the driver's timer wheel fires.
+enum Tick {
+    /// Send a heartbeat to every peer.
+    Heartbeat,
+    /// Sweep the detector for newly silent peers.
+    Sweep,
+}
+
+struct Driver {
+    me: Endpoint,
+    key: u64,
+    period_ns: u64,
+    control: Box<dyn Transport>,
+    handle: GroupHandle,
+    /// Seed only: the rendezvous state kept around to re-Welcome a
+    /// joiner whose Welcome was lost (it shows up as a repeated Hello).
+    welcome: Option<(SeedRendezvous, Vec<Endpoint>)>,
+    detector: Detector,
+    view: Arc<Mutex<ViewState>>,
+    metrics: Arc<ClusterMetrics>,
+    events: Sender<ClusterEvent>,
+    stop: Arc<AtomicBool>,
+    obs: Arc<NodeObs>,
+    obs_shard: usize,
+    tag: Tag,
+    epoch: u64,
+    hb_seq: u64,
+    /// Set when a newer epoch fenced us: stop heartbeating, the group
+    /// has moved on without this member.
+    fenced: bool,
+    /// When the current suspicion window opened (first suspicion since
+    /// the last view install), for the view-change latency histogram.
+    suspicion_at: Option<u64>,
+}
+
+impl Driver {
+    fn run(mut self) {
+        let now = Time(now_ns());
+        let mut wheel: ensemble_runtime::TimerWheel<Tick> = ensemble_runtime::TimerWheel::new(now);
+        wheel.schedule(Time(now.0 + self.period_ns), Tick::Heartbeat);
+        wheel.schedule(Time(now.0 + self.period_ns / 2), Tick::Sweep);
+        self.detector.reset(&self.peers(), now);
+        let mut fired: Vec<(Time, Tick)> = Vec::new();
+        let pause = std::time::Duration::from_nanos((self.period_ns / 8).clamp(100_000, 5_000_000));
+
+        while !self.stop.load(Ordering::Relaxed) {
+            let mut busy = false;
+            let now = Time(now_ns());
+
+            // Control-plane ingress.
+            while let Ok(Some(pkt)) = self.control.try_recv() {
+                busy = true;
+                match decode(&pkt.bytes, self.key) {
+                    Ok(env) => self.on_frame(env, now),
+                    Err(_) => {
+                        self.metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+
+            // Timer wheel: heartbeats out, detector sweeps.
+            fired.clear();
+            wheel.advance(now, &mut fired);
+            for (_, tick) in fired.drain(..) {
+                busy = true;
+                match tick {
+                    Tick::Heartbeat => {
+                        self.heartbeat(now);
+                        wheel.schedule(Time(now.0 + self.period_ns), Tick::Heartbeat);
+                    }
+                    Tick::Sweep => {
+                        self.sweep(now);
+                        wheel.schedule(Time(now.0 + self.period_ns / 2), Tick::Sweep);
+                    }
+                }
+            }
+
+            // Stack deliveries out to the application.
+            while let Some(d) = self.handle.try_recv() {
+                busy = true;
+                self.on_delivery(d, Time(now_ns()));
+            }
+
+            if !busy {
+                std::thread::sleep(pause);
+            }
+        }
+    }
+
+    /// Current peers (everyone in the view but us).
+    fn peers(&self) -> Vec<Endpoint> {
+        self.view
+            .lock()
+            .expect("cluster view mutex poisoned: the driver thread panicked")
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != self.me)
+            .collect()
+    }
+
+    fn send_control(&mut self, to: Endpoint, frame: Frame) {
+        let env = Envelope {
+            src: self.me,
+            epoch: self.epoch,
+            frame,
+        };
+        let bytes = encode(&env, self.key);
+        let _ = self.control.send(&Packet::point(self.me, to, bytes));
+    }
+
+    fn heartbeat(&mut self, _now: Time) {
+        if self.fenced {
+            return;
+        }
+        let seq = self.hb_seq;
+        self.hb_seq += 1;
+        let peers = self.peers();
+        for p in &peers {
+            self.send_control(*p, Frame::Heartbeat { seq });
+        }
+        self.metrics
+            .heartbeats_sent
+            .fetch_add(peers.len() as u64, Ordering::Relaxed);
+        record(
+            &self.obs,
+            self.obs_shard,
+            self.tag,
+            self.me,
+            EventKind::Heartbeat,
+            Direction::Dn,
+            seq,
+        );
+    }
+
+    fn sweep(&mut self, now: Time) {
+        let newly = self.detector.sweep(now);
+        if newly.is_empty() {
+            return;
+        }
+        let vs = self
+            .view
+            .lock()
+            .expect("cluster view mutex poisoned: the driver thread panicked")
+            .clone();
+        let mut ranks = Vec::new();
+        for ep in newly {
+            self.metrics.suspicions.fetch_add(1, Ordering::Relaxed);
+            record(
+                &self.obs,
+                self.obs_shard,
+                self.tag,
+                ep,
+                EventKind::Suspect,
+                Direction::None,
+                now.0,
+            );
+            if let Some(r) = vs.rank_of(ep) {
+                ranks.push(r);
+            }
+        }
+        if ranks.is_empty() {
+            return;
+        }
+        if self.suspicion_at.is_none() {
+            self.suspicion_at = Some(now.0);
+        }
+        if vs.am_coord() {
+            // The acting coordinator's gmp will open the flush: this is
+            // where the new view is first proposed.
+            record(
+                &self.obs,
+                self.obs_shard,
+                self.tag,
+                self.me,
+                EventKind::ViewPropose,
+                Direction::Dn,
+                self.epoch + 1,
+            );
+        }
+        let _ = self.handle.suspect(ranks);
+    }
+
+    fn on_frame(&mut self, env: Envelope, now: Time) {
+        match env.frame {
+            Frame::Heartbeat { .. } => {
+                if self.fenced {
+                    return;
+                }
+                if env.epoch < self.epoch {
+                    // A stale member: tell it the group moved on.
+                    self.metrics.fences_sent.fetch_add(1, Ordering::Relaxed);
+                    self.send_control(env.src, Frame::Fence);
+                    let _ = self.events.send(ClusterEvent::FencedPeer {
+                        peer: env.src,
+                        epoch: env.epoch,
+                    });
+                } else if env.epoch == self.epoch {
+                    self.metrics
+                        .heartbeats_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.detector.heard(env.src, now);
+                    record(
+                        &self.obs,
+                        self.obs_shard,
+                        self.tag,
+                        env.src,
+                        EventKind::Heartbeat,
+                        Direction::Up,
+                        env.epoch,
+                    );
+                }
+                // A *newer* epoch means our own view change is still in
+                // flight; the stack will catch us up (or a Fence will).
+            }
+            Frame::Fence => {
+                if env.epoch > self.epoch && !self.fenced {
+                    self.fenced = true;
+                    self.metrics.fences_received.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.events.send(ClusterEvent::FencedBy {
+                        peer: env.src,
+                        epoch: env.epoch,
+                    });
+                }
+            }
+            Frame::Hello => {
+                // A joiner whose Welcome was lost retries its Hello; the
+                // seed answers idempotently. Unknown endpoints are
+                // fenced — rejoin needs a fresh incarnation and is out
+                // of scope for the initial rendezvous.
+                if let Some((rdv, members)) = &self.welcome {
+                    if members.contains(&env.src) {
+                        rdv.rewelcome(self.control.as_mut(), env.src, members);
+                        self.metrics.state_transfers.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.metrics.fences_sent.fetch_add(1, Ordering::Relaxed);
+                        self.send_control(env.src, Frame::Fence);
+                    }
+                }
+            }
+            Frame::Welcome { .. } => {} // already formed
+        }
+    }
+
+    fn on_delivery(&mut self, d: Delivery, now: Time) {
+        if let Delivery::View(vs) = &d {
+            self.epoch = vs.view_id.ltime;
+            *self
+                .view
+                .lock()
+                .expect("cluster view mutex poisoned: the driver thread panicked") = vs.clone();
+            self.detector.reset(&self.peers(), now);
+            self.metrics.views_installed.fetch_add(1, Ordering::Relaxed);
+            record(
+                &self.obs,
+                self.obs_shard,
+                self.tag,
+                self.me,
+                EventKind::ViewInstall,
+                Direction::None,
+                vs.view_id.ltime,
+            );
+            if let Some(t0) = self.suspicion_at.take() {
+                if self.obs.enabled() {
+                    self.obs.view_change_ns.record(now.0.saturating_sub(t0));
+                }
+            }
+        }
+        let _ = self.events.send(ClusterEvent::Delivery(d));
+    }
+}

@@ -1,0 +1,101 @@
+//! Cluster-level counters and their Prometheus exposition.
+
+use ensemble_obs::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one cluster member (driver thread writes, any
+/// thread reads).
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    /// Control heartbeats sent (one per peer per period).
+    pub heartbeats_sent: AtomicU64,
+    /// Control heartbeats accepted (current epoch, MAC verified).
+    pub heartbeats_received: AtomicU64,
+    /// Peers the detector reported suspected (once each per view).
+    pub suspicions: AtomicU64,
+    /// Views installed by the stack after formation.
+    pub views_installed: AtomicU64,
+    /// State snapshots shipped (seed) or installed (joiner).
+    pub state_transfers: AtomicU64,
+    /// Fence frames sent to stale-epoch peers.
+    pub fences_sent: AtomicU64,
+    /// Fence frames received (this member is behind the group).
+    pub fences_received: AtomicU64,
+    /// Control frames dropped for bad magic/version/MAC.
+    pub bad_frames: AtomicU64,
+}
+
+impl ClusterMetrics {
+    /// Renders the `ensemble_cluster_*` series in Prometheus text
+    /// exposition format.
+    pub fn render(&self) -> String {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut reg = Registry::new();
+        reg.set_int(
+            "ensemble_cluster_heartbeats_total",
+            &[("dir", "sent")],
+            ld(&self.heartbeats_sent),
+        );
+        reg.set_int(
+            "ensemble_cluster_heartbeats_total",
+            &[("dir", "recv")],
+            ld(&self.heartbeats_received),
+        );
+        reg.set_int(
+            "ensemble_cluster_suspicions_total",
+            &[],
+            ld(&self.suspicions),
+        );
+        reg.set_int(
+            "ensemble_cluster_views_installed_total",
+            &[],
+            ld(&self.views_installed),
+        );
+        reg.set_int(
+            "ensemble_cluster_state_transfers_total",
+            &[],
+            ld(&self.state_transfers),
+        );
+        reg.set_int(
+            "ensemble_cluster_fences_total",
+            &[("dir", "sent")],
+            ld(&self.fences_sent),
+        );
+        reg.set_int(
+            "ensemble_cluster_fences_total",
+            &[("dir", "recv")],
+            ld(&self.fences_received),
+        );
+        reg.set_int(
+            "ensemble_cluster_bad_frames_total",
+            &[],
+            ld(&self.bad_frames),
+        );
+        reg.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_contains_every_cluster_series() {
+        let m = ClusterMetrics::default();
+        m.heartbeats_sent.store(12, Ordering::Relaxed);
+        m.suspicions.store(1, Ordering::Relaxed);
+        let text = m.render();
+        for series in [
+            "ensemble_cluster_heartbeats_total{dir=\"sent\"} 12",
+            "ensemble_cluster_heartbeats_total{dir=\"recv\"} 0",
+            "ensemble_cluster_suspicions_total 1",
+            "ensemble_cluster_views_installed_total 0",
+            "ensemble_cluster_state_transfers_total 0",
+            "ensemble_cluster_fences_total{dir=\"sent\"}",
+            "ensemble_cluster_fences_total{dir=\"recv\"}",
+            "ensemble_cluster_bad_frames_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+    }
+}

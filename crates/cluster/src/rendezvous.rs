@@ -1,0 +1,228 @@
+//! Rendezvous: bootstrap a shared member map from one seed address.
+//!
+//! Joiners send signed `Hello` frames to the seed until a `Welcome`
+//! arrives; the seed collects Hellos until the expected membership is
+//! present, then Welcomes everyone with the agreed member list (sorted
+//! by endpoint — rank 0, the initial coordinator, is the lowest) plus an
+//! optional application snapshot ([`crate::StateProvider`]).
+//!
+//! Both sides are polled state machines with no thread or clock of their
+//! own: [`crate::ClusterNode::form`] drives them against real transports
+//! and wall-clock deadlines, and unit tests interleave `poll` calls on
+//! one thread for determinism. All frames are idempotent — a duplicated
+//! Hello re-registers the same joiner, a re-sent Welcome carries the
+//! same membership — so the exchange survives the loopback hub's
+//! duplicate/reorder faults and best-effort UDP.
+
+use crate::wire::{decode, encode, Envelope, Frame};
+use ensemble_runtime::Transport;
+use ensemble_transport::Packet;
+use ensemble_util::{Endpoint, Time};
+use std::collections::BTreeSet;
+
+/// The seed's half of rendezvous: collect Hellos, then Welcome everyone.
+pub struct SeedRendezvous {
+    me: Endpoint,
+    expected: usize,
+    key: u64,
+    snapshot: Vec<u8>,
+    joiners: BTreeSet<Endpoint>,
+    /// Frames that failed magic/version/MAC checks.
+    pub bad_frames: u64,
+}
+
+impl SeedRendezvous {
+    /// A seed expecting `expected` total members (including itself),
+    /// shipping `snapshot` to each joiner.
+    pub fn new(me: Endpoint, expected: usize, key: u64, snapshot: Vec<u8>) -> SeedRendezvous {
+        SeedRendezvous {
+            me,
+            expected,
+            key,
+            snapshot,
+            joiners: BTreeSet::new(),
+            bad_frames: 0,
+        }
+    }
+
+    /// Drains control ingress; once every expected joiner has said
+    /// Hello, Welcomes them all and returns the member list in rank
+    /// order. Keep polling after `Some` is returned only via
+    /// [`SeedRendezvous::rewelcome`] (the driver handles late Hellos).
+    pub fn poll(&mut self, control: &mut dyn Transport) -> Option<Vec<Endpoint>> {
+        while let Ok(Some(pkt)) = control.try_recv() {
+            match decode(&pkt.bytes, self.key) {
+                Ok(env) if matches!(env.frame, Frame::Hello) => {
+                    self.joiners.insert(env.src);
+                }
+                Ok(_) => {}
+                Err(_) => self.bad_frames += 1,
+            }
+        }
+        if self.joiners.len() + 1 < self.expected {
+            return None;
+        }
+        let mut members: Vec<Endpoint> = self.joiners.iter().copied().collect();
+        members.push(self.me);
+        members.sort();
+        for &j in &self.joiners {
+            self.welcome(control, j, &members);
+        }
+        Some(members)
+    }
+
+    /// Re-sends the Welcome to one joiner (a lost Welcome shows up as a
+    /// repeated Hello after formation).
+    pub fn rewelcome(&self, control: &mut dyn Transport, to: Endpoint, members: &[Endpoint]) {
+        self.welcome(control, to, members);
+    }
+
+    fn welcome(&self, control: &mut dyn Transport, to: Endpoint, members: &[Endpoint]) {
+        let env = Envelope {
+            src: self.me,
+            epoch: 0,
+            frame: Frame::Welcome {
+                members: members.to_vec(),
+                snapshot: self.snapshot.clone(),
+            },
+        };
+        let _ = control.send(&Packet::point(self.me, to, encode(&env, self.key)));
+    }
+}
+
+/// A joiner's half of rendezvous: Hello until Welcomed.
+pub struct JoinerRendezvous {
+    me: Endpoint,
+    seed: Endpoint,
+    key: u64,
+    retry_ns: u64,
+    next_hello: Time,
+    /// Frames that failed magic/version/MAC checks.
+    pub bad_frames: u64,
+}
+
+impl JoinerRendezvous {
+    /// A joiner that re-Hellos the seed every `retry_ns`.
+    pub fn new(me: Endpoint, seed: Endpoint, key: u64, retry_ns: u64) -> JoinerRendezvous {
+        JoinerRendezvous {
+            me,
+            seed,
+            key,
+            retry_ns,
+            next_hello: Time(0),
+            bad_frames: 0,
+        }
+    }
+
+    /// Sends a Hello when one is due and polls for the Welcome. Returns
+    /// the agreed membership and the seed's snapshot once Welcomed.
+    pub fn poll(
+        &mut self,
+        control: &mut dyn Transport,
+        now: Time,
+    ) -> Option<(Vec<Endpoint>, Vec<u8>)> {
+        if now >= self.next_hello {
+            let env = Envelope {
+                src: self.me,
+                epoch: 0,
+                frame: Frame::Hello,
+            };
+            let _ = control.send(&Packet::point(self.me, self.seed, encode(&env, self.key)));
+            self.next_hello = Time(now.0.saturating_add(self.retry_ns));
+        }
+        while let Ok(Some(pkt)) = control.try_recv() {
+            match decode(&pkt.bytes, self.key) {
+                Ok(Envelope {
+                    frame: Frame::Welcome { members, snapshot },
+                    ..
+                }) if members.contains(&self.me) => return Some((members, snapshot)),
+                Ok(_) => {}
+                Err(_) => self.bad_frames += 1,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_runtime::{FaultPlan, LoopbackHub};
+
+    const KEY: u64 = 0xA11CE;
+
+    /// Three nodes rendezvous deterministically on one thread by
+    /// interleaved polling — no real clock, no threads.
+    fn converge(hub: &LoopbackHub) -> (Vec<Endpoint>, Vec<u8>, Vec<u8>) {
+        let (e0, e1, e2) = (Endpoint::new(0), Endpoint::new(1), Endpoint::new(2));
+        let mut seed_t = hub.attach(e0);
+        let mut j1_t = hub.attach(e1);
+        let mut j2_t = hub.attach(e2);
+        let mut seed = SeedRendezvous::new(e0, 3, KEY, b"snapshot!".to_vec());
+        let mut j1 = JoinerRendezvous::new(e1, e0, KEY, 1_000);
+        let mut j2 = JoinerRendezvous::new(e2, e0, KEY, 1_000);
+        let (mut m0, mut r1, mut r2) = (None, None, None);
+        for step in 0..200u64 {
+            let now = Time(step * 500);
+            if r1.is_none() {
+                r1 = j1.poll(&mut j1_t, now);
+            }
+            if r2.is_none() {
+                r2 = j2.poll(&mut j2_t, now);
+            }
+            if m0.is_none() {
+                m0 = seed.poll(&mut seed_t);
+            }
+            if m0.is_some() && r1.is_some() && r2.is_some() {
+                break;
+            }
+        }
+        let m0 = m0.expect("seed forms");
+        let (m1, s1) = r1.expect("joiner 1 welcomed");
+        let (m2, s2) = r2.expect("joiner 2 welcomed");
+        assert_eq!(m0, m1);
+        assert_eq!(m0, m2);
+        (m0, s1, s2)
+    }
+
+    #[test]
+    fn three_nodes_agree_on_sorted_membership_and_snapshot() {
+        let hub = LoopbackHub::new(11);
+        let (members, s1, s2) = converge(&hub);
+        assert_eq!(
+            members,
+            vec![Endpoint::new(0), Endpoint::new(1), Endpoint::new(2)],
+            "rank order is sorted by endpoint; rank 0 is the coordinator"
+        );
+        assert_eq!(s1, b"snapshot!");
+        assert_eq!(s2, b"snapshot!");
+    }
+
+    #[test]
+    fn rendezvous_survives_duplication_and_reordering() {
+        let hub = LoopbackHub::with_faults(7, FaultPlan::lossy(0.0, 0.3, 0.3));
+        let (members, s1, _) = converge(&hub);
+        assert_eq!(members.len(), 3);
+        assert_eq!(s1, b"snapshot!");
+    }
+
+    #[test]
+    fn unsigned_traffic_is_counted_and_ignored() {
+        let hub = LoopbackHub::new(3);
+        let (e0, e1) = (Endpoint::new(0), Endpoint::new(1));
+        let mut seed_t = hub.attach(e0);
+        let mut rogue = hub.attach(e1);
+        let mut seed = SeedRendezvous::new(e0, 2, KEY, Vec::new());
+        // A Hello signed with the wrong key never registers.
+        let env = Envelope {
+            src: e1,
+            epoch: 0,
+            frame: Frame::Hello,
+        };
+        rogue
+            .send(&Packet::point(e1, e0, encode(&env, KEY ^ 1)))
+            .unwrap();
+        assert!(seed.poll(&mut seed_t).is_none());
+        assert_eq!(seed.bad_frames, 1);
+    }
+}

@@ -110,11 +110,17 @@ impl Layer for Suspect {
                 msg.push_frame(Frame::NoHdr);
                 out.dn(ev);
             }
-            // The application can declare suspicion directly.
+            // The application can declare suspicion directly. Ranks may
+            // be stale — named under a view that changed before the
+            // event reached the stack — so anything out of range for
+            // this view is ignored rather than trusted.
             DnEvent::Suspect { ranks } => {
                 let mut newly = Vec::new();
                 for r in ranks.iter() {
-                    if !self.suspected[r.index()] && *r != self.my_rank {
+                    if r.index() < self.suspected.len()
+                        && !self.suspected[r.index()]
+                        && *r != self.my_rank
+                    {
                         self.suspected[r.index()] = true;
                         newly.push(*r);
                     }

@@ -58,6 +58,12 @@ pub enum EventKind {
     HandlerRun = 16,
     /// Anything else.
     Other = 17,
+    /// A cluster heartbeat frame was sent (or received; see `dir`).
+    Heartbeat = 18,
+    /// A coordinator proposed a new view (flush began).
+    ViewPropose = 19,
+    /// A state snapshot was shipped to (or installed by) a joiner.
+    StateTransfer = 20,
 }
 
 impl EventKind {
@@ -81,6 +87,9 @@ impl EventKind {
             14 => Block,
             15 => Exit,
             16 => HandlerRun,
+            18 => Heartbeat,
+            19 => ViewPropose,
+            20 => StateTransfer,
             _ => Other,
         }
     }
@@ -107,6 +116,9 @@ impl EventKind {
             Exit => "exit",
             HandlerRun => "handler_run",
             Other => "other",
+            Heartbeat => "heartbeat",
+            ViewPropose => "view_propose",
+            StateTransfer => "state_transfer",
         }
     }
 }
@@ -456,6 +468,33 @@ mod tests {
             seqno,
             ccp: CcpFailure::None,
             aux: seqno * 3,
+        }
+    }
+
+    #[test]
+    fn cluster_kinds_roundtrip_through_the_packed_encoding() {
+        let r = Recorder::new(1, 16);
+        let tag = r.register("cluster");
+        for (kind, name) in [
+            (EventKind::Heartbeat, "heartbeat"),
+            (EventKind::ViewPropose, "view_propose"),
+            (EventKind::StateTransfer, "state_transfer"),
+        ] {
+            assert_eq!(kind.name(), name);
+            r.record(
+                0,
+                &Event {
+                    t_ns: 1,
+                    layer: tag,
+                    kind,
+                    dir: Direction::None,
+                    group: 0,
+                    seqno: 0,
+                    ccp: CcpFailure::None,
+                    aux: 0,
+                },
+            );
+            assert_eq!(r.drain()[0].kind, kind, "{name} survives the ring");
         }
     }
 

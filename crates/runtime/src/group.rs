@@ -43,6 +43,20 @@ use ensemble_util::{Counters, Endpoint, Rank, Time};
 /// Most out-of-order compressed packets parked awaiting their gap fill.
 const STASH_LIMIT: usize = 128;
 
+/// Most application sends parked during a flush window. Beyond this the
+/// oldest parked message is dropped (the application outran the view
+/// change; backpressure should have throttled it long before).
+const PARK_LIMIT: usize = 4096;
+
+/// An application message parked while the stack is blocked (flush
+/// window). Sends remember the destination *endpoint*, not its rank: the
+/// new view reranks survivors, so the rank is remapped at replay.
+#[derive(Clone, Debug)]
+enum Parked {
+    Cast(Vec<u8>),
+    Send(Endpoint, Vec<u8>),
+}
+
 /// Where in the group a trace event originated. The core knows layers by
 /// index only; the worker resolves indices to names (and pseudo-layers to
 /// the `app` / `bypass` / `engine` tags) when folding events into the
@@ -160,6 +174,15 @@ pub struct GroupCore {
     bypass: Option<StackBypass>,
     /// Out-of-order compressed packets: `(origin rank, bytes, is_cast)`.
     stash: Vec<(u16, Vec<u8>, bool)>,
+    /// The stack asked the application to stop sending (flush window).
+    /// While set, application casts/sends are parked, not injected: a
+    /// message entering the stack after its `FlushOk` row was reported
+    /// would be missing from the agreed cut and could be lost or
+    /// delivered inconsistently across the view change.
+    blocked: bool,
+    /// Messages parked during the flush window, replayed through the
+    /// fresh stack right after the new view installs.
+    parked: Vec<Parked>,
     bypass_hits: u64,
     bypass_misses: u64,
     cost: Counters,
@@ -191,6 +214,8 @@ impl GroupCore {
             alive: true,
             bypass: None,
             stash: Vec::new(),
+            blocked: false,
+            parked: Vec::new(),
             bypass_hits: 0,
             bypass_misses: 0,
             cost: Counters::zero(),
@@ -226,6 +251,32 @@ impl GroupCore {
     /// Whether a bypass is currently installed.
     pub fn has_bypass(&self) -> bool {
         self.bypass.is_some()
+    }
+
+    /// Whether the stack is in a flush window (sends are being parked).
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
+    }
+
+    /// Messages currently parked awaiting the next view.
+    pub fn parked_depth(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Parks one application message for replay after the view change.
+    fn park(&mut self, now: Time, p: Parked) {
+        if self.parked.len() >= PARK_LIMIT {
+            self.parked.remove(0);
+        }
+        self.parked.push(p);
+        self.trace(
+            now,
+            CoreLayer::App,
+            EventKind::StashPark,
+            Direction::Dn,
+            CcpFailure::None,
+            self.parked.len() as u64,
+        );
     }
 
     /// Takes and resets the bypass hit/miss deltas.
@@ -321,6 +372,10 @@ impl GroupCore {
             CcpFailure::None,
             payload.len() as u64,
         );
+        if self.blocked {
+            self.park(now, Parked::Cast(payload.to_vec()));
+            return out;
+        }
         if self.bypass.is_some() {
             let p = Payload::from_slice(payload);
             let result = self
@@ -364,6 +419,11 @@ impl GroupCore {
             CcpFailure::None,
             payload.len() as u64,
         );
+        if self.blocked {
+            let dst_ep = self.vs.endpoint_of(dst);
+            self.park(now, Parked::Send(dst_ep, payload.to_vec()));
+            return out;
+        }
         if self.bypass.is_some() {
             let p = Payload::from_slice(payload);
             let result = self
@@ -718,6 +778,7 @@ impl GroupCore {
                 }
                 UpEvent::View(vs) => self.install_view(now, vs, out),
                 UpEvent::Block => {
+                    self.blocked = true;
                     self.trace(
                         now,
                         CoreLayer::Engine,
@@ -730,6 +791,8 @@ impl GroupCore {
                 }
                 UpEvent::Exit => {
                     self.alive = false;
+                    self.blocked = false;
+                    self.parked.clear();
                     self.trace(
                         now,
                         CoreLayer::Engine,
@@ -763,6 +826,7 @@ impl GroupCore {
         self.generation += 1;
         self.bypass = None;
         self.stash.clear();
+        self.blocked = false;
         let mut engine = self
             .kind
             .build(make_stack(&self.names, &vs, &self.cfg).expect("stack built once already"));
@@ -771,6 +835,43 @@ impl GroupCore {
         self.vs = vs.clone();
         out.push(Action::Deliver(Delivery::View(vs)));
         self.route(now, boundary, out);
+        self.replay_parked(now, out);
+    }
+
+    /// Replays messages parked during the flush window through the fresh
+    /// stack: they are delivered exactly once, in the new view, in the
+    /// order the application issued them. Sends whose destination left
+    /// the group are dropped (the peer is gone).
+    fn replay_parked(&mut self, now: Time, out: &mut Vec<Action>) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.parked);
+        for p in parked {
+            // A replayed message may hit a new Block (back-to-back view
+            // changes): `cast`/`send` re-park it for the next view.
+            self.trace(
+                now,
+                CoreLayer::App,
+                EventKind::StashReplay,
+                Direction::Dn,
+                CcpFailure::None,
+                self.parked.len() as u64,
+            );
+            match p {
+                Parked::Cast(bytes) => {
+                    let mut acts = self.cast(now, &bytes);
+                    out.append(&mut acts);
+                }
+                Parked::Send(dst_ep, bytes) => {
+                    let Some(dst) = self.vs.rank_of(dst_ep) else {
+                        continue; // Destination excluded from the new view.
+                    };
+                    let mut acts = self.send(now, dst, &bytes);
+                    out.append(&mut acts);
+                }
+            }
+        }
     }
 }
 
@@ -863,6 +964,228 @@ mod tests {
             vec![(0, b"first".to_vec()), (0, b"second".to_vec())],
             "stash replays in order after the gap fills"
         );
+    }
+
+    fn vsync_core(rank: u16, n: usize) -> (GroupCore, Vec<Action>) {
+        let vs = ViewState::initial(n).for_rank(Rank(rank));
+        GroupCore::new(
+            ensemble_layers::STACK_VSYNC,
+            vs,
+            EngineKind::Imp,
+            LayerConfig::fast(),
+            Time::ZERO,
+        )
+        .unwrap()
+    }
+
+    /// Shuttles packets between cores (skipping `dead` endpoints) until
+    /// quiescent, appending each core's deliveries to `sink`.
+    fn pump(
+        cores: &mut [GroupCore],
+        dead: &[u32],
+        pending: &mut std::collections::VecDeque<Packet>,
+        sink: &mut [Vec<Delivery>],
+    ) {
+        while let Some(pkt) = pending.pop_front() {
+            if dead.contains(&pkt.src.id()) {
+                continue;
+            }
+            let targets: Vec<usize> = match pkt.dst {
+                Dest::Cast => (0..cores.len())
+                    .filter(|&i| {
+                        cores[i].endpoint() != pkt.src && !dead.contains(&cores[i].endpoint().id())
+                    })
+                    .collect(),
+                Dest::Point(dst) => (0..cores.len())
+                    .filter(|&i| cores[i].endpoint() == dst && !dead.contains(&dst.id()))
+                    .collect(),
+            };
+            for i in targets {
+                let acts = cores[i].deliver_packet(Time::ZERO, pkt.clone());
+                for a in acts {
+                    match a {
+                        Action::Transmit(p) => pending.push_back(p),
+                        Action::Deliver(d) => sink[i].push(d),
+                        Action::Timer { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers the currently pending packets only, collecting the
+    /// responses into a fresh queue — lets a test observe mid-flush state.
+    fn pump_one_level(
+        cores: &mut [GroupCore],
+        dead: &[u32],
+        pending: &mut std::collections::VecDeque<Packet>,
+        sink: &mut [Vec<Delivery>],
+    ) {
+        let mut next = std::collections::VecDeque::new();
+        while let Some(pkt) = pending.pop_front() {
+            if dead.contains(&pkt.src.id()) {
+                continue;
+            }
+            let targets: Vec<usize> = match pkt.dst {
+                Dest::Cast => (0..cores.len())
+                    .filter(|&i| {
+                        cores[i].endpoint() != pkt.src && !dead.contains(&cores[i].endpoint().id())
+                    })
+                    .collect(),
+                Dest::Point(dst) => (0..cores.len())
+                    .filter(|&i| cores[i].endpoint() == dst && !dead.contains(&dst.id()))
+                    .collect(),
+            };
+            for i in targets {
+                let acts = cores[i].deliver_packet(Time::ZERO, pkt.clone());
+                for a in acts {
+                    match a {
+                        Action::Transmit(p) => next.push_back(p),
+                        Action::Deliver(d) => sink[i].push(d),
+                        Action::Timer { .. } => {}
+                    }
+                }
+            }
+        }
+        *pending = next;
+    }
+
+    fn split(
+        actions: Vec<Action>,
+        pending: &mut std::collections::VecDeque<Packet>,
+        sink: &mut Vec<Delivery>,
+    ) {
+        for a in actions {
+            match a {
+                Action::Transmit(p) => pending.push_back(p),
+                Action::Deliver(d) => sink.push(d),
+                Action::Timer { .. } => {}
+            }
+        }
+    }
+
+    fn cast_bodies(deliveries: &[Delivery]) -> Vec<(u32, Vec<u8>)> {
+        deliveries
+            .iter()
+            .filter_map(|d| match d {
+                Delivery::Cast { origin, bytes } => Some((*origin, bytes.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn views(deliveries: &[Delivery]) -> Vec<ViewState> {
+        deliveries
+            .iter()
+            .filter_map(|d| match d {
+                Delivery::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_casts_park_and_replay_exactly_once_in_new_view() {
+        let (mut c0, _) = vsync_core(0, 3);
+        let (c1, _) = vsync_core(1, 3);
+        let mut pending = std::collections::VecDeque::new();
+        let mut sink = vec![Vec::new(), Vec::new()];
+
+        // The coordinator suspects member 2 (dead): flush begins and the
+        // coordinator blocks synchronously.
+        let acts = c0.suspect(Time::ZERO, vec![Rank(2)]);
+        split(acts, &mut pending, &mut sink[0]);
+        assert!(c0.is_blocked(), "coordinator enters the flush window");
+        assert!(
+            sink[0].contains(&Delivery::Block),
+            "Block surfaced to the app"
+        );
+
+        // A cast issued inside the window parks instead of entering the
+        // old stack (it would miss the agreed cut).
+        let acts = c0.cast(Time::ZERO, b"during-0");
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Transmit(_))),
+            "blocked cast must not transmit"
+        );
+        assert_eq!(c0.parked_depth(), 1);
+
+        // Let the Flush reach member 1, which blocks too; its own cast
+        // during the window also parks. A single pump level delivers
+        // core0's outgoing frames without yet returning the responses.
+        let mut cores = [c0, c1];
+        pump_one_level(&mut cores, &[2], &mut pending, &mut sink);
+        assert!(cores[1].is_blocked(), "member blocks on Flush");
+        let acts = cores[1].cast(Time::ZERO, b"during-1");
+        assert!(!acts.iter().any(|a| matches!(a, Action::Transmit(_))));
+        assert_eq!(cores[1].parked_depth(), 1);
+
+        // Drive the flush to completion: new view on both survivors, and
+        // the parked casts replay through the fresh stacks.
+        pump(&mut cores, &[2], &mut pending, &mut sink);
+        for (i, s) in sink.iter().enumerate() {
+            let v = views(s);
+            assert_eq!(v.len(), 1, "core {i} installs exactly one new view");
+            assert_eq!(v[0].nmembers(), 2, "core {i}");
+        }
+        assert_eq!(
+            views(&sink[0])[0].view_id,
+            views(&sink[1])[0].view_id,
+            "survivors agree on the new view"
+        );
+        // Exactly-once: each parked cast delivered once per survivor
+        // (vsync includes `local`, so senders deliver their own casts).
+        for (i, s) in sink.iter().enumerate() {
+            let bodies = cast_bodies(s);
+            assert_eq!(
+                bodies.iter().filter(|(_, b)| b == b"during-0").count(),
+                1,
+                "core {i}: {bodies:?}"
+            );
+            assert_eq!(
+                bodies.iter().filter(|(_, b)| b == b"during-1").count(),
+                1,
+                "core {i}: {bodies:?}"
+            );
+        }
+        assert!(!cores[0].is_blocked(), "window closes at install");
+        assert_eq!(cores[0].parked_depth(), 0);
+    }
+
+    #[test]
+    fn parked_send_remaps_endpoint_to_new_rank() {
+        // Members 0,1,2; member 1 dies, so ep2 reranks from 2 to 1.
+        let (mut c0, _) = vsync_core(0, 3);
+        let (c2, _) = vsync_core(2, 3);
+        let mut pending = std::collections::VecDeque::new();
+        let mut sink = vec![Vec::new(), Vec::new()];
+
+        let acts = c0.suspect(Time::ZERO, vec![Rank(1)]);
+        split(acts, &mut pending, &mut sink[0]);
+        assert!(c0.is_blocked());
+        // Parked send to old Rank(2) == ep2 (reranked after the change),
+        // and one to the dead member (dropped at replay).
+        c0.send(Time::ZERO, Rank(2), b"to-ep2");
+        c0.send(Time::ZERO, Rank(1), b"to-dead");
+        assert_eq!(c0.parked_depth(), 2);
+
+        let mut cores = [c0, c2];
+        pump(&mut cores, &[1], &mut pending, &mut sink);
+        let v = views(&sink[1]);
+        assert_eq!(v.len(), 1);
+        let sends: Vec<&Delivery> = sink[1]
+            .iter()
+            .filter(|d| matches!(d, Delivery::Send { .. }))
+            .collect();
+        assert_eq!(
+            sends,
+            vec![&Delivery::Send {
+                origin: 0,
+                bytes: b"to-ep2".to_vec()
+            }],
+            "send remapped to ep2's new rank; send to the dead member dropped"
+        );
+        assert_eq!(cores[0].parked_depth(), 0);
     }
 
     #[test]

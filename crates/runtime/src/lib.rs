@@ -58,8 +58,10 @@ pub mod udp;
 
 pub use group::{Action, BypassError, CoreEvent, CoreLayer, Delivery, GroupCore};
 pub use metrics::{RuntimeStats, ShardMetrics, ShardSnapshot};
-pub use node::{GroupHandle, Node, RuntimeConfig, RuntimeError};
+pub use node::{GroupHandle, GroupSender, Node, RuntimeConfig, RuntimeError};
 pub use obs::NodeObs;
 pub use timer::TimerWheel;
-pub use transport::{FaultCounts, FaultPlan, LoopbackHub, LoopbackTransport, Transport};
+pub use transport::{
+    FaultCounts, FaultPlan, LoopbackHub, LoopbackTransport, Transport, TransportIoErrors, Waker,
+};
 pub use udp::UdpTransport;

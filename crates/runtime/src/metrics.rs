@@ -33,6 +33,13 @@ pub struct ShardMetrics {
     pub cmd_depth: AtomicU64,
     /// Deliveries queued for applications, not yet consumed.
     pub delivery_depth: AtomicU64,
+    /// Parker wakeups after which the worker's next iteration found no
+    /// work (the notification raced with a drain, or was redundant).
+    pub spurious_wakeups: AtomicU64,
+    /// Socket send errors reported by this shard's transports.
+    pub transport_send_errors: AtomicU64,
+    /// Socket recv errors reported by this shard's transports.
+    pub transport_recv_errors: AtomicU64,
     /// Modeled instruction cost of bypass hits (compiled program sizes).
     pub cost_instructions: AtomicU64,
     /// Layer-boundary crossings taken by generic-path events.
@@ -61,6 +68,9 @@ impl ShardMetrics {
             retransmits: ld(&self.retransmits),
             cmd_depth: ld(&self.cmd_depth),
             delivery_depth: ld(&self.delivery_depth),
+            spurious_wakeups: ld(&self.spurious_wakeups),
+            transport_send_errors: ld(&self.transport_send_errors),
+            transport_recv_errors: ld(&self.transport_recv_errors),
             model_cost: Counters {
                 instructions: ld(&self.cost_instructions),
                 data_refs: ld(&self.cost_data_refs),
@@ -108,6 +118,12 @@ pub struct ShardSnapshot {
     pub cmd_depth: u64,
     /// Pending application deliveries.
     pub delivery_depth: u64,
+    /// Parker wakeups that found no work on the next iteration.
+    pub spurious_wakeups: u64,
+    /// Socket send errors from this shard's transports.
+    pub transport_send_errors: u64,
+    /// Socket recv errors from this shard's transports.
+    pub transport_recv_errors: u64,
     /// Model-level cost counters (same vocabulary as Table 2(a)).
     pub model_cost: Counters,
 }
@@ -148,6 +164,9 @@ impl RuntimeStats {
             t.retransmits += s.retransmits;
             t.cmd_depth += s.cmd_depth;
             t.delivery_depth += s.delivery_depth;
+            t.spurious_wakeups += s.spurious_wakeups;
+            t.transport_send_errors += s.transport_send_errors;
+            t.transport_recv_errors += s.transport_recv_errors;
             t.model_cost.merge(&s.model_cost);
         }
         t
@@ -159,7 +178,7 @@ impl fmt::Display for RuntimeStats {
         for s in &self.shards {
             writeln!(
                 f,
-                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={}",
+                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={}",
                 s.shard,
                 s.groups,
                 s.msgs_in,
@@ -171,12 +190,15 @@ impl fmt::Display for RuntimeStats {
                 s.retransmits,
                 s.cmd_depth,
                 s.delivery_depth,
+                s.spurious_wakeups,
+                s.transport_send_errors,
+                s.transport_recv_errors,
             )?;
         }
         let t = self.totals();
         write!(
             f,
-            "total: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} cost: {}",
+            "total: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={} cost: {}",
             t.groups,
             t.msgs_in,
             t.msgs_out,
@@ -187,6 +209,9 @@ impl fmt::Display for RuntimeStats {
             t.retransmits,
             t.cmd_depth,
             t.delivery_depth,
+            t.spurious_wakeups,
+            t.transport_send_errors,
+            t.transport_recv_errors,
             t.model_cost
         )
     }
@@ -244,6 +269,28 @@ mod tests {
         assert_eq!(s.model_cost.dispatches, 8);
         assert_eq!(s.model_cost.data_refs, 6, "data_refs must not be dropped");
         assert_eq!(s.model_cost.branches, 4, "branches must not be dropped");
+    }
+
+    #[test]
+    fn io_error_and_wakeup_counters_flow_to_totals_and_display() {
+        let m = ShardMetrics::default();
+        m.spurious_wakeups.fetch_add(4, Ordering::Relaxed);
+        m.transport_send_errors.fetch_add(2, Ordering::Relaxed);
+        m.transport_recv_errors.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot(0);
+        assert_eq!(s.spurious_wakeups, 4);
+        assert_eq!(s.transport_send_errors, 2);
+        assert_eq!(s.transport_recv_errors, 1);
+        let stats = RuntimeStats { shards: vec![s, s] };
+        let t = stats.totals();
+        assert_eq!(t.spurious_wakeups, 8);
+        assert_eq!(t.transport_send_errors, 4);
+        assert_eq!(t.transport_recv_errors, 2);
+        let text = format!("{stats}");
+        assert!(
+            text.lines().last().unwrap().contains("ioerr snd=4 rcv=2"),
+            "got: {text}"
+        );
     }
 
     #[test]

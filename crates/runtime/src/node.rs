@@ -19,7 +19,7 @@ use crate::group::{Action, CoreEvent, CoreLayer, Delivery, GroupCore};
 use crate::metrics::{RuntimeStats, ShardMetrics};
 use crate::obs::NodeObs;
 use crate::timer::TimerWheel;
-use crate::transport::Transport;
+use crate::transport::{Transport, Waker};
 use ensemble_layers::LayerConfig;
 use ensemble_obs::{now_ns, Event, EventKind, Histogram, Tag};
 use ensemble_stack::EngineKind;
@@ -40,7 +40,9 @@ pub struct RuntimeConfig {
     pub delivery_capacity: usize,
     /// Commands / packets drained per group per loop iteration.
     pub batch: usize,
-    /// Sleep when a loop iteration did no work.
+    /// Longest a worker parks when a loop iteration did no work. Handles
+    /// and waker-aware transports (the loopback hub) wake the worker
+    /// early; this bound keeps polled transports (UDP) and timers live.
     pub idle_sleep: std::time::Duration,
     /// Structured tracing + latency histograms ([`Node::obs`]). The cost
     /// when off is one branch per event; when on, a handful of relaxed
@@ -167,6 +169,7 @@ pub struct GroupHandle {
     cmd_tx: SyncSender<Command>,
     delivery_rx: Receiver<Delivery>,
     metrics: Arc<ShardMetrics>,
+    waker: Arc<Waker>,
 }
 
 impl GroupHandle {
@@ -180,12 +183,27 @@ impl GroupHandle {
         self.rank
     }
 
+    /// A cloneable send-only handle for this group, so one thread can own
+    /// `recv` while others cast/send (e.g. a cluster driver draining
+    /// deliveries while the application keeps publishing).
+    pub fn sender(&self) -> GroupSender {
+        GroupSender {
+            ep: self.ep,
+            rank: self.rank,
+            cmd_tx: self.cmd_tx.clone(),
+            metrics: Arc::clone(&self.metrics),
+            waker: Arc::clone(&self.waker),
+        }
+    }
+
     fn command(&self, c: Command) -> Result<(), RuntimeError> {
         self.metrics.cmd_depth.fetch_add(1, Ordering::Relaxed);
         self.cmd_tx.send(c).map_err(|_| {
             self.metrics.cmd_depth.fetch_sub(1, Ordering::Relaxed);
             RuntimeError::Closed
-        })
+        })?;
+        self.waker.wake();
+        Ok(())
     }
 
     /// Multicasts `payload` to the group (blocks on a full queue).
@@ -248,9 +266,65 @@ impl GroupHandle {
     }
 }
 
+/// A send-only, cloneable handle to a joined group (no delivery side).
+///
+/// Obtained from [`GroupHandle::sender`]. Commands share the group's
+/// bounded queue, so the backpressure notes on [`GroupHandle`] apply.
+#[derive(Clone)]
+pub struct GroupSender {
+    ep: Endpoint,
+    rank: Rank,
+    cmd_tx: SyncSender<Command>,
+    metrics: Arc<ShardMetrics>,
+    waker: Arc<Waker>,
+}
+
+impl GroupSender {
+    /// This member's endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.ep
+    }
+
+    /// This member's rank in the initial view.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn command(&self, c: Command) -> Result<(), RuntimeError> {
+        self.metrics.cmd_depth.fetch_add(1, Ordering::Relaxed);
+        self.cmd_tx.send(c).map_err(|_| {
+            self.metrics.cmd_depth.fetch_sub(1, Ordering::Relaxed);
+            RuntimeError::Closed
+        })?;
+        self.waker.wake();
+        Ok(())
+    }
+
+    /// Multicasts `payload` to the group (blocks on a full queue).
+    pub fn cast(&self, payload: &[u8]) -> Result<(), RuntimeError> {
+        self.command(Command::Cast(payload.to_vec()))
+    }
+
+    /// Sends `payload` point-to-point to `dst` (blocks on a full queue).
+    pub fn send(&self, dst: Rank, payload: &[u8]) -> Result<(), RuntimeError> {
+        self.command(Command::Send(dst, payload.to_vec()))
+    }
+
+    /// Asks the stack to suspect `ranks`.
+    pub fn suspect(&self, ranks: Vec<Rank>) -> Result<(), RuntimeError> {
+        self.command(Command::Suspect(ranks))
+    }
+
+    /// Gracefully leaves the group.
+    pub fn leave(&self) -> Result<(), RuntimeError> {
+        self.command(Command::Leave)
+    }
+}
+
 struct Shard {
     join_tx: Sender<JoinSpec>,
     metrics: Arc<ShardMetrics>,
+    waker: Arc<Waker>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -268,22 +342,28 @@ impl Node {
     pub fn new(cfg: RuntimeConfig) -> Node {
         let stop = Arc::new(AtomicBool::new(false));
         let workers = cfg.workers.max(1);
-        let obs = Arc::new(NodeObs::new(cfg.obs, workers, cfg.obs_ring_capacity));
+        // One ring per shard worker plus one auxiliary ring for a single
+        // non-worker writer (the cluster driver) — the recorder's
+        // single-writer-per-ring discipline holds for all of them.
+        let obs = Arc::new(NodeObs::new(cfg.obs, workers + 1, cfg.obs_ring_capacity));
         let mut shards = Vec::with_capacity(workers);
         for shard_id in 0..workers {
             let (join_tx, join_rx) = mpsc::channel::<JoinSpec>();
             let metrics = Arc::new(ShardMetrics::default());
+            let waker = Arc::new(Waker::new());
             let m = Arc::clone(&metrics);
             let s = Arc::clone(&stop);
             let c = cfg.clone();
             let o = Arc::clone(&obs);
+            let w = Arc::clone(&waker);
             let worker = std::thread::Builder::new()
                 .name(format!("ensemble-shard-{shard_id}"))
-                .spawn(move || worker_loop(shard_id, join_rx, m, s, c, o))
+                .spawn(move || worker_loop(shard_id, join_rx, m, s, c, o, w))
                 .expect("failed to spawn shard worker OS thread (resource limit?)");
             shards.push(Shard {
                 join_tx,
                 metrics,
+                waker,
                 worker: Some(worker),
             });
         }
@@ -311,6 +391,19 @@ impl Node {
     /// The node's observability surface: flight recorder + histograms.
     pub fn obs(&self) -> &NodeObs {
         &self.obs
+    }
+
+    /// A clone of the obs handle, for a driver thread that outlives
+    /// borrows of the node.
+    pub fn obs_arc(&self) -> Arc<NodeObs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// The ring index reserved for a single auxiliary (non-worker)
+    /// recorder writer, e.g. a cluster driver thread. At most one thread
+    /// may record into it.
+    pub fn aux_obs_shard(&self) -> usize {
+        self.shards.len()
     }
 
     /// Renders current metrics in Prometheus text exposition format.
@@ -349,6 +442,7 @@ impl Node {
             .join_tx
             .send(spec)
             .map_err(|_| RuntimeError::Closed)?;
+        self.shards[shard].waker.wake();
         match built_rx.recv() {
             Ok(Ok(())) => Ok(GroupHandle {
                 ep,
@@ -356,6 +450,7 @@ impl Node {
                 cmd_tx,
                 delivery_rx,
                 metrics: Arc::clone(&self.shards[shard].metrics),
+                waker: Arc::clone(&self.shards[shard].waker),
             }),
             Ok(Err(_)) | Err(_) => Err(RuntimeError::Rejected),
         }
@@ -376,6 +471,9 @@ impl Node {
     /// Stops the workers and joins them.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        for s in &self.shards {
+            s.waker.wake();
+        }
         for s in &mut self.shards {
             if let Some(w) = s.worker.take() {
                 let _ = w.join();
@@ -398,6 +496,7 @@ fn worker_loop(
     stop: Arc<AtomicBool>,
     cfg: RuntimeConfig,
     obs: Arc<NodeObs>,
+    waker: Arc<Waker>,
 ) {
     let mut groups: Vec<GroupSlot> = Vec::new();
     let mut wheel: TimerWheel<(usize, usize, u64)> = TimerWheel::new(Time(now_ns()));
@@ -405,14 +504,18 @@ fn worker_loop(
     let mut actions: Vec<Action> = Vec::new();
     let mut events: Vec<CoreEvent> = Vec::new();
     let obs_on = obs.enabled();
+    // True when the previous park was ended by a wake: if this iteration
+    // then finds no work, that wake was spurious (raced with a drain).
+    let mut woke = false;
 
     while !stop.load(Ordering::Relaxed) {
         let mut busy = false;
         let now = Time(now_ns());
 
         // 1. Accept new groups.
-        while let Ok(spec) = join_rx.try_recv() {
+        while let Ok(mut spec) = join_rx.try_recv() {
             busy = true;
+            spec.transport.set_waker(Arc::clone(&waker));
             match GroupCore::new(&spec.names, spec.vs, spec.kind, spec.cfg, now) {
                 Ok((mut core, init_actions)) => {
                     core.set_tracing(obs_on);
@@ -594,11 +697,26 @@ fn worker_loop(
             if cost != ensemble_util::Counters::zero() {
                 metrics.add_cost(&cost);
             }
+            let io = g.transport.take_io_errors();
+            if !io.is_zero() {
+                metrics
+                    .transport_send_errors
+                    .fetch_add(io.send, Ordering::Relaxed);
+                metrics
+                    .transport_recv_errors
+                    .fetch_add(io.recv, Ordering::Relaxed);
+            }
         }
 
-        // 5. Idle.
+        // 5. Idle: park until woken (command, join, loopback delivery) or
+        // until the timeout that keeps polled transports and timers live.
         if !busy {
-            std::thread::sleep(cfg.idle_sleep);
+            if woke {
+                metrics.spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+            woke = waker.park(cfg.idle_sleep);
+        } else {
+            woke = false;
         }
     }
 }

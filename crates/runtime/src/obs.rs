@@ -42,6 +42,9 @@ pub struct NodeObs {
     /// Per-layer handler time, keyed by layer name (timer fires here;
     /// the layer harness contributes finer spans in unit tests).
     pub layer_handler_ns: HistogramVec,
+    /// View-change latency: first local suspicion to the new view's
+    /// installation, recorded by the cluster driver.
+    pub view_change_ns: Histogram,
 }
 
 impl NodeObs {
@@ -56,6 +59,7 @@ impl NodeObs {
             handler_ns: Histogram::new(),
             timer_lateness_ns: Histogram::new(),
             layer_handler_ns: HistogramVec::new(),
+            view_change_ns: Histogram::new(),
         }
     }
 
@@ -88,6 +92,18 @@ impl NodeObs {
             let q = |k: &'static str| [("shard", shard.as_str()), ("queue", k)];
             reg.set_int("ensemble_queue_depth", &q("cmd"), s.cmd_depth);
             reg.set_int("ensemble_queue_depth", &q("delivery"), s.delivery_depth);
+            reg.set_int("ensemble_spurious_wakeups_total", &only, s.spurious_wakeups);
+            let e = |k: &'static str| [("shard", shard.as_str()), ("kind", k)];
+            reg.set_int(
+                "ensemble_transport_errors_total",
+                &e("send"),
+                s.transport_send_errors,
+            );
+            reg.set_int(
+                "ensemble_transport_errors_total",
+                &e("recv"),
+                s.transport_recv_errors,
+            );
         }
         let cost = stats.totals().model_cost;
         for (counter, v) in [
@@ -113,6 +129,11 @@ impl NodeObs {
         for (layer, summary) in self.layer_handler_ns.summaries() {
             reg.histogram("ensemble_layer_handler_ns", &[("layer", layer)], &summary);
         }
+        reg.histogram(
+            "ensemble_view_change_ns",
+            &[],
+            &self.view_change_ns.summary(),
+        );
         reg.set_int("ensemble_trace_events_total", &[], self.recorder.recorded());
         reg.set_int(
             "ensemble_trace_overwritten_total",
@@ -155,6 +176,10 @@ mod tests {
             "ensemble_cast_to_deliver_ns_count 1",
             "ensemble_timer_lateness_ns",
             "ensemble_layer_handler_ns{layer=\"mnak\",quantile=\"0.5\"}",
+            "ensemble_view_change_ns",
+            "ensemble_spurious_wakeups_total{shard=\"0\"}",
+            "ensemble_transport_errors_total{shard=\"0\",kind=\"send\"}",
+            "ensemble_transport_errors_total{shard=\"0\",kind=\"recv\"}",
             "ensemble_trace_events_total",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");

@@ -19,7 +19,87 @@ use ensemble_util::{DetRng, Endpoint};
 use std::collections::HashMap;
 use std::io;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Wakes an idle shard worker when work arrives (a command, a join, or a
+/// datagram), replacing a fixed-interval polling sleep.
+///
+/// Parking is cooperative: the worker re-checks every queue after each
+/// wake, so a notification racing a drain costs at most one extra loop
+/// iteration (counted as a spurious wakeup in `RuntimeStats`). A wake
+/// posted while the worker is busy is latched and consumed by the next
+/// park, so notifications are never lost.
+pub struct Waker {
+    pending: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    /// A waker with no notification pending.
+    pub fn new() -> Waker {
+        Waker {
+            pending: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Posts a notification; cheap when one is already pending.
+    pub fn wake(&self) {
+        let mut pending = self
+            .pending
+            .lock()
+            .expect("waker mutex poisoned: a worker thread panicked mid-park");
+        if !*pending {
+            *pending = true;
+            self.cv.notify_one();
+        }
+    }
+
+    /// Parks the caller up to `timeout` unless a notification is already
+    /// pending. Returns `true` when released by [`Waker::wake`], `false`
+    /// on timeout.
+    pub fn park(&self, timeout: std::time::Duration) -> bool {
+        let mut pending = self
+            .pending
+            .lock()
+            .expect("waker mutex poisoned: a worker thread panicked mid-park");
+        if !*pending {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(pending, timeout)
+                .expect("waker mutex poisoned: a worker thread panicked mid-park");
+            pending = guard;
+        }
+        let woken = *pending;
+        *pending = false;
+        woken
+    }
+}
+
+impl Default for Waker {
+    fn default() -> Waker {
+        Waker::new()
+    }
+}
+
+/// Socket errors a transport accumulated since the last drain. Lossy
+/// conditions (full buffers, `WouldBlock`) are *not* errors — the stacks
+/// recover from loss; these are hard failures that were previously
+/// swallowed silently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportIoErrors {
+    /// Hard send failures.
+    pub send: u64,
+    /// Hard recv failures.
+    pub recv: u64,
+}
+
+impl TransportIoErrors {
+    /// True when no errors were recorded.
+    pub fn is_zero(&self) -> bool {
+        self.send == 0 && self.recv == 0
+    }
+}
 
 /// A datagram driver bound to one local endpoint.
 ///
@@ -58,6 +138,21 @@ pub trait Transport: Send {
     /// Largest datagram the driver accepts.
     fn max_datagram(&self) -> usize {
         60_000
+    }
+
+    /// Installs a waker the driver should nudge when ingress arrives
+    /// while the owning worker may be parked. Drivers with no delivery
+    /// hook (a plain UDP socket) ignore it — the worker's park timeout
+    /// bounds their latency instead.
+    fn set_waker(&mut self, waker: Arc<Waker>) {
+        let _ = waker;
+    }
+
+    /// Drains socket error counts accumulated since the last call
+    /// (delta semantics: the driver resets its tallies). The default
+    /// reports none.
+    fn take_io_errors(&mut self) -> TransportIoErrors {
+        TransportIoErrors::default()
     }
 }
 
@@ -106,6 +201,8 @@ struct HubPeer {
     /// Frames carry the sender's origin stamp (obs-clock ns) in-band so
     /// receivers can measure cast→deliver latency.
     tx: SyncSender<(u64, Vec<u8>)>,
+    /// Nudged after each enqueue so a parked recipient shard wakes.
+    waker: Option<Arc<Waker>>,
 }
 
 struct HubInner {
@@ -125,6 +222,8 @@ impl HubInner {
         };
         if peer.tx.try_send((stamp, frame)).is_err() {
             self.counts.backpressure_drops += 1;
+        } else if let Some(w) = &peer.waker {
+            w.wake();
         }
     }
 
@@ -216,7 +315,9 @@ impl LoopbackHub {
             .inner
             .lock()
             .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation");
-        let prev = inner.peers.insert(ep.to_wire(), HubPeer { tx });
+        let prev = inner
+            .peers
+            .insert(ep.to_wire(), HubPeer { tx, waker: None });
         assert!(prev.is_none(), "endpoint attached twice: {ep:?}");
         LoopbackTransport {
             ep,
@@ -283,6 +384,16 @@ impl Transport for LoopbackTransport {
 
     fn try_recv(&mut self) -> io::Result<Option<Packet>> {
         Ok(self.try_recv_stamped()?.map(|(p, _)| p))
+    }
+
+    fn set_waker(&mut self, waker: Arc<Waker>) {
+        let mut inner = self
+            .hub
+            .lock()
+            .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation");
+        if let Some(peer) = inner.peers.get_mut(&self.ep.to_wire()) {
+            peer.waker = Some(waker);
+        }
     }
 
     fn try_recv_stamped(&mut self) -> io::Result<Option<(Packet, Option<u64>)>> {
@@ -394,6 +505,40 @@ mod tests {
         assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"dup");
         assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"dup");
         assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn waker_latches_a_wake_posted_before_park() {
+        let w = Waker::new();
+        w.wake();
+        w.wake(); // redundant wakes coalesce
+        assert!(w.park(std::time::Duration::ZERO), "latched wake consumed");
+        assert!(
+            !w.park(std::time::Duration::from_millis(1)),
+            "second park times out"
+        );
+    }
+
+    #[test]
+    fn waker_releases_a_parked_thread() {
+        let w = Arc::new(Waker::new());
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || w2.park(std::time::Duration::from_secs(5)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        w.wake();
+        assert!(t.join().unwrap(), "park released by wake, not timeout");
+    }
+
+    #[test]
+    fn hub_send_nudges_the_recipients_waker() {
+        let hub = LoopbackHub::new(2);
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        let w = Arc::new(Waker::new());
+        b.set_waker(Arc::clone(&w));
+        a.send(&cast(0, b"ping")).unwrap();
+        assert!(w.park(std::time::Duration::ZERO), "delivery posted a wake");
+        assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"ping");
     }
 
     #[test]

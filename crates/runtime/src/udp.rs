@@ -12,7 +12,7 @@
 //! (`WouldBlock` on send is counted, not retried) and the stacks' own
 //! retransmission recovers.
 
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportIoErrors};
 use ensemble_transport::{decode_datagram, encode_datagram, Dest, Packet};
 use ensemble_util::Endpoint;
 use std::collections::HashMap;
@@ -25,10 +25,14 @@ pub struct UdpTransport {
     sock: UdpSocket,
     peers: HashMap<u64, SocketAddr>,
     buf: Vec<u8>,
-    /// Datagrams the socket refused to queue (kernel buffer full).
+    /// Datagrams the socket refused to queue (kernel buffer full), or
+    /// that hit transient ICMP-driven errors — loss-like, not failures.
     pub egress_drops: u64,
     /// Datagrams that failed the envelope check (foreign traffic).
     pub foreign_drops: u64,
+    /// Hard send/recv failures since the last [`Transport::take_io_errors`]
+    /// drain — previously swallowed silently.
+    pub io_errors: TransportIoErrors,
 }
 
 impl UdpTransport {
@@ -43,6 +47,7 @@ impl UdpTransport {
             buf: vec![0u8; 65_536],
             egress_drops: 0,
             foreign_drops: 0,
+            io_errors: TransportIoErrors::default(),
         })
     }
 
@@ -62,7 +67,9 @@ impl UdpTransport {
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.egress_drops += 1,
             // Transient ICMP-driven errors (e.g. a peer not yet bound)
             // are indistinguishable from loss at this seam.
-            Err(_) => self.egress_drops += 1,
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => self.egress_drops += 1,
+            // Anything else is a hard failure the operator should see.
+            Err(_) => self.io_errors.send += 1,
         }
     }
 }
@@ -117,9 +124,16 @@ impl Transport for UdpTransport {
                 // Connection-refused style errors surface asynchronously
                 // on unconnected UDP sockets; treat as an empty poll.
                 Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => return Ok(None),
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.io_errors.recv += 1;
+                    return Err(e);
+                }
             }
         }
+    }
+
+    fn take_io_errors(&mut self) -> TransportIoErrors {
+        std::mem::take(&mut self.io_errors)
     }
 }
 
@@ -182,6 +196,19 @@ mod tests {
         assert!(b.try_recv().unwrap().is_none());
         assert_eq!(b.foreign_drops, 1);
         drop(a);
+    }
+
+    #[test]
+    fn io_error_drain_has_delta_semantics() {
+        let Some((mut a, _b)) = pair() else {
+            eprintln!("skipping: UDP bind on 127.0.0.1 denied");
+            return;
+        };
+        a.io_errors.send = 3;
+        a.io_errors.recv = 1;
+        let d = a.take_io_errors();
+        assert_eq!(d, TransportIoErrors { send: 3, recv: 1 });
+        assert!(a.take_io_errors().is_zero(), "drain resets the tallies");
     }
 
     #[test]

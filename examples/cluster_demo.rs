@@ -1,0 +1,251 @@
+//! Three nodes rendezvous from one seed address, one member is killed,
+//! and the survivors install the successor view.
+//!
+//! The default run wires the nodes over the deterministic in-process
+//! loopback hub; pass `--udp` for a best-effort run over real sockets
+//! on 127.0.0.1 (the group stack's retransmission absorbs loss, the
+//! heartbeat miss budget absorbs jitter). Either way the demo exits
+//! nonzero if the survivors fail to install the new view within ten
+//! heartbeat periods — CI runs the loopback mode as a regression gate.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example cluster_demo            # deterministic loopback
+//! cargo run --example cluster_demo -- --udp   # real sockets
+//! ```
+
+use ensemble_cluster::{ClusterConfig, ClusterEvent, ClusterNode, StateProvider};
+use ensemble_runtime::{Delivery, LoopbackHub, Transport, UdpTransport};
+use ensemble_util::Endpoint;
+use std::time::{Duration, Instant};
+
+const N: usize = 3;
+
+/// Per node: its endpoint, the control-plane transport, the data-plane
+/// transport.
+type Planes = Vec<(Endpoint, Box<dyn Transport>, Box<dyn Transport>)>;
+
+fn main() {
+    let udp = std::env::args().any(|a| a == "--udp");
+    let planes = if udp { udp_planes() } else { loopback_planes() };
+    let planes = match planes {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cluster_demo: transport setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if run(planes) {
+        println!("cluster_demo: OK");
+    } else {
+        eprintln!("cluster_demo: FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn loopback_planes() -> Result<Planes, String> {
+    let control = LoopbackHub::new(42);
+    let data = LoopbackHub::new(43);
+    Ok((0..N as u32)
+        .map(|i| {
+            let ep = Endpoint::new(i);
+            (
+                ep,
+                Box::new(control.attach(ep)) as Box<dyn Transport>,
+                Box::new(data.attach(ep)) as Box<dyn Transport>,
+            )
+        })
+        .collect())
+}
+
+fn udp_planes() -> Result<Planes, String> {
+    let eps: Vec<Endpoint> = (0..N as u32).map(Endpoint::new).collect();
+    let mut control = Vec::new();
+    let mut data = Vec::new();
+    for &ep in &eps {
+        control.push(UdpTransport::bind(ep).map_err(|e| e.to_string())?);
+        data.push(UdpTransport::bind(ep).map_err(|e| e.to_string())?);
+    }
+    let control_addrs: Vec<_> = control
+        .iter()
+        .map(|t| t.local_addr().map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let data_addrs: Vec<_> = data
+        .iter()
+        .map(|t| t.local_addr().map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    for i in 0..N {
+        for j in 0..N {
+            if i != j {
+                control[i].add_peer(eps[j], control_addrs[j]);
+                data[i].add_peer(eps[j], data_addrs[j]);
+            }
+        }
+    }
+    Ok(eps
+        .into_iter()
+        .zip(control)
+        .zip(data)
+        .map(|((ep, c), d)| (ep, Box::new(c) as Box<dyn Transport>, Box::new(d) as _))
+        .collect())
+}
+
+fn run(planes: Planes) -> bool {
+    let cfg = ClusterConfig::new(N);
+    let hb = cfg.heartbeat_period;
+    let seed = planes[0].0;
+
+    // --- Rendezvous: every node forms through the one seed address. ---
+    let mut formers = Vec::new();
+    for (ep, control, data) in planes {
+        let cfg = cfg.clone();
+        formers.push(std::thread::spawn(move || {
+            let state: Option<Box<dyn StateProvider>> = if ep == seed {
+                Some(Box::new(|| b"demo-state".to_vec()))
+            } else {
+                None
+            };
+            ClusterNode::form(ep, seed, cfg, control, data, state)
+        }));
+    }
+    let mut nodes = Vec::new();
+    for f in formers {
+        match f.join().expect("forming thread panicked") {
+            Ok(n) => nodes.push(n),
+            Err(e) => {
+                eprintln!("formation failed: {e}");
+                return false;
+            }
+        }
+    }
+    for n in &nodes {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut formed = false;
+        while !formed && Instant::now() < deadline {
+            match n.recv_timeout(Duration::from_millis(20)) {
+                Some(ClusterEvent::Snapshot(s)) => println!(
+                    "node {}: received {}-byte state snapshot",
+                    n.endpoint().id(),
+                    s.len()
+                ),
+                Some(ClusterEvent::Formed(vs)) => {
+                    println!(
+                        "node {}: formed with {} members, rank {}",
+                        n.endpoint().id(),
+                        vs.nmembers(),
+                        vs.rank.0
+                    );
+                    formed = vs.nmembers() == N;
+                }
+                _ => {}
+            }
+        }
+        if !formed {
+            eprintln!("node {} never formed the full view", n.endpoint().id());
+            return false;
+        }
+    }
+
+    // --- A cast in the old view, then kill the highest-ranked member. -
+    if let Err(e) = nodes[0].cast(b"before-view-change") {
+        eprintln!("cast failed: {e}");
+        return false;
+    }
+    let victim = nodes.pop().expect("three nodes formed");
+    let victim_ep = victim.endpoint();
+    victim.kill();
+    let killed_at = Instant::now();
+    println!("node {}: killed (no Leave, no flush)", victim_ep.id());
+
+    // --- Survivors must install the successor view within 10 periods. -
+    let deadline = killed_at + hb * 10;
+    let mut views = Vec::new();
+    let mut casts: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        let vs = loop {
+            if Instant::now() >= deadline {
+                eprintln!(
+                    "node {}: no new view within 10 heartbeat periods",
+                    n.endpoint().id()
+                );
+                return false;
+            }
+            match n.recv_timeout(Duration::from_millis(20)) {
+                Some(ClusterEvent::Delivery(Delivery::View(vs))) if vs.nmembers() == N - 1 => {
+                    break vs;
+                }
+                Some(ClusterEvent::Delivery(Delivery::Cast { bytes, .. })) => {
+                    casts[i].push(bytes);
+                }
+                _ => {}
+            }
+        };
+        println!(
+            "node {}: installed view ltime={} with {} members after {:?}",
+            n.endpoint().id(),
+            vs.view_id.ltime,
+            vs.nmembers(),
+            killed_at.elapsed()
+        );
+        views.push(vs);
+    }
+    if views[0].view_id != views[1].view_id {
+        eprintln!("survivors installed different views");
+        return false;
+    }
+    if views.iter().any(|v| v.rank_of(victim_ep).is_some()) {
+        eprintln!("the killed member survived the view change");
+        return false;
+    }
+
+    // --- Exactly-once delivery across the change, old cast and new. ---
+    if let Err(e) = nodes[1].cast(b"after-view-change") {
+        eprintln!("post-view cast failed: {e}");
+        return false;
+    }
+    let deadline = Instant::now() + Duration::from_secs(2);
+    for (i, n) in nodes.iter().enumerate() {
+        while casts[i].len() < 2 && Instant::now() < deadline {
+            if let Some(ClusterEvent::Delivery(Delivery::Cast { bytes, .. })) =
+                n.recv_timeout(Duration::from_millis(20))
+            {
+                casts[i].push(bytes);
+            }
+        }
+        for payload in [&b"before-view-change"[..], &b"after-view-change"[..]] {
+            let copies = casts[i].iter().filter(|b| &b[..] == payload).count();
+            if copies != 1 {
+                eprintln!(
+                    "node {}: {} copies of {:?} (want exactly 1)",
+                    n.endpoint().id(),
+                    copies,
+                    String::from_utf8_lossy(payload)
+                );
+                return false;
+            }
+        }
+    }
+
+    // --- The counters that monitoring would scrape. --------------------
+    let text = nodes[0].metrics_text();
+    for series in [
+        "ensemble_cluster_heartbeats_total",
+        "ensemble_cluster_suspicions_total",
+        "ensemble_cluster_views_installed_total",
+        "ensemble_view_change_ns",
+    ] {
+        if !text.contains(series) {
+            eprintln!("metrics exposition is missing {series}");
+            return false;
+        }
+    }
+    println!(
+        "survivor metrics:\n{}",
+        text.lines()
+            .filter(|l| l.contains("ensemble_cluster") || l.contains("view_change_ns_count"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    true
+}

@@ -23,6 +23,14 @@ cargo test --release -p ensemble-runtime --test loopback_stack
 cargo test --release -p ensemble-runtime --test udp_smoke
 cargo test --release -p ensemble-runtime --test obs_trace
 
+echo "==> cluster: cross-node view-change convergence (release)"
+cargo test --release -p ensemble-cluster --test convergence
+
+echo "==> cluster: demo — 3 nodes rendezvous, 1 killed, survivors install the new view"
+# cluster_demo exits nonzero if the successor view is not installed
+# within ten heartbeat periods or any cast is lost/duplicated.
+cargo run --release -p ensemble-cluster --example cluster_demo
+
 echo "==> analyze: stack_lint over every registered stack"
 cargo run --release -p ensemble-analyze --bin stack_lint
 cargo run --release -p ensemble-analyze --bin stack_lint -- --json --out LINT_stacks.json
