@@ -1,0 +1,307 @@
+//! Virtual-synchrony invariant checking over recorded executions.
+//!
+//! The chaos harness feeds every node's view installs and cast
+//! deliveries into a [`VsyncChecker`]; [`VsyncChecker::finish`] then
+//! replays the partitionable virtual-synchrony contract over the whole
+//! execution:
+//!
+//! 1. **Primary partition** — at most one distinct membership exists per
+//!    view ltime across all nodes (no split brain).
+//! 2. **Monotone views** — each node installs strictly increasing view
+//!    ltimes (epoch fencing works).
+//! 3. **Self membership** — a node only installs views it belongs to.
+//! 4. **Agreed delivery** — nodes that leave a view *together* (same
+//!    successor ltime) delivered exactly the same cast sequence in it;
+//!    nodes separated by a partition may lag, but only as a prefix (the
+//!    total-order layer forbids divergent interleavings).
+//! 5. **Exactly-once** — no node delivers the same (unique) payload
+//!    twice, across all views.
+//!
+//! The checker is deliberately offline: it never touches the protocol,
+//! so a bug cannot hide by influencing its own observer.
+
+use ensemble_event::ViewState;
+use ensemble_util::Endpoint;
+use std::collections::{BTreeMap, HashSet};
+
+/// Everything recorded about one node's execution.
+#[derive(Default)]
+struct NodeLog {
+    /// Views in install order.
+    views: Vec<ViewState>,
+    /// Cast payloads in delivery order, keyed by the ltime of the view
+    /// they were delivered in.
+    casts: BTreeMap<u64, Vec<Vec<u8>>>,
+}
+
+impl NodeLog {
+    /// The ltime of the first view installed after `ltime` (the view
+    /// this node transitioned *to* when it left view `ltime`).
+    fn successor(&self, ltime: u64) -> Option<u64> {
+        self.views
+            .iter()
+            .map(|v| v.view_id.ltime)
+            .filter(|&l| l > ltime)
+            .min()
+    }
+}
+
+/// Offline checker for the virtual-synchrony contract (see the module
+/// docs for the five invariants).
+///
+/// Feed it with [`VsyncChecker::on_view`] and
+/// [`VsyncChecker::on_cast_delivery`] while the system runs, then call
+/// [`VsyncChecker::finish`] once traffic has drained.
+#[derive(Default)]
+pub struct VsyncChecker {
+    nodes: BTreeMap<Endpoint, NodeLog>,
+}
+
+impl VsyncChecker {
+    /// An empty checker.
+    pub fn new() -> VsyncChecker {
+        VsyncChecker::default()
+    }
+
+    /// Records that `node` installed `vs`.
+    pub fn on_view(&mut self, node: Endpoint, vs: &ViewState) {
+        self.nodes.entry(node).or_default().views.push(vs.clone());
+    }
+
+    /// Records that `node` delivered the cast `payload` (in its most
+    /// recently installed view).
+    pub fn on_cast_delivery(&mut self, node: Endpoint, payload: &[u8]) {
+        let log = self.nodes.entry(node).or_default();
+        let ltime = log.views.last().map(|v| v.view_id.ltime).unwrap_or(0);
+        log.casts.entry(ltime).or_default().push(payload.to_vec());
+    }
+
+    /// Checks every invariant and returns the violations (empty means
+    /// the execution was virtually synchronous).
+    pub fn finish(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.check_per_node(&mut out);
+        self.check_primary_partition(&mut out);
+        self.check_agreed_delivery(&mut out);
+        out
+    }
+
+    fn check_per_node(&self, out: &mut Vec<String>) {
+        for (ep, log) in &self.nodes {
+            let mut last: Option<u64> = None;
+            for vs in &log.views {
+                if !vs.members.contains(ep) {
+                    out.push(format!(
+                        "{ep:?} installed view ltime={} it is not a member of",
+                        vs.view_id.ltime
+                    ));
+                }
+                if let Some(prev) = last {
+                    if vs.view_id.ltime <= prev {
+                        out.push(format!(
+                            "{ep:?} view ltimes not strictly increasing: {prev} then {}",
+                            vs.view_id.ltime
+                        ));
+                    }
+                }
+                last = Some(vs.view_id.ltime);
+            }
+            let mut seen: HashSet<&[u8]> = HashSet::new();
+            for seq in log.casts.values() {
+                for p in seq {
+                    if !seen.insert(p.as_slice()) {
+                        out.push(format!(
+                            "{ep:?} delivered payload {:?} more than once",
+                            String::from_utf8_lossy(p)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_primary_partition(&self, out: &mut Vec<String>) {
+        let mut by_ltime: BTreeMap<u64, (Endpoint, Vec<Endpoint>)> = BTreeMap::new();
+        for (ep, log) in &self.nodes {
+            for vs in &log.views {
+                match by_ltime.get(&vs.view_id.ltime) {
+                    None => {
+                        by_ltime.insert(vs.view_id.ltime, (*ep, vs.members.clone()));
+                    }
+                    Some((first, members)) if *members != vs.members => {
+                        out.push(format!(
+                            "split brain at ltime={}: {first:?} and {ep:?} installed \
+                             different memberships ({} vs {} members)",
+                            vs.view_id.ltime,
+                            members.len(),
+                            vs.members.len()
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    fn check_agreed_delivery(&self, out: &mut Vec<String>) {
+        let ltimes: HashSet<u64> = self
+            .nodes
+            .values()
+            .flat_map(|l| l.casts.keys().copied())
+            .collect();
+        // A node's record for one view: (who, delivered casts, successor).
+        type ViewRecord<'a> = (Endpoint, &'a Vec<Vec<u8>>, Option<u64>);
+        for lt in ltimes {
+            let empty = Vec::new();
+            let entries: Vec<ViewRecord> = self
+                .nodes
+                .iter()
+                .filter(|(_, log)| log.views.iter().any(|v| v.view_id.ltime == lt))
+                .map(|(ep, log)| (*ep, log.casts.get(&lt).unwrap_or(&empty), log.successor(lt)))
+                .collect();
+            for (i, (ep_a, seq_a, succ_a)) in entries.iter().enumerate() {
+                for (ep_b, seq_b, succ_b) in entries.iter().skip(i + 1) {
+                    let (short, long) = if seq_a.len() <= seq_b.len() {
+                        (seq_a, seq_b)
+                    } else {
+                        (seq_b, seq_a)
+                    };
+                    if long[..short.len()] != short[..] {
+                        out.push(format!(
+                            "divergent delivery in view ltime={lt}: {ep_a:?} and {ep_b:?} \
+                             disagree on cast order"
+                        ));
+                    } else if succ_a == succ_b && succ_a.is_some() && seq_a.len() != seq_b.len() {
+                        out.push(format!(
+                            "agreed delivery broken in view ltime={lt}: {ep_a:?} ({} casts) and \
+                             {ep_b:?} ({} casts) left together for ltime={} with different \
+                             sequences",
+                            seq_a.len(),
+                            seq_b.len(),
+                            succ_a.expect("checked is_some")
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_util::{GroupId, Rank, ViewId};
+
+    fn view(ltime: u64, ids: &[u32]) -> ViewState {
+        let members: Vec<Endpoint> = ids.iter().map(|&i| Endpoint::new(i)).collect();
+        ViewState {
+            group: GroupId(1),
+            view_id: ViewId {
+                ltime,
+                coord: members[0],
+            },
+            members,
+            rank: Rank(0),
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let mut c = VsyncChecker::new();
+        let (a, b) = (Endpoint::new(0), Endpoint::new(1));
+        for n in [a, b] {
+            c.on_view(n, &view(0, &[0, 1]));
+            c.on_cast_delivery(n, b"m1");
+            c.on_cast_delivery(n, b"m2");
+            c.on_view(n, &view(1, &[0, 1]));
+            c.on_cast_delivery(n, b"m3");
+        }
+        assert_eq!(c.finish(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn split_brain_same_ltime_is_flagged() {
+        let mut c = VsyncChecker::new();
+        c.on_view(Endpoint::new(0), &view(3, &[0, 1]));
+        c.on_view(Endpoint::new(2), &view(3, &[2, 3]));
+        let v = c.finish();
+        assert!(
+            v.iter().any(|m| m.contains("split brain")),
+            "missing split-brain violation in {v:?}"
+        );
+    }
+
+    #[test]
+    fn divergent_delivery_order_is_flagged() {
+        let mut c = VsyncChecker::new();
+        let (a, b) = (Endpoint::new(0), Endpoint::new(1));
+        for n in [a, b] {
+            c.on_view(n, &view(0, &[0, 1]));
+        }
+        c.on_cast_delivery(a, b"x");
+        c.on_cast_delivery(a, b"y");
+        c.on_cast_delivery(b, b"y");
+        c.on_cast_delivery(b, b"x");
+        let v = c.finish();
+        assert!(
+            v.iter().any(|m| m.contains("divergent delivery")),
+            "missing divergence violation in {v:?}"
+        );
+    }
+
+    #[test]
+    fn co_transitioning_nodes_must_agree_exactly() {
+        let mut c = VsyncChecker::new();
+        let (a, b) = (Endpoint::new(0), Endpoint::new(1));
+        for n in [a, b] {
+            c.on_view(n, &view(0, &[0, 1]));
+        }
+        c.on_cast_delivery(a, b"x");
+        c.on_cast_delivery(a, b"y");
+        c.on_cast_delivery(b, b"x"); // prefix only, yet both move on…
+        for n in [a, b] {
+            c.on_view(n, &view(1, &[0, 1]));
+        }
+        let v = c.finish();
+        assert!(
+            v.iter().any(|m| m.contains("agreed delivery broken")),
+            "missing agreed-delivery violation in {v:?}"
+        );
+        // …whereas a node that never left the view may lag as a prefix.
+        let mut c = VsyncChecker::new();
+        for n in [a, b] {
+            c.on_view(n, &view(0, &[0, 1]));
+        }
+        c.on_cast_delivery(a, b"x");
+        c.on_cast_delivery(a, b"y");
+        c.on_cast_delivery(b, b"x");
+        c.on_view(a, &view(1, &[0]));
+        assert_eq!(c.finish(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let mut c = VsyncChecker::new();
+        let a = Endpoint::new(0);
+        c.on_view(a, &view(0, &[0]));
+        c.on_cast_delivery(a, b"once");
+        c.on_cast_delivery(a, b"once");
+        let v = c.finish();
+        assert!(
+            v.iter().any(|m| m.contains("more than once")),
+            "missing duplicate violation in {v:?}"
+        );
+    }
+
+    #[test]
+    fn decreasing_ltime_and_foreign_view_are_flagged() {
+        let mut c = VsyncChecker::new();
+        let a = Endpoint::new(0);
+        c.on_view(a, &view(2, &[0, 1]));
+        c.on_view(a, &view(1, &[0, 1]));
+        c.on_view(a, &view(3, &[1, 2]));
+        let v = c.finish();
+        assert!(v.iter().any(|m| m.contains("strictly increasing")));
+        assert!(v.iter().any(|m| m.contains("not a member")));
+    }
+}

@@ -27,6 +27,22 @@
 //!   and learns it has been passed by.
 //! * **State transfer** — the seed's snapshot rides the `Welcome`;
 //!   joiners surface it as [`ClusterEvent::Snapshot`] before `Formed`.
+//! * **Primary partition** ([`QuorumPolicy`]) — suspicion only reaches
+//!   the stack while a component holds a strict majority of the last
+//!   installed view. A minority component *stalls* instead (egress
+//!   parks, ingress quarantines, heartbeats go quiet) and reports
+//!   [`ClusterEvent::MinorityPartition`] — so at most one side of a
+//!   split keeps installing views.
+//! * **Partition healing** — acting coordinators beacon their absent
+//!   and suspected members every `merge_beacon_period`. When beacons
+//!   cross a healed link, seniority by `(epoch, endpoint)` decides
+//!   direction: the junior side sends a `MergeRequest`, the senior
+//!   coordinator runs a gmp merge flush, and `MergeGrant`s (with a
+//!   fresh state snapshot) pull the absorbed members into the merged
+//!   view. A fenced member rejoins the same way with a fresh
+//!   incarnation. [`VsyncChecker`] replays a recorded execution against
+//!   the virtual-synchrony contract; the `chaos_soak` test drives it
+//!   over seeded [`ensemble_runtime::PartitionScript`]s.
 //!
 //! ```no_run
 //! use ensemble_cluster::{ClusterConfig, ClusterNode};
@@ -57,14 +73,16 @@
 
 pub mod config;
 pub mod detector;
+pub mod invariant;
 pub mod member;
 pub mod metrics;
 pub mod rendezvous;
 pub mod wire;
 
-pub use config::{ClusterConfig, ClusterError};
+pub use config::{ClusterConfig, ClusterError, QuorumPolicy};
 pub use detector::Detector;
+pub use invariant::VsyncChecker;
 pub use member::{ClusterEvent, ClusterNode, StateProvider};
 pub use metrics::ClusterMetrics;
-pub use rendezvous::{JoinerRendezvous, SeedRendezvous};
+pub use rendezvous::{Joined, JoinerRendezvous, SeedRendezvous};
 pub use wire::{decode, encode, Envelope, Frame, WireError};

@@ -13,7 +13,7 @@
 //! * drains stack deliveries into an unbounded [`ClusterEvent`] channel
 //!   (the application reads at its own pace without stalling a shard).
 
-use crate::config::{ClusterConfig, ClusterError};
+use crate::config::{ClusterConfig, ClusterError, QuorumPolicy};
 use crate::detector::Detector;
 use crate::metrics::ClusterMetrics;
 use crate::rendezvous::{JoinerRendezvous, SeedRendezvous};
@@ -59,12 +59,24 @@ pub enum ClusterEvent {
         epoch: u64,
     },
     /// A newer-epoch member fenced *us*: we were expelled by a view
-    /// change we never saw. The driver stops heartbeating.
+    /// change we never saw. The driver stops heartbeating; rejoin with
+    /// a fresh incarnation ([`Endpoint::reincarnate`]) via a new
+    /// [`ClusterNode::form`] — the group admits it through the merge
+    /// path and ships a state snapshot.
     FencedBy {
         /// The member that fenced us.
         peer: Endpoint,
         /// Its (newer) epoch.
         epoch: u64,
+    },
+    /// This component lost quorum (a partition left it in the minority):
+    /// the group stalled — application egress parks, ingress is
+    /// quarantined — until the partition heals and a merge readmits it.
+    MinorityPartition {
+        /// Live (unsuspected) members still reachable in this component.
+        live: usize,
+        /// Members needed for quorum (majority of the last primary view).
+        needed: usize,
     },
 }
 
@@ -107,10 +119,13 @@ impl ClusterNode {
 
         // --- Rendezvous (caller's thread, blocking) -------------------
         let am_seed = ep == seed;
+        let mut state = state;
         let mut snapshot_out = Vec::new();
         let mut welcome_cache: Option<SeedRendezvous> = None;
-        let (members, snapshot_in) = if am_seed {
-            let snap = state.map(|mut s| s.snapshot()).unwrap_or_default();
+        let (members, snapshot_in, start_ltime) = if am_seed {
+            // Snapshot by borrow: the provider is retained and handed to
+            // the driver, which re-snapshots for merge grants after heals.
+            let snap = state.as_mut().map(|s| s.snapshot()).unwrap_or_default();
             let mut rdv = SeedRendezvous::new(ep, cfg.expected, cfg.key, snap.clone());
             let members = loop {
                 if let Some(m) = rdv.poll(control.as_mut()) {
@@ -134,26 +149,34 @@ impl ClusterNode {
             }
             snapshot_out = snap;
             welcome_cache = Some(rdv);
-            (members, Vec::new())
+            (members, Vec::new(), 0)
         } else {
-            let mut rdv =
-                JoinerRendezvous::new(ep, seed, cfg.key, cfg.hello_retry.as_nanos() as u64);
+            let mut rdv = JoinerRendezvous::new(
+                ep,
+                seed,
+                cfg.key,
+                cfg.hello_retry.as_nanos() as u64,
+                cfg.hello_retry_max.as_nanos() as u64,
+            );
+            let join_deadline = std::time::Instant::now() + cfg.join_deadline;
             let got = loop {
                 if let Some(got) = rdv.poll(control.as_mut(), Time(now_ns())) {
                     break got;
                 }
-                if std::time::Instant::now() >= deadline {
+                if std::time::Instant::now() >= join_deadline {
                     metrics
                         .bad_frames
                         .fetch_add(rdv.bad_frames, Ordering::Relaxed);
-                    return Err(ClusterError::Timeout);
+                    return Err(ClusterError::JoinFailed {
+                        attempts: rdv.attempts,
+                    });
                 }
                 std::thread::sleep(poll_pause);
             };
             metrics
                 .bad_frames
                 .fetch_add(rdv.bad_frames, Ordering::Relaxed);
-            got
+            (got.members, got.snapshot, got.view_ltime)
         };
 
         // --- Join the agreed view on a private runtime node -----------
@@ -164,7 +187,10 @@ impl ClusterNode {
             .expect("rendezvous produced a membership excluding this node");
         let vs = ViewState {
             group: GroupId(1),
-            view_id: ViewId::initial(members[0]),
+            view_id: ViewId {
+                ltime: start_ltime,
+                coord: members[0],
+            },
             members: members.clone(),
             rank,
         };
@@ -221,10 +247,18 @@ impl ClusterNode {
             obs,
             obs_shard,
             tag,
-            epoch: 0,
+            epoch: start_ltime,
             hb_seq: 0,
             fenced: false,
             suspicion_at: None,
+            state,
+            quorum: cfg.quorum,
+            beacon_period_ns: cfg.merge_beacon_period.as_nanos() as u64,
+            stalled: false,
+            suspected_eps: Vec::new(),
+            absent: Vec::new(),
+            pending_admits: Vec::new(),
+            merging: false,
         };
         let worker = std::thread::Builder::new()
             .name(format!("ensemble-cluster-{}", ep.id()))
@@ -291,6 +325,14 @@ impl ClusterNode {
     /// This member's cluster counters.
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// Drains this member's flight recorder: runtime trace events plus
+    /// the cluster driver's (heartbeats, suspicion, merge beacons and
+    /// grants, minority stalls). The partition demo prints the healing
+    /// episode from here.
+    pub fn trace_events(&self) -> Vec<ensemble_obs::TraceEvent> {
+        self.node.obs_arc().drain()
     }
 
     /// Runtime + cluster metrics in Prometheus text exposition format
@@ -374,6 +416,8 @@ enum Tick {
     Heartbeat,
     /// Sweep the detector for newly silent peers.
     Sweep,
+    /// Advertise this component to absent/suspected members for merge.
+    Beacon,
 }
 
 struct Driver {
@@ -401,6 +445,22 @@ struct Driver {
     /// When the current suspicion window opened (first suspicion since
     /// the last view install), for the view-change latency histogram.
     suspicion_at: Option<u64>,
+    /// Application state provider, re-snapshotted for merge grants.
+    state: Option<Box<dyn StateProvider>>,
+    /// Whether to stall a component that lost quorum.
+    quorum: QuorumPolicy,
+    /// Interval between merge beacons while members are missing.
+    beacon_period_ns: u64,
+    /// This component lacks quorum: egress parks, ingress quarantines.
+    stalled: bool,
+    /// Members of the current view the detector has silenced.
+    suspected_eps: Vec<Endpoint>,
+    /// Members expelled by past view changes — merge beacon targets.
+    absent: Vec<Endpoint>,
+    /// Endpoints awaiting admission through the next merge flush.
+    pending_admits: Vec<Endpoint>,
+    /// A merge flush is in flight; don't start another until it lands.
+    merging: bool,
 }
 
 impl Driver {
@@ -409,6 +469,7 @@ impl Driver {
         let mut wheel: ensemble_runtime::TimerWheel<Tick> = ensemble_runtime::TimerWheel::new(now);
         wheel.schedule(Time(now.0 + self.period_ns), Tick::Heartbeat);
         wheel.schedule(Time(now.0 + self.period_ns / 2), Tick::Sweep);
+        wheel.schedule(Time(now.0 + self.beacon_period_ns), Tick::Beacon);
         self.detector.reset(&self.peers(), now);
         let mut fired: Vec<(Time, Tick)> = Vec::new();
         let pause = std::time::Duration::from_nanos((self.period_ns / 8).clamp(100_000, 5_000_000));
@@ -441,6 +502,10 @@ impl Driver {
                     Tick::Sweep => {
                         self.sweep(now);
                         wheel.schedule(Time(now.0 + self.period_ns / 2), Tick::Sweep);
+                    }
+                    Tick::Beacon => {
+                        self.beacon(now);
+                        wheel.schedule(Time(now.0 + self.beacon_period_ns), Tick::Beacon);
                     }
                 }
             }
@@ -480,6 +545,10 @@ impl Driver {
     }
 
     fn heartbeat(&mut self, _now: Time) {
+        // A stalled component keeps heartbeating its own side (else the
+        // minority members suspect each other and heal one-by-one); the
+        // Fences its stale epoch draws from the majority are ignored
+        // while stalled.
         if self.fenced {
             return;
         }
@@ -525,6 +594,9 @@ impl Driver {
                 Direction::None,
                 now.0,
             );
+            if !self.suspected_eps.contains(&ep) {
+                self.suspected_eps.push(ep);
+            }
             if let Some(r) = vs.rank_of(ep) {
                 ranks.push(r);
             }
@@ -535,7 +607,17 @@ impl Driver {
         if self.suspicion_at.is_none() {
             self.suspicion_at = Some(now.0);
         }
-        if vs.am_coord() {
+        // Primary-partition gate: suspicion only reaches the stack while
+        // this component still holds a strict majority of the last view.
+        // Below that, stall instead — the other side of the split owns
+        // the primary view sequence.
+        let live = self.live_members(&vs).len();
+        let needed = vs.members.len() / 2 + 1;
+        if self.quorum == QuorumPolicy::MajorityOfLastView && live < needed {
+            self.enter_stall(live, needed);
+            return;
+        }
+        if self.am_acting_coord(&vs) {
             // The acting coordinator's gmp will open the flush: this is
             // where the new view is first proposed.
             record(
@@ -551,6 +633,281 @@ impl Driver {
         let _ = self.handle.suspect(ranks);
     }
 
+    /// Members of `vs` not currently suspected, in view order.
+    fn live_members(&self, vs: &ViewState) -> Vec<Endpoint> {
+        vs.members
+            .iter()
+            .copied()
+            .filter(|m| !self.suspected_eps.contains(m))
+            .collect()
+    }
+
+    /// The lowest unsuspected member acts as coordinator: rank 0 itself
+    /// may be on the far side of a partition.
+    fn acting_coord(&self, vs: &ViewState) -> Option<Endpoint> {
+        self.live_members(vs).first().copied()
+    }
+
+    fn am_acting_coord(&self, vs: &ViewState) -> bool {
+        self.acting_coord(vs) == Some(self.me)
+    }
+
+    /// Parks the group: quorum is lost, so no view change may be driven
+    /// from this component until a merge restores a majority.
+    fn enter_stall(&mut self, live: usize, needed: usize) {
+        if self.stalled {
+            return;
+        }
+        self.stalled = true;
+        let _ = self.handle.stall(true);
+        self.metrics.minority_stalls.fetch_add(1, Ordering::Relaxed);
+        record(
+            &self.obs,
+            self.obs_shard,
+            self.tag,
+            self.me,
+            EventKind::MinorityStall,
+            Direction::Dn,
+            live as u64,
+        );
+        let _ = self
+            .events
+            .send(ClusterEvent::MinorityPartition { live, needed });
+    }
+
+    /// Periodic merge beacon: the acting coordinator advertises its
+    /// component to every absent or suspected member so the two sides of
+    /// a healed partition rediscover each other.
+    fn beacon(&mut self, _now: Time) {
+        if self.fenced {
+            return;
+        }
+        let vs = self
+            .view
+            .lock()
+            .expect("cluster view mutex poisoned: the driver thread panicked")
+            .clone();
+        if !self.am_acting_coord(&vs) {
+            return;
+        }
+        let mut targets: Vec<Endpoint> = Vec::new();
+        for ep in self.suspected_eps.iter().chain(self.absent.iter()) {
+            if *ep != self.me && !targets.contains(ep) {
+                targets.push(*ep);
+            }
+        }
+        if targets.is_empty() {
+            return;
+        }
+        let live = self.live_members(&vs);
+        for t in &targets {
+            self.send_control(
+                *t,
+                Frame::MergeBeacon {
+                    members: live.clone(),
+                },
+            );
+        }
+        self.metrics
+            .merge_beacons
+            .fetch_add(targets.len() as u64, Ordering::Relaxed);
+        record(
+            &self.obs,
+            self.obs_shard,
+            self.tag,
+            self.me,
+            EventKind::MergeBeacon,
+            Direction::Dn,
+            targets.len() as u64,
+        );
+    }
+
+    /// A foreign coordinator advertised its component. Seniority (by
+    /// `(epoch, endpoint)`) decides direction: the junior side requests
+    /// absorption, the senior side answers with its own beacon so the
+    /// junior learns who to ask.
+    fn on_merge_beacon(&mut self, src: Endpoint, their_epoch: u64, _now: Time) {
+        if self.fenced {
+            return;
+        }
+        let vs = self
+            .view
+            .lock()
+            .expect("cluster view mutex poisoned: the driver thread panicked")
+            .clone();
+        if !self.am_acting_coord(&vs) {
+            return;
+        }
+        // Beacons from a live same-view peer are echoes, not foreign
+        // components — nothing to merge.
+        let foreign =
+            self.stalled || !vs.members.contains(&src) || self.suspected_eps.contains(&src);
+        if !foreign {
+            return;
+        }
+        record(
+            &self.obs,
+            self.obs_shard,
+            self.tag,
+            src,
+            EventKind::MergeBeacon,
+            Direction::Up,
+            their_epoch,
+        );
+        let live = self.live_members(&vs);
+        if (their_epoch, src) > (self.epoch, self.me) {
+            self.metrics.merge_requests.fetch_add(1, Ordering::Relaxed);
+            self.send_control(src, Frame::MergeRequest { members: live });
+        } else {
+            self.metrics.merge_beacons.fetch_add(1, Ordering::Relaxed);
+            self.send_control(src, Frame::MergeBeacon { members: live });
+        }
+    }
+
+    /// A junior component (or a lone rejoiner) asked to be absorbed.
+    /// Non-coordinators relay to the acting coordinator; the coordinator
+    /// queues the admits and starts a merge flush once quorum allows.
+    fn on_merge_request(&mut self, members: Vec<Endpoint>, _now: Time) {
+        if self.fenced {
+            return;
+        }
+        let vs = self
+            .view
+            .lock()
+            .expect("cluster view mutex poisoned: the driver thread panicked")
+            .clone();
+        if !self.am_acting_coord(&vs) {
+            if let Some(c) = self.acting_coord(&vs) {
+                if c != self.me {
+                    self.send_control(c, Frame::MergeRequest { members });
+                }
+            }
+            return;
+        }
+        for ep in members {
+            if ep == self.me {
+                continue;
+            }
+            let live_in_view = vs.members.contains(&ep) && !self.suspected_eps.contains(&ep);
+            if live_in_view {
+                continue;
+            }
+            if !self.pending_admits.contains(&ep) {
+                self.pending_admits.push(ep);
+            }
+        }
+        self.try_merge(&vs);
+    }
+
+    /// Starts a merge flush for the queued admits if none is in flight
+    /// and the merged membership would hold quorum. A stalled senior
+    /// unstalls here and injects its gated suspicions so gmp can run the
+    /// combined suspect+merge view change without unreachable rows.
+    fn try_merge(&mut self, vs: &ViewState) {
+        if self.merging || self.pending_admits.is_empty() {
+            return;
+        }
+        let mut merged = self.live_members(vs);
+        for ep in &self.pending_admits {
+            if !merged.iter().any(|m| m.id() == ep.id()) {
+                merged.push(*ep);
+            }
+        }
+        let needed = vs.members.len() / 2 + 1;
+        if self.quorum == QuorumPolicy::MajorityOfLastView && merged.len() < needed {
+            return;
+        }
+        self.merging = true;
+        if self.stalled {
+            self.stalled = false;
+            let _ = self.handle.stall(false);
+            record(
+                &self.obs,
+                self.obs_shard,
+                self.tag,
+                self.me,
+                EventKind::MinorityStall,
+                Direction::Up,
+                merged.len() as u64,
+            );
+            let ranks: Vec<Rank> = self
+                .suspected_eps
+                .iter()
+                .filter_map(|&e| vs.rank_of(e))
+                .collect();
+            if !ranks.is_empty() {
+                let _ = self.handle.suspect(ranks);
+            }
+        }
+        record(
+            &self.obs,
+            self.obs_shard,
+            self.tag,
+            self.me,
+            EventKind::ViewPropose,
+            Direction::Dn,
+            self.epoch + 1,
+        );
+        let _ = self.handle.merge(self.pending_admits.clone());
+    }
+
+    /// The senior coordinator granted us membership in its merged view:
+    /// install it directly (the control plane replaces the flush we
+    /// could not participate in from the far side of the split).
+    fn on_merge_grant(
+        &mut self,
+        view_ltime: u64,
+        members: Vec<Endpoint>,
+        snapshot: Vec<u8>,
+        _now: Time,
+    ) {
+        if self.fenced || view_ltime <= self.epoch {
+            return;
+        }
+        let Some(idx) = members.iter().position(|&m| m == self.me) else {
+            return;
+        };
+        let vs = ViewState {
+            group: GroupId(1),
+            view_id: ViewId {
+                ltime: view_ltime,
+                coord: members[0],
+            },
+            members,
+            rank: Rank(idx as u16),
+        };
+        self.metrics
+            .merge_grants_installed
+            .fetch_add(1, Ordering::Relaxed);
+        record(
+            &self.obs,
+            self.obs_shard,
+            self.tag,
+            self.me,
+            EventKind::MergeGrant,
+            Direction::Up,
+            view_ltime,
+        );
+        if self.stalled {
+            self.stalled = false;
+            let _ = self.handle.stall(false);
+        }
+        if !snapshot.is_empty() {
+            self.metrics.state_transfers.fetch_add(1, Ordering::Relaxed);
+            record(
+                &self.obs,
+                self.obs_shard,
+                self.tag,
+                self.me,
+                EventKind::StateTransfer,
+                Direction::Up,
+                snapshot.len() as u64,
+            );
+            let _ = self.events.send(ClusterEvent::Snapshot(snapshot));
+        }
+        let _ = self.handle.install_view(vs);
+    }
+
     fn on_frame(&mut self, env: Envelope, now: Time) {
         match env.frame {
             Frame::Heartbeat { .. } => {
@@ -558,32 +915,55 @@ impl Driver {
                     return;
                 }
                 if env.epoch < self.epoch {
-                    // A stale member: tell it the group moved on.
-                    self.metrics.fences_sent.fetch_add(1, Ordering::Relaxed);
-                    self.send_control(env.src, Frame::Fence);
-                    let _ = self.events.send(ClusterEvent::FencedPeer {
-                        peer: env.src,
-                        epoch: env.epoch,
-                    });
-                } else if env.epoch == self.epoch {
-                    self.metrics
-                        .heartbeats_received
-                        .fetch_add(1, Ordering::Relaxed);
+                    let lagging = self
+                        .view
+                        .lock()
+                        .expect("cluster view mutex poisoned: the driver thread panicked")
+                        .members
+                        .contains(&env.src);
+                    if lagging {
+                        // A current member still catching up to the view
+                        // we installed first (e.g. freshly merge-granted
+                        // while another merge lands): alive, not expelled.
+                        self.detector.heard(env.src, now);
+                    } else {
+                        // A stale non-member: tell it the group moved on.
+                        self.metrics.fences_sent.fetch_add(1, Ordering::Relaxed);
+                        self.send_control(env.src, Frame::Fence);
+                        let _ = self.events.send(ClusterEvent::FencedPeer {
+                            peer: env.src,
+                            epoch: env.epoch,
+                        });
+                    }
+                } else {
+                    // Equal epoch, or newer while our own view change is
+                    // still in flight — either way the peer is alive, and
+                    // starving the detector of that fact would cascade
+                    // into spurious suspicion mid-merge.
                     self.detector.heard(env.src, now);
-                    record(
-                        &self.obs,
-                        self.obs_shard,
-                        self.tag,
-                        env.src,
-                        EventKind::Heartbeat,
-                        Direction::Up,
-                        env.epoch,
-                    );
+                    if env.epoch == self.epoch {
+                        self.metrics
+                            .heartbeats_received
+                            .fetch_add(1, Ordering::Relaxed);
+                        record(
+                            &self.obs,
+                            self.obs_shard,
+                            self.tag,
+                            env.src,
+                            EventKind::Heartbeat,
+                            Direction::Up,
+                            env.epoch,
+                        );
+                    }
                 }
-                // A *newer* epoch means our own view change is still in
-                // flight; the stack will catch us up (or a Fence will).
             }
             Frame::Fence => {
+                if self.stalled {
+                    // Expected crossfire during a heal: the majority
+                    // moved on while we were parked. The merge path
+                    // catches us up; being fenced here would strand us.
+                    return;
+                }
                 if env.epoch > self.epoch && !self.fenced {
                     self.fenced = true;
                     self.metrics.fences_received.fetch_add(1, Ordering::Relaxed);
@@ -595,18 +975,38 @@ impl Driver {
             }
             Frame::Hello => {
                 // A joiner whose Welcome was lost retries its Hello; the
-                // seed answers idempotently. Unknown endpoints are
-                // fenced — rejoin needs a fresh incarnation and is out
-                // of scope for the initial rendezvous.
+                // seed answers idempotently.
                 if let Some((rdv, members)) = &self.welcome {
                     if members.contains(&env.src) {
                         rdv.rewelcome(self.control.as_mut(), env.src, members);
                         self.metrics.state_transfers.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        self.metrics.fences_sent.fetch_add(1, Ordering::Relaxed);
-                        self.send_control(env.src, Frame::Fence);
+                        return;
                     }
                 }
+                if self.fenced {
+                    return;
+                }
+                // An unknown endpoint — a fenced member back with a
+                // fresh incarnation, or a late cold joiner — is admitted
+                // through the merge path: the acting coordinator runs a
+                // flush and grants it the next view with a snapshot.
+                if !self.pending_admits.contains(&env.src) {
+                    self.metrics.rejoins.fetch_add(1, Ordering::Relaxed);
+                }
+                self.on_merge_request(vec![env.src], now);
+            }
+            Frame::MergeBeacon { members: _ } => {
+                self.on_merge_beacon(env.src, env.epoch, now);
+            }
+            Frame::MergeRequest { members } => {
+                self.on_merge_request(members, now);
+            }
+            Frame::MergeGrant {
+                view_ltime,
+                members,
+                snapshot,
+            } => {
+                self.on_merge_grant(view_ltime, members, snapshot, now);
             }
             Frame::Welcome { .. } => {} // already formed
         }
@@ -615,10 +1015,30 @@ impl Driver {
     fn on_delivery(&mut self, d: Delivery, now: Time) {
         if let Delivery::View(vs) = &d {
             self.epoch = vs.view_id.ltime;
-            *self
-                .view
-                .lock()
-                .expect("cluster view mutex poisoned: the driver thread panicked") = vs.clone();
+            let prev = {
+                let mut guard = self
+                    .view
+                    .lock()
+                    .expect("cluster view mutex poisoned: the driver thread panicked");
+                std::mem::replace(&mut *guard, vs.clone())
+            };
+            // Members the group expelled stay on the beacon list until a
+            // merge (under any incarnation) brings them back.
+            for m in prev.members {
+                if m != self.me
+                    && !vs.members.iter().any(|v| v.id() == m.id())
+                    && !self.absent.contains(&m)
+                {
+                    self.absent.push(m);
+                }
+            }
+            self.absent
+                .retain(|a| !vs.members.iter().any(|v| v.id() == a.id()));
+            self.suspected_eps.clear();
+            if self.stalled {
+                self.stalled = false;
+                let _ = self.handle.stall(false);
+            }
             self.detector.reset(&self.peers(), now);
             self.metrics.views_installed.fetch_add(1, Ordering::Relaxed);
             record(
@@ -634,6 +1054,54 @@ impl Driver {
                 if self.obs.enabled() {
                     self.obs.view_change_ns.record(now.0.saturating_sub(t0));
                 }
+            }
+            // This node drove the merge: grant the admitted members the
+            // view they could not receive through the (partitioned) data
+            // plane, with a fresh state snapshot.
+            let granted: Vec<Endpoint> = self
+                .pending_admits
+                .iter()
+                .copied()
+                .filter(|ep| vs.members.contains(ep))
+                .collect();
+            if !granted.is_empty() {
+                let snap = self
+                    .state
+                    .as_mut()
+                    .map(|s| s.snapshot())
+                    .unwrap_or_default();
+                for g in &granted {
+                    self.send_control(
+                        *g,
+                        Frame::MergeGrant {
+                            view_ltime: vs.view_id.ltime,
+                            members: vs.members.clone(),
+                            snapshot: snap.clone(),
+                        },
+                    );
+                }
+                self.metrics
+                    .merge_grants_sent
+                    .fetch_add(granted.len() as u64, Ordering::Relaxed);
+                if !snap.is_empty() {
+                    self.metrics
+                        .state_transfers
+                        .fetch_add(granted.len() as u64, Ordering::Relaxed);
+                }
+                record(
+                    &self.obs,
+                    self.obs_shard,
+                    self.tag,
+                    self.me,
+                    EventKind::MergeGrant,
+                    Direction::Dn,
+                    vs.view_id.ltime,
+                );
+                self.pending_admits.retain(|ep| !vs.members.contains(ep));
+            }
+            self.merging = false;
+            if !self.pending_admits.is_empty() {
+                self.try_merge(vs);
             }
         }
         let _ = self.events.send(ClusterEvent::Delivery(d));

@@ -23,6 +23,18 @@ pub struct ClusterMetrics {
     pub fences_received: AtomicU64,
     /// Control frames dropped for bad magic/version/MAC.
     pub bad_frames: AtomicU64,
+    /// Merge beacons sent while rediscovering absent members.
+    pub merge_beacons: AtomicU64,
+    /// Merge requests sent (junior component asking to be absorbed).
+    pub merge_requests: AtomicU64,
+    /// Merge grants sent to admitted members.
+    pub merge_grants_sent: AtomicU64,
+    /// Merge grants accepted (this member installed a granted view).
+    pub merge_grants_installed: AtomicU64,
+    /// Times this member stalled its group for lack of quorum.
+    pub minority_stalls: AtomicU64,
+    /// Unknown endpoints admitted through the rejoin path.
+    pub rejoins: AtomicU64,
 }
 
 impl ClusterMetrics {
@@ -71,6 +83,32 @@ impl ClusterMetrics {
             &[],
             ld(&self.bad_frames),
         );
+        reg.set_int(
+            "ensemble_cluster_merge_beacons_total",
+            &[],
+            ld(&self.merge_beacons),
+        );
+        reg.set_int(
+            "ensemble_cluster_merge_requests_total",
+            &[],
+            ld(&self.merge_requests),
+        );
+        reg.set_int(
+            "ensemble_cluster_merge_grants_total",
+            &[("dir", "sent")],
+            ld(&self.merge_grants_sent),
+        );
+        reg.set_int(
+            "ensemble_cluster_merge_grants_total",
+            &[("dir", "installed")],
+            ld(&self.merge_grants_installed),
+        );
+        reg.set_int(
+            "ensemble_cluster_minority_stalls_total",
+            &[],
+            ld(&self.minority_stalls),
+        );
+        reg.set_int("ensemble_cluster_rejoins_total", &[], ld(&self.rejoins));
         reg.render()
     }
 }
@@ -94,6 +132,12 @@ mod tests {
             "ensemble_cluster_fences_total{dir=\"sent\"}",
             "ensemble_cluster_fences_total{dir=\"recv\"}",
             "ensemble_cluster_bad_frames_total",
+            "ensemble_cluster_merge_beacons_total",
+            "ensemble_cluster_merge_requests_total",
+            "ensemble_cluster_merge_grants_total{dir=\"sent\"}",
+            "ensemble_cluster_merge_grants_total{dir=\"installed\"}",
+            "ensemble_cluster_minority_stalls_total",
+            "ensemble_cluster_rejoins_total",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }

@@ -17,8 +17,22 @@
 use crate::wire::{decode, encode, Envelope, Frame};
 use ensemble_runtime::Transport;
 use ensemble_transport::Packet;
-use ensemble_util::{Endpoint, Time};
+use ensemble_util::{DetRng, Endpoint, Time};
 use std::collections::BTreeSet;
+
+/// What a joiner learned once admitted: the agreed membership, the
+/// snapshot shipped by the seed (or surviving primary), and the view
+/// `ltime` the group runs in — 0 for an initial Welcome, the merged
+/// view's ltime for a [`Frame::MergeGrant`] admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Joined {
+    /// Members in rank order (sorted by endpoint).
+    pub members: Vec<Endpoint>,
+    /// Application snapshot (may be empty).
+    pub snapshot: Vec<u8>,
+    /// The view `ltime` to start the group stack and epoch at.
+    pub view_ltime: u64,
+}
 
 /// The seed's half of rendezvous: collect Hellos, then Welcome everyone.
 pub struct SeedRendezvous {
@@ -90,37 +104,63 @@ impl SeedRendezvous {
     }
 }
 
-/// A joiner's half of rendezvous: Hello until Welcomed.
+/// A joiner's half of rendezvous: Hello until Welcomed (or merge-granted
+/// into a running group, when rejoining after a fence or partition).
+///
+/// Retries back off exponentially from `base_ns` to `max_ns` with
+/// deterministic jitter derived from the joiner's identity and the MAC
+/// key — two runs of the same join produce the same Hello schedule, and
+/// simultaneous joiners do not synchronize their retries.
 pub struct JoinerRendezvous {
     me: Endpoint,
     seed: Endpoint,
     key: u64,
-    retry_ns: u64,
+    max_ns: u64,
+    cur_ns: u64,
     next_hello: Time,
+    jitter: DetRng,
+    /// Hello frames sent so far (surfaced by `JoinFailed`).
+    pub attempts: u64,
     /// Frames that failed magic/version/MAC checks.
     pub bad_frames: u64,
 }
 
 impl JoinerRendezvous {
-    /// A joiner that re-Hellos the seed every `retry_ns`.
-    pub fn new(me: Endpoint, seed: Endpoint, key: u64, retry_ns: u64) -> JoinerRendezvous {
+    /// A joiner that re-Hellos the seed starting every `base_ns`,
+    /// doubling (with jitter) up to `max_ns`.
+    pub fn new(
+        me: Endpoint,
+        seed: Endpoint,
+        key: u64,
+        base_ns: u64,
+        max_ns: u64,
+    ) -> JoinerRendezvous {
+        let base_ns = base_ns.max(1);
         JoinerRendezvous {
             me,
             seed,
             key,
-            retry_ns,
+            max_ns: max_ns.max(base_ns),
+            cur_ns: base_ns,
             next_hello: Time(0),
+            jitter: DetRng::new(me.to_wire() ^ seed.to_wire().rotate_left(17) ^ key),
+            attempts: 0,
             bad_frames: 0,
         }
     }
 
-    /// Sends a Hello when one is due and polls for the Welcome. Returns
-    /// the agreed membership and the seed's snapshot once Welcomed.
-    pub fn poll(
-        &mut self,
-        control: &mut dyn Transport,
-        now: Time,
-    ) -> Option<(Vec<Endpoint>, Vec<u8>)> {
+    /// The retry interval after the next Hello: doubled, capped, and
+    /// jittered by ±25% so concurrent joiners spread out.
+    fn next_interval(&mut self) -> u64 {
+        self.cur_ns = self.cur_ns.saturating_mul(2).min(self.max_ns);
+        let span = (self.cur_ns / 4).max(1);
+        self.cur_ns - span / 2 + self.jitter.below(span)
+    }
+
+    /// Sends a Hello when one is due and polls for admission: an initial
+    /// `Welcome`, or a `MergeGrant` naming this endpoint (rejoin into a
+    /// running group after a fence or heal).
+    pub fn poll(&mut self, control: &mut dyn Transport, now: Time) -> Option<Joined> {
         if now >= self.next_hello {
             let env = Envelope {
                 src: self.me,
@@ -128,14 +168,37 @@ impl JoinerRendezvous {
                 frame: Frame::Hello,
             };
             let _ = control.send(&Packet::point(self.me, self.seed, encode(&env, self.key)));
-            self.next_hello = Time(now.0.saturating_add(self.retry_ns));
+            self.attempts += 1;
+            let interval = self.next_interval();
+            self.next_hello = Time(now.0.saturating_add(interval));
         }
         while let Ok(Some(pkt)) = control.try_recv() {
             match decode(&pkt.bytes, self.key) {
                 Ok(Envelope {
                     frame: Frame::Welcome { members, snapshot },
                     ..
-                }) if members.contains(&self.me) => return Some((members, snapshot)),
+                }) if members.contains(&self.me) => {
+                    return Some(Joined {
+                        members,
+                        snapshot,
+                        view_ltime: 0,
+                    })
+                }
+                Ok(Envelope {
+                    frame:
+                        Frame::MergeGrant {
+                            view_ltime,
+                            members,
+                            snapshot,
+                        },
+                    ..
+                }) if members.contains(&self.me) => {
+                    return Some(Joined {
+                        members,
+                        snapshot,
+                        view_ltime,
+                    })
+                }
                 Ok(_) => {}
                 Err(_) => self.bad_frames += 1,
             }
@@ -159,8 +222,8 @@ mod tests {
         let mut j1_t = hub.attach(e1);
         let mut j2_t = hub.attach(e2);
         let mut seed = SeedRendezvous::new(e0, 3, KEY, b"snapshot!".to_vec());
-        let mut j1 = JoinerRendezvous::new(e1, e0, KEY, 1_000);
-        let mut j2 = JoinerRendezvous::new(e2, e0, KEY, 1_000);
+        let mut j1 = JoinerRendezvous::new(e1, e0, KEY, 1_000, 8_000);
+        let mut j2 = JoinerRendezvous::new(e2, e0, KEY, 1_000, 8_000);
         let (mut m0, mut r1, mut r2) = (None, None, None);
         for step in 0..200u64 {
             let now = Time(step * 500);
@@ -178,11 +241,12 @@ mod tests {
             }
         }
         let m0 = m0.expect("seed forms");
-        let (m1, s1) = r1.expect("joiner 1 welcomed");
-        let (m2, s2) = r2.expect("joiner 2 welcomed");
-        assert_eq!(m0, m1);
-        assert_eq!(m0, m2);
-        (m0, s1, s2)
+        let j1 = r1.expect("joiner 1 welcomed");
+        let j2 = r2.expect("joiner 2 welcomed");
+        assert_eq!(m0, j1.members);
+        assert_eq!(m0, j2.members);
+        assert_eq!(j1.view_ltime, 0, "a Welcome starts at view ltime 0");
+        (m0, j1.snapshot, j2.snapshot)
     }
 
     #[test]
@@ -204,6 +268,99 @@ mod tests {
         let (members, s1, _) = converge(&hub);
         assert_eq!(members.len(), 3);
         assert_eq!(s1, b"snapshot!");
+    }
+
+    #[test]
+    fn hello_retries_back_off_capped_and_deterministic() {
+        let (e0, e1) = (Endpoint::new(0), Endpoint::new(1));
+        let schedule = |_: ()| {
+            let hub = LoopbackHub::new(5);
+            let mut t = hub.attach(e1);
+            let mut j = JoinerRendezvous::new(e1, e0, KEY, 1_000, 6_000);
+            let mut sends = Vec::new();
+            let mut now = 0u64;
+            // Never welcomed: walk virtual time and record each Hello.
+            while sends.len() < 8 {
+                let before = j.attempts;
+                assert!(j.poll(&mut t, Time(now)).is_none());
+                if j.attempts > before {
+                    sends.push(now);
+                }
+                now += 100;
+            }
+            (sends, j.attempts)
+        };
+        let (a, attempts_a) = schedule(());
+        let (b, attempts_b) = schedule(());
+        assert_eq!(a, b, "same identity + key ⇒ same Hello schedule");
+        assert_eq!(attempts_a, attempts_b);
+        assert_eq!(attempts_a, 8);
+        let gaps: Vec<u64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.windows(2).take(2).all(|w| w[1] > w[0]),
+            "early gaps grow: {gaps:?}"
+        );
+        // Capped (with ±25% jitter) at max_ns; never collapses to zero.
+        for g in &gaps {
+            assert!(*g <= 6_000 + 6_000 / 4 + 100, "gap {g} exceeds the cap");
+            assert!(*g >= 1_000 / 2, "gap {g} under half the base");
+        }
+        // A different joiner jitters differently.
+        let hub = LoopbackHub::new(5);
+        let mut t2 = hub.attach(Endpoint::new(2));
+        let mut j2 = JoinerRendezvous::new(Endpoint::new(2), e0, KEY, 1_000, 6_000);
+        let mut sends2 = Vec::new();
+        let mut now = 0u64;
+        while sends2.len() < 8 {
+            let before = j2.attempts;
+            assert!(j2.poll(&mut t2, Time(now)).is_none());
+            if j2.attempts > before {
+                sends2.push(now);
+            }
+            now += 100;
+        }
+        assert_ne!(a, sends2, "distinct joiners do not synchronize");
+    }
+
+    #[test]
+    fn merge_grant_naming_the_joiner_is_accepted_with_view_ltime() {
+        let hub = LoopbackHub::new(6);
+        let (coord, me) = (Endpoint::new(0), Endpoint::new(9));
+        let mut coord_t = hub.attach(coord);
+        let mut me_t = hub.attach(me);
+        let mut j = JoinerRendezvous::new(me, coord, KEY, 1_000, 4_000);
+        assert!(j.poll(&mut me_t, Time(0)).is_none());
+        // A grant for somebody else is ignored…
+        let stranger = Envelope {
+            src: coord,
+            epoch: 5,
+            frame: Frame::MergeGrant {
+                view_ltime: 5,
+                members: vec![coord, Endpoint::new(7)],
+                snapshot: Vec::new(),
+            },
+        };
+        coord_t
+            .send(&Packet::point(coord, me, encode(&stranger, KEY)))
+            .unwrap();
+        assert!(j.poll(&mut me_t, Time(10)).is_none());
+        // …a grant naming this joiner admits it at the granted ltime.
+        let granted = Envelope {
+            src: coord,
+            epoch: 6,
+            frame: Frame::MergeGrant {
+                view_ltime: 6,
+                members: vec![coord, me],
+                snapshot: b"rejoin-state".to_vec(),
+            },
+        };
+        coord_t
+            .send(&Packet::point(coord, me, encode(&granted, KEY)))
+            .unwrap();
+        let joined = j.poll(&mut me_t, Time(20)).expect("grant admits");
+        assert_eq!(joined.members, vec![coord, me]);
+        assert_eq!(joined.view_ltime, 6);
+        assert_eq!(joined.snapshot, b"rejoin-state");
     }
 
     #[test]

@@ -29,6 +29,9 @@ const TAG_HELLO: u8 = 1;
 const TAG_WELCOME: u8 = 2;
 const TAG_HEARTBEAT: u8 = 3;
 const TAG_FENCE: u8 = 4;
+const TAG_MERGE_BEACON: u8 = 5;
+const TAG_MERGE_REQUEST: u8 = 6;
+const TAG_MERGE_GRANT: u8 = 7;
 
 /// The control-plane frame bodies.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +53,29 @@ pub enum Frame {
     },
     /// Receiver → stale sender: "the group has moved past your epoch."
     Fence,
+    /// Component coordinator → seed & peers: "my component is alive at
+    /// this view" — the rediscovery signal after a partition heals. The
+    /// envelope epoch carries the advertised view `ltime`.
+    MergeBeacon {
+        /// The advertising component's live members, rank order.
+        members: Vec<Endpoint>,
+    },
+    /// Junior coordinator → senior coordinator: "absorb my component."
+    MergeRequest {
+        /// The requesting component's live members, rank order.
+        members: Vec<Endpoint>,
+    },
+    /// Senior coordinator → admitted member: the merged view to install
+    /// directly (the admitted side never saw the flush), plus a state
+    /// snapshot for reconciliation.
+    MergeGrant {
+        /// The merged view's `ltime`.
+        view_ltime: u64,
+        /// The merged membership, rank order.
+        members: Vec<Endpoint>,
+        /// Application snapshot from the surviving primary (may be empty).
+        snapshot: Vec<u8>,
+    },
 }
 
 /// A decoded control frame with its envelope fields.
@@ -98,21 +124,40 @@ pub fn encode(env: &Envelope, key: u64) -> Vec<u8> {
         Frame::Welcome { .. } => TAG_WELCOME,
         Frame::Heartbeat { .. } => TAG_HEARTBEAT,
         Frame::Fence => TAG_FENCE,
+        Frame::MergeBeacon { .. } => TAG_MERGE_BEACON,
+        Frame::MergeRequest { .. } => TAG_MERGE_REQUEST,
+        Frame::MergeGrant { .. } => TAG_MERGE_GRANT,
     };
     out.push(tag);
     out.extend_from_slice(&env.epoch.to_le_bytes());
     out.extend_from_slice(&env.src.to_wire().to_le_bytes());
+    fn put_members(out: &mut Vec<u8>, members: &[Endpoint]) {
+        out.extend_from_slice(&(members.len() as u16).to_le_bytes());
+        for m in members {
+            out.extend_from_slice(&m.to_wire().to_le_bytes());
+        }
+    }
     match &env.frame {
         Frame::Hello | Frame::Fence => {}
         Frame::Welcome { members, snapshot } => {
-            out.extend_from_slice(&(members.len() as u16).to_le_bytes());
-            for m in members {
-                out.extend_from_slice(&m.to_wire().to_le_bytes());
-            }
+            put_members(&mut out, members);
             out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
             out.extend_from_slice(snapshot);
         }
         Frame::Heartbeat { seq } => out.extend_from_slice(&seq.to_le_bytes()),
+        Frame::MergeBeacon { members } | Frame::MergeRequest { members } => {
+            put_members(&mut out, members);
+        }
+        Frame::MergeGrant {
+            view_ltime,
+            members,
+            snapshot,
+        } => {
+            out.extend_from_slice(&view_ltime.to_le_bytes());
+            put_members(&mut out, members);
+            out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
+            out.extend_from_slice(snapshot);
+        }
     }
     let m = mac(&out, key);
     out.extend_from_slice(&m.to_le_bytes());
@@ -172,19 +217,40 @@ pub fn decode(bytes: &[u8], key: u64) -> Result<Envelope, WireError> {
     let tag = r.u8()?;
     let epoch = r.u64()?;
     let src = Endpoint::from_wire(r.u64()?);
+    fn get_members(r: &mut Reader<'_>) -> Result<Vec<Endpoint>, WireError> {
+        let n = r.u16()? as usize;
+        let mut members = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            members.push(Endpoint::from_wire(r.u64()?));
+        }
+        Ok(members)
+    }
     let frame = match tag {
         TAG_HELLO => Frame::Hello,
         TAG_FENCE => Frame::Fence,
         TAG_HEARTBEAT => Frame::Heartbeat { seq: r.u64()? },
         TAG_WELCOME => {
-            let n = r.u16()? as usize;
-            let mut members = Vec::with_capacity(n);
-            for _ in 0..n {
-                members.push(Endpoint::from_wire(r.u64()?));
-            }
+            let members = get_members(&mut r)?;
             let len = r.u32()? as usize;
             let snapshot = r.take(len)?.to_vec();
             Frame::Welcome { members, snapshot }
+        }
+        TAG_MERGE_BEACON => Frame::MergeBeacon {
+            members: get_members(&mut r)?,
+        },
+        TAG_MERGE_REQUEST => Frame::MergeRequest {
+            members: get_members(&mut r)?,
+        },
+        TAG_MERGE_GRANT => {
+            let view_ltime = r.u64()?;
+            let members = get_members(&mut r)?;
+            let len = r.u32()? as usize;
+            let snapshot = r.take(len)?.to_vec();
+            Frame::MergeGrant {
+                view_ltime,
+                members,
+                snapshot,
+            }
         }
         _ => return Err(WireError::BadTag),
     };
@@ -222,6 +288,44 @@ mod tests {
         let env = roundtrip(w.clone(), 0);
         assert_eq!(env.frame, w);
         assert_eq!(env.src, Endpoint::with_incarnation(3, 1));
+    }
+
+    #[test]
+    fn merge_frames_roundtrip() {
+        let members = vec![Endpoint::new(4), Endpoint::with_incarnation(5, 2)];
+        let b = Frame::MergeBeacon {
+            members: members.clone(),
+        };
+        let env = roundtrip(b.clone(), 3);
+        assert_eq!(env.frame, b);
+        assert_eq!(env.epoch, 3, "beacon epoch carries the view ltime");
+        let rq = Frame::MergeRequest {
+            members: members.clone(),
+        };
+        assert_eq!(roundtrip(rq.clone(), 1).frame, rq);
+        let g = Frame::MergeGrant {
+            view_ltime: 9,
+            members,
+            snapshot: b"merged-state".to_vec(),
+        };
+        assert_eq!(roundtrip(g.clone(), 8).frame, g);
+    }
+
+    #[test]
+    fn merge_grant_truncation_is_rejected_not_panicked() {
+        let env = Envelope {
+            src: Endpoint::new(1),
+            epoch: 2,
+            frame: Frame::MergeGrant {
+                view_ltime: 4,
+                members: vec![Endpoint::new(0), Endpoint::new(1), Endpoint::new(2)],
+                snapshot: vec![7; 64],
+            },
+        };
+        let bytes = encode(&env, KEY);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut], KEY).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

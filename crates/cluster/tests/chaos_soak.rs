@@ -1,0 +1,229 @@
+//! Deterministic partition chaos: split, stall, heal, merge — checked.
+//!
+//! Six nodes form over seeded loopback hubs. The harness splits both
+//! planes 4/2, waits for the minority to stall ([`ClusterEvent::
+//! MinorityPartition`]) and the majority to install the shrunk view,
+//! pushes traffic only the majority may deliver, heals, and waits for
+//! the single merged six-member view. Every view install and cast
+//! delivery on every node feeds a [`VsyncChecker`]; the run passes only
+//! if the whole execution satisfies the virtual-synchrony contract —
+//! one primary view sequence, agreed delivery, exactly-once — for each
+//! seed in the matrix.
+
+use ensemble_cluster::{ClusterConfig, ClusterEvent, ClusterNode, StateProvider, VsyncChecker};
+use ensemble_runtime::{Delivery, FaultPlan, LoopbackHub};
+use ensemble_util::Endpoint;
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const N: usize = 6;
+const MAJORITY: [u32; 4] = [0, 1, 2, 3];
+const MINORITY: [u32; 2] = [4, 5];
+
+struct Harness {
+    nodes: Vec<ClusterNode>,
+    checker: VsyncChecker,
+    casts: Vec<Vec<Vec<u8>>>,
+    stalled: HashSet<u32>,
+    snapshots: Vec<u32>,
+}
+
+impl Harness {
+    /// Forms the six-node cluster and seeds the checker with the
+    /// initial view (its `Formed` event is consumed while forming).
+    fn form(control: &LoopbackHub, data: &LoopbackHub) -> Harness {
+        let cfg = ClusterConfig::new(N);
+        let seed = Endpoint::new(0);
+        let mut formers = Vec::new();
+        for i in 0..N as u32 {
+            let ep = Endpoint::new(i);
+            let (c, d) = (control.attach(ep), data.attach(ep));
+            let cfg = cfg.clone();
+            formers.push(std::thread::spawn(move || {
+                let state: Option<Box<dyn StateProvider>> = (ep == seed)
+                    .then(|| Box::new(|| b"kv-state".to_vec()) as Box<dyn StateProvider>);
+                ClusterNode::form(ep, seed, cfg, Box::new(c), Box::new(d), state)
+            }));
+        }
+        let nodes: Vec<ClusterNode> = formers
+            .into_iter()
+            .map(|f| f.join().unwrap().expect("rendezvous completes"))
+            .collect();
+        let mut checker = VsyncChecker::new();
+        for n in &nodes {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                assert!(Instant::now() < deadline, "node never saw Formed");
+                match n.recv_timeout(Duration::from_millis(10)) {
+                    Some(ClusterEvent::Formed(vs)) => {
+                        assert_eq!(vs.nmembers(), N);
+                        checker.on_view(n.endpoint(), &vs);
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+        }
+        Harness {
+            nodes,
+            checker,
+            casts: vec![Vec::new(); N],
+            stalled: HashSet::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    fn drain(&mut self) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let ep = n.endpoint();
+            while let Some(ev) = n.try_recv() {
+                match ev {
+                    ClusterEvent::Formed(vs) => self.checker.on_view(ep, &vs),
+                    ClusterEvent::Delivery(Delivery::View(vs)) => self.checker.on_view(ep, &vs),
+                    ClusterEvent::Delivery(Delivery::Cast { bytes, .. }) => {
+                        self.checker.on_cast_delivery(ep, &bytes);
+                        self.casts[i].push(bytes);
+                    }
+                    ClusterEvent::MinorityPartition { live, needed } => {
+                        assert!(live < needed, "stall reports a real quorum loss");
+                        self.stalled.insert(ep.id());
+                    }
+                    ClusterEvent::Snapshot(_) => self.snapshots.push(ep.id()),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Polls `drain` until `cond` holds (bounded), asserting `what`.
+    fn wait(&mut self, what: &str, mut cond: impl FnMut(&Harness) -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            self.drain();
+            if cond(self) {
+                return;
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for: {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Casts one unique payload from each node in `from` and waits until
+    /// every node in `to` has delivered all of them.
+    fn cast_round(&mut self, tag: char, from: &[u32], to: &[u32]) {
+        for &id in from {
+            let payload = format!("{tag}{id}");
+            self.nodes[id as usize].cast(payload.as_bytes()).unwrap();
+        }
+        let want: Vec<Vec<u8>> = from
+            .iter()
+            .map(|id| format!("{tag}{id}").into_bytes())
+            .collect();
+        self.wait(&format!("round '{tag}' delivered to {to:?}"), |h| {
+            to.iter().all(|&id| {
+                want.iter()
+                    .all(|p| h.casts[id as usize].iter().any(|c| c == p))
+            })
+        });
+    }
+}
+
+fn soak(seed: u64) {
+    let control = LoopbackHub::with_faults(seed, FaultPlan::default());
+    let data = LoopbackHub::with_faults(seed ^ 0x5EED, FaultPlan::default());
+    let mut h = Harness::form(&control, &data);
+
+    // Phase A: healthy cluster, every node casts, everyone delivers.
+    let all: Vec<u32> = (0..N as u32).collect();
+    h.cast_round('a', &all, &all);
+
+    // Split 4/2 on both planes.
+    let groups = vec![MAJORITY.to_vec(), MINORITY.to_vec()];
+    control.split(groups.clone());
+    data.split(groups);
+    assert!(control.partition_status().is_partitioned());
+
+    // The minority stalls; the majority installs the shrunk view.
+    h.wait("both minority nodes stall", |h| {
+        MINORITY.iter().all(|id| h.stalled.contains(id))
+    });
+    h.wait("majority installs the 4-member view", |h| {
+        MAJORITY.iter().all(|&id| {
+            let v = h.nodes[id as usize].view();
+            v.nmembers() == MAJORITY.len() && v.view_id.ltime > 0
+        })
+    });
+
+    // Phase B: only the primary component may deliver this traffic.
+    h.cast_round('b', &MAJORITY, &MAJORITY);
+
+    // Heal. Beacons cross, the senior coordinator merges, grants pull
+    // the minority into the single six-member view.
+    control.heal();
+    data.heal();
+    h.wait("all six nodes install the merged view", |h| {
+        h.nodes.iter().all(|n| {
+            let v = n.view();
+            v.nmembers() == N && v.view_id.ltime > 1
+        })
+    });
+    let merged = h.nodes[0].view();
+    for n in &h.nodes {
+        assert_eq!(n.view().view_id, merged.view_id, "one merged view");
+    }
+
+    // Phase C: the healed cluster is fully symmetric again.
+    h.cast_round('c', &all, &all);
+    h.drain();
+
+    // The minority skipped the primary's solo view entirely: phase B
+    // payloads must never have reached it (agreed delivery, not "late").
+    for &id in &MINORITY {
+        assert!(
+            !h.casts[id as usize].iter().any(|c| c.starts_with(b"b")),
+            "minority node {id} delivered majority-only traffic"
+        );
+        assert!(
+            h.snapshots.contains(&id),
+            "minority node {id} rejoined without a state snapshot"
+        );
+    }
+
+    // The whole execution satisfies the virtual-synchrony contract.
+    let violations = h.checker.finish();
+    assert!(
+        violations.is_empty(),
+        "seed {seed}: vsync violations:\n{}",
+        violations.join("\n")
+    );
+
+    // Operator-visible traces of the episode.
+    let m0 = h.nodes[0].metrics();
+    assert!(m0.merge_beacons.load(Ordering::Relaxed) >= 1);
+    assert!(m0.merge_grants_sent.load(Ordering::Relaxed) >= MINORITY.len() as u64);
+    let m4 = h.nodes[4].metrics();
+    assert!(m4.minority_stalls.load(Ordering::Relaxed) >= 1);
+    assert!(m4.merge_grants_installed.load(Ordering::Relaxed) >= 1);
+    let health = control.health();
+    assert!(
+        health.faults.partition_drops > 0,
+        "the split dropped real traffic"
+    );
+    assert!(!control.partition_status().is_partitioned());
+}
+
+#[test]
+fn seeded_partition_chaos_keeps_virtual_synchrony_seed_1() {
+    soak(1);
+}
+
+#[test]
+fn seeded_partition_chaos_keeps_virtual_synchrony_seed_2() {
+    soak(2);
+}
+
+#[test]
+fn seeded_partition_chaos_keeps_virtual_synchrony_seed_3() {
+    soak(3);
+}

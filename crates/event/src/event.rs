@@ -24,6 +24,13 @@ pub enum DnEvent {
     BlockOk,
     /// Declare `ranks` as suspected-failed (travels to membership).
     Suspect { ranks: Vec<Rank> },
+    /// Admit `members` into the group (travels to membership): `gmp`
+    /// flushes the current view and announces a grown view whose member
+    /// list is the sorted union. Used by partition healing, where the
+    /// members of a remote component rejoin the primary partition.
+    Merge {
+        members: Vec<ensemble_util::Endpoint>,
+    },
     /// A stability vector travelling down (consumed by `mnak` to prune
     /// its retransmission buffer; absorbed by `bottom`).
     Stable(Vec<Seqno>),

@@ -80,7 +80,11 @@ impl Layer for Bottom {
                 out.up(UpEvent::Exit);
             }
             // Control events that reached the bottom are absorbed.
-            DnEvent::Block | DnEvent::BlockOk | DnEvent::Suspect { .. } | DnEvent::Stable(_) => {}
+            DnEvent::Block
+            | DnEvent::BlockOk
+            | DnEvent::Suspect { .. }
+            | DnEvent::Merge { .. }
+            | DnEvent::Stable(_) => {}
         }
     }
 }

@@ -11,12 +11,14 @@
 use crate::config::LayerConfig;
 use crate::layer::Layer;
 use ensemble_event::{DnEvent, Effects, Frame, GmpHdr, Msg, UpEvent, ViewState};
-use ensemble_util::{Rank, Time};
+use ensemble_util::{Endpoint, Rank, Time};
 
 /// The membership layer.
 pub struct Gmp {
     view: ViewState,
     suspects: Vec<Rank>,
+    /// Endpoints to admit at the next view change (partition healing).
+    pending_merge: Vec<Endpoint>,
     in_progress: bool,
 }
 
@@ -26,6 +28,7 @@ impl Gmp {
         Gmp {
             view: vs.clone(),
             suspects: Vec::new(),
+            pending_merge: Vec::new(),
             in_progress: false,
         }
     }
@@ -33,6 +36,43 @@ impl Gmp {
     /// Whether a view change is under way.
     pub fn changing(&self) -> bool {
         self.in_progress
+    }
+
+    /// The successor view: current members minus suspects, plus any
+    /// pending merge admissions, sorted so every installer agrees on
+    /// ranks. Duplicate ids keep the highest incarnation — a rejoining
+    /// member supersedes its dead predecessor.
+    fn successor_view(&mut self) -> ViewState {
+        if self.pending_merge.is_empty() {
+            return self.view.next_view(&self.suspects);
+        }
+        let me = self.view.my_endpoint();
+        let mut members: Vec<Endpoint> = self
+            .view
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.suspects.iter().any(|r| r.index() == *i))
+            .map(|(_, ep)| *ep)
+            .collect();
+        members.append(&mut self.pending_merge);
+        members.sort();
+        members.reverse();
+        members.dedup_by_key(|ep| ep.id());
+        members.reverse();
+        let rank = members
+            .iter()
+            .position(|&ep| ep == me)
+            .expect("gmp: merge coordinator vanished from its own merged view");
+        ViewState {
+            group: self.view.group,
+            view_id: ensemble_util::ViewId {
+                ltime: self.view.view_id.ltime + 1,
+                coord: members[0],
+            },
+            members,
+            rank: Rank(rank as u16),
+        }
     }
 }
 
@@ -65,7 +105,7 @@ impl Layer for Gmp {
             UpEvent::FlushDone => {
                 // The flush is complete: announce the successor view and
                 // install it locally (there is no loopback below us).
-                let next = self.view.next_view(&self.suspects);
+                let next = self.successor_view();
                 let mut ann = Msg::control();
                 ann.push_frame(Frame::Gmp(GmpHdr::NewView {
                     view_id_ltime: next.view_id.ltime,
@@ -134,6 +174,21 @@ impl Layer for Gmp {
                 out.dn(ev);
             }
             DnEvent::Suspect { .. } => out.dn(ev),
+            DnEvent::Merge { members } => {
+                // Reached us ⇒ the cluster driver (the acting merge
+                // coordinator) decided to admit a healed component.
+                for ep in members.drain(..) {
+                    if !self.pending_merge.contains(&ep) {
+                        self.pending_merge.push(ep);
+                    }
+                }
+                if !self.in_progress && !self.pending_merge.is_empty() {
+                    self.in_progress = true;
+                    // No new suspects: the flush runs over the current
+                    // view; the admissions join at announcement time.
+                    out.dn(DnEvent::Block);
+                }
+            }
             _ => out.dn(ev),
         }
     }
@@ -223,6 +278,93 @@ mod tests {
         }));
         let ev = h.up(up_cast(0, ann)).sole_up();
         assert_eq!(ev, UpEvent::Exit);
+    }
+
+    #[test]
+    fn merge_starts_block_without_suspects() {
+        let mut h = h(0, 3);
+        let out = h.dn(DnEvent::Merge {
+            members: vec![Endpoint::new(7)],
+        });
+        assert!(out.dn.contains(&DnEvent::Block));
+        assert!(
+            !out.dn.iter().any(|e| matches!(e, DnEvent::Suspect { .. })),
+            "a pure merge suspects nobody"
+        );
+        assert!(h.layer.changing());
+    }
+
+    #[test]
+    fn flush_done_after_merge_announces_grown_sorted_view() {
+        let mut h = h(1, 3);
+        h.dn(DnEvent::Merge {
+            members: vec![Endpoint::new(7), Endpoint::new(5)],
+        });
+        let out = h.up(UpEvent::FlushDone);
+        let vs = out
+            .up
+            .iter()
+            .find_map(|e| match e {
+                UpEvent::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .expect("merged view installed locally");
+        assert_eq!(
+            vs.members,
+            vec![
+                Endpoint::new(0),
+                Endpoint::new(1),
+                Endpoint::new(2),
+                Endpoint::new(5),
+                Endpoint::new(7),
+            ]
+        );
+        assert_eq!(vs.view_id.ltime, 1);
+        assert_eq!(vs.view_id.coord, Endpoint::new(0));
+        assert_eq!(vs.rank, Rank(1), "rank follows the sorted position");
+    }
+
+    #[test]
+    fn merge_prefers_the_fresh_incarnation_of_an_id() {
+        let mut h = h(0, 3);
+        // ep2 rejoins with a bumped incarnation while still listed.
+        h.dn(DnEvent::Merge {
+            members: vec![Endpoint::new(2).reincarnate()],
+        });
+        let out = h.up(UpEvent::FlushDone);
+        let vs = out
+            .up
+            .iter()
+            .find_map(|e| match e {
+                UpEvent::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .expect("merged view installed locally");
+        assert_eq!(vs.nmembers(), 3);
+        assert!(vs.members.contains(&Endpoint::new(2).reincarnate()));
+        assert!(!vs.members.contains(&Endpoint::new(2)));
+    }
+
+    #[test]
+    fn merge_combined_with_suspicion_removes_and_admits() {
+        let mut h = h(0, 3);
+        h.up(UpEvent::Suspect(vec![Rank(2)]));
+        h.dn(DnEvent::Merge {
+            members: vec![Endpoint::new(9)],
+        });
+        let out = h.up(UpEvent::FlushDone);
+        let vs = out
+            .up
+            .iter()
+            .find_map(|e| match e {
+                UpEvent::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .expect("view installed");
+        assert_eq!(
+            vs.members,
+            vec![Endpoint::new(0), Endpoint::new(1), Endpoint::new(9)]
+        );
     }
 
     #[test]

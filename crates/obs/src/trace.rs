@@ -64,6 +64,12 @@ pub enum EventKind {
     ViewPropose = 19,
     /// A state snapshot was shipped to (or installed by) a joiner.
     StateTransfer = 20,
+    /// A partition-component coordinator advertised its view for merge.
+    MergeBeacon = 21,
+    /// A merged view was granted to (or installed by) a healed member.
+    MergeGrant = 22,
+    /// A node stalled application traffic: its component lacks quorum.
+    MinorityStall = 23,
 }
 
 impl EventKind {
@@ -90,6 +96,9 @@ impl EventKind {
             18 => Heartbeat,
             19 => ViewPropose,
             20 => StateTransfer,
+            21 => MergeBeacon,
+            22 => MergeGrant,
+            23 => MinorityStall,
             _ => Other,
         }
     }
@@ -119,6 +128,9 @@ impl EventKind {
             Heartbeat => "heartbeat",
             ViewPropose => "view_propose",
             StateTransfer => "state_transfer",
+            MergeBeacon => "merge_beacon",
+            MergeGrant => "merge_grant",
+            MinorityStall => "minority_stall",
         }
     }
 }

@@ -180,6 +180,16 @@ pub struct GroupCore {
     /// would be missing from the agreed cut and could be lost or
     /// delivered inconsistently across the view change.
     blocked: bool,
+    /// The cluster driver stalled this group: its partition component
+    /// lacks quorum. Casts/sends park (like a flush window) and ingress
+    /// is *dropped* — while stalled the stack must neither originate nor
+    /// consume traffic, or the minority could deliver messages the
+    /// primary partition never agrees on. Cleared by the next installed
+    /// view (the merge) or an explicit unstall.
+    stalled: bool,
+    /// Ingress packets dropped while stalled (delta; see
+    /// [`GroupCore::take_stall_drops`]).
+    stall_drops: u64,
     /// Messages parked during the flush window, replayed through the
     /// fresh stack right after the new view installs.
     parked: Vec<Parked>,
@@ -215,6 +225,8 @@ impl GroupCore {
             bypass: None,
             stash: Vec::new(),
             blocked: false,
+            stalled: false,
+            stall_drops: 0,
             parked: Vec::new(),
             bypass_hits: 0,
             bypass_misses: 0,
@@ -256,6 +268,75 @@ impl GroupCore {
     /// Whether the stack is in a flush window (sends are being parked).
     pub fn is_blocked(&self) -> bool {
         self.blocked
+    }
+
+    /// Whether the group is stalled for lack of quorum.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Stalls or unstalls the group (see the `stalled` field docs).
+    /// Unstalling without a view change replays parked messages into the
+    /// current view.
+    pub fn set_stalled(&mut self, now: Time, on: bool) -> Vec<Action> {
+        let mut out = Vec::new();
+        if !self.alive || self.stalled == on {
+            return out;
+        }
+        self.stalled = on;
+        self.trace(
+            now,
+            CoreLayer::App,
+            EventKind::MinorityStall,
+            if on { Direction::Dn } else { Direction::Up },
+            CcpFailure::None,
+            on as u64,
+        );
+        if !on && !self.blocked {
+            self.replay_parked(now, &mut out);
+        }
+        out
+    }
+
+    /// Takes and resets the stalled-ingress drop count.
+    pub fn take_stall_drops(&mut self) -> u64 {
+        std::mem::take(&mut self.stall_drops)
+    }
+
+    /// Installs a view handed in from *outside* the stack — a merge
+    /// grant from the primary partition's coordinator, arriving on the
+    /// control plane because this member never saw the flush that
+    /// produced it. Guarded: only a strictly newer view (by `ltime`) is
+    /// accepted, so a delayed or duplicated grant cannot roll the group
+    /// back. Clears any quorum stall and replays parked messages into
+    /// the merged view.
+    pub fn install_external_view(&mut self, now: Time, vs: ViewState) -> Vec<Action> {
+        let mut out = Vec::new();
+        if !self.alive || vs.view_id.ltime <= self.vs.view_id.ltime {
+            return out;
+        }
+        self.stalled = false;
+        self.install_view(now, vs, &mut out);
+        out
+    }
+
+    /// Asks the stack to admit `members` (partition healing): `gmp`
+    /// flushes the current view and announces the grown view.
+    pub fn merge(&mut self, now: Time, members: Vec<Endpoint>) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.alive {
+            self.trace(
+                now,
+                CoreLayer::App,
+                EventKind::MergeGrant,
+                Direction::Dn,
+                CcpFailure::None,
+                members.len() as u64,
+            );
+            let b = self.inject_dn(now, DnEvent::Merge { members });
+            self.route(now, b, &mut out);
+        }
+        out
     }
 
     /// Messages currently parked awaiting the next view.
@@ -372,7 +453,7 @@ impl GroupCore {
             CcpFailure::None,
             payload.len() as u64,
         );
-        if self.blocked {
+        if self.blocked || self.stalled {
             self.park(now, Parked::Cast(payload.to_vec()));
             return out;
         }
@@ -419,7 +500,7 @@ impl GroupCore {
             CcpFailure::None,
             payload.len() as u64,
         );
-        if self.blocked {
+        if self.blocked || self.stalled {
             let dst_ep = self.vs.endpoint_of(dst);
             self.park(now, Parked::Send(dst_ep, payload.to_vec()));
             return out;
@@ -492,6 +573,13 @@ impl GroupCore {
     pub fn deliver_packet(&mut self, now: Time, pkt: Packet) -> Vec<Action> {
         let mut out = Vec::new();
         if !self.alive {
+            return out;
+        }
+        if self.stalled {
+            // Quarantine: a stalled minority must not consume traffic
+            // from a primary view it never installed (stale seqno state
+            // would NAK and mis-deliver across the epoch boundary).
+            self.stall_drops += 1;
             return out;
         }
         let Some(origin) = self.vs.rank_of(pkt.src) else {
@@ -588,6 +676,11 @@ impl GroupCore {
         let b = self.engine.fire_timer(now, layer);
         self.cost.dispatches += 1;
         self.route(now, b, &mut out);
+        if self.stalled {
+            // Timers keep rescheduling (an unstall must find the stack
+            // live), but a stalled group stays silent on the wire.
+            out.retain(|a| !matches!(a, Action::Transmit(_)));
+        }
         out
     }
 
@@ -827,6 +920,7 @@ impl GroupCore {
         self.bypass = None;
         self.stash.clear();
         self.blocked = false;
+        self.stalled = false;
         let mut engine = self
             .kind
             .build(make_stack(&self.names, &vs, &self.cfg).expect("stack built once already"));

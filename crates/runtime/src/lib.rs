@@ -57,11 +57,12 @@ pub mod transport;
 pub mod udp;
 
 pub use group::{Action, BypassError, CoreEvent, CoreLayer, Delivery, GroupCore};
-pub use metrics::{RuntimeStats, ShardMetrics, ShardSnapshot};
+pub use metrics::{RuntimeStats, ShardMetrics, ShardSnapshot, TransportHealth};
 pub use node::{GroupHandle, GroupSender, Node, RuntimeConfig, RuntimeError};
 pub use obs::NodeObs;
 pub use timer::TimerWheel;
 pub use transport::{
-    FaultCounts, FaultPlan, LoopbackHub, LoopbackTransport, Transport, TransportIoErrors, Waker,
+    FaultCounts, FaultPlan, LoopbackHub, LoopbackTransport, PartitionOp, PartitionScript,
+    PartitionStatus, Transport, TransportIoErrors, Waker,
 };
 pub use udp::UdpTransport;

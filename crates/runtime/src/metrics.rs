@@ -8,6 +8,7 @@
 //! program's instruction count, generic-path events add one dispatch per
 //! layer crossed.
 
+use crate::transport::{FaultCounts, PartitionStatus};
 use ensemble_util::Counters;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +41,8 @@ pub struct ShardMetrics {
     pub transport_send_errors: AtomicU64,
     /// Socket recv errors reported by this shard's transports.
     pub transport_recv_errors: AtomicU64,
+    /// Ingress packets quarantined by stalled (quorum-less) groups.
+    pub stall_drops: AtomicU64,
     /// Modeled instruction cost of bypass hits (compiled program sizes).
     pub cost_instructions: AtomicU64,
     /// Layer-boundary crossings taken by generic-path events.
@@ -71,6 +74,7 @@ impl ShardMetrics {
             spurious_wakeups: ld(&self.spurious_wakeups),
             transport_send_errors: ld(&self.transport_send_errors),
             transport_recv_errors: ld(&self.transport_recv_errors),
+            stall_drops: ld(&self.stall_drops),
             model_cost: Counters {
                 instructions: ld(&self.cost_instructions),
                 data_refs: ld(&self.cost_data_refs),
@@ -124,6 +128,8 @@ pub struct ShardSnapshot {
     pub transport_send_errors: u64,
     /// Socket recv errors from this shard's transports.
     pub transport_recv_errors: u64,
+    /// Ingress packets quarantined by stalled (quorum-less) groups.
+    pub stall_drops: u64,
     /// Model-level cost counters (same vocabulary as Table 2(a)).
     pub model_cost: Counters,
 }
@@ -139,11 +145,27 @@ impl ShardSnapshot {
     }
 }
 
+/// Health of the node's transport fabric at snapshot time: injected
+/// fault totals plus the live partition picture. Only populated when the
+/// node runs over a [`crate::transport::LoopbackHub`] (or another source
+/// registered via [`crate::Node::set_transport_health_source`]); real
+/// sockets report `None`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportHealth {
+    /// Cumulative injected-fault counters (drops, dups, reorders,
+    /// partition and link-matrix drops).
+    pub faults: FaultCounts,
+    /// The active partition layout and remaining script steps.
+    pub partition: PartitionStatus,
+}
+
 /// A whole-node snapshot: one entry per shard.
 #[derive(Clone, Debug, Default)]
 pub struct RuntimeStats {
     /// Per-shard counters, indexed by shard id.
     pub shards: Vec<ShardSnapshot>,
+    /// Transport fabric health, when a source is registered.
+    pub transport: Option<TransportHealth>,
 }
 
 impl RuntimeStats {
@@ -167,6 +189,7 @@ impl RuntimeStats {
             t.spurious_wakeups += s.spurious_wakeups;
             t.transport_send_errors += s.transport_send_errors;
             t.transport_recv_errors += s.transport_recv_errors;
+            t.stall_drops += s.stall_drops;
             t.model_cost.merge(&s.model_cost);
         }
         t
@@ -178,7 +201,7 @@ impl fmt::Display for RuntimeStats {
         for s in &self.shards {
             writeln!(
                 f,
-                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={}",
+                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={} stall_drops={}",
                 s.shard,
                 s.groups,
                 s.msgs_in,
@@ -193,12 +216,13 @@ impl fmt::Display for RuntimeStats {
                 s.spurious_wakeups,
                 s.transport_send_errors,
                 s.transport_recv_errors,
+                s.stall_drops,
             )?;
         }
         let t = self.totals();
         write!(
             f,
-            "total: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={} cost: {}",
+            "total: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={} stall_drops={} cost: {}",
             t.groups,
             t.msgs_in,
             t.msgs_out,
@@ -212,6 +236,7 @@ impl fmt::Display for RuntimeStats {
             t.spurious_wakeups,
             t.transport_send_errors,
             t.transport_recv_errors,
+            t.stall_drops,
             t.model_cost
         )
     }
@@ -247,7 +272,10 @@ mod tests {
             retransmits: 2,
             ..ShardSnapshot::default()
         };
-        let stats = RuntimeStats { shards: vec![a, b] };
+        let stats = RuntimeStats {
+            shards: vec![a, b],
+            transport: None,
+        };
         let t = stats.totals();
         assert_eq!(t.msgs_in, 12);
         assert_eq!(t.retransmits, 2);
@@ -281,7 +309,10 @@ mod tests {
         assert_eq!(s.spurious_wakeups, 4);
         assert_eq!(s.transport_send_errors, 2);
         assert_eq!(s.transport_recv_errors, 1);
-        let stats = RuntimeStats { shards: vec![s, s] };
+        let stats = RuntimeStats {
+            shards: vec![s, s],
+            transport: None,
+        };
         let t = stats.totals();
         assert_eq!(t.spurious_wakeups, 8);
         assert_eq!(t.transport_send_errors, 4);
@@ -307,6 +338,7 @@ mod tests {
                 delivery_depth: 7,
                 ..ShardSnapshot::default()
             }],
+            transport: None,
         };
         let text = format!("{stats}");
         assert!(text.contains("qdepth cmd=6 dlv=7"), "got: {text}");

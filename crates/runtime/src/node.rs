@@ -16,7 +16,7 @@
 //! notes on [`GroupHandle`].
 
 use crate::group::{Action, CoreEvent, CoreLayer, Delivery, GroupCore};
-use crate::metrics::{RuntimeStats, ShardMetrics};
+use crate::metrics::{RuntimeStats, ShardMetrics, TransportHealth};
 use crate::obs::NodeObs;
 use crate::timer::TimerWheel;
 use crate::transport::{Transport, Waker};
@@ -89,6 +89,12 @@ enum Command {
     Cast(Vec<u8>),
     Send(Rank, Vec<u8>),
     Suspect(Vec<Rank>),
+    /// Admit endpoints into the group via gmp's merge flush.
+    Merge(Vec<Endpoint>),
+    /// Install a view granted from outside the stack (partition heal).
+    InstallView(ensemble_event::ViewState),
+    /// Stall (true) or resume (false) the group for lack of quorum.
+    Stall(bool),
     Leave,
     /// Synthesize + compile the MACH bypass; the result goes back on the
     /// provided channel.
@@ -221,6 +227,25 @@ impl GroupHandle {
         self.command(Command::Suspect(ranks))
     }
 
+    /// Asks the stack to admit `members` (partition healing): gmp runs
+    /// a flush and announces the grown view to the current members.
+    pub fn merge(&self, members: Vec<Endpoint>) -> Result<(), RuntimeError> {
+        self.command(Command::Merge(members))
+    }
+
+    /// Installs a strictly newer view handed in from outside the stack
+    /// (a control-plane merge grant). Older or equal views are ignored.
+    pub fn install_view(&self, vs: ensemble_event::ViewState) -> Result<(), RuntimeError> {
+        self.command(Command::InstallView(vs))
+    }
+
+    /// Stalls (`true`) or resumes (`false`) the group: while stalled,
+    /// application traffic parks and ingress is quarantined — the
+    /// minority-partition safety mode.
+    pub fn stall(&self, on: bool) -> Result<(), RuntimeError> {
+        self.command(Command::Stall(on))
+    }
+
     /// Gracefully leaves the group.
     pub fn leave(&self) -> Result<(), RuntimeError> {
         self.command(Command::Leave)
@@ -335,6 +360,7 @@ pub struct Node {
     next_shard: usize,
     cfg: RuntimeConfig,
     obs: Arc<NodeObs>,
+    health: Option<Arc<dyn Fn() -> TransportHealth + Send + Sync>>,
 }
 
 impl Node {
@@ -373,6 +399,7 @@ impl Node {
             next_shard: 0,
             cfg,
             obs,
+            health: None,
         }
     }
 
@@ -456,6 +483,17 @@ impl Node {
         }
     }
 
+    /// Registers the source [`Node::stats`] polls for transport health
+    /// (fault totals + partition layout). Typically
+    /// `node.set_transport_health_source(move || hub.health())` when the
+    /// node runs over a [`crate::transport::LoopbackHub`].
+    pub fn set_transport_health_source<F>(&mut self, source: F)
+    where
+        F: Fn() -> TransportHealth + Send + Sync + 'static,
+    {
+        self.health = Some(Arc::new(source));
+    }
+
     /// Snapshots every shard's counters.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
@@ -465,6 +503,7 @@ impl Node {
                 .enumerate()
                 .map(|(i, s)| s.metrics.snapshot(i))
                 .collect(),
+            transport: self.health.as_ref().map(|h| h()),
         }
     }
 
@@ -561,6 +600,11 @@ fn worker_loop(
                     Command::Cast(p) => actions = groups[gidx].core.cast(now, &p),
                     Command::Send(dst, p) => actions = groups[gidx].core.send(now, dst, &p),
                     Command::Suspect(ranks) => actions = groups[gidx].core.suspect(now, ranks),
+                    Command::Merge(members) => actions = groups[gidx].core.merge(now, members),
+                    Command::InstallView(vs) => {
+                        actions = groups[gidx].core.install_external_view(now, vs)
+                    }
+                    Command::Stall(on) => actions = groups[gidx].core.set_stalled(now, on),
                     Command::Leave => actions = groups[gidx].core.leave(now),
                     Command::InstallBypass(reply) => {
                         let r = groups[gidx]
@@ -696,6 +740,10 @@ fn worker_loop(
             let cost = g.core.take_cost_delta();
             if cost != ensemble_util::Counters::zero() {
                 metrics.add_cost(&cost);
+            }
+            let stalled = g.core.take_stall_drops();
+            if stalled > 0 {
+                metrics.stall_drops.fetch_add(stalled, Ordering::Relaxed);
             }
             let io = g.transport.take_io_errors();
             if !io.is_zero() {

@@ -15,6 +15,10 @@
 //! * `ensemble_bypass_total{shard,result}` — fast-path hits/misses
 //! * `ensemble_timers_fired_total{shard}` / `ensemble_retransmits_total{shard}`
 //! * `ensemble_queue_depth{shard,queue}` — pending commands / deliveries
+//! * `ensemble_stall_drops_total{shard}` — ingress quarantined while stalled
+//! * `ensemble_transport_faults_total{kind}` — injected faults (loopback hub)
+//! * `ensemble_partition_active` / `ensemble_partition_components` /
+//!   `ensemble_partition_dead_links` / `ensemble_partition_pending_steps`
 //! * `ensemble_model_cost_total{counter}` — the Table 2(a) vocabulary
 //! * `ensemble_cast_to_deliver_ns{quantile}` — full-path latency
 //! * `ensemble_handler_ns{quantile}` — per-event handling time
@@ -104,6 +108,37 @@ impl NodeObs {
                 &e("recv"),
                 s.transport_recv_errors,
             );
+            reg.set_int("ensemble_stall_drops_total", &only, s.stall_drops);
+        }
+        if let Some(health) = &stats.transport {
+            let f = &health.faults;
+            for (kind, v) in [
+                ("dropped", f.dropped),
+                ("duplicated", f.duplicated),
+                ("reordered", f.reordered),
+                ("backpressure", f.backpressure_drops),
+                ("partition", f.partition_drops),
+                ("link", f.link_drops),
+            ] {
+                reg.set_int("ensemble_transport_faults_total", &[("kind", kind)], v);
+            }
+            let p = &health.partition;
+            reg.set_int("ensemble_partition_active", &[], p.is_partitioned() as u64);
+            reg.set_int(
+                "ensemble_partition_components",
+                &[],
+                p.components.len() as u64,
+            );
+            reg.set_int(
+                "ensemble_partition_dead_links",
+                &[],
+                p.dead_links.len() as u64,
+            );
+            reg.set_int(
+                "ensemble_partition_pending_steps",
+                &[],
+                p.pending_steps as u64,
+            );
         }
         let cost = stats.totals().model_cost;
         for (counter, v) in [
@@ -163,8 +198,10 @@ mod tests {
             shards: vec![ShardSnapshot {
                 shard: 0,
                 msgs_in: 1,
+                stall_drops: 3,
                 ..ShardSnapshot::default()
             }],
+            transport: None,
         };
         let text = obs.metrics_text(&stats);
         for series in [
@@ -180,7 +217,47 @@ mod tests {
             "ensemble_spurious_wakeups_total{shard=\"0\"}",
             "ensemble_transport_errors_total{shard=\"0\",kind=\"send\"}",
             "ensemble_transport_errors_total{shard=\"0\",kind=\"recv\"}",
+            "ensemble_stall_drops_total{shard=\"0\"} 3",
             "ensemble_trace_events_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+        assert!(
+            !text.contains("ensemble_transport_faults_total"),
+            "fault series need a registered health source"
+        );
+    }
+
+    #[test]
+    fn exposition_renders_transport_health_when_present() {
+        use crate::metrics::TransportHealth;
+        use crate::transport::{FaultCounts, PartitionStatus};
+        let obs = NodeObs::new(true, 1, 64);
+        let stats = RuntimeStats {
+            shards: vec![],
+            transport: Some(TransportHealth {
+                faults: FaultCounts {
+                    dropped: 2,
+                    partition_drops: 5,
+                    link_drops: 1,
+                    ..FaultCounts::default()
+                },
+                partition: PartitionStatus {
+                    components: vec![vec![0, 1], vec![2]],
+                    dead_links: vec![(3, 4)],
+                    pending_steps: 7,
+                },
+            }),
+        };
+        let text = obs.metrics_text(&stats);
+        for series in [
+            "ensemble_transport_faults_total{kind=\"dropped\"} 2",
+            "ensemble_transport_faults_total{kind=\"partition\"} 5",
+            "ensemble_transport_faults_total{kind=\"link\"} 1",
+            "ensemble_partition_active 1",
+            "ensemble_partition_components 2",
+            "ensemble_partition_dead_links 1",
+            "ensemble_partition_pending_steps 7",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }

@@ -195,6 +195,97 @@ pub struct FaultCounts {
     pub reordered: u64,
     /// Datagrams dropped because a recipient's ingress queue was full.
     pub backpressure_drops: u64,
+    /// Datagrams dropped because sender and recipient sat in different
+    /// partition components.
+    pub partition_drops: u64,
+    /// Datagrams dropped by an asymmetric one-way link kill.
+    pub link_drops: u64,
+}
+
+/// One step of a scripted link-matrix schedule.
+///
+/// Components and links are keyed by the 32-bit endpoint *id* (not the
+/// full wire key), so a member that rejoins with a fresh incarnation
+/// stays inside the component its id belongs to — exactly what a real
+/// partition does to a restarted process on the same host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionOp {
+    /// Partition the listed endpoint ids into disjoint components:
+    /// traffic between two listed ids flows only within a component.
+    /// Ids absent from every group are unrestricted.
+    Split(Vec<Vec<u32>>),
+    /// Remove the component map. One-way drops installed by
+    /// [`PartitionOp::DropLink`] stay in force until restored.
+    Heal,
+    /// Install an asymmetric one-way drop: datagrams from `from` to
+    /// `to` are discarded (the reverse direction is unaffected).
+    DropLink {
+        /// Sender id whose datagrams are discarded.
+        from: u32,
+        /// Recipient id that stops hearing `from`.
+        to: u32,
+    },
+    /// Remove a one-way drop installed by [`PartitionOp::DropLink`].
+    RestoreLink {
+        /// Sender id of the drop to remove.
+        from: u32,
+        /// Recipient id of the drop to remove.
+        to: u32,
+    },
+}
+
+/// A virtual-time partition schedule: `(offset_ns, op)` steps applied in
+/// order as the hub's clock (the obs clock carried on every datagram)
+/// passes `arm time + offset`. Armed with [`LoopbackHub::run_script`];
+/// fully determined by its steps — no randomness is involved, so a chaos
+/// run replays the same schedule every time.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionScript {
+    steps: Vec<(u64, PartitionOp)>,
+}
+
+impl PartitionScript {
+    /// An empty schedule.
+    pub fn new() -> PartitionScript {
+        PartitionScript::default()
+    }
+
+    /// Appends a step at `offset_ns` after the script is armed. Steps
+    /// are sorted by offset when armed, so call order does not matter.
+    pub fn at(mut self, offset_ns: u64, op: PartitionOp) -> PartitionScript {
+        self.steps.push((offset_ns, op));
+        self
+    }
+
+    /// Number of steps in the schedule.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Snapshot of a hub's active link restrictions, for test asserts and
+/// the metrics exposition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionStatus {
+    /// Disjoint components currently enforced (endpoint ids, sorted);
+    /// empty when the hub is healed.
+    pub components: Vec<Vec<u32>>,
+    /// Active one-way drops, sorted.
+    pub dead_links: Vec<(u32, u32)>,
+    /// Script steps armed but not yet applied.
+    pub pending_steps: usize,
+}
+
+impl PartitionStatus {
+    /// True when any component split or one-way drop is in force.
+    pub fn is_partitioned(&self) -> bool {
+        !self.components.is_empty() || !self.dead_links.is_empty()
+    }
 }
 
 struct HubPeer {
@@ -209,10 +300,21 @@ struct HubInner {
     peers: HashMap<u64, HubPeer>,
     rng: DetRng,
     plan: FaultPlan,
-    /// Held-back datagrams per recipient, delivered after the next
-    /// datagram to the same recipient (or flushed by an idle receiver).
-    holdback: HashMap<u64, Vec<(u64, Vec<u8>)>>,
+    /// Held-back datagrams per recipient (src id, stamp, frame),
+    /// delivered after the next datagram to the same recipient (or
+    /// flushed by an idle receiver). The src id is kept so a flush
+    /// re-checks the link matrix — a datagram held back before a split
+    /// must not leak across it afterwards.
+    holdback: HashMap<u64, Vec<(u32, u64, Vec<u8>)>>,
     counts: FaultCounts,
+    /// Endpoint id → partition component; unmapped ids are unrestricted.
+    component: HashMap<u32, usize>,
+    /// Asymmetric one-way drops `(from, to)` by endpoint id.
+    dead_links: std::collections::HashSet<(u32, u32)>,
+    /// Armed schedule: absolute deadlines (obs-clock ns) with the next
+    /// unapplied step at `script_cursor`.
+    script: Vec<(u64, PartitionOp)>,
+    script_cursor: usize,
 }
 
 impl HubInner {
@@ -227,9 +329,60 @@ impl HubInner {
         }
     }
 
-    /// Applies the fault plan to one datagram bound for `dst`.
-    fn deliver(&mut self, dst: u64, stamp: u64, frame: &[u8]) {
+    /// Applies script steps whose deadline has passed.
+    fn advance_script(&mut self, now: u64) {
+        while let Some((deadline, op)) = self.script.get(self.script_cursor) {
+            if *deadline > now {
+                break;
+            }
+            let op = op.clone();
+            self.script_cursor += 1;
+            self.apply_op(&op);
+        }
+    }
+
+    fn apply_op(&mut self, op: &PartitionOp) {
+        match op {
+            PartitionOp::Split(groups) => {
+                self.component.clear();
+                for (idx, group) in groups.iter().enumerate() {
+                    for id in group {
+                        self.component.insert(*id, idx);
+                    }
+                }
+            }
+            PartitionOp::Heal => self.component.clear(),
+            PartitionOp::DropLink { from, to } => {
+                self.dead_links.insert((*from, *to));
+            }
+            PartitionOp::RestoreLink { from, to } => {
+                self.dead_links.remove(&(*from, *to));
+            }
+        }
+    }
+
+    /// Whether the link matrix blocks `src → dst`, counting the drop.
+    fn link_blocked(&mut self, src: u32, dst: u32) -> bool {
+        if self.dead_links.contains(&(src, dst)) {
+            self.counts.link_drops += 1;
+            return true;
+        }
+        if let (Some(a), Some(b)) = (self.component.get(&src), self.component.get(&dst)) {
+            if a != b {
+                self.counts.partition_drops += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Applies the link matrix and fault plan to one datagram from
+    /// endpoint id `src` bound for wire key `dst`.
+    fn deliver(&mut self, src: u32, dst: u64, stamp: u64, frame: &[u8]) {
         if !self.peers.contains_key(&dst) {
+            return;
+        }
+        if self.link_blocked(src, (dst >> 32) as u32) {
             return;
         }
         if self.rng.chance(self.plan.drop_p) {
@@ -241,7 +394,7 @@ impl HubInner {
             self.holdback
                 .entry(dst)
                 .or_default()
-                .push((stamp, frame.to_vec()));
+                .push((src, stamp, frame.to_vec()));
             return;
         }
         let copies = if self.rng.chance(self.plan.dup_p) {
@@ -260,8 +413,31 @@ impl HubInner {
         let Some(held) = self.holdback.remove(&dst) else {
             return;
         };
-        for (stamp, frame) in held {
+        let dst_id = (dst >> 32) as u32;
+        for (src, stamp, frame) in held {
+            if self.link_blocked(src, dst_id) {
+                continue;
+            }
             self.push(dst, stamp, frame);
+        }
+    }
+
+    fn partition_status(&self) -> PartitionStatus {
+        let mut by_component: HashMap<usize, Vec<u32>> = HashMap::new();
+        for (id, comp) in &self.component {
+            by_component.entry(*comp).or_default().push(*id);
+        }
+        let mut components: Vec<Vec<u32>> = by_component.into_values().collect();
+        for group in &mut components {
+            group.sort_unstable();
+        }
+        components.sort();
+        let mut dead_links: Vec<(u32, u32)> = self.dead_links.iter().copied().collect();
+        dead_links.sort_unstable();
+        PartitionStatus {
+            components,
+            dead_links,
+            pending_steps: self.script.len() - self.script_cursor,
         }
     }
 }
@@ -292,6 +468,10 @@ impl LoopbackHub {
                 plan,
                 holdback: HashMap::new(),
                 counts: FaultCounts::default(),
+                component: HashMap::new(),
+                dead_links: std::collections::HashSet::new(),
+                script: Vec::new(),
+                script_cursor: 0,
             })),
             capacity: 4096,
         }
@@ -341,6 +521,67 @@ impl LoopbackHub {
             .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation")
             .counts
     }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, HubInner> {
+        self.inner
+            .lock()
+            .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation")
+    }
+
+    /// Arms `script` relative to the current obs clock, replacing any
+    /// previously armed schedule. Steps fire as datagram traffic (or an
+    /// idle receiver poll) moves the hub clock past each deadline.
+    pub fn run_script(&self, script: PartitionScript) {
+        let t0 = ensemble_obs::now_ns();
+        let mut steps = script.steps;
+        steps.sort_by_key(|(offset, _)| *offset);
+        let mut inner = self.locked();
+        inner.script = steps
+            .into_iter()
+            .map(|(offset, op)| (t0.saturating_add(offset), op))
+            .collect();
+        inner.script_cursor = 0;
+    }
+
+    /// Immediately partitions the listed endpoint ids into disjoint
+    /// components (see [`PartitionOp::Split`]).
+    pub fn split(&self, groups: Vec<Vec<u32>>) {
+        self.locked().apply_op(&PartitionOp::Split(groups));
+    }
+
+    /// Immediately removes the component map.
+    pub fn heal(&self) {
+        self.locked().apply_op(&PartitionOp::Heal);
+    }
+
+    /// Immediately installs a one-way drop from `from` to `to`.
+    pub fn drop_link(&self, from: u32, to: u32) {
+        self.locked().apply_op(&PartitionOp::DropLink { from, to });
+    }
+
+    /// Immediately removes a one-way drop.
+    pub fn restore_link(&self, from: u32, to: u32) {
+        self.locked()
+            .apply_op(&PartitionOp::RestoreLink { from, to });
+    }
+
+    /// The active link restrictions and remaining script steps.
+    pub fn partition_status(&self) -> PartitionStatus {
+        self.locked().partition_status()
+    }
+
+    /// Fault totals and partition layout in one snapshot, the shape
+    /// [`crate::RuntimeStats`] carries. Hand
+    /// `move || hub.health()` to
+    /// [`crate::Node::set_transport_health_source`] to surface it from
+    /// [`crate::Node::stats`] and the metrics exposition.
+    pub fn health(&self) -> crate::metrics::TransportHealth {
+        let inner = self.locked();
+        crate::metrics::TransportHealth {
+            faults: inner.counts,
+            partition: inner.partition_status(),
+        }
+    }
 }
 
 /// One endpoint's view of a [`LoopbackHub`].
@@ -361,22 +602,24 @@ impl Transport for LoopbackTransport {
 
     fn send_at(&mut self, pkt: &Packet, origin_ns: u64) -> io::Result<()> {
         let frame = encode_datagram(pkt);
+        let src = self.ep.id();
         let mut inner = self
             .hub
             .lock()
             .expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation");
+        inner.advance_script(origin_ns);
         match pkt.dst {
             ensemble_transport::Dest::Cast => {
                 let peers: Vec<u64> = inner.peers.keys().copied().collect();
                 let me = self.ep.to_wire();
                 for dst in peers {
                     if dst != me {
-                        inner.deliver(dst, origin_ns, &frame);
+                        inner.deliver(src, dst, origin_ns, &frame);
                     }
                 }
             }
             ensemble_transport::Dest::Point(dst) => {
-                inner.deliver(dst.to_wire(), origin_ns, &frame);
+                inner.deliver(src, dst.to_wire(), origin_ns, &frame);
             }
         }
         Ok(())
@@ -405,9 +648,14 @@ impl Transport for LoopbackTransport {
                 },
                 Err(TryRecvError::Empty) => {
                     // Idle: release anything held back for us so a
-                    // reordered datagram cannot be starved forever.
+                    // reordered datagram cannot be starved forever, and
+                    // keep the script moving on a quiet hub.
                     let me = self.ep.to_wire();
-                    self.hub.lock().expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation").flush_holdback(me);
+                    {
+                        let mut inner = self.hub.lock().expect("loopback hub mutex poisoned: a peer worker thread panicked mid-operation");
+                        inner.advance_script(ensemble_obs::now_ns());
+                        inner.flush_holdback(me);
+                    }
                     return match self.rx.try_recv() {
                         Ok((stamp, frame)) => {
                             Ok(decode_datagram(&frame).ok().map(|p| (p, Some(stamp))))
@@ -539,6 +787,92 @@ mod tests {
         a.send(&cast(0, b"ping")).unwrap();
         assert!(w.park(std::time::Duration::ZERO), "delivery posted a wake");
         assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"ping");
+    }
+
+    #[test]
+    fn split_blocks_cross_component_traffic_both_ways() {
+        let hub = LoopbackHub::new(11);
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        let mut c = hub.attach(Endpoint::new(2));
+        hub.split(vec![vec![0, 1], vec![2]]);
+        a.send(&cast(0, b"in")).unwrap();
+        c.send(&cast(2, b"out")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"in");
+        assert!(b.try_recv().unwrap().is_none(), "c is cut off from b");
+        assert!(c.try_recv().unwrap().is_none(), "a is cut off from c");
+        assert_eq!(hub.fault_counts().partition_drops, 3);
+        assert!(hub.partition_status().is_partitioned());
+        hub.heal();
+        a.send(&cast(0, b"again")).unwrap();
+        assert_eq!(c.try_recv().unwrap().unwrap().bytes, b"again");
+        assert!(!hub.partition_status().is_partitioned());
+    }
+
+    #[test]
+    fn split_keys_on_id_so_reincarnations_stay_inside() {
+        let hub = LoopbackHub::new(11);
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b2 = hub.attach(Endpoint::new(1).reincarnate());
+        hub.split(vec![vec![0], vec![1]]);
+        a.send(&cast(0, b"x")).unwrap();
+        assert!(
+            b2.try_recv().unwrap().is_none(),
+            "id 1 is partitioned regardless of incarnation"
+        );
+        let _ = a;
+    }
+
+    #[test]
+    fn one_way_drop_is_asymmetric() {
+        let hub = LoopbackHub::new(4);
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        hub.drop_link(0, 1);
+        a.send(&cast(0, b"lost")).unwrap();
+        b.send(&cast(1, b"heard")).unwrap();
+        assert!(b.try_recv().unwrap().is_none(), "a→b is dead");
+        assert_eq!(a.try_recv().unwrap().unwrap().bytes, b"heard");
+        assert_eq!(hub.fault_counts().link_drops, 1);
+        hub.restore_link(0, 1);
+        a.send(&cast(0, b"back")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"back");
+    }
+
+    #[test]
+    fn script_splits_and_heals_on_the_virtual_clock() {
+        let hub = LoopbackHub::new(8);
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        // Split immediately, heal 5ms after arming.
+        hub.run_script(
+            PartitionScript::new()
+                .at(0, PartitionOp::Split(vec![vec![0], vec![1]]))
+                .at(5_000_000, PartitionOp::Heal),
+        );
+        a.send(&cast(0, b"early")).unwrap();
+        assert!(b.try_recv().unwrap().is_none(), "split step applied");
+        assert_eq!(hub.partition_status().pending_steps, 1);
+        std::thread::sleep(std::time::Duration::from_millis(6));
+        a.send(&cast(0, b"late")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap().bytes, b"late");
+        assert_eq!(hub.partition_status().pending_steps, 0);
+    }
+
+    #[test]
+    fn holdback_does_not_leak_across_a_later_split() {
+        // Force every datagram into holdback, then split before the
+        // flush: the held datagram must be re-checked and dropped.
+        let hub = LoopbackHub::with_faults(2, FaultPlan::lossy(0.0, 0.0, 1.0));
+        let mut a = hub.attach(Endpoint::new(0));
+        let mut b = hub.attach(Endpoint::new(1));
+        a.send(&cast(0, b"held")).unwrap();
+        hub.split(vec![vec![0], vec![1]]);
+        assert!(
+            b.try_recv().unwrap().is_none(),
+            "flush re-checks the matrix"
+        );
+        assert_eq!(hub.fault_counts().partition_drops, 1);
     }
 
     #[test]

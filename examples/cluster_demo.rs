@@ -8,15 +8,28 @@
 //! nonzero if the survivors fail to install the new view within ten
 //! heartbeat periods — CI runs the loopback mode as a regression gate.
 //!
+//! Pass `--partition` for the partition-healing episode instead: six
+//! nodes form, a scripted [`PartitionScript`] splits both planes 4/2,
+//! the minority stalls for lack of quorum while the majority installs
+//! the shrunk primary view, the script heals, merge beacons cross, and
+//! a single merged six-member view comes back. The run feeds every view
+//! install and cast delivery into a [`VsyncChecker`], prints the
+//! merge/stall trace events, and exits nonzero on any virtual-synchrony
+//! violation — CI runs this as the chaos regression gate.
+//!
 //! Run with:
 //!
 //! ```text
-//! cargo run --example cluster_demo            # deterministic loopback
-//! cargo run --example cluster_demo -- --udp   # real sockets
+//! cargo run --example cluster_demo                 # deterministic loopback
+//! cargo run --example cluster_demo -- --udp        # real sockets
+//! cargo run --example cluster_demo -- --partition  # split/stall/heal/merge
 //! ```
 
-use ensemble_cluster::{ClusterConfig, ClusterEvent, ClusterNode, StateProvider};
-use ensemble_runtime::{Delivery, LoopbackHub, Transport, UdpTransport};
+use ensemble_cluster::{ClusterConfig, ClusterEvent, ClusterNode, StateProvider, VsyncChecker};
+use ensemble_obs::EventKind;
+use ensemble_runtime::{
+    Delivery, LoopbackHub, PartitionOp, PartitionScript, Transport, UdpTransport,
+};
 use ensemble_util::Endpoint;
 use std::time::{Duration, Instant};
 
@@ -28,6 +41,20 @@ type Planes = Vec<(Endpoint, Box<dyn Transport>, Box<dyn Transport>)>;
 
 fn main() {
     let udp = std::env::args().any(|a| a == "--udp");
+    let partition = std::env::args().any(|a| a == "--partition");
+    if partition {
+        if udp {
+            eprintln!("cluster_demo: --partition needs the loopback hub (drop --udp)");
+            std::process::exit(1);
+        }
+        if run_partition() {
+            println!("cluster_demo: partition OK");
+        } else {
+            eprintln!("cluster_demo: FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
     let planes = if udp { udp_planes() } else { loopback_planes() };
     let planes = match planes {
         Ok(p) => p,
@@ -247,5 +274,208 @@ fn run(planes: Planes) -> bool {
             .collect::<Vec<_>>()
             .join("\n")
     );
+    true
+}
+
+// --- Partition mode: split, stall, heal, merge ------------------------
+
+const P: usize = 6;
+const MAJORITY: [u32; 4] = [0, 1, 2, 3];
+const MINORITY: [u32; 2] = [4, 5];
+
+fn run_partition() -> bool {
+    let control = LoopbackHub::new(4242);
+    let data = LoopbackHub::new(4243);
+    let cfg = ClusterConfig::new(P);
+    let seed = Endpoint::new(0);
+
+    let mut formers = Vec::new();
+    for i in 0..P as u32 {
+        let ep = Endpoint::new(i);
+        let (c, d) = (control.attach(ep), data.attach(ep));
+        let cfg = cfg.clone();
+        formers.push(std::thread::spawn(move || {
+            let state: Option<Box<dyn StateProvider>> =
+                (ep == seed).then(|| Box::new(|| b"demo-state".to_vec()) as Box<dyn StateProvider>);
+            ClusterNode::form(ep, seed, cfg, Box::new(c), Box::new(d), state)
+        }));
+    }
+    let mut nodes = Vec::new();
+    for f in formers {
+        match f.join().expect("forming thread panicked") {
+            Ok(n) => nodes.push(n),
+            Err(e) => {
+                eprintln!("formation failed: {e}");
+                return false;
+            }
+        }
+    }
+
+    let mut checker = VsyncChecker::new();
+    let mut casts: Vec<Vec<Vec<u8>>> = vec![Vec::new(); P];
+    for n in &nodes {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if Instant::now() >= deadline {
+                eprintln!("node {} never formed", n.endpoint().id());
+                return false;
+            }
+            if let Some(ClusterEvent::Formed(vs)) = n.recv_timeout(Duration::from_millis(10)) {
+                checker.on_view(n.endpoint(), &vs);
+                break;
+            }
+        }
+    }
+    println!("formed: {P} nodes in one view");
+
+    let drain = |nodes: &[ClusterNode],
+                 checker: &mut VsyncChecker,
+                 casts: &mut [Vec<Vec<u8>>],
+                 stalled: &mut Vec<u32>| {
+        for (i, n) in nodes.iter().enumerate() {
+            let ep = n.endpoint();
+            while let Some(ev) = n.try_recv() {
+                match ev {
+                    ClusterEvent::Delivery(Delivery::View(vs)) => {
+                        println!(
+                            "node {}: installed view ltime={} with {} members",
+                            ep.id(),
+                            vs.view_id.ltime,
+                            vs.nmembers()
+                        );
+                        checker.on_view(ep, &vs);
+                    }
+                    ClusterEvent::Delivery(Delivery::Cast { bytes, .. }) => {
+                        checker.on_cast_delivery(ep, &bytes);
+                        casts[i].push(bytes);
+                    }
+                    ClusterEvent::MinorityPartition { live, needed } => {
+                        println!(
+                            "node {}: MINORITY STALL — {live} live of {needed} needed",
+                            ep.id()
+                        );
+                        stalled.push(ep.id());
+                    }
+                    ClusterEvent::Snapshot(s) => {
+                        println!(
+                            "node {}: merge grant carried {}-byte snapshot",
+                            ep.id(),
+                            s.len()
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    };
+    let mut stalled = Vec::new();
+
+    // Every phase gate below polls under one deadline-bound loop.
+    macro_rules! wait_for {
+        ($what:expr, $cond:expr) => {{
+            let deadline = Instant::now() + Duration::from_secs(20);
+            loop {
+                drain(&nodes, &mut checker, &mut casts, &mut stalled);
+                if $cond {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    eprintln!("timed out waiting for: {}", $what);
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }};
+    }
+
+    // Pre-split traffic: everyone delivers it.
+    nodes[0].cast(b"pre-split").expect("cast");
+    wait_for!(
+        "pre-split cast everywhere",
+        casts.iter().all(|c| c.iter().any(|b| b == b"pre-split"))
+    );
+
+    // The scripted episode: split both planes 4/2 now, heal at +1.5 s of
+    // hub virtual time. Same script, same seeds, same run — every time.
+    let script = PartitionScript::new()
+        .at(
+            0,
+            PartitionOp::Split(vec![MAJORITY.to_vec(), MINORITY.to_vec()]),
+        )
+        .at(1_500_000_000, PartitionOp::Heal);
+    control.run_script(script.clone());
+    data.run_script(script);
+    println!("scripted: split {MAJORITY:?} | {MINORITY:?}, heal at +1.5s");
+
+    wait_for!(
+        "minority stall",
+        MINORITY.iter().all(|id| stalled.contains(id))
+    );
+    wait_for!(
+        "majority installs the shrunk primary view",
+        MAJORITY.iter().all(|&id| {
+            let v = nodes[id as usize].view();
+            v.nmembers() == MAJORITY.len() && v.view_id.ltime > 0
+        })
+    );
+
+    // Primary-only traffic: the stalled minority must never see this.
+    nodes[0].cast(b"primary-only").expect("cast");
+    wait_for!(
+        "primary-only cast on the majority",
+        MAJORITY
+            .iter()
+            .all(|&id| casts[id as usize].iter().any(|b| b == b"primary-only"))
+    );
+
+    wait_for!(
+        "the merged six-member view everywhere",
+        nodes.iter().all(|n| {
+            let v = n.view();
+            v.nmembers() == P && v.view_id.ltime > 1
+        })
+    );
+
+    // Post-heal traffic: symmetric again.
+    nodes[4].cast(b"post-heal").expect("cast");
+    wait_for!(
+        "post-heal cast everywhere",
+        casts.iter().all(|c| c.iter().any(|b| b == b"post-heal"))
+    );
+    drain(&nodes, &mut checker, &mut casts, &mut stalled);
+
+    // The healing episode, as the flight recorder saw it.
+    println!("merge/stall trace events:");
+    for n in &nodes {
+        for ev in n.trace_events() {
+            if matches!(
+                ev.kind,
+                EventKind::MergeBeacon | EventKind::MergeGrant | EventKind::MinorityStall
+            ) {
+                println!(
+                    "  node {}: [{}] {:?} {:?} aux={}",
+                    n.endpoint().id(),
+                    ev.layer,
+                    ev.kind,
+                    ev.dir,
+                    ev.aux
+                );
+            }
+        }
+    }
+
+    if MINORITY
+        .iter()
+        .any(|&id| casts[id as usize].iter().any(|b| b == b"primary-only"))
+    {
+        eprintln!("minority delivered primary-only traffic");
+        return false;
+    }
+    let violations = checker.finish();
+    if !violations.is_empty() {
+        eprintln!("virtual-synchrony violations:\n{}", violations.join("\n"));
+        return false;
+    }
+    println!("vsync invariants: 0 violations across the split/heal episode");
     true
 }

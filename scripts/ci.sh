@@ -26,10 +26,22 @@ cargo test --release -p ensemble-runtime --test obs_trace
 echo "==> cluster: cross-node view-change convergence (release)"
 cargo test --release -p ensemble-cluster --test convergence
 
+echo "==> cluster: seeded partition chaos + fenced-member rejoin (release)"
+# chaos_soak splits 4/2 on a fixed seed matrix and replays the whole
+# execution against the virtual-synchrony checker; rejoin kills a
+# member and absorbs its fresh incarnation through the merge path.
+cargo test --release -p ensemble-cluster --test chaos_soak
+cargo test --release -p ensemble-cluster --test rejoin
+
 echo "==> cluster: demo — 3 nodes rendezvous, 1 killed, survivors install the new view"
 # cluster_demo exits nonzero if the successor view is not installed
 # within ten heartbeat periods or any cast is lost/duplicated.
 cargo run --release -p ensemble-cluster --example cluster_demo
+
+echo "==> cluster: demo — scripted 4/2 split, minority stall, heal, view merge"
+# --partition exits nonzero if the minority delivers primary-only
+# traffic or any vsync invariant is violated across the episode.
+cargo run --release -p ensemble-cluster --example cluster_demo -- --partition
 
 echo "==> analyze: stack_lint over every registered stack"
 cargo run --release -p ensemble-analyze --bin stack_lint
