@@ -20,6 +20,7 @@
 //! | SL007 | warn     | an application adapter sits on top |
 //! | SL008 | deny     | ordering layers sit above the reliability layer they order |
 //! | SL009 | deny     | a gmp stack carries `suspect` below it to source suspicion |
+//! | SL010 | deny     | a state-machine-replication service stack carries `total` |
 
 use crate::diag::{Diag, Report, Severity};
 use ensemble_layers::manifest::manifest;
@@ -34,6 +35,10 @@ pub struct StackSpec {
     pub name: String,
     /// Layer names, top first.
     pub layers: Vec<String>,
+    /// The application plane this stack serves, when it serves one
+    /// (`"smr"` for state-machine replication — `ensemble-kv`). Service
+    /// lints like SL010 only apply to stacks that declare a service.
+    pub service: Option<String>,
 }
 
 impl StackSpec {
@@ -42,6 +47,15 @@ impl StackSpec {
         StackSpec {
             name: name.to_owned(),
             layers: layers.iter().map(|s| (*s).to_owned()).collect(),
+            service: None,
+        }
+    }
+
+    /// Builds a spec for a stack that serves an application plane.
+    pub fn for_service(name: &str, layers: &[&str], service: &str) -> Self {
+        StackSpec {
+            service: Some(service.to_owned()),
+            ..StackSpec::new(name, layers)
         }
     }
 
@@ -56,6 +70,9 @@ pub fn registered_stacks() -> Vec<StackSpec> {
         StackSpec::new("stack4", STACK_4),
         StackSpec::new("stack10", STACK_10),
         StackSpec::new("vsync", STACK_VSYNC),
+        // The vsync stack as ensemble-kv runs it: declared as serving
+        // state-machine replication so the service lints apply.
+        StackSpec::for_service("kv-service", STACK_VSYNC, "smr"),
     ]
 }
 
@@ -383,6 +400,39 @@ impl Rule for SuspicionReachesGmp {
     }
 }
 
+struct TotalOrderForSmr;
+impl Rule for TotalOrderForSmr {
+    fn id(&self) -> &'static str {
+        "SL010"
+    }
+    fn describe(&self) -> &'static str {
+        "a state-machine-replication service stack carries total"
+    }
+    fn check(&self, spec: &StackSpec, report: &mut Report) {
+        // State-machine replication replays one agreed operation
+        // sequence on every replica; that sequence IS the total order.
+        // Without `total`, concurrent casts deliver in per-member
+        // arrival order and the replicas diverge silently — no runtime
+        // error is ever raised, which is why the configuration is
+        // refused statically. `KvConfig::validate` mirrors this rule at
+        // service construction time.
+        if spec.service.as_deref() != Some("smr") {
+            return;
+        }
+        if spec.index_of("total").is_none() {
+            report.push(deny(
+                self.id(),
+                spec,
+                None,
+                "a state-machine-replication service needs the total layer in its \
+                 stack; without it replicas diverge silently"
+                    .to_owned(),
+                "add `total` above the membership layers (as in the vsync stack)",
+            ));
+        }
+    }
+}
+
 /// The full rule registry, in identifier order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
@@ -395,6 +445,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(AdapterOnTop),
         Box::new(OrderingAboveReliability),
         Box::new(SuspicionReachesGmp),
+        Box::new(TotalOrderForSmr),
     ]
 }
 
@@ -516,6 +567,31 @@ mod tests {
             &["top", "gmp", "sync", "elect", "suspect", "mnak", "bottom"],
         );
         assert!(!r.diags.iter().any(|d| d.rule == "SL009"), "{r}");
+    }
+
+    #[test]
+    fn smr_service_without_total_denied() {
+        let mut r = Report::new();
+        let spec = StackSpec::for_service("bad-kv", &["top", "mnak", "bottom"], "smr");
+        lint_stack(&spec, &mut r);
+        let d = r.diags.iter().find(|d| d.rule == "SL010").expect("SL010");
+        assert!(d.message.contains("diverge"), "{}", d.message);
+        // The same layers without the service marker are not an SMR
+        // stack, so the rule stays quiet.
+        let r = lint("plain", &["top", "mnak", "bottom"]);
+        assert!(!r.diags.iter().any(|d| d.rule == "SL010"), "{r}");
+    }
+
+    #[test]
+    fn kv_service_stack_is_clean() {
+        let mut r = Report::new();
+        let spec = registered_stacks()
+            .into_iter()
+            .find(|s| s.name == "kv-service")
+            .expect("kv-service is registered");
+        assert_eq!(spec.service.as_deref(), Some("smr"));
+        lint_stack(&spec, &mut r);
+        assert_eq!(r.count(Severity::Deny), 0, "{r}");
     }
 
     #[test]

@@ -354,7 +354,7 @@ mod tests {
         assert_eq!(doc.get("tool").and_then(Json::as_str), Some("stack_lint"));
         assert_eq!(doc.get("version").and_then(Json::as_int), Some(1));
         let stacks = doc.get("stacks").and_then(Json::as_arr).unwrap();
-        assert_eq!(stacks.len(), 3);
+        assert_eq!(stacks.len(), 4); // stack4, stack10, vsync, kv-service
         let engines = doc.get("engines").and_then(Json::as_arr).unwrap();
         assert_eq!(engines.len(), 8); // 4 engines × 2 synthesizable stacks
         assert_eq!(

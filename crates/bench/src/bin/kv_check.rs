@@ -1,0 +1,91 @@
+//! Offline validator for `BENCH_kv_e2e.json`.
+//!
+//! CI runs `kv_load --chaos --out BENCH_kv_e2e.json` and then this
+//! binary: it re-reads the document with the dependency-free parser
+//! from `ensemble-obs` and checks the contract the pipeline relies on —
+//! the run identifies itself as the `kv_e2e` bench, actually measured
+//! something (nonzero ops/sec and latency percentiles), ran the chaos
+//! schedule it was asked for, and found zero linearizability
+//! violations. Exits nonzero (with a message) on any breach.
+//!
+//! ```text
+//! cargo run -p ensemble-bench --bin kv_check [path/to/BENCH_kv_e2e.json]
+//! ```
+
+use ensemble_obs::Json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("kv_check: {msg}");
+    std::process::exit(1);
+}
+
+fn int_field(doc: &Json, key: &str) -> i64 {
+    match doc.get(key).and_then(Json::as_int) {
+        Some(v) => v,
+        None => fail(&format!("missing integer field {key:?}")),
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kv_e2e.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path} is not valid JSON: {e:?}")),
+    };
+
+    if doc.get("bench").and_then(Json::as_str) != Some("kv_e2e") {
+        fail("field \"bench\" must be \"kv_e2e\"");
+    }
+
+    let replicas = int_field(&doc, "replicas");
+    if replicas < 3 {
+        fail(&format!("ran with {replicas} replicas, want >= 3"));
+    }
+    let sim_clients = int_field(&doc, "sim_clients");
+    if sim_clients < 100 {
+        fail(&format!(
+            "ran with {sim_clients} simulated clients, want >= 100"
+        ));
+    }
+
+    let ops = int_field(&doc, "ops_total");
+    if ops <= 0 {
+        fail("no operations completed");
+    }
+    let commits = int_field(&doc, "commits_total");
+    if commits <= 0 {
+        fail("no commits recorded");
+    }
+
+    let ops_per_sec = match doc.get("ops_per_sec") {
+        Some(Json::Num(v)) => *v,
+        Some(Json::Int(v)) => *v as f64,
+        _ => fail("missing numeric field \"ops_per_sec\""),
+    };
+    if ops_per_sec.is_nan() || ops_per_sec <= 0.0 {
+        fail(&format!("ops_per_sec is {ops_per_sec}, want > 0"));
+    }
+    for key in ["p50_ns", "p99_ns"] {
+        let v = int_field(&doc, key);
+        if v <= 0 {
+            fail(&format!("{key} is {v}, want > 0 (histogram never fed?)"));
+        }
+    }
+
+    match int_field(&doc, "violations") {
+        0 => {}
+        n => fail(&format!("{n} linearizability violation(s)")),
+    }
+
+    let rounds = int_field(&doc, "chaos_rounds");
+    println!(
+        "kv_check: {path} ok ({replicas} replicas, {sim_clients} sim clients, \
+         {ops} ops at {ops_per_sec:.0} ops/s, {rounds} chaos rounds, 0 violations)"
+    );
+}

@@ -14,7 +14,7 @@
 use ensemble_obs::Json;
 
 const ENGINES: [&str; 4] = ["IMP", "FUNC", "HAND", "MACH"];
-const STACKS: [&str; 3] = ["stack4", "stack10", "vsync"];
+const STACKS: [&str; 4] = ["stack4", "stack10", "vsync", "kv-service"];
 const SYNTHESIZED: [&str; 2] = ["stack4", "stack10"];
 
 fn fail(msg: &str) -> ! {

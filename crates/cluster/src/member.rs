@@ -20,7 +20,7 @@ use crate::rendezvous::{JoinerRendezvous, SeedRendezvous};
 use crate::wire::{decode, encode, Envelope, Frame};
 use ensemble_event::ViewState;
 use ensemble_obs::{now_ns, CcpFailure, Direction, Event, EventKind, Tag};
-use ensemble_runtime::{Delivery, GroupHandle, GroupSender, Node, NodeObs, Transport};
+use ensemble_runtime::{Delivery, GroupHandle, GroupSender, Node, NodeObs, Transport, Waker};
 use ensemble_transport::Packet;
 use ensemble_util::{Endpoint, GroupId, Rank, Time, ViewId};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -92,6 +92,7 @@ pub struct ClusterNode {
     metrics: Arc<ClusterMetrics>,
     view: Arc<Mutex<ViewState>>,
     stop: Arc<AtomicBool>,
+    serving: Arc<AtomicBool>,
     driver: Option<JoinHandle<()>>,
 }
 
@@ -232,6 +233,7 @@ impl ClusterNode {
 
         let view = Arc::new(Mutex::new(vs.clone()));
         let stop = Arc::new(AtomicBool::new(false));
+        let serving = Arc::new(AtomicBool::new(true));
         let driver = Driver {
             me: ep,
             key: cfg.key,
@@ -255,6 +257,7 @@ impl ClusterNode {
             quorum: cfg.quorum,
             beacon_period_ns: cfg.merge_beacon_period.as_nanos() as u64,
             stalled: false,
+            serving: Arc::clone(&serving),
             suspected_eps: Vec::new(),
             absent: Vec::new(),
             pending_admits: Vec::new(),
@@ -273,6 +276,7 @@ impl ClusterNode {
             metrics,
             view,
             stop,
+            serving,
             driver: Some(worker),
         })
     }
@@ -309,6 +313,23 @@ impl ClusterNode {
         self.sender.clone()
     }
 
+    /// Whether this member is currently serving application traffic.
+    ///
+    /// `false` while the member is stalled in a minority partition or
+    /// fenced by a newer epoch — a service fronting this node (the KV
+    /// server) should reject requests immediately instead of letting
+    /// clients time out on operations parked behind the stall. One
+    /// relaxed atomic load; safe to call on every request.
+    pub fn is_serving(&self) -> bool {
+        self.serving.load(Ordering::Relaxed)
+    }
+
+    /// A cloneable handle to the serving flag for threads that cannot
+    /// borrow the node (e.g. TCP connection workers).
+    pub fn serving_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.serving)
+    }
+
     /// Blocks up to `timeout` for the next cluster event.
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<ClusterEvent> {
         match self.events.recv_timeout(timeout) {
@@ -333,6 +354,19 @@ impl ClusterNode {
     /// episode from here.
     pub fn trace_events(&self) -> Vec<ensemble_obs::TraceEvent> {
         self.node.obs_arc().drain()
+    }
+
+    /// The underlying runtime observability handle, so a service layered
+    /// on this member (e.g. the KV replica) records its spans into the
+    /// same flight recorder [`ClusterNode::trace_events`] drains.
+    pub fn obs_arc(&self) -> Arc<NodeObs> {
+        self.node.obs_arc()
+    }
+
+    /// The obs shard index reserved for threads outside the runtime's
+    /// worker pool (pair with [`ClusterNode::obs_arc`]).
+    pub fn aux_obs_shard(&self) -> usize {
+        self.node.aux_obs_shard()
     }
 
     /// Runtime + cluster metrics in Prometheus text exposition format
@@ -453,6 +487,8 @@ struct Driver {
     beacon_period_ns: u64,
     /// This component lacks quorum: egress parks, ingress quarantines.
     stalled: bool,
+    /// Published `!stalled && !fenced` for cheap service-plane queries.
+    serving: Arc<AtomicBool>,
     /// Members of the current view the detector has silenced.
     suspected_eps: Vec<Endpoint>,
     /// Members expelled by past view changes — merge beacon targets.
@@ -473,6 +509,14 @@ impl Driver {
         self.detector.reset(&self.peers(), now);
         let mut fired: Vec<(Time, Tick)> = Vec::new();
         let pause = std::time::Duration::from_nanos((self.period_ns / 8).clamp(100_000, 5_000_000));
+
+        // Park on a waker instead of sleeping blind: the shard nudges it
+        // after every queued delivery and the control transport on every
+        // ingress packet, so forwarding latency is wake-up time rather
+        // than up to a full `pause`. The bound keeps timer ticks live.
+        let waker = Arc::new(Waker::new());
+        let _ = self.handle.set_delivery_waker(Arc::clone(&waker));
+        self.control.set_waker(Arc::clone(&waker));
 
         while !self.stop.load(Ordering::Relaxed) {
             let mut busy = false;
@@ -517,9 +561,10 @@ impl Driver {
             }
 
             if !busy {
-                std::thread::sleep(pause);
+                waker.park(pause);
             }
         }
+        self.serving.store(false, Ordering::Relaxed);
     }
 
     /// Current peers (everyone in the view but us).
@@ -652,6 +697,12 @@ impl Driver {
         self.acting_coord(vs) == Some(self.me)
     }
 
+    /// Publishes the service-plane availability flag ([`ClusterNode::is_serving`]).
+    fn publish_serving(&self) {
+        self.serving
+            .store(!self.stalled && !self.fenced, Ordering::Relaxed);
+    }
+
     /// Parks the group: quorum is lost, so no view change may be driven
     /// from this component until a merge restores a majority.
     fn enter_stall(&mut self, live: usize, needed: usize) {
@@ -660,6 +711,7 @@ impl Driver {
         }
         self.stalled = true;
         let _ = self.handle.stall(true);
+        self.publish_serving();
         self.metrics.minority_stalls.fetch_add(1, Ordering::Relaxed);
         record(
             &self.obs,
@@ -705,6 +757,7 @@ impl Driver {
                 *t,
                 Frame::MergeBeacon {
                     members: live.clone(),
+                    stalled: self.stalled,
                 },
             );
         }
@@ -723,10 +776,20 @@ impl Driver {
     }
 
     /// A foreign coordinator advertised its component. Seniority (by
-    /// `(epoch, endpoint)`) decides direction: the junior side requests
-    /// absorption, the senior side answers with its own beacon so the
-    /// junior learns who to ask.
-    fn on_merge_beacon(&mut self, src: Endpoint, their_epoch: u64, _now: Time) {
+    /// `(holds quorum, epoch, endpoint)`) decides direction: the junior
+    /// side requests absorption, the senior side answers with its own
+    /// beacon so the junior learns who to ask. Quorum ranks above epoch
+    /// because only a non-stalled component may have kept committing —
+    /// merged state must flow from it, never over it; a stalled side
+    /// with a racing epoch would otherwise absorb the primary and roll
+    /// back acknowledged work.
+    fn on_merge_beacon(
+        &mut self,
+        src: Endpoint,
+        their_epoch: u64,
+        their_stalled: bool,
+        _now: Time,
+    ) {
         if self.fenced {
             return;
         }
@@ -755,12 +818,18 @@ impl Driver {
             their_epoch,
         );
         let live = self.live_members(&vs);
-        if (their_epoch, src) > (self.epoch, self.me) {
+        if (!their_stalled, their_epoch, src) > (!self.stalled, self.epoch, self.me) {
             self.metrics.merge_requests.fetch_add(1, Ordering::Relaxed);
             self.send_control(src, Frame::MergeRequest { members: live });
         } else {
             self.metrics.merge_beacons.fetch_add(1, Ordering::Relaxed);
-            self.send_control(src, Frame::MergeBeacon { members: live });
+            self.send_control(
+                src,
+                Frame::MergeBeacon {
+                    members: live,
+                    stalled: self.stalled,
+                },
+            );
         }
     }
 
@@ -821,6 +890,7 @@ impl Driver {
         if self.stalled {
             self.stalled = false;
             let _ = self.handle.stall(false);
+            self.publish_serving();
             record(
                 &self.obs,
                 self.obs_shard,
@@ -891,6 +961,7 @@ impl Driver {
         if self.stalled {
             self.stalled = false;
             let _ = self.handle.stall(false);
+            self.publish_serving();
         }
         if !snapshot.is_empty() {
             self.metrics.state_transfers.fetch_add(1, Ordering::Relaxed);
@@ -966,6 +1037,7 @@ impl Driver {
                 }
                 if env.epoch > self.epoch && !self.fenced {
                     self.fenced = true;
+                    self.publish_serving();
                     self.metrics.fences_received.fetch_add(1, Ordering::Relaxed);
                     let _ = self.events.send(ClusterEvent::FencedBy {
                         peer: env.src,
@@ -995,8 +1067,11 @@ impl Driver {
                 }
                 self.on_merge_request(vec![env.src], now);
             }
-            Frame::MergeBeacon { members: _ } => {
-                self.on_merge_beacon(env.src, env.epoch, now);
+            Frame::MergeBeacon {
+                members: _,
+                stalled,
+            } => {
+                self.on_merge_beacon(env.src, env.epoch, stalled, now);
             }
             Frame::MergeRequest { members } => {
                 self.on_merge_request(members, now);
@@ -1038,6 +1113,7 @@ impl Driver {
             if self.stalled {
                 self.stalled = false;
                 let _ = self.handle.stall(false);
+                self.publish_serving();
             }
             self.detector.reset(&self.peers(), now);
             self.metrics.views_installed.fetch_add(1, Ordering::Relaxed);

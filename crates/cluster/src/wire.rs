@@ -22,8 +22,9 @@ use ensemble_util::Endpoint;
 
 /// Frame magic: "EC" (Ensemble Cluster).
 pub const MAGIC: u16 = 0x4543;
-/// Wire format version.
-pub const VERSION: u8 = 1;
+/// Wire format version (bumped when a frame layout changes; v2 added
+/// the stalled flag to merge beacons).
+pub const VERSION: u8 = 2;
 
 const TAG_HELLO: u8 = 1;
 const TAG_WELCOME: u8 = 2;
@@ -59,6 +60,11 @@ pub enum Frame {
     MergeBeacon {
         /// The advertising component's live members, rank order.
         members: Vec<Endpoint>,
+        /// Whether the advertising component is quorum-stalled. A
+        /// component that kept quorum (and may have kept committing) is
+        /// senior to any stalled one regardless of epoch, so merged
+        /// state always flows *from* the side that made progress.
+        stalled: bool,
     },
     /// Junior coordinator → senior coordinator: "absorb my component."
     MergeRequest {
@@ -145,7 +151,11 @@ pub fn encode(env: &Envelope, key: u64) -> Vec<u8> {
             out.extend_from_slice(snapshot);
         }
         Frame::Heartbeat { seq } => out.extend_from_slice(&seq.to_le_bytes()),
-        Frame::MergeBeacon { members } | Frame::MergeRequest { members } => {
+        Frame::MergeBeacon { members, stalled } => {
+            put_members(&mut out, members);
+            out.push(*stalled as u8);
+        }
+        Frame::MergeRequest { members } => {
             put_members(&mut out, members);
         }
         Frame::MergeGrant {
@@ -235,9 +245,11 @@ pub fn decode(bytes: &[u8], key: u64) -> Result<Envelope, WireError> {
             let snapshot = r.take(len)?.to_vec();
             Frame::Welcome { members, snapshot }
         }
-        TAG_MERGE_BEACON => Frame::MergeBeacon {
-            members: get_members(&mut r)?,
-        },
+        TAG_MERGE_BEACON => {
+            let members = get_members(&mut r)?;
+            let stalled = r.u8()? != 0;
+            Frame::MergeBeacon { members, stalled }
+        }
         TAG_MERGE_REQUEST => Frame::MergeRequest {
             members: get_members(&mut r)?,
         },
@@ -295,6 +307,7 @@ mod tests {
         let members = vec![Endpoint::new(4), Endpoint::with_incarnation(5, 2)];
         let b = Frame::MergeBeacon {
             members: members.clone(),
+            stalled: true,
         };
         let env = roundtrip(b.clone(), 3);
         assert_eq!(env.frame, b);

@@ -244,3 +244,85 @@ fn stale_epoch_heartbeats_are_fenced_without_disturbing_the_view() {
         .metrics_text()
         .contains("ensemble_cluster_fences_total{dir=\"sent\"} 1"));
 }
+
+#[test]
+fn cloned_sender_casts_through_view_change_exactly_once() {
+    // A service thread (the KV apply plane, a metrics pusher, …) holds a
+    // cloned `GroupSender` and keeps casting while the driver thread is
+    // busy detecting a death and running the flush. Every cast the
+    // sender accepts must come out exactly once on every survivor —
+    // whether it landed before the Block, parked during the sync
+    // window and replayed, or followed the new view.
+    let control = LoopbackHub::with_faults(31, FaultPlan::default());
+    let data = LoopbackHub::with_faults(32, FaultPlan::default());
+    let mut nodes = form_three(&control, &data);
+    let hb = ClusterConfig::new(3).heartbeat_period;
+
+    let victim = nodes.pop().unwrap();
+    let sender = nodes[0].sender();
+
+    // The non-driver thread: cast continuously from before the kill
+    // until well past the expected view installation.
+    let caster = std::thread::spawn(move || {
+        let mut sent = Vec::new();
+        for i in 0..200u32 {
+            let payload = format!("w-{i}").into_bytes();
+            if sender.cast(&payload).is_err() {
+                break;
+            }
+            sent.push(payload);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sent
+    });
+    std::thread::sleep(hb);
+    victim.kill();
+    let killed = Instant::now();
+
+    let mut views = vec![Vec::new(), Vec::new()];
+    let mut casts = vec![Vec::new(), Vec::new()];
+    let mut fenced = Vec::new();
+    let deadline = killed + hb * 20;
+    while views
+        .iter()
+        .any(|v: &Vec<ViewState>| v.iter().all(|x| x.view_id.ltime == 0))
+    {
+        assert!(
+            Instant::now() < deadline,
+            "survivors must install the new view under the cast load"
+        );
+        drain(&nodes, &mut views, &mut casts, &mut fenced);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let sent = caster.join().expect("caster thread completes");
+    assert!(sent.len() == 200, "the sender accepted every cast");
+
+    // Collect until both survivors have every accepted cast (parked
+    // casts replay after the view), then a grace window for strays.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while casts.iter().any(|c| c.len() < sent.len()) && Instant::now() < deadline {
+        drain(&nodes, &mut views, &mut casts, &mut fenced);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(hb * 3);
+    drain(&nodes, &mut views, &mut casts, &mut fenced);
+
+    for (i, n) in nodes.iter().enumerate() {
+        assert_eq!(
+            casts[i].len(),
+            sent.len(),
+            "survivor {}: {} casts delivered, want {}",
+            n.endpoint().id(),
+            casts[i].len(),
+            sent.len()
+        );
+        // Exactly once AND in submission order: the window must not
+        // reorder the service thread's stream either.
+        assert_eq!(
+            casts[i],
+            sent,
+            "survivor {} delivery order",
+            n.endpoint().id()
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! `kv_load`: the deterministic end-to-end load generator and
+//! linearizability gate for the replicated KV service.
+//!
+//! Forms a replica group over seeded loopback hubs, drives N simulated
+//! clients (straight into [`ReplicaFront`]s) and M real TCP clients
+//! (through a [`KvListener`] per replica), optionally runs a seeded
+//! split → minority-stall → heal → merge partition schedule underneath
+//! the load, and then replays the whole execution — every replica's
+//! commit log, every client's completions — through the
+//! [`KvLinearizabilityChecker`].
+//!
+//! Emits `BENCH_kv_e2e.json`, the repo's first *wall-clock* end-to-end
+//! benchmark (ops/sec plus p50/p99 per-operation latency in
+//! nanoseconds), and exits nonzero if the checker finds a violation —
+//! which makes this binary double as the CI linearizability gate.
+//!
+//! ```text
+//! kv_load [--replicas N] [--sim-clients N] [--tcp-clients N]
+//!         [--ops N] [--seed S] [--chaos] [--out PATH]
+//! ```
+
+use ensemble_kv::{
+    KvClient, KvConfig, KvError, KvLinearizabilityChecker, KvListener, KvOp, KvReplica, KvResult,
+    ReplicaFront,
+};
+use ensemble_obs::{Histogram, Json};
+use ensemble_runtime::{FaultPlan, LoopbackHub};
+use ensemble_util::{DetRng, Endpoint};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    replicas: usize,
+    sim_clients: usize,
+    tcp_clients: usize,
+    ops: usize,
+    seed: u64,
+    chaos: bool,
+    chaos_rounds: u32,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        replicas: 3,
+        sim_clients: 100,
+        tcp_clients: 2,
+        ops: 20,
+        seed: 42,
+        chaos: false,
+        chaos_rounds: 2,
+        out: "BENCH_kv_e2e.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| it.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match flag.as_str() {
+            "--replicas" => args.replicas = grab("--replicas").parse().expect("--replicas: usize"),
+            "--sim-clients" => {
+                args.sim_clients = grab("--sim-clients").parse().expect("--sim-clients: usize")
+            }
+            "--tcp-clients" => {
+                args.tcp_clients = grab("--tcp-clients").parse().expect("--tcp-clients: usize")
+            }
+            "--ops" => args.ops = grab("--ops").parse().expect("--ops: usize"),
+            "--seed" => args.seed = grab("--seed").parse().expect("--seed: u64"),
+            "--chaos" => args.chaos = true,
+            "--chaos-rounds" => {
+                args.chaos_rounds = grab("--chaos-rounds").parse().expect("--chaos-rounds: u32")
+            }
+            "--out" => args.out = grab("--out"),
+            other => panic!("unknown flag: {other}"),
+        }
+    }
+    assert!(args.replicas >= 2, "--replicas must be at least 2");
+    args
+}
+
+/// Draws the next operation for one client. Writes dominate so the
+/// checker has real history to bite on; keys collide across clients on
+/// purpose (a 64-key space) so CAS races actually race.
+fn next_op(rng: &mut DetRng, client: usize) -> KvOp {
+    let key = format!("key-{}", rng.below(64)).into_bytes();
+    let val = format!("c{client}-{}", rng.next_u64() & 0xffff).into_bytes();
+    match rng.below(100) {
+        0..=44 => KvOp::Set(key, val),
+        45..=69 => KvOp::Get(key),
+        70..=89 => KvOp::Cas {
+            key,
+            // Blind CAS on a contended key space: most fail, some win,
+            // and the replay proves each verdict matched the state.
+            expect: if rng.chance(0.5) {
+                None
+            } else {
+                Some(val.clone())
+            },
+            new: val,
+        },
+        _ => KvOp::Del(key),
+    }
+}
+
+/// One simulated client: submits straight into replica fronts,
+/// redirecting away from a replica that is stalled or slow — the same
+/// policy [`KvClient`] applies over TCP.
+fn run_sim_client(
+    client: usize,
+    fronts: &[ReplicaFront],
+    ops: usize,
+    seed: u64,
+    hist: &Histogram,
+    chaos_done: &AtomicBool,
+) -> (Vec<(KvOp, KvResult)>, u64) {
+    let mut rng = DetRng::new(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(client as u64 + 1)));
+    let mut cur = client % fronts.len();
+    let mut responses = Vec::with_capacity(ops);
+    let mut redirects = 0u64;
+    let timeout = Duration::from_secs(2);
+    let mut done = 0;
+    // Keep generating until the quota is met AND the chaos schedule has
+    // finished: the partition must actually run under load.
+    while done < ops || !chaos_done.load(Ordering::Relaxed) {
+        done += 1;
+        let op = next_op(&mut rng, client);
+        let mut result = KvResult::Err(KvError::Closed);
+        // At-least-once with redirect: an op that times out on one
+        // replica is resubmitted to the next; the completion we keep is
+        // the one commit this client actually observed.
+        for _attempt in 0..fronts.len() * 2 {
+            let t0 = Instant::now();
+            result = fronts[cur].submit_timeout(&op, timeout);
+            match result {
+                KvResult::Err(KvError::NotServing) | KvResult::Err(KvError::Timeout) => {
+                    cur = (cur + 1) % fronts.len();
+                    redirects += 1;
+                }
+                _ => {
+                    hist.record(t0.elapsed().as_nanos() as u64);
+                    break;
+                }
+            }
+        }
+        responses.push((op, result));
+    }
+    (responses, redirects)
+}
+
+/// One real TCP client: pipelines batches through [`KvClient`] against
+/// every replica's listener.
+fn run_tcp_client(
+    client: usize,
+    addrs: Vec<std::net::SocketAddr>,
+    ops: usize,
+    seed: u64,
+    hist: &Histogram,
+    chaos_done: &AtomicBool,
+) -> (Vec<(KvOp, KvResult)>, u64) {
+    let mut rng = DetRng::new(seed ^ (0xD1B54A32D192ED03u64.wrapping_mul(client as u64 + 1)));
+    let mut kv = KvClient::new(addrs, Duration::from_secs(2));
+    let mut responses = Vec::with_capacity(ops);
+    let batch_size = 8;
+    let mut done = 0;
+    while done < ops || !chaos_done.load(Ordering::Relaxed) {
+        let n = batch_size.min(ops.saturating_sub(done).max(1));
+        let batch: Vec<KvOp> = (0..n).map(|_| next_op(&mut rng, 10_000 + client)).collect();
+        let t0 = Instant::now();
+        match kv.pipeline(&batch) {
+            Ok(results) => {
+                // Whole-batch latency amortized per op — the pipelining
+                // is the point of the measurement.
+                let per_op = (t0.elapsed().as_nanos() as u64) / n as u64;
+                for (op, r) in batch.into_iter().zip(results) {
+                    hist.record(per_op);
+                    responses.push((op, r));
+                }
+            }
+            Err(e) => {
+                for op in batch {
+                    responses.push((op, KvResult::Err(e)));
+                }
+            }
+        }
+        done += n;
+    }
+    (responses, kv.redirects())
+}
+
+/// Waits until `cond` holds or panics after `what` fails to materialize
+/// within the deadline.
+fn wait_for(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let until = Instant::now() + deadline;
+    while !cond() {
+        assert!(Instant::now() < until, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The seeded chaos schedule: split both planes with the seed (the
+/// total-order coordinator) in the majority, hold until the minority
+/// stalls, heal, and hold until every replica serves again. Runs
+/// exactly `rounds` rounds; the clients keep the load up until it is
+/// done (see `chaos_done`).
+fn run_chaos(
+    control: &LoopbackHub,
+    data: &LoopbackHub,
+    fronts: &[ReplicaFront],
+    rounds: u32,
+) -> u32 {
+    let n = fronts.len();
+    let minority_len = (n - 1) / 2; // strictly less than quorum
+    let majority: Vec<u32> = (0..(n - minority_len) as u32).collect();
+    let minority: Vec<u32> = ((n - minority_len) as u32..n as u32).collect();
+    for round in 0..rounds {
+        std::thread::sleep(Duration::from_millis(150));
+        println!(
+            "kv_load: chaos round {}: splitting {:?} | {:?}",
+            round + 1,
+            majority,
+            minority
+        );
+        let groups = vec![majority.clone(), minority.clone()];
+        control.split(groups.clone());
+        data.split(groups);
+        wait_for(
+            "minority replicas to stall",
+            Duration::from_secs(20),
+            || minority.iter().all(|&id| !fronts[id as usize].is_serving()),
+        );
+        // Let the load run against the degraded group for a while.
+        std::thread::sleep(Duration::from_millis(250));
+        control.heal();
+        data.heal();
+        wait_for(
+            "healed group to serve everywhere",
+            Duration::from_secs(30),
+            || fronts.iter().all(|f| f.is_serving()),
+        );
+        println!("kv_load: chaos round {}: healed and serving", round + 1);
+    }
+    rounds
+}
+
+fn main() {
+    let args = parse_args();
+    let seed_ep = Endpoint::new(0);
+    let control = LoopbackHub::with_faults(args.seed, FaultPlan::default());
+    let data = LoopbackHub::with_faults(args.seed ^ 0x5EED, FaultPlan::default());
+
+    println!(
+        "kv_load: {} replicas, {} sim + {} tcp clients, {} ops each, seed {}{}",
+        args.replicas,
+        args.sim_clients,
+        args.tcp_clients,
+        args.ops,
+        args.seed,
+        if args.chaos { ", chaos on" } else { "" }
+    );
+
+    // Form the replica group (rendezvous blocks, so each former gets a
+    // thread, exactly like the cluster harnesses).
+    let mut formers = Vec::new();
+    for i in 0..args.replicas as u32 {
+        let ep = Endpoint::new(i);
+        let (c, d) = (control.attach(ep), data.attach(ep));
+        let cfg = KvConfig::new(args.replicas);
+        formers.push(std::thread::spawn(move || {
+            KvReplica::form(ep, seed_ep, cfg, Box::new(c), Box::new(d))
+        }));
+    }
+    let replicas: Vec<KvReplica> = formers
+        .into_iter()
+        .map(|f| f.join().unwrap().expect("replica rendezvous completes"))
+        .collect();
+    let fronts: Vec<ReplicaFront> = replicas.iter().map(|r| r.front()).collect();
+    println!("kv_load: group formed, all replicas serving");
+
+    // One TCP listener per replica — best-effort: a sandbox that denies
+    // loopback binds downgrades the run to simulated clients only.
+    let mut listeners = Vec::new();
+    let mut addrs = Vec::new();
+    let mut tcp_clients = args.tcp_clients;
+    if tcp_clients > 0 {
+        for r in &replicas {
+            match KvListener::start(
+                r.front(),
+                "127.0.0.1:0",
+                (&KvConfig::new(args.replicas)).into(),
+            ) {
+                Ok(l) => {
+                    addrs.push(l.addr());
+                    listeners.push(l);
+                }
+                Err(e) => {
+                    println!("kv_load: TCP bind failed ({e}); skipping TCP clients");
+                    tcp_clients = 0;
+                    break;
+                }
+            }
+        }
+    }
+
+    let hist = Arc::new(Histogram::new());
+    // Flips to true once the chaos schedule completes; clients keep the
+    // load up until then, so the partition always runs under traffic.
+    let chaos_done = Arc::new(AtomicBool::new(!args.chaos));
+    let chaos = args.chaos.then(|| {
+        let control = control.clone();
+        let data = data.clone();
+        let fronts = fronts.clone();
+        let done = Arc::clone(&chaos_done);
+        let rounds = args.chaos_rounds;
+        std::thread::spawn(move || {
+            let r = run_chaos(&control, &data, &fronts, rounds);
+            done.store(true, Ordering::Relaxed);
+            r
+        })
+    });
+
+    // The measured load phase.
+    let t0 = Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..args.sim_clients {
+        let fronts = fronts.clone();
+        let hist = Arc::clone(&hist);
+        let done = Arc::clone(&chaos_done);
+        let (ops, seed) = (args.ops, args.seed);
+        clients.push(std::thread::spawn(move || {
+            run_sim_client(c, &fronts, ops, seed, &hist, &done)
+        }));
+    }
+    for c in 0..tcp_clients {
+        let addrs = addrs.clone();
+        let hist = Arc::clone(&hist);
+        let done = Arc::clone(&chaos_done);
+        let (ops, seed) = (args.ops, args.seed);
+        clients.push(std::thread::spawn(move || {
+            run_tcp_client(c, addrs, ops, seed, &hist, &done)
+        }));
+    }
+    let mut responses: Vec<(KvOp, KvResult)> = Vec::new();
+    let mut redirects = 0u64;
+    for c in clients {
+        let (r, rd) = c.join().expect("client thread completes");
+        responses.extend(r);
+        redirects += rd;
+    }
+    let elapsed = t0.elapsed();
+
+    let chaos_rounds = chaos
+        .map(|t| t.join().expect("chaos thread completes"))
+        .unwrap_or(0);
+    control.heal();
+    data.heal();
+    wait_for(
+        "all replicas serving after load",
+        Duration::from_secs(30),
+        || fronts.iter().all(|f| f.is_serving()),
+    );
+
+    // Quiesce: parked minority casts replay after the merge; wait until
+    // every replica's commit count stops moving before snapshotting logs.
+    let mut last: Vec<usize> = Vec::new();
+    wait_for("commit logs to quiesce", Duration::from_secs(30), || {
+        let now: Vec<usize> = replicas.iter().map(|r| r.commit_log().len()).collect();
+        let stable = now == last;
+        last = now;
+        std::thread::sleep(Duration::from_millis(50));
+        stable
+    });
+
+    // Replay the whole execution against the linearizability spec.
+    let mut checker = KvLinearizabilityChecker::new();
+    for r in &replicas {
+        let id = r.endpoint().id();
+        for (ci, op) in r.commit_log() {
+            checker.on_commit(id, ci, op);
+        }
+    }
+    let committed: Vec<(KvOp, KvResult)> = responses
+        .into_iter()
+        .filter(|(_, r)| !matches!(r, KvResult::Err(_)))
+        .collect();
+    let ok_ops = committed.len();
+    for (op, r) in committed {
+        checker.on_response(op, r);
+    }
+    let total_commits = checker.commits();
+    let violations = checker.finish();
+
+    let s = hist.summary();
+    let ops_per_sec = if elapsed.as_secs_f64() > 0.0 {
+        ok_ops as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    let json = Json::obj(vec![
+        ("bench", Json::Str("kv_e2e".into())),
+        ("replicas", Json::Int(args.replicas as i64)),
+        ("sim_clients", Json::Int(args.sim_clients as i64)),
+        ("tcp_clients", Json::Int(tcp_clients as i64)),
+        ("seed", Json::Int(args.seed as i64)),
+        ("chaos_rounds", Json::Int(chaos_rounds as i64)),
+        ("ops_total", Json::Int(ok_ops as i64)),
+        ("commits_total", Json::Int(total_commits as i64)),
+        ("redirects", Json::Int(redirects as i64)),
+        ("elapsed_ns", Json::Int(elapsed.as_nanos() as i64)),
+        ("ops_per_sec", Json::Num(ops_per_sec)),
+        ("p50_ns", Json::Int(s.p50 as i64)),
+        ("p90_ns", Json::Int(s.p90 as i64)),
+        ("p99_ns", Json::Int(s.p99 as i64)),
+        ("max_ns", Json::Int(s.max as i64)),
+        ("violations", Json::Int(violations.len() as i64)),
+    ]);
+    std::fs::write(&args.out, json.render()).expect("write benchmark json");
+    println!(
+        "kv_load: {ok_ops} ops in {:.2}s = {:.0} ops/sec, p50 {} ns, p99 {} ns, \
+         {total_commits} commits, {redirects} redirects, {} chaos rounds",
+        elapsed.as_secs_f64(),
+        ops_per_sec,
+        s.p50,
+        s.p99,
+        chaos_rounds
+    );
+    println!("kv_load: wrote {}", args.out);
+
+    // One replica's full exposition — runtime + cluster + KV series —
+    // so CI can grep the ensemble_kv_* counters from this run.
+    println!("{}", replicas[0].metrics_text());
+
+    for l in listeners {
+        l.shutdown();
+    }
+    for r in replicas {
+        r.shutdown();
+    }
+
+    if violations.is_empty() {
+        println!("kv_load: linearizability check PASSED");
+    } else {
+        println!("kv_load: linearizability check FAILED:");
+        for v in violations.iter().take(20) {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

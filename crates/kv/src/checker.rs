@@ -1,0 +1,301 @@
+//! Offline linearizability checking by replay.
+//!
+//! In the style of the cluster's `VsyncChecker`, the harness feeds the
+//! checker everything that happened — each replica's applied log and
+//! every response a client accepted — and [`finish`] replays the whole
+//! execution against the spec:
+//!
+//! * all replicas must agree on what committed at each index (state
+//!   machine safety);
+//! * each replica's log must advance monotonically (no index reuse or
+//!   rollback);
+//! * a response claiming commit index `ci` must name the operation that
+//!   actually committed at `ci`;
+//! * a GET's value must equal the key's state after the log prefix
+//!   before `ci` — reads respect commit order;
+//! * a successful CAS must have observed the *latest* committed write to
+//!   its key (its expectation matches the replayed state immediately
+//!   before `ci`), and a failed CAS must have had a stale expectation.
+//!
+//! Operations that committed but got no response (the client timed out
+//! or died) are fine — they linearized, nobody is left to care. A
+//! response without a matching commit is a violation: the service
+//! acknowledged something the state machine never did.
+//!
+//! [`finish`]: KvLinearizabilityChecker::finish
+
+use crate::proto::{KvOp, KvResult};
+use std::collections::BTreeMap;
+
+/// Collects an execution and replays it against the linearizability spec.
+#[derive(Default)]
+pub struct KvLinearizabilityChecker {
+    /// Per-replica applied logs, in application order.
+    logs: BTreeMap<u32, Vec<(u64, KvOp)>>,
+    /// Client-visible completions (only results carrying a commit index
+    /// are checked; errors never linearized anything).
+    responses: Vec<(KvOp, KvResult)>,
+    violations: Vec<String>,
+}
+
+impl KvLinearizabilityChecker {
+    /// A fresh checker.
+    pub fn new() -> KvLinearizabilityChecker {
+        KvLinearizabilityChecker::default()
+    }
+
+    /// Records that `replica` applied `op` at commit index `ci`.
+    pub fn on_commit(&mut self, replica: u32, ci: u64, op: KvOp) {
+        self.logs.entry(replica).or_default().push((ci, op));
+    }
+
+    /// Records a completion a client observed for `op`.
+    pub fn on_response(&mut self, op: KvOp, result: KvResult) {
+        self.responses.push((op, result));
+    }
+
+    /// Number of commits recorded so far (across all replicas).
+    pub fn commits(&self) -> usize {
+        self.logs.values().map(|l| l.len()).sum()
+    }
+
+    /// Number of responses recorded so far.
+    pub fn responses(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Replays the execution; returns every violation found (empty =
+    /// the execution was linearizable).
+    pub fn finish(mut self) -> Vec<String> {
+        // 1. Per-replica logs advance strictly monotonically.
+        for (r, log) in &self.logs {
+            for w in log.windows(2) {
+                if w[1].0 <= w[0].0 {
+                    self.violations.push(format!(
+                        "replica {r}: commit index went from {} to {} (must be strictly increasing)",
+                        w[0].0, w[1].0
+                    ));
+                }
+            }
+        }
+
+        // 2. All replicas agree on the operation at each index.
+        let mut global: BTreeMap<u64, KvOp> = BTreeMap::new();
+        for (r, log) in &self.logs {
+            for (ci, op) in log {
+                match global.get(ci) {
+                    None => {
+                        global.insert(*ci, op.clone());
+                    }
+                    Some(prev) if prev == op => {}
+                    Some(prev) => self.violations.push(format!(
+                        "commit index {ci} diverges: replica {r} applied {op:?}, \
+                         another applied {prev:?}"
+                    )),
+                }
+            }
+        }
+
+        // 3. Replay the agreed log; check each response at its index.
+        let mut by_ci: BTreeMap<u64, Vec<(KvOp, KvResult)>> = BTreeMap::new();
+        for (op, result) in std::mem::take(&mut self.responses) {
+            let ci = match &result {
+                KvResult::Value { ci, .. }
+                | KvResult::Applied { ci }
+                | KvResult::Cas { ci, .. } => *ci,
+                KvResult::Err(_) => continue,
+            };
+            by_ci.entry(ci).or_default().push((op, result));
+        }
+        let mut state: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (ci, op) in &global {
+            for (resp_op, result) in by_ci.remove(ci).unwrap_or_default() {
+                if resp_op != *op {
+                    self.violations.push(format!(
+                        "response at {ci} was for {resp_op:?} but the log committed {op:?}"
+                    ));
+                    continue;
+                }
+                match (&result, op) {
+                    (KvResult::Value { value, .. }, KvOp::Get(k)) => {
+                        if value.as_deref() != state.get(k).map(|v| v.as_slice()) {
+                            self.violations.push(format!(
+                                "GET at {ci} returned {value:?} but the committed prefix \
+                                 holds {:?} for key {k:?}",
+                                state.get(k)
+                            ));
+                        }
+                    }
+                    (KvResult::Applied { .. }, KvOp::Set(..) | KvOp::Del(..)) => {}
+                    (KvResult::Cas { ok, .. }, KvOp::Cas { key, expect, .. }) => {
+                        let held = state.get(key).map(|v| v.as_slice()) == expect.as_deref();
+                        if *ok != held {
+                            self.violations.push(format!(
+                                "CAS at {ci} reported ok={ok} but expectation {expect:?} \
+                                 {} the latest committed write {:?}",
+                                if held { "matched" } else { "did not match" },
+                                state.get(key)
+                            ));
+                        }
+                    }
+                    _ => self.violations.push(format!(
+                        "response kind {result:?} does not fit operation {op:?} at {ci}"
+                    )),
+                }
+            }
+            match op {
+                KvOp::Get(_) => {}
+                KvOp::Set(k, v) => {
+                    state.insert(k.clone(), v.clone());
+                }
+                KvOp::Del(k) => {
+                    state.remove(k);
+                }
+                KvOp::Cas { key, expect, new } => {
+                    if state.get(key).map(|v| v.as_slice()) == expect.as_deref() {
+                        state.insert(key.clone(), new.clone());
+                    }
+                }
+            }
+        }
+
+        // 4. Responses at indices nothing committed: acked uncommitted.
+        for (ci, resps) in by_ci {
+            for (op, _) in resps {
+                self.violations.push(format!(
+                    "response for {op:?} claims commit index {ci}, but no replica committed it"
+                ));
+            }
+        }
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(k: &[u8], v: &[u8]) -> KvOp {
+        KvOp::Set(k.to_vec(), v.to_vec())
+    }
+
+    #[test]
+    fn clean_execution_passes() {
+        let mut c = KvLinearizabilityChecker::new();
+        for r in 0..3 {
+            c.on_commit(r, 1, set(b"x", b"1"));
+            c.on_commit(r, 2, KvOp::Get(b"x".to_vec()));
+            c.on_commit(
+                r,
+                3,
+                KvOp::Cas {
+                    key: b"x".to_vec(),
+                    expect: Some(b"1".to_vec()),
+                    new: b"2".to_vec(),
+                },
+            );
+        }
+        c.on_response(set(b"x", b"1"), KvResult::Applied { ci: 1 });
+        c.on_response(
+            KvOp::Get(b"x".to_vec()),
+            KvResult::Value {
+                ci: 2,
+                value: Some(b"1".to_vec()),
+            },
+        );
+        c.on_response(
+            KvOp::Cas {
+                key: b"x".to_vec(),
+                expect: Some(b"1".to_vec()),
+                new: b"2".to_vec(),
+            },
+            KvResult::Cas { ci: 3, ok: true },
+        );
+        assert_eq!(c.finish(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn diverging_replicas_are_caught() {
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_commit(0, 1, set(b"x", b"1"));
+        c.on_commit(1, 1, set(b"x", b"2"));
+        let v = c.finish();
+        assert!(v.iter().any(|m| m.contains("diverges")), "{v:?}");
+    }
+
+    #[test]
+    fn stale_read_is_caught() {
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_commit(0, 1, set(b"x", b"1"));
+        c.on_commit(0, 2, set(b"x", b"2"));
+        c.on_commit(0, 3, KvOp::Get(b"x".to_vec()));
+        // The read committed after x=2 but claims to have seen x=1.
+        c.on_response(
+            KvOp::Get(b"x".to_vec()),
+            KvResult::Value {
+                ci: 3,
+                value: Some(b"1".to_vec()),
+            },
+        );
+        let v = c.finish();
+        assert!(v.iter().any(|m| m.contains("GET at 3")), "{v:?}");
+    }
+
+    #[test]
+    fn cas_that_missed_a_write_is_caught() {
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_commit(0, 1, set(b"x", b"1"));
+        c.on_commit(0, 2, set(b"x", b"2"));
+        let cas = KvOp::Cas {
+            key: b"x".to_vec(),
+            expect: Some(b"1".to_vec()),
+            new: b"3".to_vec(),
+        };
+        c.on_commit(0, 3, cas.clone());
+        // Claiming success means it observed x=1 as latest — but x=2
+        // committed in between.
+        c.on_response(cas, KvResult::Cas { ci: 3, ok: true });
+        let v = c.finish();
+        assert!(v.iter().any(|m| m.contains("CAS at 3")), "{v:?}");
+    }
+
+    #[test]
+    fn acked_but_never_committed_is_caught() {
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_commit(0, 1, set(b"x", b"1"));
+        c.on_response(set(b"y", b"9"), KvResult::Applied { ci: 5 });
+        let v = c.finish();
+        assert!(
+            v.iter().any(|m| m.contains("no replica committed")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn rollback_and_unresponded_commits() {
+        let mut c = KvLinearizabilityChecker::new();
+        // Commits without responses are fine (client gave up)…
+        c.on_commit(0, 1, set(b"a", b"1"));
+        c.on_commit(0, 2, set(b"b", b"2"));
+        assert_eq!(c.commits(), 2);
+        assert_eq!(c.responses(), 0);
+        assert!(c.finish().is_empty());
+        // …but a replica reusing an index is not.
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_commit(0, 2, set(b"a", b"1"));
+        c.on_commit(0, 2, set(b"a", b"1"));
+        let v = c.finish();
+        assert!(v.iter().any(|m| m.contains("strictly increasing")), "{v:?}");
+    }
+
+    #[test]
+    fn error_responses_are_not_linearized() {
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_commit(0, 1, set(b"x", b"1"));
+        c.on_response(
+            set(b"y", b"2"),
+            KvResult::Err(crate::proto::KvError::Timeout),
+        );
+        assert!(c.finish().is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! The TCP client: pipelining, per-request timeouts, and
+//! retry-with-redirect.
+//!
+//! A [`KvClient`] holds the address of every replica's listener and one
+//! live connection. Requests are written as pipelined frames and
+//! completions are collected by `req_id` in whatever order the server
+//! finishes them. When the contacted replica answers "not serving"
+//! (stalled in a minority partition), the connection dies, or the batch
+//! deadline passes, the client *redirects*: it advances to the next
+//! address, reconnects, and resubmits the unanswered operations.
+//!
+//! Redirected resubmission is at-least-once: an operation whose ack was
+//! lost may commit twice, at two commit indices. Each completion the
+//! client *returns* names the index of one commit it actually observed,
+//! which is what the linearizability checker verifies; callers that
+//! need exactly-once semantics build it from CAS.
+
+use crate::proto::{
+    decode_response, encode_request, write_frame, KvError, KvOp, KvResult, MAX_FRAME,
+};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A redirecting, pipelining TCP client for the KV service.
+pub struct KvClient {
+    addrs: Vec<SocketAddr>,
+    cur: usize,
+    stream: Option<TcpStream>,
+    next_req: u64,
+    /// Per-batch commit deadline (also the per-request deadline for
+    /// single-operation calls).
+    timeout: Duration,
+    redirects: u64,
+}
+
+impl KvClient {
+    /// A client for the replicas listening at `addrs` (tried in order,
+    /// starting from the first).
+    pub fn new(addrs: Vec<SocketAddr>, timeout: Duration) -> KvClient {
+        KvClient {
+            addrs,
+            cur: 0,
+            stream: None,
+            next_req: 0,
+            timeout,
+            redirects: 0,
+        }
+    }
+
+    /// How many times this client abandoned a replica and moved on.
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Reads `key`; `Ok(None)` means the key was absent.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        match self.call(&KvOp::Get(key.to_vec()))? {
+            KvResult::Value { value, .. } => Ok(value),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Binds `key` to `value`; returns the commit index.
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<u64, KvError> {
+        match self.call(&KvOp::Set(key.to_vec(), value.to_vec()))? {
+            KvResult::Applied { ci } => Ok(ci),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Removes `key`; returns the commit index.
+    pub fn del(&mut self, key: &[u8]) -> Result<u64, KvError> {
+        match self.call(&KvOp::Del(key.to_vec()))? {
+            KvResult::Applied { ci } => Ok(ci),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Compare-and-swap; returns `(succeeded, commit index)`.
+    pub fn cas(
+        &mut self,
+        key: &[u8],
+        expect: Option<&[u8]>,
+        new: &[u8],
+    ) -> Result<(bool, u64), KvError> {
+        let op = KvOp::Cas {
+            key: key.to_vec(),
+            expect: expect.map(|e| e.to_vec()),
+            new: new.to_vec(),
+        };
+        match self.call(&op)? {
+            KvResult::Cas { ci, ok } => Ok((ok, ci)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Runs one operation (a pipeline of one).
+    pub fn call(&mut self, op: &KvOp) -> Result<KvResult, KvError> {
+        let mut results = self.pipeline(std::slice::from_ref(op))?;
+        results.pop().ok_or(KvError::Closed)
+    }
+
+    /// Runs `ops` pipelined on one connection; `results[i]` completes
+    /// `ops[i]`. Redirects (reconnect + resubmit unanswered operations)
+    /// until every operation has a committed result or every replica
+    /// has been tried twice.
+    pub fn pipeline(&mut self, ops: &[KvOp]) -> Result<Vec<KvResult>, KvError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.addrs.is_empty() {
+            return Err(KvError::Closed);
+        }
+        let mut results: Vec<Option<KvResult>> = vec![None; ops.len()];
+        let max_attempts = self.addrs.len() * 2;
+        let mut last_err = KvError::Closed;
+        for attempt in 0..max_attempts {
+            let todo: Vec<usize> = (0..ops.len()).filter(|&i| results[i].is_none()).collect();
+            if todo.is_empty() {
+                break;
+            }
+            match self.try_batch(ops, &todo, &mut results) {
+                Ok(()) => {}
+                Err(e) => {
+                    last_err = e;
+                    self.redirect();
+                    // Last attempt failing falls through to the check
+                    // below; intermediate failures just move on.
+                    if attempt + 1 == max_attempts {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(ops.len());
+        for r in results {
+            out.push(r.ok_or(last_err)?);
+        }
+        Ok(out)
+    }
+
+    /// Sends `ops[todo]` on the current connection and collects their
+    /// completions. `Err` means the *connection* (or replica) failed —
+    /// redirect and resubmit whatever is still `None`.
+    fn try_batch(
+        &mut self,
+        ops: &[KvOp],
+        todo: &[usize],
+        results: &mut [Option<KvResult>],
+    ) -> Result<(), KvError> {
+        // Own the stream for the batch: an early error return drops the
+        // (now useless) connection, success puts it back.
+        let mut stream = match self.stream.take() {
+            Some(s) => s,
+            None => self.connect()?,
+        };
+        // Assign req ids and pipeline every frame before reading.
+        let mut wanted: HashMap<u64, usize> = HashMap::new();
+        for &i in todo {
+            let req_id = self.next_req;
+            self.next_req += 1;
+            wanted.insert(req_id, i);
+            write_frame(&mut stream, &encode_request(req_id, &ops[i]))
+                .map_err(|_| KvError::Closed)?;
+        }
+        // Collect completions (any order) until done or deadline.
+        let deadline = Instant::now() + self.timeout;
+        let mut acc: Vec<u8> = Vec::new();
+        let mut tmp = [0u8; 16 * 1024];
+        while !wanted.is_empty() {
+            if Instant::now() >= deadline {
+                return Err(KvError::Timeout);
+            }
+            match stream.read(&mut tmp) {
+                Ok(0) => return Err(KvError::Closed),
+                Ok(n) => acc.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    continue;
+                }
+                Err(_) => return Err(KvError::Closed),
+            }
+            loop {
+                if acc.len() < 4 {
+                    break;
+                }
+                let len = u32::from_le_bytes(acc[..4].try_into().unwrap()) as usize;
+                if len > MAX_FRAME {
+                    return Err(KvError::Malformed);
+                }
+                if acc.len() < 4 + len {
+                    break;
+                }
+                let payload: Vec<u8> = acc.drain(..4 + len).skip(4).collect();
+                let Some((req_id, result)) = decode_response(&payload) else {
+                    return Err(KvError::Malformed);
+                };
+                let Some(i) = wanted.remove(&req_id) else {
+                    continue; // A stale completion from before a redirect.
+                };
+                match result {
+                    // The replica is stalled: fail the whole batch over
+                    // to the next replica (every op still unanswered).
+                    KvResult::Err(KvError::NotServing) => {
+                        wanted.insert(req_id, i);
+                        return Err(KvError::NotServing);
+                    }
+                    r => results[i] = Some(r),
+                }
+            }
+        }
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn connect(&mut self) -> Result<TcpStream, KvError> {
+        let addr = self.addrs[self.cur];
+        let stream =
+            TcpStream::connect_timeout(&addr, self.timeout.max(Duration::from_millis(100)))
+                .map_err(|_| KvError::Closed)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        Ok(stream)
+    }
+
+    /// Drops the connection and advances to the next replica.
+    fn redirect(&mut self) {
+        self.stream = None;
+        self.cur = (self.cur + 1) % self.addrs.len().max(1);
+        self.redirects += 1;
+    }
+}
+
+fn unexpected(r: KvResult) -> KvError {
+    match r {
+        KvResult::Err(e) => e,
+        // A response of the wrong shape for the request type.
+        _ => KvError::Malformed,
+    }
+}

@@ -1,0 +1,78 @@
+//! KV service counters and their Prometheus exposition.
+
+use ensemble_obs::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one KV replica (apply thread and connection
+/// workers write, any thread reads).
+#[derive(Debug, Default)]
+pub struct KvMetrics {
+    /// Operations submitted into the total order.
+    pub requests: AtomicU64,
+    /// Operations applied to the state machine (commit indices assigned).
+    pub commits: AtomicU64,
+    /// Completions handed back to a waiting client.
+    pub responses: AtomicU64,
+    /// Requests rejected immediately because the replica is not serving
+    /// (minority partition or fenced).
+    pub rejected_not_serving: AtomicU64,
+    /// Requests abandoned by their client before the commit arrived.
+    pub timeouts: AtomicU64,
+    /// State snapshots installed (join Welcome or post-heal merge grant).
+    pub snapshots_installed: AtomicU64,
+    /// TCP connections accepted by the listener.
+    pub connections: AtomicU64,
+}
+
+impl KvMetrics {
+    /// Renders the `ensemble_kv_*` series in Prometheus text exposition
+    /// format.
+    pub fn render(&self) -> String {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut reg = Registry::new();
+        reg.set_int("ensemble_kv_requests_total", &[], ld(&self.requests));
+        reg.set_int("ensemble_kv_commits_total", &[], ld(&self.commits));
+        reg.set_int("ensemble_kv_responses_total", &[], ld(&self.responses));
+        reg.set_int(
+            "ensemble_kv_rejected_total",
+            &[("reason", "not_serving")],
+            ld(&self.rejected_not_serving),
+        );
+        reg.set_int(
+            "ensemble_kv_rejected_total",
+            &[("reason", "timeout")],
+            ld(&self.timeouts),
+        );
+        reg.set_int(
+            "ensemble_kv_snapshots_installed_total",
+            &[],
+            ld(&self.snapshots_installed),
+        );
+        reg.set_int("ensemble_kv_connections_total", &[], ld(&self.connections));
+        reg.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_contains_every_kv_series() {
+        let m = KvMetrics::default();
+        m.requests.store(42, Ordering::Relaxed);
+        m.commits.store(40, Ordering::Relaxed);
+        let text = m.render();
+        for series in [
+            "ensemble_kv_requests_total 42",
+            "ensemble_kv_commits_total 40",
+            "ensemble_kv_responses_total 0",
+            "ensemble_kv_rejected_total{reason=\"not_serving\"}",
+            "ensemble_kv_rejected_total{reason=\"timeout\"}",
+            "ensemble_kv_snapshots_installed_total",
+            "ensemble_kv_connections_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! The client-facing wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload. Requests and responses are matched by a client-chosen
+//! `req_id`, so a client may pipeline many requests on one connection
+//! and collect completions out of order.
+//!
+//! ```text
+//! frame    := len:u32le payload[len]
+//! request  := req_id:u64le op
+//! op       := 0x01 key              (GET)
+//!           | 0x02 key val          (SET)
+//!           | 0x03 key              (DEL)
+//!           | 0x04 key opt(expect) val   (CAS)
+//! key,val  := len:u32le bytes[len]
+//! opt(x)   := 0x00 | 0x01 x
+//! response := req_id:u64le result
+//! result   := 0x81 ci:u64le opt(val)    (value at commit index ci)
+//!           | 0x82 ci:u64le             (write applied at ci)
+//!           | 0x83 ci:u64le ok:u8       (CAS decided at ci)
+//!           | 0x8F code:u8              (error; no commit index)
+//! ```
+//!
+//! The same `op` encoding doubles as the replicated cast payload (see
+//! [`encode_cast`]), so what the group orders is byte-for-byte what the
+//! client asked for.
+
+use std::io::{Read, Write};
+
+/// Frames larger than this are refused — a corrupt length prefix must
+/// not make a worker allocate gigabytes.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Error codes carried by the `0x8F` result.
+pub const ERR_NOT_SERVING: u8 = 1;
+pub const ERR_TIMEOUT: u8 = 2;
+pub const ERR_MALFORMED: u8 = 3;
+pub const ERR_CLOSED: u8 = 4;
+
+/// One key-value operation, as replicated through the total order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read `key` (ordered like a write so reads respect commit order).
+    Get(Vec<u8>),
+    /// Bind `key` to `value`.
+    Set(Vec<u8>, Vec<u8>),
+    /// Remove `key`.
+    Del(Vec<u8>),
+    /// Compare-and-swap: bind `key` to `new` iff its current value is
+    /// `expect` (`None` = iff the key is absent).
+    Cas {
+        /// The key to swap.
+        key: Vec<u8>,
+        /// Required current value (`None`: key must be absent).
+        expect: Option<Vec<u8>>,
+        /// Value installed when the comparison holds.
+        new: Vec<u8>,
+    },
+}
+
+impl KvOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            KvOp::Get(k) | KvOp::Del(k) | KvOp::Set(k, _) => k,
+            KvOp::Cas { key, .. } => key,
+        }
+    }
+}
+
+/// What a replica answers, as decided at a commit index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvResult {
+    /// A GET observed `value` (or absence) at commit index `ci`.
+    Value {
+        /// The commit index assigned to the read.
+        ci: u64,
+        /// The value bound to the key, or `None` if absent.
+        value: Option<Vec<u8>>,
+    },
+    /// A SET or DEL was applied at commit index `ci`.
+    Applied {
+        /// The commit index assigned to the write.
+        ci: u64,
+    },
+    /// A CAS was decided at commit index `ci`.
+    Cas {
+        /// The commit index assigned to the swap.
+        ci: u64,
+        /// Whether the comparison held and `new` was installed.
+        ok: bool,
+    },
+    /// The operation never reached the total order.
+    Err(KvError),
+}
+
+/// Why an operation failed without being committed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// The contacted replica is stalled in a minority partition or
+    /// fenced: retry against another replica.
+    NotServing,
+    /// No commit arrived within the request timeout.
+    Timeout,
+    /// The request could not be decoded.
+    Malformed,
+    /// The replica (or connection) shut down.
+    Closed,
+}
+
+impl KvError {
+    /// The wire code for this error.
+    pub fn code(&self) -> u8 {
+        match self {
+            KvError::NotServing => ERR_NOT_SERVING,
+            KvError::Timeout => ERR_TIMEOUT,
+            KvError::Malformed => ERR_MALFORMED,
+            KvError::Closed => ERR_CLOSED,
+        }
+    }
+
+    /// Decodes a wire error code.
+    pub fn from_code(c: u8) -> KvError {
+        match c {
+            ERR_NOT_SERVING => KvError::NotServing,
+            ERR_TIMEOUT => KvError::Timeout,
+            ERR_CLOSED => KvError::Closed,
+            _ => KvError::Malformed,
+        }
+    }
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::NotServing => write!(f, "replica not serving (minority partition or fenced)"),
+            KvError::Timeout => write!(f, "request timed out"),
+            KvError::Malformed => write!(f, "malformed frame"),
+            KvError::Closed => write!(f, "replica closed"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn take_u32(buf: &[u8], at: &mut usize) -> Option<u32> {
+    let b = buf.get(*at..*at + 4)?;
+    *at += 4;
+    Some(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn take_u64(buf: &[u8], at: &mut usize) -> Option<u64> {
+    let b = buf.get(*at..*at + 8)?;
+    *at += 8;
+    Some(u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn take_u8(buf: &[u8], at: &mut usize) -> Option<u8> {
+    let b = *buf.get(*at)?;
+    *at += 1;
+    Some(b)
+}
+
+fn take_bytes(buf: &[u8], at: &mut usize) -> Option<Vec<u8>> {
+    let len = take_u32(buf, at)? as usize;
+    let b = buf.get(*at..*at + len)?;
+    *at += len;
+    Some(b.to_vec())
+}
+
+/// Appends the encoding of `op` to `out`.
+pub fn encode_op(out: &mut Vec<u8>, op: &KvOp) {
+    match op {
+        KvOp::Get(k) => {
+            out.push(0x01);
+            put_bytes(out, k);
+        }
+        KvOp::Set(k, v) => {
+            out.push(0x02);
+            put_bytes(out, k);
+            put_bytes(out, v);
+        }
+        KvOp::Del(k) => {
+            out.push(0x03);
+            put_bytes(out, k);
+        }
+        KvOp::Cas { key, expect, new } => {
+            out.push(0x04);
+            put_bytes(out, key);
+            match expect {
+                None => out.push(0x00),
+                Some(e) => {
+                    out.push(0x01);
+                    put_bytes(out, e);
+                }
+            }
+            put_bytes(out, new);
+        }
+    }
+}
+
+/// Decodes one `op` from `buf` at `*at`, advancing the cursor.
+pub fn decode_op(buf: &[u8], at: &mut usize) -> Option<KvOp> {
+    match take_u8(buf, at)? {
+        0x01 => Some(KvOp::Get(take_bytes(buf, at)?)),
+        0x02 => Some(KvOp::Set(take_bytes(buf, at)?, take_bytes(buf, at)?)),
+        0x03 => Some(KvOp::Del(take_bytes(buf, at)?)),
+        0x04 => {
+            let key = take_bytes(buf, at)?;
+            let expect = match take_u8(buf, at)? {
+                0x00 => None,
+                0x01 => Some(take_bytes(buf, at)?),
+                _ => return None,
+            };
+            Some(KvOp::Cas {
+                key,
+                expect,
+                new: take_bytes(buf, at)?,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Encodes a request payload (without the frame length prefix).
+pub fn encode_request(req_id: u64, op: &KvOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    encode_op(&mut out, op);
+    out
+}
+
+/// Decodes a request payload.
+pub fn decode_request(buf: &[u8]) -> Option<(u64, KvOp)> {
+    let mut at = 0;
+    let req_id = take_u64(buf, &mut at)?;
+    let op = decode_op(buf, &mut at)?;
+    if at != buf.len() {
+        return None;
+    }
+    Some((req_id, op))
+}
+
+/// Encodes a response payload (without the frame length prefix).
+pub fn encode_response(req_id: u64, result: &KvResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    match result {
+        KvResult::Value { ci, value } => {
+            out.push(0x81);
+            out.extend_from_slice(&ci.to_le_bytes());
+            match value {
+                None => out.push(0x00),
+                Some(v) => {
+                    out.push(0x01);
+                    put_bytes(&mut out, v);
+                }
+            }
+        }
+        KvResult::Applied { ci } => {
+            out.push(0x82);
+            out.extend_from_slice(&ci.to_le_bytes());
+        }
+        KvResult::Cas { ci, ok } => {
+            out.push(0x83);
+            out.extend_from_slice(&ci.to_le_bytes());
+            out.push(u8::from(*ok));
+        }
+        KvResult::Err(e) => {
+            out.push(0x8F);
+            out.push(e.code());
+        }
+    }
+    out
+}
+
+/// Decodes a response payload.
+pub fn decode_response(buf: &[u8]) -> Option<(u64, KvResult)> {
+    let mut at = 0;
+    let req_id = take_u64(buf, &mut at)?;
+    let result = match take_u8(buf, &mut at)? {
+        0x81 => {
+            let ci = take_u64(buf, &mut at)?;
+            let value = match take_u8(buf, &mut at)? {
+                0x00 => None,
+                0x01 => Some(take_bytes(buf, &mut at)?),
+                _ => return None,
+            };
+            KvResult::Value { ci, value }
+        }
+        0x82 => KvResult::Applied {
+            ci: take_u64(buf, &mut at)?,
+        },
+        0x83 => {
+            let ci = take_u64(buf, &mut at)?;
+            KvResult::Cas {
+                ci,
+                ok: take_u8(buf, &mut at)? != 0,
+            }
+        }
+        0x8F => KvResult::Err(KvError::from_code(take_u8(buf, &mut at)?)),
+        _ => return None,
+    };
+    if at != buf.len() {
+        return None;
+    }
+    Some((req_id, result))
+}
+
+/// Encodes the replicated cast payload: who proposed (`submitter`, an
+/// endpoint id), their local pending `token`, and the operation. The
+/// committing replica that proposed the op uses the token to find the
+/// waiting client.
+pub fn encode_cast(submitter: u32, token: u64, op: &KvOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20);
+    out.extend_from_slice(&submitter.to_le_bytes());
+    out.extend_from_slice(&token.to_le_bytes());
+    encode_op(&mut out, op);
+    out
+}
+
+/// Decodes a replicated cast payload.
+pub fn decode_cast(buf: &[u8]) -> Option<(u32, u64, KvOp)> {
+    let mut at = 0;
+    let submitter = take_u32(buf, &mut at)?;
+    let token = take_u64(buf, &mut at)?;
+    let op = decode_op(buf, &mut at)?;
+    if at != buf.len() {
+        return None;
+    }
+    Some((submitter, token, op))
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary; refuses frames
+/// longer than [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len[n..])?,
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<KvOp> {
+        vec![
+            KvOp::Get(b"k".to_vec()),
+            KvOp::Set(b"key".to_vec(), b"value".to_vec()),
+            KvOp::Del(Vec::new()),
+            KvOp::Cas {
+                key: b"x".to_vec(),
+                expect: None,
+                new: b"1".to_vec(),
+            },
+            KvOp::Cas {
+                key: b"x".to_vec(),
+                expect: Some(b"1".to_vec()),
+                new: b"2".to_vec(),
+            },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for (i, op) in ops().into_iter().enumerate() {
+            let buf = encode_request(i as u64, &op);
+            assert_eq!(decode_request(&buf), Some((i as u64, op)));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let results = vec![
+            KvResult::Value { ci: 7, value: None },
+            KvResult::Value {
+                ci: 8,
+                value: Some(b"v".to_vec()),
+            },
+            KvResult::Applied { ci: 9 },
+            KvResult::Cas { ci: 10, ok: true },
+            KvResult::Cas { ci: 11, ok: false },
+            KvResult::Err(KvError::NotServing),
+            KvResult::Err(KvError::Timeout),
+        ];
+        for (i, r) in results.into_iter().enumerate() {
+            let buf = encode_response(i as u64, &r);
+            assert_eq!(decode_response(&buf), Some((i as u64, r)));
+        }
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        for op in ops() {
+            let buf = encode_cast(3, 42, &op);
+            assert_eq!(decode_cast(&buf), Some((3, 42, op)));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_refused() {
+        let mut buf = encode_request(1, &KvOp::Get(b"k".to_vec()));
+        buf.push(0);
+        assert_eq!(decode_request(&buf), None);
+        let mut buf = encode_response(1, &KvResult::Applied { ci: 1 });
+        buf.push(0);
+        assert_eq!(decode_response(&buf), None);
+    }
+
+    #[test]
+    fn truncation_is_refused_everywhere() {
+        let full = encode_request(1, &KvOp::Set(b"key".to_vec(), b"value".to_vec()));
+        for cut in 0..full.len() {
+            assert_eq!(decode_request(&full[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! One KV replica: a [`ClusterNode`] plus the apply loop.
+//!
+//! The replica proposes every client operation as a group cast and
+//! applies casts to its [`KvStore`] strictly in delivery order — the
+//! total order *is* the commit order. The replica that proposed an
+//! operation recognizes its own cast coming back (submitter id + token)
+//! and completes the waiting client with the `(commit index, result)`
+//! the state machine computed.
+//!
+//! Threading: the apply loop owns the `ClusterNode` on a dedicated
+//! thread. Everything other threads need — proposing casts, the serving
+//! flag, the pending-completion table — travels through the cheaply
+//! cloneable [`ReplicaFront`], so TCP connection workers and simulated
+//! clients never touch the node itself.
+
+use crate::config::KvConfig;
+use crate::metrics::KvMetrics;
+use crate::proto::{decode_cast, encode_cast, KvError, KvOp, KvResult};
+use crate::store::KvStore;
+use ensemble_cluster::{ClusterError, ClusterEvent, ClusterNode, StateProvider};
+use ensemble_event::ViewState;
+use ensemble_obs::{now_ns, CcpFailure, Direction, Event, EventKind, Tag};
+use ensemble_runtime::{Delivery, GroupSender, NodeObs, Transport};
+use ensemble_util::Endpoint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Requests the owner thread sends into the apply loop (which is the
+/// only thread that may touch the `ClusterNode`).
+enum Ctl {
+    MetricsText(Sender<String>),
+    View(Sender<ViewState>),
+}
+
+/// The cheaply cloneable client-facing seam of a replica.
+#[derive(Clone)]
+pub struct ReplicaFront {
+    id: u32,
+    sender: GroupSender,
+    serving: Arc<AtomicBool>,
+    pending: Arc<Mutex<HashMap<u64, Sender<KvResult>>>>,
+    next_token: Arc<AtomicU64>,
+    metrics: Arc<KvMetrics>,
+}
+
+impl ReplicaFront {
+    /// Whether the replica behind this front currently serves requests
+    /// (false while stalled in a minority partition or fenced).
+    pub fn is_serving(&self) -> bool {
+        self.serving.load(Ordering::Relaxed)
+    }
+
+    /// This replica's endpoint id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The replica's counters.
+    pub fn metrics(&self) -> &KvMetrics {
+        &self.metrics
+    }
+
+    /// Proposes `op` into the total order; the receiver completes with
+    /// the committed result (or an error if it never commits).
+    pub fn submit(&self, op: &KvOp) -> Receiver<KvResult> {
+        let (rx, _) = self.submit_tracked(op);
+        rx
+    }
+
+    /// Like [`ReplicaFront::submit`], but also returns the pending-table
+    /// token (when one was issued) so the caller can [`withdraw`] the
+    /// operation if it stops waiting.
+    ///
+    /// [`withdraw`]: ReplicaFront::withdraw
+    pub fn submit_tracked(&self, op: &KvOp) -> (Receiver<KvResult>, Option<u64>) {
+        let (tx, rx) = channel();
+        if !self.serving.load(Ordering::Relaxed) {
+            self.metrics
+                .rejected_not_serving
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(KvResult::Err(KvError::NotServing));
+            return (rx, None);
+        }
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.pending
+            .lock()
+            .expect("kv pending table mutex poisoned")
+            .insert(token, tx);
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        if self.sender.cast(&encode_cast(self.id, token, op)).is_err() {
+            let tx = self
+                .pending
+                .lock()
+                .expect("kv pending table mutex poisoned")
+                .remove(&token);
+            if let Some(tx) = tx {
+                let _ = tx.send(KvResult::Err(KvError::Closed));
+            }
+        }
+        (rx, Some(token))
+    }
+
+    /// Withdraws a pending operation the caller no longer waits on.
+    ///
+    /// Returns `true` if the entry was still pending (a later commit
+    /// goes unobserved — but perfectly linearized). Returns `false` if
+    /// the commit already completed it; the apply loop completes
+    /// entries while holding the table lock, so in that case the result
+    /// is guaranteed to be sitting in the submit receiver.
+    pub fn withdraw(&self, token: u64) -> bool {
+        self.pending
+            .lock()
+            .expect("kv pending table mutex poisoned")
+            .remove(&token)
+            .is_some()
+    }
+
+    /// Proposes `op` and waits up to `timeout` for its commit.
+    pub fn submit_timeout(&self, op: &KvOp, timeout: Duration) -> KvResult {
+        let (rx, token) = self.submit_tracked(op);
+        match rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(_) => {
+                if let Some(token) = token {
+                    if !self.withdraw(token) {
+                        // The commit raced the timeout; take its result.
+                        if let Ok(r) = rx.try_recv() {
+                            return r;
+                        }
+                    }
+                }
+                self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                KvResult::Err(KvError::Timeout)
+            }
+        }
+    }
+}
+
+/// A state-machine-replicated KV service member.
+pub struct KvReplica {
+    ep: Endpoint,
+    front: ReplicaFront,
+    log: Arc<Mutex<Vec<(u64, KvOp)>>>,
+    ctl_tx: Sender<Ctl>,
+    stop: Arc<AtomicBool>,
+    apply: Option<std::thread::JoinHandle<()>>,
+}
+
+impl KvReplica {
+    /// Rendezvous via `seed` and start this replica (blocking, like
+    /// [`ClusterNode::form`]). The store snapshot is wired up as the
+    /// cluster's [`StateProvider`], so joiners and post-heal merge
+    /// grants receive the full map plus its commit index.
+    pub fn form(
+        ep: Endpoint,
+        seed: Endpoint,
+        cfg: KvConfig,
+        control: Box<dyn Transport>,
+        data: Box<dyn Transport>,
+    ) -> Result<KvReplica, ClusterError> {
+        cfg.validate()?;
+        let store = Arc::new(Mutex::new(KvStore::new()));
+        let snap_store = Arc::clone(&store);
+        let provider: Box<dyn StateProvider> = Box::new(move || {
+            snap_store
+                .lock()
+                .expect("kv store mutex poisoned")
+                .snapshot()
+        });
+        let node = ClusterNode::form(ep, seed, cfg.cluster, control, data, Some(provider))?;
+
+        let front = ReplicaFront {
+            id: ep.id(),
+            sender: node.sender(),
+            serving: node.serving_flag(),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            next_token: Arc::new(AtomicU64::new(0)),
+            metrics: Arc::new(KvMetrics::default()),
+        };
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ctl_tx, ctl_rx) = channel();
+        let loop_ = ApplyLoop {
+            my_id: ep.id(),
+            node,
+            store,
+            log: Arc::clone(&log),
+            pending: Arc::clone(&front.pending),
+            metrics: Arc::clone(&front.metrics),
+            ctl_rx,
+            stop: Arc::clone(&stop),
+        };
+        let apply = std::thread::Builder::new()
+            .name(format!("ensemble-kv-{}", ep.id()))
+            .spawn(move || loop_.run())
+            .map_err(|e| ClusterError::Runtime(format!("spawn apply loop: {e}")))?;
+        Ok(KvReplica {
+            ep,
+            front,
+            log,
+            ctl_tx,
+            stop,
+            apply: Some(apply),
+        })
+    }
+
+    /// This replica's endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.ep
+    }
+
+    /// A cloneable client-facing front (submit, serving flag, metrics).
+    pub fn front(&self) -> ReplicaFront {
+        self.front.clone()
+    }
+
+    /// Whether this replica currently serves requests.
+    pub fn is_serving(&self) -> bool {
+        self.front.is_serving()
+    }
+
+    /// Proposes `op` and waits up to `timeout` for its commit.
+    pub fn submit_timeout(&self, op: &KvOp, timeout: Duration) -> KvResult {
+        self.front.submit_timeout(op, timeout)
+    }
+
+    /// This replica's service counters.
+    pub fn metrics(&self) -> &KvMetrics {
+        &self.front.metrics
+    }
+
+    /// A copy of the applied log (commit index, operation) — the
+    /// checker's per-replica feed.
+    pub fn commit_log(&self) -> Vec<(u64, KvOp)> {
+        self.log
+            .lock()
+            .expect("kv commit log mutex poisoned")
+            .clone()
+    }
+
+    /// The most recently installed view (asks the apply loop).
+    pub fn view(&self) -> Option<ViewState> {
+        let (tx, rx) = channel();
+        self.ctl_tx.send(Ctl::View(tx)).ok()?;
+        rx.recv_timeout(Duration::from_secs(2)).ok()
+    }
+
+    /// Runtime + cluster + KV metrics in Prometheus text exposition
+    /// format (asks the apply loop, which owns the node).
+    pub fn metrics_text(&self) -> String {
+        let (tx, rx) = channel();
+        if self.ctl_tx.send(Ctl::MetricsText(tx)).is_err() {
+            return self.front.metrics.render();
+        }
+        rx.recv_timeout(Duration::from_secs(2))
+            .unwrap_or_else(|_| self.front.metrics.render())
+    }
+
+    /// Stops the apply loop and the underlying cluster member.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.apply.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for KvReplica {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.apply.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+struct ApplyLoop {
+    my_id: u32,
+    node: ClusterNode,
+    store: Arc<Mutex<KvStore>>,
+    log: Arc<Mutex<Vec<(u64, KvOp)>>>,
+    pending: Arc<Mutex<HashMap<u64, Sender<KvResult>>>>,
+    metrics: Arc<KvMetrics>,
+    ctl_rx: Receiver<Ctl>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ApplyLoop {
+    fn run(self) {
+        let obs = self.node.obs_arc();
+        let shard = self.node.aux_obs_shard();
+        let tag = obs.recorder.register("kv");
+        while !self.stop.load(Ordering::Relaxed) {
+            while let Ok(ctl) = self.ctl_rx.try_recv() {
+                match ctl {
+                    Ctl::MetricsText(tx) => {
+                        let mut text = self.node.metrics_text();
+                        text.push_str(&self.metrics.render());
+                        let _ = tx.send(text);
+                    }
+                    Ctl::View(tx) => {
+                        let _ = tx.send(self.node.view());
+                    }
+                }
+            }
+            if let Some(ev) = self.node.recv_timeout(Duration::from_millis(2)) {
+                self.on_event(ev, &obs, shard, tag);
+            }
+        }
+    }
+
+    fn on_event(&self, ev: ClusterEvent, obs: &NodeObs, shard: usize, tag: Tag) {
+        match ev {
+            ClusterEvent::Snapshot(snap) => {
+                let restored = self
+                    .store
+                    .lock()
+                    .expect("kv store mutex poisoned")
+                    .restore(&snap);
+                if restored {
+                    self.metrics
+                        .snapshots_installed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            ClusterEvent::Delivery(Delivery::Cast { bytes, .. }) => {
+                let Some((submitter, token, op)) = decode_cast(&bytes) else {
+                    return;
+                };
+                let result = self
+                    .store
+                    .lock()
+                    .expect("kv store mutex poisoned")
+                    .apply(&op);
+                let ci = match &result {
+                    KvResult::Value { ci, .. }
+                    | KvResult::Applied { ci }
+                    | KvResult::Cas { ci, .. } => *ci,
+                    KvResult::Err(_) => unreachable!("apply always commits"),
+                };
+                self.log
+                    .lock()
+                    .expect("kv commit log mutex poisoned")
+                    .push((ci, op));
+                self.metrics.commits.fetch_add(1, Ordering::Relaxed);
+                self.record(obs, shard, tag, EventKind::KvCommit, ci);
+                if submitter == self.my_id {
+                    // Complete while holding the lock: `submit_timeout`
+                    // relies on remove-then-send being atomic with
+                    // respect to its own withdrawal.
+                    let mut pending = self
+                        .pending
+                        .lock()
+                        .expect("kv pending table mutex poisoned");
+                    if let Some(tx) = pending.remove(&token) {
+                        let _ = tx.send(result);
+                        self.metrics.responses.fetch_add(1, Ordering::Relaxed);
+                        self.record(obs, shard, tag, EventKind::KvResponse, ci);
+                    }
+                }
+            }
+            // Views, sends, stalls, fences: membership is the cluster
+            // layer's business; the serving flag already reflects it.
+            _ => {}
+        }
+    }
+
+    fn record(&self, obs: &NodeObs, shard: usize, tag: Tag, kind: EventKind, aux: u64) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.recorder.record(
+            shard,
+            &Event {
+                t_ns: now_ns(),
+                layer: tag,
+                kind,
+                dir: Direction::Up,
+                group: self.my_id,
+                seqno: 0,
+                ccp: CcpFailure::None,
+                aux,
+            },
+        );
+    }
+}

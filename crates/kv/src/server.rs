@@ -1,0 +1,314 @@
+//! The TCP client plane: a thread-pooled frame server.
+//!
+//! The listener accepts connections on one thread and hands them to a
+//! fixed pool of workers through a shared queue (the classic
+//! connector/listener thread-pool shape): each worker parks on the
+//! queue, takes a connection, and serves it for its whole lifetime, so
+//! the pool size bounds concurrent connections and excess connections
+//! wait in the queue.
+//!
+//! Each connection is served with request pipelining: the worker keeps
+//! reading frames while up to `pipeline_depth` operations are in
+//! flight, and writes completions back in *completion* order — clients
+//! match responses by `req_id`, not position. A request that misses its
+//! deadline is answered with a timeout error and withdrawn from the
+//! replica's pending table; one that arrives while the replica is
+//! stalled in a minority partition is rejected immediately with
+//! "not serving" so the client can redirect instead of waiting.
+
+use crate::proto::{
+    decode_request, encode_response, write_frame, KvError, KvOp, KvResult, MAX_FRAME,
+};
+use crate::replica::ReplicaFront;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning for one listener (extracted from [`crate::KvConfig`]).
+#[derive(Clone, Debug)]
+pub struct ListenerConfig {
+    /// Worker threads in the pool.
+    pub pool: usize,
+    /// Per-request commit deadline.
+    pub request_timeout: Duration,
+    /// Most in-flight operations per connection.
+    pub pipeline_depth: usize,
+}
+
+impl From<&crate::KvConfig> for ListenerConfig {
+    fn from(cfg: &crate::KvConfig) -> ListenerConfig {
+        ListenerConfig {
+            pool: cfg.listener_pool,
+            request_timeout: cfg.request_timeout,
+            pipeline_depth: cfg.pipeline_depth,
+        }
+    }
+}
+
+/// A running TCP listener for one replica.
+pub struct KvListener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl KvListener {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"`) and starts serving `front`.
+    pub fn start(
+        front: ReplicaFront,
+        bind: &str,
+        cfg: ListenerConfig,
+    ) -> std::io::Result<KvListener> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut workers = Vec::with_capacity(cfg.pool);
+        for w in 0..cfg.pool {
+            let rx = Arc::clone(&conn_rx);
+            let front = front.clone();
+            let stop = Arc::clone(&stop);
+            let cfg = cfg.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ensemble-kv-worker-{w}"))
+                    .spawn(move || loop {
+                        // Park on the shared queue; holding the lock
+                        // while waiting is the point — exactly one idle
+                        // worker claims the next connection.
+                        let conn = {
+                            let rx = rx.lock().expect("kv connection queue mutex poisoned");
+                            rx.recv_timeout(Duration::from_millis(100))
+                        };
+                        match conn {
+                            Ok(stream) => serve_connection(stream, &front, &cfg, &stop),
+                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                                if stop.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                            }
+                            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                        }
+                    })?,
+            );
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_front = front;
+        let accept = std::thread::Builder::new()
+            .name("ensemble-kv-accept".into())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            accept_front
+                                .metrics()
+                                .connections
+                                .fetch_add(1, Ordering::Relaxed);
+                            if conn_tx.send(stream).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+            })?;
+
+        Ok(KvListener {
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the pool, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for KvListener {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// One queued in-flight operation on a connection.
+struct Inflight {
+    req_id: u64,
+    rx: Receiver<KvResult>,
+    token: Option<u64>,
+    deadline: Instant,
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    front: &ReplicaFront,
+    cfg: &ListenerConfig,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut acc: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut inflight: VecDeque<Inflight> = VecDeque::new();
+
+    'conn: loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+
+        // Read while the pipeline has room (the 2 ms read timeout also
+        // paces the completion sweep below when the connection idles).
+        if inflight.len() < cfg.pipeline_depth {
+            match stream.read(&mut tmp) {
+                Ok(0) => break 'conn,
+                Ok(n) => {
+                    acc.extend_from_slice(&tmp[..n]);
+                    if !queue_frames(&mut acc, &mut stream, front, cfg, &mut inflight) {
+                        break 'conn;
+                    }
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break 'conn,
+            }
+        } else {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Sweep completions — in completion order, not request order.
+        let mut i = 0;
+        while i < inflight.len() {
+            let entry = &inflight[i];
+            let done = match entry.rx.try_recv() {
+                Ok(r) => Some(r),
+                Err(std::sync::mpsc::TryRecvError::Empty) => {
+                    if Instant::now() >= entry.deadline {
+                        let timed_out = entry.token.map(|t| front.withdraw(t)).unwrap_or(true);
+                        if timed_out {
+                            front.metrics().timeouts.fetch_add(1, Ordering::Relaxed);
+                            Some(KvResult::Err(KvError::Timeout))
+                        } else {
+                            // The commit raced the deadline: its result
+                            // is guaranteed to be in the channel now.
+                            Some(
+                                entry
+                                    .rx
+                                    .try_recv()
+                                    .unwrap_or(KvResult::Err(KvError::Timeout)),
+                            )
+                        }
+                    } else {
+                        None
+                    }
+                }
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    Some(KvResult::Err(KvError::Closed))
+                }
+            };
+            match done {
+                Some(result) => {
+                    let entry = inflight.remove(i).expect("index in bounds");
+                    let payload = encode_response(entry.req_id, &result);
+                    if write_frame(&mut stream, &payload).is_err() {
+                        break 'conn;
+                    }
+                }
+                None => i += 1,
+            }
+        }
+    }
+
+    // The connection is gone; withdraw whatever is still pending so the
+    // replica's table does not accumulate abandoned entries.
+    for entry in inflight {
+        if let Some(t) = entry.token {
+            front.withdraw(t);
+        }
+    }
+}
+
+/// Parses every complete frame in `acc` and submits it. Returns `false`
+/// on a protocol error (oversized or undecodable frame) — the
+/// connection cannot be resynchronized and must be dropped.
+fn queue_frames(
+    acc: &mut Vec<u8>,
+    stream: &mut TcpStream,
+    front: &ReplicaFront,
+    cfg: &ListenerConfig,
+    inflight: &mut VecDeque<Inflight>,
+) -> bool {
+    loop {
+        if acc.len() < 4 {
+            return true;
+        }
+        let len = u32::from_le_bytes(acc[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return false;
+        }
+        if acc.len() < 4 + len {
+            return true;
+        }
+        let payload: Vec<u8> = acc.drain(..4 + len).skip(4).collect();
+        let Some((req_id, op)) = decode_request(&payload) else {
+            return false;
+        };
+        queue_request(req_id, &op, stream, front, cfg, inflight);
+    }
+}
+
+fn queue_request(
+    req_id: u64,
+    op: &KvOp,
+    stream: &mut TcpStream,
+    front: &ReplicaFront,
+    cfg: &ListenerConfig,
+    inflight: &mut VecDeque<Inflight>,
+) {
+    if !front.is_serving() {
+        // Reject fast: the client redirects to another replica instead
+        // of timing out against a stalled minority.
+        let payload = encode_response(req_id, &KvResult::Err(KvError::NotServing));
+        let _ = write_frame(stream, &payload);
+        return;
+    }
+    let (rx, token) = front.submit_tracked(op);
+    inflight.push_back(Inflight {
+        req_id,
+        rx,
+        token,
+        deadline: Instant::now() + cfg.request_timeout,
+    });
+}

@@ -4,6 +4,14 @@
 //! outstanding beyond the *slowest* receiver's cumulative grant. Receivers
 //! grant credit (their cumulative consumed count) back to the origin
 //! point-to-point after every half window. Casts without credit queue.
+//!
+//! Suspected members stop gating the window. A partitioned receiver's
+//! grant freezes, so once the window drains every later cast queues —
+//! including the `sync` flush casts the view change needs to remove that
+//! very member and rebuild this layer. Dropping suspects from the
+//! `min(granted)` floor (on the `DnEvent::Suspect` that membership
+//! forwards down) breaks the deadlock: the queue drains toward the live
+//! members and the flush can complete.
 
 use crate::config::LayerConfig;
 use crate::layer::Layer;
@@ -22,6 +30,8 @@ pub struct MFlow {
     /// Per-origin casts consumed (cumulative / since last grant).
     consumed_total: Vec<u64>,
     consumed_since_grant: Vec<u64>,
+    /// Members whose grants no longer gate the window.
+    suspected: Vec<bool>,
     /// Credit-starved casts.
     queue: VecDeque<Msg>,
 }
@@ -37,6 +47,7 @@ impl MFlow {
             granted: vec![0; n],
             consumed_total: vec![0; n],
             consumed_since_grant: vec![0; n],
+            suspected: vec![false; n],
             queue: VecDeque::new(),
         }
     }
@@ -50,10 +61,17 @@ impl MFlow {
         self.granted
             .iter()
             .enumerate()
-            .filter(|(i, _)| *i != self.my_rank.index())
+            .filter(|(i, _)| *i != self.my_rank.index() && !self.suspected[*i])
             .map(|(_, &g)| g)
             .min()
             .unwrap_or(u64::MAX)
+    }
+
+    fn drain_queue(&mut self, out: &mut Effects) {
+        while !self.queue.is_empty() && self.may_send() {
+            let msg = self.queue.pop_front().expect("checked non-empty");
+            self.transmit(msg, out);
+        }
     }
 
     fn may_send(&self) -> bool {
@@ -105,10 +123,7 @@ impl Layer for MFlow {
                     Frame::MFlow(FlowHdr::Credit { granted }) => {
                         let g = &mut self.granted[origin.index()];
                         *g = (*g).max(granted);
-                        while !self.queue.is_empty() && self.may_send() {
-                            let msg = self.queue.pop_front().expect("checked non-empty");
-                            self.transmit(msg, out);
-                        }
+                        self.drain_queue(out);
                     }
                     Frame::NoHdr => out.up(ev),
                     other => panic!("mflow: unexpected frame {other:?}"),
@@ -130,6 +145,15 @@ impl Layer for MFlow {
             }
             DnEvent::Send { msg, .. } => {
                 msg.push_frame(Frame::NoHdr);
+                out.dn(ev);
+            }
+            DnEvent::Suspect { ranks } => {
+                for r in ranks.iter() {
+                    if r.index() < self.suspected.len() {
+                        self.suspected[r.index()] = true;
+                    }
+                }
+                self.drain_queue(out);
                 out.dn(ev);
             }
             _ => out.dn(ev),
@@ -184,6 +208,27 @@ mod tests {
         g.push_frame(Frame::MFlow(FlowHdr::Credit { granted: 2 }));
         let out = h.up(up_send(2, g));
         assert_eq!(out.dn.len(), 1);
+    }
+
+    #[test]
+    fn suspected_member_stops_gating_window() {
+        let mut h = h(2, 0, 3);
+        h.dn(cast(b"1"));
+        h.dn(cast(b"2"));
+        h.dn(cast(b"3")).assert_silent();
+        // Receiver 1 is current; receiver 2 is partitioned, grant frozen.
+        let mut g = Msg::control();
+        g.push_frame(Frame::MFlow(FlowHdr::Credit { granted: 2 }));
+        h.up(up_send(1, g));
+        assert_eq!(h.layer.queued_count(), 1, "still gated by receiver 2");
+        // Membership suspects 2: the queue drains toward the live member
+        // and the suspicion continues down the stack.
+        let out = h.dn(DnEvent::Suspect {
+            ranks: vec![Rank(2)],
+        });
+        assert_eq!(h.layer.queued_count(), 0);
+        assert_eq!(out.dn.len(), 2, "drained cast + forwarded suspicion");
+        assert!(matches!(out.dn[1], DnEvent::Suspect { .. }));
     }
 
     #[test]

@@ -113,7 +113,10 @@ impl Layer for Suspect {
             // The application can declare suspicion directly. Ranks may
             // be stale — named under a view that changed before the
             // event reached the stack — so anything out of range for
-            // this view is ignored rather than trusted.
+            // this view is ignored rather than trusted. The event also
+            // continues down: the flow-control layers below drop
+            // suspects from their windows (a frozen grant from a dead
+            // receiver must not wedge the flush that removes it).
             DnEvent::Suspect { ranks } => {
                 let mut newly = Vec::new();
                 for r in ranks.iter() {
@@ -128,6 +131,7 @@ impl Layer for Suspect {
                 if !newly.is_empty() {
                     out.up(UpEvent::Suspect(self.suspects()));
                 }
+                out.dn(ev);
             }
             _ => out.dn(ev),
         }
@@ -254,10 +258,18 @@ mod tests {
             ranks: vec![Rank(2)],
         });
         assert_eq!(out.up, vec![UpEvent::Suspect(vec![Rank(2)])]);
-        // Repeats are silent.
+        // The suspicion continues down for the flow-control layers.
+        assert_eq!(
+            out.dn,
+            vec![DnEvent::Suspect {
+                ranks: vec![Rank(2)]
+            }]
+        );
+        // Repeats raise nothing new upward but still travel down.
         let out = h.dn(DnEvent::Suspect {
             ranks: vec![Rank(2)],
         });
-        out.assert_silent();
+        assert!(out.up.is_empty(), "no repeat suspicion upward");
+        assert_eq!(out.dn.len(), 1);
     }
 }

@@ -70,6 +70,12 @@ pub enum EventKind {
     MergeGrant = 22,
     /// A node stalled application traffic: its component lacks quorum.
     MinorityStall = 23,
+    /// A KV client request entered the service (proposed for ordering).
+    KvRequest = 24,
+    /// A KV operation was applied at its assigned commit index.
+    KvCommit = 25,
+    /// A KV response left the service towards the client.
+    KvResponse = 26,
 }
 
 impl EventKind {
@@ -99,6 +105,9 @@ impl EventKind {
             21 => MergeBeacon,
             22 => MergeGrant,
             23 => MinorityStall,
+            24 => KvRequest,
+            25 => KvCommit,
+            26 => KvResponse,
             _ => Other,
         }
     }
@@ -131,6 +140,9 @@ impl EventKind {
             MergeBeacon => "merge_beacon",
             MergeGrant => "merge_grant",
             MinorityStall => "minority_stall",
+            KvRequest => "kv_request",
+            KvCommit => "kv_commit",
+            KvResponse => "kv_response",
         }
     }
 }

@@ -43,6 +43,40 @@ echo "==> cluster: demo — scripted 4/2 split, minority stall, heal, view merge
 # traffic or any vsync invariant is violated across the episode.
 cargo run --release -p ensemble-cluster --example cluster_demo -- --partition
 
+echo "==> kv: chaos linearizability + TCP client plane (release)"
+# chaos_load_stays_linearizable drives 100 concurrent clients through
+# seeded split/stall/heal/merge rounds and replays every commit and
+# response against the linearizability checker; tcp_plane exercises
+# pipelining, redirect-away-from-stalled, and per-request timeouts
+# over real sockets.
+cargo test --release -p ensemble-kv --test kv_chaos
+cargo test --release -p ensemble-kv --test tcp_plane
+
+echo "==> kv: demo — replicated KV through a partition round, linearizability replay"
+# kv_demo exits nonzero if the majority cannot commit during the
+# partition, a replica never resumes serving after the heal, or the
+# checker finds a violation.
+cargo run --release -p ensemble-kv --example kv_demo
+cargo run --release -p ensemble-kv --example kv_demo -- --tcp
+
+echo "==> kv: load generator emits and validates BENCH_kv_e2e.json"
+KV_LOAD_OUT=$(cargo run --release -p ensemble-kv --bin kv_load -- \
+  --replicas 3 --sim-clients 100 --tcp-clients 2 --ops 20 \
+  --seed 42 --chaos --chaos-rounds 2 --out BENCH_kv_e2e.json)
+test -s BENCH_kv_e2e.json
+cargo run --release -p ensemble-bench --bin kv_check -- BENCH_kv_e2e.json
+
+echo "==> kv: metrics exposition carries the required series"
+for series in \
+  'ensemble_kv_requests_total' \
+  'ensemble_kv_commits_total' \
+  'ensemble_kv_responses_total'; do
+  grep -q "^$series" <<<"$KV_LOAD_OUT" || {
+    echo "missing series: $series" >&2
+    exit 1
+  }
+done
+
 echo "==> analyze: stack_lint over every registered stack"
 cargo run --release -p ensemble-analyze --bin stack_lint
 cargo run --release -p ensemble-analyze --bin stack_lint -- --json --out LINT_stacks.json
