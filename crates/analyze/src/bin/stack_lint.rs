@@ -6,17 +6,25 @@
 //! (`--json`). Exits nonzero when any deny-level finding is present.
 //!
 //! ```text
-//! stack_lint [--json] [--out FILE] [--inject-collision] [--quiet]
+//! stack_lint [--json] [--out FILE] [--df-out FILE] [--all-registered]
+//!            [--inject-collision] [--quiet]
 //! ```
 //!
 //! `--inject-collision` seeds a deliberately header-colliding stack so
 //! CI can confirm the analysis fires (the run then exits nonzero by
-//! design).
+//! design). `--all-registered` asserts the sweep covered every stack in
+//! the registry — including the service stacks — and exits 2 if any was
+//! skipped. `--df-out FILE` additionally writes the `DF_defer.json`
+//! Defer-commutativity report (per-stack certificates and the
+//! `all_licensed` roll-up the runtime's batching gate mirrors).
 
-use ensemble_analyze::{analyze_all, Severity, ENGINES};
+use ensemble_analyze::{analyze_all, registered_stacks, Severity, ENGINES};
 
 fn usage() -> ! {
-    eprintln!("usage: stack_lint [--json] [--out FILE] [--inject-collision] [--quiet]");
+    eprintln!(
+        "usage: stack_lint [--json] [--out FILE] [--df-out FILE] [--all-registered] \
+         [--inject-collision] [--quiet]"
+    );
     std::process::exit(2);
 }
 
@@ -24,7 +32,9 @@ fn main() {
     let mut json = false;
     let mut quiet = false;
     let mut inject = false;
+    let mut all_registered = false;
     let mut out: Option<String> = None;
+    let mut df_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -32,8 +42,13 @@ fn main() {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--inject-collision" => inject = true,
+            "--all-registered" => all_registered = true,
             "--out" => match args.next() {
                 Some(p) => out = Some(p),
+                None => usage(),
+            },
+            "--df-out" => match args.next() {
+                Some(p) => df_out = Some(p),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -42,6 +57,28 @@ fn main() {
     }
 
     let analysis = analyze_all(inject);
+
+    if all_registered {
+        let registry: Vec<String> = registered_stacks().into_iter().map(|s| s.name).collect();
+        let missing: Vec<&String> = registry
+            .iter()
+            .filter(|n| !analysis.stacks.iter().any(|s| &s.spec.name == *n))
+            .collect();
+        if !missing.is_empty() {
+            eprintln!("stack_lint: registry stacks not analyzed: {missing:?}");
+            std::process::exit(2);
+        }
+        if !quiet && !json {
+            println!("registry {} stacks: {}", registry.len(), registry.join(" "));
+        }
+    }
+
+    if let Some(path) = &df_out {
+        if let Err(e) = std::fs::write(path, analysis.defer_report_json().render()) {
+            eprintln!("stack_lint: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
     let rendered = if json {
         analysis.to_json().render()
     } else {

@@ -1,0 +1,304 @@
+//! DF rules: the Defer-commutativity dataflow pass.
+//!
+//! The synthesized bypass moves non-critical work (`Defer` events:
+//! buffering, acknowledgments, stability recomputation) off the critical
+//! path. The runtime would like to go one step further and drain the
+//! accumulated work in *batches* at quiescent points instead of after
+//! every delivery — but that is only sound if the deferred items
+//! commute with each other and with the deliveries in between. This
+//! pass checks exactly that, consuming the
+//! [`DeferCertificate`] the synthesis layer proves from the layer
+//! models' declared [`DeferSpec`](ensemble_ir::models::DeferSpec)s:
+//!
+//! * **DF001** — a pair of deferred work items (two instances of one
+//!   site, or two distinct sites of a layer) does not commute: an
+//!   opaque overwrite, a non-mergeable shared write, an unproven
+//!   insert index, or a read/write overlap;
+//! * **DF002** — a defer's state effect is undeclared: the emitted tag
+//!   has no `DeferSpec`, or its footprint touches a field missing from
+//!   the layer's initial state record;
+//! * **DF003** — a defer observes delivery order: it purely reads a
+//!   field the layer's handlers write non-monotonically, so the value
+//!   at drain time depends on which deliveries happened in between;
+//! * **DF004** — certificate/artifact mismatch: the installed
+//!   [`BypassArtifact`] defers work the certificate never analyzed
+//!   (wrong tag, wrong arity, wrong stack or rank).
+//!
+//! All DF diagnostics are deny-severity: a stack that fails any of them
+//! simply keeps the immediate-drain behavior, so the batching
+//! optimization is literally licensed by this analysis.
+
+use crate::diag::{Diag, Report, Severity};
+use ensemble_ir::models::Case;
+use ensemble_ir::term::Term;
+use ensemble_obs::Json;
+use ensemble_synth::{BypassArtifact, DeferCertificate};
+
+/// Summary verdict of the DF pass for one stack at one rank.
+#[derive(Clone, Copy, Debug)]
+pub struct DeferVerdict {
+    /// DF001–DF003 all hold: every pair of deferred items commutes and
+    /// none observes delivery order.
+    pub commutes: bool,
+    /// DF004 holds: every defer in the artifact matches a certificate
+    /// site.
+    pub artifact_consistent: bool,
+    /// Number of `(layer, tag)` sites analyzed.
+    pub sites: usize,
+}
+
+impl DeferVerdict {
+    /// Whether the runtime may drain this stack's deferred work in
+    /// batches.
+    pub fn licensed(&self) -> bool {
+        self.commutes && self.artifact_consistent
+    }
+}
+
+fn hint_for(rule: &str) -> String {
+    match rule {
+        "DF001" => {
+            "restructure the deferred work into commuting merges (increments, max-merges, \
+             keyed inserts with unique keys) or keep immediate draining"
+        }
+        "DF002" => "declare the field in the layer's init record and add a DeferSpec for the tag",
+        "DF003" => {
+            "make the handlers' writes to the field monotone, or snapshot the input into the \
+             defer's arguments"
+        }
+        _ => "re-synthesize the stack so certificate and artifact describe the same bypass",
+    }
+    .to_owned()
+}
+
+/// Runs the DF rule family for one stack: replays the certificate's
+/// proof failures as DF001–DF003 diagnostics and cross-checks the
+/// certificate against the installed artifact (DF004). Returns the
+/// summary verdict the runtime's batching gate mirrors.
+pub fn check_defers(
+    stack: &str,
+    cert: &DeferCertificate,
+    art: &BypassArtifact,
+    report: &mut Report,
+) -> DeferVerdict {
+    for issue in &cert.issues {
+        report.push(Diag {
+            rule: issue.rule,
+            severity: Severity::Deny,
+            stack: stack.to_owned(),
+            layer: Some(issue.layer.clone()),
+            case: None,
+            message: issue.detail.clone(),
+            hint: Some(hint_for(issue.rule)),
+        });
+    }
+
+    let mut artifact_consistent = true;
+    if cert.stack_id != art.stack_id || cert.rank != art.rank {
+        artifact_consistent = false;
+        report.push(Diag {
+            rule: "DF004",
+            severity: Severity::Deny,
+            stack: stack.to_owned(),
+            layer: None,
+            case: None,
+            message: format!(
+                "certificate is for stack_id={} rank={} but the artifact is stack_id={} rank={}",
+                cert.stack_id, cert.rank, art.stack_id, art.rank
+            ),
+            hint: Some(hint_for("DF004")),
+        });
+    }
+    for th in &art.cases {
+        for (li, work) in &th.defers {
+            let layer = art
+                .names
+                .get(*li)
+                .cloned()
+                .unwrap_or_else(|| format!("#{li}"));
+            // Composition keeps the event wrapper: `Defer(Tag(args))`.
+            let inner = match work {
+                Term::Con(ev, items) if ev.as_str() == "Defer" && items.len() == 1 => &items[0],
+                other => other,
+            };
+            let matched = match inner {
+                Term::Con(tag, args) => cert.sites.iter().any(|s| {
+                    s.layer_index == *li && s.tag == tag.as_str() && s.params.len() == args.len()
+                }),
+                _ => false,
+            };
+            if !matched {
+                artifact_consistent = false;
+                report.push(Diag {
+                    rule: "DF004",
+                    severity: Severity::Deny,
+                    stack: stack.to_owned(),
+                    layer: Some(layer),
+                    case: Some(format!("{:?}", th.case)),
+                    message: format!(
+                        "artifact defers `{work:?}` but the certificate has no matching site \
+                         (tag and arity must match a declared DeferSpec)"
+                    ),
+                    hint: Some(hint_for("DF004")),
+                });
+            }
+        }
+    }
+
+    DeferVerdict {
+        commutes: cert.licensed(),
+        artifact_consistent,
+        sites: cert.sites.len(),
+    }
+}
+
+fn case_json(c: Case) -> Json {
+    Json::str(match c {
+        Case::DnCast => "dn_cast",
+        Case::UpCast => "up_cast",
+        Case::DnSend => "dn_send",
+        Case::UpSend => "up_send",
+    })
+}
+
+/// Renders one stack's certificate as the machine-readable entry of the
+/// `DF_defer.json` report.
+pub fn defer_json(stack: &str, cert: &DeferCertificate, verdict: &DeferVerdict) -> Json {
+    Json::obj(vec![
+        ("stack", Json::str(stack)),
+        ("rank", Json::Int(cert.rank)),
+        ("licensed", Json::Bool(verdict.licensed())),
+        ("sites", {
+            Json::Arr(
+                cert.sites
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("layer", Json::str(&*s.layer)),
+                            ("tag", Json::str(&*s.tag)),
+                            (
+                                "cases",
+                                Json::Arr(s.cases.iter().map(|c| case_json(*c)).collect()),
+                            ),
+                            (
+                                "writes",
+                                Json::Arr(
+                                    s.writes
+                                        .iter()
+                                        .map(|w| {
+                                            Json::obj(vec![
+                                                ("field", Json::str(w.field.as_str())),
+                                                ("kind", Json::str(w.kind.name())),
+                                                (
+                                                    "index",
+                                                    match w.index {
+                                                        Some(i) => Json::str(i.as_str()),
+                                                        None => Json::Null,
+                                                    },
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "reads",
+                                Json::Arr(s.reads.iter().map(|r| Json::str(&**r)).collect()),
+                            ),
+                            (
+                                "index_monotone",
+                                match s.index_monotone {
+                                    Some(b) => Json::Bool(b),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ])
+                    })
+                    .collect(),
+            )
+        }),
+        (
+            "issues",
+            Json::Arr(
+                cert.issues
+                    .iter()
+                    .map(|i| {
+                        Json::obj(vec![
+                            ("rule", Json::str(i.rule)),
+                            ("layer", Json::str(&*i.layer)),
+                            ("detail", Json::str(&*i.detail)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_ir::models::ModelCtx;
+    use ensemble_synth::synthesize;
+
+    fn setup(names: &[&str]) -> (DeferCertificate, BypassArtifact) {
+        let s = synthesize(names, &ModelCtx::new(3, 0)).unwrap();
+        (DeferCertificate::of(&s, 0), BypassArtifact::of(&s, 0))
+    }
+
+    #[test]
+    fn stack4_defers_are_licensed() {
+        let (cert, art) = setup(&["top", "pt2pt", "mnak", "bottom"]);
+        let mut report = Report::new();
+        let v = check_defers("stack4", &cert, &art, &mut report);
+        assert!(v.licensed(), "{report}");
+        assert!(v.commutes && v.artifact_consistent);
+        assert_eq!(v.sites, 4);
+        assert!(!report.has_deny(), "{report}");
+    }
+
+    #[test]
+    fn missing_spec_reports_df002_and_revokes_license() {
+        let mut s = synthesize(&["top", "pt2pt", "mnak", "bottom"], &ModelCtx::new(3, 0)).unwrap();
+        let art = BypassArtifact::of(&s, 0);
+        s.models
+            .iter_mut()
+            .find(|m| m.name == "mnak")
+            .unwrap()
+            .defer_specs
+            .retain(|sp| sp.tag != "StoreOwn");
+        let cert = DeferCertificate::of(&s, 0);
+        let mut report = Report::new();
+        let v = check_defers("stack4", &cert, &art, &mut report);
+        assert!(!v.licensed());
+        assert!(report.diags.iter().any(|d| d.rule == "DF002"));
+        // The dropped site also breaks the artifact cross-check: the
+        // artifact still defers StoreOwn.
+        assert!(report.diags.iter().any(|d| d.rule == "DF004"));
+    }
+
+    #[test]
+    fn mismatched_artifact_reports_df004() {
+        let (cert, _) = setup(&["top", "pt2pt", "mnak", "bottom"]);
+        let (_, other_art) = setup(&["top", "mnak", "bottom"]);
+        let mut report = Report::new();
+        let v = check_defers("stack4", &cert, &other_art, &mut report);
+        assert!(!v.artifact_consistent);
+        assert!(report.diags.iter().any(|d| d.rule == "DF004"));
+    }
+
+    #[test]
+    fn defer_json_round_trips() {
+        let (cert, art) = setup(&["top", "pt2pt", "mnak", "bottom"]);
+        let mut report = Report::new();
+        let v = check_defers("stack4", &cert, &art, &mut report);
+        let doc = defer_json("stack4", &cert, &v);
+        let txt = doc.render();
+        let back = Json::parse(&txt).unwrap();
+        assert!(matches!(back.get("licensed"), Some(Json::Bool(true))));
+        assert_eq!(
+            back.get("sites").and_then(Json::as_arr).map(|a| a.len()),
+            Some(4)
+        );
+    }
+}

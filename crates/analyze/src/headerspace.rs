@@ -414,15 +414,16 @@ mod tests {
     }
 
     #[test]
-    fn vsync_headers_are_clean_via_manifests() {
+    fn vsync_headers_are_clean_with_inferred_usage() {
         let mut report = Report::new();
         let infos: Vec<LayerHeaderInfo> = ensemble_layers::STACK_VSYNC
             .iter()
             .map(|n| layer_info(n, &ctx()).unwrap())
             .collect();
-        // Unmodeled membership layers participate through their
-        // manifests alone.
-        assert!(infos.iter().any(|i| i.inferred.is_none()));
+        // Every membership layer now has an IR model, so header usage
+        // is inferred from handlers everywhere — no manifest-only
+        // layers remain.
+        assert!(infos.iter().all(|i| i.inferred.is_some()));
         check_headers("vsync", &infos, &mut report);
         assert!(!report.has_deny(), "{report}");
     }

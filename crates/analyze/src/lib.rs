@@ -13,6 +13,10 @@
 //!   no slow path survives in any residual, the CCP is decidable from
 //!   the compressed header alone, and every wire frame is owned by
 //!   exactly the layer that pushed it;
+//! * [`dataflow`] — the Defer-commutativity pass: read/write footprints
+//!   of every deferred work item, pairwise commutativity and
+//!   delivery-independence proofs, and the certificate/artifact
+//!   cross-check that licenses the runtime's batched draining;
 //! * [`lints`] — a rule registry over stack configurations covering
 //!   what the `stack::compat` refinement lattice cannot express
 //!   (duplicates, termination, payload-transformer ordering, membership
@@ -25,12 +29,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod dataflow;
 pub mod diag;
 pub mod headerspace;
 pub mod lints;
 pub mod report;
 pub mod soundness;
 
+pub use dataflow::{check_defers, defer_json, DeferVerdict};
 pub use diag::{Diag, Report, Severity};
 pub use headerspace::{check_headers, infer_case, infer_layer, layer_info, LayerHeaderInfo};
 pub use lints::{lint_stack, registered_stacks, registry, Rule, StackSpec};

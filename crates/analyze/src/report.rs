@@ -11,13 +11,14 @@
 //! additionally *compile* the residual to its register program, which
 //! [`analyze_all`] attempts and reports as **EN001** on failure.
 
+use crate::dataflow::{check_defers, defer_json, DeferVerdict};
 use crate::diag::{Diag, Report, Severity};
 use crate::headerspace::{check_headers, layer_info, LayerHeaderInfo};
 use crate::lints::{lint_stack, registered_stacks, StackSpec};
 use crate::soundness::{check_soundness, elidable_frames, SoundnessVerdict};
 use ensemble_ir::models::{model, ModelCtx};
 use ensemble_obs::Json;
-use ensemble_synth::{synthesize, BypassArtifact, StackBypass};
+use ensemble_synth::{synthesize, BypassArtifact, DeferCertificate, StackBypass};
 
 /// The four execution configurations of §4.2.
 pub const ENGINES: [&str; 4] = ["IMP", "FUNC", "HAND", "MACH"];
@@ -84,6 +85,12 @@ pub struct StackResult {
     pub header_disjoint: bool,
     /// Rank-0 soundness verdict, when synthesizable.
     pub soundness: Option<SoundnessVerdict>,
+    /// Rank-0 Defer-commutativity verdict (DF rules), when
+    /// synthesizable.
+    pub defer: Option<DeferVerdict>,
+    /// Rank-0 Defer-commutativity certificate, kept for the
+    /// `DF_defer.json` report.
+    pub defer_cert: Option<DeferCertificate>,
     /// Cast-template frames header compression elides outright.
     pub elidable_cast_frames: usize,
 }
@@ -98,6 +105,17 @@ impl StackResult {
             ),
             ("synthesizable", Json::Bool(self.synthesizable)),
             ("header_disjoint", Json::Bool(self.header_disjoint)),
+            (
+                "defer_licensed",
+                match &self.defer {
+                    Some(v) => Json::Bool(v.licensed()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "defer_sites",
+                Json::Int(self.defer.map_or(0, |v| v.sites) as i64),
+            ),
             (
                 "elidable_cast_frames",
                 Json::Int(self.elidable_cast_frames as i64),
@@ -138,6 +156,32 @@ impl Analysis {
             ),
             ("findings", self.report.to_json()),
             ("summary", self.report.summary_json()),
+        ])
+    }
+
+    /// The `DF_defer.json` document: one certificate entry per
+    /// synthesizable stack, plus the licensing roll-up CI gates on.
+    pub fn defer_report_json(&self) -> Json {
+        let entries: Vec<Json> = self
+            .stacks
+            .iter()
+            .filter_map(|s| {
+                let cert = s.defer_cert.as_ref()?;
+                let v = s.defer.as_ref()?;
+                Some(defer_json(&s.spec.name, cert, v))
+            })
+            .collect();
+        let all_licensed = self
+            .stacks
+            .iter()
+            .filter_map(|s| s.defer.as_ref())
+            .all(|v| v.licensed());
+        Json::obj(vec![
+            ("tool", Json::str("stack_lint")),
+            ("report", Json::str("DF_defer")),
+            ("version", Json::Int(1)),
+            ("all_licensed", Json::Bool(all_licensed)),
+            ("stacks", Json::Arr(entries)),
         ])
     }
 }
@@ -184,6 +228,8 @@ pub fn analyze_stack(spec: &StackSpec, report: &mut Report) -> (StackResult, Vec
         .all(|l| model(l, &ctx).is_some() || l == "top");
 
     let mut soundness = None;
+    let mut defer = None;
+    let mut defer_cert = None;
     let mut elidable = 0;
     let mut mach_compiles = false;
     if synthesizable {
@@ -193,8 +239,12 @@ pub fn analyze_stack(spec: &StackSpec, report: &mut Report) -> (StackResult, Vec
                 Ok(synth) => {
                     let art = BypassArtifact::of(&synth, rank);
                     let v = check_soundness(&spec.name, &art, &infos, &mut local);
+                    let cert = DeferCertificate::of(&synth, rank);
+                    let dv = check_defers(&spec.name, &cert, &art, &mut local);
                     if rank == 0 {
                         soundness = Some(v);
+                        defer = Some(dv);
+                        defer_cert = Some(cert);
                         elidable = elidable_frames(&art.cast_template);
                         mach_compiles = match StackBypass::compile(&synth, rank as u16) {
                             Ok(_) => true,
@@ -259,6 +309,8 @@ pub fn analyze_stack(spec: &StackSpec, report: &mut Report) -> (StackResult, Vec
         synthesizable,
         header_disjoint,
         soundness,
+        defer,
+        defer_cert,
         elidable_cast_frames: elidable,
     };
     report.merge(local);
@@ -310,10 +362,10 @@ mod tests {
     }
 
     #[test]
-    fn all_four_engines_verified_on_both_synthesizable_stacks() {
+    fn all_four_engines_verified_on_every_registered_stack() {
         let a = analyze_all(false);
         for engine in ENGINES {
-            for stack in ["stack4", "stack10"] {
+            for stack in ["stack4", "stack10", "vsync", "kv-service"] {
                 let v = a
                     .engines
                     .iter()
@@ -327,13 +379,48 @@ mod tests {
     }
 
     #[test]
-    fn vsync_is_linted_but_not_synthesized() {
+    fn vsync_synthesizes_with_membership_models() {
+        // The membership suite (gmp/sync/elect/suspect) now has IR
+        // models, so the full virtual-synchrony stack gets soundness,
+        // engine, and defer verdicts instead of being lint-only.
         let a = analyze_all(false);
         let vsync = a.stacks.iter().find(|s| s.spec.name == "vsync").unwrap();
-        assert!(!vsync.synthesizable);
+        assert!(vsync.synthesizable);
         assert!(vsync.header_disjoint);
-        assert!(vsync.soundness.is_none());
-        assert!(!a.engines.iter().any(|v| v.stack == "vsync"));
+        assert!(vsync.soundness.is_some());
+        assert!(a.engines.iter().any(|v| v.stack == "vsync"));
+    }
+
+    #[test]
+    fn registered_stacks_are_defer_licensed() {
+        let a = analyze_all(false);
+        for stack in ["stack4", "stack10", "vsync", "kv-service"] {
+            let s = a.stacks.iter().find(|s| s.spec.name == stack).unwrap();
+            let v = s
+                .defer
+                .as_ref()
+                .unwrap_or_else(|| panic!("{stack} has no defer verdict"));
+            assert!(v.licensed(), "{stack} not defer-licensed: {}", a.report);
+            assert!(v.sites > 0, "{stack} analyzed no defer sites");
+        }
+        // The membership stacks pick up sync/suspect bookkeeping sites
+        // on top of stack10's buffering and stability sites.
+        let vsync = a.stacks.iter().find(|s| s.spec.name == "vsync").unwrap();
+        let s10 = a.stacks.iter().find(|s| s.spec.name == "stack10").unwrap();
+        assert!(vsync.defer.unwrap().sites > s10.defer.unwrap().sites);
+    }
+
+    #[test]
+    fn defer_report_document_shape() {
+        let a = analyze_all(false);
+        let doc = a.defer_report_json();
+        assert_eq!(doc.get("report").and_then(Json::as_str), Some("DF_defer"));
+        assert!(matches!(doc.get("all_licensed"), Some(Json::Bool(true))));
+        let stacks = doc.get("stacks").and_then(Json::as_arr).unwrap();
+        assert_eq!(stacks.len(), 4);
+        let txt = doc.render();
+        let back = Json::parse(&txt).unwrap();
+        assert!(matches!(back.get("all_licensed"), Some(Json::Bool(true))));
     }
 
     #[test]
@@ -356,7 +443,7 @@ mod tests {
         let stacks = doc.get("stacks").and_then(Json::as_arr).unwrap();
         assert_eq!(stacks.len(), 4); // stack4, stack10, vsync, kv-service
         let engines = doc.get("engines").and_then(Json::as_arr).unwrap();
-        assert_eq!(engines.len(), 8); // 4 engines × 2 synthesizable stacks
+        assert_eq!(engines.len(), 16); // 4 engines × 4 synthesizable stacks
         assert_eq!(
             doc.get("summary")
                 .and_then(|s| s.get("deny"))

@@ -23,8 +23,41 @@ fn clean_run_exits_zero_with_verified_engines() {
             .unwrap_or_else(|| panic!("no line for {engine} in:\n{stdout}"));
         assert!(line.contains("stack4:verified"), "{line}");
         assert!(line.contains("stack10:verified"), "{line}");
+        assert!(line.contains("vsync:verified"), "{line}");
+        assert!(line.contains("kv-service:verified"), "{line}");
     }
     assert!(stdout.contains("0 deny"), "{stdout}");
+}
+
+#[test]
+fn all_registered_reports_registry_coverage() {
+    let out = stack_lint(&["--all-registered"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let reg = stdout
+        .lines()
+        .find(|l| l.starts_with("registry "))
+        .unwrap_or_else(|| panic!("no registry line in:\n{stdout}"));
+    assert!(reg.contains("4 stacks"), "{reg}");
+    assert!(reg.contains("kv-service"), "{reg}");
+}
+
+#[test]
+fn df_out_writes_licensed_defer_report() {
+    let path = std::env::temp_dir().join("stack_lint_cli_df_test.json");
+    let path_s = path.to_str().unwrap();
+    let out = stack_lint(&["--quiet", "--all-registered", "--df-out", path_s]);
+    assert!(out.status.success(), "{out:?}");
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(doc.get("report").and_then(Json::as_str), Some("DF_defer"));
+    assert!(matches!(doc.get("all_licensed"), Some(Json::Bool(true))));
+    let stacks = doc.get("stacks").and_then(Json::as_arr).unwrap();
+    assert_eq!(stacks.len(), 4);
+    for s in stacks {
+        assert!(matches!(s.get("licensed"), Some(Json::Bool(true))));
+        assert!(!s.get("sites").and_then(Json::as_arr).unwrap().is_empty());
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
@@ -40,7 +73,7 @@ fn json_output_is_parseable_and_deny_free() {
         Some(0)
     );
     let engines = doc.get("engines").and_then(Json::as_arr).unwrap();
-    assert_eq!(engines.len(), 8);
+    assert_eq!(engines.len(), 16);
     assert!(engines
         .iter()
         .all(|e| e.get("verified").map(|v| matches!(v, Json::Bool(true))) == Some(true)));

@@ -1,21 +1,28 @@
-//! Offline validator for `LINT_stacks.json`.
+//! Offline validator for `LINT_stacks.json` and `DF_defer.json`.
 //!
-//! CI runs `stack_lint --json --out LINT_stacks.json` and then this
-//! binary: it re-reads the document with the dependency-free parser from
-//! `ensemble-obs` and checks the contract the pipeline relies on — zero
-//! deny-level findings, every registered stack analyzed with disjoint
-//! headers, and all four engines verified on both synthesizable stacks.
-//! Exits nonzero (with a message) on any violation.
+//! CI runs `stack_lint --json --all-registered --out LINT_stacks.json
+//! --df-out DF_defer.json` and then this binary: it re-reads the
+//! documents with the dependency-free parser from `ensemble-obs` and
+//! checks the contract the pipeline relies on — zero deny-level
+//! findings, every registered stack analyzed with disjoint headers
+//! (HS), all four engines verified on every synthesizable stack (CC),
+//! and a Defer-commutativity license with nonzero sites on each (DF).
+//! With `--df PATH` it additionally validates the `DF_defer.json`
+//! certificate report: `all_licensed` must hold, every registered stack
+//! must carry a licensed certificate with at least one defer site, and
+//! the issue list must be empty. Exits nonzero (with a message) on any
+//! violation.
 //!
 //! ```text
-//! cargo run -p ensemble-bench --bin lint_check [path/to/LINT_stacks.json]
+//! cargo run -p ensemble-bench --bin lint_check \
+//!     [path/to/LINT_stacks.json] [--df path/to/DF_defer.json]
 //! ```
 
 use ensemble_obs::Json;
 
 const ENGINES: [&str; 4] = ["IMP", "FUNC", "HAND", "MACH"];
+/// Every stack the registry ships; all four synthesize.
 const STACKS: [&str; 4] = ["stack4", "stack10", "vsync", "kv-service"];
-const SYNTHESIZED: [&str; 2] = ["stack4", "stack10"];
 
 fn fail(msg: &str) -> ! {
     eprintln!("lint_check: {msg}");
@@ -29,18 +36,71 @@ fn bool_field(obj: &Json, key: &str, ctx: &str) -> bool {
     }
 }
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "LINT_stacks.json".to_string());
-    let text = match std::fs::read_to_string(&path) {
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => fail(&format!("cannot read {path}: {e}")),
     };
-    let doc = match Json::parse(&text) {
+    match Json::parse(&text) {
         Ok(d) => d,
         Err(e) => fail(&format!("{path} is not valid JSON: {e:?}")),
+    }
+}
+
+/// Checks the `DF_defer.json` Defer-commutativity report: the roll-up
+/// license, per-stack certificates, and the absence of DF issues.
+fn check_df(path: &str) {
+    let doc = load(path);
+    if doc.get("report").and_then(Json::as_str) != Some("DF_defer") {
+        fail(&format!("{path}: field \"report\" must be \"DF_defer\""));
+    }
+    if doc.get("version").and_then(Json::as_int) != Some(1) {
+        fail(&format!("{path}: unsupported document version"));
+    }
+    if !bool_field(&doc, "all_licensed", path) {
+        fail(&format!("{path}: all_licensed is false"));
+    }
+    let Some(stacks) = doc.get("stacks").and_then(Json::as_arr) else {
+        fail(&format!("{path}: missing \"stacks\" array"));
     };
+    for name in STACKS {
+        let s = stacks
+            .iter()
+            .find(|s| s.get("stack").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| fail(&format!("{path}: no certificate for {name:?}")));
+        if !bool_field(s, "licensed", name) {
+            fail(&format!("{name}: Defer-commutativity license revoked"));
+        }
+        let sites = s.get("sites").and_then(Json::as_arr);
+        if sites.is_none_or(|a| a.is_empty()) {
+            fail(&format!("{name}: certificate carries no defer sites"));
+        }
+        if let Some(issues) = s.get("issues").and_then(Json::as_arr) {
+            if !issues.is_empty() {
+                fail(&format!("{name}: {} DF issue(s) recorded", issues.len()));
+            }
+        }
+    }
+    println!(
+        "lint_check: {path} ok ({} certificates, all licensed)",
+        STACKS.len()
+    );
+}
+
+fn main() {
+    let mut path = "LINT_stacks.json".to_string();
+    let mut df_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--df" => match args.next() {
+                Some(p) => df_path = Some(p),
+                None => fail("--df requires a path"),
+            },
+            p => path = p.to_string(),
+        }
+    }
+    let doc = load(&path);
 
     if doc.get("tool").and_then(Json::as_str) != Some("stack_lint") {
         fail("field \"tool\" must be \"stack_lint\"");
@@ -61,6 +121,13 @@ fn main() {
     let Some(stacks) = doc.get("stacks").and_then(Json::as_arr) else {
         fail("missing \"stacks\" array");
     };
+    if stacks.len() != STACKS.len() {
+        fail(&format!(
+            "registry drift: {} stacks analyzed, {} registered",
+            stacks.len(),
+            STACKS.len()
+        ));
+    }
     for name in STACKS {
         let s = stacks
             .iter()
@@ -69,13 +136,22 @@ fn main() {
         if !bool_field(s, "header_disjoint", name) {
             fail(&format!("{name}: header constructors are not disjoint"));
         }
+        if !bool_field(s, "synthesizable", name) {
+            fail(&format!("{name}: no longer synthesizes"));
+        }
+        if !bool_field(s, "defer_licensed", name) {
+            fail(&format!("{name}: defer batching is not licensed"));
+        }
+        if s.get("defer_sites").and_then(Json::as_int).unwrap_or(0) == 0 {
+            fail(&format!("{name}: no defer sites in certificate"));
+        }
     }
 
     let Some(engines) = doc.get("engines").and_then(Json::as_arr) else {
         fail("missing \"engines\" array");
     };
     for engine in ENGINES {
-        for stack in SYNTHESIZED {
+        for stack in STACKS {
             let v = engines
                 .iter()
                 .find(|v| {
@@ -99,8 +175,12 @@ fn main() {
     }
 
     println!(
-        "lint_check: {path} ok ({} stacks, {} engines verified, 0 deny)",
+        "lint_check: {path} ok ({} stacks, {} engines verified, 0 deny, all defer-licensed)",
         STACKS.len(),
         ENGINES.len()
     );
+
+    if let Some(df) = df_path {
+        check_df(&df);
+    }
 }

@@ -999,12 +999,15 @@ impl Driver {
                         self.detector.heard(env.src, now);
                     } else {
                         // A stale non-member: tell it the group moved on.
-                        self.metrics.fences_sent.fetch_add(1, Ordering::Relaxed);
+                        // The event goes out before the counter ticks so an
+                        // observer that polls `fences_sent` is guaranteed to
+                        // find the FencedPeer event already in the channel.
                         self.send_control(env.src, Frame::Fence);
                         let _ = self.events.send(ClusterEvent::FencedPeer {
                             peer: env.src,
                             epoch: env.epoch,
                         });
+                        self.metrics.fences_sent.fetch_add(1, Ordering::Release);
                     }
                 } else {
                     // Equal epoch, or newer while our own view change is

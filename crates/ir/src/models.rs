@@ -91,6 +91,27 @@ pub struct LayerModel {
     /// State fields that are constant for the instance (folded by the
     /// dynamic optimization).
     pub const_fields: Vec<&'static str>,
+    /// The deferred-work items this layer can emit (`Defer(Tag(args))`),
+    /// with their effect on the layer state.
+    pub defer_specs: Vec<DeferSpec>,
+}
+
+/// A named deferred-work item a layer can emit as `Defer(Tag(args))`:
+/// its parameter names and a state-transformer body modeling the work's
+/// effect on the layer state (the buffering / acknowledgment /
+/// recomputation that happens off the critical path). The body's free
+/// variables are `state` plus the parameters, in constructor-argument
+/// order. The Defer-commutativity dataflow pass classifies the body's
+/// write footprint (`ir::visit::state_footprint`) to decide whether a
+/// stack's deferred work may be drained in batches.
+pub struct DeferSpec {
+    /// Constructor tag carried inside the `Defer` event.
+    pub tag: &'static str,
+    /// Parameter names, in constructor-argument order.
+    pub params: Vec<&'static str>,
+    /// The work's effect: a term over `state` + params returning the
+    /// updated state record.
+    pub body: Term,
 }
 
 /// The four fundamental cases (§4.1.2).
@@ -317,6 +338,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             ccp_up_send: vec![],
             init: Val::record(&[]),
             const_fields: vec![],
+            defer_specs: vec![],
         },
         "partial_appl" => LayerModel {
             name: "partial_appl",
@@ -338,6 +360,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             ccp_up_send: vec![],
             init: Val::record(&[("blocked", Val::Bool(false))]),
             const_fields: vec![],
+            defer_specs: vec![],
         },
         "total" => LayerModel {
             name: "total",
@@ -396,6 +419,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                 ("deliver_next", Val::Int(0)),
             ]),
             const_fields: vec!["rank", "sequencer"],
+            defer_specs: vec![],
         },
         "local" => LayerModel {
             name: "local",
@@ -419,6 +443,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             ccp_up_send: vec![],
             init: Val::record(&[("rank", Val::Int(ctx.rank))]),
             const_fields: vec!["rank"],
+            defer_specs: vec![],
         },
         "frag" => LayerModel {
             name: "frag",
@@ -482,6 +507,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                 ("next_msg_id", Val::Int(0)),
             ]),
             const_fields: vec!["frag_max"],
+            defer_specs: vec![],
         },
         "collect" => LayerModel {
             name: "collect",
@@ -577,8 +603,25 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                 ("every", Val::Int(ctx.collect_every)),
                 ("seen", zero_vec(ctx.nmembers)),
                 ("since_gossip", Val::Int(0)),
+                ("stability", Val::Int(0)),
             ]),
             const_fields: vec!["rank", "every"],
+            defer_specs: vec![
+                // Re-derive the stability floor from the seen counters —
+                // a pure function of the state, so replays are idempotent.
+                DeferSpec {
+                    tag: "RecomputeStability",
+                    params: vec![],
+                    body: setf(
+                        state(),
+                        "stability",
+                        prim(
+                            Prim::MinVecSkip,
+                            vec![getf(state(), "seen"), getf(state(), "rank")],
+                        ),
+                    ),
+                },
+            ],
         },
         "pt2ptw" => LayerModel {
             name: "pt2ptw",
@@ -672,6 +715,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                 ("consumed", zero_vec(ctx.nmembers)),
             ]),
             const_fields: vec!["window", "half_window"],
+            defer_specs: vec![],
         },
         "mflow" => LayerModel {
             name: "mflow",
@@ -749,6 +793,7 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
                 ("consumed", zero_vec(ctx.nmembers)),
             ]),
             const_fields: vec!["rank", "window", "half_window"],
+            defer_specs: vec![],
         },
         "pt2pt" => LayerModel {
             name: "pt2pt",
@@ -834,8 +879,45 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             init: Val::record(&[
                 ("send_next", zero_vec(ctx.nmembers)),
                 ("recv_next", zero_vec(ctx.nmembers)),
+                ("unacked", zero_vec(ctx.nmembers)),
+                ("acked", zero_vec(ctx.nmembers)),
             ]),
             const_fields: vec![],
+            defer_specs: vec![
+                // Count another unacknowledged send buffered for `dst`.
+                DeferSpec {
+                    tag: "BufferUnacked",
+                    params: vec!["dst", "seq"],
+                    body: setf(
+                        state(),
+                        "unacked",
+                        vset(
+                            getf(state(), "unacked"),
+                            var("dst"),
+                            add(vget(getf(state(), "unacked"), var("dst")), Term::Int(1)),
+                        ),
+                    ),
+                },
+                // Advance the acknowledged-up-to mark from `origin`
+                // (acks may arrive stale, so merge with max).
+                DeferSpec {
+                    tag: "AckAndPrune",
+                    params: vec!["origin", "ack"],
+                    body: setf(
+                        state(),
+                        "acked",
+                        vset(
+                            getf(state(), "acked"),
+                            var("origin"),
+                            if_(
+                                lt(vget(getf(state(), "acked"), var("origin")), var("ack")),
+                                var("ack"),
+                                vget(getf(state(), "acked"), var("origin")),
+                            ),
+                        ),
+                    ),
+                },
+            ],
         },
         "mnak" => LayerModel {
             name: "mnak",
@@ -901,8 +983,44 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             )],
             ccp_dn_send: vec![],
             ccp_up_send: vec![eq(app("top_hdr", vec![msg()]), con("NoHdr", vec![]))],
-            init: Val::record(&[("cast_next", Val::Int(0)), ("next", zero_vec(ctx.nmembers))]),
+            init: Val::record(&[
+                ("cast_next", Val::Int(0)),
+                ("next", zero_vec(ctx.nmembers)),
+                ("stored", zero_vec(ctx.nmembers)),
+                ("recv_hi", zero_vec(ctx.nmembers)),
+            ]),
             const_fields: vec![],
+            defer_specs: vec![
+                // Buffer our own cast for retransmission, keyed by its
+                // (monotone) sequence number.
+                DeferSpec {
+                    tag: "StoreOwn",
+                    params: vec!["seq"],
+                    body: setf(
+                        state(),
+                        "stored",
+                        vset(getf(state(), "stored"), var("seq"), Term::Int(1)),
+                    ),
+                },
+                // Record the highest sequence buffered from `origin`.
+                DeferSpec {
+                    tag: "Store",
+                    params: vec!["origin", "seq"],
+                    body: setf(
+                        state(),
+                        "recv_hi",
+                        vset(
+                            getf(state(), "recv_hi"),
+                            var("origin"),
+                            if_(
+                                lt(vget(getf(state(), "recv_hi"), var("origin")), var("seq")),
+                                var("seq"),
+                                vget(getf(state(), "recv_hi"), var("origin")),
+                            ),
+                        ),
+                    ),
+                },
+            ],
         },
         "bottom" => LayerModel {
             name: "bottom",
@@ -954,6 +1072,206 @@ pub fn model(name: &str, ctx: &ModelCtx) -> Option<LayerModel> {
             )],
             init: Val::record(&[("view_ltime", Val::Int(ctx.view_ltime))]),
             const_fields: vec!["view_ltime"],
+            defer_specs: vec![],
+        },
+        "gmp" => LayerModel {
+            name: "gmp",
+            // Group membership: transparent while no view change is in
+            // progress; the install protocol itself is slow-path.
+            dn_cast: if_(
+                eq(getf(state(), "installing"), Term::Bool(false)),
+                out1(state(), dn_cast_ev(push(msg(), con("GmpPass", vec![])))),
+                slow(state(), "ViewChangePending"),
+            ),
+            up_cast: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("GmpPass", &[]),
+                        if_(
+                            eq(getf(state(), "installing"), Term::Bool(false)),
+                            out1(state(), up_cast_ev(var("origin"), pop(msg()))),
+                            slow(state(), "ViewChangePending"),
+                        ),
+                    ),
+                    (pat("GmpNewView", &["ltime"]), slow(state(), "InstallView")),
+                ],
+            ),
+            dn_send: if_(
+                eq(getf(state(), "installing"), Term::Bool(false)),
+                pass_dn_send(),
+                slow(state(), "ViewChangePending"),
+            ),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![(pat("NoHdr", &[]), pass_up_send())],
+            ),
+            ccp_dn_cast: vec![eq(getf(state(), "installing"), Term::Bool(false))],
+            ccp_up_cast: vec![
+                eq(app("top_hdr", vec![msg()]), con("GmpPass", vec![])),
+                eq(getf(state(), "installing"), Term::Bool(false)),
+            ],
+            ccp_dn_send: vec![eq(getf(state(), "installing"), Term::Bool(false))],
+            ccp_up_send: vec![eq(app("top_hdr", vec![msg()]), con("NoHdr", vec![]))],
+            init: Val::record(&[("installing", Val::Bool(false))]),
+            const_fields: vec![],
+            defer_specs: vec![],
+        },
+        "sync" => LayerModel {
+            name: "sync",
+            // View-synchrony flush: counts messages in flight off the
+            // critical path; the flush round itself is slow-path.
+            dn_cast: if_(
+                eq(getf(state(), "in_sync"), Term::Bool(false)),
+                out2(
+                    state(),
+                    dn_cast_ev(push(msg(), con("SyncPass", vec![]))),
+                    defer(con("CountOwn", vec![])),
+                ),
+                slow(state(), "FlushPending"),
+            ),
+            up_cast: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("SyncPass", &[]),
+                        if_(
+                            eq(getf(state(), "in_sync"), Term::Bool(false)),
+                            out2(
+                                state(),
+                                up_cast_ev(var("origin"), pop(msg())),
+                                defer(con("CountSeen", vec![var("origin")])),
+                            ),
+                            slow(state(), "FlushPending"),
+                        ),
+                    ),
+                    (pat("SyncFlush", &[]), slow(state(), "StartFlush")),
+                    (
+                        pat("SyncFlushOk", &["cnt"]),
+                        slow(state(), "CollectFlushOk"),
+                    ),
+                ],
+            ),
+            dn_send: if_(
+                eq(getf(state(), "in_sync"), Term::Bool(false)),
+                pass_dn_send(),
+                slow(state(), "FlushPending"),
+            ),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![(pat("NoHdr", &[]), pass_up_send())],
+            ),
+            ccp_dn_cast: vec![eq(getf(state(), "in_sync"), Term::Bool(false))],
+            ccp_up_cast: vec![
+                eq(app("top_hdr", vec![msg()]), con("SyncPass", vec![])),
+                eq(getf(state(), "in_sync"), Term::Bool(false)),
+            ],
+            ccp_dn_send: vec![eq(getf(state(), "in_sync"), Term::Bool(false))],
+            ccp_up_send: vec![eq(app("top_hdr", vec![msg()]), con("NoHdr", vec![]))],
+            init: Val::record(&[
+                ("in_sync", Val::Bool(false)),
+                ("own_count", Val::Int(0)),
+                ("seen_count", zero_vec(ctx.nmembers)),
+            ]),
+            const_fields: vec![],
+            defer_specs: vec![
+                // One more of our own casts is in flight.
+                DeferSpec {
+                    tag: "CountOwn",
+                    params: vec![],
+                    body: setf(
+                        state(),
+                        "own_count",
+                        add(getf(state(), "own_count"), Term::Int(1)),
+                    ),
+                },
+                // One more cast from `origin` was delivered.
+                DeferSpec {
+                    tag: "CountSeen",
+                    params: vec!["origin"],
+                    body: setf(
+                        state(),
+                        "seen_count",
+                        vset(
+                            getf(state(), "seen_count"),
+                            var("origin"),
+                            add(
+                                vget(getf(state(), "seen_count"), var("origin")),
+                                Term::Int(1),
+                            ),
+                        ),
+                    ),
+                },
+            ],
+        },
+        "elect" => LayerModel {
+            name: "elect",
+            // Leader election only acts when the failure detector fires;
+            // on the data path it is fully transparent.
+            dn_cast: pass_dn_cast(),
+            up_cast: pass_up_cast(),
+            dn_send: pass_dn_send(),
+            up_send: pass_up_send(),
+            ccp_dn_cast: vec![],
+            ccp_up_cast: vec![],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![],
+            init: Val::record(&[("leader", Val::Int(0))]),
+            const_fields: vec!["leader"],
+            defer_specs: vec![],
+        },
+        "suspect" => LayerModel {
+            name: "suspect",
+            // Failure detection: liveness bookkeeping rides the data
+            // path as deferred work; pings/pongs are slow-path.
+            dn_cast: out1(state(), dn_cast_ev(push(msg(), con("SuspectPass", vec![])))),
+            up_cast: match_(
+                app("top_hdr", vec![msg()]),
+                vec![
+                    (
+                        pat("SuspectPass", &[]),
+                        out2(
+                            state(),
+                            up_cast_ev(var("origin"), pop(msg())),
+                            defer(con("Heard", vec![var("origin")])),
+                        ),
+                    ),
+                    (pat("SuspectPing", &["seq"]), slow(state(), "AnswerPing")),
+                    (pat("SuspectPong", &["seq"]), slow(state(), "IngestPong")),
+                ],
+            ),
+            dn_send: pass_dn_send(),
+            up_send: match_(
+                app("top_hdr", vec![msg()]),
+                vec![(
+                    pat("NoHdr", &[]),
+                    out2(
+                        state(),
+                        up_send_ev(var("origin"), pop(msg())),
+                        defer(con("Heard", vec![var("origin")])),
+                    ),
+                )],
+            ),
+            ccp_dn_cast: vec![],
+            ccp_up_cast: vec![eq(app("top_hdr", vec![msg()]), con("SuspectPass", vec![]))],
+            ccp_dn_send: vec![],
+            ccp_up_send: vec![eq(app("top_hdr", vec![msg()]), con("NoHdr", vec![]))],
+            init: Val::record(&[("heard", zero_vec(ctx.nmembers))]),
+            const_fields: vec![],
+            defer_specs: vec![DeferSpec {
+                // Liveness evidence from `origin`.
+                tag: "Heard",
+                params: vec!["origin"],
+                body: setf(
+                    state(),
+                    "heard",
+                    vset(
+                        getf(state(), "heard"),
+                        var("origin"),
+                        add(vget(getf(state(), "heard"), var("origin")), Term::Int(1)),
+                    ),
+                ),
+            }],
         },
         _ => return None,
     })
@@ -1152,6 +1470,198 @@ mod tests {
             assert!(m.dn_cast.size() > 0);
         }
         assert!(model("nope", &ctx).is_none());
+    }
+
+    #[test]
+    fn all_membership_layers_have_models() {
+        let ctx = ModelCtx::new(3, 0);
+        for name in ["gmp", "sync", "elect", "suspect"] {
+            let m = model(name, &ctx).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(m.name, name);
+            assert!(m.dn_cast.size() > 0);
+        }
+    }
+
+    #[test]
+    fn gmp_quiet_view_passes_both_ways() {
+        let m = model("gmp", &ModelCtx::new(3, 0)).unwrap();
+        let (_, evs) = run(
+            &m.dn_cast,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 4))],
+        );
+        assert_eq!(evs.len(), 1);
+        let framed = match &evs[0] {
+            Val::Con(_, args) => args[0].clone(),
+            other => panic!("{other:?}"),
+        };
+        let (_, evs) = run(
+            &m.up_cast,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(1)),
+                ("msg", framed),
+            ],
+        );
+        assert!(matches!(&evs[0], Val::Con(n, _) if n.as_str() == "UpCast"));
+    }
+
+    #[test]
+    fn gmp_new_view_goes_slow() {
+        let m = model("gmp", &ModelCtx::new(3, 0)).unwrap();
+        let incoming = msg_val(vec![Val::con("GmpNewView", vec![Val::Int(7)])], 4);
+        let defs = layer_defs();
+        let (v, _) = eval_with(
+            &m.up_cast,
+            &defs,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(1)),
+                ("msg", incoming),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(v, Val::Con(n, _) if n.as_str() == "Slow"));
+    }
+
+    #[test]
+    fn sync_counts_traffic_via_defers() {
+        let m = model("sync", &ModelCtx::new(3, 0)).unwrap();
+        let (_, evs) = run(
+            &m.dn_cast,
+            &[("state", m.init.clone()), ("msg", msg_val(vec![], 4))],
+        );
+        assert_eq!(
+            evs[1],
+            Val::con("Defer", vec![Val::con("CountOwn", vec![])])
+        );
+        let incoming = msg_val(vec![Val::con("SyncPass", vec![])], 4);
+        let (_, evs) = run(
+            &m.up_cast,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(2)),
+                ("msg", incoming),
+            ],
+        );
+        assert!(matches!(&evs[0], Val::Con(n, _) if n.as_str() == "UpCast"));
+        assert_eq!(
+            evs[1],
+            Val::con("Defer", vec![Val::con("CountSeen", vec![Val::Int(2)])])
+        );
+    }
+
+    #[test]
+    fn sync_flush_goes_slow() {
+        let m = model("sync", &ModelCtx::new(3, 0)).unwrap();
+        let incoming = msg_val(vec![Val::con("SyncFlush", vec![])], 4);
+        let defs = layer_defs();
+        let (v, _) = eval_with(
+            &m.up_cast,
+            &defs,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(1)),
+                ("msg", incoming),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(v, Val::Con(n, _) if n.as_str() == "Slow"));
+    }
+
+    #[test]
+    fn suspect_defers_liveness_bookkeeping() {
+        let m = model("suspect", &ModelCtx::new(3, 0)).unwrap();
+        let incoming = msg_val(vec![Val::con("SuspectPass", vec![])], 4);
+        let (_, evs) = run(
+            &m.up_cast,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(1)),
+                ("msg", incoming),
+            ],
+        );
+        assert_eq!(
+            evs[1],
+            Val::con("Defer", vec![Val::con("Heard", vec![Val::Int(1)])])
+        );
+        // Pings stay slow-path.
+        let ping = msg_val(vec![Val::con("SuspectPing", vec![Val::Int(3)])], 4);
+        let defs = layer_defs();
+        let (v, _) = eval_with(
+            &m.up_cast,
+            &defs,
+            &[
+                ("state", m.init.clone()),
+                ("origin", Val::Int(1)),
+                ("msg", ping),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(v, Val::Con(n, _) if n.as_str() == "Slow"));
+    }
+
+    #[test]
+    fn defer_spec_bodies_have_declared_footprints() {
+        use crate::visit::{state_footprint, WriteKind};
+        let ctx = ModelCtx::new(3, 0);
+        let mut seen = 0;
+        for name in [
+            "top",
+            "partial_appl",
+            "total",
+            "local",
+            "gmp",
+            "sync",
+            "elect",
+            "suspect",
+            "frag",
+            "collect",
+            "pt2ptw",
+            "mflow",
+            "pt2pt",
+            "mnak",
+            "bottom",
+        ] {
+            let m = model(name, &ctx).unwrap();
+            let init_fields: Vec<String> = match &m.init {
+                Val::Record(fs) => fs.keys().map(|f| f.as_str()).collect(),
+                _ => vec![],
+            };
+            for spec in &m.defer_specs {
+                seen += 1;
+                let fp = state_footprint(&spec.body, "state");
+                assert!(
+                    !fp.writes.is_empty(),
+                    "{name}/{}: spec body writes nothing",
+                    spec.tag
+                );
+                for w in &fp.writes {
+                    assert_ne!(
+                        w.kind,
+                        WriteKind::Overwrite,
+                        "{name}/{}: opaque overwrite of {}",
+                        spec.tag,
+                        w.field.as_str()
+                    );
+                    assert!(
+                        init_fields.contains(&w.field.as_str()),
+                        "{name}/{}: writes undeclared field {}",
+                        spec.tag,
+                        w.field.as_str()
+                    );
+                }
+                for r in &fp.reads {
+                    assert!(
+                        init_fields.contains(&r.as_str()),
+                        "{name}/{}: reads undeclared field {}",
+                        spec.tag,
+                        r.as_str()
+                    );
+                }
+            }
+        }
+        // mnak 2 + pt2pt 2 + collect 1 + sync 2 + suspect 1.
+        assert_eq!(seen, 8);
     }
 
     #[test]

@@ -14,10 +14,17 @@
 //! * [`collect_cons`] — every constructor name built by the term, in
 //!   first-occurrence order;
 //! * [`collect_apps`] — every named-function application, with its
-//!   argument lists, in pre-order.
+//!   argument lists, in pre-order;
+//! * [`state_footprint`] — the read/write footprint of a state
+//!   transformer (which state record fields it reads, and how it writes
+//!   each one — the input to the Defer-commutativity dataflow pass);
+//! * [`defer_index_is_monotone`] — proves a `Defer` site's index
+//!   parameter is drawn from a monotone counter the handler increments,
+//!   so distinct instances of the site write distinct cells.
 
-use crate::term::{Pattern, Term};
+use crate::term::{Pattern, Prim, Term};
 use ensemble_util::Intern;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Visitor control: continue into children or prune this subtree.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,6 +138,406 @@ pub fn collect_match_cons(t: &Term) -> Vec<Intern> {
     out
 }
 
+/// How a state transformer writes one field of the state record. The
+/// classification is what the Defer-commutativity pass reasons with:
+/// increments and max-merges commute among themselves; indexed inserts
+/// commute when their indices are provably distinct; recomputes are
+/// idempotent pure functions of the state; anything else is an opaque
+/// overwrite that commutes with nothing touching the same field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteKind {
+    /// `f := f + k` or `f[i] := f[i] + k` — commutes with other
+    /// increments of the same field.
+    Increment,
+    /// `f := max(f, x)` or `f[i] := max(f[i], x)` — a monotone merge;
+    /// commutes with other merges of the same field.
+    MergeMax,
+    /// `f[i] := e` where `i` is a parameter — commutes with other
+    /// instances only if the index is proven unique per instance (see
+    /// [`defer_index_is_monotone`]).
+    IndexedInsert,
+    /// `f := pure_fn(state)` — reads other fields, writes a derived
+    /// value; idempotent, so instances of the *same* site commute.
+    Recompute,
+    /// Any other write; commutes with nothing that touches the field.
+    Overwrite,
+}
+
+impl WriteKind {
+    /// Stable lower-case name (used in certificates and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            WriteKind::Increment => "increment",
+            WriteKind::MergeMax => "merge_max",
+            WriteKind::IndexedInsert => "indexed_insert",
+            WriteKind::Recompute => "recompute",
+            WriteKind::Overwrite => "overwrite",
+        }
+    }
+}
+
+/// One classified field write of a state transformer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldWrite {
+    /// The state record field written.
+    pub field: Intern,
+    /// How it is written.
+    pub kind: WriteKind,
+    /// For vector writes, the index expression's variable (when the
+    /// index is a plain parameter).
+    pub index: Option<Intern>,
+}
+
+/// The read/write footprint of a state transformer term.
+///
+/// `reads` excludes fields the term also writes: the read half of a
+/// read-modify-write (and the functional re-read a `VecSet` performs)
+/// is intrinsic to the write and carries no ordering constraint of its
+/// own. What remains are *pure input* fields — the ones whose value at
+/// execution time changes the result (the `Recompute` inputs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Fields read as pure inputs, sorted.
+    pub reads: Vec<Intern>,
+    /// Classified writes, in discovery order.
+    pub writes: Vec<FieldWrite>,
+}
+
+impl Footprint {
+    /// All fields the transformer touches (reads ∪ writes), sorted.
+    pub fn touched(&self) -> Vec<Intern> {
+        let mut s: BTreeSet<Intern> = self.reads.iter().copied().collect();
+        s.extend(self.writes.iter().map(|w| w.field));
+        s.into_iter().collect()
+    }
+}
+
+/// Whether `t` is a reference to the state record itself: the state
+/// variable, an alias of it, or a functional update (`SetF`) of one.
+fn is_state_root(t: &Term, aliases: &BTreeSet<Intern>) -> bool {
+    match t {
+        Term::Var(v) => aliases.contains(v),
+        Term::SetF(inner, _, _) => is_state_root(inner, aliases),
+        _ => false,
+    }
+}
+
+/// `GetF(state, f)` for some state alias → `Some(f)`.
+fn state_field(t: &Term, aliases: &BTreeSet<Intern>) -> Option<Intern> {
+    match t {
+        Term::GetF(e, f) if is_state_root(e, aliases) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Matches `max(cur, x)` rendered as `If(Lt(cur, x), x, cur)` where
+/// `cur` is the current value of the written cell.
+fn is_max_merge(value: &Term, cur: &Term) -> bool {
+    match value {
+        Term::If(c, a, b) => match &**c {
+            Term::Prim(Prim::Lt, args) if args.len() == 2 => {
+                args[0] == *cur && args[1] == **a && **b == *cur
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Whether every free variable of `value` is a state alias — i.e. the
+/// value is a pure function of the state record.
+fn pure_in_state(value: &Term, aliases: &BTreeSet<Intern>) -> bool {
+    value.free_vars().iter().all(|v| aliases.contains(v))
+}
+
+/// Expands let-bound temporaries inside `t` so classification sees the
+/// underlying state reads (`let mine = seen[rank] in seen[rank] :=
+/// mine + 1` classifies as an increment, not an opaque write). Models
+/// do not shadow binders, so plain repeated substitution suffices; the
+/// iteration bound guards against pathological self-reference.
+fn resolve(t: &Term, bindings: &BTreeMap<Intern, Term>) -> Term {
+    let mut out = t.clone();
+    for _ in 0..8 {
+        let mut changed = false;
+        for v in out.free_vars() {
+            if let Some(b) = bindings.get(&v) {
+                out = out.subst(v, b);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+fn classify_write(
+    field: Intern,
+    value: &Term,
+    aliases: &BTreeSet<Intern>,
+    bindings: &BTreeMap<Intern, Term>,
+) -> FieldWrite {
+    let value = &resolve(value, bindings);
+    // "Current value of the cell", normalized against any state alias.
+    let cur_scalar = |t: &Term| matches!(state_field(t, aliases), Some(f) if f == field);
+    // f := f + k
+    if let Term::Prim(Prim::Add, args) = value {
+        if args.iter().any(&cur_scalar) {
+            return FieldWrite {
+                field,
+                kind: WriteKind::Increment,
+                index: None,
+            };
+        }
+    }
+    // f := max(f, x)
+    if let Term::If(c, _, b) = value {
+        if cur_scalar(b) {
+            if let Term::Prim(Prim::Lt, args) = &**c {
+                if args.len() == 2 && cur_scalar(&args[0]) {
+                    return FieldWrite {
+                        field,
+                        kind: WriteKind::MergeMax,
+                        index: None,
+                    };
+                }
+            }
+        }
+    }
+    // f[i] := …
+    if let Term::Prim(Prim::VecSet, args) = value {
+        if args.len() == 3 && state_field(&args[0], aliases) == Some(field) {
+            let idx = &args[1];
+            let index = match idx {
+                Term::Var(v) => Some(*v),
+                _ => None,
+            };
+            let cur = Term::Prim(Prim::VecGet, vec![args[0].clone(), idx.clone()]);
+            // f[i] := f[i] + k
+            if let Term::Prim(Prim::Add, inner) = &args[2] {
+                if inner.contains(&cur) {
+                    return FieldWrite {
+                        field,
+                        kind: WriteKind::Increment,
+                        index,
+                    };
+                }
+            }
+            // f[i] := max(f[i], x)
+            if is_max_merge(&args[2], &cur) {
+                return FieldWrite {
+                    field,
+                    kind: WriteKind::MergeMax,
+                    index,
+                };
+            }
+            // f[i] := e with a parameter index
+            if index.is_some() && !aliases.contains(&index.unwrap()) {
+                return FieldWrite {
+                    field,
+                    kind: WriteKind::IndexedInsert,
+                    index,
+                };
+            }
+        }
+    }
+    // f := pure_fn(state)
+    if pure_in_state(value, aliases) {
+        return FieldWrite {
+            field,
+            kind: WriteKind::Recompute,
+            index: None,
+        };
+    }
+    FieldWrite {
+        field,
+        kind: WriteKind::Overwrite,
+        index: None,
+    }
+}
+
+fn footprint_walk(
+    t: &Term,
+    aliases: &mut BTreeSet<Intern>,
+    bindings: &mut BTreeMap<Intern, Term>,
+    reads: &mut BTreeSet<Intern>,
+    writes: &mut Vec<FieldWrite>,
+) {
+    match t {
+        Term::SetF(target, field, value) if is_state_root(target, aliases) => {
+            writes.push(classify_write(*field, value, aliases, bindings));
+            footprint_walk(target, aliases, bindings, reads, writes);
+            footprint_walk(value, aliases, bindings, reads, writes);
+        }
+        Term::GetF(e, f) if is_state_root(e, aliases) => {
+            reads.insert(*f);
+            footprint_walk(e, aliases, bindings, reads, writes);
+        }
+        Term::Let(x, v, body) => {
+            footprint_walk(v, aliases, bindings, reads, writes);
+            let added = if is_state_root(v, aliases) {
+                aliases.insert(*x)
+            } else {
+                // A rebound name shadows any outer alias.
+                aliases.remove(x);
+                bindings.insert(*x, (**v).clone());
+                false
+            };
+            footprint_walk(body, aliases, bindings, reads, writes);
+            if added {
+                aliases.remove(x);
+            } else {
+                bindings.remove(x);
+            }
+        }
+        Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Var(_) => {}
+        Term::If(c, a, b) => {
+            footprint_walk(c, aliases, bindings, reads, writes);
+            footprint_walk(a, aliases, bindings, reads, writes);
+            footprint_walk(b, aliases, bindings, reads, writes);
+        }
+        Term::Con(_, args) | Term::Prim(_, args) | Term::App(_, args) => {
+            for a in args {
+                footprint_walk(a, aliases, bindings, reads, writes);
+            }
+        }
+        Term::Match(s, arms) => {
+            footprint_walk(s, aliases, bindings, reads, writes);
+            for (_, body) in arms {
+                footprint_walk(body, aliases, bindings, reads, writes);
+            }
+        }
+        Term::GetF(e, _) => footprint_walk(e, aliases, bindings, reads, writes),
+        Term::SetF(e, _, v) => {
+            footprint_walk(e, aliases, bindings, reads, writes);
+            footprint_walk(v, aliases, bindings, reads, writes);
+        }
+    }
+}
+
+/// Computes the state read/write footprint of `t`, where `state` names
+/// the state record variable. Variables let-bound to (functional updates
+/// of) the state are tracked as aliases, so chained `SetF`s through
+/// `Let` bindings attribute correctly.
+pub fn state_footprint(t: &Term, state: &str) -> Footprint {
+    let mut aliases: BTreeSet<Intern> = BTreeSet::new();
+    aliases.insert(Intern::from(state));
+    let mut bindings: BTreeMap<Intern, Term> = BTreeMap::new();
+    let mut reads = BTreeSet::new();
+    let mut writes = Vec::new();
+    footprint_walk(t, &mut aliases, &mut bindings, &mut reads, &mut writes);
+    for w in &writes {
+        reads.remove(&w.field);
+    }
+    Footprint {
+        reads: reads.into_iter().collect(),
+        writes,
+    }
+}
+
+/// Proves that every `Defer(Con(tag, args))` site in `handler` draws
+/// `args[param_idx]` from a *monotone counter*: the argument is a
+/// variable let-bound to `getf(state, c)` (or `vget(getf(state, c), k)`)
+/// and the same handler advances `c` (resp. slot `k`) past it with an
+/// increment. Distinct instances of the site then carry distinct index
+/// values, so indexed inserts keyed by the parameter write distinct
+/// cells and commute. Returns `false` when the handler has no such site
+/// or any site fails the proof.
+pub fn defer_index_is_monotone(handler: &Term, state: &str, tag: &str, param_idx: usize) -> bool {
+    let state_var = Intern::from(state);
+    let tag = Intern::from(tag);
+    let defer = Intern::from("Defer");
+    let mut aliases: BTreeSet<Intern> = BTreeSet::new();
+    aliases.insert(state_var);
+    // Let bindings in scope anywhere in the handler (handlers are small
+    // and models do not shadow binders across branches).
+    let mut bindings: BTreeMap<Intern, Term> = BTreeMap::new();
+    walk(handler, &mut |sub| {
+        if let Term::Let(x, v, _) = sub {
+            bindings.insert(*x, (**v).clone());
+        }
+        Walk::Continue
+    });
+    let mut sites = 0usize;
+    let mut ok = true;
+    walk(handler, &mut |sub| {
+        if let Term::Con(n, args) = sub {
+            if *n == defer && args.len() == 1 {
+                if let Term::Con(t, targs) = &args[0] {
+                    if *t == tag {
+                        sites += 1;
+                        ok &= monotone_site(handler, &aliases, &bindings, targs, param_idx);
+                        return Walk::Skip;
+                    }
+                }
+            }
+        }
+        Walk::Continue
+    });
+    sites > 0 && ok
+}
+
+fn monotone_site(
+    handler: &Term,
+    aliases: &BTreeSet<Intern>,
+    bindings: &BTreeMap<Intern, Term>,
+    args: &[Term],
+    param_idx: usize,
+) -> bool {
+    let Some(Term::Var(x)) = args.get(param_idx) else {
+        return false;
+    };
+    let Some(src) = bindings.get(x) else {
+        return false;
+    };
+    match src {
+        // x = getf(state, c): handler must write c with an increment
+        // past x.
+        t if state_field(t, aliases).is_some() => {
+            let c = state_field(t, aliases).unwrap();
+            let mut advanced = false;
+            walk(handler, &mut |sub| {
+                if let Term::SetF(target, f, value) = sub {
+                    if *f == c && is_state_root(target, aliases) {
+                        if let Term::Prim(Prim::Add, inner) = &**value {
+                            advanced |= inner.iter().any(|a| matches!(a, Term::Var(v) if v == x));
+                        }
+                    }
+                }
+                Walk::Continue
+            });
+            advanced
+        }
+        // x = vget(getf(state, c), k): handler must write slot k of c
+        // with an increment past x.
+        Term::Prim(Prim::VecGet, vargs) if vargs.len() == 2 => {
+            let Some(c) = state_field(&vargs[0], aliases) else {
+                return false;
+            };
+            let k = vargs[1].clone();
+            let mut advanced = false;
+            walk(handler, &mut |sub| {
+                if let Term::SetF(target, f, value) = sub {
+                    if *f == c && is_state_root(target, aliases) {
+                        if let Term::Prim(Prim::VecSet, sargs) = &**value {
+                            if sargs.len() == 3 && sargs[1] == k {
+                                if let Term::Prim(Prim::Add, inner) = &sargs[2] {
+                                    advanced |=
+                                        inner.iter().any(|a| matches!(a, Term::Var(v) if v == x));
+                                }
+                            }
+                        }
+                    }
+                }
+                Walk::Continue
+            });
+            advanced
+        }
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +607,267 @@ mod tests {
         );
         let names: Vec<String> = collect_match_cons(&t).iter().map(|n| n.as_str()).collect();
         assert_eq!(names, vec!["Data", "Ack"]);
+    }
+
+    use crate::term::{getf, prim, setf, Prim};
+
+    fn vget(v: Term, i: Term) -> Term {
+        prim(Prim::VecGet, vec![v, i])
+    }
+    fn vset(v: Term, i: Term, x: Term) -> Term {
+        prim(Prim::VecSet, vec![v, i, x])
+    }
+    fn state() -> Term {
+        var("state")
+    }
+    fn kinds(fp: &Footprint) -> Vec<(String, WriteKind)> {
+        fp.writes
+            .iter()
+            .map(|w| (w.field.as_str(), w.kind))
+            .collect()
+    }
+    fn k(pairs: &[(&str, WriteKind)]) -> Vec<(String, WriteKind)> {
+        pairs.iter().map(|(f, w)| (f.to_string(), *w)).collect()
+    }
+
+    #[test]
+    fn footprint_scalar_increment() {
+        let t = setf(state(), "n", add(getf(state(), "n"), Term::Int(1)));
+        let fp = state_footprint(&t, "state");
+        assert_eq!(kinds(&fp), k(&[("n", WriteKind::Increment)]));
+        // The RMW read of `n` is intrinsic to the write, not a pure input.
+        assert!(fp.reads.is_empty());
+    }
+
+    #[test]
+    fn footprint_slot_increment_keeps_index() {
+        let t = setf(
+            state(),
+            "seen",
+            vset(
+                getf(state(), "seen"),
+                var("origin"),
+                add(vget(getf(state(), "seen"), var("origin")), Term::Int(1)),
+            ),
+        );
+        let fp = state_footprint(&t, "state");
+        assert_eq!(kinds(&fp), k(&[("seen", WriteKind::Increment)]));
+        assert_eq!(
+            fp.writes[0].index.map(|i| i.as_str()),
+            Some("origin".into())
+        );
+        assert!(fp.reads.is_empty());
+    }
+
+    #[test]
+    fn footprint_scalar_and_slot_merge_max() {
+        let cur = getf(state(), "hi");
+        let t = setf(
+            state(),
+            "hi",
+            if_(prim(Prim::Lt, vec![cur.clone(), var("x")]), var("x"), cur),
+        );
+        assert_eq!(
+            kinds(&state_footprint(&t, "state")),
+            k(&[("hi", WriteKind::MergeMax)])
+        );
+
+        let slot = vget(getf(state(), "hi"), var("o"));
+        let t = setf(
+            state(),
+            "hi",
+            vset(
+                getf(state(), "hi"),
+                var("o"),
+                if_(prim(Prim::Lt, vec![slot.clone(), var("x")]), var("x"), slot),
+            ),
+        );
+        let fp = state_footprint(&t, "state");
+        assert_eq!(kinds(&fp), k(&[("hi", WriteKind::MergeMax)]));
+        assert_eq!(fp.writes[0].index.map(|i| i.as_str()), Some("o".into()));
+    }
+
+    #[test]
+    fn footprint_indexed_insert_and_overwrite() {
+        let t = setf(
+            state(),
+            "buf",
+            vset(getf(state(), "buf"), var("seq"), var("payload")),
+        );
+        let fp = state_footprint(&t, "state");
+        assert_eq!(kinds(&fp), k(&[("buf", WriteKind::IndexedInsert)]));
+        assert_eq!(fp.writes[0].index.map(|i| i.as_str()), Some("seq".into()));
+
+        let t = setf(state(), "x", var("y"));
+        assert_eq!(
+            kinds(&state_footprint(&t, "state")),
+            k(&[("x", WriteKind::Overwrite)])
+        );
+    }
+
+    #[test]
+    fn footprint_recompute_reports_pure_reads() {
+        let t = setf(
+            state(),
+            "stability",
+            prim(
+                Prim::MinVecSkip,
+                vec![getf(state(), "seen"), getf(state(), "rank")],
+            ),
+        );
+        let fp = state_footprint(&t, "state");
+        assert_eq!(kinds(&fp), k(&[("stability", WriteKind::Recompute)]));
+        let reads: Vec<String> = fp.reads.iter().map(|r| r.as_str()).collect();
+        assert_eq!(reads, vec!["rank", "seen"]);
+        let touched: Vec<String> = fp.touched().iter().map(|r| r.as_str()).collect();
+        assert_eq!(touched, vec!["rank", "seen", "stability"]);
+    }
+
+    #[test]
+    fn footprint_tracks_aliases_through_lets() {
+        // let s1 = state{a := a+1} in s1{b := max(b, x)}
+        let t = let_(
+            "s1",
+            setf(state(), "a", add(getf(state(), "a"), Term::Int(1))),
+            setf(
+                var("s1"),
+                "b",
+                if_(
+                    prim(Prim::Lt, vec![getf(var("s1"), "b"), var("x")]),
+                    var("x"),
+                    getf(var("s1"), "b"),
+                ),
+            ),
+        );
+        let fp = state_footprint(&t, "state");
+        assert_eq!(
+            kinds(&fp),
+            k(&[("a", WriteKind::Increment), ("b", WriteKind::MergeMax)])
+        );
+    }
+
+    #[test]
+    fn footprint_resolves_let_bound_cell_reads() {
+        // collect-style: let mine = seen[rank] in seen[rank] := mine + 1
+        // must classify as a slot increment, not an opaque write.
+        let t = let_(
+            "mine",
+            vget(getf(state(), "seen"), getf(state(), "rank")),
+            setf(
+                state(),
+                "seen",
+                vset(
+                    getf(state(), "seen"),
+                    getf(state(), "rank"),
+                    add(var("mine"), Term::Int(1)),
+                ),
+            ),
+        );
+        let fp = state_footprint(&t, "state");
+        assert_eq!(kinds(&fp), k(&[("seen", WriteKind::Increment)]));
+        // total-style scalar through a temporary.
+        let t = let_(
+            "o",
+            getf(state(), "order_next"),
+            setf(state(), "order_next", add(var("o"), Term::Int(1))),
+        );
+        assert_eq!(
+            kinds(&state_footprint(&t, "state")),
+            k(&[("order_next", WriteKind::Increment)])
+        );
+    }
+
+    /// mnak-style monotone counter: seq is read from the counter and the
+    /// same handler advances the counter past it.
+    fn counter_handler() -> Term {
+        let_(
+            "seq",
+            getf(state(), "cast_next"),
+            let_(
+                "s1",
+                setf(state(), "cast_next", add(var("seq"), Term::Int(1))),
+                con(
+                    "Out",
+                    vec![
+                        var("s1"),
+                        con("Defer", vec![con("StoreOwn", vec![var("seq")])]),
+                    ],
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn monotone_scalar_counter_is_proven() {
+        assert!(defer_index_is_monotone(
+            &counter_handler(),
+            "state",
+            "StoreOwn",
+            0
+        ));
+        // Wrong tag, wrong arity, or absent site all fail.
+        assert!(!defer_index_is_monotone(
+            &counter_handler(),
+            "state",
+            "Store",
+            0
+        ));
+        assert!(!defer_index_is_monotone(
+            &counter_handler(),
+            "state",
+            "StoreOwn",
+            1
+        ));
+    }
+
+    #[test]
+    fn monotone_vector_counter_is_proven() {
+        // pt2pt-style: seq = send_next[dst]; send_next[dst] := seq + 1.
+        let t = let_(
+            "seq",
+            vget(getf(state(), "send_next"), var("dst")),
+            let_(
+                "s1",
+                setf(
+                    state(),
+                    "send_next",
+                    vset(
+                        getf(state(), "send_next"),
+                        var("dst"),
+                        add(var("seq"), Term::Int(1)),
+                    ),
+                ),
+                con(
+                    "Out",
+                    vec![
+                        var("s1"),
+                        con(
+                            "Defer",
+                            vec![con("BufferUnacked", vec![var("dst"), var("seq")])],
+                        ),
+                    ],
+                ),
+            ),
+        );
+        assert!(defer_index_is_monotone(&t, "state", "BufferUnacked", 1));
+        // dst is a plain parameter, not a counter read.
+        assert!(!defer_index_is_monotone(&t, "state", "BufferUnacked", 0));
+    }
+
+    #[test]
+    fn unadvanced_counter_is_rejected() {
+        // seq is read but never incremented past — replays reuse it.
+        let t = let_(
+            "seq",
+            getf(state(), "cast_next"),
+            con(
+                "Out",
+                vec![
+                    state(),
+                    con("Defer", vec![con("StoreOwn", vec![var("seq")])]),
+                ],
+            ),
+        );
+        assert!(!defer_index_is_monotone(&t, "state", "StoreOwn", 0));
     }
 }

@@ -76,6 +76,9 @@ pub enum EventKind {
     KvCommit = 25,
     /// A KV response left the service towards the client.
     KvResponse = 26,
+    /// A batch of deferred non-critical work was drained (count in
+    /// `aux`); only certificate-licensed stacks batch.
+    DeferFlush = 27,
 }
 
 impl EventKind {
@@ -108,6 +111,7 @@ impl EventKind {
             24 => KvRequest,
             25 => KvCommit,
             26 => KvResponse,
+            27 => DeferFlush,
             _ => Other,
         }
     }
@@ -143,6 +147,7 @@ impl EventKind {
             KvRequest => "kv_request",
             KvCommit => "kv_commit",
             KvResponse => "kv_response",
+            DeferFlush => "defer_flush",
         }
     }
 }

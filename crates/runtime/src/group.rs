@@ -30,18 +30,42 @@
 //!
 //! On a view change the bypass is discarded: it was synthesized for one
 //! membership, and Ensemble likewise rebuilds per view.
+//!
+//! ## Analysis-gated deferred-work batching
+//!
+//! Each bypass hit may queue non-critical work (`Defer` items:
+//! buffering, acknowledgments, stability bookkeeping). When the
+//! installed stack's [`DeferCertificate`] proves every pair of deferred
+//! items commutes and none observes delivery order (the DF rules in
+//! `ensemble-analyze`), the core *batches* that work and drains it in
+//! one pass at quiescent points — a full batch, an engine fallback, a
+//! view change, or an explicit bypass drop. Stacks without a valid
+//! certificate keep the immediate-drain behavior: every bypass hit pays
+//! the drain on the spot. The split is observable through the
+//! `defer_batched` / `defer_flushes` counters
+//! ([`GroupCore::take_defer_delta`]) and `DeferFlush` trace events.
+//!
+//! The cross-stream ordering hole the fallback opens (bypass stream vs.
+//! engine stream, first bullet above) is pinned down by the
+//! `sender_ccp_fallback_keeps_streams_fifo` regression test below; a
+//! shared sequencing cursor between the two paths (future work) is what
+//! would close it.
 
 use ensemble_event::{DnEvent, Msg, Payload, UpEvent, ViewState};
 use ensemble_ir::models::{Case, ModelCtx};
 use ensemble_layers::{make_stack, LayerConfig, StackError};
 use ensemble_obs::{CcpFailure, Direction, EventKind};
 use ensemble_stack::{Boundary, Engine, EngineKind};
-use ensemble_synth::{synthesize, BypassOutput, StackBypass};
-use ensemble_transport::{marshal, unmarshal, CompressedHdr, Dest, Packet};
+use ensemble_synth::{synthesize, BypassOutput, DeferCertificate, StackBypass};
+use ensemble_transport::{marshal, unmarshal, Dest, Packet};
 use ensemble_util::{Counters, Endpoint, Rank, Time};
 
 /// Most out-of-order compressed packets parked awaiting their gap fill.
 const STASH_LIMIT: usize = 128;
+
+/// Most deferred work items accumulated before a licensed batch drains
+/// anyway (bounds memory; commutativity makes the cut point free).
+const DEFER_BATCH_LIMIT: usize = 64;
 
 /// Most application sends parked during a flush window. Beyond this the
 /// oldest parked message is dropped (the application outran the view
@@ -195,6 +219,16 @@ pub struct GroupCore {
     parked: Vec<Parked>,
     bypass_hits: u64,
     bypass_misses: u64,
+    /// The installed bypass's Defer-commutativity certificate held
+    /// (DF001–DF003): deferred work may drain in batches.
+    defer_licensed: bool,
+    /// Deferred items already counted into the current batch.
+    defer_seen: usize,
+    /// Work items accumulated into batches (licensed stacks only).
+    defer_batched: u64,
+    /// Drain passes (batch flushes when licensed, per-hit drains when
+    /// not).
+    defer_flushes: u64,
     cost: Counters,
     tracing: bool,
     events: Vec<CoreEvent>,
@@ -230,6 +264,10 @@ impl GroupCore {
             parked: Vec::new(),
             bypass_hits: 0,
             bypass_misses: 0,
+            defer_licensed: false,
+            defer_seen: 0,
+            defer_batched: 0,
+            defer_flushes: 0,
             cost: Counters::zero(),
             tracing: false,
             events: Vec::new(),
@@ -368,6 +406,20 @@ impl GroupCore {
         d
     }
 
+    /// Takes and resets the `(defer_batched, defer_flushes)` deltas.
+    pub fn take_defer_delta(&mut self) -> (u64, u64) {
+        let d = (self.defer_batched, self.defer_flushes);
+        self.defer_batched = 0;
+        self.defer_flushes = 0;
+        d
+    }
+
+    /// Whether deferred work is currently drained in batches: a bypass
+    /// is installed *and* its Defer-commutativity certificate held.
+    pub fn defer_batching_active(&self) -> bool {
+        self.bypass.is_some() && self.defer_licensed
+    }
+
     /// Takes and resets the model-cost delta.
     pub fn take_cost_delta(&mut self) -> Counters {
         std::mem::take(&mut self.cost)
@@ -428,13 +480,26 @@ impl GroupCore {
             synthesize(&self.names, &ctx).map_err(|e| BypassError::Synthesis(format!("{e:?}")))?;
         let bypass = StackBypass::compile(&synth, self.vs.rank.0)
             .map_err(|e| BypassError::Codegen(format!("{e:?}")))?;
+        // The Defer-commutativity certificate decides the drain policy:
+        // licensed stacks batch deferred work to quiescent points,
+        // anything else drains after every bypass hit.
+        self.defer_licensed = DeferCertificate::of(&synth, self.vs.rank.0 as i64).licensed();
+        self.defer_seen = 0;
         self.bypass = Some(bypass);
         self.stash.clear();
         Ok(())
     }
 
-    /// Removes the bypass; subsequent traffic takes the engine.
+    /// Removes the bypass; subsequent traffic takes the engine. Any
+    /// batched deferred work drains first (a quiescent point).
     pub fn drop_bypass(&mut self) {
+        if let Some(b) = self.bypass.as_mut() {
+            if b.drain_deferred() > 0 {
+                self.defer_flushes += 1;
+            }
+        }
+        self.defer_seen = 0;
+        self.defer_licensed = false;
         self.bypass = None;
         self.stash.clear();
     }
@@ -457,20 +522,20 @@ impl GroupCore {
             self.park(now, Parked::Cast(payload.to_vec()));
             return out;
         }
-        if self.bypass.is_some() {
+        if let Some(bypass) = self.bypass.as_mut() {
             let p = Payload::from_slice(payload);
-            let result = self
-                .bypass
-                .as_mut()
-                .expect("bypass installed: guarded by bypass.is_some() in the caller")
-                .dn_cast(&p);
+            let result = bypass.dn_cast(&p);
             if self.apply_bypass(now, Case::DnCast, result, &mut out) {
+                self.settle_deferred(now);
                 return out;
             }
             // CCP failed: this message takes the engine (see module docs
             // for the ordering caveat between the two streams). The
             // EngineFallback event is the observable edge of that
-            // cross-stream reordering window.
+            // cross-stream reordering window. Falling back is a
+            // quiescent point: the batch drains before engine traffic
+            // interleaves.
+            self.flush_deferred(now);
             self.trace(
                 now,
                 CoreLayer::Engine,
@@ -505,16 +570,14 @@ impl GroupCore {
             self.park(now, Parked::Send(dst_ep, payload.to_vec()));
             return out;
         }
-        if self.bypass.is_some() {
+        if let Some(bypass) = self.bypass.as_mut() {
             let p = Payload::from_slice(payload);
-            let result = self
-                .bypass
-                .as_mut()
-                .expect("bypass installed: guarded by bypass.is_some() in the caller")
-                .dn_send(dst.0, &p);
+            let result = bypass.dn_send(dst.0, &p);
             if self.apply_bypass(now, Case::DnSend, result, &mut out) {
+                self.settle_deferred(now);
                 return out;
             }
+            self.flush_deferred(now);
             self.trace(
                 now,
                 CoreLayer::Engine,
@@ -586,27 +649,26 @@ impl GroupCore {
             return out; // Sender not in our view.
         };
         let is_cast = matches!(pkt.dst, Dest::Cast);
-        if self.bypass.is_some() {
-            let result = {
-                let b = self
-                    .bypass
-                    .as_mut()
-                    .expect("bypass installed: guarded by bypass.is_some() in the caller");
-                if is_cast {
-                    b.up_cast(origin.0, &pkt.bytes)
-                } else {
-                    b.up_send(origin.0, &pkt.bytes)
-                }
+        if let Some(bypass) = self.bypass.as_mut() {
+            let result = if is_cast {
+                bypass.up_cast(origin.0, &pkt.bytes)
+            } else {
+                bypass.up_send(origin.0, &pkt.bytes)
             };
+            // This stack's compressed format, or generic engine bytes?
+            // (`CompressedHdr::decode` alone is not a discriminator —
+            // it has no magic; the id/case check is what decides.)
+            let ours = bypass.recognizes(&pkt.bytes, is_cast);
             let case = if is_cast { Case::UpCast } else { Case::UpSend };
             match result {
                 BypassOutput::Done { .. } => {
                     self.apply_bypass(now, case, result, &mut out);
                     self.retry_stash(now, &mut out);
+                    self.settle_deferred(now);
                     return out;
                 }
                 BypassOutput::Fallback => {
-                    if CompressedHdr::decode(&pkt.bytes).is_ok() {
+                    if ours {
                         // Compressed but CCP-rejected: an out-of-order
                         // fast-path packet. Park it for the gap fill.
                         self.bypass_misses += 1;
@@ -769,6 +831,59 @@ impl GroupCore {
         }
     }
 
+    /// Settles deferred work after a bypass hit: licensed stacks
+    /// accumulate it into the batch (draining only when the batch
+    /// fills), uncertified stacks drain on the spot.
+    fn settle_deferred(&mut self, now: Time) {
+        let Some(b) = self.bypass.as_mut() else {
+            return;
+        };
+        let pending = b.deferred_len();
+        if !self.defer_licensed {
+            let n = b.drain_deferred();
+            if n > 0 {
+                self.defer_flushes += 1;
+                self.trace(
+                    now,
+                    CoreLayer::Bypass,
+                    EventKind::DeferFlush,
+                    Direction::None,
+                    CcpFailure::None,
+                    n as u64,
+                );
+            }
+            self.defer_seen = 0;
+            return;
+        }
+        if pending > self.defer_seen {
+            self.defer_batched += (pending - self.defer_seen) as u64;
+            self.defer_seen = pending;
+        }
+        if pending >= DEFER_BATCH_LIMIT {
+            self.flush_deferred(now);
+        }
+    }
+
+    /// Drains the deferred-work batch at a quiescent point (full batch,
+    /// engine fallback, view change, bypass drop).
+    fn flush_deferred(&mut self, now: Time) {
+        if let Some(b) = self.bypass.as_mut() {
+            let n = b.drain_deferred();
+            if n > 0 {
+                self.defer_flushes += 1;
+                self.trace(
+                    now,
+                    CoreLayer::Bypass,
+                    EventKind::DeferFlush,
+                    Direction::None,
+                    CcpFailure::None,
+                    n as u64,
+                );
+            }
+        }
+        self.defer_seen = 0;
+    }
+
     /// Retries parked out-of-order packets until no further progress.
     fn retry_stash(&mut self, now: Time, out: &mut Vec<Action>) {
         loop {
@@ -917,6 +1032,8 @@ impl GroupCore {
             vs.nmembers() as u64,
         );
         self.generation += 1;
+        self.flush_deferred(now);
+        self.defer_licensed = false;
         self.bypass = None;
         self.stash.clear();
         self.blocked = false;
@@ -1280,6 +1397,177 @@ mod tests {
             "send remapped to ep2's new rank; send to the dead member dropped"
         );
         assert_eq!(cores[0].parked_depth(), 0);
+    }
+
+    /// `(batched, flushes)` as returned by [`GroupCore::take_defer_delta`].
+    type DeferDelta = (u64, u64);
+
+    /// Runs a fixed cast sequence through a bypass pair, returning the
+    /// receiver's delivery trace and both cores' defer deltas.
+    fn run_cast_sequence(
+        a: &mut GroupCore,
+        b: &mut GroupCore,
+        n: u8,
+    ) -> (Vec<(u32, Vec<u8>)>, DeferDelta, DeferDelta) {
+        let mut delivered = Vec::new();
+        for i in 0..n {
+            let out = a.cast(Time::ZERO, &[i, i.wrapping_mul(7)]);
+            for pkt in transmits(&out) {
+                let got = b.deliver_packet(Time::ZERO, pkt.clone());
+                delivered.extend(casts(&got));
+            }
+        }
+        (delivered, a.take_defer_delta(), b.take_defer_delta())
+    }
+
+    #[test]
+    fn deferred_work_batches_iff_certificate_licensed() {
+        // Licensed (stack4's certificate proves DF001–DF003): deferred
+        // work accumulates; nothing drains until a quiescent point.
+        let (mut a, _) = core(0, 2);
+        let (mut b, _) = core(1, 2);
+        a.install_bypass().unwrap();
+        b.install_bypass().unwrap();
+        assert!(
+            a.defer_batching_active(),
+            "stack4 certificate licenses batching"
+        );
+        let (batched_trace, (a_batched, a_flushes), (b_batched, _)) =
+            run_cast_sequence(&mut a, &mut b, 10);
+        assert!(
+            a_batched >= 10,
+            "sender batched one item per cast: {a_batched}"
+        );
+        assert!(
+            b_batched >= 10,
+            "receiver batched one item per cast: {b_batched}"
+        );
+        assert_eq!(a_flushes, 0, "no quiescent point reached yet");
+        a.drop_bypass();
+        let (_, a_flushes) = a.take_defer_delta();
+        assert_eq!(a_flushes, 1, "dropping the bypass drains the batch");
+
+        // Unlicensed (certificate withheld): same traffic drains after
+        // every hit — and the delivery trace is identical.
+        let (mut a2, _) = core(0, 2);
+        let (mut b2, _) = core(1, 2);
+        a2.install_bypass().unwrap();
+        b2.install_bypass().unwrap();
+        a2.defer_licensed = false;
+        b2.defer_licensed = false;
+        assert!(!a2.defer_batching_active());
+        let (immediate_trace, (a2_batched, a2_flushes), (b2_batched, b2_flushes)) =
+            run_cast_sequence(&mut a2, &mut b2, 10);
+        assert_eq!(a2_batched, 0, "uncertified stacks never batch");
+        assert_eq!(b2_batched, 0);
+        assert_eq!(a2_flushes, 10, "one immediate drain per bypass hit");
+        assert_eq!(b2_flushes, 10);
+        assert_eq!(
+            batched_trace, immediate_trace,
+            "batched and immediate draining must be observably identical"
+        );
+    }
+
+    #[test]
+    fn batch_limit_is_a_quiescent_point() {
+        let (mut a, _) = core(0, 2);
+        let (mut b, _) = core(1, 2);
+        a.install_bypass().unwrap();
+        b.install_bypass().unwrap();
+        let n = (DEFER_BATCH_LIMIT + 5) as u8;
+        let (_, (a_batched, a_flushes), _) = run_cast_sequence(&mut a, &mut b, n);
+        assert!(a_batched >= n as u64);
+        assert!(
+            a_flushes >= 1,
+            "a full batch drains without waiting for a view event"
+        );
+    }
+
+    fn stack10_core(rank: u16, n: usize) -> (GroupCore, Vec<Action>) {
+        let vs = ViewState::initial(n).for_rank(Rank(rank));
+        GroupCore::new(
+            ensemble_layers::STACK_10,
+            vs,
+            EngineKind::Imp,
+            LayerConfig::fast(),
+            Time::ZERO,
+        )
+        .unwrap()
+    }
+
+    /// The cross-stream ordering hole (module docs): a mid-stream
+    /// sender-CCP failure re-routes one message through the engine while
+    /// the bypass stream keeps flowing. This pins down what IS
+    /// guaranteed today — the observable `EngineFallback` edge, and FIFO
+    /// delivery *within* each stream — and documents the hole a shared
+    /// sequencing cursor between the two paths would close: nothing
+    /// orders the engine message against the bypass messages around it.
+    #[test]
+    fn sender_ccp_fallback_keeps_streams_fifo() {
+        let (mut a, _) = stack10_core(0, 2);
+        let (mut b, _) = stack10_core(1, 2);
+        a.install_bypass().unwrap();
+        b.install_bypass().unwrap();
+        a.set_tracing(true);
+        b.set_tracing(true);
+
+        // Payloads over frag_max fail the sender CCP deterministically
+        // (fragmentation is slow-path work); small ones stay fast.
+        let big = vec![0xAB; 2000];
+        let sends: Vec<(Vec<u8>, bool)> = vec![
+            (vec![1], false),
+            (vec![2], false),
+            (big.clone(), true), // mid-stream fallback
+            (vec![3], false),
+            (vec![4], false),
+        ];
+
+        let mut fast_sent = Vec::new();
+        let mut slow_sent = Vec::new();
+        let mut fast_got = Vec::new();
+        let mut slow_got = Vec::new();
+        let mut events = Vec::new();
+        for (payload, expect_fallback) in &sends {
+            let out = a.cast(Time::ZERO, payload);
+            events.clear();
+            a.take_events(&mut events);
+            let fell_back = events
+                .iter()
+                .any(|e| e.kind == EventKind::EngineFallback && e.ccp == CcpFailure::SenderCcp);
+            assert_eq!(
+                fell_back,
+                *expect_fallback,
+                "payload of {} bytes: wrong path",
+                payload.len()
+            );
+            if fell_back {
+                slow_sent.push(payload.clone());
+            } else {
+                fast_sent.push(payload.clone());
+            }
+            for pkt in transmits(&out) {
+                let got = b.deliver_packet(Time::ZERO, pkt.clone());
+                events.clear();
+                b.take_events(&mut events);
+                let via_bypass = events
+                    .iter()
+                    .any(|e| e.kind == EventKind::Deliver && e.layer == CoreLayer::Bypass);
+                for (_, bytes) in casts(&got) {
+                    if via_bypass {
+                        fast_got.push(bytes);
+                    } else {
+                        slow_got.push(bytes);
+                    }
+                }
+            }
+        }
+        // Each stream delivers FIFO; ordering BETWEEN the streams is the
+        // hole (here the engine message happens to arrive in issue order
+        // because the test delivers packets synchronously — the runtime
+        // makes no such promise).
+        assert_eq!(fast_got, fast_sent, "bypass stream must stay FIFO");
+        assert_eq!(slow_got, slow_sent, "engine stream must stay FIFO");
+        assert_eq!(slow_sent.len(), 1);
     }
 
     #[test]

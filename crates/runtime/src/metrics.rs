@@ -26,6 +26,12 @@ pub struct ShardMetrics {
     pub bypass_hits: AtomicU64,
     /// Bypass invocations that fell back (CCP failed or foreign format).
     pub bypass_misses: AtomicU64,
+    /// Deferred work items accumulated into batches (only stacks whose
+    /// Defer-commutativity certificate held batch at all).
+    pub defer_batched: AtomicU64,
+    /// Deferred-work drain passes (batch flushes at quiescent points,
+    /// or per-hit drains on uncertified stacks).
+    pub defer_flushes: AtomicU64,
     /// Timer-wheel entries fired into `Layer::timer` handlers.
     pub timers_fired: AtomicU64,
     /// Transmissions triggered by timer events (mnak/pt2pt recovery).
@@ -67,6 +73,8 @@ impl ShardMetrics {
             msgs_out: ld(&self.msgs_out),
             bypass_hits: ld(&self.bypass_hits),
             bypass_misses: ld(&self.bypass_misses),
+            defer_batched: ld(&self.defer_batched),
+            defer_flushes: ld(&self.defer_flushes),
             timers_fired: ld(&self.timers_fired),
             retransmits: ld(&self.retransmits),
             cmd_depth: ld(&self.cmd_depth),
@@ -114,6 +122,10 @@ pub struct ShardSnapshot {
     pub bypass_hits: u64,
     /// Fast-path invocations that fell back.
     pub bypass_misses: u64,
+    /// Deferred work items accumulated into batches.
+    pub defer_batched: u64,
+    /// Deferred-work drain passes.
+    pub defer_flushes: u64,
     /// Timer handlers fired.
     pub timers_fired: u64,
     /// Timer-triggered transmissions.
@@ -182,6 +194,8 @@ impl RuntimeStats {
             t.msgs_out += s.msgs_out;
             t.bypass_hits += s.bypass_hits;
             t.bypass_misses += s.bypass_misses;
+            t.defer_batched += s.defer_batched;
+            t.defer_flushes += s.defer_flushes;
             t.timers_fired += s.timers_fired;
             t.retransmits += s.retransmits;
             t.cmd_depth += s.cmd_depth;
@@ -201,7 +215,7 @@ impl fmt::Display for RuntimeStats {
         for s in &self.shards {
             writeln!(
                 f,
-                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={} stall_drops={}",
+                "shard {}: groups={} in={} out={} bypass={}/{} (hit {:.1}%) defer={}b/{}f timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={} stall_drops={}",
                 s.shard,
                 s.groups,
                 s.msgs_in,
@@ -209,6 +223,8 @@ impl fmt::Display for RuntimeStats {
                 s.bypass_hits,
                 s.bypass_hits + s.bypass_misses,
                 100.0 * s.bypass_hit_ratio(),
+                s.defer_batched,
+                s.defer_flushes,
                 s.timers_fired,
                 s.retransmits,
                 s.cmd_depth,
@@ -222,13 +238,15 @@ impl fmt::Display for RuntimeStats {
         let t = self.totals();
         write!(
             f,
-            "total: groups={} in={} out={} bypass={}/{} (hit {:.1}%) timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={} stall_drops={} cost: {}",
+            "total: groups={} in={} out={} bypass={}/{} (hit {:.1}%) defer={}b/{}f timers={} retrans={} qdepth cmd={} dlv={} spurious={} ioerr snd={} rcv={} stall_drops={} cost: {}",
             t.groups,
             t.msgs_in,
             t.msgs_out,
             t.bypass_hits,
             t.bypass_hits + t.bypass_misses,
             100.0 * t.bypass_hit_ratio(),
+            t.defer_batched,
+            t.defer_flushes,
             t.timers_fired,
             t.retransmits,
             t.cmd_depth,
@@ -297,6 +315,28 @@ mod tests {
         assert_eq!(s.model_cost.dispatches, 8);
         assert_eq!(s.model_cost.data_refs, 6, "data_refs must not be dropped");
         assert_eq!(s.model_cost.branches, 4, "branches must not be dropped");
+    }
+
+    #[test]
+    fn defer_counters_flow_to_totals_and_display() {
+        let m = ShardMetrics::default();
+        m.defer_batched.fetch_add(64, Ordering::Relaxed);
+        m.defer_flushes.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot(0);
+        assert_eq!(s.defer_batched, 64);
+        assert_eq!(s.defer_flushes, 2);
+        let stats = RuntimeStats {
+            shards: vec![s, s],
+            transport: None,
+        };
+        let t = stats.totals();
+        assert_eq!(t.defer_batched, 128);
+        assert_eq!(t.defer_flushes, 4);
+        let text = format!("{stats}");
+        assert!(
+            text.lines().last().unwrap().contains("defer=128b/4f"),
+            "got: {text}"
+        );
     }
 
     #[test]

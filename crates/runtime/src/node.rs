@@ -755,6 +755,13 @@ fn worker_loop(
             if misses > 0 {
                 metrics.bypass_misses.fetch_add(misses, Ordering::Relaxed);
             }
+            let (batched, flushes) = g.core.take_defer_delta();
+            if batched > 0 {
+                metrics.defer_batched.fetch_add(batched, Ordering::Relaxed);
+            }
+            if flushes > 0 {
+                metrics.defer_flushes.fetch_add(flushes, Ordering::Relaxed);
+            }
             let cost = g.core.take_cost_delta();
             if cost != ensemble_util::Counters::zero() {
                 metrics.add_cost(&cost);

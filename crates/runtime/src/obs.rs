@@ -13,6 +13,8 @@
 //!
 //! * `ensemble_msgs_total{shard,dir}` — packets in/out per shard
 //! * `ensemble_bypass_total{shard,result}` — fast-path hits/misses
+//! * `ensemble_defer_batched_total{shard}` / `ensemble_defer_flushes_total{shard}`
+//!   — certificate-licensed deferred-work batching and drain passes
 //! * `ensemble_timers_fired_total{shard}` / `ensemble_retransmits_total{shard}`
 //! * `ensemble_queue_depth{shard,queue}` — pending commands / deliveries
 //! * `ensemble_stall_drops_total{shard}` — ingress quarantined while stalled
@@ -89,6 +91,16 @@ impl NodeObs {
             let b = |k: &'static str| [("shard", shard.as_str()), ("result", k)];
             reg.set_int("ensemble_bypass_total", &b("hit"), s.bypass_hits);
             reg.set_int("ensemble_bypass_total", &b("miss"), s.bypass_misses);
+            reg.set_int(
+                "ensemble_defer_batched_total",
+                &[("shard", shard.as_str())],
+                s.defer_batched,
+            );
+            reg.set_int(
+                "ensemble_defer_flushes_total",
+                &[("shard", shard.as_str())],
+                s.defer_flushes,
+            );
             let only = [("shard", shard.as_str())];
             reg.set_int("ensemble_groups", &only, s.groups);
             reg.set_int("ensemble_timers_fired_total", &only, s.timers_fired);
@@ -199,6 +211,8 @@ mod tests {
                 shard: 0,
                 msgs_in: 1,
                 stall_drops: 3,
+                defer_batched: 12,
+                defer_flushes: 2,
                 ..ShardSnapshot::default()
             }],
             transport: None,
@@ -207,6 +221,8 @@ mod tests {
         for series in [
             "ensemble_msgs_total{shard=\"0\",dir=\"in\"} 1",
             "ensemble_bypass_total{shard=\"0\",result=\"hit\"}",
+            "ensemble_defer_batched_total{shard=\"0\"} 12",
+            "ensemble_defer_flushes_total{shard=\"0\"} 2",
             "ensemble_model_cost_total{counter=\"data_refs\"}",
             "ensemble_model_cost_total{counter=\"branches\"}",
             "ensemble_cast_to_deliver_ns{quantile=\"0.99\"}",

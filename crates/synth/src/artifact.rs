@@ -13,6 +13,10 @@ use crate::compose::StackSynthesis;
 use crate::compress::FieldSpec;
 use ensemble_ir::models::Case;
 use ensemble_ir::term::Term;
+use ensemble_ir::val::Val;
+use ensemble_ir::visit::{
+    defer_index_is_monotone, state_footprint, walk, FieldWrite, Walk, WriteKind,
+};
 
 /// One composed case's theorem, as plain data.
 #[derive(Clone, Debug)]
@@ -110,6 +114,285 @@ impl BypassArtifact {
     }
 }
 
+/// One analyzed `Defer` site: a `(layer, tag)` pair with the classified
+/// read/write footprint of its declared state effect.
+#[derive(Clone, Debug)]
+pub struct DeferSiteReport {
+    /// Layer name (registry name).
+    pub layer: String,
+    /// Index of the layer in the stack, top first.
+    pub layer_index: usize,
+    /// The deferred-work constructor tag.
+    pub tag: String,
+    /// The fundamental cases whose handlers emit this tag.
+    pub cases: Vec<Case>,
+    /// Declared parameter names, in constructor-argument order.
+    pub params: Vec<String>,
+    /// Classified writes of the work's state effect.
+    pub writes: Vec<FieldWrite>,
+    /// Pure-input fields of the state effect (the `Recompute` inputs).
+    pub reads: Vec<String>,
+    /// For indexed inserts: whether the index was proven unique per
+    /// instance (drawn from a monotone counter in every emitting
+    /// handler). `None` when the site has no indexed insert.
+    pub index_monotone: Option<bool>,
+}
+
+/// One reason a stack's deferred work may NOT be drained in batches.
+/// `rule` names the diagnostic family member (`DF001`–`DF003`) the
+/// analyzer will report it under.
+#[derive(Clone, Debug)]
+pub struct DeferIssue {
+    /// Diagnostic rule id: `DF001` (non-commuting pair), `DF002`
+    /// (undeclared state), `DF003` (observes delivery order).
+    pub rule: &'static str,
+    /// The layer the offending site(s) belong to.
+    pub layer: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// The Defer-commutativity certificate for one synthesized stack at one
+/// rank: the dataflow evidence that every pair of deferred work items
+/// commutes and no item observes delivery order, so draining the defer
+/// queue in one batch at a quiescent point is observably identical to
+/// draining it after every delivery.
+///
+/// Layers keep disjoint state records, so cross-layer pairs commute by
+/// construction; the proof obligations are per layer:
+///
+/// * **self-commutativity** — two instances of the same site must
+///   commute: every write is an increment, a max-merge, an idempotent
+///   recompute, or an indexed insert whose index is proven unique per
+///   instance ([`defer_index_is_monotone`]); otherwise **DF001**;
+/// * **pairwise commutativity** — distinct sites sharing a written
+///   field must both write it with the same merge-style kind
+///   (increment/max-merge), and no site may purely read a field another
+///   site writes; otherwise **DF001**;
+/// * **declared footprints** — every touched field must exist in the
+///   layer's initial state record, and every emitted tag must carry a
+///   [`DeferSpec`](ensemble_ir::models::DeferSpec); otherwise **DF002**;
+/// * **delivery independence** — a site's pure-input fields must be
+///   instance constants or only ever written monotonically
+///   (increment/max-merge) by the layer's handlers, so the value read
+///   at drain time does not depend on *which* deliveries happened in
+///   between; otherwise **DF003**.
+#[derive(Clone, Debug)]
+pub struct DeferCertificate {
+    /// The stack's wire identifier (must match the installed artifact).
+    pub stack_id: u32,
+    /// The rank the stack was synthesized for.
+    pub rank: i64,
+    /// Every analyzed `(layer, tag)` site.
+    pub sites: Vec<DeferSiteReport>,
+    /// Proof failures; empty iff batching is licensed.
+    pub issues: Vec<DeferIssue>,
+}
+
+impl DeferCertificate {
+    /// Runs the dataflow proof over a synthesis. `rank` is the rank the
+    /// `ModelCtx` carried.
+    pub fn of(s: &StackSynthesis, rank: i64) -> Self {
+        let mut sites = Vec::new();
+        let mut issues = Vec::new();
+        for (li, m) in s.models.iter().enumerate() {
+            let layer = s.names[li].clone();
+            let init_fields: Vec<String> = match &m.init {
+                Val::Record(fs) => fs.keys().map(|f| f.as_str()).collect(),
+                _ => vec![],
+            };
+            // Which tags do this layer's handlers actually defer, and
+            // from which cases?
+            let mut tags: Vec<(String, Vec<Case>)> = Vec::new();
+            for case in Case::ALL {
+                walk(m.handler(case), &mut |sub| {
+                    if let Term::Con(n, args) = sub {
+                        if n.as_str() == "Defer" && args.len() == 1 {
+                            if let Term::Con(t, _) = &args[0] {
+                                let t = t.as_str();
+                                match tags.iter_mut().find(|(x, _)| *x == t) {
+                                    Some((_, cs)) => {
+                                        if !cs.contains(&case) {
+                                            cs.push(case);
+                                        }
+                                    }
+                                    None => tags.push((t, vec![case])),
+                                }
+                            }
+                        }
+                    }
+                    Walk::Continue
+                });
+            }
+            let layer_start = sites.len();
+            for (tag, cases) in tags {
+                let Some(spec) = m.defer_specs.iter().find(|sp| sp.tag == tag) else {
+                    issues.push(DeferIssue {
+                        rule: "DF002",
+                        layer: layer.clone(),
+                        detail: format!(
+                            "defer `{tag}` has no declared state effect (DeferSpec missing)"
+                        ),
+                    });
+                    continue;
+                };
+                let fp = state_footprint(&spec.body, "state");
+                for f in fp.touched() {
+                    if !init_fields.contains(&f.as_str()) {
+                        issues.push(DeferIssue {
+                            rule: "DF002",
+                            layer: layer.clone(),
+                            detail: format!(
+                                "defer `{tag}` touches undeclared state field `{}`",
+                                f.as_str()
+                            ),
+                        });
+                    }
+                }
+                // Self-commutativity: two instances of this site.
+                let mut index_monotone = None;
+                for w in &fp.writes {
+                    match w.kind {
+                        WriteKind::Increment | WriteKind::MergeMax | WriteKind::Recompute => {}
+                        WriteKind::IndexedInsert => {
+                            let proven = w
+                                .index
+                                .and_then(|ix| spec.params.iter().position(|p| *p == ix.as_str()))
+                                .map(|pos| {
+                                    cases.iter().all(|c| {
+                                        defer_index_is_monotone(m.handler(*c), "state", &tag, pos)
+                                    })
+                                })
+                                .unwrap_or(false);
+                            index_monotone = Some(proven);
+                            if !proven {
+                                issues.push(DeferIssue {
+                                    rule: "DF001",
+                                    layer: layer.clone(),
+                                    detail: format!(
+                                        "two instances of defer `{tag}` may collide on \
+                                         `{}[..]`: index not proven unique per instance",
+                                        w.field.as_str()
+                                    ),
+                                });
+                            }
+                        }
+                        WriteKind::Overwrite => {
+                            issues.push(DeferIssue {
+                                rule: "DF001",
+                                layer: layer.clone(),
+                                detail: format!(
+                                    "defer `{tag}` opaquely overwrites `{}`; instances do \
+                                     not commute",
+                                    w.field.as_str()
+                                ),
+                            });
+                        }
+                    }
+                }
+                // Delivery independence: pure inputs must be instance
+                // constants or only written monotonically by the
+                // layer's own handlers.
+                for r in &fp.reads {
+                    let rname = r.as_str();
+                    if m.const_fields.contains(&rname.as_str()) {
+                        continue;
+                    }
+                    let monotone = Case::ALL.iter().all(|c| {
+                        state_footprint(m.handler(*c), "state")
+                            .writes
+                            .iter()
+                            .filter(|w| w.field == *r)
+                            .all(|w| matches!(w.kind, WriteKind::Increment | WriteKind::MergeMax))
+                    });
+                    if !monotone {
+                        issues.push(DeferIssue {
+                            rule: "DF003",
+                            layer: layer.clone(),
+                            detail: format!(
+                                "defer `{tag}` reads `{rname}`, which the handlers write \
+                                 non-monotonically: the result depends on when the batch \
+                                 drains"
+                            ),
+                        });
+                    }
+                }
+                sites.push(DeferSiteReport {
+                    layer: layer.clone(),
+                    layer_index: li,
+                    tag,
+                    cases,
+                    params: spec.params.iter().map(|p| (*p).to_owned()).collect(),
+                    writes: fp.writes,
+                    reads: fp.reads.iter().map(|r| r.as_str()).collect(),
+                    index_monotone,
+                });
+            }
+            // Pairwise commutativity between this layer's distinct sites.
+            for i in layer_start..sites.len() {
+                for j in (i + 1)..sites.len() {
+                    let (a, b) = (&sites[i], &sites[j]);
+                    for wa in &a.writes {
+                        for wb in &b.writes {
+                            if wa.field == wb.field
+                                && !(wa.kind == wb.kind
+                                    && matches!(
+                                        wa.kind,
+                                        WriteKind::Increment | WriteKind::MergeMax
+                                    ))
+                            {
+                                issues.push(DeferIssue {
+                                    rule: "DF001",
+                                    layer: layer.clone(),
+                                    detail: format!(
+                                        "defers `{}` and `{}` write `{}` with \
+                                         non-mergeable kinds ({}/{})",
+                                        a.tag,
+                                        b.tag,
+                                        wa.field.as_str(),
+                                        wa.kind.name(),
+                                        wb.kind.name()
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    let crossed = a
+                        .reads
+                        .iter()
+                        .any(|r| b.writes.iter().any(|w| w.field.as_str() == *r))
+                        || b.reads
+                            .iter()
+                            .any(|r| a.writes.iter().any(|w| w.field.as_str() == *r));
+                    if crossed {
+                        issues.push(DeferIssue {
+                            rule: "DF001",
+                            layer: layer.clone(),
+                            detail: format!(
+                                "defers `{}` and `{}` have a read/write overlap; their \
+                                 order is observable",
+                                a.tag, b.tag
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        DeferCertificate {
+            stack_id: s.stack_id,
+            rank,
+            sites,
+            issues,
+        }
+    }
+
+    /// Whether the proof went through: batched draining is licensed iff
+    /// there are no issues.
+    pub fn licensed(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +412,133 @@ mod tests {
             assert_eq!(per_layer.len(), 4, "one residual per fundamental case");
         }
         assert_eq!(a.cast_template.wire_bytes, s.cast_template.wire_bytes());
+    }
+
+    #[test]
+    fn default_stack_certificate_is_licensed() {
+        let s = synthesize(&["top", "pt2pt", "mnak", "bottom"], &ModelCtx::new(2, 0)).unwrap();
+        let cert = DeferCertificate::of(&s, 0);
+        assert!(
+            cert.licensed(),
+            "expected a clean certificate, got {:?}",
+            cert.issues
+        );
+        assert_eq!(cert.stack_id, s.stack_id);
+        // pt2pt: BufferUnacked + AckAndPrune; mnak: StoreOwn + Store.
+        let mut tags: Vec<&str> = cert.sites.iter().map(|st| st.tag.as_str()).collect();
+        tags.sort_unstable();
+        assert_eq!(
+            tags,
+            vec!["AckAndPrune", "BufferUnacked", "Store", "StoreOwn"]
+        );
+        // StoreOwn's indexed insert is proven unique via the monotone
+        // cast counter.
+        let own = cert.sites.iter().find(|st| st.tag == "StoreOwn").unwrap();
+        assert_eq!(own.index_monotone, Some(true));
+    }
+
+    #[test]
+    fn stack10_certificate_is_licensed() {
+        let names = [
+            "partial_appl",
+            "total",
+            "local",
+            "frag",
+            "collect",
+            "pt2ptw",
+            "mflow",
+            "pt2pt",
+            "mnak",
+            "bottom",
+        ];
+        let s = synthesize(&names, &ModelCtx::new(3, 0)).unwrap();
+        let cert = DeferCertificate::of(&s, 0);
+        assert!(
+            cert.licensed(),
+            "expected a clean certificate, got {:?}",
+            cert.issues
+        );
+        // collect's stability recompute reads the seen counters, which
+        // handlers only ever increment — delivery independence holds.
+        let stab = cert
+            .sites
+            .iter()
+            .find(|st| st.tag == "RecomputeStability")
+            .unwrap();
+        assert!(stab.reads.contains(&"seen".to_string()));
+    }
+
+    #[test]
+    fn vsync_stack_synthesizes_and_certifies_with_membership_models() {
+        let names = [
+            "top",
+            "partial_appl",
+            "total",
+            "local",
+            "gmp",
+            "sync",
+            "elect",
+            "suspect",
+            "frag",
+            "collect",
+            "pt2ptw",
+            "mflow",
+            "pt2pt",
+            "mnak",
+            "bottom",
+        ];
+        for rank in [0, 1] {
+            let s = synthesize(&names, &ModelCtx::new(3, rank))
+                .unwrap_or_else(|e| panic!("vsync rank {rank} failed to synthesize: {e:?}"));
+            if rank == 0 {
+                // The coordinator composes a fast path for all four
+                // fundamental cases.
+                assert_eq!(s.cases.len(), 4, "{:?}", s.cases.keys());
+            }
+            let cert = DeferCertificate::of(&s, rank);
+            assert!(
+                cert.licensed(),
+                "vsync rank {rank} certificate: {:?}",
+                cert.issues
+            );
+            // Membership defers are analyzed: sync counts + suspect
+            // liveness ride the data path.
+            for tag in ["CountOwn", "CountSeen", "Heard"] {
+                assert!(
+                    cert.sites.iter().any(|st| st.tag == tag),
+                    "missing site {tag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undeclared_defer_tag_fails_df002() {
+        use ensemble_ir::term::var;
+        let mut s = synthesize(&["top", "pt2pt", "mnak", "bottom"], &ModelCtx::new(2, 0)).unwrap();
+        // Strip mnak's StoreOwn spec: the emitted tag loses its declared
+        // state effect.
+        let mnak = s.models.iter_mut().find(|m| m.name == "mnak").unwrap();
+        mnak.defer_specs.retain(|sp| sp.tag != "StoreOwn");
+        let cert = DeferCertificate::of(&s, 0);
+        assert!(!cert.licensed());
+        assert!(cert
+            .issues
+            .iter()
+            .any(|i| i.rule == "DF002" && i.layer == "mnak" && i.detail.contains("StoreOwn")));
+        // And an opaque last-writer-wins overwrite fails DF001: plain
+        // `recv_hi := seq` depends on drain order.
+        let mut s = synthesize(&["top", "pt2pt", "mnak", "bottom"], &ModelCtx::new(2, 0)).unwrap();
+        let mnak = s.models.iter_mut().find(|m| m.name == "mnak").unwrap();
+        for sp in mnak.defer_specs.iter_mut() {
+            if sp.tag == "Store" {
+                sp.body = ensemble_ir::term::setf(var("state"), "recv_hi", var("seq"));
+            }
+        }
+        let cert = DeferCertificate::of(&s, 0);
+        assert!(cert
+            .issues
+            .iter()
+            .any(|i| i.rule == "DF001" && i.detail.contains("Store")));
     }
 }

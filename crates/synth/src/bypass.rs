@@ -667,6 +667,25 @@ impl StackBypass {
         }
     }
 
+    /// Whether `bytes` carry *this* stack's compressed wire format for
+    /// the given direction (stack id and case tag both match),
+    /// regardless of whether the CCP would accept them right now. The
+    /// runtime's receive triage uses this to tell an out-of-order
+    /// fast-path packet (stash it) from generic engine traffic (route it
+    /// to the full stack): `CompressedHdr::decode` alone is not a
+    /// discriminator — it has no magic and parses many byte strings.
+    pub fn recognizes(&self, bytes: &[u8], is_cast: bool) -> bool {
+        let Ok((hdr, _)) = CompressedHdr::decode(bytes) else {
+            return false;
+        };
+        let (wire_id, case) = if is_cast {
+            (self.cast_id, Case::UpCast)
+        } else {
+            (self.send_id, Case::UpSend)
+        };
+        hdr.stack_id == wire_id && hdr.case == case_tag(case_dn_of(case))
+    }
+
     /// Receives a multicast's compressed bytes.
     pub fn up_cast(&mut self, origin: u16, bytes: &[u8]) -> BypassOutput {
         self.up_common(Case::UpCast, origin, bytes)

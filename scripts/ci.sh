@@ -77,17 +77,36 @@ for series in \
   }
 done
 
-echo "==> analyze: stack_lint over every registered stack"
-cargo run --release -p ensemble-analyze --bin stack_lint
-cargo run --release -p ensemble-analyze --bin stack_lint -- --json --out LINT_stacks.json
+echo "==> analyze: stack_lint over every registered stack (HS/CC/DF passes)"
+# --all-registered exits 2 if any registry stack was skipped; a deny-level
+# DF diagnostic (non-commuting defers, undeclared state, stale certificate)
+# makes stack_lint itself exit 1.
+cargo run --release -p ensemble-analyze --bin stack_lint -- --all-registered
+cargo run --release -p ensemble-analyze --bin stack_lint -- \
+  --json --all-registered --out LINT_stacks.json --df-out DF_defer.json
 test -s LINT_stacks.json
-cargo run --release -p ensemble-bench --bin lint_check -- LINT_stacks.json
+test -s DF_defer.json
+cargo run --release -p ensemble-bench --bin lint_check -- \
+  LINT_stacks.json --df DF_defer.json
 
 echo "==> analyze: seeded collision must be caught"
 if cargo run --release -p ensemble-analyze --bin stack_lint -- --inject-collision --quiet; then
   echo "stack_lint failed to reject the seeded header collision" >&2
   exit 1
 fi
+
+echo "==> runtime: smoke run exposes the defer-batching series"
+# udp_pingpong installs the bypass on a defer-licensed stack, so the
+# exposition must carry the batching counters the certificate gate feeds.
+PINGPONG_OUT=$(cargo run --release -p ensemble-runtime --example udp_pingpong -- --metrics)
+for series in \
+  'ensemble_defer_batched_total' \
+  'ensemble_defer_flushes_total'; do
+  grep -q "^$series" <<<"$PINGPONG_OUT" || {
+    echo "missing series: $series" >&2
+    exit 1
+  }
+done
 
 echo "==> bench: table2a emits and validates BENCH_table2a.json"
 TABLE2A_OUT=$(cargo run --release -p ensemble-bench --bin table2a)
