@@ -8,6 +8,14 @@
 //! schedule it was asked for, and found zero linearizability
 //! violations. Exits nonzero (with a message) on any breach.
 //!
+//! A document produced by `kv_load --crash` (`crash_cycles > 0`) is
+//! validated as a durability gate instead: at least 8 crash/restart
+//! cycles each recovered from the WAL (`recoveries >= crash_cycles`),
+//! the fault plan actually bit (nonzero torn-tail records and absorbed
+//! storage errors), checkpoints ran, and the recovery invariants held
+//! (zero violations covers "no acked write lost" and "recovered commit
+//! index monotonic" — the checker folds them into the same count).
+//!
 //! ```text
 //! cargo run -p ensemble-bench --bin kv_check [path/to/BENCH_kv_e2e.json]
 //! ```
@@ -47,10 +55,14 @@ fn main() {
     if replicas < 3 {
         fail(&format!("ran with {replicas} replicas, want >= 3"));
     }
+    // Crash-mode documents trade client count for crash/restart cycles;
+    // the load bar differs accordingly.
+    let crash_cycles = int_field(&doc, "crash_cycles");
     let sim_clients = int_field(&doc, "sim_clients");
-    if sim_clients < 100 {
+    let want_clients = if crash_cycles > 0 { 8 } else { 100 };
+    if sim_clients < want_clients {
         fail(&format!(
-            "ran with {sim_clients} simulated clients, want >= 100"
+            "ran with {sim_clients} simulated clients, want >= {want_clients}"
         ));
     }
 
@@ -81,6 +93,43 @@ fn main() {
     match int_field(&doc, "violations") {
         0 => {}
         n => fail(&format!("{n} linearizability violation(s)")),
+    }
+
+    if crash_cycles > 0 {
+        if crash_cycles < 8 {
+            fail(&format!(
+                "crash gate ran only {crash_cycles} cycles, want >= 8"
+            ));
+        }
+        let recoveries = int_field(&doc, "recoveries");
+        if recoveries < crash_cycles {
+            fail(&format!(
+                "{recoveries} recoveries for {crash_cycles} crash cycles — \
+                 some restart skipped the WAL recovery path"
+            ));
+        }
+        for key in ["wal_appends", "wal_bytes", "checkpoints"] {
+            let v = int_field(&doc, key);
+            if v <= 0 {
+                fail(&format!("{key} is {v}, want > 0 — durability plane idle"));
+            }
+        }
+        // The gate must prove the faults fired, not merely tolerate
+        // them: a crash schedule that never tears a tail or absorbs an
+        // injected storage error tested only the happy path.
+        let torn = int_field(&doc, "torn_tail_records");
+        if torn <= 0 {
+            fail("no torn tail records across the crash schedule — fault injection inert");
+        }
+        let absorbed = int_field(&doc, "wal_append_failures");
+        if absorbed <= 0 {
+            fail("no injected storage errors absorbed — fault injection inert");
+        }
+        println!(
+            "kv_check: {path} ok (crash gate: {crash_cycles} cycles, {recoveries} recoveries, \
+             {torn} torn tails, {absorbed} absorbed faults, 0 violations)"
+        );
+        return;
     }
 
     let rounds = int_field(&doc, "chaos_rounds");

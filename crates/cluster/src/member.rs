@@ -34,6 +34,15 @@ use std::thread::JoinHandle;
 pub trait StateProvider: Send {
     /// Serializes the current application state.
     fn snapshot(&mut self) -> Vec<u8>;
+
+    /// A monotonic version of the state (for the KV service, the commit
+    /// index). Joiners advertise the version they recovered locally in
+    /// their Hello; a coordinator whose state is at or below that
+    /// version skips shipping the snapshot — the rejoiner caught up
+    /// from its own log. The default (`0`) disables the fast path.
+    fn version(&mut self) -> u64 {
+        0
+    }
 }
 
 impl<F: FnMut() -> Vec<u8> + Send> StateProvider for F {
@@ -152,13 +161,18 @@ impl ClusterNode {
             welcome_cache = Some(rdv);
             (members, Vec::new(), 0)
         } else {
+            // Advertise the locally recovered state version so the
+            // coordinator can skip the snapshot if we're already caught
+            // up (crash-recovery rejoin fast path).
+            let have = state.as_mut().map(|s| s.version()).unwrap_or(0);
             let mut rdv = JoinerRendezvous::new(
                 ep,
                 seed,
                 cfg.key,
                 cfg.hello_retry.as_nanos() as u64,
                 cfg.hello_retry_max.as_nanos() as u64,
-            );
+            )
+            .with_resume_hint(have);
             let join_deadline = std::time::Instant::now() + cfg.join_deadline;
             let got = loop {
                 if let Some(got) = rdv.poll(control.as_mut(), Time(now_ns())) {
@@ -261,6 +275,7 @@ impl ClusterNode {
             suspected_eps: Vec::new(),
             absent: Vec::new(),
             pending_admits: Vec::new(),
+            admit_hints: Vec::new(),
             merging: false,
         };
         let worker = std::thread::Builder::new()
@@ -495,6 +510,10 @@ struct Driver {
     absent: Vec<Endpoint>,
     /// Endpoints awaiting admission through the next merge flush.
     pending_admits: Vec<Endpoint>,
+    /// Resume hints (state version already held) advertised by pending
+    /// admits in their Hello, by endpoint id. Component merges arrive
+    /// without a hint and always receive the snapshot.
+    admit_hints: Vec<(u32, u64)>,
     /// A merge flush is in flight; don't start another until it lands.
     merging: bool,
 }
@@ -1048,7 +1067,7 @@ impl Driver {
                     });
                 }
             }
-            Frame::Hello => {
+            Frame::Hello { have } => {
                 // A joiner whose Welcome was lost retries its Hello; the
                 // seed answers idempotently.
                 if let Some((rdv, members)) = &self.welcome {
@@ -1064,10 +1083,13 @@ impl Driver {
                 // An unknown endpoint — a fenced member back with a
                 // fresh incarnation, or a late cold joiner — is admitted
                 // through the merge path: the acting coordinator runs a
-                // flush and grants it the next view with a snapshot.
+                // flush and grants it the next view with a snapshot
+                // (skipped if its resume hint says it is caught up).
                 if !self.pending_admits.contains(&env.src) {
                     self.metrics.rejoins.fetch_add(1, Ordering::Relaxed);
                 }
+                self.admit_hints.retain(|(id, _)| *id != env.src.id());
+                self.admit_hints.push((env.src.id(), have));
                 self.on_merge_request(vec![env.src], now);
             }
             Frame::MergeBeacon {
@@ -1144,28 +1166,48 @@ impl Driver {
                 .filter(|ep| vs.members.contains(ep))
                 .collect();
             if !granted.is_empty() {
+                let version = self.state.as_mut().map(|s| s.version()).unwrap_or(0);
                 let snap = self
                     .state
                     .as_mut()
                     .map(|s| s.snapshot())
                     .unwrap_or_default();
+                let mut shipped = 0u64;
                 for g in &granted {
+                    // State-transfer fast path: a rejoiner that already
+                    // recovered at least our state version from its own
+                    // log gets the view without the snapshot.
+                    let have = self
+                        .admit_hints
+                        .iter()
+                        .find(|(id, _)| *id == g.id())
+                        .map(|(_, h)| *h)
+                        .unwrap_or(0);
+                    let skip = have > 0 && version > 0 && have >= version;
+                    let snapshot = if skip { Vec::new() } else { snap.clone() };
+                    if skip {
+                        self.metrics
+                            .snapshots_skipped
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else if !snap.is_empty() {
+                        shipped += 1;
+                    }
                     self.send_control(
                         *g,
                         Frame::MergeGrant {
                             view_ltime: vs.view_id.ltime,
                             members: vs.members.clone(),
-                            snapshot: snap.clone(),
+                            snapshot,
                         },
                     );
                 }
                 self.metrics
                     .merge_grants_sent
                     .fetch_add(granted.len() as u64, Ordering::Relaxed);
-                if !snap.is_empty() {
+                if shipped > 0 {
                     self.metrics
                         .state_transfers
-                        .fetch_add(granted.len() as u64, Ordering::Relaxed);
+                        .fetch_add(shipped, Ordering::Relaxed);
                 }
                 record(
                     &self.obs,
@@ -1177,6 +1219,8 @@ impl Driver {
                     vs.view_id.ltime,
                 );
                 self.pending_admits.retain(|ep| !vs.members.contains(ep));
+                self.admit_hints
+                    .retain(|(id, _)| self.pending_admits.iter().any(|ep| ep.id() == *id));
             }
             self.merging = false;
             if !self.pending_admits.is_empty() {

@@ -35,6 +35,10 @@ pub struct ClusterMetrics {
     pub minority_stalls: AtomicU64,
     /// Unknown endpoints admitted through the rejoin path.
     pub rejoins: AtomicU64,
+    /// Merge-grant snapshots skipped because the rejoiner's resume hint
+    /// showed it already recovered the coordinator's state version from
+    /// its own log (state-transfer fast path).
+    pub snapshots_skipped: AtomicU64,
 }
 
 impl ClusterMetrics {
@@ -109,6 +113,11 @@ impl ClusterMetrics {
             ld(&self.minority_stalls),
         );
         reg.set_int("ensemble_cluster_rejoins_total", &[], ld(&self.rejoins));
+        reg.set_int(
+            "ensemble_cluster_snapshot_skips_total",
+            &[],
+            ld(&self.snapshots_skipped),
+        );
         reg.render()
     }
 }
@@ -138,6 +147,7 @@ mod tests {
             "ensemble_cluster_merge_grants_total{dir=\"installed\"}",
             "ensemble_cluster_minority_stalls_total",
             "ensemble_cluster_rejoins_total",
+            "ensemble_cluster_snapshot_skips_total",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }

@@ -66,7 +66,7 @@ impl SeedRendezvous {
     pub fn poll(&mut self, control: &mut dyn Transport) -> Option<Vec<Endpoint>> {
         while let Ok(Some(pkt)) = control.try_recv() {
             match decode(&pkt.bytes, self.key) {
-                Ok(env) if matches!(env.frame, Frame::Hello) => {
+                Ok(env) if matches!(env.frame, Frame::Hello { .. }) => {
                     self.joiners.insert(env.src);
                 }
                 Ok(_) => {}
@@ -119,6 +119,9 @@ pub struct JoinerRendezvous {
     cur_ns: u64,
     next_hello: Time,
     jitter: DetRng,
+    /// Resume hint carried in every Hello: the application state
+    /// version this joiner already recovered locally (0 = none).
+    pub have: u64,
     /// Hello frames sent so far (surfaced by `JoinFailed`).
     pub attempts: u64,
     /// Frames that failed magic/version/MAC checks.
@@ -144,9 +147,17 @@ impl JoinerRendezvous {
             cur_ns: base_ns,
             next_hello: Time(0),
             jitter: DetRng::new(me.to_wire() ^ seed.to_wire().rotate_left(17) ^ key),
+            have: 0,
             attempts: 0,
             bad_frames: 0,
         }
+    }
+
+    /// Sets the resume hint carried in every Hello (see
+    /// [`Frame::Hello`]).
+    pub fn with_resume_hint(mut self, have: u64) -> JoinerRendezvous {
+        self.have = have;
+        self
     }
 
     /// The retry interval after the next Hello: doubled, capped, and
@@ -165,7 +176,7 @@ impl JoinerRendezvous {
             let env = Envelope {
                 src: self.me,
                 epoch: 0,
-                frame: Frame::Hello,
+                frame: Frame::Hello { have: self.have },
             };
             let _ = control.send(&Packet::point(self.me, self.seed, encode(&env, self.key)));
             self.attempts += 1;
@@ -374,7 +385,7 @@ mod tests {
         let env = Envelope {
             src: e1,
             epoch: 0,
-            frame: Frame::Hello,
+            frame: Frame::Hello { have: 0 },
         };
         rogue
             .send(&Packet::point(e1, e0, encode(&env, KEY ^ 1)))

@@ -23,8 +23,8 @@ use ensemble_util::Endpoint;
 /// Frame magic: "EC" (Ensemble Cluster).
 pub const MAGIC: u16 = 0x4543;
 /// Wire format version (bumped when a frame layout changes; v2 added
-/// the stalled flag to merge beacons).
-pub const VERSION: u8 = 2;
+/// the stalled flag to merge beacons, v3 the resume hint on Hello).
+pub const VERSION: u8 = 3;
 
 const TAG_HELLO: u8 = 1;
 const TAG_WELCOME: u8 = 2;
@@ -38,7 +38,14 @@ const TAG_MERGE_GRANT: u8 = 7;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
     /// Joiner → seed: "I want in." Retried until a Welcome arrives.
-    Hello,
+    Hello {
+        /// Resume hint: the application state version (for the KV
+        /// service, the commit index) the joiner already holds from
+        /// local recovery. A coordinator whose state is at or below
+        /// this version skips shipping the snapshot — the rejoiner
+        /// caught up from its own log. `0` = no local state.
+        have: u64,
+    },
     /// Seed → joiner: the agreed initial membership (rank order) plus an
     /// optional application state snapshot.
     Welcome {
@@ -126,7 +133,7 @@ pub fn encode(env: &Envelope, key: u64) -> Vec<u8> {
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.push(VERSION);
     let tag = match &env.frame {
-        Frame::Hello => TAG_HELLO,
+        Frame::Hello { .. } => TAG_HELLO,
         Frame::Welcome { .. } => TAG_WELCOME,
         Frame::Heartbeat { .. } => TAG_HEARTBEAT,
         Frame::Fence => TAG_FENCE,
@@ -144,7 +151,8 @@ pub fn encode(env: &Envelope, key: u64) -> Vec<u8> {
         }
     }
     match &env.frame {
-        Frame::Hello | Frame::Fence => {}
+        Frame::Fence => {}
+        Frame::Hello { have } => out.extend_from_slice(&have.to_le_bytes()),
         Frame::Welcome { members, snapshot } => {
             put_members(&mut out, members);
             out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
@@ -236,7 +244,7 @@ pub fn decode(bytes: &[u8], key: u64) -> Result<Envelope, WireError> {
         Ok(members)
     }
     let frame = match tag {
-        TAG_HELLO => Frame::Hello,
+        TAG_HELLO => Frame::Hello { have: r.u64()? },
         TAG_FENCE => Frame::Fence,
         TAG_HEARTBEAT => Frame::Heartbeat { seq: r.u64()? },
         TAG_WELCOME => {
@@ -287,7 +295,15 @@ mod tests {
 
     #[test]
     fn every_frame_roundtrips() {
-        assert_eq!(roundtrip(Frame::Hello, 0).frame, Frame::Hello);
+        assert_eq!(
+            roundtrip(Frame::Hello { have: 0 }, 0).frame,
+            Frame::Hello { have: 0 }
+        );
+        assert_eq!(
+            roundtrip(Frame::Hello { have: 917 }, 0).frame,
+            Frame::Hello { have: 917 },
+            "the resume hint survives the wire"
+        );
         assert_eq!(roundtrip(Frame::Fence, 7).epoch, 7);
         assert_eq!(
             roundtrip(Frame::Heartbeat { seq: 42 }, 2).frame,
@@ -357,7 +373,7 @@ mod tests {
         let env = Envelope {
             src: Endpoint::new(1),
             epoch: 1,
-            frame: Frame::Hello,
+            frame: Frame::Hello { have: 0 },
         };
         let mut bytes = encode(&env, KEY);
         bytes[5] ^= 0x40;

@@ -22,7 +22,17 @@
 //! response without a matching commit is a violation: the service
 //! acknowledged something the state machine never did.
 //!
+//! Crash/restart executions add two *recovery invariants*, fed by
+//! [`on_recovery`] and the replica-attributed [`on_response_at`]:
+//!
+//! * a replica must never recover to a commit index below one it
+//!   acknowledged to a client before crashing (no acked write lost);
+//! * a replica's recovered commit index must be monotonic across
+//!   successive recoveries (a later crash never resurrects older state).
+//!
 //! [`finish`]: KvLinearizabilityChecker::finish
+//! [`on_recovery`]: KvLinearizabilityChecker::on_recovery
+//! [`on_response_at`]: KvLinearizabilityChecker::on_response_at
 
 use crate::proto::{KvOp, KvResult};
 use std::collections::BTreeMap;
@@ -35,6 +45,13 @@ pub struct KvLinearizabilityChecker {
     /// Client-visible completions (only results carrying a commit index
     /// are checked; errors never linearized anything).
     responses: Vec<(KvOp, KvResult)>,
+    /// Per-replica highest commit index acknowledged to a client
+    /// (fed by [`KvLinearizabilityChecker::on_response_at`]).
+    acked: BTreeMap<u32, u64>,
+    /// Per-replica latest recovered commit index.
+    recovered: BTreeMap<u32, u64>,
+    /// Recovery events checked so far (across all replicas).
+    recoveries: usize,
     violations: Vec<String>,
 }
 
@@ -52,6 +69,54 @@ impl KvLinearizabilityChecker {
     /// Records a completion a client observed for `op`.
     pub fn on_response(&mut self, op: KvOp, result: KvResult) {
         self.responses.push((op, result));
+    }
+
+    /// Records a completion a client observed for `op`, attributed to
+    /// the `replica` that acknowledged it. Attribution is what arms the
+    /// no-acked-write-lost recovery invariant for that replica; use
+    /// [`KvLinearizabilityChecker::on_response`] when the serving
+    /// replica is unknown (e.g. behind a redirecting TCP client).
+    pub fn on_response_at(&mut self, replica: u32, op: KvOp, result: KvResult) {
+        if let KvResult::Value { ci, .. } | KvResult::Applied { ci } | KvResult::Cas { ci, .. } =
+            &result
+        {
+            let hi = self.acked.entry(replica).or_insert(0);
+            *hi = (*hi).max(*ci);
+        }
+        self.on_response(op, result);
+    }
+
+    /// Records that `replica` restarted and recovered its local state to
+    /// commit index `recovered_ci` (checkpoint + replayed WAL tail).
+    /// Checks the recovery invariants against everything the replica
+    /// acknowledged and recovered before this point, so call it in
+    /// execution order relative to [`on_response_at`].
+    ///
+    /// [`on_response_at`]: KvLinearizabilityChecker::on_response_at
+    pub fn on_recovery(&mut self, replica: u32, recovered_ci: u64) {
+        self.recoveries += 1;
+        if let Some(&acked) = self.acked.get(&replica) {
+            if recovered_ci < acked {
+                self.violations.push(format!(
+                    "replica {replica} recovered to commit index {recovered_ci} but had \
+                     acknowledged a write at {acked} — an acked write was lost in the crash"
+                ));
+            }
+        }
+        if let Some(&prev) = self.recovered.get(&replica) {
+            if recovered_ci < prev {
+                self.violations.push(format!(
+                    "replica {replica} recovered to commit index {recovered_ci} after \
+                     previously recovering to {prev} — recovery went backwards"
+                ));
+            }
+        }
+        self.recovered.insert(replica, recovered_ci);
+    }
+
+    /// Number of recovery events checked so far (across all replicas).
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
     }
 
     /// Number of commits recorded so far (across all replicas).
@@ -286,6 +351,43 @@ mod tests {
         c.on_commit(0, 2, set(b"a", b"1"));
         let v = c.finish();
         assert!(v.iter().any(|m| m.contains("strictly increasing")), "{v:?}");
+    }
+
+    #[test]
+    fn recovery_that_kept_every_ack_passes() {
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_commit(0, 1, set(b"x", b"1"));
+        c.on_commit(0, 2, set(b"x", b"2"));
+        c.on_response_at(0, set(b"x", b"2"), KvResult::Applied { ci: 2 });
+        // Crash after acking ci=2; the WAL replayed through ci=2.
+        c.on_recovery(0, 2);
+        c.on_recovery(0, 5);
+        assert_eq!(c.recoveries(), 2);
+        assert!(c.finish().is_empty());
+    }
+
+    #[test]
+    fn recovery_that_lost_an_acked_write_is_caught() {
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_commit(0, 1, set(b"x", b"1"));
+        c.on_commit(0, 2, set(b"x", b"2"));
+        c.on_response_at(0, set(b"x", b"2"), KvResult::Applied { ci: 2 });
+        // The replica acked ci=2 but came back having replayed only ci=1.
+        c.on_recovery(0, 1);
+        let v = c.finish();
+        assert!(
+            v.iter().any(|m| m.contains("acked write was lost")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_going_backwards_is_caught() {
+        let mut c = KvLinearizabilityChecker::new();
+        c.on_recovery(0, 7);
+        c.on_recovery(0, 3);
+        let v = c.finish();
+        assert!(v.iter().any(|m| m.contains("went backwards")), "{v:?}");
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! client *returns* names the index of one commit it actually observed,
 //! which is what the linearizability checker verifies; callers that
 //! need exactly-once semantics build it from CAS.
+//!
+//! Redirects are *bounded*: after `attempt_cap` failed tries (default:
+//! every replica twice) the batch fails terminally with
+//! [`KvError::Unavailable`], so a crashed quorum cannot spin a client
+//! forever. Between failed tries the client sleeps an exponentially
+//! growing, jittered backoff so a restarting cluster is not hammered by
+//! synchronized reconnect storms.
 
 use crate::proto::{
     decode_response, encode_request, write_frame, KvError, KvOp, KvResult, MAX_FRAME,
@@ -33,12 +40,19 @@ pub struct KvClient {
     /// single-operation calls).
     timeout: Duration,
     redirects: u64,
+    /// Failed tries allowed per batch before [`KvError::Unavailable`].
+    attempt_cap: u32,
+    /// Base delay of the exponential backoff between failed tries.
+    backoff: Duration,
+    /// SplitMix64 state feeding the backoff jitter.
+    jitter: u64,
 }
 
 impl KvClient {
     /// A client for the replicas listening at `addrs` (tried in order,
     /// starting from the first).
     pub fn new(addrs: Vec<SocketAddr>, timeout: Duration) -> KvClient {
+        let attempt_cap = (addrs.len().max(1) * 2) as u32;
         KvClient {
             addrs,
             cur: 0,
@@ -46,7 +60,25 @@ impl KvClient {
             next_req: 0,
             timeout,
             redirects: 0,
+            attempt_cap,
+            backoff: Duration::from_millis(10),
+            jitter: 0x9E37_79B9_7F4A_7C15,
         }
+    }
+
+    /// Caps failed tries per batch (minimum 1); the default is every
+    /// replica twice.
+    pub fn with_attempt_cap(mut self, cap: u32) -> KvClient {
+        self.attempt_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the base delay of the jittered exponential backoff between
+    /// failed tries (default 10ms; the delay doubles per failure and is
+    /// capped at 32× the base).
+    pub fn with_backoff(mut self, base: Duration) -> KvClient {
+        self.backoff = base;
+        self
     }
 
     /// How many times this client abandoned a replica and moved on.
@@ -104,8 +136,9 @@ impl KvClient {
 
     /// Runs `ops` pipelined on one connection; `results[i]` completes
     /// `ops[i]`. Redirects (reconnect + resubmit unanswered operations)
-    /// until every operation has a committed result or every replica
-    /// has been tried twice.
+    /// with a jittered backoff until every operation has a committed
+    /// result or the attempt cap is reached, then fails terminally with
+    /// [`KvError::Unavailable`].
     pub fn pipeline(&mut self, ops: &[KvOp]) -> Result<Vec<KvResult>, KvError> {
         if ops.is_empty() {
             return Ok(Vec::new());
@@ -114,31 +147,41 @@ impl KvClient {
             return Err(KvError::Closed);
         }
         let mut results: Vec<Option<KvResult>> = vec![None; ops.len()];
-        let max_attempts = self.addrs.len() * 2;
-        let mut last_err = KvError::Closed;
-        for attempt in 0..max_attempts {
+        let mut failures = 0u32;
+        while failures < self.attempt_cap {
             let todo: Vec<usize> = (0..ops.len()).filter(|&i| results[i].is_none()).collect();
             if todo.is_empty() {
                 break;
             }
-            match self.try_batch(ops, &todo, &mut results) {
-                Ok(()) => {}
-                Err(e) => {
-                    last_err = e;
-                    self.redirect();
-                    // Last attempt failing falls through to the check
-                    // below; intermediate failures just move on.
-                    if attempt + 1 == max_attempts {
-                        break;
-                    }
+            if self.try_batch(ops, &todo, &mut results).is_err() {
+                failures += 1;
+                self.redirect();
+                if failures < self.attempt_cap {
+                    std::thread::sleep(self.backoff_delay(failures));
                 }
             }
         }
+        let attempts = failures;
         let mut out = Vec::with_capacity(ops.len());
         for r in results {
-            out.push(r.ok_or(last_err)?);
+            out.push(r.ok_or(KvError::Unavailable { attempts })?);
         }
         Ok(out)
+    }
+
+    /// The jittered exponential delay before retry number `failures`:
+    /// 50–100% of `backoff × 2^(failures-1)`, exponent capped at 5.
+    fn backoff_delay(&mut self, failures: u32) -> Duration {
+        // SplitMix64: cheap, stateful, and dependency-free.
+        self.jitter = self.jitter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let nominal = self
+            .backoff
+            .saturating_mul(1 << failures.saturating_sub(1).min(5));
+        nominal / 2 + Duration::from_nanos(z % (nominal.as_nanos().max(2) / 2) as u64)
     }
 
     /// Sends `ops[todo]` on the current connection and collects their

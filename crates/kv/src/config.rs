@@ -1,5 +1,6 @@
 //! KV service tunables and their validity checks.
 
+use crate::wal::WalConfig;
 use ensemble_cluster::{ClusterConfig, ClusterError};
 use std::time::Duration;
 
@@ -18,6 +19,9 @@ pub struct KvConfig {
     /// Most requests one connection may have in flight before the server
     /// stops reading new frames from it (pipelining bound).
     pub pipeline_depth: usize,
+    /// Write-ahead-log tuning, used when the replica is formed durably
+    /// ([`crate::KvReplica::form_durable`]).
+    pub wal: WalConfig,
 }
 
 impl KvConfig {
@@ -36,6 +40,14 @@ impl KvConfig {
             listener_pool: 4,
             request_timeout: Duration::from_secs(2),
             pipeline_depth: 64,
+            wal: WalConfig {
+                // Group commit: amortize fsync across a batch. Acks are
+                // held to the durable frontier either way, and the idle
+                // tick force-flushes, so batching costs at most one
+                // tick of ack latency under a lull.
+                sync_every: 32,
+                ..WalConfig::default()
+            },
         }
     }
 
@@ -70,6 +82,18 @@ impl KvConfig {
         if self.pipeline_depth == 0 {
             return Err(ClusterError::Config(
                 "a pipeline depth of zero deadlocks every connection".into(),
+            ));
+        }
+        if self.wal.checkpoint_every == 0 {
+            return Err(ClusterError::Config(
+                "a checkpoint interval of zero records would checkpoint on every \
+                 append and never amortize the snapshot"
+                    .into(),
+            ));
+        }
+        if self.wal.sync_every == 0 {
+            return Err(ClusterError::Config(
+                "a group-commit batch of zero records never syncs and never acks".into(),
             ));
         }
         Ok(())
@@ -114,6 +138,12 @@ mod tests {
         assert!(cfg.validate().is_err());
         let mut cfg = KvConfig::new(3);
         cfg.pipeline_depth = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = KvConfig::new(3);
+        cfg.wal.checkpoint_every = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = KvConfig::new(3);
+        cfg.wal.sync_every = 0;
         assert!(cfg.validate().is_err());
     }
 }

@@ -37,7 +37,9 @@ pub mod metrics;
 pub mod proto;
 pub mod replica;
 pub mod server;
+pub mod storage;
 pub mod store;
+pub mod wal;
 
 pub use checker::KvLinearizabilityChecker;
 pub use client::KvClient;
@@ -46,4 +48,6 @@ pub use metrics::KvMetrics;
 pub use proto::{KvError, KvOp, KvResult};
 pub use replica::{KvReplica, ReplicaFront};
 pub use server::{KvListener, ListenerConfig};
+pub use storage::{FileStorage, MemDisk, MemStorage, StorageFaults, StorageMedium};
 pub use store::KvStore;
+pub use wal::{RecoveryReport, Wal, WalConfig};

@@ -20,8 +20,26 @@ pub struct KvMetrics {
     pub timeouts: AtomicU64,
     /// State snapshots installed (join Welcome or post-heal merge grant).
     pub snapshots_installed: AtomicU64,
+    /// Snapshot transfers skipped because the rejoiner's recovered
+    /// commit index already covered the coordinator's state.
+    pub snapshots_skipped: AtomicU64,
     /// TCP connections accepted by the listener.
     pub connections: AtomicU64,
+    /// Operations appended to the WAL (durable once their group-commit
+    /// batch syncs, or a checkpoint supersedes them).
+    pub wal_appends: AtomicU64,
+    /// Bytes appended to the WAL (record framing included).
+    pub wal_bytes: AtomicU64,
+    /// Injected storage errors the WAL absorbed and retried (short
+    /// writes, failed fsyncs); the affected acks were withheld until
+    /// the retry or a superseding checkpoint succeeded.
+    pub wal_append_failures: AtomicU64,
+    /// Checkpoints written (dual-slot) with the log truncated.
+    pub checkpoints: AtomicU64,
+    /// Recoveries performed at startup (checkpoint load + tail replay).
+    pub recoveries: AtomicU64,
+    /// Torn/short/corrupt tail records dropped during recovery replay.
+    pub torn_tail_records: AtomicU64,
 }
 
 impl KvMetrics {
@@ -48,7 +66,26 @@ impl KvMetrics {
             &[],
             ld(&self.snapshots_installed),
         );
+        reg.set_int(
+            "ensemble_kv_snapshots_skipped_total",
+            &[],
+            ld(&self.snapshots_skipped),
+        );
         reg.set_int("ensemble_kv_connections_total", &[], ld(&self.connections));
+        reg.set_int("ensemble_kv_wal_appends_total", &[], ld(&self.wal_appends));
+        reg.set_int("ensemble_kv_wal_bytes_total", &[], ld(&self.wal_bytes));
+        reg.set_int(
+            "ensemble_kv_wal_append_failures_total",
+            &[],
+            ld(&self.wal_append_failures),
+        );
+        reg.set_int("ensemble_kv_checkpoints_total", &[], ld(&self.checkpoints));
+        reg.set_int("ensemble_kv_recoveries_total", &[], ld(&self.recoveries));
+        reg.set_int(
+            "ensemble_kv_torn_tail_records_total",
+            &[],
+            ld(&self.torn_tail_records),
+        );
         reg.render()
     }
 }
@@ -70,7 +107,14 @@ mod tests {
             "ensemble_kv_rejected_total{reason=\"not_serving\"}",
             "ensemble_kv_rejected_total{reason=\"timeout\"}",
             "ensemble_kv_snapshots_installed_total",
+            "ensemble_kv_snapshots_skipped_total",
             "ensemble_kv_connections_total",
+            "ensemble_kv_wal_appends_total",
+            "ensemble_kv_wal_bytes_total",
+            "ensemble_kv_wal_append_failures_total",
+            "ensemble_kv_checkpoints_total",
+            "ensemble_kv_recoveries_total",
+            "ensemble_kv_torn_tail_records_total",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }

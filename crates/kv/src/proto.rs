@@ -36,6 +36,7 @@ pub const ERR_NOT_SERVING: u8 = 1;
 pub const ERR_TIMEOUT: u8 = 2;
 pub const ERR_MALFORMED: u8 = 3;
 pub const ERR_CLOSED: u8 = 4;
+pub const ERR_UNAVAILABLE: u8 = 5;
 
 /// One key-value operation, as replicated through the total order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -106,6 +107,14 @@ pub enum KvError {
     Malformed,
     /// The replica (or connection) shut down.
     Closed,
+    /// The client exhausted its bounded retry budget without finding a
+    /// serving replica — terminal, the caller must not spin. `attempts`
+    /// counts the connection attempts the client made; it is local
+    /// bookkeeping and not carried on the wire (decodes as 0).
+    Unavailable {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl KvError {
@@ -116,6 +125,7 @@ impl KvError {
             KvError::Timeout => ERR_TIMEOUT,
             KvError::Malformed => ERR_MALFORMED,
             KvError::Closed => ERR_CLOSED,
+            KvError::Unavailable { .. } => ERR_UNAVAILABLE,
         }
     }
 
@@ -125,6 +135,7 @@ impl KvError {
             ERR_NOT_SERVING => KvError::NotServing,
             ERR_TIMEOUT => KvError::Timeout,
             ERR_CLOSED => KvError::Closed,
+            ERR_UNAVAILABLE => KvError::Unavailable { attempts: 0 },
             _ => KvError::Malformed,
         }
     }
@@ -137,6 +148,9 @@ impl std::fmt::Display for KvError {
             KvError::Timeout => write!(f, "request timed out"),
             KvError::Malformed => write!(f, "malformed frame"),
             KvError::Closed => write!(f, "replica closed"),
+            KvError::Unavailable { attempts } => {
+                write!(f, "service unavailable after {attempts} attempts")
+            }
         }
     }
 }
@@ -408,6 +422,7 @@ mod tests {
             KvResult::Cas { ci: 11, ok: false },
             KvResult::Err(KvError::NotServing),
             KvResult::Err(KvError::Timeout),
+            KvResult::Err(KvError::Unavailable { attempts: 0 }),
         ];
         for (i, r) in results.into_iter().enumerate() {
             let buf = encode_response(i as u64, &r);

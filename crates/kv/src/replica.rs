@@ -17,12 +17,13 @@ use crate::config::KvConfig;
 use crate::metrics::KvMetrics;
 use crate::proto::{decode_cast, encode_cast, KvError, KvOp, KvResult};
 use crate::store::KvStore;
+use crate::wal::{RecoveryReport, Wal};
 use ensemble_cluster::{ClusterError, ClusterEvent, ClusterNode, StateProvider};
 use ensemble_event::ViewState;
 use ensemble_obs::{now_ns, CcpFailure, Direction, Event, EventKind, Tag};
 use ensemble_runtime::{Delivery, GroupSender, NodeObs, Transport};
 use ensemble_util::Endpoint;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -33,6 +34,15 @@ use std::time::Duration;
 enum Ctl {
     MetricsText(Sender<String>),
     View(Sender<ViewState>),
+    /// Reply with `(commit index, snapshot)` only once the apply queue
+    /// is drained. Sent by [`StoreProvider`] when the cluster driver
+    /// builds a merge grant: the driver may have delivered casts the
+    /// apply thread has not applied yet, and a snapshot taken mid-drain
+    /// would be stale — the rejoiner would re-apply the gap and shift
+    /// every later commit index. During a merge the group is wedged
+    /// (flushed, no new casts), so "drained once" is "drained for good"
+    /// and the reply is exact.
+    Stable(Sender<(u64, Vec<u8>)>),
 }
 
 /// The cheaply cloneable client-facing seam of a replica.
@@ -146,7 +156,50 @@ pub struct KvReplica {
     log: Arc<Mutex<Vec<(u64, KvOp)>>>,
     ctl_tx: Sender<Ctl>,
     stop: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
     apply: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The cluster-facing state provider: snapshots the store and reports
+/// its commit index as the state version (the merge-grant fast path's
+/// resume hint).
+///
+/// The driver thread calls this while the apply thread may still be
+/// draining delivered casts, so a direct store read can lag the flush
+/// point. Once the apply loop runs, requests rendezvous with it via
+/// [`Ctl::Stable`]; before it runs (rendezvous at form time) the store
+/// is touched by no one else and a direct read is exact.
+struct StoreProvider {
+    store: Arc<Mutex<KvStore>>,
+    ctl_tx: Sender<Ctl>,
+    loop_running: Arc<AtomicBool>,
+}
+
+impl StoreProvider {
+    /// `(commit index, snapshot)` at a point where the apply thread has
+    /// drained everything delivered so far.
+    fn stable(&mut self) -> (u64, Vec<u8>) {
+        if self.loop_running.load(Ordering::Acquire) {
+            let (tx, rx) = channel();
+            if self.ctl_tx.send(Ctl::Stable(tx)).is_ok() {
+                if let Ok(reply) = rx.recv_timeout(Duration::from_secs(5)) {
+                    return reply;
+                }
+            }
+        }
+        let s = self.store.lock().expect("kv store mutex poisoned");
+        (s.commit_index(), s.snapshot())
+    }
+}
+
+impl StateProvider for StoreProvider {
+    fn snapshot(&mut self) -> Vec<u8> {
+        self.stable().1
+    }
+
+    fn version(&mut self) -> u64 {
+        self.stable().0
+    }
 }
 
 impl KvReplica {
@@ -154,6 +207,10 @@ impl KvReplica {
     /// [`ClusterNode::form`]). The store snapshot is wired up as the
     /// cluster's [`StateProvider`], so joiners and post-heal merge
     /// grants receive the full map plus its commit index.
+    ///
+    /// A replica formed this way keeps its state only in memory — a
+    /// crash loses everything not re-transferred by the group. Use
+    /// [`KvReplica::form_durable`] for WAL-backed crash recovery.
     pub fn form(
         ep: Endpoint,
         seed: Endpoint,
@@ -161,14 +218,64 @@ impl KvReplica {
         control: Box<dyn Transport>,
         data: Box<dyn Transport>,
     ) -> Result<KvReplica, ClusterError> {
+        Self::form_inner(ep, seed, cfg, control, data, None).map(|(r, _)| r)
+    }
+
+    /// Like [`KvReplica::form`], but durable: recovers the state from
+    /// `wal` (latest valid checkpoint slot, then the log tail,
+    /// tolerating torn tail records), appends every committed operation
+    /// to the WAL *before* acknowledging its client, and checkpoints
+    /// per the WAL's config — build it with [`Wal::on_mem_disk`],
+    /// [`Wal::on_dir`], or [`Wal::new`], passing `cfg.wal`. The
+    /// recovered commit index rides the rejoin Hello as a resume hint,
+    /// so a caught-up rejoiner skips the snapshot transfer.
+    ///
+    /// Returns the replica plus what recovery found (the harness's feed
+    /// for the checker's recovery invariants).
+    pub fn form_durable(
+        ep: Endpoint,
+        seed: Endpoint,
+        cfg: KvConfig,
+        control: Box<dyn Transport>,
+        data: Box<dyn Transport>,
+        wal: Wal,
+    ) -> Result<(KvReplica, RecoveryReport), ClusterError> {
+        let (replica, report) = Self::form_inner(ep, seed, cfg, control, data, Some(wal))?;
+        let report = report.expect("durable form always recovers");
+        Ok((replica, report))
+    }
+
+    fn form_inner(
+        ep: Endpoint,
+        seed: Endpoint,
+        cfg: KvConfig,
+        control: Box<dyn Transport>,
+        data: Box<dyn Transport>,
+        wal: Option<Wal>,
+    ) -> Result<(KvReplica, Option<RecoveryReport>), ClusterError> {
         cfg.validate()?;
-        let store = Arc::new(Mutex::new(KvStore::new()));
-        let snap_store = Arc::clone(&store);
-        let provider: Box<dyn StateProvider> = Box::new(move || {
-            snap_store
-                .lock()
-                .expect("kv store mutex poisoned")
-                .snapshot()
+        let metrics = Arc::new(KvMetrics::default());
+        let (store, wal, report) = match wal {
+            Some(mut wal) => {
+                let report = wal
+                    .recover()
+                    .map_err(|e| ClusterError::Runtime(format!("wal recovery: {e}")))?;
+                metrics.recoveries.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .torn_tail_records
+                    .fetch_add(report.torn_tail_records, Ordering::Relaxed);
+                (report.store.clone(), Some(wal), Some(report))
+            }
+            None => (KvStore::new(), None, None),
+        };
+        let recovered_ci = store.commit_index();
+        let store = Arc::new(Mutex::new(store));
+        let (ctl_tx, ctl_rx) = channel();
+        let loop_running = Arc::new(AtomicBool::new(false));
+        let provider: Box<dyn StateProvider> = Box::new(StoreProvider {
+            store: Arc::clone(&store),
+            ctl_tx: ctl_tx.clone(),
+            loop_running: Arc::clone(&loop_running),
         });
         let node = ClusterNode::form(ep, seed, cfg.cluster, control, data, Some(provider))?;
 
@@ -178,11 +285,11 @@ impl KvReplica {
             serving: node.serving_flag(),
             pending: Arc::new(Mutex::new(HashMap::new())),
             next_token: Arc::new(AtomicU64::new(0)),
-            metrics: Arc::new(KvMetrics::default()),
+            metrics,
         };
         let log = Arc::new(Mutex::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
-        let (ctl_tx, ctl_rx) = channel();
+        let crashed = Arc::new(AtomicBool::new(false));
         let loop_ = ApplyLoop {
             my_id: ep.id(),
             node,
@@ -192,19 +299,31 @@ impl KvReplica {
             metrics: Arc::clone(&front.metrics),
             ctl_rx,
             stop: Arc::clone(&stop),
+            wal,
+            await_ack: VecDeque::new(),
+            recovered_ci,
+            snapshot_seen: false,
+            formed_seen: false,
+            crashed: Arc::clone(&crashed),
+            loop_running,
+            stable_reqs: Vec::new(),
         };
         let apply = std::thread::Builder::new()
             .name(format!("ensemble-kv-{}", ep.id()))
             .spawn(move || loop_.run())
             .map_err(|e| ClusterError::Runtime(format!("spawn apply loop: {e}")))?;
-        Ok(KvReplica {
-            ep,
-            front,
-            log,
-            ctl_tx,
-            stop,
-            apply: Some(apply),
-        })
+        Ok((
+            KvReplica {
+                ep,
+                front,
+                log,
+                ctl_tx,
+                stop,
+                crashed,
+                apply: Some(apply),
+            },
+            report,
+        ))
     }
 
     /// This replica's endpoint.
@@ -266,6 +385,20 @@ impl KvReplica {
             let _ = t.join();
         }
     }
+
+    /// Simulates a crash-stop: tears the replica down like
+    /// [`KvReplica::shutdown`] but *without* the courtesy WAL flush, so
+    /// whatever the storage medium had not made durable is lost exactly
+    /// as in a power cut. Crash harnesses pair this with
+    /// [`crate::MemDisk::crash`] to also tear the medium's volatile
+    /// buffers.
+    pub fn kill(mut self) {
+        self.crashed.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.apply.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 impl Drop for KvReplica {
@@ -286,13 +419,41 @@ struct ApplyLoop {
     metrics: Arc<KvMetrics>,
     ctl_rx: Receiver<Ctl>,
     stop: Arc<AtomicBool>,
+    /// Durable mode: every commit is WAL-appended before its ack.
+    wal: Option<Wal>,
+    /// Acks held back until the WAL's durable frontier covers them
+    /// (commit index, pending-table token, result).
+    await_ack: VecDeque<(u64, u64, KvResult)>,
+    /// Commit index recovered at startup (0 = cold start).
+    recovered_ci: u64,
+    /// A state snapshot arrived (used to spot the skip fast path).
+    snapshot_seen: bool,
+    /// The Formed event was observed.
+    formed_seen: bool,
+    /// Crash-stop teardown: skip the final courtesy flush.
+    crashed: Arc<AtomicBool>,
+    /// Published for [`StoreProvider`]: once true, stable-state requests
+    /// must rendezvous with this loop instead of reading the store.
+    loop_running: Arc<AtomicBool>,
+    /// Stable-state requests answered at the next queue drain.
+    stable_reqs: Vec<Sender<(u64, Vec<u8>)>>,
 }
 
 impl ApplyLoop {
-    fn run(self) {
+    fn run(mut self) {
         let obs = self.node.obs_arc();
         let shard = self.node.aux_obs_shard();
         let tag = obs.recorder.register("kv");
+        self.loop_running.store(true, Ordering::Release);
+        if self.wal.is_some() {
+            self.record(&obs, shard, tag, EventKind::Recovery, self.recovered_ci);
+        }
+        // Opportunistic group commit: while acks are held for a partial
+        // batch, poll instead of parking so the sync runs the moment
+        // the event queue drains. After one forced-flush attempt the
+        // poll reverts to a parked wait, so an injected fsync failure
+        // retries at the tick cadence instead of spinning.
+        let mut quick = false;
         while !self.stop.load(Ordering::Relaxed) {
             while let Ok(ctl) = self.ctl_rx.try_recv() {
                 match ctl {
@@ -304,17 +465,85 @@ impl ApplyLoop {
                     Ctl::View(tx) => {
                         let _ = tx.send(self.node.view());
                     }
+                    Ctl::Stable(tx) => {
+                        self.stable_reqs.push(tx);
+                    }
                 }
             }
-            if let Some(ev) = self.node.recv_timeout(Duration::from_millis(2)) {
-                self.on_event(ev, &obs, shard, tag);
+            let timeout = if quick {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(2)
+            };
+            match self.node.recv_timeout(timeout) {
+                Some(ev) => {
+                    self.on_event(ev, &obs, shard, tag);
+                    quick = !self.await_ack.is_empty();
+                }
+                None => {
+                    // Idle tick: force-sync a partial group-commit batch
+                    // and retry records stuck behind an injected short
+                    // write or fsync failure, then release any acks the
+                    // repaired frontier now covers.
+                    if let Some(wal) = &mut self.wal {
+                        let flushed = wal.needs_flush() && wal.flush();
+                        let errs = wal.take_io_errors();
+                        if errs > 0 {
+                            self.metrics
+                                .wal_append_failures
+                                .fetch_add(errs, Ordering::Relaxed);
+                        }
+                        if flushed {
+                            self.drain_acks(&obs, shard, tag);
+                        }
+                    }
+                    // The queue is drained: everything delivered so far
+                    // is applied, so a stable-state reply is exact.
+                    self.answer_stable();
+                    quick = false;
+                }
             }
+        }
+        // Make whatever the medium will accept durable before the
+        // thread dies — unless this teardown simulates a crash, where
+        // losing the unsynced tail is exactly the point.
+        if !self.crashed.load(Ordering::Relaxed) {
+            if let Some(wal) = &mut self.wal {
+                let _ = wal.flush();
+            }
+        }
+        // Don't leave a driver mid-grant hanging on its timeout: answer
+        // outstanding (and just-arrived) stable requests with what we
+        // have before the channel closes.
+        self.loop_running.store(false, Ordering::Release);
+        while let Ok(ctl) = self.ctl_rx.try_recv() {
+            if let Ctl::Stable(tx) = ctl {
+                self.stable_reqs.push(tx);
+            }
+        }
+        self.answer_stable();
+    }
+
+    /// Replies to every pending stable-state request with the store as
+    /// it stands. Call only when the apply queue is drained (or the
+    /// loop is exiting and no better answer will ever come).
+    fn answer_stable(&mut self) {
+        if self.stable_reqs.is_empty() {
+            return;
+        }
+        let (ci, snap) = {
+            let s = self.store.lock().expect("kv store mutex poisoned");
+            (s.commit_index(), s.snapshot())
+        };
+        for tx in self.stable_reqs.drain(..) {
+            let _ = tx.send((ci, snap.clone()));
         }
     }
 
-    fn on_event(&self, ev: ClusterEvent, obs: &NodeObs, shard: usize, tag: Tag) {
+    fn on_event(&mut self, ev: ClusterEvent, obs: &NodeObs, shard: usize, tag: Tag) {
         match ev {
             ClusterEvent::Snapshot(snap) => {
+                self.snapshot_seen = true;
                 let restored = self
                     .store
                     .lock()
@@ -323,6 +552,21 @@ impl ApplyLoop {
                 if restored {
                     self.metrics
                         .snapshots_installed
+                        .fetch_add(1, Ordering::Relaxed);
+                    // The WAL's lineage predates the installed state:
+                    // checkpoint immediately so the (checkpoint, log)
+                    // pair stays the authority for every later ack.
+                    self.take_checkpoint(obs, shard, tag);
+                }
+            }
+            ClusterEvent::Formed(_) if !self.formed_seen => {
+                self.formed_seen = true;
+                // A durable rejoiner that was formed without a snapshot
+                // kept its recovered state: the coordinator took the
+                // state-transfer fast path.
+                if self.wal.is_some() && self.recovered_ci > 0 && !self.snapshot_seen {
+                    self.metrics
+                        .snapshots_skipped
                         .fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -344,27 +588,107 @@ impl ApplyLoop {
                 self.log
                     .lock()
                     .expect("kv commit log mutex poisoned")
-                    .push((ci, op));
+                    .push((ci, op.clone()));
                 self.metrics.commits.fetch_add(1, Ordering::Relaxed);
                 self.record(obs, shard, tag, EventKind::KvCommit, ci);
-                if submitter == self.my_id {
-                    // Complete while holding the lock: `submit_timeout`
-                    // relies on remove-then-send being atomic with
-                    // respect to its own withdrawal.
-                    let mut pending = self
-                        .pending
-                        .lock()
-                        .expect("kv pending table mutex poisoned");
-                    if let Some(tx) = pending.remove(&token) {
-                        let _ = tx.send(result);
-                        self.metrics.responses.fetch_add(1, Ordering::Relaxed);
-                        self.record(obs, shard, tag, EventKind::KvResponse, ci);
+                let mine = submitter == self.my_id;
+                match &mut self.wal {
+                    Some(wal) => {
+                        // Write-ahead before ack: the record must be
+                        // durable (or superseded by a checkpoint) before
+                        // the submitting client hears the result.
+                        let (durable, len) = wal.append(ci, &op);
+                        self.metrics.wal_appends.fetch_add(1, Ordering::Relaxed);
+                        self.metrics
+                            .wal_bytes
+                            .fetch_add(len as u64, Ordering::Relaxed);
+                        let errs = wal.take_io_errors();
+                        if errs > 0 {
+                            self.metrics
+                                .wal_append_failures
+                                .fetch_add(errs, Ordering::Relaxed);
+                        }
+                        if durable >= ci {
+                            // Group-commit boundary: everything up to
+                            // `ci` just became durable.
+                            self.record(obs, shard, tag, EventKind::WalAppend, ci);
+                        }
+                        if mine {
+                            self.await_ack.push_back((ci, token, result));
+                        }
+                        self.drain_acks(obs, shard, tag);
+                        if self
+                            .wal
+                            .as_ref()
+                            .map(|w| w.checkpoint_due())
+                            .unwrap_or(false)
+                        {
+                            self.take_checkpoint(obs, shard, tag);
+                        }
                     }
+                    None if mine => {
+                        self.complete(token, result, ci, obs, shard, tag);
+                    }
+                    None => {}
                 }
             }
             // Views, sends, stalls, fences: membership is the cluster
             // layer's business; the serving flag already reflects it.
             _ => {}
+        }
+    }
+
+    /// Completes one pending client while holding the table lock:
+    /// `submit_timeout` relies on remove-then-send being atomic with
+    /// respect to its own withdrawal.
+    fn complete(
+        &self,
+        token: u64,
+        result: KvResult,
+        ci: u64,
+        obs: &NodeObs,
+        shard: usize,
+        tag: Tag,
+    ) {
+        let mut pending = self
+            .pending
+            .lock()
+            .expect("kv pending table mutex poisoned");
+        if let Some(tx) = pending.remove(&token) {
+            let _ = tx.send(result);
+            self.metrics.responses.fetch_add(1, Ordering::Relaxed);
+            self.record(obs, shard, tag, EventKind::KvResponse, ci);
+        }
+    }
+
+    /// Releases every held-back ack the durable frontier now covers.
+    fn drain_acks(&mut self, obs: &NodeObs, shard: usize, tag: Tag) {
+        let durable = match &self.wal {
+            Some(wal) => wal.durable_ci(),
+            None => u64::MAX,
+        };
+        while let Some((ci, _, _)) = self.await_ack.front() {
+            if *ci > durable {
+                break;
+            }
+            let (ci, token, result) = self.await_ack.pop_front().expect("front checked");
+            self.complete(token, result, ci, obs, shard, tag);
+        }
+    }
+
+    /// Snapshots the store into the alternate checkpoint slot and
+    /// truncates the log; on success anything the log could not make
+    /// durable is durable now, so held-back acks drain.
+    fn take_checkpoint(&mut self, obs: &NodeObs, shard: usize, tag: Tag) {
+        let (ci, snap) = {
+            let s = self.store.lock().expect("kv store mutex poisoned");
+            (s.commit_index(), s.snapshot())
+        };
+        let Some(wal) = &mut self.wal else { return };
+        if wal.checkpoint(ci, &snap).is_ok() {
+            self.metrics.checkpoints.fetch_add(1, Ordering::Relaxed);
+            self.record(obs, shard, tag, EventKind::Checkpoint, ci);
+            self.drain_acks(obs, shard, tag);
         }
     }
 

@@ -1,0 +1,716 @@
+//! The write-ahead log: checksummed, length-prefixed records plus
+//! dual-slot checkpoints, over the [`StorageMedium`] seam.
+//!
+//! Record format (one per committed operation):
+//!
+//! ```text
+//! +----------+----------+---------------------------+
+//! | len u32le| crc u32le| payload = ci u64le || op  |
+//! +----------+----------+---------------------------+
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over the payload. Replay walks records from
+//! the front and stops — without panicking — at the first record that
+//! is short, torn, fails its checksum, or does not decode: everything
+//! from there on is an unsynced tail a crash was allowed to destroy.
+//!
+//! Checkpoints use two slots written alternately: a new checkpoint is
+//! written (truncate slot, append `magic || len || crc || snapshot`,
+//! sync) to the slot *not* holding the last good checkpoint, and only
+//! after that sync succeeds is the log truncated. A crash at any point
+//! leaves at least one valid checkpoint on disk; recovery picks the
+//! slot with the higher commit index and replays the log tail past it.
+//!
+//! Durability tracking: [`Wal::append`] buffers the record and tries to
+//! flush (append, then fsync by group commit — the sync runs once
+//! [`WalConfig::sync_every`] records sit unsynced, or on any forced
+//! [`Wal::flush`]). The caller may only acknowledge a client once
+//! [`Wal::durable_ci`] covers the operation's commit index — records
+//! stuck behind an injected short write or fsync failure are retried on
+//! the next flush, and a successful checkpoint also makes them durable
+//! (the snapshot supersedes the log).
+
+use crate::proto::{decode_op, encode_op, KvOp, MAX_FRAME};
+use crate::storage::StorageMedium;
+use crate::store::KvStore;
+use std::collections::VecDeque;
+use std::io::Result;
+
+/// Slot header magic: "KVCP".
+const CKPT_MAGIC: u32 = 0x4B56_4350;
+/// Record header: len + crc.
+const REC_HDR: usize = 8;
+
+/// CRC-32 (IEEE 802.3), bitwise — small and dependency-free; the WAL
+/// checksums records far shorter than any throughput concern.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// WAL tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Take a checkpoint after this many appended records.
+    pub checkpoint_every: u64,
+    /// Group commit: sync only once this many records are written but
+    /// unsynced (1 = sync on every append). A forced [`Wal::flush`] —
+    /// which the replica issues on idle ticks — syncs regardless, so
+    /// batching bounds ack latency by the idle-tick period, not by
+    /// traffic. Larger batches amortize fsync and leave a realistic
+    /// unsynced tail for a crash to tear.
+    pub sync_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> WalConfig {
+        WalConfig {
+            checkpoint_every: 256,
+            sync_every: 1,
+        }
+    }
+}
+
+/// What recovery found.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The recovered state machine.
+    pub store: KvStore,
+    /// Commit index of the checkpoint recovery started from (0 = none).
+    pub checkpoint_ci: u64,
+    /// Log records replayed past the checkpoint.
+    pub replayed: u64,
+    /// Records skipped because the checkpoint already covered them
+    /// (a crash raced the post-checkpoint log truncation).
+    pub skipped: u64,
+    /// Torn/short/corrupt tail records the replay stopped at (0 or 1
+    /// per recovery; counted so the chaos harness can assert tearing
+    /// actually happened).
+    pub torn_tail_records: u64,
+}
+
+impl RecoveryReport {
+    /// The commit index the replica resumes from.
+    pub fn recovered_ci(&self) -> u64 {
+        self.store.commit_index()
+    }
+}
+
+/// A write-ahead log over three media: the record log and two
+/// checkpoint slots.
+pub struct Wal {
+    log: Box<dyn StorageMedium>,
+    slots: [Box<dyn StorageMedium>; 2],
+    cfg: WalConfig,
+    /// Records encoded but not yet written into the log medium.
+    backlog: VecDeque<(u64, Vec<u8>)>,
+    /// Highest ci written into the log medium (possibly unsynced).
+    written_ci: u64,
+    /// Highest ci known durable (synced log record or checkpoint).
+    durable_ci: u64,
+    /// Records written into the medium but not yet synced.
+    unsynced: u64,
+    /// Injected storage errors absorbed since the last harvest
+    /// (short writes, failed fsyncs) — all retried, none fatal.
+    io_errors: u64,
+    appended_since_ckpt: u64,
+    /// The log holds stale records a failed truncation left behind.
+    truncate_pending: bool,
+    /// Slot to write the next checkpoint into.
+    next_slot: usize,
+}
+
+impl Wal {
+    /// A WAL over `log` and two checkpoint slots. Call
+    /// [`Wal::recover`] before appending.
+    pub fn new(
+        log: Box<dyn StorageMedium>,
+        slot_a: Box<dyn StorageMedium>,
+        slot_b: Box<dyn StorageMedium>,
+        cfg: WalConfig,
+    ) -> Wal {
+        Wal {
+            log,
+            slots: [slot_a, slot_b],
+            cfg,
+            backlog: VecDeque::new(),
+            written_ci: 0,
+            durable_ci: 0,
+            unsynced: 0,
+            io_errors: 0,
+            appended_since_ckpt: 0,
+            truncate_pending: false,
+            next_slot: 0,
+        }
+    }
+
+    /// A WAL over three named files (`<prefix>.log`, `<prefix>.ckpt-a`,
+    /// `<prefix>.ckpt-b`) on a shared in-memory disk — the chaos
+    /// harness's backend, where a reincarnated replica reopens the same
+    /// disk its predecessor crashed on.
+    pub fn on_mem_disk(disk: &crate::storage::MemDisk, prefix: &str, cfg: WalConfig) -> Wal {
+        Wal::new(
+            Box::new(disk.open(&format!("{prefix}.log"))),
+            Box::new(disk.open(&format!("{prefix}.ckpt-a"))),
+            Box::new(disk.open(&format!("{prefix}.ckpt-b"))),
+            cfg,
+        )
+    }
+
+    /// A WAL over three real files in `dir` (created if absent).
+    pub fn on_dir(dir: &std::path::Path, cfg: WalConfig) -> Result<Wal> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Wal::new(
+            Box::new(crate::storage::FileStorage::open(&dir.join("wal.log"))?),
+            Box::new(crate::storage::FileStorage::open(&dir.join("wal.ckpt-a"))?),
+            Box::new(crate::storage::FileStorage::open(&dir.join("wal.ckpt-b"))?),
+            cfg,
+        ))
+    }
+
+    /// Highest commit index whose record (or covering checkpoint) is
+    /// durable — the ack frontier.
+    pub fn durable_ci(&self) -> u64 {
+        self.durable_ci
+    }
+
+    /// Whether appended records are still waiting to become durable
+    /// (a flush retry is worthwhile).
+    pub fn needs_flush(&self) -> bool {
+        !self.backlog.is_empty() || self.unsynced > 0
+    }
+
+    /// Injected storage errors absorbed since the last call (short
+    /// writes, failed fsyncs). All were retried; none lost a record.
+    pub fn take_io_errors(&mut self) -> u64 {
+        std::mem::take(&mut self.io_errors)
+    }
+
+    /// Whether a checkpoint is due by the append-count policy.
+    pub fn checkpoint_due(&self) -> bool {
+        self.appended_since_ckpt >= self.cfg.checkpoint_every
+    }
+
+    /// Encodes and buffers the record for `(ci, op)`, then tries to
+    /// flush. Returns the durable frontier after the attempt; the
+    /// record's encoded length is returned for byte accounting.
+    pub fn append(&mut self, ci: u64, op: &KvOp) -> (u64, usize) {
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&ci.to_le_bytes());
+        encode_op(&mut payload, op);
+        let mut rec = Vec::with_capacity(REC_HDR + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        let len = rec.len();
+        self.backlog.push_back((ci, rec));
+        self.appended_since_ckpt += 1;
+        self.flush_inner(false);
+        (self.durable_ci, len)
+    }
+
+    /// Drives backlogged records into the medium and syncs. Safe to
+    /// call any time; returns `true` when every appended record is
+    /// durable.
+    pub fn flush(&mut self) -> bool {
+        self.flush_inner(true)
+    }
+
+    /// The flush engine. A non-forced flush (the append path) syncs
+    /// only once `sync_every` records sit unsynced — group commit; a
+    /// forced flush (idle tick, graceful shutdown) always syncs.
+    fn flush_inner(&mut self, force: bool) -> bool {
+        while let Some((ci, rec)) = self.backlog.front() {
+            if self.log.append(rec).is_err() {
+                // Short write: the medium discarded the partial record;
+                // keep it in the backlog and retry on the next flush.
+                self.io_errors += 1;
+                return false;
+            }
+            self.written_ci = *ci;
+            self.unsynced += 1;
+            self.backlog.pop_front();
+        }
+        if self.unsynced > 0 && (force || self.unsynced >= self.cfg.sync_every.max(1)) {
+            if self.log.sync().is_err() {
+                self.io_errors += 1;
+                return false;
+            }
+            self.unsynced = 0;
+            self.durable_ci = self.written_ci;
+        }
+        self.unsynced == 0
+    }
+
+    /// Writes `snapshot` (taken at `ci`) to the alternate slot and, on
+    /// success, truncates the log. Everything at or below `ci` becomes
+    /// durable through the checkpoint.
+    pub fn checkpoint(&mut self, ci: u64, snapshot: &[u8]) -> Result<()> {
+        let slot = &mut self.slots[self.next_slot];
+        slot.truncate()?;
+        let mut rec = Vec::with_capacity(12 + snapshot.len());
+        rec.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        rec.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(snapshot).to_le_bytes());
+        rec.extend_from_slice(snapshot);
+        slot.append(&rec)?;
+        slot.sync()?;
+        // The checkpoint is durable: the log's history (and anything
+        // stuck in the backlog at or below `ci`) is superseded.
+        self.next_slot = 1 - self.next_slot;
+        self.appended_since_ckpt = 0;
+        self.backlog.retain(|(rci, _)| *rci > ci);
+        if self.durable_ci < ci {
+            self.durable_ci = ci;
+        }
+        if self.written_ci < ci {
+            self.written_ci = ci;
+        }
+        // A failed truncation is tolerable: replay skips records the
+        // checkpoint covers. Retry on the next checkpoint.
+        self.truncate_pending = self.log.truncate().is_err();
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Loads the best checkpoint and replays the log tail. Read-only
+    /// with respect to the media (calling it twice yields byte-identical
+    /// states); resets the writer frontier to what was recovered.
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        let mut store = KvStore::new();
+        let mut best_slot: Option<usize> = None;
+        for i in 0..2 {
+            let bytes = self.slots[i].read_all()?;
+            if let Some(candidate) = decode_checkpoint(&bytes) {
+                let better = best_slot.is_none() || candidate.commit_index() > store.commit_index();
+                if better {
+                    store = candidate;
+                    best_slot = Some(i);
+                }
+            }
+        }
+        let checkpoint_ci = store.commit_index();
+        let log = self.log.read_all()?;
+        let mut at = 0usize;
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        let mut torn = 0u64;
+        while at < log.len() {
+            if log.len() - at < REC_HDR {
+                torn += 1; // truncated length prefix / short header
+                break;
+            }
+            let len = u32::from_le_bytes(log[at..at + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(log[at + 4..at + 8].try_into().unwrap());
+            if !(9..=MAX_FRAME).contains(&len) || log.len() - at - REC_HDR < len {
+                torn += 1; // absurd length or torn payload
+                break;
+            }
+            let payload = &log[at + REC_HDR..at + REC_HDR + len];
+            if crc32(payload) != crc {
+                torn += 1; // checksum mismatch: stop at last valid record
+                break;
+            }
+            let ci = u64::from_le_bytes(payload[..8].try_into().unwrap());
+            let mut op_at = 8;
+            let Some(op) = decode_op(payload, &mut op_at) else {
+                torn += 1;
+                break;
+            };
+            if op_at != payload.len() {
+                torn += 1;
+                break;
+            }
+            if ci <= store.commit_index() {
+                // Covered by the checkpoint (truncation raced a crash).
+                skipped += 1;
+            } else if ci == store.commit_index() + 1 {
+                store.apply(&op);
+                replayed += 1;
+            } else {
+                // A gap: records here were never reachable from the
+                // durable frontier, so they were never acknowledged.
+                torn += 1;
+                break;
+            }
+            at += REC_HDR + len;
+        }
+        self.written_ci = store.commit_index();
+        self.durable_ci = store.commit_index();
+        self.unsynced = 0;
+        self.backlog.clear();
+        self.appended_since_ckpt = replayed + skipped;
+        self.next_slot = best_slot.map(|i| 1 - i).unwrap_or(0);
+        Ok(RecoveryReport {
+            checkpoint_ci,
+            replayed,
+            skipped,
+            torn_tail_records: torn,
+            store,
+        })
+    }
+}
+
+/// Decodes one checkpoint slot; `None` if empty, torn, or corrupt.
+fn decode_checkpoint(bytes: &[u8]) -> Option<KvStore> {
+    if bytes.len() < 12 {
+        return None;
+    }
+    if u32::from_le_bytes(bytes[..4].try_into().unwrap()) != CKPT_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if bytes.len() - 12 < len {
+        return None;
+    }
+    let snap = &bytes[12..12 + len];
+    if crc32(snap) != crc {
+        return None;
+    }
+    let mut store = KvStore::new();
+    if !store.restore(snap) {
+        return None;
+    }
+    Some(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{MemDisk, StorageFaults};
+
+    fn mem_wal(disk: &MemDisk, cfg: WalConfig) -> Wal {
+        Wal::new(
+            Box::new(disk.open("log")),
+            Box::new(disk.open("ckpt-a")),
+            Box::new(disk.open("ckpt-b")),
+            cfg,
+        )
+    }
+
+    fn set(k: &[u8], v: &[u8]) -> KvOp {
+        KvOp::Set(k.to_vec(), v.to_vec())
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn empty_log_recovers_to_an_empty_store() {
+        let disk = MemDisk::new(1, StorageFaults::clean());
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.recovered_ci(), 0);
+        assert_eq!(rep.checkpoint_ci, 0);
+        assert_eq!(rep.replayed, 0);
+        assert_eq!(rep.torn_tail_records, 0);
+        assert!(rep.store.is_empty());
+    }
+
+    #[test]
+    fn appended_records_replay_across_a_crash() {
+        let disk = MemDisk::new(2, StorageFaults::clean());
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        wal.recover().unwrap();
+        let mut model = KvStore::new();
+        for i in 0..20u8 {
+            let op = set(&[i], &[i, i]);
+            let ci = model.apply(&op);
+            let ci = match ci {
+                crate::proto::KvResult::Applied { ci } => ci,
+                _ => unreachable!(),
+            };
+            let (durable, _) = wal.append(ci, &op);
+            assert_eq!(durable, ci, "clean medium must be durable at once");
+        }
+        disk.crash();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.replayed, 20);
+        assert_eq!(rep.store.snapshot(), model.snapshot());
+    }
+
+    #[test]
+    fn checkpoint_with_no_tail_recovers_from_the_slot_alone() {
+        let disk = MemDisk::new(3, StorageFaults::clean());
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        wal.recover().unwrap();
+        let mut model = KvStore::new();
+        for i in 0..5u8 {
+            let op = set(&[i], b"v");
+            model.apply(&op);
+            wal.append(model.commit_index(), &op);
+        }
+        wal.checkpoint(model.commit_index(), &model.snapshot())
+            .unwrap();
+        disk.crash();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.checkpoint_ci, 5);
+        assert_eq!(rep.replayed, 0);
+        assert_eq!(rep.skipped, 0, "log was truncated");
+        assert_eq!(rep.store.snapshot(), model.snapshot());
+    }
+
+    #[test]
+    fn torn_final_record_is_dropped_and_counted() {
+        let disk = MemDisk::new(4, StorageFaults::clean());
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        wal.recover().unwrap();
+        wal.append(1, &set(b"a", b"1"));
+        wal.append(2, &set(b"b", b"2"));
+        // Tear the last record by hand: chop bytes off the durable log.
+        let mut log = disk.open("log");
+        let bytes = log.read_all().unwrap();
+        log.truncate().unwrap();
+        log.append(&bytes[..bytes.len() - 3]).unwrap();
+        log.sync().unwrap();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.replayed, 1);
+        assert_eq!(rep.torn_tail_records, 1);
+        assert_eq!(rep.recovered_ci(), 1);
+        assert_eq!(rep.store.peek(b"a"), Some(b"1".as_slice()));
+        assert_eq!(rep.store.peek(b"b"), None);
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_dropped_and_counted() {
+        let disk = MemDisk::new(5, StorageFaults::clean());
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        wal.recover().unwrap();
+        wal.append(1, &set(b"a", b"1"));
+        let mut log = disk.open("log");
+        log.append(&[0x05, 0x00, 0x00]).unwrap(); // 3 bytes of header
+        log.sync().unwrap();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.replayed, 1);
+        assert_eq!(rep.torn_tail_records, 1);
+    }
+
+    #[test]
+    fn checksum_mismatch_mid_log_stops_at_last_valid_record() {
+        let disk = MemDisk::new(6, StorageFaults::clean());
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        wal.recover().unwrap();
+        wal.append(1, &set(b"a", b"1"));
+        let (_, rec2_len) = wal.append(2, &set(b"b", b"2"));
+        wal.append(3, &set(b"c", b"3"));
+        // Flip a payload bit inside record 2 (mid-log).
+        let mut log = disk.open("log");
+        let mut bytes = log.read_all().unwrap();
+        let rec1_end = bytes.len() - 2 * rec2_len; // all three records are the same size
+        bytes[rec1_end + REC_HDR + 9] ^= 0x40;
+        log.truncate().unwrap();
+        log.append(&bytes).unwrap();
+        log.sync().unwrap();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.replayed, 1, "stop at the last valid record");
+        assert_eq!(rep.torn_tail_records, 1);
+        assert_eq!(rep.recovered_ci(), 1);
+    }
+
+    #[test]
+    fn double_crash_during_checkpoint_falls_back_to_the_other_slot() {
+        let disk = MemDisk::new(7, StorageFaults::clean());
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        wal.recover().unwrap();
+        let mut model = KvStore::new();
+        for i in 0..4u8 {
+            let op = set(&[i], b"x");
+            model.apply(&op);
+            wal.append(model.commit_index(), &op);
+        }
+        wal.checkpoint(model.commit_index(), &model.snapshot())
+            .unwrap();
+        let at_first_ckpt = model.snapshot();
+        for i in 4..8u8 {
+            let op = set(&[i], b"y");
+            model.apply(&op);
+            wal.append(model.commit_index(), &op);
+        }
+        // Simulate a crash in the middle of writing the second
+        // checkpoint: slot B gets a torn header and the log survives.
+        let mut slot_b = disk.open("ckpt-b");
+        slot_b.truncate().unwrap();
+        slot_b.append(&CKPT_MAGIC.to_le_bytes()).unwrap();
+        slot_b.append(&[0xFF, 0x00]).unwrap();
+        slot_b.sync().unwrap();
+        disk.crash();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.checkpoint_ci, 4, "fell back to slot A");
+        assert_eq!(rep.replayed, 4, "tail past the good checkpoint");
+        assert_eq!(rep.store.snapshot(), model.snapshot());
+        assert_ne!(rep.store.snapshot(), at_first_ckpt);
+        // And a second crash before any repair keeps recovering the same
+        // state, byte for byte.
+        disk.crash();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep2 = wal.recover().unwrap();
+        assert_eq!(rep2.store.snapshot(), model.snapshot());
+    }
+
+    #[test]
+    fn failed_log_truncation_after_checkpoint_is_skipped_on_replay() {
+        let disk = MemDisk::new(8, StorageFaults::clean());
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        wal.recover().unwrap();
+        let mut model = KvStore::new();
+        for i in 0..3u8 {
+            let op = set(&[i], b"z");
+            model.apply(&op);
+            wal.append(model.commit_index(), &op);
+        }
+        // Checkpoint, then put the pre-checkpoint records *back* into
+        // the log as if truncation never happened.
+        let old_log = disk.open("log").read_all().unwrap();
+        wal.checkpoint(model.commit_index(), &model.snapshot())
+            .unwrap();
+        let mut log = disk.open("log");
+        log.truncate().unwrap();
+        log.append(&old_log).unwrap();
+        log.sync().unwrap();
+        // New traffic lands after the stale records.
+        let op = set(b"post", b"1");
+        model.apply(&op);
+        wal.append(model.commit_index(), &op);
+        disk.crash();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.skipped, 3, "stale records skipped, not replayed");
+        assert_eq!(rep.replayed, 1);
+        assert_eq!(rep.store.snapshot(), model.snapshot());
+    }
+
+    #[test]
+    fn append_failures_hold_the_ack_frontier_until_repair() {
+        let faults = StorageFaults {
+            fsync_fail_p: 1.0,
+            ..StorageFaults::clean()
+        };
+        let disk = MemDisk::new(9, faults);
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        wal.recover().unwrap();
+        let (durable, _) = wal.append(1, &set(b"a", b"1"));
+        assert_eq!(durable, 0, "fsync failed: nothing is durable");
+        // A checkpoint (whose slot writes bypass the broken fsync here
+        // only because we repair the plan) advances the frontier.
+        let disk2 = MemDisk::new(9, StorageFaults::clean());
+        let mut wal = mem_wal(&disk2, WalConfig::default());
+        wal.recover().unwrap();
+        let mut model = KvStore::new();
+        let op = set(b"a", b"1");
+        model.apply(&op);
+        // Force every log append to fail by tearing the log medium's
+        // sync path: emulate by appending through a faulty wal below.
+        let faulty = MemDisk::new(9, faults);
+        let mut wal = Wal::new(
+            Box::new(faulty.open("log")),
+            Box::new(disk2.open("ckpt-a")),
+            Box::new(disk2.open("ckpt-b")),
+            WalConfig::default(),
+        );
+        wal.recover().unwrap();
+        let (durable, _) = wal.append(1, &op);
+        assert_eq!(durable, 0);
+        wal.checkpoint(1, &model.snapshot()).unwrap();
+        assert_eq!(wal.durable_ci(), 1, "checkpoint supersedes the log");
+    }
+
+    #[test]
+    fn group_commit_defers_the_sync_until_the_batch_fills() {
+        let disk = MemDisk::new(11, StorageFaults::clean());
+        let cfg = WalConfig {
+            sync_every: 4,
+            ..WalConfig::default()
+        };
+        let mut wal = mem_wal(&disk, cfg);
+        wal.recover().unwrap();
+        for ci in 1..=3u64 {
+            let (durable, _) = wal.append(ci, &set(&[ci as u8], b"v"));
+            assert_eq!(durable, 0, "batch not full: nothing synced yet");
+        }
+        // The fourth record fills the batch and syncs all four.
+        let (durable, _) = wal.append(4, &set(&[4], b"v"));
+        assert_eq!(durable, 4);
+        // A partial batch stays volatile until a forced flush.
+        let (durable, _) = wal.append(5, &set(&[5], b"v"));
+        assert_eq!(durable, 4);
+        assert!(wal.needs_flush());
+        assert!(wal.flush());
+        assert_eq!(wal.durable_ci(), 5);
+        // An unsynced partial batch is what a crash may tear.
+        let (durable, _) = wal.append(6, &set(&[6], b"v"));
+        assert_eq!(durable, 5);
+        disk.crash();
+        let mut wal = mem_wal(&disk, WalConfig::default());
+        let rep = wal.recover().unwrap();
+        assert_eq!(rep.recovered_ci(), 5, "clean crash drops the tail whole");
+    }
+
+    #[test]
+    fn seeded_torn_crashes_never_lose_a_durable_record() {
+        // The chaos gate in miniature: across many seeds, crash with
+        // torn tails + bit flips and check every record that reported
+        // durable is recovered.
+        let faults = StorageFaults {
+            torn_tail_p: 0.8,
+            bit_flip_p: 0.5,
+            fsync_fail_p: 0.2,
+            short_write_p: 0.1,
+        };
+        for seed in 0..24u64 {
+            let disk = MemDisk::new(seed, faults);
+            let mut wal = mem_wal(
+                &disk,
+                WalConfig {
+                    checkpoint_every: 7,
+                    ..WalConfig::default()
+                },
+            );
+            wal.recover().unwrap();
+            let mut model = KvStore::new();
+            let mut durable_frontier = 0u64;
+            for i in 0..40u8 {
+                let op = set(&[i], &[seed as u8, i]);
+                model.apply(&op);
+                let (durable, _) = wal.append(model.commit_index(), &op);
+                durable_frontier = durable;
+                if wal.checkpoint_due() {
+                    let _ = wal.checkpoint(model.commit_index(), &model.snapshot());
+                    durable_frontier = wal.durable_ci();
+                }
+            }
+            disk.crash();
+            let mut wal = mem_wal(&disk, WalConfig::default());
+            let rep = wal.recover().unwrap();
+            assert!(
+                rep.recovered_ci() >= durable_frontier,
+                "seed {seed}: recovered {} < durable frontier {durable_frontier}",
+                rep.recovered_ci(),
+            );
+            // Determinism: recovering again yields the same bytes.
+            let mut wal2 = mem_wal(&disk, WalConfig::default());
+            let rep2 = wal2.recover().unwrap();
+            assert_eq!(rep.store.snapshot(), rep2.store.snapshot());
+        }
+    }
+}

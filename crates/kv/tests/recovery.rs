@@ -1,0 +1,266 @@
+//! Crash/restart recovery through the real replica path.
+//!
+//! Both tests form a three-replica durable group on fault-injecting
+//! [`MemDisk`]s, kill a replica without ceremony ([`KvReplica::kill`]:
+//! no courtesy WAL flush), tear the disk ([`MemDisk::crash`]), and
+//! restart the replica on a reincarnated endpoint from the same disk.
+//! They differ in what the disk does to the WAL:
+//!
+//! * **Quiet crash** — the group quiesced and the WAL fully synced
+//!   before the kill, so recovery reproduces the exact group state and
+//!   the rejoin Hello's resume hint makes the coordinator *skip* the
+//!   snapshot (state-transfer fast path, visible as the rejoiner's
+//!   `snapshots_skipped` metric).
+//! * **Torn crash** — the victim's disk fails every fsync, so its whole
+//!   WAL rides the volatile buffer and the crash tears it to a seeded
+//!   prefix. Recovery lands strictly behind the group, the hint does
+//!   not cover the coordinator's version, and the rejoiner catches up
+//!   by snapshot transfer (`snapshots_installed`).
+//!
+//! Either way the run must end with every replica applying the same
+//! operations at the same commit indices and the offline
+//! linearizability replay (including the recovery invariants) clean.
+
+use ensemble_kv::{
+    KvConfig, KvLinearizabilityChecker, KvOp, KvReplica, KvResult, MemDisk, StorageFaults, Wal,
+};
+use ensemble_runtime::{FaultPlan, LoopbackHub};
+use ensemble_util::Endpoint;
+use std::time::{Duration, Instant};
+
+const REPLICAS: usize = 3;
+const VICTIM: usize = 2;
+const OPS: u64 = 40;
+
+fn wait_for(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let until = Instant::now() + deadline;
+    while !cond() {
+        assert!(Instant::now() < until, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Forms the durable group, one WAL per replica on its own disk.
+fn form_group(control: &LoopbackHub, data: &LoopbackHub, disks: &[MemDisk]) -> Vec<KvReplica> {
+    let seed_ep = Endpoint::new(0);
+    let mut formers = Vec::new();
+    for i in 0..REPLICAS as u32 {
+        let ep = Endpoint::new(i);
+        let (c, d) = (control.attach(ep), data.attach(ep));
+        let cfg = KvConfig::new(REPLICAS);
+        let disk = disks[i as usize].clone();
+        formers.push(std::thread::spawn(move || {
+            let wal = Wal::on_mem_disk(&disk, &format!("r{i}"), cfg.wal);
+            KvReplica::form_durable(ep, seed_ep, cfg, Box::new(c), Box::new(d), wal).map(|(r, _)| r)
+        }));
+    }
+    formers
+        .into_iter()
+        .map(|f| f.join().unwrap().expect("replica rendezvous completes"))
+        .collect()
+}
+
+/// Commits `n` Sets through `front`-replica 0 and waits until every
+/// live replica has applied them.
+fn push_ops(replicas: &[&KvReplica], n: u64, from_ci: u64) {
+    let front = replicas[0].front();
+    for i in 0..n {
+        let op = KvOp::Set(
+            format!("key-{}", i % 8).into_bytes(),
+            format!("v{}", from_ci + i).into_bytes(),
+        );
+        if let KvResult::Err(e) = front.submit_timeout(&op, Duration::from_secs(5)) {
+            panic!("set {} rejected: {e:?}", from_ci + i);
+        }
+    }
+    wait_for(
+        "all replicas apply the batch",
+        Duration::from_secs(20),
+        || {
+            replicas
+                .iter()
+                .all(|r| r.commit_log().last().map(|(ci, _)| *ci) >= Some(from_ci + n))
+        },
+    );
+}
+
+/// Kills the victim, waits for the survivors to evict its incarnation,
+/// and restarts it from its own disk. Returns the reborn replica and
+/// its recovered commit index.
+fn crash_and_restart(
+    control: &LoopbackHub,
+    data: &LoopbackHub,
+    disks: &[MemDisk],
+    victim: KvReplica,
+    survivors: &[&KvReplica],
+) -> (KvReplica, u64) {
+    let old_ep = victim.endpoint();
+    victim.kill();
+    disks[VICTIM].crash();
+    // Restarting earlier risks the coordinator folding the
+    // not-yet-suspected corpse into the rejoin merge flush.
+    wait_for(
+        "survivors evict the dead incarnation",
+        Duration::from_secs(30),
+        || {
+            survivors.iter().all(|r| {
+                r.view()
+                    .is_some_and(|v| v.nmembers() == REPLICAS - 1 && !v.members.contains(&old_ep))
+            })
+        },
+    );
+    let reborn = old_ep.reincarnate();
+    let (c, d) = (control.attach(reborn), data.attach(reborn));
+    let mut cfg = KvConfig::new(REPLICAS);
+    cfg.cluster.join_deadline = Duration::from_secs(30);
+    cfg.cluster.form_timeout = Duration::from_secs(30);
+    let wal = Wal::on_mem_disk(&disks[VICTIM], &format!("r{VICTIM}"), cfg.wal);
+    let (replica, report) =
+        KvReplica::form_durable(reborn, Endpoint::new(0), cfg, Box::new(c), Box::new(d), wal)
+            .expect("restarted replica rejoins");
+    wait_for("reborn replica serves", Duration::from_secs(30), || {
+        replica.is_serving()
+    });
+    (replica, report.recovered_ci())
+}
+
+/// Replays the whole execution — the survivors' logs, the victim's
+/// pre-crash log, the reborn instance's log, and the recovery itself —
+/// through the linearizability checker.
+fn replay_clean(
+    survivors: &[&KvReplica],
+    pre_crash: Vec<(u64, KvOp)>,
+    reborn: &KvReplica,
+    recovered_ci: u64,
+) {
+    let mut checker = KvLinearizabilityChecker::new();
+    for r in survivors {
+        let id = r.endpoint().id();
+        for (ci, op) in r.commit_log() {
+            checker.on_commit(id, ci, op);
+        }
+    }
+    let victim_id = reborn.endpoint().id();
+    for (ci, op) in pre_crash {
+        checker.on_commit(victim_id, ci, op);
+    }
+    checker.on_recovery(victim_id, recovered_ci);
+    for (ci, op) in reborn.commit_log() {
+        checker.on_commit(victim_id, ci, op);
+    }
+    let violations = checker.finish();
+    assert!(
+        violations.is_empty(),
+        "recovery violations:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn quiet_crash_recovers_exactly_and_skips_the_snapshot() {
+    let control = LoopbackHub::with_faults(11, FaultPlan::default());
+    let data = LoopbackHub::with_faults(11 ^ 0x5EED, FaultPlan::default());
+    let disks: Vec<MemDisk> = (0..REPLICAS as u64)
+        .map(|i| MemDisk::new(11 ^ i, StorageFaults::clean()))
+        .collect();
+    let mut replicas = form_group(&control, &data, &disks);
+
+    let all: Vec<&KvReplica> = replicas.iter().collect();
+    push_ops(&all, OPS, 0);
+    drop(all);
+    // The idle tick force-flushes the group-commit tail; once the
+    // victim's disk has no volatile bytes the WAL covers all OPS
+    // records and the crash can destroy nothing.
+    wait_for("victim WAL fully synced", Duration::from_secs(10), || {
+        disks[VICTIM].pending_len() == 0
+    });
+
+    let victim = replicas.remove(VICTIM);
+    let pre_crash = victim.commit_log();
+    let survivors: Vec<&KvReplica> = replicas.iter().collect();
+    let (reborn, recovered_ci) = crash_and_restart(&control, &data, &disks, victim, &survivors);
+
+    // Recovery reproduced the exact pre-crash state from the local log
+    // alone, so the rejoin took the state-transfer fast path: the
+    // resume hint covered the coordinator's version and no snapshot
+    // crossed the wire.
+    assert_eq!(recovered_ci, OPS, "quiet crash loses nothing");
+    wait_for("fast path recorded", Duration::from_secs(10), || {
+        reborn
+            .metrics()
+            .snapshots_skipped
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    });
+    assert_eq!(
+        reborn
+            .metrics()
+            .snapshots_installed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "a caught-up rejoiner must not be shipped a snapshot"
+    );
+
+    // The reborn member participates fully in post-rejoin traffic.
+    let group: Vec<&KvReplica> = replicas.iter().chain(std::iter::once(&reborn)).collect();
+    push_ops(&group, 10, OPS);
+    replay_clean(&survivors, pre_crash, &reborn, recovered_ci);
+}
+
+#[test]
+fn torn_crash_recovers_a_prefix_and_catches_up_by_snapshot() {
+    let control = LoopbackHub::with_faults(23, FaultPlan::default());
+    let data = LoopbackHub::with_faults(23 ^ 0x5EED, FaultPlan::default());
+    // The victim's disk fails every fsync, so its entire WAL stays in
+    // the volatile buffer; the crash then tears it to a seeded prefix.
+    let disks: Vec<MemDisk> = (0..REPLICAS)
+        .map(|i| {
+            let faults = if i == VICTIM {
+                StorageFaults {
+                    fsync_fail_p: 1.0,
+                    torn_tail_p: 1.0,
+                    ..StorageFaults::clean()
+                }
+            } else {
+                StorageFaults::clean()
+            };
+            MemDisk::new(23 ^ i as u64, faults)
+        })
+        .collect();
+    let mut replicas = form_group(&control, &data, &disks);
+
+    let all: Vec<&KvReplica> = replicas.iter().collect();
+    push_ops(&all, OPS, 0);
+    drop(all);
+    assert!(
+        disks[VICTIM].pending_len() > 0,
+        "every fsync failed, the victim's WAL must be volatile"
+    );
+
+    let victim = replicas.remove(VICTIM);
+    let pre_crash = victim.commit_log();
+    let survivors: Vec<&KvReplica> = replicas.iter().collect();
+    let (reborn, recovered_ci) = crash_and_restart(&control, &data, &disks, victim, &survivors);
+
+    // The torn WAL recovers only a prefix, the resume hint falls short
+    // of the coordinator's version, and the grant ships the full map.
+    assert!(
+        recovered_ci < OPS,
+        "torn tail must lose records (recovered {recovered_ci} of {OPS})"
+    );
+    wait_for(
+        "snapshot transfer recorded",
+        Duration::from_secs(10),
+        || {
+            reborn
+                .metrics()
+                .snapshots_installed
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        },
+    );
+
+    let group: Vec<&KvReplica> = replicas.iter().chain(std::iter::once(&reborn)).collect();
+    push_ops(&group, 10, OPS);
+    replay_clean(&survivors, pre_crash, &reborn, recovered_ci);
+}

@@ -79,6 +79,15 @@ pub enum EventKind {
     /// A batch of deferred non-critical work was drained (count in
     /// `aux`); only certificate-licensed stacks batch.
     DeferFlush = 27,
+    /// A committed KV operation was made durable in the write-ahead
+    /// log (`aux` = commit index).
+    WalAppend = 28,
+    /// A checkpoint was written and the log truncated (`aux` = commit
+    /// index the checkpoint covers).
+    Checkpoint = 29,
+    /// A replica recovered its state from checkpoint + log replay at
+    /// startup (`aux` = recovered commit index).
+    Recovery = 30,
 }
 
 impl EventKind {
@@ -112,6 +121,9 @@ impl EventKind {
             25 => KvCommit,
             26 => KvResponse,
             27 => DeferFlush,
+            28 => WalAppend,
+            29 => Checkpoint,
+            30 => Recovery,
             _ => Other,
         }
     }
@@ -148,6 +160,9 @@ impl EventKind {
             KvCommit => "kv_commit",
             KvResponse => "kv_response",
             DeferFlush => "defer_flush",
+            WalAppend => "wal_append",
+            Checkpoint => "checkpoint",
+            Recovery => "recovery",
         }
     }
 }

@@ -9,16 +9,23 @@
 //! stalls and all — and exits nonzero if the replay finds a violation.
 //!
 //! ```sh
-//! cargo run --example kv_demo          # deterministic, loopback only
-//! cargo run --example kv_demo -- --tcp # also serve real TCP clients
+//! cargo run --example kv_demo            # deterministic, loopback only
+//! cargo run --example kv_demo -- --tcp   # also serve real TCP clients
+//! cargo run --example kv_demo -- --crash # durable WALs + crash episode
 //! ```
 //!
 //! `--tcp` is best-effort: a sandbox that denies loopback binds logs
-//! the downgrade and continues with simulated clients only.
+//! the downgrade and continues with simulated clients only. `--crash`
+//! forms the replicas durably (one fault-injecting in-memory disk
+//! each) and replaces the partition round with a crash-stop episode:
+//! replica 2 is killed without a WAL flush, its disk torn, and the
+//! replica restarted from its own checkpoint + log tail, rejoining
+//! through the merge path — the replay then also checks the recovery
+//! invariants (no acked write lost, recovered commit index monotonic).
 
 use ensemble_kv::{
     KvClient, KvConfig, KvError, KvLinearizabilityChecker, KvListener, KvOp, KvReplica, KvResult,
-    ReplicaFront,
+    MemDisk, ReplicaFront, StorageFaults, Wal,
 };
 use ensemble_runtime::{FaultPlan, LoopbackHub};
 use ensemble_util::{DetRng, Endpoint};
@@ -79,21 +86,37 @@ fn run_client(client: usize, fronts: &[ReplicaFront]) -> Vec<(KvOp, KvResult)> {
 
 fn main() {
     let tcp = std::env::args().any(|a| a == "--tcp");
+    let crash = std::env::args().any(|a| a == "--crash");
     let control = LoopbackHub::with_faults(SEED, FaultPlan::default());
     let data = LoopbackHub::with_faults(SEED ^ 0x5EED, FaultPlan::default());
     let seed_ep = Endpoint::new(0);
 
-    println!("kv_demo: forming a {REPLICAS}-replica group");
+    // One fault-injecting in-memory disk per replica (`--crash` only):
+    // a reincarnated replica reopens the disk its predecessor died on.
+    let disks: Vec<MemDisk> = (0..REPLICAS as u64)
+        .map(|i| MemDisk::new(SEED ^ i, StorageFaults::lossy()))
+        .collect();
+
+    println!(
+        "kv_demo: forming a {REPLICAS}-replica group{}",
+        if crash { " (durable WALs)" } else { "" }
+    );
     let mut formers = Vec::new();
     for i in 0..REPLICAS as u32 {
         let ep = Endpoint::new(i);
         let (c, d) = (control.attach(ep), data.attach(ep));
         let cfg = KvConfig::new(REPLICAS);
-        formers.push(std::thread::spawn(move || {
-            KvReplica::form(ep, seed_ep, cfg, Box::new(c), Box::new(d))
+        let disk = crash.then(|| disks[i as usize].clone());
+        formers.push(std::thread::spawn(move || match disk {
+            Some(disk) => {
+                let wal = Wal::on_mem_disk(&disk, &format!("r{i}"), cfg.wal);
+                KvReplica::form_durable(ep, seed_ep, cfg, Box::new(c), Box::new(d), wal)
+                    .map(|(r, _)| r)
+            }
+            None => KvReplica::form(ep, seed_ep, cfg, Box::new(c), Box::new(d)),
         }));
     }
-    let replicas: Vec<KvReplica> = formers
+    let mut replicas: Vec<KvReplica> = formers
         .into_iter()
         .map(|f| f.join().unwrap().expect("replica rendezvous completes"))
         .collect();
@@ -142,29 +165,80 @@ fn main() {
         }
     }
 
-    // Phase 2: partition the minority away, watch it stall, heal, and
-    // watch the group merge back to full strength.
-    println!("kv_demo: splitting replica 2 into a minority");
-    let groups = vec![vec![0u32, 1], vec![2u32]];
-    control.split(groups.clone());
-    data.split(groups);
-    wait_for("minority stall", Duration::from_secs(20), || {
-        !fronts[2].is_serving()
-    });
-    println!("kv_demo: minority stalled (refusing writes, not diverging)");
-    let op = KvOp::Set(b"during-partition".to_vec(), b"majority-commits".to_vec());
-    let r = fronts[0].submit_timeout(&op, Duration::from_secs(2));
-    assert!(
-        !matches!(r, KvResult::Err(_)),
-        "the majority keeps committing through the partition"
-    );
-    responses.push((op, r));
-    control.heal();
-    data.heal();
-    wait_for("post-heal serving", Duration::from_secs(30), || {
-        fronts.iter().all(|f| f.is_serving())
-    });
-    println!("kv_demo: healed — all replicas serving again");
+    // Phase 2a (`--crash`): crash-stop replica 2 mid-run — no WAL
+    // flush, disk torn like a power cut — then restart it from its own
+    // checkpoint + log tail on a reincarnated endpoint.
+    let mut archived: Vec<(u32, Vec<(u64, KvOp)>)> = Vec::new();
+    let mut recovery: Option<(u32, u64)> = None;
+    if crash {
+        println!("kv_demo: crash-stopping replica 2 (no WAL flush, disk torn)");
+        let victim = replicas.remove(2);
+        let old_ep = victim.endpoint();
+        archived.push((old_ep.id(), victim.commit_log()));
+        victim.kill();
+        disks[2].crash();
+        wait_for(
+            "survivors evict the dead incarnation",
+            Duration::from_secs(30),
+            || {
+                replicas.iter().all(|r| {
+                    r.view().is_some_and(|v| {
+                        v.nmembers() == REPLICAS - 1 && !v.members.contains(&old_ep)
+                    })
+                })
+            },
+        );
+        let reborn = old_ep.reincarnate();
+        let (c, d) = (control.attach(reborn), data.attach(reborn));
+        let mut cfg = KvConfig::new(REPLICAS);
+        cfg.cluster.join_deadline = Duration::from_secs(30);
+        cfg.cluster.form_timeout = Duration::from_secs(30);
+        let wal = Wal::on_mem_disk(&disks[2], "r2", cfg.wal);
+        let (replica, report) =
+            KvReplica::form_durable(reborn, seed_ep, cfg, Box::new(c), Box::new(d), wal)
+                .expect("restarted replica rejoins");
+        println!(
+            "kv_demo: replica 2 recovered to commit index {} ({} torn tail record(s)) and rejoined",
+            report.recovered_ci(),
+            report.torn_tail_records
+        );
+        recovery = Some((old_ep.id(), report.recovered_ci()));
+        wait_for("reborn replica serves", Duration::from_secs(30), || {
+            replica.is_serving()
+        });
+        let op = KvOp::Set(b"after-recovery".to_vec(), b"reborn-commits".to_vec());
+        let r = replica.submit_timeout(&op, Duration::from_secs(5));
+        assert!(
+            !matches!(r, KvResult::Err(_)),
+            "the reborn replica serves writes again"
+        );
+        responses.push((op, r));
+        replicas.insert(2, replica);
+    } else {
+        // Phase 2b: partition the minority away, watch it stall, heal,
+        // and watch the group merge back to full strength.
+        println!("kv_demo: splitting replica 2 into a minority");
+        let groups = vec![vec![0u32, 1], vec![2u32]];
+        control.split(groups.clone());
+        data.split(groups);
+        wait_for("minority stall", Duration::from_secs(20), || {
+            !fronts[2].is_serving()
+        });
+        println!("kv_demo: minority stalled (refusing writes, not diverging)");
+        let op = KvOp::Set(b"during-partition".to_vec(), b"majority-commits".to_vec());
+        let r = fronts[0].submit_timeout(&op, Duration::from_secs(2));
+        assert!(
+            !matches!(r, KvResult::Err(_)),
+            "the majority keeps committing through the partition"
+        );
+        responses.push((op, r));
+        control.heal();
+        data.heal();
+        wait_for("post-heal serving", Duration::from_secs(30), || {
+            fronts.iter().all(|f| f.is_serving())
+        });
+        println!("kv_demo: healed — all replicas serving again");
+    }
 
     // Quiesce, then replay the whole run through the checker.
     let mut last: Vec<usize> = Vec::new();
@@ -176,6 +250,14 @@ fn main() {
         stable
     });
     let mut checker = KvLinearizabilityChecker::new();
+    for (id, log) in archived {
+        for (ci, op) in log {
+            checker.on_commit(id, ci, op);
+        }
+    }
+    if let Some((id, ci)) = recovery {
+        checker.on_recovery(id, ci);
+    }
     for r in &replicas {
         let id = r.endpoint().id();
         for (ci, op) in r.commit_log() {

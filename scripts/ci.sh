@@ -52,12 +52,22 @@ echo "==> kv: chaos linearizability + TCP client plane (release)"
 cargo test --release -p ensemble-kv --test kv_chaos
 cargo test --release -p ensemble-kv --test tcp_plane
 
+echo "==> kv: crash recovery through the real replica path (release)"
+# recovery kills a durable replica without a WAL flush, tears its disk,
+# and checks both rejoin shapes: the quiet crash takes the
+# state-transfer fast path (snapshot skipped), the torn crash recovers
+# a strict prefix and catches up by snapshot.
+cargo test --release -p ensemble-kv --test recovery
+
 echo "==> kv: demo — replicated KV through a partition round, linearizability replay"
 # kv_demo exits nonzero if the majority cannot commit during the
 # partition, a replica never resumes serving after the heal, or the
-# checker finds a violation.
+# checker finds a violation; --crash swaps the partition for a
+# crash-stop + WAL recovery episode and also replays the recovery
+# invariants.
 cargo run --release -p ensemble-kv --example kv_demo
 cargo run --release -p ensemble-kv --example kv_demo -- --tcp
+cargo run --release -p ensemble-kv --example kv_demo -- --crash
 
 echo "==> kv: load generator emits and validates BENCH_kv_e2e.json"
 KV_LOAD_OUT=$(cargo run --release -p ensemble-kv --bin kv_load -- \
@@ -72,6 +82,30 @@ for series in \
   'ensemble_kv_commits_total' \
   'ensemble_kv_responses_total'; do
   grep -q "^$series" <<<"$KV_LOAD_OUT" || {
+    echo "missing series: $series" >&2
+    exit 1
+  }
+done
+
+echo "==> kv: seeded crash/restart gate emits and validates BENCH_kv_crash.json"
+# Eight crash/restart cycles under load on fault-injecting disks; the
+# validator fails unless every restart recovered from the WAL, the
+# injected faults demonstrably fired (torn tails, absorbed storage
+# errors), and the recovery invariants held (zero violations).
+KV_CRASH_OUT=$(cargo run --release -p ensemble-kv --bin kv_load -- \
+  --replicas 3 --sim-clients 16 --tcp-clients 2 --ops 40 \
+  --seed 7 --crash --crash-cycles 8 --out BENCH_kv_crash.json)
+test -s BENCH_kv_crash.json
+cargo run --release -p ensemble-bench --bin kv_check -- BENCH_kv_crash.json
+
+echo "==> kv: durability metrics exposition carries the WAL series"
+for series in \
+  'ensemble_kv_wal_appends_total' \
+  'ensemble_kv_wal_bytes_total' \
+  'ensemble_kv_checkpoints_total' \
+  'ensemble_kv_recoveries_total' \
+  'ensemble_kv_torn_tail_records_total'; do
+  grep -q "^$series" <<<"$KV_CRASH_OUT" || {
     echo "missing series: $series" >&2
     exit 1
   }
